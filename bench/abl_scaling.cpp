@@ -1,0 +1,79 @@
+// Ablation — scaling of coordination cost with system size (paper §III-D
+// and §IV-D): CDPSM's per-round traffic grows O(|C|·|N|³), LDDM's
+// O(|C|·|N|), DONAR's O(|C|·|N|·|M|); "with the increasing system size,
+// EDR will eventually outperform DONAR in a large scale cloud system".
+// Also measures real wall-clock schedule() time per algorithm.
+#include "bench_util.hpp"
+
+#include "baselines/donar.hpp"
+#include "core/scheduler.hpp"
+#include "optim/instance.hpp"
+
+namespace {
+
+using namespace edr;
+
+optim::Problem instance(std::size_t replicas, std::uint64_t seed = 21) {
+  Rng rng{seed};
+  optim::InstanceOptions opts;
+  opts.num_clients = 2 * replicas;
+  opts.num_replicas = replicas;
+  return optim::make_random_instance(rng, opts);
+}
+
+void BM_Scaling_Lddm(benchmark::State& state) {
+  const auto problem = instance(static_cast<std::size_t>(state.range(0)));
+  core::LddmScheduler scheduler;
+  core::ScheduleResult result;
+  for (auto _ : state) result = scheduler.schedule(problem);
+  state.counters["replicas"] = static_cast<double>(state.range(0));
+  state.counters["rounds"] = static_cast<double>(result.rounds);
+  state.counters["bytes_per_round"] =
+      result.rounds ? static_cast<double>(result.bytes) / result.rounds : 0.0;
+}
+BENCHMARK(BM_Scaling_Lddm)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Scaling_Cdpsm(benchmark::State& state) {
+  const auto problem = instance(static_cast<std::size_t>(state.range(0)));
+  core::CdpsmScheduler scheduler;
+  core::ScheduleResult result;
+  for (auto _ : state) result = scheduler.schedule(problem);
+  state.counters["replicas"] = static_cast<double>(state.range(0));
+  state.counters["rounds"] = static_cast<double>(result.rounds);
+  state.counters["bytes_per_round"] =
+      result.rounds ? static_cast<double>(result.bytes) / result.rounds : 0.0;
+}
+BENCHMARK(BM_Scaling_Cdpsm)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Scaling_Donar(benchmark::State& state) {
+  const auto problem = instance(static_cast<std::size_t>(state.range(0)));
+  baselines::DonarOptions options;
+  options.num_mapping_nodes =
+      static_cast<std::size_t>(state.range(0));  // mapping tier scales too
+  baselines::DonarScheduler scheduler{options};
+  core::ScheduleResult result;
+  for (auto _ : state) result = scheduler.schedule(problem);
+  state.counters["mapping_nodes"] = static_cast<double>(state.range(0));
+  state.counters["rounds"] = static_cast<double>(result.rounds);
+  state.counters["bytes_per_round"] =
+      result.rounds ? static_cast<double>(result.bytes) / result.rounds : 0.0;
+}
+BENCHMARK(BM_Scaling_Donar)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  edr::bench::banner("Ablation: scaling",
+                     "per-round coordination bytes & wall time vs system "
+                     "size (LDDM O(CN) / CDPSM O(CN^3) / DONAR O(CNM))");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation — LDDM warm starting across scheduling epochs (a runtime
+// extension beyond the paper: the EDR system carries dual multipliers and
+// primal columns from epoch to epoch, which shortens each epoch's solve).
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace edr;
+
+core::RunReport run_system(bool warm) {
+  auto cfg = analysis::paper_config(core::Algorithm::kLddm);
+  cfg.warm_start_lddm = warm;
+  cfg.record_traces = false;
+  core::EdrSystem system(
+      cfg,
+      analysis::paper_trace(workload::distributed_file_service(), 42, 60.0));
+  return system.run();
+}
+
+void BM_Abl_WarmStart(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  core::RunReport report;
+  for (auto _ : state) report = run_system(warm);
+  state.counters["warm"] = warm ? 1.0 : 0.0;
+  state.counters["total_rounds"] = static_cast<double>(report.total_rounds);
+  state.counters["rounds_per_epoch"] =
+      report.epochs ? static_cast<double>(report.total_rounds) /
+                          static_cast<double>(report.epochs)
+                    : 0.0;
+  state.counters["mean_response_ms"] = report.mean_response_ms();
+  state.counters["active_cost_mcents"] = report.total_active_cost * 1e3;
+}
+BENCHMARK(BM_Abl_WarmStart)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  edr::bench::banner("Ablation: warm start",
+                     "LDDM dual/primal warm starting across epochs: rounds "
+                     "per epoch, response time, and cost");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

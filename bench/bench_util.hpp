@@ -1,0 +1,50 @@
+// Shared helpers for the figure-regeneration benchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/experiments.hpp"
+#include "common/table.hpp"
+
+namespace edr::bench {
+
+/// Print a banner tying the binary to its paper figure.
+inline void banner(const char* figure, const char* description) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("EDR reproduction (CLUSTER 2013); shapes comparable, absolute\n");
+  std::printf("numbers depend on the simulated substrate (see EXPERIMENTS.md).\n");
+  std::printf("==================================================================\n\n");
+}
+
+/// Run a power-profile experiment (Figs 3-4) and print the per-replica
+/// summary that characterizes the paper's traces.
+inline core::RunReport run_power_profile(core::Algorithm algorithm,
+                                         SimTime horizon) {
+  auto cfg = analysis::paper_config(algorithm);
+  cfg.record_traces = true;
+  core::EdrSystem system(
+      cfg, analysis::paper_trace(workload::distributed_file_service(), 42,
+                                 horizon));
+  return system.run();
+}
+
+inline void print_power_table(const core::RunReport& report) {
+  Table table({"replica", "min W", "mean W", "max W", "energy J",
+               "active J", "assigned MB"});
+  for (std::size_t n = 0; n < report.replicas.size(); ++n) {
+    const auto& rep = report.replicas[n];
+    table.add_row({"replica" + std::to_string(n + 1),
+                   Table::num(rep.trace.min_watts(), 1),
+                   Table::num(rep.trace.mean_watts(), 1),
+                   Table::num(rep.trace.max_watts(), 1),
+                   Table::num(rep.energy, 0), Table::num(rep.active_energy, 0),
+                   Table::num(rep.assigned_mb, 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace edr::bench

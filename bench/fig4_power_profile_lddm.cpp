@@ -1,0 +1,51 @@
+// Fig 4 — runtime power profile of each replica under EDR-LDDM (distributed
+// file service).  Compared to CDPSM (Fig 3): a narrower 215-225 W band
+// (client<->replica coordination only, no all-to-all matrix exchange) and
+// flat lines on replicas EDR never selects for downloads (the paper's
+// replicas 3 and 5).
+#include "bench_util.hpp"
+
+#include "common/csv.hpp"
+
+namespace {
+
+edr::core::RunReport g_report;
+
+void BM_Fig4_LddmPowerProfile(benchmark::State& state) {
+  for (auto _ : state)
+    g_report =
+        edr::bench::run_power_profile(edr::core::Algorithm::kLddm, 100.0);
+  state.counters["replicas"] = static_cast<double>(g_report.replicas.size());
+  state.counters["total_energy_J"] = g_report.total_energy;
+  state.counters["active_energy_J"] = g_report.total_active_energy;
+  state.counters["rounds"] = static_cast<double>(g_report.total_rounds);
+}
+BENCHMARK(BM_Fig4_LddmPowerProfile)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  edr::bench::banner("Fig 4",
+                     "runtime power profile per replica, EDR-LDDM, "
+                     "distributed file service");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  edr::bench::print_power_table(g_report);
+
+  edr::CsvWriter csv{std::string{"fig4_traces.csv"}};
+  csv.row({"replica", "time_s", "watts"});
+  for (std::size_t n = 0; n < g_report.replicas.size(); ++n) {
+    for (const auto& sample : g_report.replicas[n].trace.samples) {
+      csv.field("replica" + std::to_string(n + 1))
+          .field(sample.time)
+          .field(sample.watts);
+      csv.end_row();
+    }
+  }
+  std::printf("full 50 Hz traces written to fig4_traces.csv\n");
+  benchmark::Shutdown();
+  return 0;
+}

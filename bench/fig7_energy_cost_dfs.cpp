@@ -1,0 +1,54 @@
+// Fig 7 — per-replica energy cost for the distributed file service (10 MB
+// requests), same three schedulers and prices as Fig 6.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace edr;
+
+std::vector<analysis::ComparisonRow> g_rows;
+
+void BM_Fig7_DistributedFileService(benchmark::State& state) {
+  for (auto _ : state)
+    g_rows = analysis::run_comparison(
+        {core::Algorithm::kLddm, core::Algorithm::kCdpsm,
+         core::Algorithm::kRoundRobin},
+        workload::distributed_file_service(), 7, 42, 100.0);
+  for (const auto& row : g_rows)
+    state.counters[row.name + "_active_cost"] =
+        row.report.total_active_cost;
+}
+BENCHMARK(BM_Fig7_DistributedFileService)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  edr::bench::banner("Fig 7",
+                     "energy cost of each replica, distributed file "
+                     "service, LDDM / CDPSM / Round-Robin");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  const double prices[] = {1, 8, 1, 6, 1, 5, 2, 3};
+  edr::Table table({"replica", "price", "LDDM mcents", "CDPSM mcents",
+                    "RoundRobin mcents", "LDDM MB", "RR MB"});
+  for (std::size_t n = 0; n < 8; ++n) {
+    table.add_row(
+        {std::to_string(n + 1), edr::Table::num(prices[n], 0),
+         edr::Table::num(g_rows[0].report.replicas[n].active_cost * 1e3, 3),
+         edr::Table::num(g_rows[1].report.replicas[n].active_cost * 1e3, 3),
+         edr::Table::num(g_rows[2].report.replicas[n].active_cost * 1e3, 3),
+         edr::Table::num(g_rows[0].report.replicas[n].assigned_mb, 0),
+         edr::Table::num(g_rows[2].report.replicas[n].assigned_mb, 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "totals (active, millicents): LDDM=%.3f CDPSM=%.3f RoundRobin=%.3f\n",
+      g_rows[0].report.total_active_cost * 1e3,
+      g_rows[1].report.total_active_cost * 1e3,
+      g_rows[2].report.total_active_cost * 1e3);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fig 8 — total energy cost (a) and total energy consumption (b) across
+// both applications and the three schedulers, plus the paper's randomized
+// multi-run sweep behind its headline averages:
+//   "the LDDM-based EDR can save an average of 12% energy cost compared to
+//    the Round-Robin method, while CDPSM-based EDR can save an average of
+//    22.64% energy consumption."
+// The expected shapes: LDDM cheapest in cents for both apps; CDPSM can burn
+// FEWER joules than LDDM on video streaming while still costing more — the
+// objective is cents, not joules.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace edr;
+
+std::vector<analysis::ComparisonRow> g_video, g_dfs;
+analysis::SavingsSummary g_sweep;
+
+void BM_Fig8a_VideoTotals(benchmark::State& state) {
+  for (auto _ : state)
+    g_video = analysis::run_comparison(
+        {core::Algorithm::kLddm, core::Algorithm::kCdpsm,
+         core::Algorithm::kRoundRobin},
+        workload::video_streaming(), 7, 42, 100.0);
+  for (const auto& row : g_video) {
+    state.counters[row.name + "_cost"] = row.report.total_active_cost;
+    state.counters[row.name + "_joules"] = row.report.total_active_energy;
+  }
+}
+BENCHMARK(BM_Fig8a_VideoTotals)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Fig8a_DfsTotals(benchmark::State& state) {
+  for (auto _ : state)
+    g_dfs = analysis::run_comparison(
+        {core::Algorithm::kLddm, core::Algorithm::kCdpsm,
+         core::Algorithm::kRoundRobin},
+        workload::distributed_file_service(), 7, 42, 100.0);
+  for (const auto& row : g_dfs) {
+    state.counters[row.name + "_cost"] = row.report.total_active_cost;
+    state.counters[row.name + "_joules"] = row.report.total_active_energy;
+  }
+}
+BENCHMARK(BM_Fig8a_DfsTotals)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Fig8_SavingsSweep(benchmark::State& state) {
+  // The paper averages over 40 randomized runs; 12 runs keep this binary
+  // under a minute while the averages are already stable.  Video streaming
+  // is the app where Round-Robin's request-granular imbalance also wastes
+  // energy (the consumption side of the paper's claim).
+  for (auto _ : state)
+    g_sweep = analysis::run_savings_sweep(workload::video_streaming(), 12,
+                                          1000, 40.0);
+  state.counters["lddm_cost_saving_pct"] = g_sweep.lddm_cost_saving * 100.0;
+  state.counters["cdpsm_cost_saving_pct"] = g_sweep.cdpsm_cost_saving * 100.0;
+  state.counters["cdpsm_energy_saving_pct"] =
+      g_sweep.cdpsm_energy_saving * 100.0;
+}
+BENCHMARK(BM_Fig8_SavingsSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  edr::bench::banner("Fig 8",
+                     "total energy cost (a) and consumption (b), both "
+                     "applications, three schedulers + randomized sweep");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  edr::Table table({"app", "scheduler", "active cost (mcents)",
+                    "active energy (J)", "total cost (cents)",
+                    "total energy (kJ)"});
+  auto add = [&](const char* app,
+                 const std::vector<analysis::ComparisonRow>& rows) {
+    for (const auto& row : rows)
+      table.add_row({app, row.name,
+                     edr::Table::num(row.report.total_active_cost * 1e3, 3),
+                     edr::Table::num(row.report.total_active_energy, 0),
+                     edr::Table::num(row.report.total_cost, 4),
+                     edr::Table::num(row.report.total_energy / 1e3, 1)});
+  };
+  add("video-streaming", g_video);
+  add("dfs", g_dfs);
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("randomized sweep over %zu price configurations:\n",
+              g_sweep.runs);
+  std::printf("  LDDM  active-cost saving vs RoundRobin: %5.1f%%  (paper: ~12%% total-cost)\n",
+              g_sweep.lddm_cost_saving * 100.0);
+  std::printf("  CDPSM active-cost saving vs RoundRobin: %5.1f%%\n",
+              g_sweep.cdpsm_cost_saving * 100.0);
+  std::printf("  CDPSM active-energy saving vs RoundRobin: %5.1f%%  (paper: ~22.64%% consumption)\n",
+              g_sweep.cdpsm_energy_saving * 100.0);
+  std::printf("  LDDM  active-energy saving vs RoundRobin: %5.1f%%\n",
+              g_sweep.lddm_energy_saving * 100.0);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// edr_sim — the command-line front end to the whole system.
+//
+// Runs a configurable end-to-end simulation and prints a human-readable
+// summary (or machine-readable JSON with --json), e.g.:
+//
+//   ./examples/edr_sim --algorithm lddm --app dfs --horizon 60 --seed 7
+//   ./examples/edr_sim --algorithm cdpsm --app video --replicas 4 --json
+//   ./examples/edr_sim --algorithm lddm --fail-replica 0 --fail-at 20 \
+//                      --recover-at 40
+//   ./examples/edr_sim --trace my_trace.csv --algorithm rr
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "analysis/report_json.hpp"
+#include "common/args.hpp"
+#include "common/table.hpp"
+#include "optim/instance.hpp"
+
+namespace {
+
+using namespace edr;
+
+core::Algorithm parse_algorithm(const std::string& name) {
+  if (name == "lddm") return core::Algorithm::kLddm;
+  if (name == "cdpsm") return core::Algorithm::kCdpsm;
+  if (name == "central") return core::Algorithm::kCentralized;
+  if (name == "rr") return core::Algorithm::kRoundRobin;
+  throw std::invalid_argument(
+      "unknown algorithm '" + name + "' (lddm|cdpsm|central|rr)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string algorithm = "lddm";
+  std::string app_name = "dfs";
+  std::string trace_path;
+  double horizon = 60.0;
+  std::uint64_t replicas = 8;
+  std::uint64_t clients = 8;
+  std::uint64_t seed = 7;
+  std::uint64_t trace_seed = 42;
+  double fail_at = -1.0, recover_at = -1.0;
+  std::int64_t fail_replica = -1;
+  bool json = false;
+  bool traces = false;
+
+  ArgParser parser{"edr_sim", "run the EDR system end to end"};
+  parser.add_option("algorithm", "scheduler: lddm|cdpsm|central|rr",
+                    &algorithm);
+  parser.add_option("app", "workload: dfs|video (ignored with --trace)",
+                    &app_name);
+  parser.add_option("trace", "replay a CSV trace instead of generating one",
+                    &trace_path);
+  parser.add_option("horizon", "generated-trace length in seconds", &horizon);
+  parser.add_option("replicas", "number of replicas (paper prices repeat)",
+                    &replicas);
+  parser.add_option("clients", "number of clients", &clients);
+  parser.add_option("seed", "system seed (latencies etc.)", &seed);
+  parser.add_option("trace-seed", "workload seed", &trace_seed);
+  parser.add_option("fail-replica", "replica to crash (-1 = none)",
+                    &fail_replica);
+  parser.add_option("fail-at", "crash time in seconds", &fail_at);
+  parser.add_option("recover-at", "recovery time in seconds (-1 = never)",
+                    &recover_at);
+  parser.add_flag("json", "emit the run report as JSON", &json);
+  parser.add_flag("power-traces", "record 50 Hz power traces", &traces);
+  if (!parser.parse(argc, argv, std::cerr))
+    return parser.help_requested() ? 0 : 2;
+
+  try {
+    auto cfg = analysis::paper_config(parse_algorithm(algorithm), seed);
+    if (replicas != 8) {
+      const auto base = optim::paper_replica_set();
+      cfg.replicas.clear();
+      for (std::uint64_t n = 0; n < replicas; ++n)
+        cfg.replicas.push_back(base[n % base.size()]);
+    }
+    cfg.num_clients = clients;
+    cfg.record_traces = traces;
+
+    workload::Trace trace;
+    if (!trace_path.empty()) {
+      std::ifstream in(trace_path);
+      if (!in) throw std::runtime_error("cannot open trace " + trace_path);
+      trace = workload::Trace::load_csv(in);
+    } else {
+      const auto app = app_name == "video"
+                           ? workload::video_streaming()
+                           : workload::distributed_file_service();
+      Rng rng{trace_seed};
+      workload::TraceOptions topts;
+      topts.num_clients = clients;
+      topts.horizon = horizon;
+      trace = workload::Trace::generate(rng, app, topts);
+    }
+
+    core::EdrSystem system(cfg, std::move(trace));
+    if (fail_replica >= 0 && fail_at >= 0.0) {
+      system.inject_failure(static_cast<std::size_t>(fail_replica), fail_at);
+      if (recover_at > fail_at)
+        system.inject_recovery(static_cast<std::size_t>(fail_replica),
+                               recover_at);
+    }
+    const auto report = system.run();
+
+    if (json) {
+      std::printf("%s\n", analysis::report_to_json(report, algorithm).c_str());
+      return 0;
+    }
+
+    std::printf("%s on %zu replicas, %zu clients\n", algorithm.c_str(),
+                report.replicas.size(), static_cast<std::size_t>(clients));
+    Table table({"metric", "value"});
+    table.add_row({"requests served", std::to_string(report.requests_served)});
+    table.add_row({"requests dropped",
+                   std::to_string(report.requests_dropped)});
+    table.add_row({"megabytes served", Table::num(report.megabytes_served, 0)});
+    table.add_row({"epochs / rounds", std::to_string(report.epochs) + " / " +
+                                          std::to_string(report.total_rounds)});
+    table.add_row({"active cost (mcents)",
+                   Table::num(report.total_active_cost * 1e3, 3)});
+    table.add_row({"active energy (J)",
+                   Table::num(report.total_active_energy, 0)});
+    table.add_row({"total cost (cents)", Table::num(report.total_cost, 4)});
+    table.add_row({"mean response (ms)",
+                   Table::num(report.mean_response_ms(), 1)});
+    table.add_row({"p99 response (ms)",
+                   Table::num(report.p99_response_ms(), 1)});
+    table.add_row({"control traffic (MB)",
+                   Table::num(static_cast<double>(report.control_bytes) / 1e6,
+                              2)});
+    std::printf("%s", table.to_string().c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "edr_sim: %s\n", error.what());
+    return 1;
+  }
+}

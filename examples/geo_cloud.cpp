@@ -1,0 +1,81 @@
+// Geo-distributed cloud: WAN latencies, real-world-flavoured regional
+// tariffs, and the latency bound T as a policy knob.
+//
+// The paper's evaluation runs on a single LAN cluster; this example pushes
+// the same system into the setting its introduction motivates — replicas in
+// eight US regions with heterogeneous electricity prices and wide-area
+// client latencies — and sweeps the user-defined latency bound T to show
+// the cost/latency tradeoff: a looser bound admits cheaper-but-farther
+// replicas, so EDR's bill drops as T grows.
+//
+//   ./examples/geo_cloud
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/system.hpp"
+#include "power/pricing.hpp"
+#include "workload/apps.hpp"
+
+int main() {
+  using namespace edr;
+
+  const auto regions = power::PriceBook::us_regions();
+  std::printf("regions (¢/kWh): ");
+  for (std::size_t n = 0; n < regions.size(); ++n)
+    std::printf("%s=%.0f%s", regions.region(n).name.c_str(),
+                regions.price(n), n + 1 < regions.size() ? ", " : "\n\n");
+
+  Table table({"latency bound T (ms)", "active cost (mcents)",
+               "feasible pairs", "MB on cheapest 3 regions"});
+
+  for (const double bound : {8.0, 15.0, 25.0, 40.0}) {
+    core::SystemConfig cfg;
+    cfg.algorithm = core::Algorithm::kLddm;
+    cfg.replicas.resize(regions.size());
+    for (std::size_t n = 0; n < regions.size(); ++n) {
+      cfg.replicas[n].price = regions.price(n);
+      cfg.replicas[n].bandwidth = 100.0;
+    }
+    cfg.num_clients = 10;
+    // Wide-area latencies: 2-35 ms instead of the LAN's sub-millisecond.
+    cfg.min_link_latency = 2.0;
+    cfg.max_link_latency = 35.0;
+    cfg.max_latency = bound;
+    cfg.seed = 11;
+    cfg.record_traces = false;
+
+    Rng rng{42};
+    workload::TraceOptions topts;
+    topts.num_clients = 10;
+    topts.horizon = 30.0;
+    auto trace = workload::Trace::generate(
+        rng, workload::distributed_file_service(), topts);
+
+    core::EdrSystem system(cfg, std::move(trace));
+    const auto report = system.run();
+
+    // Count feasible pairs under this bound (from the generated matrix the
+    // system used — regenerate it the same way for reporting).
+    Rng lat_rng{11};
+    const Matrix latency = core::make_latency_matrix(
+        lat_rng, 10, regions.size(), 2.0, 35.0, bound);
+    std::size_t feasible = 0;
+    for (std::size_t c = 0; c < 10; ++c)
+      for (std::size_t n = 0; n < regions.size(); ++n)
+        if (latency(c, n) <= bound) ++feasible;
+
+    // Cheapest three regions: northwest (4), south (6), midwest (7).
+    const double cheap_mb = report.replicas[0].assigned_mb +
+                            report.replicas[2].assigned_mb +
+                            report.replicas[1].assigned_mb;
+    table.add_row({Table::num(bound, 0),
+                   Table::num(report.total_active_cost * 1e3, 3),
+                   std::to_string(feasible) + "/80",
+                   Table::num(cheap_mb, 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("loosening T admits more of the cheap regions into each\n"
+              "client's feasible set, so the energy bill falls — the\n"
+              "latency/cost policy tradeoff EDR exposes to operators.\n");
+  return 0;
+}

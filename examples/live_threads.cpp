@@ -1,0 +1,208 @@
+// Live multithreaded EDR: the paper's §III-C process structure with real
+// threads instead of the discrete-event simulator.
+//
+// Each replica runs as its own thread (the paper's ReplicaListener role),
+// each client as another (the requesting side), all communicating purely by
+// message passing over bounded mailboxes — no shared mutable state.  The
+// threads execute the LDDM protocol exactly as the simulator agents do:
+//
+//   client c ----- mu_c -----> every replica        (round r)
+//   replica n --- load_{c,n} --> every client        (round r)
+//   client c : mu_c += t · (Σ_n load_{c,n} − R_c)
+//
+// After a fixed number of rounds the replicas ship their final columns to
+// the collector, which assembles the allocation, repairs feasibility, and
+// compares the cost against Round-Robin and the centralized optimum.
+//
+//   ./examples/live_threads [num_replicas] [num_clients] [rounds]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/scheduler.hpp"
+#include "net/inproc.hpp"
+#include "optim/instance.hpp"
+#include "optim/objective.hpp"
+#include "optim/projection.hpp"
+
+namespace {
+
+using namespace edr;
+
+enum MessageType : int {
+  kMu = 1,      // client -> replica: (round, mu_c)
+  kLoad = 2,    // replica -> client: (round, load for that client)
+  kDone = 3,    // client -> replica: protocol over
+  kColumn = 4,  // replica -> collector: final column
+};
+
+struct RoundValue {
+  std::size_t round;
+  double value;
+};
+
+struct LiveConfig {
+  std::size_t replicas = 4;
+  std::size_t clients = 6;
+  std::size_t rounds = 300;
+  double rho = 2.0;
+};
+
+void replica_main(const LiveConfig& live, const optim::Problem& problem,
+                  std::size_t n, net::InprocTransport& transport) {
+  const std::size_t clients = problem.num_clients();
+  std::vector<double> mask(clients), prox(clients, 0.0);
+  for (std::size_t c = 0; c < clients; ++c)
+    mask[c] = problem.feasible_pair(c, n) ? 1.0 : 0.0;
+
+  std::map<std::size_t, std::map<std::size_t, double>> mu_by_round;
+  std::size_t done_count = 0;
+
+  while (done_count < clients) {
+    const auto msg = transport.receive(static_cast<net::NodeId>(n));
+    if (!msg) break;  // transport shut down
+    if (msg->type == kDone) {
+      ++done_count;
+      continue;
+    }
+    if (msg->type != kMu) continue;
+    const auto [round, mu_value] = std::any_cast<RoundValue>(msg->payload);
+    const std::size_t client = msg->from - live.replicas;
+    auto& round_mus = mu_by_round[round];
+    round_mus[client] = mu_value;
+    if (round_mus.size() < clients) continue;
+
+    // Full multiplier vector for this round: solve the local subproblem.
+    std::vector<double> mu(clients);
+    for (const auto& [c, value] : round_mus) mu[c] = value;
+    const auto result = optim::solve_replica_subproblem(
+        problem.replica(n), mu, mask, prox, live.rho);
+    prox = result.allocation;
+    mu_by_round.erase(round);
+
+    for (std::size_t c = 0; c < clients; ++c) {
+      net::Message reply;
+      reply.from = static_cast<net::NodeId>(n);
+      reply.to = static_cast<net::NodeId>(live.replicas + c);
+      reply.type = kLoad;
+      reply.bytes = 12;
+      reply.payload = RoundValue{round, result.allocation[c]};
+      transport.send(std::move(reply));
+    }
+  }
+
+  // Ship the final column to the collector.
+  net::Message column;
+  column.from = static_cast<net::NodeId>(n);
+  column.to = static_cast<net::NodeId>(live.replicas + live.clients);
+  column.type = kColumn;
+  column.bytes = 8 * prox.size();
+  column.payload = prox;
+  transport.send(std::move(column));
+}
+
+void client_main(const LiveConfig& live, const optim::Problem& problem,
+                 std::size_t c, net::InprocTransport& transport) {
+  const net::NodeId self = static_cast<net::NodeId>(live.replicas + c);
+  double mu = -2.0;  // any start converges; see LddmEngine for a smarter one
+  const double step = live.rho / static_cast<double>(live.replicas);
+
+  for (std::size_t round = 0; round < live.rounds; ++round) {
+    for (std::size_t n = 0; n < live.replicas; ++n) {
+      net::Message msg;
+      msg.from = self;
+      msg.to = static_cast<net::NodeId>(n);
+      msg.type = kMu;
+      msg.bytes = 12;
+      msg.payload = RoundValue{round, mu};
+      transport.send(std::move(msg));
+    }
+    double served = 0.0;
+    std::size_t replies = 0;
+    while (replies < live.replicas) {
+      const auto msg = transport.receive(self);
+      if (!msg) return;
+      if (msg->type != kLoad) continue;
+      const auto [reply_round, load] = std::any_cast<RoundValue>(msg->payload);
+      if (reply_round != round) continue;  // stale (cannot happen: FIFO)
+      served += load;
+      ++replies;
+    }
+    mu += step * (served - problem.demand(c));
+  }
+  for (std::size_t n = 0; n < live.replicas; ++n) {
+    net::Message done;
+    done.from = self;
+    done.to = static_cast<net::NodeId>(n);
+    done.type = kDone;
+    done.bytes = 4;
+    transport.send(std::move(done));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LiveConfig live;
+  if (argc > 1) live.replicas = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) live.clients = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) live.rounds = std::strtoul(argv[3], nullptr, 10);
+
+  Rng rng{7};
+  optim::InstanceOptions opts;
+  opts.num_clients = live.clients;
+  opts.num_replicas = live.replicas;
+  const optim::Problem problem = optim::make_random_instance(rng, opts);
+
+  std::printf("live threaded LDDM: %zu replica threads, %zu client threads, "
+              "%zu rounds\n\n",
+              live.replicas, live.clients, live.rounds);
+
+  net::InprocTransport transport{live.replicas + live.clients + 1};
+  std::vector<std::thread> threads;
+  for (std::size_t n = 0; n < live.replicas; ++n)
+    threads.emplace_back(replica_main, std::cref(live), std::cref(problem), n,
+                         std::ref(transport));
+  for (std::size_t c = 0; c < live.clients; ++c)
+    threads.emplace_back(client_main, std::cref(live), std::cref(problem), c,
+                         std::ref(transport));
+
+  // Collector: assemble the final allocation from the replicas' columns.
+  Matrix allocation(live.clients, live.replicas, 0.0);
+  const net::NodeId collector =
+      static_cast<net::NodeId>(live.replicas + live.clients);
+  for (std::size_t received = 0; received < live.replicas; ++received) {
+    const auto msg = transport.receive(collector);
+    if (!msg || msg->type != kColumn) break;
+    const auto& column = std::any_cast<const std::vector<double>&>(msg->payload);
+    for (std::size_t c = 0; c < live.clients; ++c)
+      allocation(c, msg->from) = column[c];
+  }
+  for (auto& thread : threads) thread.join();
+  transport.close_all();
+
+  optim::project_feasible(problem, allocation);
+
+  core::CentralizedScheduler central;
+  const double threaded_cost = problem.total_cost(allocation);
+  const double central_cost =
+      problem.total_cost(central.schedule(problem).allocation);
+  const double rr_cost =
+      problem.total_cost(core::round_robin_allocation(problem));
+
+  Table table({"solver", "cost (model units)", "gap vs optimum"});
+  table.add_row({"threaded LDDM", Table::num(threaded_cost, 3),
+                 Table::pct((threaded_cost - central_cost) / central_cost, 2)});
+  table.add_row({"centralized", Table::num(central_cost, 3), "0.00%"});
+  table.add_row({"round-robin", Table::num(rr_cost, 3),
+                 Table::pct((rr_cost - central_cost) / central_cost, 2)});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("the threaded run used only message passing between %zu "
+              "threads —\nno shared mutable state, as in the paper's "
+              "TCP-socket prototype.\n",
+              live.replicas + live.clients);
+  return 0;
+}

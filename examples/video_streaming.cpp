@@ -1,0 +1,56 @@
+// Video streaming on the full simulated cluster (paper §IV workload #1).
+//
+// Replays a YouTube-patterned trace of ~100 MB requests through the
+// complete EDR runtime — batching epochs, distributed LDDM/CDPSM solving
+// over the simulated network, paced transfers, 50 Hz power metering, ring
+// fault monitoring — once per scheduling algorithm, and prints the
+// paper-style per-replica cost breakdown.
+//
+//   ./examples/video_streaming
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace edr;
+
+  std::printf("running video streaming (100 MB requests, YouTube-like "
+              "pattern) through 4 schedulers...\n\n");
+  const auto rows = analysis::run_comparison(
+      {core::Algorithm::kLddm, core::Algorithm::kCdpsm,
+       core::Algorithm::kRoundRobin, core::Algorithm::kCentralized},
+      workload::video_streaming(), /*config_seed=*/7, /*trace_seed=*/42,
+      /*horizon=*/60.0);
+
+  Table totals({"scheduler", "active cost (mcents)", "active energy (J)",
+                "rounds", "mean resp (ms)", "p99 resp (ms)", "ctrl MB"});
+  for (const auto& row : rows) {
+    totals.add_row(
+        {row.name, Table::num(row.report.total_active_cost * 1e3, 3),
+         Table::num(row.report.total_active_energy, 0),
+         std::to_string(row.report.total_rounds),
+         Table::num(row.report.mean_response_ms(), 0),
+         Table::num(row.report.p99_response_ms(), 0),
+         Table::num(static_cast<double>(row.report.control_bytes) / 1e6, 2)});
+  }
+  std::printf("%s\n", totals.to_string().c_str());
+
+  const double prices[] = {1, 8, 1, 6, 1, 5, 2, 3};
+  Table perrep({"replica", "price", "LDDM MB", "RR MB", "LDDM mcents",
+                "RR mcents"});
+  const auto& lddm = rows[0].report;
+  const auto& rr = rows[2].report;
+  for (std::size_t n = 0; n < 8; ++n)
+    perrep.add_row({std::to_string(n + 1), Table::num(prices[n], 0),
+                    Table::num(lddm.replicas[n].assigned_mb, 0),
+                    Table::num(rr.replicas[n].assigned_mb, 0),
+                    Table::num(lddm.replicas[n].active_cost * 1e3, 3),
+                    Table::num(rr.replicas[n].active_cost * 1e3, 3)});
+  std::printf("%s\n", perrep.to_string().c_str());
+
+  std::printf("note how EDR concentrates video traffic on the 1-2 ¢/kWh "
+              "replicas while\nRound-Robin splits it evenly regardless of "
+              "regional prices.\n");
+  return 0;
+}

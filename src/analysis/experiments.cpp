@@ -1,0 +1,101 @@
+#include "analysis/experiments.hpp"
+
+#include "common/math_util.hpp"
+#include "optim/instance.hpp"
+
+namespace edr::analysis {
+
+core::SystemConfig paper_config(core::Algorithm algorithm,
+                                std::uint64_t seed) {
+  core::SystemConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.replicas = optim::paper_replica_set();
+  cfg.num_clients = 8;
+  // SystemG is a single-LAN cluster: sub-millisecond links, with T = 1.8 ms
+  // the worst-case full-size-frame latency bound (§IV-A).
+  cfg.min_link_latency = 0.05;
+  cfg.max_link_latency = 0.35;
+  cfg.max_latency = 1.8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+workload::Trace paper_trace(const workload::AppProfile& app,
+                            std::uint64_t seed, SimTime horizon) {
+  Rng rng{seed};
+  workload::TraceOptions options;
+  options.num_clients = 8;
+  options.horizon = horizon;
+  return workload::Trace::generate(rng, app, options);
+}
+
+std::vector<ComparisonRow> run_comparison(
+    const std::vector<core::Algorithm>& algorithms,
+    const workload::AppProfile& app, std::uint64_t config_seed,
+    std::uint64_t trace_seed, SimTime horizon, bool record_traces) {
+  std::vector<ComparisonRow> rows;
+  for (const auto algorithm : algorithms) {
+    auto cfg = paper_config(algorithm, config_seed);
+    cfg.record_traces = record_traces;
+    core::EdrSystem system(std::move(cfg),
+                           paper_trace(app, trace_seed, horizon));
+    rows.push_back(
+        {algorithm, core::algorithm_name(algorithm), system.run()});
+  }
+  return rows;
+}
+
+SavingsSummary run_savings_sweep(const workload::AppProfile& app,
+                                 std::size_t runs, std::uint64_t base_seed,
+                                 SimTime horizon) {
+  SavingsSummary summary;
+  std::vector<double> lddm_cost_samples, cdpsm_energy_samples;
+  Rng price_rng{base_seed};
+  for (std::size_t run = 0; run < runs; ++run) {
+    // Random regional prices per run (paper §IV-A.2), shared across the
+    // three algorithms; same trace per run.
+    std::vector<optim::ReplicaParams> replicas = optim::paper_replica_set();
+    for (auto& rep : replicas)
+      rep.price = static_cast<double>(price_rng.uniform_int(1, 20));
+    const std::uint64_t trace_seed = base_seed + 17 * run + 1;
+
+    double cost[3] = {0, 0, 0};
+    double energy[3] = {0, 0, 0};
+    const core::Algorithm algos[3] = {core::Algorithm::kLddm,
+                                      core::Algorithm::kCdpsm,
+                                      core::Algorithm::kRoundRobin};
+    for (int a = 0; a < 3; ++a) {
+      auto cfg = paper_config(algos[a], base_seed + run);
+      cfg.replicas = replicas;
+      cfg.record_traces = false;
+      core::EdrSystem system(std::move(cfg),
+                             paper_trace(app, trace_seed, horizon));
+      const auto report = system.run();
+      cost[a] = report.total_active_cost;
+      energy[a] = report.total_active_energy;
+    }
+    if (cost[2] > 0.0) {
+      lddm_cost_samples.push_back((cost[2] - cost[0]) / cost[2]);
+      summary.lddm_cost_saving += lddm_cost_samples.back();
+      summary.cdpsm_cost_saving += (cost[2] - cost[1]) / cost[2];
+    }
+    if (energy[2] > 0.0) {
+      cdpsm_energy_samples.push_back((energy[2] - energy[1]) / energy[2]);
+      summary.lddm_energy_saving += (energy[2] - energy[0]) / energy[2];
+      summary.cdpsm_energy_saving += cdpsm_energy_samples.back();
+    }
+    ++summary.runs;
+  }
+  if (summary.runs > 0) {
+    const auto n = static_cast<double>(summary.runs);
+    summary.lddm_cost_saving /= n;
+    summary.cdpsm_cost_saving /= n;
+    summary.lddm_energy_saving /= n;
+    summary.cdpsm_energy_saving /= n;
+    summary.lddm_cost_saving_stddev = stddev(lddm_cost_samples);
+    summary.cdpsm_energy_saving_stddev = stddev(cdpsm_energy_samples);
+  }
+  return summary;
+}
+
+}  // namespace edr::analysis

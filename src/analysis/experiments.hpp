@@ -1,0 +1,64 @@
+// Experiment presets: the paper's §IV-A setup, shared by every bench binary
+// and example so the figures all run against the same configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "workload/apps.hpp"
+#include "workload/trace.hpp"
+
+namespace edr::analysis {
+
+/// The paper's system setup: 8 replicas with prices (1,8,1,6,1,5,2,3),
+/// 100 MB/s caps, T = 1.8 ms, SystemG-like power model, 50 Hz metering.
+[[nodiscard]] core::SystemConfig paper_config(core::Algorithm algorithm,
+                                              std::uint64_t seed = 7);
+
+/// A YouTube-patterned trace for `app` over `horizon` seconds (one full
+/// compressed diurnal cycle), 8 clients.
+[[nodiscard]] workload::Trace paper_trace(const workload::AppProfile& app,
+                                          std::uint64_t seed = 42,
+                                          SimTime horizon = 100.0);
+
+/// One algorithm's end-to-end result on one workload.
+struct ComparisonRow {
+  core::Algorithm algorithm;
+  std::string name;
+  core::RunReport report;
+};
+
+/// Run the same trace through each algorithm (identical seeds/config
+/// otherwise).
+[[nodiscard]] std::vector<ComparisonRow> run_comparison(
+    const std::vector<core::Algorithm>& algorithms,
+    const workload::AppProfile& app, std::uint64_t config_seed = 7,
+    std::uint64_t trace_seed = 42, SimTime horizon = 100.0,
+    bool record_traces = false);
+
+/// The paper's "40 runs under various configurations" sweep (Fig 8 text):
+/// random prices in [1, 20] per run, same trace per run across algorithms.
+struct SavingsSummary {
+  std::size_t runs = 0;
+  /// Mean relative saving of EDR-LDDM vs Round-Robin in active cost
+  /// (paper: ~12% total cost saving).
+  double lddm_cost_saving = 0.0;
+  /// Mean relative saving of EDR-CDPSM vs Round-Robin in active energy
+  /// (paper: ~22.64% consumption saving).
+  double cdpsm_energy_saving = 0.0;
+  double lddm_energy_saving = 0.0;
+  double cdpsm_cost_saving = 0.0;
+  /// Sample standard deviations of the per-run savings (spread across
+  /// price configurations, not measurement noise — runs are deterministic).
+  double lddm_cost_saving_stddev = 0.0;
+  double cdpsm_energy_saving_stddev = 0.0;
+};
+
+[[nodiscard]] SavingsSummary run_savings_sweep(const workload::AppProfile& app,
+                                               std::size_t runs,
+                                               std::uint64_t base_seed = 1000,
+                                               SimTime horizon = 60.0);
+
+}  // namespace edr::analysis

@@ -1,0 +1,57 @@
+#include "analysis/report_json.hpp"
+
+#include "common/json.hpp"
+
+namespace edr::analysis {
+
+std::string report_to_json(const core::RunReport& report,
+                           const std::string& label) {
+  JsonWriter json;
+  json.begin_object();
+  if (!label.empty()) json.field("label", label);
+  json.field("total_cost_cents", report.total_cost);
+  json.field("total_active_cost_cents", report.total_active_cost);
+  json.field("total_energy_joules", report.total_energy);
+  json.field("total_active_energy_joules", report.total_active_energy);
+  json.field("epochs", report.epochs);
+  json.field("total_rounds", report.total_rounds);
+  json.field("requests_served", report.requests_served);
+  json.field("requests_dropped", report.requests_dropped);
+  json.field("megabytes_served", report.megabytes_served);
+  json.field("control_messages", report.control_messages);
+  json.field("control_bytes", report.control_bytes);
+  json.field("makespan_seconds", report.makespan);
+  json.field("mean_response_ms", report.mean_response_ms());
+  json.field("p99_response_ms", report.p99_response_ms());
+
+  json.key("replicas").begin_array();
+  for (const auto& replica : report.replicas) {
+    json.begin_object();
+    json.field("assigned_mb", replica.assigned_mb);
+    json.field("energy_joules", replica.energy);
+    json.field("active_energy_joules", replica.active_energy);
+    json.field("cost_cents", replica.cost);
+    json.field("active_cost_cents", replica.active_cost);
+    json.field("alive", replica.alive);
+    json.field("downtime_seconds", replica.downtime);
+    if (!replica.trace.samples.empty()) {
+      json.key("power_summary").begin_object();
+      json.field("min_watts", replica.trace.min_watts());
+      json.field("mean_watts", replica.trace.mean_watts());
+      json.field("max_watts", replica.trace.max_watts());
+      json.field("samples", replica.trace.samples.size());
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("failed_replicas").begin_array();
+  for (const auto id : report.failed_replicas)
+    json.value(static_cast<std::uint64_t>(id));
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace edr::analysis

@@ -1,0 +1,16 @@
+// JSON serialization of run reports — the machine-readable output of the
+// CLI and any CI harness diffing runs over time.
+#pragma once
+
+#include <string>
+
+#include "core/system.hpp"
+
+namespace edr::analysis {
+
+/// Serialize a RunReport (power traces are summarized, not dumped; use the
+/// CSV emitters in the bench binaries for full series).
+[[nodiscard]] std::string report_to_json(const core::RunReport& report,
+                                         const std::string& label = {});
+
+}  // namespace edr::analysis

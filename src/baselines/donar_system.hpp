@@ -1,0 +1,64 @@
+// Message-driven DONAR deployment on the simulated network (paper Fig 9).
+//
+// Clients submit requests to their assigned mapping node; mapping nodes
+// batch them per epoch, run DonarEngine rounds with real aggregate-exchange
+// traffic (round k+1 starts after every round-k broadcast is delivered),
+// then return assignments.  Only decision latency is modelled — Fig 9
+// compares response time, not energy — so there are no power meters or
+// transfers here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/donar.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace edr::baselines {
+
+struct DonarSystemConfig {
+  DonarOptions donar;
+  std::vector<optim::ReplicaParams> replicas;
+  std::size_t num_clients = 8;
+  Matrix latency;  ///< client x replica, ms; empty = generated
+  Milliseconds min_link_latency = 0.1;
+  Milliseconds max_link_latency = 2.0;
+  Milliseconds max_latency = 1.8;
+  SimTime epoch_length = 1.0;
+  double compute_seconds_per_entry = 2e-7;
+  /// Per-request handling cost at the mapping nodes (same role as
+  /// core::SystemConfig::request_service_seconds).
+  double request_service_seconds = 5e-4;
+  std::uint64_t seed = 1;
+};
+
+struct DonarRunReport {
+  std::vector<double> response_times_ms;
+  [[nodiscard]] double mean_response_ms() const;
+  std::size_t epochs = 0;
+  std::size_t total_rounds = 0;
+  std::size_t requests_served = 0;
+  std::uint64_t control_messages = 0;
+  std::uint64_t control_bytes = 0;
+  SimTime makespan = 0.0;
+};
+
+class DonarSystem {
+ public:
+  DonarSystem(DonarSystemConfig config, workload::Trace trace);
+  ~DonarSystem();
+  DonarSystem(const DonarSystem&) = delete;
+  DonarSystem& operator=(const DonarSystem&) = delete;
+
+  /// Execute the whole trace; may be called once.
+  DonarRunReport run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace edr::baselines

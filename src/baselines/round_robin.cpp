@@ -1,0 +1,16 @@
+#include "baselines/round_robin.hpp"
+
+namespace edr::baselines {
+
+core::ScheduleResult RoundRobinScheduler::schedule(
+    const optim::Problem& problem) {
+  core::ScheduleResult result;
+  result.allocation = core::round_robin_allocation(problem);
+  // No coordination: each replica can derive the split from the request
+  // broadcast alone.  Count only the assignment fan-out.
+  result.messages = problem.num_clients() * problem.num_replicas();
+  result.bytes = result.messages * 16;
+  return result;
+}
+
+}  // namespace edr::baselines

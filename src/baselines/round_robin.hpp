@@ -1,0 +1,17 @@
+// Round-Robin baseline (the paper's Figs 6-8 comparison point).
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace edr::baselines {
+
+/// Energy-oblivious equal split across latency-feasible replicas; see
+/// core::round_robin_allocation for the exact policy.
+class RoundRobinScheduler final : public core::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "RoundRobin"; }
+  [[nodiscard]] core::ScheduleResult schedule(
+      const optim::Problem& problem) override;
+};
+
+}  // namespace edr::baselines

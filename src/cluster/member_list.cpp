@@ -1,0 +1,46 @@
+#include "cluster/member_list.hpp"
+
+#include <algorithm>
+
+namespace edr::cluster {
+
+MemberList::MemberList(std::vector<net::NodeId> members)
+    : members_(std::move(members)) {
+  std::ranges::sort(members_);
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+}
+
+bool MemberList::contains(net::NodeId node) const {
+  return std::ranges::binary_search(members_, node);
+}
+
+bool MemberList::add(net::NodeId node) {
+  const auto it = std::ranges::lower_bound(members_, node);
+  if (it != members_.end() && *it == node) return false;
+  members_.insert(it, node);
+  ++version_;
+  return true;
+}
+
+bool MemberList::remove(net::NodeId node) {
+  const auto it = std::ranges::lower_bound(members_, node);
+  if (it == members_.end() || *it != node) return false;
+  members_.erase(it);
+  ++version_;
+  return true;
+}
+
+std::optional<net::NodeId> MemberList::successor(net::NodeId node) const {
+  if (members_.size() < 2 || !contains(node)) return std::nullopt;
+  const auto it = std::ranges::upper_bound(members_, node);
+  return it == members_.end() ? members_.front() : *it;
+}
+
+std::optional<net::NodeId> MemberList::predecessor(net::NodeId node) const {
+  if (members_.size() < 2 || !contains(node)) return std::nullopt;
+  const auto it = std::ranges::lower_bound(members_, node);
+  return it == members_.begin() ? members_.back() : *(it - 1);
+}
+
+}  // namespace edr::cluster

@@ -1,0 +1,53 @@
+// Active member list — the paper's per-replica view of which replicas are
+// alive, arranged in a logical ring for fault monitoring (§III-C).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace edr::cluster {
+
+/// A sorted set of node ids with ring-successor semantics.  Every replica
+/// holds one; the ring structure is derived (successor = next id in sorted
+/// order, wrapping), so all replicas with the same member set agree on the
+/// ring without extra coordination.
+class MemberList {
+ public:
+  MemberList() = default;
+  explicit MemberList(std::vector<net::NodeId> members);
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+  [[nodiscard]] bool contains(net::NodeId node) const;
+  [[nodiscard]] const std::vector<net::NodeId>& members() const {
+    return members_;
+  }
+
+  /// Insert keeping sorted order; no-op if present.  Returns true if added.
+  bool add(net::NodeId node);
+  /// Remove; returns true if the node was present.
+  bool remove(net::NodeId node);
+
+  /// Ring successor of `node` (the next larger id, wrapping).  nullopt when
+  /// `node` is not a member or is the only member.
+  [[nodiscard]] std::optional<net::NodeId> successor(net::NodeId node) const;
+  /// Ring predecessor (the next smaller id, wrapping).
+  [[nodiscard]] std::optional<net::NodeId> predecessor(net::NodeId node) const;
+
+  /// Monotonic version, bumped by every successful add/remove — lets agents
+  /// cheaply detect that the ring changed under them.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  friend bool operator==(const MemberList& a, const MemberList& b) {
+    return a.members_ == b.members_;
+  }
+
+ private:
+  std::vector<net::NodeId> members_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace edr::cluster

@@ -1,0 +1,129 @@
+#include "cluster/ring.hpp"
+
+#include "common/log.hpp"
+
+namespace edr::cluster {
+
+RingNode::RingNode(net::SimNetwork& network, net::NodeId self,
+                   MemberList members, RingConfig config)
+    : network_(network),
+      self_(self),
+      members_(std::move(members)),
+      config_(config) {}
+
+void RingNode::start() {
+  running_ = true;
+  ++epoch_;
+  last_heard_ = network_.sim().now();
+  send_heartbeat();
+  check_predecessor();
+}
+
+void RingNode::stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void RingNode::on_membership_change(MembershipCallback callback) {
+  callback_ = std::move(callback);
+}
+
+void RingNode::on_member_joined(JoinCallback callback) {
+  join_callback_ = std::move(callback);
+}
+
+void RingNode::rejoin(MemberList members) {
+  members_ = std::move(members);
+  members_.add(self_);
+  for (const net::NodeId peer : members_.members()) {
+    if (peer == self_) continue;
+    net::Message msg;
+    msg.from = self_;
+    msg.to = peer;
+    msg.type = kJoinNotice;
+    msg.bytes = 16;
+    msg.payload = JoinNotice{self_};
+    network_.send(std::move(msg));
+  }
+  start();
+}
+
+void RingNode::send_heartbeat() {
+  if (!running_) return;
+  if (const auto succ = members_.successor(self_)) {
+    net::Message msg;
+    msg.from = self_;
+    msg.to = *succ;
+    msg.type = kHeartbeat;
+    msg.bytes = 16;  // node id + sequence on the wire
+    network_.send(std::move(msg));
+  }
+  const auto epoch = epoch_;
+  network_.sim().schedule_after(config_.heartbeat_period, [this, epoch] {
+    if (epoch == epoch_) send_heartbeat();
+  });
+}
+
+void RingNode::check_predecessor() {
+  if (!running_) return;
+  const auto pred = members_.predecessor(self_);
+  if (pred &&
+      network_.sim().now() - last_heard_ > config_.failure_timeout) {
+    logf(LogLevel::kInfo, "ring: node %u declares predecessor %u dead",
+         self_, *pred);
+    remove_member(*pred, /*broadcast=*/true);
+  }
+  const auto epoch = epoch_;
+  network_.sim().schedule_after(config_.heartbeat_period, [this, epoch] {
+    if (epoch == epoch_) check_predecessor();
+  });
+}
+
+void RingNode::handle(const net::Message& message) {
+  if (!running_) return;
+  switch (message.type) {
+    case kHeartbeat:
+      // Only the current predecessor's heartbeats refresh the deadline;
+      // stale members may still have us as successor right after a change.
+      if (members_.predecessor(self_) == message.from)
+        last_heard_ = network_.sim().now();
+      break;
+    case kRemovalNotice: {
+      const auto& notice = std::any_cast<const RemovalNotice&>(message.payload);
+      remove_member(notice.dead, /*broadcast=*/false);
+      break;
+    }
+    case kJoinNotice: {
+      const auto& notice = std::any_cast<const JoinNotice&>(message.payload);
+      if (members_.add(notice.joiner)) {
+        // Ring neighbors changed; restart the predecessor clock.
+        last_heard_ = network_.sim().now();
+        if (join_callback_) join_callback_(members_, notice.joiner);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void RingNode::remove_member(net::NodeId dead, bool broadcast) {
+  if (!members_.remove(dead)) return;  // already pruned
+  // The ring changed: our predecessor may be new, so restart its clock.
+  last_heard_ = network_.sim().now();
+  if (broadcast) {
+    for (const net::NodeId peer : members_.members()) {
+      if (peer == self_) continue;
+      net::Message msg;
+      msg.from = self_;
+      msg.to = peer;
+      msg.type = kRemovalNotice;
+      msg.bytes = 24;
+      msg.payload = RemovalNotice{dead, self_};
+      network_.send(std::move(msg));
+    }
+  }
+  if (callback_) callback_(members_, dead);
+}
+
+}  // namespace edr::cluster

@@ -1,0 +1,103 @@
+// Ring fault-tolerance (paper §III-C).
+//
+// "We guarantee the reliability of the system by using a combination of
+//  time-out mechanism and ring fault-tolerance structure. ... Once a
+//  replica malfunctions, the other replicas will know and then remove this
+//  dead replica from their 'active member lists' and the ring structure.
+//  After that, EDR will perform the runtime scheduling again based on the
+//  new ring of replicas."
+//
+// Implementation: every replica heartbeats its ring *successor* and watches
+// its *predecessor*.  A predecessor silent for longer than the timeout is
+// declared dead; the detector broadcasts a removal notice, every member
+// prunes its list (re-deriving the ring), and an owner-supplied callback
+// fires so the runtime can reschedule.
+#pragma once
+
+#include <functional>
+
+#include "cluster/member_list.hpp"
+#include "net/network.hpp"
+
+namespace edr::cluster {
+
+/// Ring protocol message types (the `Message::type` space is partitioned in
+/// core/protocol.hpp; the ring owns 100-199).
+enum RingMessageType : int {
+  kHeartbeat = 100,
+  kRemovalNotice = 101,
+  kJoinNotice = 102,
+};
+
+/// Payload of a removal notice.
+struct RemovalNotice {
+  net::NodeId dead = 0;
+  net::NodeId reporter = 0;
+};
+
+/// Payload of a join notice (a recovered replica announcing itself).
+struct JoinNotice {
+  net::NodeId joiner = 0;
+};
+
+struct RingConfig {
+  SimTime heartbeat_period = 0.25;
+  /// Predecessor silent for this long => declared dead.  Must comfortably
+  /// exceed heartbeat_period plus link latency.
+  SimTime failure_timeout = 1.0;
+};
+
+/// One replica's participation in the heartbeat ring.  The owner wires this
+/// into its message loop: forward ring-typed messages to handle(), call
+/// start() once the node is live, and receive membership-change callbacks.
+class RingNode {
+ public:
+  using MembershipCallback =
+      std::function<void(const MemberList&, net::NodeId dead)>;
+
+  RingNode(net::SimNetwork& network, net::NodeId self, MemberList members,
+           RingConfig config = {});
+
+  /// Begin heartbeating and monitoring.
+  void start();
+
+  /// Stop participating (clean shutdown or injected crash; a crashed node
+  /// simply stops sending heartbeats — its peers detect the silence).
+  void stop();
+
+  /// Rejoin after a crash: adopt `members` (the survivors, learned from any
+  /// seed, plus ourselves), announce ourselves to every other member, and
+  /// resume heartbeating.
+  void rejoin(MemberList members);
+
+  /// Feed a ring message received by the owner.
+  void handle(const net::Message& message);
+
+  /// Invoked (on every surviving node) after a member is removed.
+  void on_membership_change(MembershipCallback callback);
+
+  /// Invoked after a member (re)joins the ring.
+  using JoinCallback = std::function<void(const MemberList&, net::NodeId)>;
+  void on_member_joined(JoinCallback callback);
+
+  [[nodiscard]] const MemberList& members() const { return members_; }
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] net::NodeId self() const { return self_; }
+
+ private:
+  void send_heartbeat();
+  void check_predecessor();
+  void remove_member(net::NodeId dead, bool broadcast);
+
+  net::SimNetwork& network_;
+  net::NodeId self_;
+  MemberList members_;
+  RingConfig config_;
+  MembershipCallback callback_;
+  JoinCallback join_callback_;
+  SimTime last_heard_ = 0.0;
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;  // invalidates timers from before a stop()
+};
+
+}  // namespace edr::cluster

@@ -1,0 +1,158 @@
+#include "common/args.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/fmt.hpp"
+
+namespace edr {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add(std::string name, std::string help, Kind kind,
+                    void* target) {
+  if (find(name) != nullptr)
+    throw std::logic_error("ArgParser: duplicate option --" + name);
+  Spec spec{std::move(name), std::move(help), kind, target, {}};
+  switch (kind) {
+    case Kind::kFlag:
+      spec.default_text = *static_cast<bool*>(target) ? "true" : "false";
+      break;
+    case Kind::kString:
+      spec.default_text = *static_cast<std::string*>(target);
+      break;
+    case Kind::kDouble:
+      spec.default_text = strf("%g", *static_cast<double*>(target));
+      break;
+    case Kind::kInt:
+      spec.default_text =
+          std::to_string(*static_cast<std::int64_t*>(target));
+      break;
+    case Kind::kUint:
+      spec.default_text =
+          std::to_string(*static_cast<std::uint64_t*>(target));
+      break;
+  }
+  specs_.push_back(std::move(spec));
+}
+
+void ArgParser::add_flag(std::string name, std::string help, bool* out) {
+  add(std::move(name), std::move(help), Kind::kFlag, out);
+}
+void ArgParser::add_option(std::string name, std::string help,
+                           std::string* out) {
+  add(std::move(name), std::move(help), Kind::kString, out);
+}
+void ArgParser::add_option(std::string name, std::string help, double* out) {
+  add(std::move(name), std::move(help), Kind::kDouble, out);
+}
+void ArgParser::add_option(std::string name, std::string help,
+                           std::int64_t* out) {
+  add(std::move(name), std::move(help), Kind::kInt, out);
+}
+void ArgParser::add_option(std::string name, std::string help,
+                           std::uint64_t* out) {
+  add(std::move(name), std::move(help), Kind::kUint, out);
+}
+
+const ArgParser::Spec* ArgParser::find(const std::string& name) const {
+  const auto it = std::ranges::find_if(
+      specs_, [&](const Spec& spec) { return spec.name == name; });
+  return it == specs_.end() ? nullptr : &*it;
+}
+
+bool ArgParser::assign(const Spec& spec, const std::string& text,
+                       std::ostream& err) const {
+  try {
+    std::size_t used = 0;
+    switch (spec.kind) {
+      case Kind::kFlag:
+        if (text == "true" || text.empty())
+          *static_cast<bool*>(spec.target) = true;
+        else if (text == "false")
+          *static_cast<bool*>(spec.target) = false;
+        else
+          throw std::invalid_argument("expected true/false");
+        return true;
+      case Kind::kString:
+        *static_cast<std::string*>(spec.target) = text;
+        return true;
+      case Kind::kDouble:
+        *static_cast<double*>(spec.target) = std::stod(text, &used);
+        break;
+      case Kind::kInt:
+        *static_cast<std::int64_t*>(spec.target) = std::stoll(text, &used);
+        break;
+      case Kind::kUint: {
+        if (!text.empty() && text.front() == '-')
+          throw std::invalid_argument("negative");
+        *static_cast<std::uint64_t*>(spec.target) = std::stoull(text, &used);
+        break;
+      }
+    }
+    if (used != text.size()) throw std::invalid_argument("trailing garbage");
+    return true;
+  } catch (const std::exception&) {
+    err << program_ << ": invalid value '" << text << "' for --" << spec.name
+        << "\n";
+    return false;
+  }
+}
+
+bool ArgParser::parse(int argc, const char* const* argv, std::ostream& err) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      help_requested_ = true;
+      err << usage();
+      return false;
+    }
+    if (token.rfind("--", 0) != 0) {
+      err << program_ << ": unexpected positional argument '" << token
+          << "'\n";
+      return false;
+    }
+    token.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token.erase(eq);
+      has_value = true;
+    }
+    const Spec* spec = find(token);
+    if (spec == nullptr) {
+      err << program_ << ": unknown option --" << token << "\n";
+      return false;
+    }
+    if (!has_value && spec->kind != Kind::kFlag) {
+      if (i + 1 >= argc) {
+        err << program_ << ": --" << token << " needs a value\n";
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!assign(*spec, value, err)) return false;
+  }
+  return true;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\noptions:\n";
+  std::size_t width = 4;  // at least as wide as "help"
+  for (const auto& spec : specs_) width = std::max(width, spec.name.size());
+  for (const auto& spec : specs_) {
+    out << "  --" << spec.name
+        << std::string(width - spec.name.size() + 2, ' ') << spec.help
+        << " (default: " << spec.default_text << ")\n";
+  }
+  out << "  --help" << std::string(width - 4 + 2, ' ')
+      << "show this message\n";
+  return out.str();
+}
+
+}  // namespace edr

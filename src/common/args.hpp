@@ -1,0 +1,54 @@
+// Command-line argument parsing for the CLI tools.
+//
+// Deliberately small: long options only (`--name value` or `--name=value`),
+// typed bindings, auto-generated --help.  No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edr {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Boolean flag: present => true (also accepts --name=false / =true).
+  void add_flag(std::string name, std::string help, bool* out);
+  void add_option(std::string name, std::string help, std::string* out);
+  void add_option(std::string name, std::string help, double* out);
+  void add_option(std::string name, std::string help, std::int64_t* out);
+  void add_option(std::string name, std::string help, std::uint64_t* out);
+
+  /// Parse argv.  Returns false on error or when --help was requested
+  /// (check help_requested() to distinguish); diagnostics go to `err`.
+  [[nodiscard]] bool parse(int argc, const char* const* argv,
+                           std::ostream& err);
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kString, kDouble, kInt, kUint };
+  struct Spec {
+    std::string name;
+    std::string help;
+    Kind kind;
+    void* target;
+    std::string default_text;
+  };
+
+  void add(std::string name, std::string help, Kind kind, void* target);
+  [[nodiscard]] const Spec* find(const std::string& name) const;
+  bool assign(const Spec& spec, const std::string& text,
+              std::ostream& err) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Spec> specs_;
+  bool help_requested_ = false;
+};
+
+}  // namespace edr

@@ -1,0 +1,76 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+#include "common/fmt.hpp"
+
+namespace edr {
+
+CsvWriter::CsvWriter(const std::string& path)
+    : owned_(path), out_(&owned_) {
+  if (!owned_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
+
+CsvWriter::~CsvWriter() { out_->flush(); }
+
+void CsvWriter::separator() {
+  if (!at_row_start_) *out_ << ',';
+  at_row_start_ = false;
+}
+
+std::string CsvWriter::escape(std::string_view value) {
+  const bool needs_quotes =
+      value.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string{value};
+  std::string quoted = "\"";
+  for (char ch : value) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  separator();
+  *out_ << escape(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  separator();
+  *out_ << strf("%.17g", value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(long long value) {
+  separator();
+  *out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::size_t value) {
+  separator();
+  *out_ << value;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  at_row_start_ = true;
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  for (auto f : fields) field(f);
+  end_row();
+}
+
+void CsvWriter::row(std::string_view label, std::span<const double> values) {
+  field(label);
+  for (double v : values) field(v);
+  end_row();
+}
+
+}  // namespace edr

@@ -1,0 +1,51 @@
+// CSV emission for figure series.
+//
+// Every bench binary prints its headline rows to stdout and, when given an
+// output directory, additionally writes the full series (e.g. the 50 Hz
+// power traces behind Figs 3-4) as CSV so they can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edr {
+
+/// Streaming CSV writer.  Quotes fields containing separators; numeric
+/// overloads format with enough precision to round-trip doubles.
+class CsvWriter {
+ public:
+  /// Open `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write directly into an arbitrary ostream (used by tests).
+  explicit CsvWriter(std::ostream& out);
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(double value);
+  CsvWriter& field(long long value);
+  CsvWriter& field(std::size_t value);
+  void end_row();
+
+  /// Convenience: write a whole row of strings.
+  void row(std::initializer_list<std::string_view> fields);
+  /// Convenience: write a label followed by a numeric series.
+  void row(std::string_view label, std::span<const double> values);
+
+ private:
+  void separator();
+  static std::string escape(std::string_view value);
+
+  std::ofstream owned_;
+  std::ostream* out_;
+  bool at_row_start_ = true;
+};
+
+}  // namespace edr

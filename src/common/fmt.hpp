@@ -1,0 +1,31 @@
+// printf-style string formatting.
+//
+// The toolchain this project targets (GCC 12) does not ship <format>, so we
+// provide a type-checked printf wrapper instead.  Keep format strings and
+// argument lists in sync — GCC verifies them via the format attribute.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace edr {
+
+/// snprintf into a std::string.
+[[gnu::format(printf, 1, 2)]] inline std::string strf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace edr

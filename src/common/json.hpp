@@ -1,0 +1,131 @@
+// Minimal streaming JSON writer.
+//
+// The CLI and report emitters serialize RunReports for downstream tooling
+// (dashboards, CI diffing).  This is a strict emitter — keys/values are
+// escaped, numbers are emitted with round-trip precision, and nesting is
+// validated with assertions in debug builds — but it is not a parser.
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/fmt.hpp"
+
+namespace edr {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    separator();
+    out_ << '{';
+    stack_.push_back(Frame::kObject);
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    assert(!stack_.empty() && stack_.back() == Frame::kObject);
+    stack_.pop_back();
+    out_ << '}';
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separator();
+    out_ << '[';
+    stack_.push_back(Frame::kArray);
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    assert(!stack_.empty() && stack_.back() == Frame::kArray);
+    stack_.pop_back();
+    out_ << ']';
+    fresh_ = false;
+    return *this;
+  }
+
+  /// Emit an object key; must be inside an object and followed by a value.
+  JsonWriter& key(std::string_view name) {
+    assert(!stack_.empty() && stack_.back() == Frame::kObject);
+    separator();
+    emit_string(name);
+    out_ << ':';
+    fresh_ = true;  // the upcoming value needs no comma
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view text) {
+    separator();
+    emit_string(text);
+    return *this;
+  }
+  JsonWriter& value(const char* text) { return value(std::string_view{text}); }
+  JsonWriter& value(double number) {
+    separator();
+    out_ << strf("%.17g", number);
+    return *this;
+  }
+  // One template for all integer types (size_t and uint64_t coincide on
+  // this platform; a template sidesteps the duplicate-overload issue).
+  template <typename T>
+    requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+  JsonWriter& value(T number) {
+    separator();
+    out_ << number;
+    return *this;
+  }
+  JsonWriter& value(bool flag) {
+    separator();
+    out_ << (flag ? "true" : "false");
+    return *this;
+  }
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  [[nodiscard]] std::string str() const {
+    assert(stack_.empty() && "unclosed object/array");
+    return out_.str();
+  }
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void separator() {
+    if (!fresh_) out_ << ',';
+    fresh_ = false;
+  }
+
+  void emit_string(std::string_view text) {
+    out_ << '"';
+    for (const char ch : text) {
+      switch (ch) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\r': out_ << "\\r"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20)
+            out_ << strf("\\u%04x", ch);
+          else
+            out_ << ch;
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  bool fresh_ = true;
+};
+
+}  // namespace edr

@@ -1,0 +1,38 @@
+// Minimal leveled logger.
+//
+// The simulator and the threaded transport both log through this sink; it is
+// thread-safe and cheap to disable, which matters because the benchmark
+// harness runs thousands of simulated seconds.
+#pragma once
+
+#include <string_view>
+
+#include "common/fmt.hpp"
+
+namespace edr {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded before formatting.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, std::string_view message);
+}
+
+/// Log a pre-formatted message at `level`.
+inline void log(LogLevel level, std::string_view message) {
+  if (level >= log_level() && log_level() != LogLevel::kOff)
+    detail::log_line(level, message);
+}
+
+/// printf-style logging; arguments are only formatted if the level is
+/// enabled.
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args&&... args) {
+  if (level >= log_level() && log_level() != LogLevel::kOff)
+    detail::log_line(level, strf(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace edr

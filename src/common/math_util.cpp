@@ -1,0 +1,17 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+
+namespace edr {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::ranges::sort(values);
+  const double rank =
+      clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  return lerp(values[lo], values[hi], rank - static_cast<double>(lo));
+}
+
+}  // namespace edr

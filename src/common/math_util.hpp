@@ -1,0 +1,73 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace edr {
+
+/// Compensated (Kahan) summation — power-trace integration accumulates
+/// hundreds of thousands of 20 ms samples, where naive summation drifts.
+class KahanSum {
+ public:
+  void add(double value) {
+    const double y = value - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+  [[nodiscard]] double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+[[nodiscard]] inline double sum(std::span<const double> values) {
+  KahanSum k;
+  for (double v : values) k.add(v);
+  return k.value();
+}
+
+[[nodiscard]] inline double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return sum(values) / static_cast<double>(values.size());
+}
+
+[[nodiscard]] inline double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+[[nodiscard]] inline double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+/// Relative closeness with an absolute floor, for comparing objective values.
+[[nodiscard]] inline bool approx_equal(double a, double b, double rel = 1e-9,
+                                       double abs_floor = 1e-12) {
+  const double diff = std::abs(a - b);
+  if (diff <= abs_floor) return true;
+  return diff <= rel * std::max(std::abs(a), std::abs(b));
+}
+
+/// x clamped into [lo, hi].
+[[nodiscard]] inline double clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Linear interpolation between a and b.
+[[nodiscard]] inline double lerp(double a, double b, double t) {
+  return a + (b - a) * t;
+}
+
+/// p-th percentile (p in [0,100]) with linear interpolation; copies input.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+}  // namespace edr

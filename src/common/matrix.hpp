@@ -1,0 +1,125 @@
+// Dense row-major matrix of doubles.
+//
+// The replica-selection decision variable is the traffic matrix
+// P ∈ R^{|C| x |N|} (clients x replicas).  All solvers in src/optim and
+// src/core operate on this type.  It is deliberately minimal: contiguous
+// storage, bounds-checked accessors in debug builds, and the handful of
+// linear-algebra helpers the algorithms actually need.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace edr {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of row r (a client's allocation across replicas).
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> flat() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const double> flat() const {
+    return {data_.data(), data_.size()};
+  }
+
+  /// Sum of column c (a replica's total assigned traffic s_n).
+  [[nodiscard]] double col_sum(std::size_t c) const {
+    assert(c < cols_);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) sum += data_[r * cols_ + c];
+    return sum;
+  }
+
+  /// Sum of row r (a client's total received traffic).
+  [[nodiscard]] double row_sum(std::size_t r) const {
+    assert(r < rows_);
+    double sum = 0.0;
+    for (double v : row(r)) sum += v;
+    return sum;
+  }
+
+  /// All column sums at once (avoids |N| passes over the data).
+  [[nodiscard]] std::vector<double> col_sums() const {
+    std::vector<double> sums(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double* p = data_.data() + r * cols_;
+      for (std::size_t c = 0; c < cols_; ++c) sums[c] += p[c];
+    }
+    return sums;
+  }
+
+  void fill(double value) { std::ranges::fill(data_, value); }
+
+  /// this += scale * other (same shape required).
+  void axpy(double scale, const Matrix& other) {
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+      data_[i] += scale * other.data_[i];
+  }
+
+  void scale(double factor) {
+    for (double& v : data_) v *= factor;
+  }
+
+  /// Frobenius distance to another matrix of the same shape.
+  [[nodiscard]] double distance(const Matrix& other) const {
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      const double d = data_[i] - other.data_[i];
+      sum += d * d;
+    }
+    return std::sqrt(sum);
+  }
+
+  [[nodiscard]] double frobenius_norm() const {
+    double sum = 0.0;
+    for (double v : data_) sum += v * v;
+    return std::sqrt(sum);
+  }
+
+  [[nodiscard]] double max_abs() const {
+    double best = 0.0;
+    for (double v : data_) best = std::max(best, std::abs(v));
+    return best;
+  }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace edr

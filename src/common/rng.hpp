@@ -1,0 +1,144 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the repository (electricity prices, request
+// arrivals, Zipf popularity, failure injection) draws from an explicitly
+// seeded Rng so that simulations are bit-for-bit reproducible.  We use
+// xoshiro256** seeded through SplitMix64 — the standard recipe — instead of
+// std::mt19937 because its stream-splitting behaviour is well defined and
+// the generator state is trivially copyable (handy for snapshotting a
+// simulation).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace edr {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random>
+/// distributions where needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent child stream (for per-node generators).
+  [[nodiscard]] Rng fork() { return Rng{next() ^ 0xd2b74407b1ce6e93ULL}; }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next(); }
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Unbiased bounded integer in [0, bound) via Lemire rejection.
+  [[nodiscard]] std::uint64_t bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  [[nodiscard]] double exponential(double rate) {
+    return -std::log1p(-uniform()) / rate;
+  }
+
+  /// Poisson-distributed count (Knuth for small means, normal approx above).
+  [[nodiscard]] std::uint64_t poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    if (mean > 64.0) {
+      const double x = normal(mean, std::sqrt(mean));
+      return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+
+ private:
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace edr

@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include "common/fmt.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace edr {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  return strf("%.*f", precision, value);
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return strf("%.*f%%", precision, fraction * 100.0);
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << '\n';
+  };
+
+  emit(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+}  // namespace edr

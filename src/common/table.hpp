@@ -1,0 +1,36 @@
+// Fixed-width ASCII table printer.
+//
+// Bench binaries report the paper's figure series as aligned tables on
+// stdout (one row per replica / algorithm / request count) so the harness
+// output is directly comparable with the paper's plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Helpers that format common cell types.
+  static std::string num(double value, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with column alignment and a separator rule under the header.
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace edr

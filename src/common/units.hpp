@@ -1,0 +1,54 @@
+// Units used throughout EDR.
+//
+// The paper mixes several unit systems (MB/s bandwidth caps, ¢/kWh
+// electricity prices, Joules of consumption, cents of cost, milliseconds of
+// latency).  To keep call sites honest we funnel every conversion through
+// the named helpers below instead of sprinkling magic constants around.
+#pragma once
+
+#include <cstdint>
+
+namespace edr {
+
+/// Simulated time is kept in double seconds.  The simulator event queue
+/// orders events by this value; one unit == one second of wall time on the
+/// emulated cluster.
+using SimTime = double;
+
+/// Traffic loads (the decision variables p_{c,n}) are measured in megabytes,
+/// matching the paper's per-request sizes (100 MB video, 10 MB file chunk).
+using Megabytes = double;
+
+/// Power draw in watts.
+using Watts = double;
+
+/// Energy in joules.
+using Joules = double;
+
+/// Monetary cost in cents (the paper's objective is cents, not joules).
+using Cents = double;
+
+/// Electricity price in cents per kilowatt-hour.
+using CentsPerKwh = double;
+
+/// Network latency in milliseconds (paper: T = 1.8 ms worst case frame).
+using Milliseconds = double;
+
+inline constexpr double kJoulesPerKwh = 3.6e6;
+
+/// Convert an energy amount and a regional price into a cost.
+[[nodiscard]] constexpr Cents energy_cost(Joules energy, CentsPerKwh price) {
+  return energy / kJoulesPerKwh * price;
+}
+
+/// Convert megabytes to bytes (used by transfer bookkeeping).
+[[nodiscard]] constexpr std::uint64_t megabytes_to_bytes(Megabytes mb) {
+  return static_cast<std::uint64_t>(mb * 1024.0 * 1024.0);
+}
+
+[[nodiscard]] constexpr double seconds(Milliseconds ms) { return ms / 1000.0; }
+[[nodiscard]] constexpr Milliseconds milliseconds(double secs) {
+  return secs * 1000.0;
+}
+
+}  // namespace edr

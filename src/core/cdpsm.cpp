@@ -1,0 +1,158 @@
+#include "core/cdpsm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/wire.hpp"
+#include "optim/flow.hpp"
+#include "optim/projection.hpp"
+
+namespace edr::core {
+namespace {
+
+/// Project one column onto {q ≥ 0, Σq ≤ B_n}, leaving other columns alone.
+void project_column_capacity(const optim::Problem& problem, std::size_t n,
+                             Matrix& allocation) {
+  std::vector<double> column(problem.num_clients());
+  for (std::size_t c = 0; c < problem.num_clients(); ++c)
+    column[c] = allocation(c, n);
+  optim::project_capped_nonneg(column, problem.replica(n).bandwidth);
+  for (std::size_t c = 0; c < problem.num_clients(); ++c)
+    allocation(c, n) = column[c];
+}
+
+}  // namespace
+
+CdpsmEngine::CdpsmEngine(const optim::Problem& problem, CdpsmOptions options)
+    : problem_(&problem), options_(options) {
+  const std::string issue = problem.validate();
+  if (!issue.empty())
+    throw std::invalid_argument("CdpsmEngine: invalid problem: " + issue);
+  auto start = optim::initial_feasible_point(problem);
+  if (!start)
+    throw std::runtime_error("CdpsmEngine: instance is not feasible");
+  step_ = options_.step > 0.0
+              ? options_.step
+              : 1.0 / std::max(problem.gradient_lipschitz_bound(), 1e-9);
+  estimates_.assign(problem.num_replicas(), *start);
+}
+
+void CdpsmEngine::set_estimate(std::size_t n, Matrix estimate) {
+  estimates_.at(n) = std::move(estimate);
+}
+
+void CdpsmEngine::project_local(std::size_t n, Matrix& estimate) const {
+  // Dykstra between the shared demand set and this replica's capacity
+  // column — the projection onto X_n.
+  Matrix corr_demand(estimate.rows(), estimate.cols(), 0.0);
+  Matrix corr_capacity(estimate.rows(), estimate.cols(), 0.0);
+  Matrix previous = estimate;
+  for (std::size_t iter = 0; iter < 200; ++iter) {
+    estimate.axpy(1.0, corr_demand);
+    Matrix before = estimate;
+    optim::project_demand_set(*problem_, estimate);
+    corr_demand = before;
+    corr_demand.axpy(-1.0, estimate);
+
+    estimate.axpy(1.0, corr_capacity);
+    before = estimate;
+    project_column_capacity(*problem_, n, estimate);
+    corr_capacity = before;
+    corr_capacity.axpy(-1.0, estimate);
+
+    const double change = estimate.distance(previous);
+    previous = estimate;
+    if (change <= 1e-11) break;
+  }
+  // End on the demand set so row sums are exact.
+  optim::project_demand_set(*problem_, estimate);
+}
+
+Matrix CdpsmEngine::step_replica(
+    std::size_t n, std::span<const Matrix> peer_estimates) const {
+  if (peer_estimates.size() != estimates_.size())
+    throw std::invalid_argument(
+        "CdpsmEngine::step_replica: need one estimate per replica");
+
+  // Consensus with uniform weights a_j = 1/|N| (doubly stochastic on the
+  // complete exchange graph the paper uses).
+  const double weight = 1.0 / static_cast<double>(peer_estimates.size());
+  Matrix consensus(problem_->num_clients(), problem_->num_replicas(), 0.0);
+  for (const Matrix& peer : peer_estimates) consensus.axpy(weight, peer);
+
+  // Gradient of the *local* objective E_n: only column n is non-zero.
+  const double load = consensus.col_sum(n);
+  const double derivative =
+      optim::replica_cost_derivative(problem_->replica(n), load);
+  const double step =
+      options_.diminishing_step
+          ? step_ / std::sqrt(static_cast<double>(rounds_ + 1))
+          : step_;
+  for (std::size_t c = 0; c < problem_->num_clients(); ++c)
+    consensus(c, n) -= step * derivative;
+
+  project_local(n, consensus);
+  return consensus;
+}
+
+CdpsmRoundStats CdpsmEngine::round() {
+  const std::vector<Matrix> previous = estimates_;
+  CdpsmRoundStats stats;
+  stats.round = ++rounds_;
+
+  for (std::size_t n = 0; n < estimates_.size(); ++n)
+    estimates_[n] = step_replica(n, previous);
+
+  for (std::size_t n = 0; n < estimates_.size(); ++n) {
+    stats.movement =
+        std::max(stats.movement, estimates_[n].distance(previous[n]));
+    for (std::size_t m = n + 1; m < estimates_.size(); ++m)
+      stats.disagreement = std::max(stats.disagreement,
+                                    estimates_[n].distance(estimates_[m]));
+  }
+  stats.bytes_exchanged =
+      bytes_per_replica_round() * estimates_.size();
+
+  Matrix current = solution();
+  stats.objective = problem_->total_cost(current);
+  const double scale = std::max(problem_->total_demand(), 1.0);
+  if (!last_solution_.empty() &&
+      current.distance(last_solution_) <= options_.tolerance * scale) {
+    if (++stable_rounds_ >= options_.patience) converged_ = true;
+  } else {
+    stable_rounds_ = 0;
+  }
+  last_solution_ = std::move(current);
+  return stats;
+}
+
+optim::ConvergenceTrace CdpsmEngine::run() {
+  optim::ConvergenceTrace trace;
+  double bytes_total = 0.0;
+  while (!converged_ && rounds_ < options_.max_rounds) {
+    const auto stats = round();
+    bytes_total += static_cast<double>(stats.bytes_exchanged);
+    trace.record({stats.round, stats.objective,
+                  std::max(stats.disagreement, stats.movement), bytes_total});
+  }
+  return trace;
+}
+
+Matrix CdpsmEngine::solution() const {
+  const double weight = 1.0 / static_cast<double>(estimates_.size());
+  Matrix mean(problem_->num_clients(), problem_->num_replicas(), 0.0);
+  for (const Matrix& estimate : estimates_) mean.axpy(weight, estimate);
+  optim::project_feasible(*problem_, mean);
+  return mean;
+}
+
+std::size_t CdpsmEngine::bytes_per_replica_round() const {
+  // Each replica ships its full |C|x|N| estimate to every other replica —
+  // the O(|C|·|N|³) total the paper charges CDPSM with.
+  return net::wire_size_matrix(problem_->num_clients(),
+                               problem_->num_replicas()) *
+         (estimates_.size() - 1);
+}
+
+}  // namespace edr::core

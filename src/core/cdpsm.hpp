@@ -1,0 +1,110 @@
+// CDPSM — consensus-based distributed projected subgradient method
+// (paper §III-D.1, following Nedić-Ozdaglar-Parrilo).
+//
+// Every replica n keeps a full estimate P^n of the global traffic matrix.
+// One round:
+//   1. consensus:   V^n = Σ_j a_j · P^j        (weights Σ a_j = 1)
+//   2. gradient:    W^n = V^n − d · ∇E_n(V^n)  (local objective only)
+//   3. projection:  P^n ← Proj_{X_n}[W^n]
+// where X_n is replica n's local constraint set: the shared demand
+// simplices plus its *own* capacity column (the sets' intersection over n
+// is the global feasible set, as the convergence theory requires).
+//
+// The engine is a pure synchronous state machine: step_replica() advances
+// one replica given its peers' previous estimates, so the same math runs
+// standalone (tests, Fig 5) and inside the message-driven simulator agents
+// (which charge each estimate exchange to the network).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "optim/convergence.hpp"
+#include "optim/problem.hpp"
+
+namespace edr::core {
+
+struct CdpsmOptions {
+  /// Constant step size d (paper compares both methods at constant step).
+  /// 0 = auto: 1/L from the problem's Lipschitz bound.
+  double step = 0.0;
+  /// Use the diminishing schedule d_k = d/√k from Nedić-Ozdaglar-Parrilo
+  /// (whose convergence theory requires it).  Slower than the constant
+  /// step + exact-consensus variant; provided for fidelity to the paper's
+  /// simulation (see EXPERIMENTS.md, Fig 5).
+  bool diminishing_step = false;
+  std::size_t max_rounds = 2000;
+  /// Converged when the *recovered* solution (projected mean of estimates)
+  /// stops moving: round-to-round change below tolerance × demand scale for
+  /// `patience` consecutive rounds.  Individual estimates settle on
+  /// different fixed points of their local projections, so estimate
+  /// disagreement never reaches zero and is not a usable stop signal.
+  double tolerance = 1e-5;
+  std::size_t patience = 3;
+};
+
+/// Per-round progress of the synchronous driver.
+struct CdpsmRoundStats {
+  std::size_t round = 0;
+  double objective = 0.0;      ///< cost of the mean estimate (projected)
+  double disagreement = 0.0;   ///< max pairwise estimate distance
+  double movement = 0.0;       ///< max per-replica estimate change
+  std::size_t bytes_exchanged = 0;  ///< all-to-all estimate traffic
+};
+
+class CdpsmEngine {
+ public:
+  CdpsmEngine(const optim::Problem& problem, CdpsmOptions options = {});
+
+  [[nodiscard]] std::size_t num_replicas() const {
+    return problem_->num_replicas();
+  }
+
+  /// Replica n's current estimate.
+  [[nodiscard]] const Matrix& estimate(std::size_t n) const {
+    return estimates_[n];
+  }
+  void set_estimate(std::size_t n, Matrix estimate);
+
+  /// Pure per-replica update: consensus over `peer_estimates` (all replicas'
+  /// round-k estimates, uniform weights a_j = 1/|N|), local gradient step,
+  /// projection onto X_n.  Does not mutate engine state.
+  [[nodiscard]] Matrix step_replica(
+      std::size_t n, std::span<const Matrix> peer_estimates) const;
+
+  /// One synchronous round over all replicas (the standalone driver).
+  CdpsmRoundStats round();
+
+  /// Run rounds until convergence or the round limit; returns the trace.
+  optim::ConvergenceTrace run();
+
+  [[nodiscard]] bool converged() const { return converged_; }
+  [[nodiscard]] std::size_t rounds_executed() const { return rounds_; }
+
+  /// Consensus solution: the average of all replica estimates, projected to
+  /// exact feasibility (the average satisfies constraints only up to the
+  /// consensus tolerance).
+  [[nodiscard]] Matrix solution() const;
+
+  /// Bytes a single replica sends per round (its estimate to each peer).
+  [[nodiscard]] std::size_t bytes_per_replica_round() const;
+
+  [[nodiscard]] const CdpsmOptions& options() const { return options_; }
+  [[nodiscard]] const optim::Problem& problem() const { return *problem_; }
+
+ private:
+  void project_local(std::size_t n, Matrix& estimate) const;
+
+  const optim::Problem* problem_;
+  CdpsmOptions options_;
+  double step_ = 0.0;
+  std::vector<Matrix> estimates_;
+  Matrix last_solution_;
+  std::size_t stable_rounds_ = 0;
+  std::size_t rounds_ = 0;
+  bool converged_ = false;
+};
+
+}  // namespace edr::core

@@ -1,0 +1,177 @@
+#include "core/lddm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/wire.hpp"
+#include "optim/objective.hpp"
+#include "optim/projection.hpp"
+
+namespace edr::core {
+
+LddmEngine::LddmEngine(const optim::Problem& problem, LddmOptions options)
+    : problem_(&problem), options_(options) {
+  const std::string issue = problem.validate();
+  if (!issue.empty())
+    throw std::invalid_argument("LddmEngine: invalid problem: " + issue);
+  if (options_.rho <= 0.0)
+    throw std::invalid_argument("LddmEngine: rho must be > 0");
+
+  const std::size_t clients = problem.num_clients();
+  const std::size_t replicas = problem.num_replicas();
+  mu_step_ = options_.mu_step > 0.0
+                 ? options_.mu_step
+                 : options_.mu_step_factor * options_.rho /
+                       static_cast<double>(replicas);
+
+  if (std::isnan(options_.initial_mu)) {
+    // Auto: make serving immediately attractive — the negative of a
+    // mid-range marginal cost.  (Any start converges; this one starts the
+    // primal near sensible loads instead of at zero.)
+    double marginal = 0.0;
+    for (std::size_t n = 0; n < replicas; ++n)
+      marginal += optim::replica_cost_derivative(
+          problem.replica(n),
+          problem.total_demand() / static_cast<double>(replicas));
+    marginal /= static_cast<double>(replicas);
+    mu_.assign(clients, -marginal);
+  } else {
+    mu_.assign(clients, options_.initial_mu);
+  }
+
+  columns_.assign(replicas, std::vector<double>(clients, 0.0));
+  average_.assign(replicas, std::vector<double>(clients, 0.0));
+  masks_.assign(replicas, std::vector<double>(clients, 0.0));
+  for (std::size_t n = 0; n < replicas; ++n)
+    for (std::size_t c = 0; c < clients; ++c)
+      masks_[n][c] = problem.feasible_pair(c, n) ? 1.0 : 0.0;
+}
+
+std::vector<double> LddmEngine::solve_local(
+    std::size_t n, std::span<const double> multipliers) {
+  const auto result = optim::solve_replica_subproblem(
+      problem_->replica(n), multipliers, masks_[n], columns_[n],
+      options_.rho);
+  columns_[n] = result.allocation;
+  // Running average for primal recovery (Cesàro average of iterates).
+  const double k = static_cast<double>(rounds_ + 1);
+  for (std::size_t c = 0; c < columns_[n].size(); ++c)
+    average_[n][c] += (columns_[n][c] - average_[n][c]) / k;
+  return columns_[n];
+}
+
+void LddmEngine::set_multipliers(std::span<const double> mu) {
+  if (mu.size() != mu_.size())
+    throw std::invalid_argument("LddmEngine::set_multipliers: size mismatch");
+  if (rounds_ != 0)
+    throw std::logic_error(
+        "LddmEngine::set_multipliers: only valid before the first round");
+  std::copy(mu.begin(), mu.end(), mu_.begin());
+}
+
+void LddmEngine::set_column_state(std::size_t n,
+                                  std::span<const double> column) {
+  if (n >= columns_.size())
+    throw std::out_of_range("LddmEngine::set_column_state: bad replica");
+  if (column.size() != columns_[n].size())
+    throw std::invalid_argument("LddmEngine::set_column_state: size mismatch");
+  if (rounds_ != 0)
+    throw std::logic_error(
+        "LddmEngine::set_column_state: only valid before the first round");
+  for (std::size_t c = 0; c < column.size(); ++c) {
+    const double value = masks_[n][c] != 0.0 ? std::max(column[c], 0.0) : 0.0;
+    columns_[n][c] = value;
+    average_[n][c] = value;
+  }
+}
+
+double LddmEngine::update_multiplier(std::size_t c, double total_served) {
+  mu_[c] += mu_step_ * (total_served - problem_->demand(c));
+  return mu_[c];
+}
+
+LddmRoundStats LddmEngine::round() {
+  const std::size_t clients = problem_->num_clients();
+  const std::size_t replicas = problem_->num_replicas();
+
+  LddmRoundStats stats;
+  const auto previous = columns_;
+
+  for (std::size_t n = 0; n < replicas; ++n) solve_local(n, mu_);
+
+  std::vector<double> served(clients, 0.0);
+  for (std::size_t n = 0; n < replicas; ++n)
+    for (std::size_t c = 0; c < clients; ++c) served[c] += columns_[n][c];
+  for (std::size_t c = 0; c < clients; ++c) {
+    update_multiplier(c, served[c]);
+    stats.demand_residual = std::max(
+        stats.demand_residual, std::abs(served[c] - problem_->demand(c)));
+  }
+
+  for (std::size_t n = 0; n < replicas; ++n) {
+    double sq = 0.0;
+    for (std::size_t c = 0; c < clients; ++c) {
+      const double d = columns_[n][c] - previous[n][c];
+      sq += d * d;
+    }
+    stats.movement = std::max(stats.movement, std::sqrt(sq));
+  }
+
+  stats.round = ++rounds_;
+  stats.bytes_exchanged =
+      replicas * bytes_per_replica_round() + clients * bytes_per_client_round();
+
+  // Convergence: the recovered solution stops moving for `patience` rounds.
+  Matrix current = solution();
+  stats.objective = problem_->total_cost(current);
+  const double scale = std::max(problem_->total_demand(), 1.0);
+  if (!last_solution_.empty() &&
+      current.distance(last_solution_) <= options_.tolerance * scale) {
+    if (++stable_rounds_ >= options_.patience) converged_ = true;
+  } else {
+    stable_rounds_ = 0;
+  }
+  last_solution_ = std::move(current);
+  return stats;
+}
+
+optim::ConvergenceTrace LddmEngine::run() {
+  optim::ConvergenceTrace trace;
+  double bytes_total = 0.0;
+  while (!converged_ && rounds_ < options_.max_rounds) {
+    const auto stats = round();
+    bytes_total += static_cast<double>(stats.bytes_exchanged);
+    trace.record({stats.round, stats.objective,
+                  std::max(stats.demand_residual, stats.movement),
+                  bytes_total});
+  }
+  return trace;
+}
+
+Matrix LddmEngine::solution() const {
+  const std::size_t clients = problem_->num_clients();
+  const std::size_t replicas = problem_->num_replicas();
+  // Cesàro average of the primal iterates: the raw dual-decomposition
+  // iterates oscillate around the optimum, but their running average
+  // converges (standard primal recovery); feasibility repair makes the
+  // demand rows exact.
+  Matrix current(clients, replicas, 0.0);
+  for (std::size_t n = 0; n < replicas; ++n)
+    for (std::size_t c = 0; c < clients; ++c)
+      current(c, n) = average_[n][c];
+  optim::project_feasible(*problem_, current);
+  return current;
+}
+
+std::size_t LddmEngine::bytes_per_replica_round() const {
+  // One (client id, load) pair per client, shipped to that client.
+  return problem_->num_clients() * (4 + 8);
+}
+
+std::size_t LddmEngine::bytes_per_client_round() const {
+  // μ_c to every replica.
+  return problem_->num_replicas() * (4 + 8);
+}
+
+}  // namespace edr::core

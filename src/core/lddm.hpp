@@ -1,0 +1,135 @@
+// LDDM — Lagrangian dual decomposition method (paper §III-D.2, following
+// Bertsekas-Tsitsiklis).
+//
+// The per-client demand equalities Σ_n p_{c,n} = R_c are dualized with
+// multipliers μ_c.  One round:
+//   1. each replica solves its local subproblem over its own column
+//      (optim::solve_replica_subproblem, prox-regularized — see
+//      objective.hpp for why) given the current μ, and reports the
+//      per-client loads to the clients;
+//   2. each client updates its multiplier by dual gradient ascent
+//        μ_c ← μ_c + t · (Σ_n p_{c,n} − R_c)
+//      and sends the new value back to the replicas.
+// Coordination is client↔replica only — no replica↔replica traffic — which
+// is the O(|C|·|N|) per-round communication the paper credits LDDM with.
+//
+// The engine exposes the same split personality as CdpsmEngine: pure
+// per-role steps for the simulator agents plus a synchronous driver for
+// tests and Fig 5.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "optim/convergence.hpp"
+#include "optim/problem.hpp"
+
+namespace edr::core {
+
+struct LddmOptions {
+  /// Proximal weight ρ of the replica subproblem (must be > 0).  Larger ρ
+  /// damps the dual oscillation of plain decomposition at the price of
+  /// slower per-round progress; 2.0 balances both on the paper's setups.
+  double rho = 2.0;
+  /// Dual ascent step t; 0 = auto (mu_step_factor · ρ / |N|; ρ/|N| is the
+  /// textbook-safe value since the dual gradient is |N|/ρ-Lipschitz under
+  /// the prox term).
+  double mu_step = 0.0;
+  /// Multiplier on the auto dual step.  The prox term damps the iteration
+  /// well past the nominal bound, so the runtime uses 3.0 for ~3x fewer
+  /// rounds per epoch; keep 1.0 for conservative library use.
+  double mu_step_factor = 1.0;
+  std::size_t max_rounds = 2000;
+  /// Initial dual value for every client.  NaN = auto: the negative of a
+  /// mid-range marginal cost, which starts the primal near sensible loads
+  /// (use 0.0 for a neutral cold start, e.g. in convergence studies).
+  double initial_mu = std::numeric_limits<double>::quiet_NaN();
+  /// Converged when the *recovered* solution (averaged + repaired) stops
+  /// moving: its round-to-round change stays below tolerance × demand scale
+  /// for `patience` consecutive rounds.  The raw dual iterates of a
+  /// decomposition method oscillate even at the optimum, so they are not a
+  /// usable stopping signal.
+  double tolerance = 1e-5;
+  std::size_t patience = 5;
+};
+
+struct LddmRoundStats {
+  std::size_t round = 0;
+  double objective = 0.0;        ///< cost of the repaired current solution
+  double demand_residual = 0.0;  ///< max_c |Σ_n p_{c,n} − R_c|
+  double movement = 0.0;         ///< max column change this round
+  std::size_t bytes_exchanged = 0;
+};
+
+class LddmEngine {
+ public:
+  LddmEngine(const optim::Problem& problem, LddmOptions options = {});
+
+  /// --- per-role steps (used by the simulator agents) ---
+
+  /// Replica n's subproblem solve against `multipliers`; updates the stored
+  /// column and prox center, returns the new column (one load per client).
+  std::vector<double> solve_local(std::size_t n,
+                                  std::span<const double> multipliers);
+
+  /// Client-side dual update given the loads each replica reported for
+  /// client c.  Returns the new μ_c.
+  double update_multiplier(std::size_t c, double total_served);
+
+  [[nodiscard]] const std::vector<double>& multipliers() const { return mu_; }
+
+  /// Warm-start the dual variables (e.g. from the previous scheduling
+  /// epoch); must be called before the first round.
+  void set_multipliers(std::span<const double> mu);
+
+  /// Warm-start replica n's primal column (prox center + recovery average).
+  /// Dual-only warm starts barely help because the Cesàro average restarts
+  /// from zero; carrying the primal as well is what shortens epochs.
+  void set_column_state(std::size_t n, std::span<const double> column);
+  [[nodiscard]] const std::vector<double>& column(std::size_t n) const {
+    return columns_[n];
+  }
+
+  /// --- synchronous driver ---
+
+  /// One full round (all replicas solve, all clients update μ).
+  LddmRoundStats round();
+
+  /// Run until convergence or the round limit; returns the trace.
+  optim::ConvergenceTrace run();
+
+  [[nodiscard]] bool converged() const { return converged_; }
+  [[nodiscard]] std::size_t rounds_executed() const { return rounds_; }
+
+  /// Current primal solution: running-average iterate assembled into a
+  /// matrix and repaired to exact feasibility (dual methods meet the demand
+  /// constraints only in the limit).
+  [[nodiscard]] Matrix solution() const;
+
+  /// Bytes one replica sends to clients per round (its column, split into
+  /// per-client messages).
+  [[nodiscard]] std::size_t bytes_per_replica_round() const;
+  /// Bytes one client sends to replicas per round (its μ to each replica).
+  [[nodiscard]] std::size_t bytes_per_client_round() const;
+
+  [[nodiscard]] const LddmOptions& options() const { return options_; }
+  [[nodiscard]] const optim::Problem& problem() const { return *problem_; }
+
+ private:
+  const optim::Problem* problem_;
+  LddmOptions options_;
+  double mu_step_ = 0.0;
+  std::vector<double> mu_;                     // per client
+  std::vector<std::vector<double>> columns_;   // per replica, per client
+  std::vector<std::vector<double>> average_;   // running primal average
+  std::vector<std::vector<double>> masks_;     // per replica feasibility
+  Matrix last_solution_;
+  std::size_t stable_rounds_ = 0;
+  std::size_t rounds_ = 0;
+  bool converged_ = false;
+};
+
+}  // namespace edr::core

@@ -1,0 +1,42 @@
+#include "net/inproc.hpp"
+
+#include <stdexcept>
+
+namespace edr::net {
+
+InprocTransport::InprocTransport(std::size_t num_nodes,
+                                 std::size_t mailbox_capacity) {
+  mailboxes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox<Message>>(mailbox_capacity));
+}
+
+bool InprocTransport::send(Message message) {
+  if (message.to >= mailboxes_.size())
+    throw std::out_of_range("InprocTransport::send: unknown destination");
+  return mailboxes_[message.to]->push(std::move(message));
+}
+
+std::optional<Message> InprocTransport::receive(NodeId node) {
+  if (node >= mailboxes_.size())
+    throw std::out_of_range("InprocTransport::receive: unknown node");
+  return mailboxes_[node]->pop();
+}
+
+std::optional<Message> InprocTransport::try_receive(NodeId node) {
+  if (node >= mailboxes_.size())
+    throw std::out_of_range("InprocTransport::try_receive: unknown node");
+  return mailboxes_[node]->try_pop();
+}
+
+void InprocTransport::close(NodeId node) {
+  if (node >= mailboxes_.size())
+    throw std::out_of_range("InprocTransport::close: unknown node");
+  mailboxes_[node]->close();
+}
+
+void InprocTransport::close_all() {
+  for (auto& mailbox : mailboxes_) mailbox->close();
+}
+
+}  // namespace edr::net

@@ -1,0 +1,115 @@
+// Threaded in-process transport.
+//
+// The paper's EDR prototype is a multithreaded TCP program: each replica
+// runs ClientListener / ReplicaListener / FileDownload threads.  The live
+// examples in this repository reproduce that structure with real threads
+// communicating through bounded mailboxes — the same actor topology minus
+// the socket plumbing (see DESIGN.md §2 for why that substitution is
+// faithful).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace edr::net {
+
+/// A thread-safe bounded MPMC queue with shutdown semantics.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Blocking push; returns false if the mailbox was closed.
+  bool push(T value) {
+    std::unique_lock lock{mutex_};
+    not_full_.wait(lock,
+                   [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; empty optional means the mailbox closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock{mutex_};
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::scoped_lock lock{mutex_};
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Close: pending pops drain the queue then return nullopt; pushes fail.
+  void close() {
+    std::scoped_lock lock{mutex_};
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::scoped_lock lock{mutex_};
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock{mutex_};
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Routes Messages between threads: one mailbox per node id.
+class InprocTransport {
+ public:
+  explicit InprocTransport(std::size_t num_nodes,
+                           std::size_t mailbox_capacity = 4096);
+
+  [[nodiscard]] std::size_t num_nodes() const { return mailboxes_.size(); }
+
+  /// Deliver to message.to's mailbox; false if that mailbox is closed.
+  bool send(Message message);
+
+  /// Blocking receive for `node`; nullopt on shutdown.
+  std::optional<Message> receive(NodeId node);
+
+  /// Non-blocking receive.
+  std::optional<Message> try_receive(NodeId node);
+
+  /// Close one node's mailbox (crash injection) or all (shutdown).
+  void close(NodeId node);
+  void close_all();
+
+ private:
+  // unique_ptr because a Mailbox owns synchronization primitives and is
+  // neither movable nor copyable.
+  std::vector<std::unique_ptr<Mailbox<Message>>> mailboxes_;
+};
+
+}  // namespace edr::net

@@ -1,0 +1,88 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace edr::net {
+
+void SimNetwork::attach(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void SimNetwork::detach(NodeId node) { handlers_.erase(node); }
+
+bool SimNetwork::attached(NodeId node) const {
+  return handlers_.contains(node);
+}
+
+void SimNetwork::set_link(NodeId from, NodeId to, LinkParams params) {
+  links_[{from, to}] = params;
+}
+
+LinkParams SimNetwork::link(NodeId from, NodeId to) const {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+SimTime SimNetwork::nominal_delay(NodeId from, NodeId to,
+                                  std::size_t bytes) const {
+  const LinkParams params = link(from, to);
+  const double transmission =
+      params.bandwidth_mbps > 0.0
+          ? static_cast<double>(bytes) / (params.bandwidth_mbps * 1e6)
+          : 0.0;
+  return seconds(params.latency) + transmission;
+}
+
+void SimNetwork::send(Message message) {
+  auto& sender = stats_[message.from];
+  sender.messages_sent += 1;
+  sender.bytes_sent += message.bytes;
+
+  const LinkParams params = link(message.from, message.to);
+  const double transmission =
+      params.bandwidth_mbps > 0.0
+          ? static_cast<double>(message.bytes) / (params.bandwidth_mbps * 1e6)
+          : 0.0;
+
+  // FIFO serialization on the directed link: transmission starts when the
+  // link frees up.
+  SimTime& busy_until = link_busy_until_[{message.from, message.to}];
+  const SimTime start = std::max(sim_.now(), busy_until);
+  busy_until = start + transmission;
+  const SimTime delivery = busy_until + seconds(params.latency);
+
+  // Loss happens on the wire: the sender already paid the transmission
+  // slot, the receiver just never sees the frame.
+  if (params.loss_probability > 0.0 &&
+      loss_rng_.uniform() < params.loss_probability) {
+    ++lost_;
+    return;
+  }
+
+  sim_.schedule_at(delivery, [this, msg = std::move(message)]() {
+    const auto it = handlers_.find(msg.to);
+    if (it == handlers_.end()) return;  // crashed host: drop
+    auto& receiver = stats_[msg.to];
+    receiver.messages_received += 1;
+    receiver.bytes_received += msg.bytes;
+    it->second(msg);
+  });
+}
+
+const TrafficStats& SimNetwork::stats(NodeId node) const {
+  return stats_[node];  // default-constructs zeros for unknown nodes
+}
+
+TrafficStats SimNetwork::total_stats() const {
+  TrafficStats total;
+  for (const auto& [node, s] : stats_) {
+    total.messages_sent += s.messages_sent;
+    total.messages_received += s.messages_received;
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_received += s.bytes_received;
+  }
+  return total;
+}
+
+}  // namespace edr::net

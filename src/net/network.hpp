@@ -1,0 +1,113 @@
+// Simulated network: nodes, links, message delivery.
+//
+// Models the paper's data-center interconnect at the fidelity the
+// evaluation depends on: per-link propagation latency (which drives the
+// latency-feasibility mask), per-link bandwidth with FIFO serialization
+// (which drives transfer times and hence the power-trace peaks), and
+// per-node traffic counters (which drive the communication-complexity
+// comparisons between CDPSM, LDDM and DONAR).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/sim.hpp"
+
+namespace edr::net {
+
+using NodeId = std::uint32_t;
+
+/// A message in flight.  `type` is interpreted by the receiving agent
+/// (core defines its protocol enums); `bytes` drives transmission delay and
+/// the traffic counters; `payload` carries typed content without copying
+/// through a codec on every hop (the codec in net/wire.hpp is used to size
+/// messages and at the transport boundary in live mode).
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  int type = 0;
+  std::size_t bytes = 0;
+  std::any payload;
+};
+
+/// Static link properties.
+struct LinkParams {
+  Milliseconds latency = 0.5;
+  /// Link rate in MB/s (paper: ~100 MB/s Ethernet).
+  double bandwidth_mbps = 100.0;
+  /// Independent per-message drop probability (0 = reliable, the default;
+  /// the paper's TCP transport retransmits, but heartbeats and other
+  /// datagram-style traffic see real loss — see cluster ring tests).
+  double loss_probability = 0.0;
+};
+
+/// Per-node traffic statistics.
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Message handler: invoked at delivery time on the destination node.
+using Handler = std::function<void(const Message&)>;
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(Simulator& sim) : sim_(sim) {}
+
+  /// Seed the loss process (only consumed on links with loss_probability
+  /// > 0, so reliable topologies stay bit-identical across seeds).
+  void seed_loss(std::uint64_t seed) { loss_rng_.reseed(seed); }
+
+  /// Register (or replace) the handler for `node`.
+  void attach(NodeId node, Handler handler);
+
+  /// Remove a node: pending deliveries to it are dropped (crash semantics).
+  void detach(NodeId node);
+
+  [[nodiscard]] bool attached(NodeId node) const;
+
+  /// Default parameters for links without an explicit override.
+  void set_default_link(LinkParams params) { default_link_ = params; }
+  /// Directed per-pair override.
+  void set_link(NodeId from, NodeId to, LinkParams params);
+  [[nodiscard]] LinkParams link(NodeId from, NodeId to) const;
+
+  /// Send `message` (from/to must be set).  Delivery is scheduled after
+  /// propagation latency plus transmission time; messages on the same
+  /// directed link serialize FIFO behind each other (a busy link delays
+  /// later sends).  Messages to detached nodes are silently dropped at
+  /// delivery time, like packets to a crashed host.
+  void send(Message message);
+
+  /// Transmission + propagation delay a fresh message of `bytes` would see
+  /// right now on from->to (ignoring queueing).
+  [[nodiscard]] SimTime nominal_delay(NodeId from, NodeId to,
+                                      std::size_t bytes) const;
+
+  [[nodiscard]] const TrafficStats& stats(NodeId node) const;
+  [[nodiscard]] TrafficStats total_stats() const;
+  /// Messages dropped by lossy links so far.
+  [[nodiscard]] std::uint64_t messages_lost() const { return lost_; }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+
+ private:
+  Simulator& sim_;
+  Rng loss_rng_{0x1055ee7dULL};
+  std::uint64_t lost_ = 0;
+  LinkParams default_link_;
+  std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
+  std::map<std::pair<NodeId, NodeId>, SimTime> link_busy_until_;
+  std::map<NodeId, Handler> handlers_;
+  mutable std::map<NodeId, TrafficStats> stats_;
+};
+
+}  // namespace edr::net

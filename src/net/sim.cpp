@@ -1,0 +1,44 @@
+#include "net/sim.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace edr::net {
+
+void Simulator::schedule_at(SimTime when, Task task) {
+  queue_.push({std::max(when, now_), next_seq_++, std::move(task)});
+}
+
+void Simulator::schedule_after(SimTime delay, Task task) {
+  schedule_at(now_ + std::max(delay, 0.0), std::move(task));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Task must be moved out before execution: the task may schedule new
+  // events and reallocate the queue.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.task();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t limit) {
+  std::size_t count = 0;
+  while (count < limit && step()) ++count;
+  return count;
+}
+
+std::size_t Simulator::run_until(SimTime horizon) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= horizon) {
+    step();
+    ++count;
+  }
+  now_ = std::max(now_, horizon);
+  return count;
+}
+
+}  // namespace edr::net

@@ -1,0 +1,68 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substrate that replaces the paper's physical SystemG cluster:
+// everything time-dependent (message delivery, solver rounds, heartbeats,
+// file transfers, power sampling) runs as events on this queue.  Ties are
+// broken by insertion order, so a run is a pure function of its inputs and
+// seeds — the property every reproduction test leans on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace edr::net {
+
+class Simulator {
+ public:
+  using Task = std::function<void()>;
+
+  /// Current simulated time in seconds.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `task` at absolute time `when` (clamped to now for past
+  /// times — events cannot run in the past).
+  void schedule_at(SimTime when, Task task);
+
+  /// Schedule `task` after `delay` seconds.
+  void schedule_after(SimTime delay, Task task);
+
+  /// Run a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `limit` events have executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Run events with time ≤ horizon; the clock is left at
+  /// min(horizon, time of last executed event's successor).  Events beyond
+  /// the horizon remain queued.
+  std::size_t run_until(SimTime horizon);
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Task task;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace edr::net

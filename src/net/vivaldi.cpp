@@ -1,0 +1,117 @@
+#include "net/vivaldi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace edr::net {
+namespace {
+
+double norm(const std::array<double, kVivaldiDimensions>& v) {
+  double sum = 0.0;
+  for (const double x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+Milliseconds vivaldi_distance(const VivaldiCoord& a, const VivaldiCoord& b) {
+  std::array<double, kVivaldiDimensions> diff{};
+  for (std::size_t d = 0; d < kVivaldiDimensions; ++d)
+    diff[d] = a.position[d] - b.position[d];
+  return norm(diff) + a.height + b.height;
+}
+
+void VivaldiNode::observe(const VivaldiCoord& remote,
+                          Milliseconds measured_rtt) {
+  if (measured_rtt <= 0.0) return;  // bogus sample
+
+  const double predicted = vivaldi_distance(coord_, remote);
+  const double sample_error =
+      std::abs(predicted - measured_rtt) / measured_rtt;
+
+  // Confidence weighting: trust the sample more when the remote is more
+  // certain than we are.
+  const double weight =
+      coord_.error / std::max(coord_.error + remote.error, 1e-9);
+
+  // Exponentially-weighted error estimate.
+  coord_.error = clamp(sample_error * config_.error_gain * weight +
+                           coord_.error * (1.0 - config_.error_gain * weight),
+                       1e-3, 1.0);
+
+  // Unit vector from remote toward us (the force direction).
+  std::array<double, kVivaldiDimensions> direction{};
+  for (std::size_t d = 0; d < kVivaldiDimensions; ++d)
+    direction[d] = coord_.position[d] - remote.position[d];
+  const double length = norm(direction);
+  if (length < 1e-9) {
+    // Coincident coordinates: push along a fixed axis (the caller usually
+    // randomizes starts, so this is a corner case, not the norm).
+    direction[0] = 1.0;
+  } else {
+    for (double& x : direction) x /= length;
+  }
+
+  const double delta = config_.gain * weight;
+  const double force = measured_rtt - predicted;  // >0: move apart
+  for (std::size_t d = 0; d < kVivaldiDimensions; ++d)
+    coord_.position[d] += delta * force * direction[d];
+  // Heights absorb the component that cannot be embedded.
+  coord_.height = std::max(config_.min_height,
+                           coord_.height + delta * force * 0.5);
+}
+
+void VivaldiNode::randomize(Rng& rng, double scale) {
+  for (double& x : coord_.position) x = rng.normal(0.0, scale);
+  coord_.height = std::max(config_.min_height, rng.uniform(0.0, scale));
+}
+
+VivaldiSystem::VivaldiSystem(Matrix rtt, std::uint64_t seed,
+                             VivaldiConfig config)
+    : rtt_(std::move(rtt)), rng_(seed) {
+  if (rtt_.rows() != rtt_.cols())
+    throw std::invalid_argument("VivaldiSystem: RTT matrix must be square");
+  nodes_.assign(rtt_.rows(), VivaldiNode{config});
+  for (auto& node : nodes_) node.randomize(rng_);
+}
+
+void VivaldiSystem::gossip(std::size_t rounds, double noise_fraction) {
+  const std::size_t n = nodes_.size();
+  if (n < 2) return;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t j = static_cast<std::size_t>(rng_.bounded(n - 1));
+      if (j >= i) ++j;
+      double rtt = rtt_(i, j);
+      if (noise_fraction > 0.0)
+        rtt = std::max(0.0, rtt * (1.0 + rng_.normal(0.0, noise_fraction)));
+      nodes_[i].observe(nodes_[j].coordinate(), rtt);
+    }
+  }
+}
+
+Milliseconds VivaldiSystem::estimate(std::size_t i, std::size_t j) const {
+  return nodes_[i].estimate_to(nodes_[j].coordinate());
+}
+
+double VivaldiSystem::median_relative_error() const {
+  std::vector<double> errors;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j)
+      if (rtt_(i, j) > 1e-9)
+        errors.push_back(std::abs(estimate(i, j) - rtt_(i, j)) / rtt_(i, j));
+  return percentile(std::move(errors), 50.0);
+}
+
+Matrix VivaldiSystem::estimated_matrix() const {
+  Matrix out(nodes_.size(), nodes_.size(), 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (std::size_t j = 0; j < nodes_.size(); ++j)
+      if (i != j) out(i, j) = estimate(i, j);
+  return out;
+}
+
+}  // namespace edr::net

@@ -1,0 +1,101 @@
+// Vivaldi network coordinates (Dabek, Cox, Kaashoek, Morris — SIGCOMM'04),
+// the decentralized latency-estimation system the paper cites as the other
+// coordinator-free approach to replica selection [25].
+//
+// Each node keeps a low-dimensional coordinate plus a "height" (modelling
+// the access-link delay that Euclidean embeddings cannot express).  After a
+// measured RTT to a peer, it nudges its coordinate along the error gradient
+// with a confidence-weighted adaptive timestep.  Predicted latency between
+// two nodes is the coordinate distance plus both heights.
+//
+// EDR can build its latency-feasibility mask from these predictions instead
+// of all-pairs probing: O(|C|+|N|) gossip instead of O(|C|·|N|)
+// measurements — exactly the property that made Vivaldi attractive for
+// wide-area server selection.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace edr::net {
+
+inline constexpr std::size_t kVivaldiDimensions = 2;
+
+struct VivaldiCoord {
+  std::array<double, kVivaldiDimensions> position{};
+  /// Access-link component (ms); always ≥ 0.
+  double height = 0.1;
+  /// Local error estimate in (0, 1]; starts pessimistic.
+  double error = 1.0;
+};
+
+/// Predicted one-way latency between two coordinates (ms).
+[[nodiscard]] Milliseconds vivaldi_distance(const VivaldiCoord& a,
+                                            const VivaldiCoord& b);
+
+struct VivaldiConfig {
+  /// Coordinate timestep gain c_c (paper's recommended 0.25).
+  double gain = 0.25;
+  /// Error-averaging gain c_e (paper's recommended 0.25).
+  double error_gain = 0.25;
+  /// Floor on heights (a link cannot have negative delay).
+  double min_height = 0.01;
+};
+
+/// One node's Vivaldi state machine.
+class VivaldiNode {
+ public:
+  explicit VivaldiNode(VivaldiConfig config = {}) : config_(config) {}
+
+  /// Incorporate a measured RTT (ms) to a peer advertising `remote`.
+  void observe(const VivaldiCoord& remote, Milliseconds measured_rtt);
+
+  [[nodiscard]] const VivaldiCoord& coordinate() const { return coord_; }
+  [[nodiscard]] Milliseconds estimate_to(const VivaldiCoord& remote) const {
+    return vivaldi_distance(coord_, remote);
+  }
+
+  /// Deterministic jitter for breaking the symmetry of coincident starts.
+  void randomize(Rng& rng, double scale = 0.1);
+
+ private:
+  VivaldiConfig config_;
+  VivaldiCoord coord_;
+};
+
+/// Test/bench harness: N Vivaldi nodes converging against a ground-truth
+/// latency matrix via random pairwise observations.
+class VivaldiSystem {
+ public:
+  /// `rtt(i, j)` is the true RTT between nodes i and j in ms (symmetric).
+  VivaldiSystem(Matrix rtt, std::uint64_t seed, VivaldiConfig config = {});
+
+  /// Run `rounds` gossip rounds; each round every node observes one random
+  /// peer (RTT perturbed by `noise_fraction` of its magnitude).
+  void gossip(std::size_t rounds, double noise_fraction = 0.0);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Milliseconds estimate(std::size_t i, std::size_t j) const;
+  [[nodiscard]] Milliseconds truth(std::size_t i, std::size_t j) const {
+    return rtt_(i, j);
+  }
+
+  /// Median relative prediction error over all pairs — the standard
+  /// Vivaldi accuracy metric.
+  [[nodiscard]] double median_relative_error() const;
+
+  /// Predicted full latency matrix (for building an optim::Problem).
+  [[nodiscard]] Matrix estimated_matrix() const;
+
+ private:
+  Matrix rtt_;
+  Rng rng_;
+  std::vector<VivaldiNode> nodes_;
+};
+
+}  // namespace edr::net

@@ -1,0 +1,99 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace edr::net {
+
+static_assert(std::endian::native == std::endian::little,
+              "wire codec assumes a little-endian host");
+
+void WireWriter::raw(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+void WireWriter::put_u32(std::uint32_t value) { raw(&value, sizeof(value)); }
+void WireWriter::put_u64(std::uint64_t value) { raw(&value, sizeof(value)); }
+void WireWriter::put_double(double value) { raw(&value, sizeof(value)); }
+
+void WireWriter::put_string(std::string_view value) {
+  put_u32(static_cast<std::uint32_t>(value.size()));
+  raw(value.data(), value.size());
+}
+
+void WireWriter::put_doubles(std::span<const double> values) {
+  put_u32(static_cast<std::uint32_t>(values.size()));
+  raw(values.data(), values.size() * sizeof(double));
+}
+
+void WireWriter::put_matrix(const Matrix& matrix) {
+  put_u32(static_cast<std::uint32_t>(matrix.rows()));
+  put_u32(static_cast<std::uint32_t>(matrix.cols()));
+  const auto flat = matrix.flat();
+  raw(flat.data(), flat.size() * sizeof(double));
+}
+
+void WireReader::raw(void* out, std::size_t size) {
+  if (offset_ + size > bytes_.size())
+    throw std::out_of_range("WireReader: truncated message");
+  std::memcpy(out, bytes_.data() + offset_, size);
+  offset_ += size;
+}
+
+std::uint8_t WireReader::get_u8() {
+  std::uint8_t value;
+  raw(&value, sizeof(value));
+  return value;
+}
+
+std::uint32_t WireReader::get_u32() {
+  std::uint32_t value;
+  raw(&value, sizeof(value));
+  return value;
+}
+
+std::uint64_t WireReader::get_u64() {
+  std::uint64_t value;
+  raw(&value, sizeof(value));
+  return value;
+}
+
+double WireReader::get_double() {
+  double value;
+  raw(&value, sizeof(value));
+  return value;
+}
+
+std::string WireReader::get_string() {
+  const std::uint32_t size = get_u32();
+  if (offset_ + size > bytes_.size())
+    throw std::out_of_range("WireReader: truncated string");
+  std::string value(reinterpret_cast<const char*>(bytes_.data() + offset_),
+                    size);
+  offset_ += size;
+  return value;
+}
+
+std::vector<double> WireReader::get_doubles() {
+  const std::uint32_t count = get_u32();
+  if (offset_ + static_cast<std::size_t>(count) * sizeof(double) >
+      bytes_.size())
+    throw std::out_of_range("WireReader: truncated double vector");
+  std::vector<double> values(count);
+  raw(values.data(), values.size() * sizeof(double));
+  return values;
+}
+
+Matrix WireReader::get_matrix() {
+  const std::uint32_t rows = get_u32();
+  const std::uint32_t cols = get_u32();
+  const std::size_t count = static_cast<std::size_t>(rows) * cols;
+  if (offset_ + count * sizeof(double) > bytes_.size())
+    throw std::out_of_range("WireReader: truncated matrix");
+  Matrix matrix(rows, cols);
+  raw(matrix.flat().data(), count * sizeof(double));
+  return matrix;
+}
+
+}  // namespace edr::net

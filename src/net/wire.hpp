@@ -1,0 +1,84 @@
+// Wire codec: a small, explicit binary serialization layer.
+//
+// The paper's implementation ships solution vectors, multipliers and
+// membership lists over TCP sockets.  The simulator keeps payloads in
+// memory, but it still needs faithful *sizes* for every message (they drive
+// transmission delay and the communication-complexity comparisons), and the
+// live threaded transport round-trips real bytes.  This codec is the single
+// definition of both.
+//
+// Format: little-endian fixed-width integers and IEEE-754 doubles; vectors
+// and strings are length-prefixed with a u32.  No padding, no versioning —
+// both ends of a link always run the same build.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace edr::net {
+
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t value) { raw(&value, 1); }
+  void put_u32(std::uint32_t value);
+  void put_u64(std::uint64_t value);
+  void put_double(double value);
+  void put_string(std::string_view value);
+  void put_doubles(std::span<const double> values);
+  void put_matrix(const Matrix& matrix);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return buffer_;
+  }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    return std::move(buffer_);
+  }
+
+ private:
+  void raw(const void* data, std::size_t size);
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Reader over a byte span.  Out-of-bounds reads throw std::out_of_range —
+/// a truncated message must fail loudly, not read garbage.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] double get_double();
+  [[nodiscard]] std::string get_string();
+  [[nodiscard]] std::vector<double> get_doubles();
+  [[nodiscard]] Matrix get_matrix();
+
+  [[nodiscard]] std::size_t remaining() const {
+    return bytes_.size() - offset_;
+  }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+ private:
+  void raw(void* out, std::size_t size);
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+/// Serialized sizes used for message-size accounting without building the
+/// actual buffer (hot path in the simulator).
+[[nodiscard]] constexpr std::size_t wire_size_doubles(std::size_t count) {
+  return 4 + 8 * count;
+}
+[[nodiscard]] constexpr std::size_t wire_size_matrix(std::size_t rows,
+                                                     std::size_t cols) {
+  return 8 + 8 * rows * cols;
+}
+
+}  // namespace edr::net

@@ -1,0 +1,56 @@
+// Convergence bookkeeping shared by all iterative solvers.
+//
+// Fig 5 of the paper plots objective value against iteration for CDPSM and
+// LDDM; every solver in this repository records its trajectory through this
+// type so the bench harness can print identical series for any algorithm.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace edr::optim {
+
+struct ConvergencePoint {
+  std::size_t iteration = 0;
+  double objective = 0.0;
+  /// Solver-specific stationarity measure (gradient-mapping norm, dual
+  /// residual, consensus disagreement, ...).
+  double residual = 0.0;
+  /// Cumulative simulated communication volume (doubles exchanged) — used
+  /// for the complexity comparisons of paper §III-D.
+  double communication = 0.0;
+};
+
+class ConvergenceTrace {
+ public:
+  void record(ConvergencePoint point) { points_.push_back(point); }
+
+  [[nodiscard]] const std::vector<ConvergencePoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  [[nodiscard]] double final_objective() const {
+    return points_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                           : points_.back().objective;
+  }
+
+  /// First iteration whose objective is within `gap` (relative) of
+  /// `optimum`; returns SIZE_MAX when the trace never gets there.
+  [[nodiscard]] std::size_t iterations_to_reach(double optimum,
+                                                double gap) const {
+    for (const auto& point : points_) {
+      const double rel =
+          (point.objective - optimum) / (std::abs(optimum) + 1e-30);
+      if (rel <= gap) return point.iteration;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+
+ private:
+  std::vector<ConvergencePoint> points_;
+};
+
+}  // namespace edr::optim

@@ -1,0 +1,125 @@
+#include "optim/flow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "optim/problem.hpp"
+
+namespace edr::optim {
+namespace {
+constexpr double kFlowEps = 1e-12;
+}
+
+MaxFlow::MaxFlow(std::size_t num_nodes)
+    : adj_(num_nodes), level_(num_nodes), next_edge_(num_nodes) {}
+
+std::size_t MaxFlow::add_edge(std::size_t from, std::size_t to,
+                              double capacity) {
+  adj_[from].push_back({to, capacity, adj_[to].size()});
+  adj_[to].push_back({from, 0.0, adj_[from].size() - 1});
+  edge_handles_.emplace_back(from, adj_[from].size() - 1);
+  original_capacity_.push_back(capacity);
+  return edge_handles_.size() - 1;
+}
+
+bool MaxFlow::build_levels(std::size_t source, std::size_t sink) {
+  std::ranges::fill(level_, -1);
+  std::queue<std::size_t> frontier;
+  level_[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t node = frontier.front();
+    frontier.pop();
+    for (const Edge& edge : adj_[node]) {
+      if (edge.capacity > kFlowEps && level_[edge.to] < 0) {
+        level_[edge.to] = level_[node] + 1;
+        frontier.push(edge.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double MaxFlow::push(std::size_t node, std::size_t sink, double limit) {
+  if (node == sink) return limit;
+  for (std::size_t& i = next_edge_[node]; i < adj_[node].size(); ++i) {
+    Edge& edge = adj_[node][i];
+    if (edge.capacity > kFlowEps && level_[edge.to] == level_[node] + 1) {
+      const double pushed =
+          push(edge.to, sink, std::min(limit, edge.capacity));
+      if (pushed > kFlowEps) {
+        edge.capacity -= pushed;
+        adj_[edge.to][edge.reverse].capacity += pushed;
+        return pushed;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(std::size_t source, std::size_t sink) {
+  double total = 0.0;
+  while (build_levels(source, sink)) {
+    std::ranges::fill(next_edge_, 0);
+    for (;;) {
+      const double pushed =
+          push(source, sink, std::numeric_limits<double>::infinity());
+      if (pushed <= kFlowEps) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double MaxFlow::flow_on(std::size_t edge_id) const {
+  const auto [node, index] = edge_handles_[edge_id];
+  return original_capacity_[edge_id] - adj_[node][index].capacity;
+}
+
+TransportResult check_transport_feasible(const Problem& problem,
+                                         double slack) {
+  const std::size_t clients = problem.num_clients();
+  const std::size_t replicas = problem.num_replicas();
+  // Node layout: 0 = source, 1..C = clients, C+1..C+N = replicas, last = sink.
+  const std::size_t source = 0;
+  const std::size_t sink = clients + replicas + 1;
+  MaxFlow flow(sink + 1);
+
+  for (std::size_t c = 0; c < clients; ++c)
+    flow.add_edge(source, 1 + c, problem.demand(c));
+
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> edges_of(
+      clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    for (std::size_t n = 0; n < replicas; ++n) {
+      if (!problem.feasible_pair(c, n)) continue;
+      // The client can never route more than its own demand over one pair,
+      // so demand(c) is a tight finite capacity (infinity would break the
+      // flow_on() bookkeeping).
+      const std::size_t id =
+          flow.add_edge(1 + c, 1 + clients + n, problem.demand(c));
+      edges_of[c].emplace_back(n, id);
+    }
+  }
+  for (std::size_t n = 0; n < replicas; ++n)
+    flow.add_edge(1 + clients + n, sink,
+                  problem.replica(n).bandwidth * slack);
+
+  TransportResult result;
+  result.routed = flow.solve(source, sink);
+  result.feasible = result.routed >= problem.total_demand() - 1e-7;
+  result.allocation = Matrix(clients, replicas, 0.0);
+  for (std::size_t c = 0; c < clients; ++c)
+    for (const auto& [n, id] : edges_of[c])
+      result.allocation(c, n) = flow.flow_on(id);
+  return result;
+}
+
+std::optional<Matrix> initial_feasible_point(const Problem& problem) {
+  TransportResult routed = check_transport_feasible(problem);
+  if (!routed.feasible) return std::nullopt;
+  return std::move(routed.allocation);
+}
+
+}  // namespace edr::optim

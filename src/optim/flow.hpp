@@ -1,0 +1,74 @@
+// Max-flow (Dinic) over the client/replica bipartite transportation graph.
+//
+// Used for two things:
+//  1. deciding whether an instance is feasible at all (can every client's
+//     demand be routed through latency-feasible replicas without exceeding
+//     any capacity?), and
+//  2. producing an initial *feasible* allocation for the iterative solvers,
+//     which keeps every subsequent iterate feasible and makes intermediate
+//     schedules safe to act on (the runtime can be preempted mid-solve).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace edr::optim {
+
+class Problem;
+
+/// General-purpose Dinic max-flow on a directed graph with double capacities.
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t num_nodes);
+
+  /// Add a directed edge u->v with the given capacity; returns an edge id
+  /// usable with flow_on().
+  std::size_t add_edge(std::size_t from, std::size_t to, double capacity);
+
+  /// Compute the maximum flow from source to sink.  May be called once.
+  double solve(std::size_t source, std::size_t sink);
+
+  /// Flow routed through the edge returned by add_edge.
+  [[nodiscard]] double flow_on(std::size_t edge_id) const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    double capacity;
+    std::size_t reverse;  // index of the paired reverse edge in adj_[to]
+  };
+
+  bool build_levels(std::size_t source, std::size_t sink);
+  double push(std::size_t node, std::size_t sink, double limit);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> next_edge_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_handles_;
+  std::vector<double> original_capacity_;
+};
+
+/// Result of the transportation feasibility check.
+struct TransportResult {
+  bool feasible = false;
+  /// Total demand that could be routed (== total demand iff feasible).
+  double routed = 0.0;
+  /// A max-flow allocation (clients x replicas); feasible iff `feasible`.
+  Matrix allocation;
+};
+
+/// Route the instance's demands through its latency-feasible pairs subject
+/// to capacities; `slack` in (0,1] shrinks capacities (useful for producing
+/// strictly-interior starting points).
+[[nodiscard]] TransportResult check_transport_feasible(const Problem& problem,
+                                                       double slack = 1.0);
+
+/// Convenience: a feasible starting allocation, or std::nullopt when the
+/// instance is infeasible.
+[[nodiscard]] std::optional<Matrix> initial_feasible_point(
+    const Problem& problem);
+
+}  // namespace edr::optim

@@ -1,0 +1,73 @@
+#include "optim/instance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "optim/flow.hpp"
+
+namespace edr::optim {
+
+Problem make_random_instance(Rng& rng, const InstanceOptions& options) {
+  if (options.num_clients == 0 || options.num_replicas == 0)
+    throw std::invalid_argument("make_random_instance: empty instance");
+
+  std::vector<Megabytes> demands(options.num_clients);
+  for (auto& demand : demands)
+    demand = rng.uniform(options.min_demand, options.max_demand);
+
+  std::vector<ReplicaParams> replicas(options.num_replicas);
+  for (auto& rep : replicas) {
+    rep.price = options.integer_prices
+                    ? static_cast<double>(
+                          rng.uniform_int(options.min_price, options.max_price))
+                    : rng.uniform(options.min_price, options.max_price);
+    rep.alpha = options.alpha;
+    rep.beta = options.beta;
+    rep.gamma = options.gamma;
+    rep.bandwidth = options.bandwidth;
+  }
+
+  Matrix latency(options.num_clients, options.num_replicas);
+  for (std::size_t c = 0; c < options.num_clients; ++c) {
+    for (std::size_t n = 0; n < options.num_replicas; ++n)
+      latency(c, n) =
+          rng.uniform(options.min_link_latency, options.max_link_latency);
+    // Guarantee at least one feasible replica per client by clamping the
+    // lowest-latency link under the bound.
+    std::size_t best = 0;
+    for (std::size_t n = 1; n < options.num_replicas; ++n)
+      if (latency(c, n) < latency(c, best)) best = n;
+    latency(c, best) = std::min(latency(c, best), options.max_latency * 0.5);
+  }
+
+  // Inflate capacities until max-flow certifies feasibility with margin.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    Problem candidate(demands, replicas, latency, options.max_latency);
+    const auto transport = check_transport_feasible(candidate);
+    const double needed = candidate.total_demand() * options.capacity_margin;
+    if (transport.feasible && transport.routed >= 0.0 &&
+        [&] {
+          double cap = 0.0;
+          for (const auto& rep : replicas) cap += rep.bandwidth;
+          return cap >= needed;
+        }())
+      return candidate;
+    for (auto& rep : replicas) rep.bandwidth *= 1.5;
+  }
+  throw std::runtime_error("make_random_instance: could not reach feasibility");
+}
+
+std::vector<ReplicaParams> paper_replica_set() {
+  const double prices[] = {1, 8, 1, 6, 1, 5, 2, 3};
+  std::vector<ReplicaParams> replicas(8);
+  for (std::size_t n = 0; n < replicas.size(); ++n) {
+    replicas[n].price = prices[n];
+    replicas[n].alpha = 1.0;
+    replicas[n].beta = 0.01;
+    replicas[n].gamma = 3.0;
+    replicas[n].bandwidth = 100.0;
+  }
+  return replicas;
+}
+
+}  // namespace edr::optim

@@ -1,0 +1,57 @@
+// Random problem-instance generation.
+//
+// Reproduces the paper's experimental setup (§IV-A): electricity prices
+// drawn uniformly from 1-20 ¢/kWh per replica, ~100 MB/s bandwidth caps,
+// T = 1.8 ms latency bound, α = 1, β = 0.01, γ = 3 — while guaranteeing the
+// generated instance is transportation-feasible (capacities are inflated
+// until max-flow can route all demand).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "optim/problem.hpp"
+
+namespace edr::optim {
+
+struct InstanceOptions {
+  std::size_t num_clients = 16;
+  std::size_t num_replicas = 8;
+
+  // Electricity price range (¢/kWh) — paper draws integers in [1, 20].
+  int min_price = 1;
+  int max_price = 20;
+  bool integer_prices = true;
+
+  // Energy model coefficients (paper's SystemG calibration).
+  double alpha = 1.0;
+  double beta = 0.01;
+  double gamma = 3.0;
+
+  // Demand per client (MB per epoch); drawn uniformly from this range.
+  Megabytes min_demand = 5.0;
+  Megabytes max_demand = 15.0;
+
+  // Replica bandwidth caps (MB per epoch) before the feasibility inflation.
+  Megabytes bandwidth = 100.0;
+
+  // Latency model: uniform in [min, max] ms; pairs above `max_latency` are
+  // masked out.  Defaults give ~85% feasible pairs.
+  Milliseconds min_link_latency = 0.1;
+  Milliseconds max_link_latency = 2.0;
+  Milliseconds max_latency = 1.8;
+
+  // Total capacity is kept at least this multiple of total demand.
+  double capacity_margin = 1.25;
+};
+
+/// Build a random, guaranteed-feasible instance.
+[[nodiscard]] Problem make_random_instance(Rng& rng,
+                                           const InstanceOptions& options = {});
+
+/// Replica parameters for the paper's fixed 8-replica cost experiment
+/// (Figs 6-8): prices (1, 8, 1, 6, 1, 5, 2, 3), α=1, β=0.01, γ=3, B=100.
+[[nodiscard]] std::vector<ReplicaParams> paper_replica_set();
+
+}  // namespace edr::optim

@@ -1,0 +1,28 @@
+#include "optim/kkt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optim/projection.hpp"
+
+namespace edr::optim {
+
+double kkt_residual(const Problem& problem, const Matrix& allocation,
+                    double step) {
+  if (step <= 0.0)
+    step = 1.0 / std::max(problem.gradient_lipschitz_bound(), 1e-9);
+  Matrix gradient;
+  problem.cost_gradient(allocation, gradient);
+  Matrix moved = allocation;
+  moved.axpy(-step, gradient);
+  project_feasible(problem, moved);
+  return moved.distance(allocation) / step;
+}
+
+double relative_gap(const Problem& problem, const Matrix& allocation,
+                    Cents optimal_cost) {
+  const double cost = problem.total_cost(allocation);
+  return (cost - optimal_cost) / (std::abs(optimal_cost) + 1e-30);
+}
+
+}  // namespace edr::optim

@@ -1,0 +1,23 @@
+// Optimality measurement for candidate allocations.
+//
+// The gradient-mapping residual ‖P − Proj(P − t·∇f(P))‖ / t is zero exactly
+// at KKT points of a convex problem over a convex set, so it gives a single
+// scalar "distance from optimality" usable for any solver's output.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "optim/problem.hpp"
+
+namespace edr::optim {
+
+/// Gradient-mapping residual of `allocation` for `problem`.  `step` defaults
+/// to 1/L with L the problem's Lipschitz bound.
+[[nodiscard]] double kkt_residual(const Problem& problem,
+                                  const Matrix& allocation, double step = 0.0);
+
+/// Relative objective gap of `allocation` against a known optimal cost.
+[[nodiscard]] double relative_gap(const Problem& problem,
+                                  const Matrix& allocation,
+                                  Cents optimal_cost);
+
+}  // namespace edr::optim

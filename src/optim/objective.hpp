@@ -1,0 +1,42 @@
+// Replica-local subproblem of the Lagrangian dual decomposition (paper Eq. 5).
+//
+// With dual multipliers μ_c attached to the per-client demand constraints,
+// replica n solves
+//
+//   min_q  u_n·(α_n·Σq + β_n·(Σq)^γ_n) + Σ_c μ_c·q_c + (ρ/2)·‖q − q̂‖²
+//   s.t.   q ≥ 0,  q_c = 0 on latency-masked pairs,  Σq ≤ B_n
+//
+// over its own traffic column q = p_{·,n}.  The proximal term (ρ/2)‖q − q̂‖²
+// is a documented deviation from the paper's plain dual decomposition: the
+// local objective is linear in q for fixed Σq, so the plain subproblem has
+// bang-bang solutions and the primal iterates oscillate; the prox term is
+// the standard fix and vanishes at the fixed point (see DESIGN.md §5).
+//
+// The KKT system reduces to a monotone scalar equation in
+// t = φ'(s) + λ (φ = price-weighted energy, λ = capacity multiplier):
+//   q_c(t) = max(0, q̂_c − (μ_c + t)/ρ),   s(t) = Σ_c q_c(t)
+// with s(t) nonincreasing in t, solved by bisection.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "optim/problem.hpp"
+
+namespace edr::optim {
+
+struct SubproblemResult {
+  std::vector<double> allocation;  // q, one entry per client
+  double load = 0.0;               // s = Σq
+  double capacity_multiplier = 0.0;  // λ ≥ 0, nonzero iff Σq == B_n
+};
+
+/// Solve the prox-regularized replica subproblem described above.
+/// `mask[c] == 0` forbids traffic from client c; `prox_center` is q̂ (often
+/// the previous iterate); `rho` must be > 0.
+[[nodiscard]] SubproblemResult solve_replica_subproblem(
+    const ReplicaParams& params, std::span<const double> multipliers,
+    std::span<const double> mask, std::span<const double> prox_center,
+    double rho);
+
+}  // namespace edr::optim

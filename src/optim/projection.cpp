@@ -1,0 +1,136 @@
+#include "optim/projection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "optim/problem.hpp"
+
+namespace edr::optim {
+namespace {
+
+/// Threshold for the masked simplex: given active values v_1..v_k, find τ
+/// with Σ max(v_i − τ, 0) = target.
+double simplex_threshold(std::vector<double>& active, double target) {
+  std::ranges::sort(active, std::greater<>());
+  double running = 0.0;
+  double tau = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    running += active[i];
+    const double candidate =
+        (running - target) / static_cast<double>(i + 1);
+    if (candidate >= active[i] && i > 0) break;  // i-th coord would go ≤ 0
+    tau = candidate;
+    count = i + 1;
+  }
+  (void)count;
+  return tau;
+}
+
+}  // namespace
+
+void project_masked_simplex(std::span<double> values,
+                            std::span<const double> mask, double target) {
+  assert(values.size() == mask.size());
+  if (target < 0.0)
+    throw std::invalid_argument("project_masked_simplex: negative target");
+
+  std::vector<double> active;
+  active.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (mask[i] != 0.0) active.push_back(values[i]);
+
+  if (active.empty()) {
+    if (target > 0.0)
+      throw std::invalid_argument(
+          "project_masked_simplex: positive target with empty mask");
+    for (double& v : values) v = 0.0;
+    return;
+  }
+
+  const double tau = simplex_threshold(active, target);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = mask[i] != 0.0 ? std::max(values[i] - tau, 0.0) : 0.0;
+  }
+}
+
+void project_simplex(std::span<double> values, double target) {
+  const std::vector<double> mask(values.size(), 1.0);
+  project_masked_simplex(values, mask, target);
+}
+
+void project_capped_nonneg(std::span<double> values, double cap) {
+  double total = 0.0;
+  for (double& v : values) {
+    v = std::max(v, 0.0);
+    total += v;
+  }
+  if (total <= cap) return;
+  project_simplex(values, cap);
+}
+
+void project_demand_set(const Problem& problem, Matrix& allocation) {
+  std::vector<double> mask(problem.num_replicas());
+  for (std::size_t c = 0; c < problem.num_clients(); ++c) {
+    for (std::size_t n = 0; n < problem.num_replicas(); ++n)
+      mask[n] = problem.feasible_pair(c, n) ? 1.0 : 0.0;
+    project_masked_simplex(allocation.row(c), mask, problem.demand(c));
+  }
+}
+
+void project_capacity_set(const Problem& problem, Matrix& allocation) {
+  std::vector<double> column(problem.num_clients());
+  for (std::size_t n = 0; n < problem.num_replicas(); ++n) {
+    for (std::size_t c = 0; c < problem.num_clients(); ++c)
+      column[c] = allocation(c, n);
+    project_capped_nonneg(column, problem.replica(n).bandwidth);
+    for (std::size_t c = 0; c < problem.num_clients(); ++c)
+      allocation(c, n) = column[c];
+  }
+}
+
+DykstraResult project_feasible(const Problem& problem, Matrix& allocation,
+                               const DykstraOptions& options) {
+  // Dykstra correction terms for each of the two set families.
+  Matrix correction_demand(allocation.rows(), allocation.cols(), 0.0);
+  Matrix correction_capacity(allocation.rows(), allocation.cols(), 0.0);
+  Matrix previous = allocation;
+
+  DykstraResult result;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Demand (simplex) half-step.
+    allocation.axpy(1.0, correction_demand);
+    Matrix before = allocation;
+    project_demand_set(problem, allocation);
+    correction_demand = before;
+    correction_demand.axpy(-1.0, allocation);
+
+    // Capacity half-step.
+    allocation.axpy(1.0, correction_capacity);
+    before = allocation;
+    project_capacity_set(problem, allocation);
+    correction_capacity = before;
+    correction_capacity.axpy(-1.0, allocation);
+
+    result.iterations = iter + 1;
+    result.final_change = allocation.distance(previous);
+    previous = allocation;
+    if (result.final_change <= options.tolerance) {
+      // One extra criterion: the iterate must actually satisfy the demand
+      // rows (the sweep ends on the capacity projection, which can leave
+      // row sums slightly short until convergence).
+      if (check_feasibility(problem, allocation).ok(1e-7)) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  // Final cleanup: snap to the demand set so row sums are exact (capacity
+  // violations at this point are below tolerance).
+  project_demand_set(problem, allocation);
+  return result;
+}
+
+}  // namespace edr::optim

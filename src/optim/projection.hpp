@@ -1,0 +1,69 @@
+// Euclidean projections onto the constraint sets of the replica-selection
+// problem, plus Dykstra's alternating-projection scheme for their
+// intersection.
+//
+// The feasible set factors into
+//   A = Π_c { x ∈ R^N : x ≥ 0, x_n = 0 on masked pairs, Σ x = R_c }
+//       (one masked simplex per client row), and
+//   B = Π_n { y ∈ R^C : y ≥ 0, Σ y ≤ B_n }
+//       (one capped nonnegative set per replica column).
+// Both factor projections are exact and O(k log k); Dykstra's algorithm
+// combines them into the projection onto A ∩ B, which both CDPSM's
+// projection step and the centralized reference solver rely on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace edr::optim {
+
+class Problem;
+
+/// Project `values` in place onto the simplex {x ≥ 0, Σx = target} restricted
+/// to the coordinates where mask[i] != 0 (masked-out coordinates are forced
+/// to zero).  `target` must be ≥ 0 and the mask must have at least one active
+/// coordinate when target > 0.  O(k log k) via the sort-and-threshold method
+/// of Held/Wolfe/Crowder.
+void project_masked_simplex(std::span<double> values,
+                            std::span<const double> mask, double target);
+
+/// Project `values` in place onto the simplex {x ≥ 0, Σx = target}.
+void project_simplex(std::span<double> values, double target);
+
+/// Project `values` in place onto {x ≥ 0, Σx ≤ cap}: clip to the nonnegative
+/// orthant, then fall back to a simplex projection only if the cap binds.
+void project_capped_nonneg(std::span<double> values, double cap);
+
+/// Project `allocation` in place onto the demand set A (per-client masked
+/// simplices) of `problem`.
+void project_demand_set(const Problem& problem, Matrix& allocation);
+
+/// Project `allocation` in place onto the capacity set B (per-replica capped
+/// columns) of `problem`.
+void project_capacity_set(const Problem& problem, Matrix& allocation);
+
+/// Options for Dykstra's alternating projections.
+struct DykstraOptions {
+  std::size_t max_iterations = 500;
+  /// Stop when successive full sweeps move the iterate less than this
+  /// (Frobenius norm).
+  double tolerance = 1e-10;
+};
+
+/// Result diagnostics from project_feasible.
+struct DykstraResult {
+  std::size_t iterations = 0;
+  double final_change = 0.0;
+  bool converged = false;
+};
+
+/// Project `allocation` in place onto the full feasible set A ∩ B of
+/// `problem` using Dykstra's algorithm (which, unlike plain alternating
+/// projections, converges to the *nearest* feasible point).
+DykstraResult project_feasible(const Problem& problem, Matrix& allocation,
+                               const DykstraOptions& options = {});
+
+}  // namespace edr::optim

@@ -1,0 +1,128 @@
+#include "power/meter.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "power/pricing.hpp"
+
+namespace edr::power {
+
+Watts PowerTrace::min_watts() const {
+  Watts best = samples.empty() ? 0.0 : samples.front().watts;
+  for (const auto& s : samples) best = std::min(best, s.watts);
+  return best;
+}
+
+Watts PowerTrace::max_watts() const {
+  Watts best = samples.empty() ? 0.0 : samples.front().watts;
+  for (const auto& s : samples) best = std::max(best, s.watts);
+  return best;
+}
+
+Watts PowerTrace::mean_watts() const {
+  if (samples.empty()) return 0.0;
+  KahanSum total;
+  for (const auto& s : samples) total.add(s.watts);
+  return total.value() / static_cast<double>(samples.size());
+}
+
+Joules PowerTrace::sampled_energy() const {
+  if (samples.size() < 2) return 0.0;
+  KahanSum total;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double dt = samples[i].time - samples[i - 1].time;
+    total.add(0.5 * (samples[i].watts + samples[i - 1].watts) * dt);
+  }
+  return total.value();
+}
+
+PowerTrace sample_trace(const PowerModel& model,
+                        const ActivityTimeline& timeline, SimTime horizon,
+                        double rate_hz) {
+  PowerTrace trace;
+  if (horizon <= 0.0 || rate_hz <= 0.0) return trace;
+  const double dt = 1.0 / rate_hz;
+  const auto count = static_cast<std::size_t>(horizon / dt) + 1;
+  trace.samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const SimTime t = static_cast<double>(i) * dt;
+    if (t > horizon) break;
+    const auto segment = timeline.at(t);
+    trace.samples.push_back(
+        {t, model.draw(segment.activity, segment.intensity)});
+  }
+  return trace;
+}
+
+namespace {
+
+Joules integrate(const PowerModel& model, const ActivityTimeline& timeline,
+                 SimTime horizon, bool subtract_idle) {
+  if (horizon <= 0.0) return 0.0;
+  const double floor = subtract_idle ? model.params().idle : 0.0;
+  const auto& segments = timeline.segments();
+  KahanSum total;
+
+  // Idle stretch before the first segment.
+  SimTime cursor = 0.0;
+  Activity activity = Activity::kIdle;
+  double intensity = 0.0;
+  for (const auto& segment : segments) {
+    const SimTime start = std::clamp(segment.start, 0.0, horizon);
+    if (start > cursor)
+      total.add((model.draw(activity, intensity) - floor) * (start - cursor));
+    cursor = std::max(cursor, start);
+    activity = segment.activity;
+    intensity = segment.intensity;
+    if (cursor >= horizon) break;
+  }
+  if (cursor < horizon)
+    total.add((model.draw(activity, intensity) - floor) * (horizon - cursor));
+  return total.value();
+}
+
+}  // namespace
+
+Joules integrate_energy(const PowerModel& model,
+                        const ActivityTimeline& timeline, SimTime horizon) {
+  return integrate(model, timeline, horizon, false);
+}
+
+Joules integrate_active_energy(const PowerModel& model,
+                               const ActivityTimeline& timeline,
+                               SimTime horizon) {
+  return integrate(model, timeline, horizon, true);
+}
+
+Cents integrate_cost(const PowerModel& model, const ActivityTimeline& timeline,
+                     SimTime horizon, const TimeOfDayTariff& tariff,
+                     bool active_only) {
+  if (horizon <= 0.0) return 0.0;
+  const double floor = active_only ? model.params().idle : 0.0;
+  KahanSum total;
+  SimTime cursor = 0.0;
+  while (cursor < horizon) {
+    // The next point where either factor of price(t)·power(t) changes.
+    SimTime next = horizon;
+    for (const auto& segment : timeline.segments()) {
+      if (segment.start > cursor + 1e-12) {
+        next = std::min(next, segment.start);
+        break;
+      }
+    }
+    next = std::min(next, tariff.next_switch(cursor));
+    next = std::min(next, horizon);
+    if (next <= cursor + 1e-15) {
+      cursor = next + 1e-12;  // numerical guard against zero-length steps
+      continue;
+    }
+    const auto segment = timeline.at(cursor);
+    const Watts watts =
+        model.draw(segment.activity, segment.intensity) - floor;
+    total.add(energy_cost(watts * (next - cursor), tariff.at(cursor)));
+    cursor = next;
+  }
+  return total.value();
+}
+
+}  // namespace edr::power

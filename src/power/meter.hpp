@@ -1,0 +1,66 @@
+// Power-meter emulation and energy accounting.
+//
+// Emulates the Dominion PX Intelligent PDUs used in the paper: fixed-rate
+// sampling (default 50 Hz) of a node's instantaneous draw, plus exact
+// integration of energy over the activity timeline (the meter trace is for
+// the Fig 3-4 plots; billing uses the exact integral so results do not
+// depend on the sampling rate).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "power/model.hpp"
+
+namespace edr::power {
+
+/// One meter reading.
+struct Sample {
+  SimTime time = 0.0;
+  Watts watts = 0.0;
+};
+
+/// A sampled power trace for one node.
+struct PowerTrace {
+  std::vector<Sample> samples;
+
+  [[nodiscard]] Watts min_watts() const;
+  [[nodiscard]] Watts max_watts() const;
+  [[nodiscard]] Watts mean_watts() const;
+  /// Trapezoidal energy of the sampled trace (approximate; billing uses
+  /// integrate_energy instead).
+  [[nodiscard]] Joules sampled_energy() const;
+};
+
+/// Sample `timeline` through `model` on [0, horizon) at `rate_hz`.
+[[nodiscard]] PowerTrace sample_trace(const PowerModel& model,
+                                      const ActivityTimeline& timeline,
+                                      SimTime horizon, double rate_hz = 50.0);
+
+/// Exact energy of `timeline` under `model` over [0, horizon): the timeline
+/// is a step function, so the integral is a finite sum of rectangle areas.
+[[nodiscard]] Joules integrate_energy(const PowerModel& model,
+                                      const ActivityTimeline& timeline,
+                                      SimTime horizon);
+
+/// Exact *active* energy: same integral with the idle floor subtracted.
+/// This isolates the workload-dependent part the scheduling model reasons
+/// about (the idle floor burns regardless of the allocation).
+[[nodiscard]] Joules integrate_active_energy(const PowerModel& model,
+                                             const ActivityTimeline& timeline,
+                                             SimTime horizon);
+
+class TimeOfDayTariff;
+
+/// Exact cost of `timeline` under a time-varying tariff: the integrand
+/// price(t)·power(t) is piecewise constant (both factors are step
+/// functions), so the integral splits exactly at activity changes and
+/// tariff switches.  `active_only` subtracts the idle floor first.
+[[nodiscard]] Cents integrate_cost(const PowerModel& model,
+                                   const ActivityTimeline& timeline,
+                                   SimTime horizon,
+                                   const TimeOfDayTariff& tariff,
+                                   bool active_only = false);
+
+}  // namespace edr::power

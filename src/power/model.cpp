@@ -1,0 +1,62 @@
+#include "power/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edr::power {
+
+Watts PowerModel::draw(Activity activity, double intensity) const {
+  const double level = std::max(intensity, 0.0);
+  switch (activity) {
+    case Activity::kIdle:
+      return params_.idle;
+    case Activity::kSelecting:
+      return params_.idle + params_.selection_compute +
+             params_.coordination_per_intensity * level;
+    case Activity::kTransfer: {
+      const double rate = std::min(level, 1.0);
+      return params_.idle + params_.transfer_linear * rate +
+             params_.transfer_poly * std::pow(rate, params_.gamma);
+    }
+  }
+  return params_.idle;
+}
+
+void ActivityTimeline::set(SimTime time, Activity activity, double intensity) {
+  if (!segments_.empty() && sorted_ && time < segments_.back().start)
+    sorted_ = false;
+  segments_.push_back({time, activity, intensity});
+}
+
+void ActivityTimeline::normalize() const {
+  if (!sorted_) {
+    std::stable_sort(segments_.begin(), segments_.end(),
+                     [](const Segment& a, const Segment& b) {
+                       return a.start < b.start;
+                     });
+    sorted_ = true;
+  }
+}
+
+ActivityTimeline::Segment ActivityTimeline::at(SimTime time) const {
+  normalize();
+  Segment current;  // idle before the first recorded change
+  for (const auto& segment : segments_) {
+    if (segment.start > time) break;
+    current = segment;
+  }
+  return current;
+}
+
+const std::vector<ActivityTimeline::Segment>& ActivityTimeline::segments()
+    const {
+  normalize();
+  return segments_;
+}
+
+SimTime ActivityTimeline::last_change() const {
+  normalize();
+  return segments_.empty() ? 0.0 : segments_.back().start;
+}
+
+}  // namespace edr::power

@@ -1,0 +1,85 @@
+#include "power/pricing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/fmt.hpp"
+
+namespace edr::power {
+
+PriceBook::PriceBook(std::vector<Region> regions)
+    : regions_(std::move(regions)) {}
+
+PriceBook PriceBook::random(Rng& rng, std::size_t count, int min_price,
+                            int max_price) {
+  std::vector<Region> regions(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    regions[i].name = strf("region-%zu", i);
+    regions[i].price =
+        static_cast<double>(rng.uniform_int(min_price, max_price));
+  }
+  return PriceBook{std::move(regions)};
+}
+
+PriceBook PriceBook::us_regions() {
+  return PriceBook{{
+      {"us-northwest", 4.0},   // hydro-heavy
+      {"us-midwest", 7.0},
+      {"us-south", 6.0},
+      {"us-southwest", 8.0},
+      {"us-mid-atlantic", 10.0},
+      {"us-california", 14.0},
+      {"us-new-england", 16.0},
+      {"us-hawaii", 20.0},
+  }};
+}
+
+std::vector<CentsPerKwh> PriceBook::prices() const {
+  std::vector<CentsPerKwh> out(regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) out[i] = regions_[i].price;
+  return out;
+}
+
+double PriceBook::dispersion() const {
+  if (regions_.empty()) return 1.0;
+  double lo = regions_.front().price, hi = lo;
+  for (const auto& region : regions_) {
+    lo = std::min(lo, region.price);
+    hi = std::max(hi, region.price);
+  }
+  return lo > 0.0 ? hi / lo : 0.0;
+}
+
+TimeOfDayTariff::TimeOfDayTariff(CentsPerKwh base, double peak_multiplier,
+                                 double peak_start, double peak_end)
+    : base_(base),
+      multiplier_(peak_multiplier),
+      peak_start_hours_(peak_start),
+      peak_end_hours_(peak_end) {}
+
+CentsPerKwh TimeOfDayTariff::at(SimTime time) const {
+  const double hours =
+      std::fmod(time / day_length_, 1.0) * 24.0;
+  const bool in_peak =
+      peak_start_hours_ <= peak_end_hours_
+          ? (hours >= peak_start_hours_ && hours < peak_end_hours_)
+          : (hours >= peak_start_hours_ || hours < peak_end_hours_);
+  return in_peak ? base_ * multiplier_ : base_;
+}
+
+SimTime TimeOfDayTariff::next_switch(SimTime time) const {
+  const double day_start = std::floor(time / day_length_) * day_length_;
+  const double start_s = peak_start_hours_ / 24.0 * day_length_;
+  const double end_s = peak_end_hours_ / 24.0 * day_length_;
+  // Candidate boundaries over this day and the next.
+  SimTime best = day_start + 2.0 * day_length_;
+  for (const double offset : {start_s, end_s}) {
+    for (int day = 0; day < 2; ++day) {
+      const SimTime candidate = day_start + day * day_length_ + offset;
+      if (candidate > time + 1e-12) best = std::min(best, candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace edr::power

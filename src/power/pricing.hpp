@@ -1,0 +1,87 @@
+// Regional electricity pricing.
+//
+// The paper randomizes integer prices in [1, 20] ¢/kWh per replica to model
+// geographically diverse energy markets (§IV-A.2), citing Qureshi's HotNets
+// work on energy-market diversity.  Besides that static model we also
+// provide a time-of-day tariff (an extension flagged as future work in the
+// paper: "more restrictions other than bandwidth capacity and latency").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace edr::power {
+
+/// A named region with a flat tariff.
+struct Region {
+  std::string name;
+  CentsPerKwh price = 1.0;
+};
+
+/// Static regional price book.
+class PriceBook {
+ public:
+  PriceBook() = default;
+  explicit PriceBook(std::vector<Region> regions);
+
+  /// The paper's randomized setup: `count` regions with integer prices
+  /// uniform in [min, max].
+  static PriceBook random(Rng& rng, std::size_t count, int min_price = 1,
+                          int max_price = 20);
+
+  /// A representative set of real-world regions with heterogeneous tariffs
+  /// (used by examples; values are illustrative, not a data source).
+  static PriceBook us_regions();
+
+  [[nodiscard]] std::size_t size() const { return regions_.size(); }
+  [[nodiscard]] const Region& region(std::size_t index) const {
+    return regions_[index];
+  }
+  [[nodiscard]] CentsPerKwh price(std::size_t index) const {
+    return regions_[index].price;
+  }
+  [[nodiscard]] std::vector<CentsPerKwh> prices() const;
+
+  /// Highest/lowest tariff ratio — the savings EDR can reach grows with it.
+  [[nodiscard]] double dispersion() const;
+
+ private:
+  std::vector<Region> regions_;
+};
+
+/// Time-of-day tariff: a flat base price modulated by peak/off-peak windows.
+class TimeOfDayTariff {
+ public:
+  /// `peak_multiplier` applies between peak_start and peak_end (hours in
+  /// [0, 24), wrapping allowed).
+  TimeOfDayTariff(CentsPerKwh base, double peak_multiplier, double peak_start,
+                  double peak_end);
+
+  /// Price in effect at `time` seconds into the (simulated) day.
+  [[nodiscard]] CentsPerKwh at(SimTime time) const;
+
+  /// The next instant strictly after `time` at which the price changes
+  /// (peak-window boundary).  Used for exact piecewise cost integration.
+  [[nodiscard]] SimTime next_switch(SimTime time) const;
+
+  [[nodiscard]] CentsPerKwh base() const { return base_; }
+  [[nodiscard]] double peak_multiplier() const { return multiplier_; }
+
+  /// Seconds per simulated day (tariffs repeat daily; configurable so
+  /// benches can compress a day).
+  void set_day_length(double seconds) { day_length_ = seconds; }
+  [[nodiscard]] double day_length() const { return day_length_; }
+
+ private:
+  CentsPerKwh base_;
+  double multiplier_;
+  double peak_start_hours_;
+  double peak_end_hours_;
+  double day_length_ = 86400.0;
+};
+
+}  // namespace edr::power

@@ -1,0 +1,27 @@
+#include "workload/apps.hpp"
+
+namespace edr::workload {
+
+AppProfile video_streaming() {
+  AppProfile app;
+  app.name = "video-streaming";
+  app.mean_request_mb = 100.0;
+  app.size_jitter = 0.1;
+  app.base_rate_hz = 2.0;
+  app.zipf_exponent = 0.9;
+  app.num_objects = 2000;
+  return app;
+}
+
+AppProfile distributed_file_service() {
+  AppProfile app;
+  app.name = "distributed-file-service";
+  app.mean_request_mb = 10.0;
+  app.size_jitter = 0.1;
+  app.base_rate_hz = 20.0;
+  app.zipf_exponent = 0.8;
+  app.num_objects = 10000;
+  return app;
+}
+
+}  // namespace edr::workload

@@ -1,0 +1,41 @@
+// Application profiles for the paper's two data-intensive workloads.
+//
+// §IV-A: "We set the size per request for the video streaming [to]
+// approximately 100 MBytes and for the distributed file service it is
+// approximately 10 MBytes."
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace edr::workload {
+
+struct AppProfile {
+  std::string name;
+  /// Mean request size.
+  Megabytes mean_request_mb = 10.0;
+  /// Relative jitter ("approximately"): sizes are drawn uniform in
+  /// mean·(1 ± jitter).
+  double size_jitter = 0.1;
+  /// Mean request rate used by benches (requests/s at the diurnal mean).
+  double base_rate_hz = 2.0;
+  /// Zipf popularity exponent of the object catalog.
+  double zipf_exponent = 0.9;
+  /// Catalog size.
+  std::size_t num_objects = 1000;
+
+  /// Draw one request size.
+  [[nodiscard]] Megabytes sample_size(Rng& rng) const {
+    return mean_request_mb * rng.uniform(1.0 - size_jitter, 1.0 + size_jitter);
+  }
+};
+
+/// Video streaming: ~100 MB per request (a transcoded clip segment set).
+[[nodiscard]] AppProfile video_streaming();
+
+/// Distributed file service: ~10 MB per request (a file chunk).
+[[nodiscard]] AppProfile distributed_file_service();
+
+}  // namespace edr::workload

@@ -1,0 +1,45 @@
+#include "workload/arrivals.hpp"
+
+#include <stdexcept>
+
+namespace edr::workload {
+
+std::vector<SimTime> poisson_arrivals(Rng& rng, double rate, SimTime horizon) {
+  std::vector<SimTime> arrivals;
+  if (rate <= 0.0 || horizon <= 0.0) return arrivals;
+  SimTime t = rng.exponential(rate);
+  while (t < horizon) {
+    arrivals.push_back(t);
+    t += rng.exponential(rate);
+  }
+  return arrivals;
+}
+
+std::vector<SimTime> nonhomogeneous_arrivals(
+    Rng& rng, const std::function<double(SimTime)>& rate_fn,
+    double rate_bound, SimTime horizon) {
+  if (rate_bound <= 0.0)
+    throw std::invalid_argument("nonhomogeneous_arrivals: bound must be > 0");
+  std::vector<SimTime> arrivals;
+  SimTime t = 0.0;
+  for (;;) {
+    t += rng.exponential(rate_bound);
+    if (t >= horizon) break;
+    const double rate = rate_fn(t);
+    if (rate > rate_bound * (1.0 + 1e-9))
+      throw std::invalid_argument(
+          "nonhomogeneous_arrivals: rate exceeds bound");
+    if (rng.uniform() * rate_bound < rate) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+std::vector<SimTime> diurnal_arrivals(Rng& rng, const DiurnalCurve& curve,
+                                      double base_rate, SimTime horizon) {
+  const double bound = base_rate * curve.params().peak_multiplier;
+  return nonhomogeneous_arrivals(
+      rng, [&](SimTime t) { return base_rate * curve.multiplier(t); }, bound,
+      horizon);
+}
+
+}  // namespace edr::workload

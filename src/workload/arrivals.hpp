@@ -1,0 +1,35 @@
+// Request arrival processes.
+//
+// Arrivals follow a non-homogeneous Poisson process: a base rate modulated
+// by the diurnal curve, sampled by Lewis-Shedler thinning (exact for any
+// bounded rate function).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "workload/diurnal.hpp"
+
+namespace edr::workload {
+
+/// Generate arrival times on [0, horizon) for a constant-rate Poisson
+/// process (`rate` arrivals per second).
+[[nodiscard]] std::vector<SimTime> poisson_arrivals(Rng& rng, double rate,
+                                                    SimTime horizon);
+
+/// Generate arrival times on [0, horizon) for a non-homogeneous Poisson
+/// process with instantaneous rate `rate_fn(t)`; `rate_bound` must dominate
+/// rate_fn everywhere on the horizon (thinning rejects above it).
+[[nodiscard]] std::vector<SimTime> nonhomogeneous_arrivals(
+    Rng& rng, const std::function<double(SimTime)>& rate_fn,
+    double rate_bound, SimTime horizon);
+
+/// Convenience: diurnal-modulated arrivals at `base_rate` mean rate.
+[[nodiscard]] std::vector<SimTime> diurnal_arrivals(Rng& rng,
+                                                    const DiurnalCurve& curve,
+                                                    double base_rate,
+                                                    SimTime horizon);
+
+}  // namespace edr::workload

@@ -1,0 +1,30 @@
+#include "workload/diurnal.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace edr::workload {
+
+DiurnalCurve::DiurnalCurve(DiurnalParams params) : params_(params) {
+  if (params_.trough_multiplier <= 0.0)
+    throw std::invalid_argument("DiurnalCurve: trough must be positive");
+  if (params_.peak_multiplier < params_.trough_multiplier)
+    throw std::invalid_argument("DiurnalCurve: peak below trough");
+  if (params_.day_length <= 0.0)
+    throw std::invalid_argument("DiurnalCurve: non-positive day length");
+}
+
+double DiurnalCurve::multiplier(SimTime time) const {
+  const double day_fraction =
+      std::fmod(time, params_.day_length) / params_.day_length;
+  const double peak_fraction = params_.peak_hour / 24.0;
+  // Cosine bump centered on the peak hour.
+  const double phase =
+      2.0 * std::numbers::pi * (day_fraction - peak_fraction);
+  const double normalized = 0.5 * (1.0 + std::cos(phase));  // 1 at peak
+  return params_.trough_multiplier +
+         (params_.peak_multiplier - params_.trough_multiplier) * normalized;
+}
+
+}  // namespace edr::workload

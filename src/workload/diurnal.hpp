@@ -1,0 +1,38 @@
+// Diurnal request-rate modulation.
+//
+// The YouTube edge traces the paper replays show a strong time-of-day
+// cycle: a deep overnight trough and a broad evening peak.  We model the
+// cycle as a smooth periodic curve that multiplies a base arrival rate.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace edr::workload {
+
+struct DiurnalParams {
+  /// Peak-hour multiplier relative to the daily mean.
+  double peak_multiplier = 1.8;
+  /// Trough multiplier (> 0).
+  double trough_multiplier = 0.3;
+  /// Hour of day of the peak (0-24; YouTube edge peaks in the evening).
+  double peak_hour = 20.0;
+  /// Seconds per simulated day (kept configurable so benches can compress
+  /// a day into seconds).
+  double day_length = 86400.0;
+};
+
+class DiurnalCurve {
+ public:
+  explicit DiurnalCurve(DiurnalParams params = {});
+
+  /// Rate multiplier at `time`; smooth, periodic, bounded by
+  /// [trough_multiplier, peak_multiplier].
+  [[nodiscard]] double multiplier(SimTime time) const;
+
+  [[nodiscard]] const DiurnalParams& params() const { return params_; }
+
+ private:
+  DiurnalParams params_;
+};
+
+}  // namespace edr::workload

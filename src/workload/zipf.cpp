@@ -1,0 +1,37 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edr::workload {
+
+ZipfSampler::ZipfSampler(std::size_t num_objects, double exponent)
+    : exponent_(exponent) {
+  if (num_objects == 0)
+    throw std::invalid_argument("ZipfSampler: need at least one object");
+  if (exponent < 0.0)
+    throw std::invalid_argument("ZipfSampler: negative exponent");
+  cdf_.resize(num_objects);
+  double total = 0.0;
+  for (std::size_t k = 0; k < num_objects; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::ranges::lower_bound(cdf_, u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank >= cdf_.size())
+    throw std::out_of_range("ZipfSampler::probability: rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace edr::workload

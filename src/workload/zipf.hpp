@@ -1,0 +1,36 @@
+// Zipf-distributed object popularity.
+//
+// Gill et al.'s YouTube edge measurement (the paper's workload reference
+// [34]) found video popularity to be Zipf-like; requests in our synthetic
+// YouTube workload pick objects from this sampler so a small set of hot
+// objects dominates traffic, as in the original trace.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace edr::workload {
+
+class ZipfSampler {
+ public:
+  /// `num_objects` ranks with P(rank k) ∝ 1/k^exponent.  Exponent 0 gives
+  /// the uniform distribution; YouTube measurements sit near 0.8-1.0.
+  ZipfSampler(std::size_t num_objects, double exponent);
+
+  /// Draw an object id in [0, num_objects).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Probability of rank k (0-based).
+  [[nodiscard]] double probability(std::size_t rank) const;
+
+  [[nodiscard]] std::size_t num_objects() const { return cdf_.size(); }
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+}  // namespace edr::workload

@@ -1,0 +1,49 @@
+#include "analysis/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edr::analysis {
+namespace {
+
+TEST(Experiments, PaperConfigMatchesSectionFour) {
+  const auto cfg = paper_config(core::Algorithm::kLddm);
+  ASSERT_EQ(cfg.replicas.size(), 8u);
+  EXPECT_DOUBLE_EQ(cfg.replicas[1].price, 8.0);
+  EXPECT_DOUBLE_EQ(cfg.max_latency, 1.8);
+  EXPECT_EQ(cfg.num_clients, 8u);
+  EXPECT_EQ(cfg.algorithm, core::Algorithm::kLddm);
+}
+
+TEST(Experiments, PaperTraceUsesEightClients) {
+  const auto trace = paper_trace(workload::distributed_file_service(), 1, 20.0);
+  ASSERT_FALSE(trace.empty());
+  for (const auto& request : trace.requests()) EXPECT_LT(request.client, 8u);
+}
+
+TEST(Experiments, ComparisonRunsEveryAlgorithmOnSameTrace) {
+  const auto rows = run_comparison(
+      {core::Algorithm::kLddm, core::Algorithm::kRoundRobin},
+      workload::distributed_file_service(), 7, 42, 15.0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "EDR-LDDM");
+  EXPECT_EQ(rows[1].name, "RoundRobin");
+  // Same trace: same served volume.
+  EXPECT_NEAR(rows[0].report.megabytes_served,
+              rows[1].report.megabytes_served,
+              rows[0].report.megabytes_served * 1e-6);
+  // The headline claim, in miniature.
+  EXPECT_LT(rows[0].report.total_active_cost,
+            rows[1].report.total_active_cost);
+}
+
+TEST(Experiments, SavingsSweepProducesPositiveMeans) {
+  const auto summary =
+      run_savings_sweep(workload::distributed_file_service(), 3, 77, 15.0);
+  EXPECT_EQ(summary.runs, 3u);
+  EXPECT_GT(summary.lddm_cost_saving, 0.0);
+  EXPECT_LT(summary.lddm_cost_saving, 1.0);
+  EXPECT_GT(summary.cdpsm_cost_saving, 0.0);
+}
+
+}  // namespace
+}  // namespace edr::analysis

@@ -1,0 +1,51 @@
+#include "analysis/report_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hpp"
+
+namespace edr::analysis {
+namespace {
+
+TEST(ReportJson, ContainsHeadlineFields) {
+  auto cfg = paper_config(core::Algorithm::kRoundRobin);
+  cfg.record_traces = true;
+  core::EdrSystem system(
+      cfg, paper_trace(workload::distributed_file_service(), 42, 8.0));
+  const auto report = system.run();
+  const std::string json = report_to_json(report, "rr-test");
+
+  for (const char* needle :
+       {"\"label\":\"rr-test\"", "\"total_cost_cents\":",
+        "\"total_active_energy_joules\":", "\"requests_served\":",
+        "\"replicas\":[", "\"power_summary\":", "\"mean_response_ms\":",
+        "\"failed_replicas\":[]"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ReportJson, OmitsLabelWhenEmpty) {
+  core::RunReport report;
+  const std::string json = report_to_json(report);
+  EXPECT_EQ(json.find("\"label\""), std::string::npos);
+}
+
+TEST(ReportJson, RecordsFailures) {
+  auto cfg = paper_config(core::Algorithm::kRoundRobin);
+  cfg.record_traces = false;
+  core::EdrSystem system(
+      cfg, paper_trace(workload::distributed_file_service(), 42, 8.0));
+  system.inject_failure(2, 3.0);
+  const auto report = system.run();
+  const std::string json = report_to_json(report);
+  EXPECT_NE(json.find("\"failed_replicas\":[2]"), std::string::npos);
+  EXPECT_NE(json.find("\"alive\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edr::analysis

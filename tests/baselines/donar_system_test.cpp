@@ -1,0 +1,88 @@
+#include "baselines/donar_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "optim/instance.hpp"
+#include "workload/apps.hpp"
+
+namespace edr::baselines {
+namespace {
+
+DonarSystemConfig small_config() {
+  DonarSystemConfig cfg;
+  cfg.replicas = optim::paper_replica_set();
+  cfg.num_clients = 6;
+  cfg.seed = 5;
+  return cfg;
+}
+
+workload::Trace small_trace(std::uint64_t seed = 99) {
+  Rng rng{seed};
+  workload::TraceOptions options;
+  options.num_clients = 6;
+  options.horizon = 10.0;
+  return workload::Trace::generate(rng, workload::distributed_file_service(),
+                                   options);
+}
+
+TEST(DonarSystem, ServesEveryRequest) {
+  const auto trace = small_trace();
+  DonarSystem system(small_config(), trace);
+  const auto report = system.run();
+  EXPECT_EQ(report.requests_served, trace.size());
+  EXPECT_EQ(report.response_times_ms.size(), trace.size());
+}
+
+TEST(DonarSystem, ResponseTimesPositiveAndBounded) {
+  DonarSystem system(small_config(), small_trace());
+  const auto report = system.run();
+  for (const double ms : report.response_times_ms) {
+    EXPECT_GT(ms, 0.0);
+    EXPECT_LT(ms, 10'000.0);
+  }
+  EXPECT_GT(report.mean_response_ms(), 0.0);
+}
+
+TEST(DonarSystem, Deterministic) {
+  const auto trace = small_trace();
+  DonarSystem a(small_config(), trace);
+  DonarSystem b(small_config(), trace);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.total_rounds, rb.total_rounds);
+  EXPECT_EQ(ra.control_messages, rb.control_messages);
+  ASSERT_EQ(ra.response_times_ms.size(), rb.response_times_ms.size());
+  for (std::size_t i = 0; i < ra.response_times_ms.size(); ++i)
+    EXPECT_DOUBLE_EQ(ra.response_times_ms[i], rb.response_times_ms[i]);
+}
+
+TEST(DonarSystem, RoundTrafficScalesWithMappingNodes) {
+  const auto trace = small_trace();
+  auto three = small_config();
+  three.donar.num_mapping_nodes = 3;
+  auto five = small_config();
+  five.donar.num_mapping_nodes = 5;
+  DonarSystem a(three, trace);
+  DonarSystem b(five, trace);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  ASSERT_GT(ra.total_rounds, 0u);
+  ASSERT_GT(rb.total_rounds, 0u);
+  const double per_round_a =
+      static_cast<double>(ra.control_bytes) / ra.total_rounds;
+  const double per_round_b =
+      static_cast<double>(rb.control_bytes) / rb.total_rounds;
+  EXPECT_GT(per_round_b, per_round_a);
+}
+
+TEST(DonarSystem, RejectsBrokenConfig) {
+  auto cfg = small_config();
+  cfg.replicas.clear();
+  EXPECT_THROW(DonarSystem(cfg, small_trace()), std::invalid_argument);
+  auto no_nodes = small_config();
+  no_nodes.donar.num_mapping_nodes = 0;
+  EXPECT_THROW(DonarSystem(no_nodes, small_trace()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edr::baselines

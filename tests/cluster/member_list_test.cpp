@@ -1,0 +1,81 @@
+#include "cluster/member_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edr::cluster {
+namespace {
+
+TEST(MemberList, ConstructionSortsAndDeduplicates) {
+  MemberList list{{5, 1, 3, 1, 5}};
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.members(), (std::vector<net::NodeId>{1, 3, 5}));
+}
+
+TEST(MemberList, AddKeepsOrderAndBumpsVersion) {
+  MemberList list{{1, 5}};
+  const auto v0 = list.version();
+  EXPECT_TRUE(list.add(3));
+  EXPECT_EQ(list.members(), (std::vector<net::NodeId>{1, 3, 5}));
+  EXPECT_GT(list.version(), v0);
+  EXPECT_FALSE(list.add(3));  // duplicate: no-op
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(MemberList, RemoveAbsentIsNoop) {
+  MemberList list{{1, 2}};
+  const auto v0 = list.version();
+  EXPECT_FALSE(list.remove(9));
+  EXPECT_EQ(list.version(), v0);
+  EXPECT_TRUE(list.remove(1));
+  EXPECT_GT(list.version(), v0);
+}
+
+TEST(MemberList, SuccessorWrapsAround) {
+  MemberList list{{1, 3, 5}};
+  EXPECT_EQ(list.successor(1), 3u);
+  EXPECT_EQ(list.successor(3), 5u);
+  EXPECT_EQ(list.successor(5), 1u);  // wrap
+}
+
+TEST(MemberList, PredecessorWrapsAround) {
+  MemberList list{{1, 3, 5}};
+  EXPECT_EQ(list.predecessor(3), 1u);
+  EXPECT_EQ(list.predecessor(1), 5u);  // wrap
+}
+
+TEST(MemberList, RingUndefinedForSingletonOrNonMember) {
+  MemberList list{{4}};
+  EXPECT_FALSE(list.successor(4).has_value());
+  EXPECT_FALSE(list.predecessor(4).has_value());
+  MemberList pair{{1, 2}};
+  EXPECT_FALSE(pair.successor(9).has_value());
+}
+
+TEST(MemberList, RingConsistencyAfterRemoval) {
+  MemberList list{{1, 2, 3, 4}};
+  list.remove(3);
+  EXPECT_EQ(list.successor(2), 4u);
+  EXPECT_EQ(list.predecessor(4), 2u);
+}
+
+TEST(MemberList, EveryMemberReachableAroundTheRing) {
+  MemberList list{{2, 4, 6, 8, 10}};
+  net::NodeId node = 2;
+  std::size_t hops = 0;
+  do {
+    node = *list.successor(node);
+    ++hops;
+  } while (node != 2 && hops < 10);
+  EXPECT_EQ(hops, list.size());
+}
+
+TEST(MemberList, EqualityIgnoresVersion) {
+  MemberList a{{1, 2}};
+  MemberList b{{2, 1}};
+  b.add(3);
+  b.remove(3);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace edr::cluster

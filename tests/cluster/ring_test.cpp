@@ -1,0 +1,283 @@
+#include "cluster/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace edr::cluster {
+namespace {
+
+/// A little harness: N ring nodes attached to a simulated network, with
+/// message dispatch wired up the way an owning agent would do it.
+struct RingFixture {
+  net::Simulator sim;
+  net::SimNetwork network{sim};
+  std::vector<std::unique_ptr<RingNode>> nodes;
+  std::map<net::NodeId, std::vector<net::NodeId>> removals_seen;
+
+  explicit RingFixture(std::size_t count, RingConfig config = {}) {
+    std::vector<net::NodeId> ids;
+    for (std::size_t i = 0; i < count; ++i)
+      ids.push_back(static_cast<net::NodeId>(i));
+    for (std::size_t i = 0; i < count; ++i) {
+      nodes.push_back(std::make_unique<RingNode>(
+          network, ids[i], MemberList{ids}, config));
+      RingNode* node = nodes.back().get();
+      node->on_membership_change(
+          [this, id = ids[i]](const MemberList&, net::NodeId dead) {
+            removals_seen[id].push_back(dead);
+          });
+      network.attach(ids[i],
+                     [node](const net::Message& msg) { node->handle(msg); });
+    }
+  }
+
+  void start_all() {
+    for (auto& node : nodes) node->start();
+  }
+
+  void crash(std::size_t index) {
+    nodes[index]->stop();
+    network.detach(static_cast<net::NodeId>(index));
+  }
+};
+
+TEST(Ring, HealthyRingStaysIntact) {
+  RingFixture f{4};
+  f.start_all();
+  f.sim.run_until(20.0);
+  for (const auto& node : f.nodes) EXPECT_EQ(node->members().size(), 4u);
+  EXPECT_TRUE(f.removals_seen.empty());
+}
+
+TEST(Ring, CrashDetectedAndRemovedEverywhere) {
+  RingFixture f{4};
+  f.start_all();
+  f.sim.run_until(3.0);
+  f.crash(2);
+  f.sim.run_until(10.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i == 2) continue;
+    EXPECT_FALSE(f.nodes[i]->members().contains(2))
+        << "node " << i << " still lists the dead member";
+    ASSERT_EQ(f.removals_seen[static_cast<net::NodeId>(i)].size(), 1u);
+    EXPECT_EQ(f.removals_seen[static_cast<net::NodeId>(i)][0], 2u);
+  }
+}
+
+TEST(Ring, DetectionLatencyRespectsTimeout) {
+  RingConfig config;
+  config.heartbeat_period = 0.2;
+  config.failure_timeout = 1.0;
+  RingFixture f{3, config};
+  f.start_all();
+  f.sim.run_until(5.0);
+  f.crash(0);
+  // Too early: not yet detected.
+  f.sim.run_until(5.4);
+  EXPECT_TRUE(f.nodes[1]->members().contains(0));
+  // After timeout + slack: detected.
+  f.sim.run_until(8.0);
+  EXPECT_FALSE(f.nodes[1]->members().contains(0));
+}
+
+TEST(Ring, RingRepairsAfterRemoval) {
+  RingFixture f{4};
+  f.start_all();
+  f.sim.run_until(2.0);
+  f.crash(1);
+  f.sim.run_until(10.0);
+  // Survivors form the ring 0 -> 2 -> 3 -> 0.
+  EXPECT_EQ(f.nodes[0]->members().successor(0), 2u);
+  EXPECT_EQ(f.nodes[2]->members().predecessor(2), 0u);
+}
+
+TEST(Ring, SequentialCrashesBothDetected) {
+  RingFixture f{5};
+  f.start_all();
+  f.sim.run_until(2.0);
+  f.crash(1);
+  f.sim.run_until(12.0);
+  f.crash(3);
+  f.sim.run_until(25.0);
+  for (std::size_t i : {0u, 2u, 4u}) {
+    EXPECT_FALSE(f.nodes[i]->members().contains(1));
+    EXPECT_FALSE(f.nodes[i]->members().contains(3));
+    EXPECT_EQ(f.nodes[i]->members().size(), 3u);
+  }
+}
+
+TEST(Ring, SurvivingPairKeepsMonitoring) {
+  RingFixture f{3};
+  f.start_all();
+  f.sim.run_until(2.0);
+  f.crash(0);
+  f.sim.run_until(10.0);
+  f.crash(1);
+  f.sim.run_until(20.0);
+  EXPECT_EQ(f.nodes[2]->members().size(), 1u);
+  EXPECT_TRUE(f.nodes[2]->members().contains(2));
+}
+
+TEST(Ring, StopPreventsFalsePositives) {
+  RingFixture f{3};
+  f.start_all();
+  f.sim.run_until(2.0);
+  for (auto& node : f.nodes) node->stop();
+  f.sim.run_until(30.0);
+  // Nobody was running, so nobody should have been declared dead.
+  EXPECT_TRUE(f.removals_seen.empty());
+}
+
+TEST(Ring, TwoNodeRingDetection) {
+  RingFixture f{2};
+  f.start_all();
+  f.sim.run_until(2.0);
+  f.crash(0);
+  f.sim.run_until(10.0);
+  EXPECT_EQ(f.nodes[1]->members().size(), 1u);
+}
+
+TEST(Ring, ToleratesModeratePacketLoss) {
+  // 10% heartbeat loss: declaring a peer dead requires failure_timeout /
+  // heartbeat_period = 4 consecutive losses (p = 1e-4 per check), so a
+  // healthy ring must survive a long run without false positives.
+  RingFixture f{4};
+  f.network.seed_loss(11);
+  f.network.set_default_link({.latency = 0.1, .bandwidth_mbps = 100.0,
+                              .loss_probability = 0.10});
+  f.start_all();
+  f.sim.run_until(60.0);
+  for (const auto& node : f.nodes) EXPECT_EQ(node->members().size(), 4u);
+  EXPECT_TRUE(f.removals_seen.empty());
+  EXPECT_GT(f.network.messages_lost(), 0u);
+}
+
+TEST(Ring, DetectsRealCrashDespiteLoss) {
+  RingFixture f{4};
+  f.network.seed_loss(13);
+  f.network.set_default_link({.latency = 0.1, .bandwidth_mbps = 100.0,
+                              .loss_probability = 0.10});
+  f.start_all();
+  f.sim.run_until(3.0);
+  f.crash(2);
+  f.sim.run_until(20.0);
+  for (std::size_t i : {0u, 1u, 3u})
+    EXPECT_FALSE(f.nodes[i]->members().contains(2)) << "node " << i;
+}
+
+TEST(Ring, ExtremeLossCausesFalsePositives) {
+  // The flip side of timeout-based detection: at 90% loss the expected gap
+  // between delivered heartbeats exceeds the timeout and healthy peers get
+  // evicted.  This is the availability/accuracy tradeoff every timeout
+  // detector makes — pinned here so the behaviour is explicit.
+  RingFixture f{3};
+  f.network.seed_loss(17);
+  f.network.set_default_link({.latency = 0.1, .bandwidth_mbps = 100.0,
+                              .loss_probability = 0.90});
+  f.start_all();
+  f.sim.run_until(120.0);
+  EXPECT_FALSE(f.removals_seen.empty());
+}
+
+TEST(Ring, PartitionCausesMutualEvictionThenHealsViaRejoin) {
+  // Split-brain: nodes {0,1} and {2,3} lose connectivity across the cut.
+  // Each side evicts the other (timeout detection cannot distinguish a
+  // partition from a crash — the classic limitation), and after the
+  // partition heals an explicit rejoin restores full membership.
+  RingFixture f{4};
+  f.start_all();
+  f.sim.run_until(2.0);
+
+  auto set_cut = [&](double loss) {
+    for (net::NodeId a : {0u, 1u})
+      for (net::NodeId b : {2u, 3u}) {
+        f.network.set_link(a, b, {.latency = 0.5, .bandwidth_mbps = 100.0,
+                                  .loss_probability = loss});
+        f.network.set_link(b, a, {.latency = 0.5, .bandwidth_mbps = 100.0,
+                                  .loss_probability = loss});
+      }
+  };
+  set_cut(1.0);
+  f.sim.run_until(15.0);
+
+  // Both sides have shrunk to their own half.
+  EXPECT_EQ(f.nodes[0]->members().size(), 2u);
+  EXPECT_TRUE(f.nodes[0]->members().contains(1));
+  EXPECT_FALSE(f.nodes[0]->members().contains(2));
+  EXPECT_EQ(f.nodes[2]->members().size(), 2u);
+  EXPECT_TRUE(f.nodes[2]->members().contains(3));
+  EXPECT_FALSE(f.nodes[2]->members().contains(0));
+
+  // Heal the cut and merge: one side rejoins the other explicitly.
+  set_cut(0.0);
+  f.nodes[2]->rejoin(f.nodes[0]->members());
+  f.nodes[3]->rejoin(f.nodes[2]->members());
+  f.sim.run_until(30.0);
+  for (const auto& node : f.nodes)
+    EXPECT_EQ(node->members().size(), 4u)
+        << "node " << node->self() << " did not re-merge";
+}
+
+TEST(Ring, RejoinReadmitsEverywhere) {
+  RingFixture f{4};
+  std::map<net::NodeId, std::vector<net::NodeId>> joins_seen;
+  for (std::size_t i = 0; i < 4; ++i) {
+    RingNode* node = f.nodes[i].get();
+    node->on_member_joined(
+        [&joins_seen, id = static_cast<net::NodeId>(i)](
+            const MemberList&, net::NodeId joiner) {
+          joins_seen[id].push_back(joiner);
+        });
+  }
+  f.start_all();
+  f.sim.run_until(2.0);
+  f.crash(1);
+  f.sim.run_until(10.0);
+  for (std::size_t i : {0u, 2u, 3u})
+    ASSERT_FALSE(f.nodes[i]->members().contains(1));
+
+  // Recover: node 1 learns the survivor set and rejoins.
+  f.network.attach(1, [node = f.nodes[1].get()](const net::Message& msg) {
+    node->handle(msg);
+  });
+  f.nodes[1]->rejoin(f.nodes[0]->members());
+  f.sim.run_until(20.0);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(f.nodes[i]->members().contains(1)) << "node " << i;
+    EXPECT_EQ(f.nodes[i]->members().size(), 4u);
+  }
+  for (std::size_t i : {0u, 2u, 3u}) {
+    ASSERT_EQ(joins_seen[static_cast<net::NodeId>(i)].size(), 1u);
+    EXPECT_EQ(joins_seen[static_cast<net::NodeId>(i)][0], 1u);
+  }
+  // The healed ring keeps monitoring without false positives.
+  f.sim.run_until(30.0);
+  EXPECT_EQ(f.nodes[2]->members().size(), 4u);
+}
+
+TEST(Ring, RejoinedNodeIsMonitoredAgain) {
+  RingFixture f{3};
+  f.start_all();
+  f.sim.run_until(2.0);
+  f.crash(1);
+  f.sim.run_until(10.0);
+  f.network.attach(1, [node = f.nodes[1].get()](const net::Message& msg) {
+    node->handle(msg);
+  });
+  f.nodes[1]->rejoin(f.nodes[0]->members());
+  f.sim.run_until(15.0);
+  ASSERT_TRUE(f.nodes[0]->members().contains(1));
+
+  // Crash it again: the healed ring must detect it a second time.
+  f.crash(1);
+  f.sim.run_until(25.0);
+  EXPECT_FALSE(f.nodes[0]->members().contains(1));
+  EXPECT_FALSE(f.nodes[2]->members().contains(1));
+}
+
+}  // namespace
+}  // namespace edr::cluster

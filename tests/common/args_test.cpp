@@ -1,0 +1,120 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace edr {
+namespace {
+
+struct Parsed {
+  bool ok = false;
+  std::string errors;
+};
+
+template <typename Setup>
+Parsed parse(Setup&& setup, std::vector<const char*> args) {
+  ArgParser parser{"test", "test parser"};
+  setup(parser);
+  args.insert(args.begin(), "test");
+  std::ostringstream err;
+  Parsed result;
+  result.ok = parser.parse(static_cast<int>(args.size()), args.data(), err);
+  result.errors = err.str();
+  return result;
+}
+
+TEST(ArgParser, ParsesTypedOptions) {
+  std::string name = "default";
+  double rate = 1.0;
+  std::int64_t count = -1;
+  std::uint64_t seed = 0;
+  const auto result = parse(
+      [&](ArgParser& p) {
+        p.add_option("name", "", &name);
+        p.add_option("rate", "", &rate);
+        p.add_option("count", "", &count);
+        p.add_option("seed", "", &seed);
+      },
+      {"--name", "edr", "--rate", "2.5", "--count", "-3", "--seed=99"});
+  EXPECT_TRUE(result.ok) << result.errors;
+  EXPECT_EQ(name, "edr");
+  EXPECT_DOUBLE_EQ(rate, 2.5);
+  EXPECT_EQ(count, -3);
+  EXPECT_EQ(seed, 99u);
+}
+
+TEST(ArgParser, EqualsSyntaxAndSeparateValueAreEquivalent) {
+  double a = 0, b = 0;
+  const auto result = parse(
+      [&](ArgParser& p) {
+        p.add_option("a", "", &a);
+        p.add_option("b", "", &b);
+      },
+      {"--a=1.5", "--b", "1.5"});
+  EXPECT_TRUE(result.ok);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(ArgParser, FlagsDefaultFalseAndSetTrue) {
+  bool json = false;
+  const auto off = parse([&](ArgParser& p) { p.add_flag("json", "", &json); },
+                         {});
+  EXPECT_TRUE(off.ok);
+  EXPECT_FALSE(json);
+  const auto on = parse([&](ArgParser& p) { p.add_flag("json", "", &json); },
+                        {"--json"});
+  EXPECT_TRUE(on.ok);
+  EXPECT_TRUE(json);
+  const auto explicit_false =
+      parse([&](ArgParser& p) { p.add_flag("json", "", &json); },
+            {"--json=false"});
+  EXPECT_TRUE(explicit_false.ok);
+  EXPECT_FALSE(json);
+}
+
+TEST(ArgParser, RejectsUnknownOptionAndPositionals) {
+  std::string s;
+  auto setup = [&](ArgParser& p) { p.add_option("x", "", &s); };
+  EXPECT_FALSE(parse(setup, {"--bogus", "1"}).ok);
+  EXPECT_FALSE(parse(setup, {"stray"}).ok);
+}
+
+TEST(ArgParser, RejectsBadNumbers) {
+  double rate = 0;
+  std::uint64_t seed = 0;
+  auto setup = [&](ArgParser& p) {
+    p.add_option("rate", "", &rate);
+    p.add_option("seed", "", &seed);
+  };
+  EXPECT_FALSE(parse(setup, {"--rate", "fast"}).ok);
+  EXPECT_FALSE(parse(setup, {"--rate", "1.5x"}).ok);
+  EXPECT_FALSE(parse(setup, {"--seed", "-2"}).ok);
+}
+
+TEST(ArgParser, MissingValueIsAnError) {
+  double rate = 0;
+  EXPECT_FALSE(
+      parse([&](ArgParser& p) { p.add_option("rate", "", &rate); }, {"--rate"})
+          .ok);
+}
+
+TEST(ArgParser, HelpPrintsUsageAndStops) {
+  std::string s = "dflt";
+  const auto result = parse(
+      [&](ArgParser& p) { p.add_option("x", "the x value", &s); }, {"--help"});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.errors.find("the x value"), std::string::npos);
+  EXPECT_NE(result.errors.find("default: dflt"), std::string::npos);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  ArgParser parser{"test", ""};
+  double a = 0;
+  parser.add_option("x", "", &a);
+  EXPECT_THROW(parser.add_option("x", "", &a), std::logic_error);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,59 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace edr {
+namespace {
+
+TEST(CsvWriter, BasicRows) {
+  std::ostringstream out;
+  {
+    CsvWriter csv(out);
+    csv.row({"time", "replica", "watts"});
+    csv.field("0.02").field(1.5).field(static_cast<long long>(3));
+    csv.end_row();
+  }
+  EXPECT_EQ(out.str(), "time,replica,watts\n0.02,1.5,3\n");
+}
+
+TEST(CsvWriter, QuotesFieldsWithSeparators) {
+  std::ostringstream out;
+  {
+    CsvWriter csv(out);
+    csv.field("a,b").field("say \"hi\"").field("line\nbreak");
+    csv.end_row();
+  }
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriter, DoubleRoundTripPrecision) {
+  std::ostringstream out;
+  {
+    CsvWriter csv(out);
+    csv.field(0.1 + 0.2);
+    csv.end_row();
+  }
+  const double parsed = std::stod(out.str());
+  EXPECT_DOUBLE_EQ(parsed, 0.1 + 0.2);
+}
+
+TEST(CsvWriter, LabeledSeriesRow) {
+  std::ostringstream out;
+  {
+    CsvWriter csv(out);
+    const std::vector<double> series{1.0, 2.5, 3.0};
+    csv.row("replica1", series);
+  }
+  EXPECT_EQ(out.str(), "replica1,1,2.5,3\n");
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter{"/nonexistent-dir/zzz/file.csv"},
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,64 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edr {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter json;
+  json.begin_object()
+      .field("name", "edr")
+      .field("cost", 1.5)
+      .field("count", std::uint64_t{3})
+      .field("ok", true)
+      .end_object();
+  EXPECT_EQ(json.str(), R"({"name":"edr","cost":1.5,"count":3,"ok":true})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter json;
+  json.begin_object().key("items").begin_array();
+  json.begin_object().field("id", 1).end_object();
+  json.begin_object().field("id", 2).end_object();
+  json.end_array().field("total", 2).end_object();
+  EXPECT_EQ(json.str(), R"({"items":[{"id":1},{"id":2}],"total":2})");
+}
+
+TEST(JsonWriter, ArrayOfScalars) {
+  JsonWriter json;
+  json.begin_array().value(1).value(2).value(3).end_array();
+  EXPECT_EQ(json.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.begin_object().field("s", "a\"b\\c\nd\te").end_object();
+  EXPECT_EQ(json.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  JsonWriter json;
+  json.begin_array().value(std::string_view{"\x01", 1}).end_array();
+  EXPECT_EQ(json.str(), "[\"\\u0001\"]");
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  JsonWriter json;
+  json.begin_array().value(0.1 + 0.2).end_array();
+  const std::string text = json.str();
+  const double parsed = std::stod(text.substr(1));
+  EXPECT_DOUBLE_EQ(parsed, 0.1 + 0.2);
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter a;
+  a.begin_object().end_object();
+  EXPECT_EQ(a.str(), "{}");
+  JsonWriter b;
+  b.begin_array().end_array();
+  EXPECT_EQ(b.str(), "[]");
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,60 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace edr {
+namespace {
+
+TEST(KahanSum, RecoversSmallIncrements) {
+  KahanSum k;
+  k.add(1.0);
+  for (int i = 0; i < 10'000'000; ++i) k.add(1e-10);
+  EXPECT_NEAR(k.value(), 1.0 + 1e-3, 1e-12);
+}
+
+TEST(MathUtil, SumMeanVarianceStddev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(sum(v), 40.0);
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MathUtil, EmptyAndSingletonStats) {
+  const std::vector<double> empty;
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(MathUtil, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1e6, 1e6 * (1.0 + 1e-10)));
+}
+
+TEST(MathUtil, ClampAndLerp) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(lerp(10.0, 20.0, 0.25), 12.5);
+}
+
+TEST(MathUtil, PercentileInterpolates) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(MathUtil, PercentileUnsortedInput) {
+  std::vector<double> v{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,90 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edr {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 0.0);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Matrix, RowViewWritesThrough) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 0.0);
+}
+
+TEST(Matrix, RowAndColSums) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 6.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 15.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(0), 5.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(2), 9.0);
+  const auto sums = m.col_sums();
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_DOUBLE_EQ(sums[0], 5.0);
+  EXPECT_DOUBLE_EQ(sums[1], 7.0);
+  EXPECT_DOUBLE_EQ(sums[2], 9.0);
+}
+
+TEST(Matrix, AxpyAndScale) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 2.0);
+  a.axpy(3.0, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 7.0);
+  a.scale(0.5);
+  EXPECT_DOUBLE_EQ(a(1, 1), 3.5);
+}
+
+TEST(Matrix, DistanceAndNorm) {
+  Matrix a(1, 2);
+  Matrix b(1, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance(a), 0.0);
+}
+
+TEST(Matrix, Equality) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  EXPECT_EQ(a, b);
+  b(1, 0) = 2.0;
+  EXPECT_NE(a, b);
+}
+
+TEST(Matrix, FlatSpanCoversAllEntries) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  const auto flat = m.flat();
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_DOUBLE_EQ(flat[0], 1.0);
+  EXPECT_DOUBLE_EQ(flat[3], 4.0);
+}
+
+}  // namespace
+}  // namespace edr

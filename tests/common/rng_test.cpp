@@ -1,0 +1,126 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace edr {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng{7};
+  std::array<std::uint64_t, 8> first{};
+  for (auto& v : first) v = rng();
+  rng.reseed(7);
+  for (auto v : first) EXPECT_EQ(rng(), v);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{99};
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (parent() == child()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{3};
+  double lo = 1.0, hi = 0.0, total = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    total += u;
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+  EXPECT_NEAR(total / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng{5};
+  std::array<int, 21> counts{};
+  for (int i = 0; i < 21000; ++i) {
+    const auto v = rng.uniform_int(1, 20);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 20);
+    counts[static_cast<std::size_t>(v)]++;
+  }
+  for (int v = 1; v <= 20; ++v)
+    EXPECT_GT(counts[static_cast<std::size_t>(v)], 700)
+        << "value " << v << " badly underrepresented";
+}
+
+TEST(Rng, BoundedZeroAndOne) {
+  Rng rng{11};
+  EXPECT_EQ(rng.bounded(0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{13};
+  constexpr int kSamples = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng{17};
+  constexpr int kSamples = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kSamples, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng{19};
+  constexpr int kSamples = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i)
+    sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / kSamples, 3.5, 0.06);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng{23};
+  constexpr int kSamples = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i)
+    sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / kSamples, 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng{29};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,39 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edr {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"algo", "cost"});
+  t.add_row({"LDDM", "123.45"});
+  t.add_row({"RoundRobin", "200.00"});
+  const std::string rendered = t.to_string();
+  EXPECT_NE(rendered.find("algo"), std::string::npos);
+  EXPECT_NE(rendered.find("RoundRobin"), std::string::npos);
+  // Every line is as wide as the widest row (header line padded too).
+  EXPECT_NE(rendered.find("LDDM      "), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumAndPctFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace edr

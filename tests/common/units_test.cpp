@@ -1,0 +1,28 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edr {
+namespace {
+
+TEST(Units, EnergyCostConversion) {
+  // 1 kWh at 10 ¢/kWh is 10 cents.
+  EXPECT_DOUBLE_EQ(energy_cost(kJoulesPerKwh, 10.0), 10.0);
+  // 3.6 MJ == 1 kWh.
+  EXPECT_DOUBLE_EQ(energy_cost(3.6e6, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(energy_cost(0.0, 20.0), 0.0);
+}
+
+TEST(Units, MegabytesToBytes) {
+  EXPECT_EQ(megabytes_to_bytes(1.0), 1024u * 1024u);
+  EXPECT_EQ(megabytes_to_bytes(0.5), 512u * 1024u);
+}
+
+TEST(Units, MillisecondConversions) {
+  EXPECT_DOUBLE_EQ(seconds(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(milliseconds(0.25), 250.0);
+  EXPECT_DOUBLE_EQ(milliseconds(seconds(42.0)), 42.0);
+}
+
+}  // namespace
+}  // namespace edr

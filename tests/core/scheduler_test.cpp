@@ -1,0 +1,136 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "optim/instance.hpp"
+
+namespace edr::core {
+namespace {
+
+optim::Problem price_spread_instance(std::uint64_t seed) {
+  Rng rng{seed};
+  optim::InstanceOptions opts;
+  opts.num_clients = 12;
+  opts.num_replicas = 6;
+  opts.min_price = 1;
+  opts.max_price = 20;
+  return optim::make_random_instance(rng, opts);
+}
+
+TEST(Schedulers, AllImplementationsProduceFeasibleAllocations) {
+  const auto problem = price_spread_instance(71);
+  std::vector<std::unique_ptr<Scheduler>> schedulers;
+  schedulers.push_back(std::make_unique<CentralizedScheduler>());
+  schedulers.push_back(std::make_unique<CdpsmScheduler>());
+  schedulers.push_back(std::make_unique<LddmScheduler>());
+  for (auto& scheduler : schedulers) {
+    const auto result = scheduler->schedule(problem);
+    EXPECT_TRUE(optim::check_feasibility(problem, result.allocation).ok(1e-5))
+        << scheduler->name();
+  }
+}
+
+TEST(Schedulers, DistributedMatchCentralizedCost) {
+  const auto problem = price_spread_instance(72);
+  CentralizedScheduler central;
+  CdpsmScheduler cdpsm;
+  LddmScheduler lddm;
+  const double best = problem.total_cost(central.schedule(problem).allocation);
+  const double c = problem.total_cost(cdpsm.schedule(problem).allocation);
+  const double l = problem.total_cost(lddm.schedule(problem).allocation);
+  EXPECT_LT((c - best) / best, 5e-3);
+  EXPECT_LT((l - best) / best, 5e-3);
+}
+
+TEST(Schedulers, LddmCheaperCoordinationThanCdpsm) {
+  const auto problem = price_spread_instance(73);
+  CdpsmScheduler cdpsm;
+  LddmScheduler lddm;
+  const auto rc = cdpsm.schedule(problem);
+  const auto rl = lddm.schedule(problem);
+  ASSERT_GT(rc.rounds, 0u);
+  ASSERT_GT(rl.rounds, 0u);
+  const double cdpsm_bytes_per_round =
+      static_cast<double>(rc.bytes) / static_cast<double>(rc.rounds);
+  const double lddm_bytes_per_round =
+      static_cast<double>(rl.bytes) / static_cast<double>(rl.rounds);
+  EXPECT_LT(lddm_bytes_per_round * 5.0, cdpsm_bytes_per_round);
+}
+
+TEST(Schedulers, CentralizedThrowsOnInfeasible) {
+  Matrix latency(1, 1, 0.5);
+  std::vector<optim::ReplicaParams> reps(1);
+  reps[0].bandwidth = 1.0;
+  optim::Problem starved({10.0}, reps, latency, 1.8);
+  CentralizedScheduler central;
+  EXPECT_THROW((void)central.schedule(starved), std::runtime_error);
+}
+
+TEST(Schedulers, NamesAreStable) {
+  EXPECT_EQ(CentralizedScheduler{}.name(), "Centralized");
+  EXPECT_EQ(CdpsmScheduler{}.name(), "EDR-CDPSM");
+  EXPECT_EQ(LddmScheduler{}.name(), "EDR-LDDM");
+}
+
+TEST(RoundRobinAllocation, EqualSplitAcrossFeasibleReplicas) {
+  std::vector<Megabytes> demands{12.0};
+  std::vector<optim::ReplicaParams> reps(3);
+  Matrix latency(1, 3, 0.5);
+  latency(0, 2) = 5.0;  // masked
+  optim::Problem problem(demands, reps, latency, 1.8);
+  const auto allocation = round_robin_allocation(problem);
+  EXPECT_DOUBLE_EQ(allocation(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(allocation(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(allocation(0, 2), 0.0);
+}
+
+TEST(RoundRobinAllocation, IgnoresPrices) {
+  std::vector<Megabytes> demands{10.0};
+  std::vector<optim::ReplicaParams> reps(2);
+  reps[0].price = 1.0;
+  reps[1].price = 20.0;
+  Matrix latency(1, 2, 0.5);
+  optim::Problem problem(demands, reps, latency, 1.8);
+  const auto allocation = round_robin_allocation(problem);
+  EXPECT_DOUBLE_EQ(allocation(0, 0), allocation(0, 1));
+}
+
+TEST(RoundRobinAllocation, OverflowWaterfallsToSpareCapacity) {
+  std::vector<Megabytes> demands{30.0};
+  std::vector<optim::ReplicaParams> reps(2);
+  reps[0].bandwidth = 5.0;   // equal share would be 15: overflows by 10
+  reps[1].bandwidth = 100.0;
+  Matrix latency(1, 2, 0.5);
+  optim::Problem problem(demands, reps, latency, 1.8);
+  const auto allocation = round_robin_allocation(problem);
+  EXPECT_DOUBLE_EQ(allocation(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(allocation(0, 1), 25.0);
+  EXPECT_TRUE(optim::check_feasibility(problem, allocation).ok(1e-9));
+}
+
+TEST(RoundRobinAllocation, FeasibleOnRandomInstances) {
+  for (std::uint64_t seed = 80; seed < 90; ++seed) {
+    const auto problem = price_spread_instance(seed);
+    const auto allocation = round_robin_allocation(problem);
+    EXPECT_TRUE(optim::check_feasibility(problem, allocation).ok(1e-7))
+        << "seed " << seed;
+  }
+}
+
+TEST(Schedulers, EdrNeverCostsMoreThanRoundRobin) {
+  for (std::uint64_t seed = 90; seed < 100; ++seed) {
+    const auto problem = price_spread_instance(seed);
+    LddmScheduler lddm;
+    const double edr_cost =
+        problem.total_cost(lddm.schedule(problem).allocation);
+    const double rr_cost =
+        problem.total_cost(round_robin_allocation(problem));
+    EXPECT_LE(edr_cost, rr_cost * (1.0 + 1e-6)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace edr::core

@@ -1,0 +1,256 @@
+// Tests for the runtime extensions beyond the paper's prototype:
+// time-of-day tariffs, replica recovery/rejoin, and the request-granular
+// Round-Robin baseline's behavioural properties.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "optim/instance.hpp"
+#include "workload/apps.hpp"
+
+namespace edr::core {
+namespace {
+
+SystemConfig base_config(Algorithm algorithm) {
+  SystemConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.replicas = optim::paper_replica_set();
+  cfg.num_clients = 6;
+  cfg.seed = 5;
+  return cfg;
+}
+
+workload::Trace base_trace(std::uint64_t seed = 99, SimTime horizon = 15.0) {
+  Rng rng{seed};
+  workload::TraceOptions options;
+  options.num_clients = 6;
+  options.horizon = horizon;
+  return workload::Trace::generate(rng, workload::distributed_file_service(),
+                                   options);
+}
+
+std::vector<power::TimeOfDayTariff> flipping_tariffs(SimTime day_length) {
+  // Replicas alternate between cheap-by-day and cheap-by-night: tariff-
+  // aware scheduling should chase the cheap side across the day.
+  std::vector<power::TimeOfDayTariff> tariffs;
+  for (int n = 0; n < 8; ++n) {
+    // Even replicas: peak (x10) during the first half of the day; odd:
+    // during the second half.
+    const bool first_half_peak = n % 2 == 0;
+    power::TimeOfDayTariff tariff{1.0, 10.0,
+                                  first_half_peak ? 0.0 : 12.0,
+                                  first_half_peak ? 12.0 : 24.0};
+    tariff.set_day_length(day_length);
+    tariffs.push_back(tariff);
+  }
+  return tariffs;
+}
+
+TEST(Tariffs, RejectsWrongArity) {
+  auto cfg = base_config(Algorithm::kLddm);
+  cfg.tariffs = {power::TimeOfDayTariff{1.0, 2.0, 0.0, 12.0}};  // 1 != 8
+  EXPECT_THROW(EdrSystem(cfg, base_trace()), std::invalid_argument);
+}
+
+TEST(Tariffs, FlatTariffsMatchStaticPrices) {
+  const auto trace = base_trace();
+  auto static_cfg = base_config(Algorithm::kLddm);
+  auto tariff_cfg = base_config(Algorithm::kLddm);
+  for (const auto& rep : tariff_cfg.replicas)
+    tariff_cfg.tariffs.emplace_back(rep.price, 1.0, 0.0, 0.0);
+  EdrSystem static_sys(static_cfg, trace);
+  EdrSystem tariff_sys(tariff_cfg, trace);
+  const auto a = static_sys.run();
+  const auto b = tariff_sys.run();
+  EXPECT_NEAR(a.total_cost, b.total_cost, a.total_cost * 1e-9);
+  EXPECT_NEAR(a.total_active_cost, b.total_active_cost,
+              std::max(a.total_active_cost * 1e-9, 1e-15));
+}
+
+TEST(Tariffs, SchedulerChasesTheCheapSideOfTheDay) {
+  const SimTime horizon = 20.0;
+  auto cfg = base_config(Algorithm::kLddm);
+  cfg.tariffs = flipping_tariffs(horizon);
+  EdrSystem system(cfg, base_trace(42, horizon));
+  const auto report = system.run();
+
+  // Tariff-aware EDR must beat the same system scheduling with static
+  // (base) prices under the same time-varying bill.
+  auto blind_cfg = base_config(Algorithm::kRoundRobin);
+  blind_cfg.tariffs = flipping_tariffs(horizon);
+  EdrSystem blind(blind_cfg, base_trace(42, horizon));
+  const auto blind_report = blind.run();
+  EXPECT_LT(report.total_active_cost, blind_report.total_active_cost);
+}
+
+TEST(Recovery, ReplicaRejoinsAndServesAgain) {
+  auto cfg = base_config(Algorithm::kLddm);
+  const auto trace = base_trace(11, 30.0);
+  EdrSystem system(cfg, trace);
+  system.inject_failure(0, 5.0);
+  system.inject_recovery(0, 15.0);
+  const auto report = system.run();
+
+  EXPECT_TRUE(report.replicas[0].alive);
+  EXPECT_NEAR(report.replicas[0].downtime, 10.0, 0.1);
+  // It carried traffic again after rejoining (replica 0 is a cheap one).
+  EXPECT_GT(report.replicas[0].assigned_mb, 0.0);
+  // All demand served.
+  EXPECT_NEAR(report.megabytes_served, trace.total_megabytes(),
+              trace.total_megabytes() * 0.02);
+}
+
+TEST(Recovery, DowntimeIsNotBilled) {
+  auto cfg = base_config(Algorithm::kRoundRobin);
+  const auto trace = base_trace(13, 30.0);
+
+  EdrSystem healthy(cfg, trace);
+  const auto before = healthy.run();
+
+  EdrSystem wounded(cfg, trace);
+  wounded.inject_failure(3, 5.0);
+  wounded.inject_recovery(3, 25.0);
+  const auto after = wounded.run();
+
+  // ~20 s of idle-floor energy must be missing from the crashed replica.
+  const double idle_during_downtime = 215.0 * after.replicas[3].downtime;
+  EXPECT_NEAR(after.replicas[3].downtime, 20.0, 0.1);
+  EXPECT_LT(after.replicas[3].energy,
+            before.replicas[3].energy - idle_during_downtime * 0.9);
+}
+
+TEST(Recovery, SurvivorsReadmitTheJoinerToTheirRings) {
+  auto cfg = base_config(Algorithm::kLddm);
+  EdrSystem system(cfg, base_trace(17, 30.0));
+  system.inject_failure(2, 5.0);
+  system.inject_recovery(2, 15.0);
+  const auto report = system.run();
+  // After recovery the replica serves traffic (which requires the solve to
+  // include it, which requires membership to have healed).
+  EXPECT_GT(report.replicas[2].assigned_mb, 0.0);
+}
+
+TEST(Recovery, RecoveryBeforeFailureIsIgnored) {
+  auto cfg = base_config(Algorithm::kLddm);
+  EdrSystem system(cfg, base_trace());
+  system.inject_recovery(0, 2.0);  // never crashed: no-op
+  const auto report = system.run();
+  EXPECT_TRUE(report.replicas[0].alive);
+  EXPECT_DOUBLE_EQ(report.replicas[0].downtime, 0.0);
+  EXPECT_THROW(system.inject_recovery(99, 1.0), std::out_of_range);
+}
+
+SystemConfig overload_config(bool retry) {
+  // Tiny capacity: 8 replicas x 2 MB/s against ~200 MB/s of demand; most of
+  // every epoch's traffic is shed by admission control.
+  auto cfg = base_config(Algorithm::kRoundRobin);
+  for (auto& rep : cfg.replicas) rep.bandwidth = 2.0;
+  cfg.retry_shed = retry;
+  return cfg;
+}
+
+TEST(ShedRetry, MassBalanceHoldsUnderOverload) {
+  const auto trace = base_trace(31, 10.0);
+  EdrSystem system(overload_config(true), trace);
+  const auto report = system.run();
+  // Every megabyte is either served or explicitly abandoned.
+  EXPECT_NEAR(report.megabytes_served + report.megabytes_abandoned,
+              trace.total_megabytes(), trace.total_megabytes() * 1e-6);
+  EXPECT_GT(report.megabytes_abandoned, 0.0);  // overload is real
+  EXPECT_GT(report.megabytes_retried, 0.0);    // retries happened and landed
+}
+
+TEST(ShedRetry, RetryServesMoreThanDropping) {
+  const auto trace = base_trace(31, 10.0);
+  EdrSystem with_retry(overload_config(true), trace);
+  EdrSystem without(overload_config(false), trace);
+  const auto a = with_retry.run();
+  const auto b = without.run();
+  EXPECT_GT(a.megabytes_served, b.megabytes_served);
+  EXPECT_LT(a.megabytes_abandoned, b.megabytes_abandoned);
+  EXPECT_DOUBLE_EQ(b.megabytes_retried, 0.0);
+  // Mass balance holds in both modes.
+  EXPECT_NEAR(b.megabytes_served + b.megabytes_abandoned,
+              trace.total_megabytes(), trace.total_megabytes() * 1e-6);
+}
+
+TEST(ShedRetry, NoSheddingMeansNoRetriesOrAbandonment) {
+  const auto trace = base_trace(32, 10.0);
+  EdrSystem system(base_config(Algorithm::kLddm), trace);
+  const auto report = system.run();
+  EXPECT_DOUBLE_EQ(report.megabytes_abandoned, 0.0);
+  EXPECT_DOUBLE_EQ(report.megabytes_retried, 0.0);
+}
+
+TEST(HeterogeneousPower, RejectsWrongArity) {
+  auto cfg = base_config(Algorithm::kLddm);
+  cfg.power_per_replica.resize(3);  // 3 != 8
+  EXPECT_THROW(EdrSystem(cfg, base_trace()), std::invalid_argument);
+}
+
+TEST(HeterogeneousPower, UniformModelsMatchHomogeneousRun) {
+  const auto trace = base_trace();
+  auto homogeneous = base_config(Algorithm::kLddm);
+  auto heterogeneous = base_config(Algorithm::kLddm);
+  heterogeneous.power_per_replica.assign(8, heterogeneous.power);
+  EdrSystem a(homogeneous, trace);
+  EdrSystem b(heterogeneous, trace);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_NEAR(ra.total_cost, rb.total_cost, ra.total_cost * 1e-12);
+  EXPECT_NEAR(ra.total_active_energy, rb.total_active_energy, 1e-6);
+}
+
+TEST(HeterogeneousPower, EfficientHardwareAttractsLoadDespitePrice) {
+  // All replicas get the same electricity price, but replicas 0-3 burn 3x
+  // more transfer power than 4-7: the derived energy model must route most
+  // traffic to the efficient half.
+  auto cfg = base_config(Algorithm::kLddm);
+  for (auto& rep : cfg.replicas) rep.price = 5.0;
+  cfg.power_per_replica.assign(8, cfg.power);
+  for (int n = 0; n < 4; ++n) {
+    cfg.power_per_replica[n].transfer_linear *= 3.0;
+    cfg.power_per_replica[n].transfer_poly *= 3.0;
+  }
+  EdrSystem system(cfg, base_trace(21, 20.0));
+  const auto report = system.run();
+  double hungry = 0.0, efficient = 0.0;
+  for (int n = 0; n < 4; ++n) hungry += report.replicas[n].assigned_mb;
+  for (int n = 4; n < 8; ++n) efficient += report.replicas[n].assigned_mb;
+  EXPECT_GT(efficient, hungry * 1.5);
+}
+
+TEST(HeterogeneousPower, TracesReflectPerReplicaIdleFloor) {
+  auto cfg = base_config(Algorithm::kRoundRobin);
+  cfg.record_traces = true;
+  cfg.power_per_replica.assign(8, cfg.power);
+  cfg.power_per_replica[0].idle = 120.0;  // newer, cooler node
+  EdrSystem system(cfg, base_trace());
+  const auto report = system.run();
+  EXPECT_NEAR(report.replicas[0].trace.min_watts(), 120.0, 1e-9);
+  EXPECT_NEAR(report.replicas[1].trace.min_watts(), 215.0, 1e-9);
+}
+
+TEST(RequestGranularRR, ImbalanceExceedsFractionalSplit) {
+  // Few large requests: whole-request RR cannot balance as well as the
+  // fractional split, so its max replica load is at least as high.
+  auto cfg = base_config(Algorithm::kRoundRobin);
+  cfg.num_clients = 4;
+  Rng rng{3};
+  workload::TraceOptions options;
+  options.num_clients = 4;
+  options.horizon = 10.0;
+  const auto trace =
+      workload::Trace::generate(rng, workload::video_streaming(), options);
+  EdrSystem system(cfg, trace);
+  const auto report = system.run();
+  double max_load = 0.0, total = 0.0;
+  for (const auto& rep : report.replicas) {
+    max_load = std::max(max_load, rep.assigned_mb);
+    total += rep.assigned_mb;
+  }
+  // Whole 100 MB placements: max load strictly above the perfect 1/8 share.
+  EXPECT_GT(max_load, total / 8.0 + 1.0);
+}
+
+}  // namespace
+}  // namespace edr::core

@@ -1,0 +1,148 @@
+// End-to-end LDDM over real threads and mailboxes (the examples/live_threads
+// topology, compacted): replica threads solve local subproblems, client
+// threads run dual ascent, all coordination is message passing.  Verifies
+// that the threaded protocol lands on the same optimum as the synchronous
+// engine — i.e., the algorithm tolerates real scheduling nondeterminism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "core/scheduler.hpp"
+#include "net/inproc.hpp"
+#include "optim/instance.hpp"
+#include "optim/objective.hpp"
+#include "optim/projection.hpp"
+
+namespace edr {
+namespace {
+
+struct RoundValue {
+  std::size_t round;
+  double value;
+};
+
+enum MessageType : int { kMu = 1, kLoad = 2, kDone = 3, kColumn = 4 };
+
+constexpr std::size_t kReplicas = 3;
+constexpr std::size_t kClients = 4;
+constexpr std::size_t kRounds = 250;
+constexpr double kRho = 2.0;
+
+void replica_main(const optim::Problem& problem, std::size_t n,
+                  net::InprocTransport& transport) {
+  std::vector<double> mask(kClients), prox(kClients, 0.0);
+  for (std::size_t c = 0; c < kClients; ++c)
+    mask[c] = problem.feasible_pair(c, n) ? 1.0 : 0.0;
+  std::map<std::size_t, std::map<std::size_t, double>> mu_by_round;
+  std::size_t done = 0;
+  while (done < kClients) {
+    const auto msg = transport.receive(static_cast<net::NodeId>(n));
+    if (!msg) break;
+    if (msg->type == kDone) {
+      ++done;
+      continue;
+    }
+    const auto [round, mu] = std::any_cast<RoundValue>(msg->payload);
+    auto& mus = mu_by_round[round];
+    mus[msg->from - kReplicas] = mu;
+    if (mus.size() < kClients) continue;
+    std::vector<double> mu_vec(kClients);
+    for (const auto& [c, value] : mus) mu_vec[c] = value;
+    const auto result = optim::solve_replica_subproblem(
+        problem.replica(n), mu_vec, mask, prox, kRho);
+    prox = result.allocation;
+    mu_by_round.erase(round);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      net::Message reply;
+      reply.from = static_cast<net::NodeId>(n);
+      reply.to = static_cast<net::NodeId>(kReplicas + c);
+      reply.type = kLoad;
+      reply.payload = RoundValue{round, result.allocation[c]};
+      transport.send(std::move(reply));
+    }
+  }
+  net::Message column;
+  column.from = static_cast<net::NodeId>(n);
+  column.to = static_cast<net::NodeId>(kReplicas + kClients);
+  column.type = kColumn;
+  column.payload = prox;
+  transport.send(std::move(column));
+}
+
+void client_main(const optim::Problem& problem, std::size_t c,
+                 net::InprocTransport& transport) {
+  const auto self = static_cast<net::NodeId>(kReplicas + c);
+  double mu = -2.0;
+  const double step = kRho / static_cast<double>(kReplicas);
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    for (std::size_t n = 0; n < kReplicas; ++n) {
+      net::Message msg;
+      msg.from = self;
+      msg.to = static_cast<net::NodeId>(n);
+      msg.type = kMu;
+      msg.payload = RoundValue{round, mu};
+      transport.send(std::move(msg));
+    }
+    double served = 0.0;
+    for (std::size_t replies = 0; replies < kReplicas;) {
+      const auto msg = transport.receive(self);
+      if (!msg) return;
+      if (msg->type != kLoad) continue;
+      served += std::any_cast<RoundValue>(msg->payload).value;
+      ++replies;
+    }
+    mu += step * (served - problem.demand(c));
+  }
+  for (std::size_t n = 0; n < kReplicas; ++n) {
+    net::Message done;
+    done.from = self;
+    done.to = static_cast<net::NodeId>(n);
+    done.type = kDone;
+    transport.send(std::move(done));
+  }
+}
+
+TEST(ThreadedLddm, ConvergesUnderRealConcurrency) {
+  Rng rng{7};
+  optim::InstanceOptions opts;
+  opts.num_clients = kClients;
+  opts.num_replicas = kReplicas;
+  const optim::Problem problem = optim::make_random_instance(rng, opts);
+
+  net::InprocTransport transport{kReplicas + kClients + 1};
+  std::vector<std::thread> threads;
+  for (std::size_t n = 0; n < kReplicas; ++n)
+    threads.emplace_back(replica_main, std::cref(problem), n,
+                         std::ref(transport));
+  for (std::size_t c = 0; c < kClients; ++c)
+    threads.emplace_back(client_main, std::cref(problem), c,
+                         std::ref(transport));
+
+  Matrix allocation(kClients, kReplicas, 0.0);
+  const auto collector = static_cast<net::NodeId>(kReplicas + kClients);
+  for (std::size_t got = 0; got < kReplicas; ++got) {
+    const auto msg = transport.receive(collector);
+    ASSERT_TRUE(msg.has_value());
+    ASSERT_EQ(msg->type, kColumn);
+    const auto& column =
+        std::any_cast<const std::vector<double>&>(msg->payload);
+    for (std::size_t c = 0; c < kClients; ++c)
+      allocation(c, msg->from) = column[c];
+  }
+  for (auto& thread : threads) thread.join();
+  transport.close_all();
+
+  optim::project_feasible(problem, allocation);
+  EXPECT_TRUE(optim::check_feasibility(problem, allocation).ok(1e-6));
+
+  core::CentralizedScheduler central;
+  const double optimum =
+      problem.total_cost(central.schedule(problem).allocation);
+  const double threaded = problem.total_cost(allocation);
+  EXPECT_LT((threaded - optimum) / optimum, 0.05)
+      << "threaded=" << threaded << " optimum=" << optimum;
+}
+
+}  // namespace
+}  // namespace edr

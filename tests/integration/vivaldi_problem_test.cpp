@@ -1,0 +1,106 @@
+// Vivaldi-estimated latencies driving the replica-selection problem: the
+// decentralized alternative to all-pairs latency probing (paper ref [25]).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/scheduler.hpp"
+#include "net/vivaldi.hpp"
+#include "optim/instance.hpp"
+
+namespace edr {
+namespace {
+
+/// Planted geometry: clients 0..C-1 and replicas C..C+N-1 on a plane.
+struct Planted {
+  Matrix rtt;            // (C+N) x (C+N) ground truth
+  Matrix client_replica; // C x N slice of the truth
+};
+
+Planted plant(Rng& rng, std::size_t clients, std::size_t replicas) {
+  const std::size_t total = clients + replicas;
+  std::vector<std::array<double, 2>> pos(total);
+  for (auto& p : pos) p = {rng.uniform(0.0, 3.0), rng.uniform(0.0, 3.0)};
+  Planted out;
+  out.rtt = Matrix(total, total, 0.0);
+  for (std::size_t i = 0; i < total; ++i)
+    for (std::size_t j = 0; j < total; ++j) {
+      const double dx = pos[i][0] - pos[j][0];
+      const double dy = pos[i][1] - pos[j][1];
+      out.rtt(i, j) = i == j ? 0.0 : std::sqrt(dx * dx + dy * dy) + 0.1;
+    }
+  out.client_replica = Matrix(clients, replicas, 0.0);
+  for (std::size_t c = 0; c < clients; ++c)
+    for (std::size_t n = 0; n < replicas; ++n)
+      out.client_replica(c, n) = out.rtt(c, clients + n);
+  return out;
+}
+
+TEST(VivaldiProblem, EstimatedMaskMostlyAgreesWithTruth) {
+  Rng rng{77};
+  const std::size_t clients = 8, replicas = 6;
+  const auto planted = plant(rng, clients, replicas);
+
+  net::VivaldiSystem coords{planted.rtt, 5};
+  coords.gossip(600);
+  const Matrix estimated_full = coords.estimated_matrix();
+
+  Matrix estimated(clients, replicas, 0.0);
+  for (std::size_t c = 0; c < clients; ++c)
+    for (std::size_t n = 0; n < replicas; ++n)
+      estimated(c, n) = estimated_full(c, clients + n);
+
+  // Compare the latency-feasibility masks at the median latency bound.
+  const double bound = 2.0;
+  std::size_t agree = 0, total = 0, true_feasible = 0;
+  for (std::size_t c = 0; c < clients; ++c)
+    for (std::size_t n = 0; n < replicas; ++n) {
+      const bool truth = planted.client_replica(c, n) <= bound;
+      const bool predicted = estimated(c, n) <= bound;
+      agree += truth == predicted;
+      true_feasible += truth;
+      ++total;
+    }
+  ASSERT_GT(true_feasible, 0u);
+  ASSERT_LT(true_feasible, total);  // the bound actually separates
+  EXPECT_GE(static_cast<double>(agree) / static_cast<double>(total), 0.85)
+      << "mask agreement too low";
+}
+
+TEST(VivaldiProblem, SchedulingOnEstimatesStaysNearTruthCost) {
+  Rng rng{78};
+  const std::size_t clients = 8, replicas = 5;
+  const auto planted = plant(rng, clients, replicas);
+
+  net::VivaldiSystem coords{planted.rtt, 6};
+  coords.gossip(600);
+  const Matrix estimated_full = coords.estimated_matrix();
+  Matrix estimated(clients, replicas, 0.0);
+  for (std::size_t c = 0; c < clients; ++c)
+    for (std::size_t n = 0; n < replicas; ++n)
+      estimated(c, n) = estimated_full(c, clients + n);
+
+  std::vector<Megabytes> demands(clients, 10.0);
+  auto reps = optim::paper_replica_set();
+  reps.resize(replicas);
+  // A bound loose enough that the mask (not feasibility repair) is the
+  // only thing estimates can perturb.
+  const double bound = 3.0;
+  const optim::Problem truth(demands, reps, planted.client_replica, bound);
+  const optim::Problem approx(demands, reps, estimated, bound);
+  if (!truth.validate().empty() || !approx.validate().empty())
+    GTEST_SKIP() << "degenerate geometry for this seed";
+
+  core::LddmScheduler lddm;
+  const auto plan = lddm.schedule(approx);  // planned on estimates
+  // The plan is evaluated against the TRUE problem's cost model: since
+  // prices/capacities are identical and the mask mostly agrees, the cost of
+  // the estimate-driven plan must be close to planning on ground truth.
+  const auto ideal = lddm.schedule(truth);
+  const double planned_cost = truth.total_cost(plan.allocation);
+  const double ideal_cost = truth.total_cost(ideal.allocation);
+  EXPECT_LT(planned_cost, ideal_cost * 1.2)
+      << "estimate-driven plan lost >20% vs truth-driven plan";
+}
+
+}  // namespace
+}  // namespace edr

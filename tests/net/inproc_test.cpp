@@ -1,0 +1,150 @@
+#include "net/inproc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace edr::net {
+namespace {
+
+TEST(Mailbox, PushPopSingleThread) {
+  Mailbox<int> box;
+  EXPECT_TRUE(box.push(1));
+  EXPECT_TRUE(box.push(2));
+  EXPECT_EQ(box.size(), 2u);
+  EXPECT_EQ(box.pop(), 1);
+  EXPECT_EQ(box.pop(), 2);
+  EXPECT_FALSE(box.try_pop().has_value());
+}
+
+TEST(Mailbox, CloseDrainsThenSignals) {
+  Mailbox<int> box;
+  box.push(5);
+  box.close();
+  EXPECT_FALSE(box.push(6));
+  EXPECT_EQ(box.pop(), 5);           // drains queued item
+  EXPECT_FALSE(box.pop().has_value());  // then reports closed
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(Mailbox, BlockingPopWakesOnPush) {
+  Mailbox<int> box;
+  std::atomic<int> got{0};
+  std::thread consumer([&] { got = box.pop().value_or(-1); });
+  box.push(42);
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(Mailbox, BlockingPopWakesOnClose) {
+  Mailbox<int> box;
+  std::atomic<int> got{123};
+  std::thread consumer([&] { got = box.pop().value_or(-1); });
+  box.close();
+  consumer.join();
+  EXPECT_EQ(got.load(), -1);
+}
+
+TEST(Mailbox, BoundedCapacityBlocksProducerUntilPop) {
+  Mailbox<int> box{2};
+  box.push(1);
+  box.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    box.push(3);  // blocks until a pop frees space
+    third_pushed = true;
+  });
+  // Give the producer a chance to block, then drain one.
+  while (box.size() < 2) {}
+  EXPECT_EQ(box.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(box.pop(), 2);
+  EXPECT_EQ(box.pop(), 3);
+}
+
+TEST(Mailbox, ManyProducersOneConsumerDeliversEverything) {
+  Mailbox<int> box{64};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        box.push(p * kPerProducer + i);
+    });
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    const auto value = box.pop();
+    ASSERT_TRUE(value.has_value());
+    ASSERT_FALSE(seen[static_cast<size_t>(*value)]);
+    seen[static_cast<size_t>(*value)] = true;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(InprocTransport, RoutesToDestinationMailbox) {
+  InprocTransport transport{3};
+  Message msg;
+  msg.from = 0;
+  msg.to = 2;
+  msg.type = 9;
+  EXPECT_TRUE(transport.send(msg));
+  EXPECT_FALSE(transport.try_receive(1).has_value());
+  const auto received = transport.try_receive(2);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->type, 9);
+  EXPECT_EQ(received->from, 0u);
+}
+
+TEST(InprocTransport, FifoPerDestination) {
+  InprocTransport transport{2};
+  for (int i = 0; i < 5; ++i) {
+    Message msg;
+    msg.to = 1;
+    msg.type = i;
+    transport.send(msg);
+  }
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(transport.receive(1)->type, i);
+}
+
+TEST(InprocTransport, CloseInjectsCrash) {
+  InprocTransport transport{2};
+  transport.close(1);
+  Message msg;
+  msg.to = 1;
+  EXPECT_FALSE(transport.send(msg));  // crashed node accepts nothing
+}
+
+TEST(InprocTransport, UnknownNodeThrows) {
+  InprocTransport transport{2};
+  Message msg;
+  msg.to = 7;
+  EXPECT_THROW(transport.send(msg), std::out_of_range);
+  EXPECT_THROW((void)transport.receive(9), std::out_of_range);
+  EXPECT_THROW(transport.close(5), std::out_of_range);
+}
+
+TEST(InprocTransport, CloseAllUnblocksReceivers) {
+  InprocTransport transport{2};
+  std::atomic<int> finished{0};
+  std::thread r1([&] {
+    transport.receive(0);
+    ++finished;
+  });
+  std::thread r2([&] {
+    transport.receive(1);
+    ++finished;
+  });
+  transport.close_all();
+  r1.join();
+  r2.join();
+  EXPECT_EQ(finished.load(), 2);
+}
+
+}  // namespace
+}  // namespace edr::net

@@ -1,0 +1,190 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace edr::net {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  SimNetwork network{sim};
+  std::vector<std::pair<NodeId, SimTime>> deliveries;
+
+  void attach(NodeId node) {
+    network.attach(node, [this, node](const Message&) {
+      deliveries.emplace_back(node, sim.now());
+    });
+  }
+
+  Message make(NodeId from, NodeId to, std::size_t bytes = 0) {
+    Message msg;
+    msg.from = from;
+    msg.to = to;
+    msg.type = 1;
+    msg.bytes = bytes;
+    return msg;
+  }
+};
+
+TEST(SimNetwork, DeliveryAfterPropagationLatency) {
+  Fixture f;
+  f.attach(2);
+  f.network.set_link(1, 2, {.latency = 2.0, .bandwidth_mbps = 100.0});
+  f.network.send(f.make(1, 2, 0));
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_NEAR(f.deliveries[0].second, 0.002, 1e-12);
+}
+
+TEST(SimNetwork, TransmissionTimeScalesWithBytes) {
+  Fixture f;
+  f.attach(2);
+  f.network.set_link(1, 2, {.latency = 0.0, .bandwidth_mbps = 1.0});  // 1 MB/s
+  f.network.send(f.make(1, 2, 500'000));
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_NEAR(f.deliveries[0].second, 0.5, 1e-9);
+}
+
+TEST(SimNetwork, FifoSerializationOnSharedLink) {
+  Fixture f;
+  f.attach(2);
+  f.network.set_link(1, 2, {.latency = 0.0, .bandwidth_mbps = 1.0});
+  f.network.send(f.make(1, 2, 1'000'000));  // 1 s of transmission
+  f.network.send(f.make(1, 2, 1'000'000));  // queues behind the first
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_NEAR(f.deliveries[0].second, 1.0, 1e-9);
+  EXPECT_NEAR(f.deliveries[1].second, 2.0, 1e-9);
+}
+
+TEST(SimNetwork, DistinctLinksDoNotInterfere) {
+  Fixture f;
+  f.attach(2);
+  f.attach(3);
+  f.network.set_link(1, 2, {.latency = 0.0, .bandwidth_mbps = 1.0});
+  f.network.set_link(1, 3, {.latency = 0.0, .bandwidth_mbps = 1.0});
+  f.network.send(f.make(1, 2, 1'000'000));
+  f.network.send(f.make(1, 3, 1'000'000));
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_NEAR(f.deliveries[0].second, 1.0, 1e-9);
+  EXPECT_NEAR(f.deliveries[1].second, 1.0, 1e-9);  // parallel, not serial
+}
+
+TEST(SimNetwork, MessagesToDetachedNodeAreDropped) {
+  Fixture f;
+  f.attach(2);
+  f.network.send(f.make(1, 2));
+  f.network.detach(2);
+  f.sim.run();
+  EXPECT_TRUE(f.deliveries.empty());
+  EXPECT_FALSE(f.network.attached(2));
+}
+
+TEST(SimNetwork, DetachMidFlightDropsInFlightMessages) {
+  Fixture f;
+  f.attach(2);
+  f.network.set_link(1, 2, {.latency = 10.0, .bandwidth_mbps = 100.0});
+  f.network.send(f.make(1, 2));
+  f.sim.schedule_at(0.005, [&] { f.network.detach(2); });
+  f.sim.run();
+  EXPECT_TRUE(f.deliveries.empty());
+}
+
+TEST(SimNetwork, TrafficStatsCountBothEnds) {
+  Fixture f;
+  f.attach(2);
+  f.network.send(f.make(1, 2, 100));
+  f.network.send(f.make(1, 2, 50));
+  f.sim.run();
+  EXPECT_EQ(f.network.stats(1).messages_sent, 2u);
+  EXPECT_EQ(f.network.stats(1).bytes_sent, 150u);
+  EXPECT_EQ(f.network.stats(2).messages_received, 2u);
+  EXPECT_EQ(f.network.stats(2).bytes_received, 150u);
+  const auto total = f.network.total_stats();
+  EXPECT_EQ(total.messages_sent, 2u);
+  EXPECT_EQ(total.messages_received, 2u);
+}
+
+TEST(SimNetwork, DroppedDeliveriesNotCountedAsReceived) {
+  Fixture f;
+  f.network.send(f.make(1, 2, 100));  // 2 never attached
+  f.sim.run();
+  EXPECT_EQ(f.network.stats(1).messages_sent, 1u);
+  EXPECT_EQ(f.network.stats(2).messages_received, 0u);
+}
+
+TEST(SimNetwork, NominalDelayMatchesLinkMath) {
+  Fixture f;
+  f.network.set_link(1, 2, {.latency = 1.0, .bandwidth_mbps = 2.0});
+  EXPECT_NEAR(f.network.nominal_delay(1, 2, 1'000'000),
+              0.001 + 0.5, 1e-12);
+  // Unknown pairs use the default link.
+  f.network.set_default_link({.latency = 5.0, .bandwidth_mbps = 100.0});
+  EXPECT_NEAR(f.network.nominal_delay(7, 8, 0), 0.005, 1e-12);
+}
+
+TEST(SimNetwork, LossyLinkDropsRoughlyTheConfiguredFraction) {
+  Fixture f;
+  f.attach(2);
+  f.network.seed_loss(7);
+  f.network.set_link(1, 2, {.latency = 0.1, .bandwidth_mbps = 100.0,
+                            .loss_probability = 0.3});
+  constexpr int kMessages = 5000;
+  for (int i = 0; i < kMessages; ++i) f.network.send(f.make(1, 2, 8));
+  f.sim.run();
+  const double delivered = static_cast<double>(f.deliveries.size());
+  EXPECT_NEAR(delivered / kMessages, 0.7, 0.03);
+  EXPECT_EQ(f.network.messages_lost() + f.deliveries.size(),
+            static_cast<std::size_t>(kMessages));
+  // The sender is charged for every transmission, lost or not.
+  EXPECT_EQ(f.network.stats(1).messages_sent,
+            static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(SimNetwork, ReliableLinksNeverDrop) {
+  Fixture f;
+  f.attach(2);
+  for (int i = 0; i < 1000; ++i) f.network.send(f.make(1, 2, 8));
+  f.sim.run();
+  EXPECT_EQ(f.deliveries.size(), 1000u);
+  EXPECT_EQ(f.network.messages_lost(), 0u);
+}
+
+TEST(SimNetwork, LostMessagesStillOccupyTheLink) {
+  // Even a 100%-lossy link serializes transmissions, so a later reliable
+  // message queues behind the lost ones.
+  Fixture f;
+  f.attach(2);
+  f.network.set_link(1, 2, {.latency = 0.0, .bandwidth_mbps = 1.0,
+                            .loss_probability = 1.0});
+  f.network.send(f.make(1, 2, 1'000'000));  // 1 s of wire time, lost
+  f.network.set_link(1, 2, {.latency = 0.0, .bandwidth_mbps = 1.0,
+                            .loss_probability = 0.0});
+  f.network.send(f.make(1, 2, 1'000'000));
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_NEAR(f.deliveries[0].second, 2.0, 1e-9);
+}
+
+TEST(SimNetwork, PayloadSurvivesDelivery) {
+  Simulator sim;
+  SimNetwork network{sim};
+  int received = 0;
+  network.attach(2, [&](const Message& msg) {
+    received = std::any_cast<int>(msg.payload);
+  });
+  Message msg;
+  msg.from = 1;
+  msg.to = 2;
+  msg.payload = 42;
+  network.send(std::move(msg));
+  sim.run();
+  EXPECT_EQ(received, 42);
+}
+
+}  // namespace
+}  // namespace edr::net

@@ -1,0 +1,128 @@
+#include "net/vivaldi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edr::net {
+namespace {
+
+/// Ground truth from planted 2D positions + per-node access delays — a
+/// geometry Vivaldi can embed almost exactly.
+Matrix planted_rtt(Rng& rng, std::size_t n, double area = 50.0,
+                   double max_height = 2.0) {
+  std::vector<std::array<double, 2>> pos(n);
+  std::vector<double> height(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = {rng.uniform(0.0, area), rng.uniform(0.0, area)};
+    height[i] = rng.uniform(0.1, max_height);
+  }
+  Matrix rtt(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dx = pos[i][0] - pos[j][0];
+      const double dy = pos[i][1] - pos[j][1];
+      rtt(i, j) = std::sqrt(dx * dx + dy * dy) + height[i] + height[j];
+    }
+  return rtt;
+}
+
+TEST(Vivaldi, DistanceIsSymmetricAndIncludesHeights) {
+  VivaldiCoord a, b;
+  a.position = {0.0, 3.0};
+  a.height = 1.0;
+  b.position = {4.0, 0.0};
+  b.height = 0.5;
+  EXPECT_DOUBLE_EQ(vivaldi_distance(a, b), 5.0 + 1.5);
+  EXPECT_DOUBLE_EQ(vivaldi_distance(a, b), vivaldi_distance(b, a));
+}
+
+TEST(Vivaldi, ObserveMovesTowardConsistency) {
+  VivaldiNode node;
+  VivaldiCoord remote;
+  remote.position = {10.0, 0.0};
+  remote.height = 0.1;
+  remote.error = 0.2;
+  const double before = std::abs(node.estimate_to(remote) - 5.0);
+  for (int i = 0; i < 100; ++i) node.observe(remote, 5.0);
+  const double after = std::abs(node.estimate_to(remote) - 5.0);
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 0.5);
+}
+
+TEST(Vivaldi, IgnoresBogusSamples) {
+  VivaldiNode node;
+  const VivaldiCoord before = node.coordinate();
+  VivaldiCoord remote;
+  node.observe(remote, 0.0);
+  node.observe(remote, -3.0);
+  EXPECT_EQ(node.coordinate().position, before.position);
+}
+
+TEST(Vivaldi, HeightNeverGoesNegative) {
+  VivaldiNode node;
+  VivaldiCoord remote;
+  remote.position = {0.1, 0.0};
+  for (int i = 0; i < 200; ++i) node.observe(remote, 0.01);  // pull inward
+  EXPECT_GE(node.coordinate().height, 0.01);
+}
+
+TEST(Vivaldi, SystemConvergesOnEmbeddableGeometry) {
+  Rng rng{5};
+  VivaldiSystem system{planted_rtt(rng, 12), 7};
+  system.gossip(400);
+  EXPECT_LT(system.median_relative_error(), 0.12)
+      << "median relative error too high";
+}
+
+TEST(Vivaldi, MoreGossipImprovesAccuracy) {
+  Rng rng{6};
+  const Matrix rtt = planted_rtt(rng, 10);
+  VivaldiSystem early{rtt, 7};
+  early.gossip(10);
+  VivaldiSystem late{rtt, 7};
+  late.gossip(500);
+  EXPECT_LT(late.median_relative_error(), early.median_relative_error());
+}
+
+TEST(Vivaldi, RobustToMeasurementNoise) {
+  Rng rng{8};
+  VivaldiSystem system{planted_rtt(rng, 12), 9};
+  system.gossip(500, /*noise_fraction=*/0.05);
+  EXPECT_LT(system.median_relative_error(), 0.2);
+}
+
+TEST(Vivaldi, EstimatedMatrixShapeAndSymmetryOfPredictions) {
+  Rng rng{9};
+  VivaldiSystem system{planted_rtt(rng, 6), 10};
+  system.gossip(200);
+  const Matrix estimated = system.estimated_matrix();
+  ASSERT_EQ(estimated.rows(), 6u);
+  ASSERT_EQ(estimated.cols(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(estimated(i, i), 0.0);
+    for (std::size_t j = 0; j < 6; ++j)
+      if (i != j) {
+        EXPECT_GT(estimated(i, j), 0.0);
+        EXPECT_DOUBLE_EQ(estimated(i, j), estimated(j, i));
+      }
+  }
+}
+
+TEST(Vivaldi, RejectsNonSquareMatrix) {
+  EXPECT_THROW(VivaldiSystem(Matrix(2, 3), 1), std::invalid_argument);
+}
+
+TEST(Vivaldi, DeterministicPerSeed) {
+  Rng rng{10};
+  const Matrix rtt = planted_rtt(rng, 8);
+  VivaldiSystem a{rtt, 3};
+  VivaldiSystem b{rtt, 3};
+  a.gossip(100);
+  b.gossip(100);
+  EXPECT_DOUBLE_EQ(a.median_relative_error(), b.median_relative_error());
+}
+
+}  // namespace
+}  // namespace edr::net

@@ -1,0 +1,104 @@
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace edr::net {
+namespace {
+
+TEST(Wire, ScalarRoundTrip) {
+  WireWriter writer;
+  writer.put_u8(7);
+  writer.put_u32(123456);
+  writer.put_u64(0xdeadbeefcafebabeULL);
+  writer.put_double(3.14159265358979);
+
+  WireReader reader{writer.bytes()};
+  EXPECT_EQ(reader.get_u8(), 7);
+  EXPECT_EQ(reader.get_u32(), 123456u);
+  EXPECT_EQ(reader.get_u64(), 0xdeadbeefcafebabeULL);
+  EXPECT_DOUBLE_EQ(reader.get_double(), 3.14159265358979);
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(Wire, StringRoundTrip) {
+  WireWriter writer;
+  writer.put_string("hello, world");
+  writer.put_string("");
+  WireReader reader{writer.bytes()};
+  EXPECT_EQ(reader.get_string(), "hello, world");
+  EXPECT_EQ(reader.get_string(), "");
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(Wire, DoubleVectorRoundTrip) {
+  Rng rng{31};
+  std::vector<double> values(100);
+  for (auto& v : values) v = rng.uniform(-1e9, 1e9);
+  WireWriter writer;
+  writer.put_doubles(values);
+  EXPECT_EQ(writer.size(), wire_size_doubles(values.size()));
+  WireReader reader{writer.bytes()};
+  EXPECT_EQ(reader.get_doubles(), values);
+}
+
+TEST(Wire, MatrixRoundTrip) {
+  Rng rng{32};
+  Matrix matrix(7, 5);
+  for (auto& v : matrix.flat()) v = rng.normal();
+  WireWriter writer;
+  writer.put_matrix(matrix);
+  EXPECT_EQ(writer.size(), wire_size_matrix(7, 5));
+  WireReader reader{writer.bytes()};
+  EXPECT_EQ(reader.get_matrix(), matrix);
+}
+
+TEST(Wire, MixedSequenceRoundTrip) {
+  WireWriter writer;
+  writer.put_u32(3);
+  writer.put_string("mu-update");
+  writer.put_doubles(std::vector<double>{1.0, 2.0});
+  writer.put_u8(1);
+  WireReader reader{writer.bytes()};
+  EXPECT_EQ(reader.get_u32(), 3u);
+  EXPECT_EQ(reader.get_string(), "mu-update");
+  EXPECT_EQ(reader.get_doubles(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(reader.get_u8(), 1);
+}
+
+TEST(Wire, TruncatedReadsThrow) {
+  WireWriter writer;
+  writer.put_u32(100);  // claims 100 doubles follow
+  WireReader reader{writer.bytes()};
+  EXPECT_THROW((void)reader.get_doubles(), std::out_of_range);
+
+  WireReader reader2{writer.bytes()};
+  (void)reader2.get_u32();
+  EXPECT_THROW((void)reader2.get_u64(), std::out_of_range);
+}
+
+TEST(Wire, TruncatedStringThrows) {
+  WireWriter writer;
+  writer.put_u32(1000);
+  WireReader reader{writer.bytes()};
+  EXPECT_THROW((void)reader.get_string(), std::out_of_range);
+}
+
+TEST(Wire, TruncatedMatrixThrows) {
+  WireWriter writer;
+  writer.put_u32(100);
+  writer.put_u32(100);
+  WireReader reader{writer.bytes()};
+  EXPECT_THROW((void)reader.get_matrix(), std::out_of_range);
+}
+
+TEST(Wire, TakeMovesBuffer) {
+  WireWriter writer;
+  writer.put_u32(5);
+  auto bytes = writer.take();
+  EXPECT_EQ(bytes.size(), 4u);
+}
+
+}  // namespace
+}  // namespace edr::net

@@ -1,0 +1,136 @@
+#include "optim/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "optim/instance.hpp"
+#include "optim/problem.hpp"
+
+namespace edr::optim {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow flow(2);
+  const auto e = flow.add_edge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(flow.solve(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(e), 5.0);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  MaxFlow flow(3);
+  flow.add_edge(0, 1, 10.0);
+  const auto bottleneck = flow.add_edge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(flow.solve(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(bottleneck), 3.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlow flow(4);
+  flow.add_edge(0, 1, 4.0);
+  flow.add_edge(1, 3, 4.0);
+  flow.add_edge(0, 2, 6.0);
+  flow.add_edge(2, 3, 5.0);
+  EXPECT_DOUBLE_EQ(flow.solve(0, 3), 9.0);
+}
+
+TEST(MaxFlow, ClassicDiamondWithCrossEdge) {
+  // The textbook example where augmenting paths must push flow back across
+  // the middle edge.
+  MaxFlow flow(4);
+  flow.add_edge(0, 1, 10.0);
+  flow.add_edge(0, 2, 10.0);
+  flow.add_edge(1, 2, 1.0);
+  flow.add_edge(1, 3, 8.0);
+  flow.add_edge(2, 3, 10.0);
+  EXPECT_DOUBLE_EQ(flow.solve(0, 3), 18.0);
+}
+
+TEST(MaxFlow, DisconnectedSinkGivesZero) {
+  MaxFlow flow(3);
+  flow.add_edge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(flow.solve(0, 2), 0.0);
+}
+
+TEST(TransportFeasible, SimpleFeasibleInstance) {
+  std::vector<Megabytes> demands{10.0, 10.0};
+  std::vector<ReplicaParams> reps(2);
+  reps[0].bandwidth = 15.0;
+  reps[1].bandwidth = 15.0;
+  Matrix latency(2, 2, 0.5);
+  Problem problem(demands, reps, latency, 1.8);
+
+  const auto result = check_transport_feasible(problem);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(result.routed, 20.0, 1e-9);
+  EXPECT_TRUE(check_feasibility(problem, result.allocation).ok(1e-9));
+}
+
+TEST(TransportFeasible, CapacityShortfallDetected) {
+  std::vector<Megabytes> demands{10.0, 10.0};
+  std::vector<ReplicaParams> reps(2);
+  reps[0].bandwidth = 5.0;
+  reps[1].bandwidth = 5.0;
+  Matrix latency(2, 2, 0.5);
+  Problem problem(demands, reps, latency, 1.8);
+
+  const auto result = check_transport_feasible(problem);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_NEAR(result.routed, 10.0, 1e-9);
+}
+
+TEST(TransportFeasible, LatencyMaskCreatesBottleneck) {
+  // Both clients can only reach replica 0; replica 1 has plenty of spare
+  // capacity but is out of latency range.
+  std::vector<Megabytes> demands{10.0, 10.0};
+  std::vector<ReplicaParams> reps(2);
+  reps[0].bandwidth = 12.0;
+  reps[1].bandwidth = 100.0;
+  Matrix latency(2, 2, 5.0);
+  latency(0, 0) = 0.5;
+  latency(1, 0) = 0.5;
+  Problem problem(demands, reps, latency, 1.8);
+
+  const auto result = check_transport_feasible(problem);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_NEAR(result.routed, 12.0, 1e-9);
+}
+
+TEST(TransportFeasible, SlackShrinksCapacities) {
+  std::vector<Megabytes> demands{10.0};
+  std::vector<ReplicaParams> reps(1);
+  reps[0].bandwidth = 12.0;
+  Matrix latency(1, 1, 0.5);
+  Problem problem(demands, reps, latency, 1.8);
+
+  EXPECT_TRUE(check_transport_feasible(problem, 1.0).feasible);
+  EXPECT_FALSE(check_transport_feasible(problem, 0.5).feasible);
+}
+
+TEST(InitialFeasiblePoint, ReturnsNulloptWhenInfeasible) {
+  std::vector<Megabytes> demands{10.0};
+  std::vector<ReplicaParams> reps(1);
+  reps[0].bandwidth = 5.0;
+  Matrix latency(1, 1, 0.5);
+  Problem problem(demands, reps, latency, 1.8);
+  EXPECT_FALSE(initial_feasible_point(problem).has_value());
+}
+
+class TransportPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TransportPropertyTest, RandomInstancesRouteAllDemand) {
+  Rng rng{GetParam()};
+  InstanceOptions opts;
+  opts.num_clients = 12;
+  opts.num_replicas = 5;
+  const Problem problem = make_random_instance(rng, opts);
+  const auto result = check_transport_feasible(problem);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(check_feasibility(problem, result.allocation).ok(1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportPropertyTest,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace edr::optim

@@ -1,0 +1,94 @@
+#include "optim/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "optim/flow.hpp"
+
+namespace edr::optim {
+namespace {
+
+TEST(PaperReplicaSet, MatchesSectionFourSetup) {
+  const auto reps = paper_replica_set();
+  ASSERT_EQ(reps.size(), 8u);
+  const double expected_prices[] = {1, 8, 1, 6, 1, 5, 2, 3};
+  for (std::size_t n = 0; n < 8; ++n) {
+    EXPECT_DOUBLE_EQ(reps[n].price, expected_prices[n]);
+    EXPECT_DOUBLE_EQ(reps[n].alpha, 1.0);
+    EXPECT_DOUBLE_EQ(reps[n].beta, 0.01);
+    EXPECT_DOUBLE_EQ(reps[n].gamma, 3.0);
+    EXPECT_DOUBLE_EQ(reps[n].bandwidth, 100.0);
+  }
+}
+
+TEST(RandomInstance, RespectsRequestedShape) {
+  Rng rng{1};
+  InstanceOptions opts;
+  opts.num_clients = 13;
+  opts.num_replicas = 7;
+  const Problem problem = make_random_instance(rng, opts);
+  EXPECT_EQ(problem.num_clients(), 13u);
+  EXPECT_EQ(problem.num_replicas(), 7u);
+  EXPECT_EQ(problem.validate(), "");
+}
+
+TEST(RandomInstance, PricesWithinConfiguredRange) {
+  Rng rng{2};
+  InstanceOptions opts;
+  opts.min_price = 3;
+  opts.max_price = 9;
+  const Problem problem = make_random_instance(rng, opts);
+  for (std::size_t n = 0; n < problem.num_replicas(); ++n) {
+    EXPECT_GE(problem.replica(n).price, 3.0);
+    EXPECT_LE(problem.replica(n).price, 9.0);
+    // integer_prices default: whole numbers.
+    EXPECT_DOUBLE_EQ(problem.replica(n).price,
+                     std::floor(problem.replica(n).price));
+  }
+}
+
+TEST(RandomInstance, EveryClientHasFeasibleReplica) {
+  Rng rng{3};
+  InstanceOptions opts;
+  opts.num_clients = 30;
+  opts.min_link_latency = 1.7;  // most links near/above the 1.8 bound
+  opts.max_link_latency = 4.0;
+  const Problem problem = make_random_instance(rng, opts);
+  for (std::size_t c = 0; c < problem.num_clients(); ++c)
+    EXPECT_GE(problem.feasible_count(c), 1u) << "client " << c;
+}
+
+TEST(RandomInstance, AlwaysTransportFeasible) {
+  Rng rng{4};
+  for (int trial = 0; trial < 10; ++trial) {
+    InstanceOptions opts;
+    opts.num_clients = 20;
+    opts.num_replicas = 4;
+    opts.min_demand = 20.0;
+    opts.max_demand = 40.0;  // heavy: forces the capacity-inflation path
+    opts.bandwidth = 50.0;
+    const Problem problem = make_random_instance(rng, opts);
+    EXPECT_TRUE(check_transport_feasible(problem).feasible);
+  }
+}
+
+TEST(RandomInstance, DeterministicGivenSeed) {
+  Rng a{42}, b{42};
+  const Problem p1 = make_random_instance(a);
+  const Problem p2 = make_random_instance(b);
+  ASSERT_EQ(p1.num_clients(), p2.num_clients());
+  for (std::size_t c = 0; c < p1.num_clients(); ++c)
+    EXPECT_DOUBLE_EQ(p1.demand(c), p2.demand(c));
+  for (std::size_t n = 0; n < p1.num_replicas(); ++n)
+    EXPECT_DOUBLE_EQ(p1.replica(n).price, p2.replica(n).price);
+}
+
+TEST(RandomInstance, RejectsEmptyShape) {
+  Rng rng{5};
+  InstanceOptions opts;
+  opts.num_clients = 0;
+  EXPECT_THROW(make_random_instance(rng, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edr::optim

@@ -1,0 +1,172 @@
+#include "optim/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "optim/instance.hpp"
+#include "optim/problem.hpp"
+
+namespace edr::optim {
+namespace {
+
+double vec_sum(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+TEST(SimplexProjection, AlreadyOnSimplexIsFixedPoint) {
+  std::vector<double> v{0.2, 0.3, 0.5};
+  project_simplex(v, 1.0);
+  EXPECT_NEAR(v[0], 0.2, 1e-12);
+  EXPECT_NEAR(v[1], 0.3, 1e-12);
+  EXPECT_NEAR(v[2], 0.5, 1e-12);
+}
+
+TEST(SimplexProjection, UniformShiftForInteriorPoint) {
+  // Projection of (1,2,3) onto {Σ=3} with all coordinates staying positive
+  // subtracts the mean excess: (0,1,2).
+  std::vector<double> v{1.0, 2.0, 3.0};
+  project_simplex(v, 3.0);
+  EXPECT_NEAR(v[0], 0.0, 1e-12);
+  EXPECT_NEAR(v[1], 1.0, 1e-12);
+  EXPECT_NEAR(v[2], 2.0, 1e-12);
+}
+
+TEST(SimplexProjection, ClampsNegativeCoordinates) {
+  std::vector<double> v{-5.0, 0.5, 0.6};
+  project_simplex(v, 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_NEAR(vec_sum(v), 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 0.45, 1e-12);
+  EXPECT_NEAR(v[2], 0.55, 1e-12);
+}
+
+TEST(SimplexProjection, ZeroTargetGivesZeroVector) {
+  std::vector<double> v{3.0, -1.0, 2.0};
+  project_simplex(v, 0.0);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(SimplexProjection, SingleCoordinate) {
+  std::vector<double> v{-4.0};
+  project_simplex(v, 2.5);
+  EXPECT_DOUBLE_EQ(v[0], 2.5);
+}
+
+TEST(MaskedSimplexProjection, MaskedCoordinatesForcedToZero) {
+  std::vector<double> v{10.0, 10.0, 10.0};
+  const std::vector<double> mask{1.0, 0.0, 1.0};
+  project_masked_simplex(v, mask, 4.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_NEAR(v[0], 2.0, 1e-12);
+  EXPECT_NEAR(v[2], 2.0, 1e-12);
+}
+
+TEST(MaskedSimplexProjection, ThrowsWhenTargetUnreachable) {
+  std::vector<double> v{1.0, 1.0};
+  const std::vector<double> mask{0.0, 0.0};
+  EXPECT_THROW(project_masked_simplex(v, mask, 1.0), std::invalid_argument);
+}
+
+TEST(MaskedSimplexProjection, EmptyMaskZeroTargetZeroesVector) {
+  std::vector<double> v{1.0, -2.0};
+  const std::vector<double> mask{0.0, 0.0};
+  project_masked_simplex(v, mask, 0.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(MaskedSimplexProjection, RejectsNegativeTarget) {
+  std::vector<double> v{1.0};
+  const std::vector<double> mask{1.0};
+  EXPECT_THROW(project_masked_simplex(v, mask, -1.0), std::invalid_argument);
+}
+
+// Property: the projection is the nearest simplex point — verify first-order
+// optimality <y - proj, x - proj> <= 0 for random feasible x.
+TEST(SimplexProjection, NearestPointProperty) {
+  Rng rng{101};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> y(6), proj(6);
+    for (auto& x : y) x = rng.uniform(-3.0, 3.0);
+    proj = y;
+    project_simplex(proj, 2.0);
+    // Random feasible point.
+    std::vector<double> other(6);
+    for (auto& x : other) x = rng.uniform(0.0, 1.0);
+    project_simplex(other, 2.0);
+    double inner = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      inner += (y[i] - proj[i]) * (other[i] - proj[i]);
+    EXPECT_LE(inner, 1e-9);
+  }
+}
+
+TEST(CappedNonneg, NoChangeWhenUnderCap) {
+  std::vector<double> v{1.0, 2.0};
+  project_capped_nonneg(v, 10.0);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(CappedNonneg, ClipsNegativesWithoutTouchingCap) {
+  std::vector<double> v{-1.0, 2.0};
+  project_capped_nonneg(v, 10.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(CappedNonneg, ProjectsToCapWhenExceeded) {
+  std::vector<double> v{6.0, 6.0};
+  project_capped_nonneg(v, 10.0);
+  EXPECT_NEAR(vec_sum(v), 10.0, 1e-12);
+  EXPECT_NEAR(v[0], 5.0, 1e-12);
+}
+
+class DykstraTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DykstraTest, ProducesFeasiblePointFromRandomStart) {
+  Rng rng{GetParam()};
+  InstanceOptions opts;
+  opts.num_clients = 6;
+  opts.num_replicas = 4;
+  const Problem problem = make_random_instance(rng, opts);
+
+  Matrix allocation(6, 4);
+  for (auto& v : allocation.flat()) v = rng.uniform(-5.0, 25.0);
+
+  const auto result = project_feasible(problem, allocation);
+  EXPECT_TRUE(result.converged) << "Dykstra did not converge";
+  const auto report = check_feasibility(problem, allocation);
+  EXPECT_TRUE(report.ok(1e-6))
+      << "cap=" << report.max_capacity_violation
+      << " demand=" << report.max_demand_violation
+      << " neg=" << report.max_negative
+      << " mask=" << report.max_mask_violation;
+}
+
+TEST_P(DykstraTest, FeasiblePointIsFixedPoint) {
+  Rng rng{GetParam() + 1000};
+  InstanceOptions opts;
+  opts.num_clients = 5;
+  opts.num_replicas = 3;
+  const Problem problem = make_random_instance(rng, opts);
+
+  Matrix allocation(5, 3);
+  for (auto& v : allocation.flat()) v = rng.uniform(0.0, 10.0);
+  project_feasible(problem, allocation);
+  const Matrix feasible = allocation;
+
+  project_feasible(problem, allocation);
+  EXPECT_LT(allocation.distance(feasible), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DykstraTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace edr::optim

@@ -1,0 +1,82 @@
+#include "power/meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edr::power {
+namespace {
+
+ActivityTimeline step_timeline() {
+  // idle [0,2), transfer@1.0 [2,5), idle [5,...)
+  ActivityTimeline timeline;
+  timeline.set(2.0, Activity::kTransfer, 1.0);
+  timeline.set(5.0, Activity::kIdle);
+  return timeline;
+}
+
+TEST(Meter, SampleCountMatchesRate) {
+  const PowerModel model;
+  const auto trace = sample_trace(model, step_timeline(), 10.0, 50.0);
+  // 10 s at 50 Hz = 501 samples including t=0 and t=10.
+  EXPECT_EQ(trace.samples.size(), 501u);
+  EXPECT_DOUBLE_EQ(trace.samples.front().time, 0.0);
+  EXPECT_NEAR(trace.samples.back().time, 10.0, 1e-9);
+}
+
+TEST(Meter, TraceTracksStateChanges) {
+  const PowerModel model;
+  const auto trace = sample_trace(model, step_timeline(), 10.0, 50.0);
+  EXPECT_DOUBLE_EQ(trace.min_watts(), 215.0);
+  EXPECT_DOUBLE_EQ(trace.max_watts(), 240.0);
+  // Mean between the extremes, weighted toward idle (7 s idle vs 3 s peak).
+  EXPECT_GT(trace.mean_watts(), 215.0);
+  EXPECT_LT(trace.mean_watts(), 228.0);
+}
+
+TEST(Meter, EmptyAndDegenerateInputs) {
+  const PowerModel model;
+  const ActivityTimeline timeline;
+  EXPECT_TRUE(sample_trace(model, timeline, 0.0).samples.empty());
+  EXPECT_TRUE(sample_trace(model, timeline, -1.0).samples.empty());
+  EXPECT_TRUE(sample_trace(model, timeline, 1.0, 0.0).samples.empty());
+  PowerTrace empty;
+  EXPECT_DOUBLE_EQ(empty.mean_watts(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.sampled_energy(), 0.0);
+}
+
+TEST(Meter, ExactIntegrationOfStepFunction) {
+  const PowerModel model;
+  // 2 s idle (215) + 3 s transfer (240) + 5 s idle (215) = 10 s.
+  const Joules expected = 2.0 * 215.0 + 3.0 * 240.0 + 5.0 * 215.0;
+  EXPECT_NEAR(integrate_energy(model, step_timeline(), 10.0), expected, 1e-9);
+}
+
+TEST(Meter, ActiveEnergySubtractsIdleFloor) {
+  const PowerModel model;
+  const Joules active =
+      integrate_active_energy(model, step_timeline(), 10.0);
+  EXPECT_NEAR(active, 3.0 * 25.0, 1e-9);  // only the transfer segment
+}
+
+TEST(Meter, IntegrationStopsAtHorizon) {
+  const PowerModel model;
+  // Horizon inside the transfer segment.
+  const Joules energy = integrate_energy(model, step_timeline(), 3.0);
+  EXPECT_NEAR(energy, 2.0 * 215.0 + 1.0 * 240.0, 1e-9);
+}
+
+TEST(Meter, SegmentsBeyondHorizonIgnored) {
+  const PowerModel model;
+  ActivityTimeline timeline;
+  timeline.set(100.0, Activity::kTransfer, 1.0);
+  EXPECT_NEAR(integrate_energy(model, timeline, 10.0), 2150.0, 1e-9);
+}
+
+TEST(Meter, SampledEnergyApproximatesExactIntegral) {
+  const PowerModel model;
+  const auto trace = sample_trace(model, step_timeline(), 10.0, 200.0);
+  const Joules exact = integrate_energy(model, step_timeline(), 10.0);
+  EXPECT_NEAR(trace.sampled_energy(), exact, exact * 0.01);
+}
+
+}  // namespace
+}  // namespace edr::power

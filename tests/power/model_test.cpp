@@ -1,0 +1,81 @@
+#include "power/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edr::power {
+namespace {
+
+TEST(PowerModel, IdleDrawIsFloor) {
+  PowerModel model;
+  EXPECT_DOUBLE_EQ(model.draw(Activity::kIdle, 0.0), 215.0);
+  // Intensity is ignored when idle.
+  EXPECT_DOUBLE_EQ(model.draw(Activity::kIdle, 5.0), 215.0);
+}
+
+TEST(PowerModel, SelectionAddsComputeAndCoordination) {
+  PowerModel model;
+  const Watts base = model.draw(Activity::kSelecting, 0.0);
+  EXPECT_DOUBLE_EQ(base, 215.0 + 4.0);
+  EXPECT_DOUBLE_EQ(model.draw(Activity::kSelecting, 1.0), base + 4.0);
+  // CDPSM-style heavy coordination sits above the LDDM level.
+  EXPECT_GT(model.draw(Activity::kSelecting, 1.5),
+            model.draw(Activity::kSelecting, 0.2));
+}
+
+TEST(PowerModel, TransferFollowsLinearPlusPolyShape) {
+  PowerModelParams params;
+  params.gamma = 3.0;
+  PowerModel model{params};
+  const Watts full = model.draw(Activity::kTransfer, 1.0);
+  EXPECT_DOUBLE_EQ(full, 215.0 + 18.0 + 7.0);
+  const Watts half = model.draw(Activity::kTransfer, 0.5);
+  EXPECT_DOUBLE_EQ(half, 215.0 + 9.0 + 7.0 * 0.125);
+  // The poly term makes the curve convex: mid-rate draw is below the chord.
+  EXPECT_LT(half - 215.0, (full - 215.0) / 2.0 + 1e-12);
+}
+
+TEST(PowerModel, TransferIntensityClampedToLineRate) {
+  PowerModel model;
+  EXPECT_DOUBLE_EQ(model.draw(Activity::kTransfer, 2.0),
+                   model.draw(Activity::kTransfer, 1.0));
+  EXPECT_DOUBLE_EQ(model.draw(Activity::kTransfer, -1.0), 215.0);
+}
+
+TEST(PowerModel, SystemGRangeMatchesPaperTraces) {
+  // Figs 3-4: valleys ~215 W, peaks ~240 W.
+  PowerModel model;
+  EXPECT_NEAR(model.draw(Activity::kIdle, 0.0), 215.0, 1.0);
+  EXPECT_NEAR(model.draw(Activity::kTransfer, 1.0), 240.0, 1.0);
+}
+
+TEST(ActivityTimeline, AtReturnsLatestSegmentNotAfterTime) {
+  ActivityTimeline timeline;
+  EXPECT_EQ(timeline.at(5.0).activity, Activity::kIdle);
+  timeline.set(1.0, Activity::kSelecting, 0.5);
+  timeline.set(3.0, Activity::kTransfer, 1.0);
+  timeline.set(7.0, Activity::kIdle);
+  EXPECT_EQ(timeline.at(0.5).activity, Activity::kIdle);
+  EXPECT_EQ(timeline.at(1.0).activity, Activity::kSelecting);
+  EXPECT_EQ(timeline.at(2.9).activity, Activity::kSelecting);
+  EXPECT_EQ(timeline.at(3.0).activity, Activity::kTransfer);
+  EXPECT_DOUBLE_EQ(timeline.at(5.0).intensity, 1.0);
+  EXPECT_EQ(timeline.at(100.0).activity, Activity::kIdle);
+}
+
+TEST(ActivityTimeline, OutOfOrderInsertionIsSorted) {
+  ActivityTimeline timeline;
+  timeline.set(5.0, Activity::kTransfer, 1.0);
+  timeline.set(1.0, Activity::kSelecting, 0.2);
+  EXPECT_EQ(timeline.at(2.0).activity, Activity::kSelecting);
+  EXPECT_EQ(timeline.at(6.0).activity, Activity::kTransfer);
+  EXPECT_DOUBLE_EQ(timeline.last_change(), 5.0);
+}
+
+TEST(ActivityTimeline, EmptyTimeline) {
+  ActivityTimeline timeline;
+  EXPECT_TRUE(timeline.empty());
+  EXPECT_DOUBLE_EQ(timeline.last_change(), 0.0);
+}
+
+}  // namespace
+}  // namespace edr::power

@@ -1,0 +1,70 @@
+#include "power/pricing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edr::power {
+namespace {
+
+TEST(PriceBook, RandomPricesWithinPaperRange) {
+  Rng rng{9};
+  const auto book = PriceBook::random(rng, 8);
+  ASSERT_EQ(book.size(), 8u);
+  for (std::size_t i = 0; i < book.size(); ++i) {
+    EXPECT_GE(book.price(i), 1.0);
+    EXPECT_LE(book.price(i), 20.0);
+    EXPECT_DOUBLE_EQ(book.price(i), std::floor(book.price(i)));
+  }
+}
+
+TEST(PriceBook, RandomIsDeterministicPerSeed) {
+  Rng a{5}, b{5};
+  const auto book_a = PriceBook::random(a, 8);
+  const auto book_b = PriceBook::random(b, 8);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(book_a.price(i), book_b.price(i));
+}
+
+TEST(PriceBook, UsRegionsHaveHeterogeneousPrices) {
+  const auto book = PriceBook::us_regions();
+  EXPECT_EQ(book.size(), 8u);
+  EXPECT_GT(book.dispersion(), 2.0);
+  const auto prices = book.prices();
+  EXPECT_EQ(prices.size(), 8u);
+}
+
+TEST(PriceBook, DispersionOfUniformBookIsOne) {
+  PriceBook book{{{"a", 5.0}, {"b", 5.0}}};
+  EXPECT_DOUBLE_EQ(book.dispersion(), 1.0);
+}
+
+TEST(PriceBook, EmptyBookDispersion) {
+  PriceBook book;
+  EXPECT_DOUBLE_EQ(book.dispersion(), 1.0);
+  EXPECT_EQ(book.size(), 0u);
+}
+
+TEST(TimeOfDayTariff, PeakWindowApplies) {
+  // 10 ¢ base, 2x between 08:00 and 20:00.
+  const TimeOfDayTariff tariff{10.0, 2.0, 8.0, 20.0};
+  EXPECT_DOUBLE_EQ(tariff.at(0.0), 10.0);                 // midnight
+  EXPECT_DOUBLE_EQ(tariff.at(12.0 * 3600.0), 20.0);       // noon
+  EXPECT_DOUBLE_EQ(tariff.at(20.0 * 3600.0), 10.0);       // peak end excl.
+  EXPECT_DOUBLE_EQ(tariff.at(8.0 * 3600.0), 20.0);        // peak start incl.
+}
+
+TEST(TimeOfDayTariff, WrappingPeakWindow) {
+  // Peak overnight: 22:00 - 06:00.
+  const TimeOfDayTariff tariff{10.0, 1.5, 22.0, 6.0};
+  EXPECT_DOUBLE_EQ(tariff.at(23.0 * 3600.0), 15.0);
+  EXPECT_DOUBLE_EQ(tariff.at(3.0 * 3600.0), 15.0);
+  EXPECT_DOUBLE_EQ(tariff.at(12.0 * 3600.0), 10.0);
+}
+
+TEST(TimeOfDayTariff, WrapsAcrossDays) {
+  const TimeOfDayTariff tariff{10.0, 2.0, 8.0, 20.0};
+  const double two_days_noon = (48.0 + 12.0) * 3600.0;
+  EXPECT_DOUBLE_EQ(tariff.at(two_days_noon), 20.0);
+}
+
+}  // namespace
+}  // namespace edr::power

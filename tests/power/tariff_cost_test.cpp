@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "power/meter.hpp"
+#include "power/pricing.hpp"
+
+namespace edr::power {
+namespace {
+
+TEST(TariffCost, FlatTariffMatchesStaticPricing) {
+  const PowerModel model;
+  ActivityTimeline timeline;
+  timeline.set(2.0, Activity::kTransfer, 1.0);
+  timeline.set(5.0, Activity::kIdle);
+  const TimeOfDayTariff flat{10.0, 1.0, 0.0, 0.0};  // multiplier irrelevant
+  const Cents via_tariff = integrate_cost(model, timeline, 10.0, flat);
+  const Cents via_static =
+      energy_cost(integrate_energy(model, timeline, 10.0), 10.0);
+  EXPECT_NEAR(via_tariff, via_static, 1e-12);
+}
+
+TEST(TariffCost, PeakWindowBillsAtMultiple) {
+  PowerModelParams params;
+  params.idle = 100.0;
+  const PowerModel model{params};
+  const ActivityTimeline idle_forever;
+  // Day = 24 "hours" of 1 s each; peak 2x during hours [6, 18).
+  TimeOfDayTariff tariff{10.0, 2.0, 6.0, 18.0};
+  tariff.set_day_length(24.0);
+  // 24 s at 100 W: 12 s off-peak at 10¢ + 12 s peak at 20¢.
+  const Cents expected = energy_cost(100.0 * 12.0, 10.0) +
+                         energy_cost(100.0 * 12.0, 20.0);
+  EXPECT_NEAR(integrate_cost(model, idle_forever, 24.0, tariff), expected,
+              1e-12);
+}
+
+TEST(TariffCost, SplitsActivitySegmentsAtTariffBoundaries) {
+  PowerModelParams params;
+  params.idle = 0.0;  // isolate the transfer draw
+  params.transfer_linear = 100.0;
+  params.transfer_poly = 0.0;
+  const PowerModel model{params};
+  ActivityTimeline timeline;
+  timeline.set(0.0, Activity::kTransfer, 1.0);  // 100 W throughout
+  TimeOfDayTariff tariff{1.0, 3.0, 12.0, 24.0};  // 3x in the second half
+  tariff.set_day_length(20.0);
+  // [0,10) at 1¢, [10,20) at 3¢, all at 100 W.
+  const Cents expected =
+      energy_cost(1000.0, 1.0) + energy_cost(1000.0, 3.0);
+  EXPECT_NEAR(integrate_cost(model, timeline, 20.0, tariff), expected, 1e-9);
+}
+
+TEST(TariffCost, ActiveOnlySubtractsIdleFloor) {
+  const PowerModel model;  // idle 215
+  ActivityTimeline timeline;
+  timeline.set(1.0, Activity::kTransfer, 1.0);  // 240 W from t=1
+  const TimeOfDayTariff flat{5.0, 1.0, 0.0, 0.0};
+  const Cents active =
+      integrate_cost(model, timeline, 3.0, flat, /*active_only=*/true);
+  EXPECT_NEAR(active, energy_cost(25.0 * 2.0, 5.0), 1e-12);
+}
+
+TEST(TariffCost, NextSwitchFindsUpcomingBoundary) {
+  TimeOfDayTariff tariff{10.0, 2.0, 8.0, 20.0};
+  tariff.set_day_length(24.0);  // hour == second
+  EXPECT_NEAR(tariff.next_switch(0.0), 8.0, 1e-9);
+  EXPECT_NEAR(tariff.next_switch(8.0), 20.0, 1e-9);
+  EXPECT_NEAR(tariff.next_switch(20.0), 24.0 + 8.0, 1e-9);
+  // t=30 is hour 6 of day 2: the next boundary is that day's peak start.
+  EXPECT_NEAR(tariff.next_switch(30.0), 24.0 + 8.0, 1e-9);
+  EXPECT_NEAR(tariff.next_switch(33.0), 24.0 + 20.0, 1e-9);
+}
+
+TEST(TariffCost, ZeroHorizonCostsNothing) {
+  const PowerModel model;
+  const ActivityTimeline timeline;
+  const TimeOfDayTariff flat{10.0, 1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(integrate_cost(model, timeline, 0.0, flat), 0.0);
+}
+
+}  // namespace
+}  // namespace edr::power

@@ -1,0 +1,86 @@
+#include "workload/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edr::workload {
+namespace {
+
+TEST(Arrivals, PoissonCountMatchesRate) {
+  Rng rng{11};
+  const auto arrivals = poisson_arrivals(rng, 5.0, 1000.0);
+  // Expected 5000 arrivals; allow 5 sigma.
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 5000.0,
+              5.0 * std::sqrt(5000.0));
+}
+
+TEST(Arrivals, SortedAndWithinHorizon) {
+  Rng rng{12};
+  const auto arrivals = poisson_arrivals(rng, 10.0, 50.0);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i], 0.0);
+    EXPECT_LT(arrivals[i], 50.0);
+    if (i > 0) EXPECT_GE(arrivals[i], arrivals[i - 1]);
+  }
+}
+
+TEST(Arrivals, ZeroRateOrHorizonGivesNothing) {
+  Rng rng{13};
+  EXPECT_TRUE(poisson_arrivals(rng, 0.0, 100.0).empty());
+  EXPECT_TRUE(poisson_arrivals(rng, 5.0, 0.0).empty());
+}
+
+TEST(Arrivals, InterarrivalsAreExponential) {
+  Rng rng{14};
+  const auto arrivals = poisson_arrivals(rng, 2.0, 5000.0);
+  double sum = arrivals.front();
+  for (std::size_t i = 1; i < arrivals.size(); ++i)
+    sum += arrivals[i] - arrivals[i - 1];
+  const double mean_gap = sum / static_cast<double>(arrivals.size());
+  EXPECT_NEAR(mean_gap, 0.5, 0.02);
+}
+
+TEST(Arrivals, NonhomogeneousTracksRateFunction) {
+  Rng rng{15};
+  // Rate 10 in the first half, 1 in the second half.
+  const auto arrivals = nonhomogeneous_arrivals(
+      rng, [](SimTime t) { return t < 500.0 ? 10.0 : 1.0; }, 10.0, 1000.0);
+  std::size_t first_half = 0;
+  for (const auto t : arrivals)
+    if (t < 500.0) ++first_half;
+  const std::size_t second_half = arrivals.size() - first_half;
+  EXPECT_NEAR(static_cast<double>(first_half), 5000.0, 350.0);
+  EXPECT_NEAR(static_cast<double>(second_half), 500.0, 120.0);
+}
+
+TEST(Arrivals, ThrowsWhenRateExceedsBound) {
+  Rng rng{16};
+  EXPECT_THROW(nonhomogeneous_arrivals(
+                   rng, [](SimTime) { return 20.0; }, 10.0, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(nonhomogeneous_arrivals(
+                   rng, [](SimTime) { return 1.0; }, 0.0, 100.0),
+               std::invalid_argument);
+}
+
+TEST(Arrivals, DiurnalConcentratesAroundPeak) {
+  Rng rng{17};
+  DiurnalParams params;
+  params.day_length = 1000.0;
+  params.peak_hour = 12.0;  // mid-cycle
+  params.peak_multiplier = 2.0;
+  params.trough_multiplier = 0.2;
+  const DiurnalCurve curve{params};
+  const auto arrivals = diurnal_arrivals(rng, curve, 10.0, 1000.0);
+  std::size_t middle = 0;
+  for (const auto t : arrivals)
+    if (t >= 250.0 && t < 750.0) ++middle;
+  // The middle half of the cycle holds the peak; it should carry well over
+  // half the arrivals.
+  EXPECT_GT(static_cast<double>(middle),
+            0.6 * static_cast<double>(arrivals.size()));
+}
+
+}  // namespace
+}  // namespace edr::workload

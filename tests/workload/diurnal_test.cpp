@@ -1,0 +1,62 @@
+#include "workload/diurnal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edr::workload {
+namespace {
+
+TEST(Diurnal, PeakAtConfiguredHour) {
+  DiurnalParams params;
+  params.peak_hour = 20.0;
+  DiurnalCurve curve{params};
+  const double at_peak = curve.multiplier(20.0 / 24.0 * 86400.0);
+  EXPECT_NEAR(at_peak, params.peak_multiplier, 1e-9);
+}
+
+TEST(Diurnal, TroughOppositeThePeak) {
+  DiurnalParams params;
+  params.peak_hour = 20.0;
+  DiurnalCurve curve{params};
+  const double at_trough = curve.multiplier(8.0 / 24.0 * 86400.0);
+  EXPECT_NEAR(at_trough, params.trough_multiplier, 1e-9);
+}
+
+TEST(Diurnal, BoundedEverywhere) {
+  DiurnalCurve curve;
+  for (int h = 0; h < 24; ++h) {
+    const double m = curve.multiplier(h * 3600.0);
+    EXPECT_GE(m, curve.params().trough_multiplier - 1e-12);
+    EXPECT_LE(m, curve.params().peak_multiplier + 1e-12);
+  }
+}
+
+TEST(Diurnal, PeriodicAcrossDays) {
+  DiurnalCurve curve;
+  for (double t : {1000.0, 40000.0, 80000.0})
+    EXPECT_NEAR(curve.multiplier(t), curve.multiplier(t + 86400.0), 1e-9);
+}
+
+TEST(Diurnal, CompressedDayLength) {
+  DiurnalParams params;
+  params.day_length = 100.0;  // whole cycle in 100 s
+  params.peak_hour = 12.0;
+  DiurnalCurve curve{params};
+  EXPECT_NEAR(curve.multiplier(50.0), params.peak_multiplier, 1e-9);
+  EXPECT_NEAR(curve.multiplier(0.0), params.trough_multiplier, 1e-9);
+}
+
+TEST(Diurnal, RejectsBadParameters) {
+  DiurnalParams bad;
+  bad.trough_multiplier = 0.0;
+  EXPECT_THROW(DiurnalCurve{bad}, std::invalid_argument);
+  DiurnalParams inverted;
+  inverted.peak_multiplier = 0.1;
+  inverted.trough_multiplier = 0.5;
+  EXPECT_THROW(DiurnalCurve{inverted}, std::invalid_argument);
+  DiurnalParams zero_day;
+  zero_day.day_length = 0.0;
+  EXPECT_THROW(DiurnalCurve{zero_day}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edr::workload

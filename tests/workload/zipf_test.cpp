@@ -1,0 +1,73 @@
+#include "workload/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace edr::workload {
+namespace {
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfSampler zipf{100, 0.9};
+  double total = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) total += zipf.probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, RankProbabilitiesDecrease) {
+  ZipfSampler zipf{50, 1.0};
+  for (std::size_t k = 1; k < 50; ++k)
+    EXPECT_LE(zipf.probability(k), zipf.probability(k - 1));
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  ZipfSampler zipf{10, 0.0};
+  for (std::size_t k = 0; k < 10; ++k)
+    EXPECT_NEAR(zipf.probability(k), 0.1, 1e-12);
+}
+
+TEST(Zipf, TheoreticalRatioBetweenRanks) {
+  // P(1)/P(2) = 2^s for exponent s.
+  ZipfSampler zipf{100, 1.0};
+  EXPECT_NEAR(zipf.probability(0) / zipf.probability(1), 2.0, 1e-9);
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatchPmf) {
+  ZipfSampler zipf{20, 0.8};
+  Rng rng{77};
+  std::vector<int> counts(20, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) counts[zipf.sample(rng)]++;
+  for (std::size_t k = 0; k < 20; ++k) {
+    const double expected = zipf.probability(k) * kSamples;
+    EXPECT_NEAR(counts[k], expected, 5.0 * std::sqrt(expected) + 5.0)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, HotObjectsDominateTraffic) {
+  // With exponent ~1 the top 10% of a 1000-object catalog should draw well
+  // over a third of requests — the property that makes replica caching and
+  // load concentration matter.
+  ZipfSampler zipf{1000, 1.0};
+  double top_decile = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) top_decile += zipf.probability(k);
+  EXPECT_GT(top_decile, 0.35);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+  ZipfSampler ok{10, 1.0};
+  EXPECT_THROW((void)ok.probability(10), std::out_of_range);
+}
+
+TEST(Zipf, SamplesAlwaysInRange) {
+  ZipfSampler zipf{7, 1.2};
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 7u);
+}
+
+}  // namespace
+}  // namespace edr::workload
