@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_flash_crowd.dir/abl_flash_crowd.cpp.o"
+  "CMakeFiles/abl_flash_crowd.dir/abl_flash_crowd.cpp.o.d"
+  "abl_flash_crowd"
+  "abl_flash_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_flash_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

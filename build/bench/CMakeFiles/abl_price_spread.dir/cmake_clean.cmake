@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_price_spread.dir/abl_price_spread.cpp.o"
+  "CMakeFiles/abl_price_spread.dir/abl_price_spread.cpp.o.d"
+  "abl_price_spread"
+  "abl_price_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_price_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

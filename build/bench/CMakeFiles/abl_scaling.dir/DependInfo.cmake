@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_scaling.cpp" "bench/CMakeFiles/abl_scaling.dir/abl_scaling.cpp.o" "gcc" "bench/CMakeFiles/abl_scaling.dir/abl_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/edr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/edr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/edr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/edr_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/edr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/edr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

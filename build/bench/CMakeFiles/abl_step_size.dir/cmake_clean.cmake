@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_step_size.dir/abl_step_size.cpp.o"
+  "CMakeFiles/abl_step_size.dir/abl_step_size.cpp.o.d"
+  "abl_step_size"
+  "abl_step_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_step_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

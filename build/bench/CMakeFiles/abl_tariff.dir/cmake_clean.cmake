@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tariff.dir/abl_tariff.cpp.o"
+  "CMakeFiles/abl_tariff.dir/abl_tariff.cpp.o.d"
+  "abl_tariff"
+  "abl_tariff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tariff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

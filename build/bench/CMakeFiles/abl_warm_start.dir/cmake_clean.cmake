@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_warm_start.dir/abl_warm_start.cpp.o"
+  "CMakeFiles/abl_warm_start.dir/abl_warm_start.cpp.o.d"
+  "abl_warm_start"
+  "abl_warm_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_warm_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

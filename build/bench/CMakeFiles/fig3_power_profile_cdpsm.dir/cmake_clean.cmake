@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_power_profile_cdpsm.dir/fig3_power_profile_cdpsm.cpp.o"
+  "CMakeFiles/fig3_power_profile_cdpsm.dir/fig3_power_profile_cdpsm.cpp.o.d"
+  "fig3_power_profile_cdpsm"
+  "fig3_power_profile_cdpsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_power_profile_cdpsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_power_profile_lddm.dir/fig4_power_profile_lddm.cpp.o"
+  "CMakeFiles/fig4_power_profile_lddm.dir/fig4_power_profile_lddm.cpp.o.d"
+  "fig4_power_profile_lddm"
+  "fig4_power_profile_lddm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_power_profile_lddm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

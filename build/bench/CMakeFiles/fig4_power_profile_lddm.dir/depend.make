@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_power_profile_lddm.
+# This may be replaced when dependencies are built.

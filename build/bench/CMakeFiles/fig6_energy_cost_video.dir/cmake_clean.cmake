@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_energy_cost_video.dir/fig6_energy_cost_video.cpp.o"
+  "CMakeFiles/fig6_energy_cost_video.dir/fig6_energy_cost_video.cpp.o.d"
+  "fig6_energy_cost_video"
+  "fig6_energy_cost_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_energy_cost_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_energy_cost_video.
+# This may be replaced when dependencies are built.

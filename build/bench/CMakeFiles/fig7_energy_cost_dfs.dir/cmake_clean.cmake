@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_energy_cost_dfs.dir/fig7_energy_cost_dfs.cpp.o"
+  "CMakeFiles/fig7_energy_cost_dfs.dir/fig7_energy_cost_dfs.cpp.o.d"
+  "fig7_energy_cost_dfs"
+  "fig7_energy_cost_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_energy_cost_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

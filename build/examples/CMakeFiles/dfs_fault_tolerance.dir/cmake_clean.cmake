@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_fault_tolerance.dir/dfs_fault_tolerance.cpp.o"
+  "CMakeFiles/dfs_fault_tolerance.dir/dfs_fault_tolerance.cpp.o.d"
+  "dfs_fault_tolerance"
+  "dfs_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_sim.dir/edr_sim.cpp.o"
+  "CMakeFiles/edr_sim.dir/edr_sim.cpp.o.d"
+  "edr_sim"
+  "edr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_cloud.dir/geo_cloud.cpp.o"
+  "CMakeFiles/geo_cloud.dir/geo_cloud.cpp.o.d"
+  "geo_cloud"
+  "geo_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

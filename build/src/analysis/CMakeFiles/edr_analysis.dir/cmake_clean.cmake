@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_analysis.dir/experiments.cpp.o"
+  "CMakeFiles/edr_analysis.dir/experiments.cpp.o.d"
+  "CMakeFiles/edr_analysis.dir/report_json.cpp.o"
+  "CMakeFiles/edr_analysis.dir/report_json.cpp.o.d"
+  "libedr_analysis.a"
+  "libedr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

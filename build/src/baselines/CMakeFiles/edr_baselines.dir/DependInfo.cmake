@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/donar.cpp" "src/baselines/CMakeFiles/edr_baselines.dir/donar.cpp.o" "gcc" "src/baselines/CMakeFiles/edr_baselines.dir/donar.cpp.o.d"
+  "/root/repo/src/baselines/donar_system.cpp" "src/baselines/CMakeFiles/edr_baselines.dir/donar_system.cpp.o" "gcc" "src/baselines/CMakeFiles/edr_baselines.dir/donar_system.cpp.o.d"
+  "/root/repo/src/baselines/round_robin.cpp" "src/baselines/CMakeFiles/edr_baselines.dir/round_robin.cpp.o" "gcc" "src/baselines/CMakeFiles/edr_baselines.dir/round_robin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/edr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/edr_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/edr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/edr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

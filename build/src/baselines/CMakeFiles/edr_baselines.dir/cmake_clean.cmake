@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_baselines.dir/donar.cpp.o"
+  "CMakeFiles/edr_baselines.dir/donar.cpp.o.d"
+  "CMakeFiles/edr_baselines.dir/donar_system.cpp.o"
+  "CMakeFiles/edr_baselines.dir/donar_system.cpp.o.d"
+  "CMakeFiles/edr_baselines.dir/round_robin.cpp.o"
+  "CMakeFiles/edr_baselines.dir/round_robin.cpp.o.d"
+  "libedr_baselines.a"
+  "libedr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

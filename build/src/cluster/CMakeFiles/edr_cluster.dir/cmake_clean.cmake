@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_cluster.dir/member_list.cpp.o"
+  "CMakeFiles/edr_cluster.dir/member_list.cpp.o.d"
+  "CMakeFiles/edr_cluster.dir/ring.cpp.o"
+  "CMakeFiles/edr_cluster.dir/ring.cpp.o.d"
+  "libedr_cluster.a"
+  "libedr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

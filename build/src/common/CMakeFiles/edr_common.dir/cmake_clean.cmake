@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_common.dir/args.cpp.o"
+  "CMakeFiles/edr_common.dir/args.cpp.o.d"
+  "CMakeFiles/edr_common.dir/csv.cpp.o"
+  "CMakeFiles/edr_common.dir/csv.cpp.o.d"
+  "CMakeFiles/edr_common.dir/log.cpp.o"
+  "CMakeFiles/edr_common.dir/log.cpp.o.d"
+  "CMakeFiles/edr_common.dir/math_util.cpp.o"
+  "CMakeFiles/edr_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/edr_common.dir/table.cpp.o"
+  "CMakeFiles/edr_common.dir/table.cpp.o.d"
+  "libedr_common.a"
+  "libedr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_core.dir/cdpsm.cpp.o"
+  "CMakeFiles/edr_core.dir/cdpsm.cpp.o.d"
+  "CMakeFiles/edr_core.dir/lddm.cpp.o"
+  "CMakeFiles/edr_core.dir/lddm.cpp.o.d"
+  "CMakeFiles/edr_core.dir/scheduler.cpp.o"
+  "CMakeFiles/edr_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/edr_core.dir/system.cpp.o"
+  "CMakeFiles/edr_core.dir/system.cpp.o.d"
+  "libedr_core.a"
+  "libedr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_net.dir/inproc.cpp.o"
+  "CMakeFiles/edr_net.dir/inproc.cpp.o.d"
+  "CMakeFiles/edr_net.dir/network.cpp.o"
+  "CMakeFiles/edr_net.dir/network.cpp.o.d"
+  "CMakeFiles/edr_net.dir/sim.cpp.o"
+  "CMakeFiles/edr_net.dir/sim.cpp.o.d"
+  "CMakeFiles/edr_net.dir/vivaldi.cpp.o"
+  "CMakeFiles/edr_net.dir/vivaldi.cpp.o.d"
+  "CMakeFiles/edr_net.dir/wire.cpp.o"
+  "CMakeFiles/edr_net.dir/wire.cpp.o.d"
+  "libedr_net.a"
+  "libedr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

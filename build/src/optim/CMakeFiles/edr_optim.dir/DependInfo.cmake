@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/flow.cpp" "src/optim/CMakeFiles/edr_optim.dir/flow.cpp.o" "gcc" "src/optim/CMakeFiles/edr_optim.dir/flow.cpp.o.d"
+  "/root/repo/src/optim/instance.cpp" "src/optim/CMakeFiles/edr_optim.dir/instance.cpp.o" "gcc" "src/optim/CMakeFiles/edr_optim.dir/instance.cpp.o.d"
+  "/root/repo/src/optim/kkt.cpp" "src/optim/CMakeFiles/edr_optim.dir/kkt.cpp.o" "gcc" "src/optim/CMakeFiles/edr_optim.dir/kkt.cpp.o.d"
+  "/root/repo/src/optim/objective.cpp" "src/optim/CMakeFiles/edr_optim.dir/objective.cpp.o" "gcc" "src/optim/CMakeFiles/edr_optim.dir/objective.cpp.o.d"
+  "/root/repo/src/optim/problem.cpp" "src/optim/CMakeFiles/edr_optim.dir/problem.cpp.o" "gcc" "src/optim/CMakeFiles/edr_optim.dir/problem.cpp.o.d"
+  "/root/repo/src/optim/projection.cpp" "src/optim/CMakeFiles/edr_optim.dir/projection.cpp.o" "gcc" "src/optim/CMakeFiles/edr_optim.dir/projection.cpp.o.d"
+  "/root/repo/src/optim/solver.cpp" "src/optim/CMakeFiles/edr_optim.dir/solver.cpp.o" "gcc" "src/optim/CMakeFiles/edr_optim.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_optim.dir/flow.cpp.o"
+  "CMakeFiles/edr_optim.dir/flow.cpp.o.d"
+  "CMakeFiles/edr_optim.dir/instance.cpp.o"
+  "CMakeFiles/edr_optim.dir/instance.cpp.o.d"
+  "CMakeFiles/edr_optim.dir/kkt.cpp.o"
+  "CMakeFiles/edr_optim.dir/kkt.cpp.o.d"
+  "CMakeFiles/edr_optim.dir/objective.cpp.o"
+  "CMakeFiles/edr_optim.dir/objective.cpp.o.d"
+  "CMakeFiles/edr_optim.dir/problem.cpp.o"
+  "CMakeFiles/edr_optim.dir/problem.cpp.o.d"
+  "CMakeFiles/edr_optim.dir/projection.cpp.o"
+  "CMakeFiles/edr_optim.dir/projection.cpp.o.d"
+  "CMakeFiles/edr_optim.dir/solver.cpp.o"
+  "CMakeFiles/edr_optim.dir/solver.cpp.o.d"
+  "libedr_optim.a"
+  "libedr_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_power.dir/meter.cpp.o"
+  "CMakeFiles/edr_power.dir/meter.cpp.o.d"
+  "CMakeFiles/edr_power.dir/model.cpp.o"
+  "CMakeFiles/edr_power.dir/model.cpp.o.d"
+  "CMakeFiles/edr_power.dir/pricing.cpp.o"
+  "CMakeFiles/edr_power.dir/pricing.cpp.o.d"
+  "libedr_power.a"
+  "libedr_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_workload.dir/apps.cpp.o"
+  "CMakeFiles/edr_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/edr_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/edr_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/edr_workload.dir/diurnal.cpp.o"
+  "CMakeFiles/edr_workload.dir/diurnal.cpp.o.d"
+  "CMakeFiles/edr_workload.dir/trace.cpp.o"
+  "CMakeFiles/edr_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/edr_workload.dir/zipf.cpp.o"
+  "CMakeFiles/edr_workload.dir/zipf.cpp.o.d"
+  "libedr_workload.a"
+  "libedr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/member_list_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/member_list_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/member_list_test.cpp.o.d"
+  "/root/repo/tests/cluster/ring_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/ring_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/ring_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/edr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

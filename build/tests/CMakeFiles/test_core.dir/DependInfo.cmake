@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cdpsm_test.cpp" "tests/CMakeFiles/test_core.dir/core/cdpsm_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/cdpsm_test.cpp.o.d"
+  "/root/repo/tests/core/lddm_test.cpp" "tests/CMakeFiles/test_core.dir/core/lddm_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lddm_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_test.cpp" "tests/CMakeFiles/test_core.dir/core/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/system_extensions_test.cpp" "tests/CMakeFiles/test_core.dir/core/system_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/system_extensions_test.cpp.o.d"
+  "/root/repo/tests/core/system_test.cpp" "tests/CMakeFiles/test_core.dir/core/system_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/system_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/edr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/edr_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/edr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/edr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

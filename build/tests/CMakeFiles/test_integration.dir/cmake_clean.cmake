@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/property_sweep_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/property_sweep_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/reproduction_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/reproduction_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/threaded_lddm_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/threaded_lddm_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/vivaldi_problem_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/vivaldi_problem_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optim/flow_test.cpp" "tests/CMakeFiles/test_optim.dir/optim/flow_test.cpp.o" "gcc" "tests/CMakeFiles/test_optim.dir/optim/flow_test.cpp.o.d"
+  "/root/repo/tests/optim/instance_test.cpp" "tests/CMakeFiles/test_optim.dir/optim/instance_test.cpp.o" "gcc" "tests/CMakeFiles/test_optim.dir/optim/instance_test.cpp.o.d"
+  "/root/repo/tests/optim/problem_test.cpp" "tests/CMakeFiles/test_optim.dir/optim/problem_test.cpp.o" "gcc" "tests/CMakeFiles/test_optim.dir/optim/problem_test.cpp.o.d"
+  "/root/repo/tests/optim/projection_test.cpp" "tests/CMakeFiles/test_optim.dir/optim/projection_test.cpp.o" "gcc" "tests/CMakeFiles/test_optim.dir/optim/projection_test.cpp.o.d"
+  "/root/repo/tests/optim/solver_test.cpp" "tests/CMakeFiles/test_optim.dir/optim/solver_test.cpp.o" "gcc" "tests/CMakeFiles/test_optim.dir/optim/solver_test.cpp.o.d"
+  "/root/repo/tests/optim/subproblem_test.cpp" "tests/CMakeFiles/test_optim.dir/optim/subproblem_test.cpp.o" "gcc" "tests/CMakeFiles/test_optim.dir/optim/subproblem_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optim/CMakeFiles/edr_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

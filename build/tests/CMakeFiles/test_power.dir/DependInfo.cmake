@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/power/meter_test.cpp" "tests/CMakeFiles/test_power.dir/power/meter_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/meter_test.cpp.o.d"
+  "/root/repo/tests/power/model_test.cpp" "tests/CMakeFiles/test_power.dir/power/model_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/model_test.cpp.o.d"
+  "/root/repo/tests/power/pricing_test.cpp" "tests/CMakeFiles/test_power.dir/power/pricing_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/pricing_test.cpp.o.d"
+  "/root/repo/tests/power/tariff_cost_test.cpp" "tests/CMakeFiles/test_power.dir/power/tariff_cost_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/tariff_cost_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/edr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/arrivals_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/arrivals_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/arrivals_test.cpp.o.d"
+  "/root/repo/tests/workload/diurnal_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/diurnal_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/diurnal_test.cpp.o.d"
+  "/root/repo/tests/workload/trace_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/trace_test.cpp.o.d"
+  "/root/repo/tests/workload/zipf_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/zipf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/edr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

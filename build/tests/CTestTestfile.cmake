@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_optim[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;95;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_trace_tools "/root/repo/build/examples/trace_tools" "trace_smoke.csv")
+set_tests_properties(example_trace_tools PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;96;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_live_threads "/root/repo/build/examples/live_threads" "3" "4" "150")
+set_tests_properties(example_live_threads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;97;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_edr_sim "/root/repo/build/examples/edr_sim" "--algorithm" "lddm" "--horizon" "5" "--json")
+set_tests_properties(example_edr_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;98;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_edr_sim_failure "/root/repo/build/examples/edr_sim" "--algorithm" "rr" "--horizon" "8" "--fail-replica" "1" "--fail-at" "3" "--recover-at" "6")
+set_tests_properties(example_edr_sim_failure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;100;add_test;/root/repo/tests/CMakeLists.txt;0;")
