@@ -46,7 +46,8 @@ BENCHMARK(BM_Abl_FlashCrowd)
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Ablation: flash crowd",
+  edr::bench::Harness harness(argc, argv,
+                             "Ablation: flash crowd",
                      "8x viral spike vs admission control: retry-enabled "
                      "vs drop-on-shed");
 
@@ -69,8 +70,6 @@ int main(int argc, char** argv) {
               "rescued.\n",
               without.megabytes_abandoned - with_retry.megabytes_abandoned);
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  harness.run_benchmarks();
   return 0;
 }

@@ -67,7 +67,8 @@ BENCHMARK(BM_Abl_Gamma)
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Ablation: gamma",
+  edr::bench::Harness harness(argc, argv,
+                             "Ablation: gamma",
                      "network-device energy nonlinearity (linear vs cubic "
                      "fabrics) vs EDR's savings and load concentration");
 
@@ -80,8 +81,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.to_string().c_str());
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  harness.run_benchmarks();
   return 0;
 }

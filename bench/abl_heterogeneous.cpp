@@ -46,7 +46,8 @@ BENCHMARK(BM_Abl_Heterogeneous)
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Ablation: heterogeneous hardware",
+  edr::bench::Harness harness(argc, argv,
+                             "Ablation: heterogeneous hardware",
                      "3x-hungrier old nodes on the cheap regions: "
                      "hardware-aware vs price-only scheduling");
 
@@ -67,8 +68,6 @@ int main(int argc, char** argv) {
               (1.0 - aware.total_active_energy / blind.total_active_energy) *
                   100.0);
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  harness.run_benchmarks();
   return 0;
 }

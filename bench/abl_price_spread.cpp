@@ -52,7 +52,8 @@ BENCHMARK(BM_Abl_PriceSpread)
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Ablation: price spread",
+  edr::bench::Harness harness(argc, argv,
+                             "Ablation: price spread",
                      "EDR-LDDM cost saving vs Round-Robin as regional "
                      "price dispersion grows (prices uniform in [1, max])");
 
@@ -62,8 +63,6 @@ int main(int argc, char** argv) {
                    edr::Table::num(saving_for_spread(max_price), 1) + "%"});
   std::printf("%s\n", table.to_string().c_str());
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  harness.run_benchmarks();
   return 0;
 }

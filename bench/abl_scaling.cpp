@@ -69,11 +69,10 @@ BENCHMARK(BM_Scaling_Donar)
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Ablation: scaling",
+  edr::bench::Harness harness(argc, argv,
+                             "Ablation: scaling",
                      "per-round coordination bytes & wall time vs system "
                      "size (LDDM O(CN) / CDPSM O(CN^3) / DONAR O(CNM))");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  harness.run_benchmarks();
   return 0;
 }

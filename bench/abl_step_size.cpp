@@ -81,11 +81,10 @@ BENCHMARK(BM_Abl_LddmMuStep)
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Ablation: step size",
+  edr::bench::Harness harness(argc, argv,
+                             "Ablation: step size",
                      "constant-step sensitivity of CDPSM (gradient step) "
                      "and LDDM (dual step)");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  harness.run_benchmarks();
   return 0;
 }

@@ -59,7 +59,8 @@ BENCHMARK(BM_Abl_Tariff)
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Ablation: time-of-day tariffs",
+  edr::bench::Harness harness(argc, argv,
+                             "Ablation: time-of-day tariffs",
                      "tariff-aware EDR vs price-blind Round-Robin under "
                      "day/night-flipping regional prices");
 
@@ -75,8 +76,6 @@ int main(int argc, char** argv) {
               (1.0 - aware.total_active_cost / blind.total_active_cost) *
                   100.0);
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  harness.run_benchmarks();
   return 0;
 }

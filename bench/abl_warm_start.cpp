@@ -39,11 +39,10 @@ BENCHMARK(BM_Abl_WarmStart)
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Ablation: warm start",
+  edr::bench::Harness harness(argc, argv,
+                             "Ablation: warm start",
                      "LDDM dual/primal warm starting across epochs: rounds "
                      "per epoch, response time, and cost");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  harness.run_benchmarks();
   return 0;
 }

@@ -4,10 +4,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "analysis/experiments.hpp"
 #include "common/table.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace edr::bench {
 
@@ -20,12 +24,78 @@ inline void banner(const char* figure, const char* description) {
   std::printf("==================================================================\n\n");
 }
 
+/// Telemetry context shared by a bench binary's experiments; null until a
+/// Harness sees --telemetry-out (so the default path stays bit-identical to
+/// a build without telemetry at all).
+inline std::shared_ptr<telemetry::Telemetry>& shared_telemetry() {
+  static std::shared_ptr<telemetry::Telemetry> instance;
+  return instance;
+}
+
+/// Per-binary boilerplate, hoisted: prints the banner, strips
+/// --telemetry-out=<path> from argv (google-benchmark rejects flags it does
+/// not know), hands the rest to benchmark::Initialize, and on destruction
+/// exports the telemetry (when requested) and shuts benchmark down.
+///
+/// Usage:
+///   int main(int argc, char** argv) {
+///     edr::bench::Harness harness(argc, argv, "Fig N", "what it shows");
+///     harness.run_benchmarks();
+///     ... print tables ...
+///     return 0;
+///   }
+class Harness {
+ public:
+  Harness(int& argc, char** argv, const char* figure,
+          const char* description) {
+    banner(figure, description);
+    constexpr std::string_view kFlag = "--telemetry-out=";
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg{argv[i]};
+      if (arg.substr(0, kFlag.size()) != kFlag) continue;
+      telemetry_path_ = std::string(arg.substr(kFlag.size()));
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+    if (!telemetry_path_.empty())
+      shared_telemetry() = telemetry::make_telemetry();
+    benchmark::Initialize(&argc, argv);
+  }
+
+  ~Harness() {
+    if (const auto& telemetry = shared_telemetry();
+        telemetry != nullptr &&
+        telemetry::export_telemetry(*telemetry, telemetry_path_)) {
+      std::fprintf(stderr,
+                   "telemetry written to %s (load in chrome://tracing) and "
+                   "%s.metrics.jsonl\n",
+                   telemetry_path_.c_str(), telemetry_path_.c_str());
+    }
+    shared_telemetry().reset();
+    benchmark::Shutdown();
+  }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  void run_benchmarks() { benchmark::RunSpecifiedBenchmarks(); }
+
+  [[nodiscard]] bool telemetry_enabled() const {
+    return !telemetry_path_.empty();
+  }
+
+ private:
+  std::string telemetry_path_;
+};
+
 /// Run a power-profile experiment (Figs 3-4) and print the per-replica
 /// summary that characterizes the paper's traces.
 inline core::RunReport run_power_profile(core::Algorithm algorithm,
                                          SimTime horizon) {
   auto cfg = analysis::paper_config(algorithm);
   cfg.record_traces = true;
+  cfg.telemetry = shared_telemetry();
   core::EdrSystem system(
       cfg, analysis::paper_trace(workload::distributed_file_service(), 42,
                                  horizon));

@@ -31,11 +31,11 @@ BENCHMARK(BM_Fig3_CdpsmPowerProfile)
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Fig 3",
+  edr::bench::Harness harness(argc, argv,
+                             "Fig 3",
                      "runtime power profile per replica, EDR-CDPSM, "
                      "distributed file service");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  harness.run_benchmarks();
 
   edr::bench::print_power_table(g_report);
 
@@ -50,6 +50,5 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("full 50 Hz traces written to fig3_traces.csv\n");
-  benchmark::Shutdown();
   return 0;
 }

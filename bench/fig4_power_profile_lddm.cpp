@@ -27,11 +27,11 @@ BENCHMARK(BM_Fig4_LddmPowerProfile)
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Fig 4",
+  edr::bench::Harness harness(argc, argv,
+                             "Fig 4",
                      "runtime power profile per replica, EDR-LDDM, "
                      "distributed file service");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  harness.run_benchmarks();
 
   edr::bench::print_power_table(g_report);
 
@@ -46,6 +46,5 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("full 50 Hz traces written to fig4_traces.csv\n");
-  benchmark::Shutdown();
   return 0;
 }

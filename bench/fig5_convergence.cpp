@@ -96,11 +96,11 @@ std::string gap_cell(const optim::ConvergenceTrace& trace, std::size_t i,
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Fig 5",
+  edr::bench::Harness harness(argc, argv,
+                             "Fig 5",
                      "convergence of CDPSM vs LDDM, 3 replicas (objective "
                      "gap vs iteration)");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  harness.run_benchmarks();
 
   Table table({"iteration", "CDPSM dimin.", "CDPSM const.", "LDDM"});
   const std::size_t rows =
@@ -132,6 +132,17 @@ int main(int argc, char** argv) {
   report("CDPSM (diminishing)", g_data.cdpsm_diminishing);
   report("CDPSM (constant)", g_data.cdpsm_constant);
   report("LDDM", g_data.lddm);
-  benchmark::Shutdown();
+
+  if (harness.telemetry_enabled()) {
+    // A short end-to-end run so the exported trace also carries the runtime
+    // spans (epoch / solver.round / file_transfer), not just the standalone
+    // engine rounds benchmarked above.
+    const auto profile =
+        edr::bench::run_power_profile(core::Algorithm::kLddm, 10.0);
+    std::printf("\ntelemetry profile run: %zu epochs, %zu rounds, "
+                "%llu control messages\n",
+                profile.epochs, profile.total_rounds,
+                static_cast<unsigned long long>(profile.control_messages));
+  }
   return 0;
 }

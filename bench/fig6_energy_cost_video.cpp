@@ -26,11 +26,11 @@ BENCHMARK(BM_Fig6_VideoStreaming)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Fig 6",
+  edr::bench::Harness harness(argc, argv,
+                             "Fig 6",
                      "energy cost of each replica, video streaming, "
                      "LDDM / CDPSM / Round-Robin");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  harness.run_benchmarks();
 
   const double prices[] = {1, 8, 1, 6, 1, 5, 2, 3};
   edr::Table table({"replica", "price", "LDDM mcents", "CDPSM mcents",
@@ -50,6 +50,5 @@ int main(int argc, char** argv) {
       g_rows[0].report.total_active_cost * 1e3,
       g_rows[1].report.total_active_cost * 1e3,
       g_rows[2].report.total_active_cost * 1e3);
-  benchmark::Shutdown();
   return 0;
 }

@@ -60,11 +60,11 @@ BENCHMARK(BM_Fig8_SavingsSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Fig 8",
+  edr::bench::Harness harness(argc, argv,
+                             "Fig 8",
                      "total energy cost (a) and consumption (b), both "
                      "applications, three schedulers + randomized sweep");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  harness.run_benchmarks();
 
   edr::Table table({"app", "scheduler", "active cost (mcents)",
                     "active energy (J)", "total cost (cents)",
@@ -92,6 +92,5 @@ int main(int argc, char** argv) {
               g_sweep.cdpsm_energy_saving * 100.0);
   std::printf("  LDDM  active-energy saving vs RoundRobin: %5.1f%%\n",
               g_sweep.lddm_energy_saving * 100.0);
-  benchmark::Shutdown();
   return 0;
 }

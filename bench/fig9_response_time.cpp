@@ -83,7 +83,8 @@ BENCHMARK(BM_Fig9_Donar)
 }  // namespace
 
 int main(int argc, char** argv) {
-  edr::bench::banner("Fig 9",
+  edr::bench::Harness harness(argc, argv,
+                             "Fig 9",
                      "response time vs request count: EDR (LDDM, 3 "
                      "replicas) vs DONAR (3 mapping nodes)");
 
@@ -97,8 +98,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.to_string().c_str());
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  harness.run_benchmarks();
   return 0;
 }

@@ -17,6 +17,8 @@
 #include "common/args.hpp"
 #include "common/table.hpp"
 #include "optim/instance.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   std::int64_t fail_replica = -1;
   bool json = false;
   bool traces = false;
+  std::string telemetry_out;
 
   ArgParser parser{"edr_sim", "run the EDR system end to end"};
   parser.add_option("algorithm", "scheduler: lddm|cdpsm|central|rr",
@@ -67,6 +70,10 @@ int main(int argc, char** argv) {
                     &recover_at);
   parser.add_flag("json", "emit the run report as JSON", &json);
   parser.add_flag("power-traces", "record 50 Hz power traces", &traces);
+  parser.add_option("telemetry-out",
+                    "write a chrome://tracing trace here (metrics land next "
+                    "to it as <path>.metrics.jsonl)",
+                    &telemetry_out);
   if (!parser.parse(argc, argv, std::cerr))
     return parser.help_requested() ? 0 : 2;
 
@@ -80,6 +87,7 @@ int main(int argc, char** argv) {
     }
     cfg.num_clients = clients;
     cfg.record_traces = traces;
+    if (!telemetry_out.empty()) cfg.telemetry = telemetry::make_telemetry();
 
     workload::Trace trace;
     if (!trace_path.empty()) {
@@ -105,6 +113,13 @@ int main(int argc, char** argv) {
                                recover_at);
     }
     const auto report = system.run();
+    if (cfg.telemetry &&
+        telemetry::export_telemetry(*cfg.telemetry, telemetry_out)) {
+      std::fprintf(stderr,
+                   "edr_sim: telemetry written to %s (load in "
+                   "chrome://tracing) and %s.metrics.jsonl\n",
+                   telemetry_out.c_str(), telemetry_out.c_str());
+    }
 
     if (json) {
       std::printf("%s\n", analysis::report_to_json(report, algorithm).c_str());

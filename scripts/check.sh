@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full pre-merge check: regular build + tests, then a second build tree with
+# AddressSanitizer and UBSan (-DEDR_SANITIZE=ON) running the same suite.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+echo "== regular build (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo
+echo "== sanitizer build (build-asan/, -fsanitize=address,undefined) =="
+cmake -B build-asan -S . -DEDR_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo
+echo "check.sh: all suites passed (regular + asan/ubsan)"

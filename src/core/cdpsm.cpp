@@ -100,9 +100,14 @@ CdpsmRoundStats CdpsmEngine::round() {
   const std::vector<Matrix> previous = estimates_;
   CdpsmRoundStats stats;
   stats.round = ++rounds_;
+  rounds_metric_.add(1);
 
-  for (std::size_t n = 0; n < estimates_.size(); ++n)
-    estimates_[n] = step_replica(n, previous);
+  {
+    telemetry::ScopedSpan span(*tracer_, "cdpsm.consensus_gradient",
+                               "solver");
+    for (std::size_t n = 0; n < estimates_.size(); ++n)
+      estimates_[n] = step_replica(n, previous);
+  }
 
   for (std::size_t n = 0; n < estimates_.size(); ++n) {
     stats.movement =
@@ -113,9 +118,17 @@ CdpsmRoundStats CdpsmEngine::round() {
   }
   stats.bytes_exchanged =
       bytes_per_replica_round() * estimates_.size();
+  messages_exchanged_ += estimates_.size() * (estimates_.size() - 1);
+  bytes_exchanged_ += stats.bytes_exchanged;
+  messages_metric_.add(estimates_.size() * (estimates_.size() - 1));
+  bytes_metric_.add(stats.bytes_exchanged);
 
+  telemetry::ScopedSpan recover_span(*tracer_, "cdpsm.recover", "solver");
   Matrix current = solution();
   stats.objective = problem_->total_cost(current);
+  objective_metric_.set(stats.objective);
+  disagreement_metric_.set(stats.disagreement);
+  movement_metric_.set(stats.movement);
   const double scale = std::max(problem_->total_demand(), 1.0);
   if (!last_solution_.empty() &&
       current.distance(last_solution_) <= options_.tolerance * scale) {
@@ -145,6 +158,17 @@ Matrix CdpsmEngine::solution() const {
   for (const Matrix& estimate : estimates_) mean.axpy(weight, estimate);
   optim::project_feasible(*problem_, mean);
   return mean;
+}
+
+void CdpsmEngine::attach_telemetry(telemetry::Telemetry& telemetry) {
+  tracer_ = &telemetry.tracer();
+  auto& metrics = telemetry.metrics();
+  rounds_metric_ = metrics.counter("solver.cdpsm.rounds");
+  messages_metric_ = metrics.counter("solver.cdpsm.messages");
+  bytes_metric_ = metrics.counter("solver.cdpsm.bytes");
+  objective_metric_ = metrics.gauge("solver.cdpsm.objective");
+  disagreement_metric_ = metrics.gauge("solver.cdpsm.disagreement");
+  movement_metric_ = metrics.gauge("solver.cdpsm.movement");
 }
 
 std::size_t CdpsmEngine::bytes_per_replica_round() const {

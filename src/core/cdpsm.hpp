@@ -17,12 +17,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/matrix.hpp"
 #include "optim/convergence.hpp"
 #include "optim/problem.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace edr::core {
 
@@ -94,11 +96,34 @@ class CdpsmEngine {
   [[nodiscard]] const CdpsmOptions& options() const { return options_; }
   [[nodiscard]] const optim::Problem& problem() const { return *problem_; }
 
+  /// Record per-round consensus/gradient spans and progress gauges
+  /// (solver.cdpsm.*) into `telemetry`.
+  void attach_telemetry(telemetry::Telemetry& telemetry);
+
+  /// Messages / bytes this engine's rounds would have put on the wire so
+  /// far (accumulated round by round — the counters ScheduleResult is fed
+  /// from, mirrored into solver.cdpsm.* when telemetry is attached).
+  [[nodiscard]] std::uint64_t messages_exchanged() const {
+    return messages_exchanged_;
+  }
+  [[nodiscard]] std::uint64_t bytes_exchanged() const {
+    return bytes_exchanged_;
+  }
+
  private:
   void project_local(std::size_t n, Matrix& estimate) const;
 
   const optim::Problem* problem_;
   CdpsmOptions options_;
+  std::uint64_t messages_exchanged_ = 0;
+  std::uint64_t bytes_exchanged_ = 0;
+  telemetry::EventTracer* tracer_ = &telemetry::disabled_tracer();
+  telemetry::Counter rounds_metric_;
+  telemetry::Counter messages_metric_;
+  telemetry::Counter bytes_metric_;
+  telemetry::Gauge objective_metric_;
+  telemetry::Gauge disagreement_metric_;
+  telemetry::Gauge movement_metric_;
   double step_ = 0.0;
   std::vector<Matrix> estimates_;
   Matrix last_solution_;

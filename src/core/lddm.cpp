@@ -98,8 +98,12 @@ LddmRoundStats LddmEngine::round() {
   LddmRoundStats stats;
   const auto previous = columns_;
 
-  for (std::size_t n = 0; n < replicas; ++n) solve_local(n, mu_);
+  {
+    telemetry::ScopedSpan span(*tracer_, "lddm.local_solves", "solver");
+    for (std::size_t n = 0; n < replicas; ++n) solve_local(n, mu_);
+  }
 
+  telemetry::ScopedSpan dual_span(*tracer_, "lddm.dual_update", "solver");
   std::vector<double> served(clients, 0.0);
   for (std::size_t n = 0; n < replicas; ++n)
     for (std::size_t c = 0; c < clients; ++c) served[c] += columns_[n][c];
@@ -121,10 +125,18 @@ LddmRoundStats LddmEngine::round() {
   stats.round = ++rounds_;
   stats.bytes_exchanged =
       replicas * bytes_per_replica_round() + clients * bytes_per_client_round();
+  messages_exchanged_ += 2 * clients * replicas;
+  bytes_exchanged_ += stats.bytes_exchanged;
+  rounds_metric_.add(1);
+  messages_metric_.add(2 * clients * replicas);
+  bytes_metric_.add(stats.bytes_exchanged);
 
   // Convergence: the recovered solution stops moving for `patience` rounds.
   Matrix current = solution();
   stats.objective = problem_->total_cost(current);
+  objective_metric_.set(stats.objective);
+  residual_metric_.set(stats.demand_residual);
+  movement_metric_.set(stats.movement);
   const double scale = std::max(problem_->total_demand(), 1.0);
   if (!last_solution_.empty() &&
       current.distance(last_solution_) <= options_.tolerance * scale) {
@@ -162,6 +174,17 @@ Matrix LddmEngine::solution() const {
       current(c, n) = average_[n][c];
   optim::project_feasible(*problem_, current);
   return current;
+}
+
+void LddmEngine::attach_telemetry(telemetry::Telemetry& telemetry) {
+  tracer_ = &telemetry.tracer();
+  auto& metrics = telemetry.metrics();
+  rounds_metric_ = metrics.counter("solver.lddm.rounds");
+  messages_metric_ = metrics.counter("solver.lddm.messages");
+  bytes_metric_ = metrics.counter("solver.lddm.bytes");
+  objective_metric_ = metrics.gauge("solver.lddm.objective");
+  residual_metric_ = metrics.gauge("solver.lddm.residual");
+  movement_metric_ = metrics.gauge("solver.lddm.movement");
 }
 
 std::size_t LddmEngine::bytes_per_replica_round() const {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "common/matrix.hpp"
 #include "optim/convergence.hpp"
 #include "optim/problem.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace edr::core {
 
@@ -118,9 +120,32 @@ class LddmEngine {
   [[nodiscard]] const LddmOptions& options() const { return options_; }
   [[nodiscard]] const optim::Problem& problem() const { return *problem_; }
 
+  /// Record per-round local-solve/dual-update spans and the demand-residual
+  /// gauge (solver.lddm.*) into `telemetry`.
+  void attach_telemetry(telemetry::Telemetry& telemetry);
+
+  /// Messages / bytes the rounds so far would have put on the wire
+  /// (accumulated round by round — the counters ScheduleResult is fed from,
+  /// mirrored into solver.lddm.* when telemetry is attached).
+  [[nodiscard]] std::uint64_t messages_exchanged() const {
+    return messages_exchanged_;
+  }
+  [[nodiscard]] std::uint64_t bytes_exchanged() const {
+    return bytes_exchanged_;
+  }
+
  private:
   const optim::Problem* problem_;
   LddmOptions options_;
+  std::uint64_t messages_exchanged_ = 0;
+  std::uint64_t bytes_exchanged_ = 0;
+  telemetry::EventTracer* tracer_ = &telemetry::disabled_tracer();
+  telemetry::Counter rounds_metric_;
+  telemetry::Counter messages_metric_;
+  telemetry::Counter bytes_metric_;
+  telemetry::Gauge objective_metric_;
+  telemetry::Gauge residual_metric_;
+  telemetry::Gauge movement_metric_;
   double mu_step_ = 0.0;
   std::vector<double> mu_;                     // per client
   std::vector<std::vector<double>> columns_;   // per replica, per client

@@ -28,10 +28,10 @@ ScheduleResult CdpsmScheduler::schedule(const optim::Problem& problem) {
   result.allocation = engine.solution();
   result.rounds = engine.rounds_executed();
   result.converged = engine.converged();
-  const std::size_t replicas = problem.num_replicas();
-  result.messages = result.rounds * replicas * (replicas - 1);
-  result.bytes =
-      result.rounds * replicas * engine.bytes_per_replica_round();
+  // Fed from the engine's per-round traffic counters (the same counters the
+  // telemetry registry mirrors), not recomputed from a closed-form tally.
+  result.messages = engine.messages_exchanged();
+  result.bytes = engine.bytes_exchanged();
   return result;
 }
 
@@ -42,11 +42,8 @@ ScheduleResult LddmScheduler::schedule(const optim::Problem& problem) {
   result.allocation = engine.solution();
   result.rounds = engine.rounds_executed();
   result.converged = engine.converged();
-  const std::size_t clients = problem.num_clients();
-  const std::size_t replicas = problem.num_replicas();
-  result.messages = result.rounds * 2 * clients * replicas;
-  result.bytes = result.rounds * (replicas * engine.bytes_per_replica_round() +
-                                  clients * engine.bytes_per_client_round());
+  result.messages = engine.messages_exchanged();
+  result.bytes = engine.bytes_exchanged();
   return result;
 }
 

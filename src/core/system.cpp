@@ -113,13 +113,23 @@ struct EdrSystem::Impl {
 
   // --- metrics ---
   RunReport report;
-  std::uint64_t control_messages = 0;
-  std::uint64_t control_bytes = 0;
   std::size_t requests_dropped = 0;
   power::PowerModel power_model;            // homogeneous default
   std::vector<power::PowerModel> models;    // one per replica
   [[nodiscard]] const power::PowerModel& model_of(std::size_t n) const {
     return models.empty() ? power_model : models[n];
+  }
+
+  // --- telemetry (sink handles / disabled tracer when cfg.telemetry unset) ---
+  SimTime round_started = 0.0;
+  telemetry::Counter epochs_metric;
+  telemetry::Counter rounds_metric;
+  telemetry::Counter requests_served_metric;
+  telemetry::Counter requests_dropped_metric;
+  telemetry::Histogram response_metric;
+  [[nodiscard]] telemetry::EventTracer& tracer() {
+    return cfg.telemetry ? cfg.telemetry->tracer()
+                         : telemetry::disabled_tracer();
   }
 
   Impl(SystemConfig config, workload::Trace workload_trace)
@@ -158,6 +168,35 @@ struct EdrSystem::Impl {
     death_time.assign(num_replicas, -1.0);
     down_intervals.resize(num_replicas);
     transfer_until.assign(num_replicas, 0.0);
+
+    network.set_type_name(kClientRequest, "client_request");
+    network.set_type_name(kCdpsmEstimate, "cdpsm_estimate");
+    network.set_type_name(kLddmLoadReport, "lddm_load_report");
+    network.set_type_name(kLddmMuUpdate, "lddm_mu_update");
+    network.set_type_name(kAssignment, "assignment");
+    network.set_type_name(kFileData, "file_data");
+    network.set_type_name(cluster::kHeartbeat, "ring_heartbeat");
+    network.set_type_name(cluster::kRemovalNotice, "ring_removal_notice");
+    network.set_type_name(cluster::kJoinNotice, "ring_join_notice");
+    if (cfg.telemetry) {
+      sim.attach_telemetry(*cfg.telemetry);
+      network.attach_telemetry(*cfg.telemetry);
+      auto& metrics = cfg.telemetry->metrics();
+      epochs_metric = metrics.counter("system.epochs");
+      rounds_metric = metrics.counter("system.rounds");
+      requests_served_metric = metrics.counter("system.requests_served");
+      requests_dropped_metric = metrics.counter("system.requests_dropped");
+      response_metric = metrics.histogram(
+          "system.response_ms",
+          telemetry::MetricsRegistry::response_bounds_ms());
+    }
+  }
+
+  ~Impl() {
+    // The tracer clock points into this simulator; freeze it so a telemetry
+    // context that outlives the system (the usual export-at-exit flow)
+    // cannot read through a dangling pointer.
+    if (cfg.telemetry) cfg.telemetry->tracer().set_clock(nullptr);
   }
 
   // ---------- setup ----------
@@ -260,8 +299,6 @@ struct EdrSystem::Impl {
     msg.type = type;
     msg.bytes = bytes;
     msg.payload = std::move(payload);
-    ++control_messages;
-    control_bytes += bytes;
     network.send(std::move(msg));
   }
 
@@ -304,6 +341,7 @@ struct EdrSystem::Impl {
       if (!alive[n]) return;
       logf(LogLevel::kInfo, "edr: replica %zu crashes at t=%.3f", n,
            sim.now());
+      tracer().instant("replica_crash", "fault", replica_node(n));
       alive[n] = false;
       death_time[n] = sim.now();
       timelines[n].set(sim.now(), power::Activity::kIdle);
@@ -325,6 +363,7 @@ struct EdrSystem::Impl {
       if (alive[n]) return;
       logf(LogLevel::kInfo, "edr: replica %zu recovers at t=%.3f", n,
            sim.now());
+      tracer().instant("replica_recover", "fault", replica_node(n));
       alive[n] = true;
       death_time[n] = -1.0;
       if (!down_intervals[n].empty() &&
@@ -430,6 +469,7 @@ struct EdrSystem::Impl {
       if (alive[n]) active_replicas.push_back(n);
     if (active_replicas.empty()) {
       requests_dropped += current_requests.size();
+      requests_dropped_metric.add(current_requests.size());
       maybe_start_solve();
       return;
     }
@@ -449,7 +489,10 @@ struct EdrSystem::Impl {
         if (cfg.latency(c, n) <= cfg.max_latency) reachable = true;
       if (!reachable) {
         for (const auto& request : current_requests)
-          if (request.client == c) ++requests_dropped;
+          if (request.client == c) {
+            ++requests_dropped;
+            requests_dropped_metric.add(1);
+          }
         continue;
       }
       active_clients.push_back(c);
@@ -532,6 +575,7 @@ struct EdrSystem::Impl {
 
     solve_in_flight = true;
     ++report.epochs;
+    epochs_metric.add(1);
     const std::uint64_t generation = ++solve_generation;
 
     // Request-handling time before the optimization can begin: the
@@ -544,11 +588,13 @@ struct EdrSystem::Impl {
     switch (cfg.algorithm) {
       case Algorithm::kCdpsm:
         cdpsm = std::make_unique<CdpsmEngine>(*problem, cfg.cdpsm);
+        if (cfg.telemetry) cdpsm->attach_telemetry(*cfg.telemetry);
         set_all_selecting(true);
         schedule_round(generation, service_delay);
         break;
       case Algorithm::kLddm:
         lddm = std::make_unique<LddmEngine>(*problem, cfg.lddm);
+        if (cfg.telemetry) lddm->attach_telemetry(*cfg.telemetry);
         if (cfg.warm_start_lddm && !warm_mu.empty()) {
           std::vector<double> mu(active_clients.size());
           for (std::size_t row = 0; row < active_clients.size(); ++row)
@@ -681,6 +727,7 @@ struct EdrSystem::Impl {
   }
 
   void schedule_round(std::uint64_t generation, SimTime extra_delay = 0.0) {
+    round_started = sim.now();
     sim.schedule_after(extra_delay + compute_delay(), [this, generation] {
       if (generation != solve_generation) return;
       launch_round_messages(generation);
@@ -743,6 +790,7 @@ struct EdrSystem::Impl {
   void complete_round(std::uint64_t generation) {
     if (generation != solve_generation) return;
     ++report.total_rounds;
+    rounds_metric.add(1);
     bool done = false;
     if (cfg.algorithm == Algorithm::kCdpsm) {
       cdpsm->round();
@@ -753,6 +801,10 @@ struct EdrSystem::Impl {
       done = lddm->converged() ||
              lddm->rounds_executed() >= cfg.lddm.max_rounds;
     }
+    // The round span covers local compute + the message barrier (the math
+    // above runs in zero sim time at the barrier instant).
+    tracer().span("solver.round", "solver", round_started,
+                  sim.now() - round_started, telemetry::kControlTrack);
     if (done) {
       Matrix allocation = cfg.algorithm == Algorithm::kCdpsm
                               ? cdpsm->solution()
@@ -787,6 +839,8 @@ struct EdrSystem::Impl {
   void finish_solve(Matrix allocation) {
     solve_in_flight = false;
     set_all_selecting(false);
+    tracer().span("epoch", "system", solve_started, sim.now() - solve_started,
+                  telemetry::kControlTrack);
 
     // Assignments out: each replica tells each client its share (the
     // client's response time clock stops when its *last* share arrives).
@@ -823,6 +877,8 @@ struct EdrSystem::Impl {
           load_mb <= capacity_mb ? window
                                  : load_mb / cfg.replicas[n].bandwidth;
       set_activity(n, power::Activity::kTransfer, intensity);
+      tracer().span("file_transfer", "transfer", sim.now(), duration,
+                    replica_node(n));
       transfer_until[n] = sim.now() + duration;
       report.replicas[n].assigned_mb += load_mb;
       report.megabytes_served += load_mb;
@@ -835,6 +891,7 @@ struct EdrSystem::Impl {
     for (const auto& request : current_requests) {
       if (request.retries == 0) {
         ++report.requests_served;
+        requests_served_metric.add(1);
         // Response-time samples: arrival -> now (+ assignment delivery
         // latency, folded in by on_assignment_delivered).  Retried
         // remainders are follow-up transfers, not new decisions.
@@ -876,9 +933,11 @@ struct EdrSystem::Impl {
     if (--it->second == 0) {
       // Every share of this epoch has reached its client: close out the
       // epoch's response times.
-      for (const SimTime arrival : pending_responses[tag->first])
-        report.response_times_ms.push_back(
-            milliseconds(sim.now() - arrival));
+      for (const SimTime arrival : pending_responses[tag->first]) {
+        const double response_ms = milliseconds(sim.now() - arrival);
+        report.response_times_ms.push_back(response_ms);
+        response_metric.observe(response_ms);
+      }
       pending_responses.erase(tag->first);
       expected_assignments.erase(it);
     }
@@ -903,21 +962,23 @@ struct EdrSystem::Impl {
       // Crashed intervals sit at the idle level in the timeline (set on
       // death); a powered-off node draws nothing, so bill them out.
       const auto& model = model_of(n);
+      auto* const tel = cfg.telemetry.get();
       rep.energy =
-          power::integrate_energy(model, timelines[n], horizon) -
+          power::integrate_energy(model, timelines[n], horizon, tel) -
           model.params().idle * downtime;
       rep.active_energy =
-          power::integrate_active_energy(model, timelines[n], horizon);
+          power::integrate_active_energy(model, timelines[n], horizon, tel);
       if (cfg.tariffs.empty()) {
         rep.cost = energy_cost(rep.energy, cfg.replicas[n].price);
         rep.active_cost =
             energy_cost(rep.active_energy, cfg.replicas[n].price);
       } else {
         rep.cost = power::integrate_cost(model, timelines[n], horizon,
-                                         cfg.tariffs[n]);
+                                         cfg.tariffs[n],
+                                         /*active_only=*/false, tel);
         rep.active_cost =
             power::integrate_cost(model, timelines[n], horizon,
-                                  cfg.tariffs[n], /*active_only=*/true);
+                                  cfg.tariffs[n], /*active_only=*/true, tel);
         // Bill out the crashed intervals (idle-level draw under the tariff).
         const power::ActivityTimeline always_idle;
         for (const auto& [from, to] : down_intervals[n]) {
@@ -930,8 +991,8 @@ struct EdrSystem::Impl {
         }
       }
       if (cfg.record_traces)
-        rep.trace =
-            power::sample_trace(model, timelines[n], horizon, cfg.meter_hz);
+        rep.trace = power::sample_trace(model, timelines[n], horizon,
+                                        cfg.meter_hz, tel);
       report.total_cost += rep.cost;
       report.total_active_cost += rep.active_cost;
       report.total_energy += rep.energy;
@@ -939,8 +1000,13 @@ struct EdrSystem::Impl {
     }
     for (const auto& request : retry_backlog)
       report.megabytes_abandoned += request.size_mb;
-    report.control_messages = control_messages;
-    report.control_bytes = control_bytes;
+    // Coordination traffic comes from the network's per-type counters: the
+    // protocol types live below 100 (the ring owns 100-199 and is membership
+    // upkeep, not coordination; kFileData is modeled as paced activity, not
+    // messages, so it never appears here).
+    const auto control = network.traffic_in_range(0, 99);
+    report.control_messages = control.messages;
+    report.control_bytes = control.bytes;
     report.requests_dropped = requests_dropped;
     return std::move(report);
   }

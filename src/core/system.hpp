@@ -33,6 +33,7 @@
 #include "power/meter.hpp"
 #include "power/model.hpp"
 #include "power/pricing.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/trace.hpp"
 
 namespace edr::core {
@@ -121,6 +122,16 @@ struct SystemConfig {
   double meter_hz = 50.0;
   /// Record full power traces (Figs 3-4 need them; cost benches can skip).
   bool record_traces = true;
+
+  /// Optional telemetry context (null = off, the no-op-cheap default).
+  /// When set, the system wires the simulator clock into the tracer and
+  /// instruments every layer: sim.* event-loop metrics, net.* per-type
+  /// traffic counters and link-queueing histogram, solver.* round metrics,
+  /// system.* epoch/response metrics, power.meter.* integration counters,
+  /// plus epoch / solver-round / file-transfer spans for chrome://tracing.
+  /// Telemetry never feeds back into scheduling decisions, so enabling it
+  /// does not perturb determinism.
+  std::shared_ptr<telemetry::Telemetry> telemetry;
 
   std::uint64_t seed = 1;
 };

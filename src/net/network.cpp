@@ -38,6 +38,16 @@ void SimNetwork::send(Message message) {
   auto& sender = stats_[message.from];
   sender.messages_sent += 1;
   sender.bytes_sent += message.bytes;
+  auto& by_type = traffic_by_type_[message.type];
+  by_type.messages += 1;
+  by_type.bytes += message.bytes;
+  messages_sent_metric_.add(1);
+  bytes_sent_metric_.add(message.bytes);
+  if (telemetry_ != nullptr) {
+    auto& per_type = type_metrics(message.type);
+    per_type[0].add(1);
+    per_type[1].add(message.bytes);
+  }
 
   const LinkParams params = link(message.from, message.to);
   const double transmission =
@@ -49,6 +59,7 @@ void SimNetwork::send(Message message) {
   // link frees up.
   SimTime& busy_until = link_busy_until_[{message.from, message.to}];
   const SimTime start = std::max(sim_.now(), busy_until);
+  queue_delay_metric_.observe(start - sim_.now());
   busy_until = start + transmission;
   const SimTime delivery = busy_until + seconds(params.latency);
 
@@ -57,6 +68,7 @@ void SimNetwork::send(Message message) {
   if (params.loss_probability > 0.0 &&
       loss_rng_.uniform() < params.loss_probability) {
     ++lost_;
+    messages_lost_metric_.add(1);
     return;
   }
 
@@ -66,8 +78,51 @@ void SimNetwork::send(Message message) {
     auto& receiver = stats_[msg.to];
     receiver.messages_received += 1;
     receiver.bytes_received += msg.bytes;
+    messages_delivered_metric_.add(1);
     it->second(msg);
   });
+}
+
+TypeTraffic SimNetwork::traffic_in_range(int first_type,
+                                         int last_type) const {
+  TypeTraffic total;
+  for (auto it = traffic_by_type_.lower_bound(first_type);
+       it != traffic_by_type_.end() && it->first <= last_type; ++it) {
+    total.messages += it->second.messages;
+    total.bytes += it->second.bytes;
+  }
+  return total;
+}
+
+void SimNetwork::set_type_name(int type, std::string name) {
+  type_names_[type] = std::move(name);
+}
+
+void SimNetwork::attach_telemetry(telemetry::Telemetry& telemetry) {
+  telemetry_ = &telemetry;
+  auto& metrics = telemetry.metrics();
+  messages_sent_metric_ = metrics.counter("net.messages_sent");
+  bytes_sent_metric_ = metrics.counter("net.bytes_sent");
+  messages_delivered_metric_ = metrics.counter("net.messages_delivered");
+  messages_lost_metric_ = metrics.counter("net.messages_lost");
+  queue_delay_metric_ = metrics.histogram(
+      "net.link_queue_delay_s", telemetry::MetricsRegistry::latency_bounds_s());
+}
+
+std::array<telemetry::Counter, 2>& SimNetwork::type_metrics(int type) {
+  const auto it = type_metrics_.find(type);
+  if (it != type_metrics_.end()) return it->second;
+  const auto name_it = type_names_.find(type);
+  const std::string label = name_it != type_names_.end()
+                                ? name_it->second
+                                : "type" + std::to_string(type);
+  auto& metrics = telemetry_->metrics();
+  return type_metrics_
+      .emplace(type,
+               std::array<telemetry::Counter, 2>{
+                   metrics.counter("net.sent." + label + ".messages"),
+                   metrics.counter("net.sent." + label + ".bytes")})
+      .first->second;
 }
 
 const TrafficStats& SimNetwork::stats(NodeId node) const {

@@ -9,15 +9,19 @@
 #pragma once
 
 #include <any>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "net/sim.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace edr::net {
 
@@ -53,6 +57,14 @@ struct TrafficStats {
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+};
+
+/// Per-message-type traffic totals (sent side).  Always on: the runtime
+/// derives its coordination-traffic report from these instead of keeping a
+/// parallel hand tally, and the telemetry exporters mirror them.
+struct TypeTraffic {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
 };
 
 /// Message handler: invoked at delivery time on the destination node.
@@ -97,9 +109,27 @@ class SimNetwork {
   /// Messages dropped by lossy links so far.
   [[nodiscard]] std::uint64_t messages_lost() const { return lost_; }
 
+  /// Sent-side totals keyed by Message::type.
+  [[nodiscard]] const std::map<int, TypeTraffic>& traffic_by_type() const {
+    return traffic_by_type_;
+  }
+  /// Aggregate of traffic_by_type over [first_type, last_type].
+  [[nodiscard]] TypeTraffic traffic_in_range(int first_type,
+                                             int last_type) const;
+
+  /// Human-readable label for a message type in telemetry metric names
+  /// (the protocol layer registers its enum names; unnamed types export as
+  /// "type<k>").  Must be called before traffic of that type flows for the
+  /// per-type counters to pick the label up.
+  void set_type_name(int type, std::string name);
+
+  /// Wire message/byte counters and the link queueing-delay histogram.
+  void attach_telemetry(telemetry::Telemetry& telemetry);
+
   [[nodiscard]] Simulator& sim() { return sim_; }
 
  private:
+  [[nodiscard]] std::array<telemetry::Counter, 2>& type_metrics(int type);
   Simulator& sim_;
   Rng loss_rng_{0x1055ee7dULL};
   std::uint64_t lost_ = 0;
@@ -108,6 +138,17 @@ class SimNetwork {
   std::map<std::pair<NodeId, NodeId>, SimTime> link_busy_until_;
   std::map<NodeId, Handler> handlers_;
   mutable std::map<NodeId, TrafficStats> stats_;
+  std::map<int, TypeTraffic> traffic_by_type_;
+  std::map<int, std::string> type_names_;
+
+  telemetry::Telemetry* telemetry_ = nullptr;  // null = sink handles only
+  telemetry::Counter messages_sent_metric_;
+  telemetry::Counter bytes_sent_metric_;
+  telemetry::Counter messages_delivered_metric_;
+  telemetry::Counter messages_lost_metric_;
+  telemetry::Histogram queue_delay_metric_;
+  /// Per type: [0] = messages, [1] = bytes.
+  std::map<int, std::array<telemetry::Counter, 2>> type_metrics_;
 };
 
 }  // namespace edr::net

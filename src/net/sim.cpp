@@ -7,6 +7,7 @@ namespace edr::net {
 
 void Simulator::schedule_at(SimTime when, Task task) {
   queue_.push({std::max(when, now_), next_seq_++, std::move(task)});
+  events_scheduled_metric_.add(1);
 }
 
 void Simulator::schedule_after(SimTime delay, Task task) {
@@ -21,6 +22,9 @@ bool Simulator::step() {
   queue_.pop();
   now_ = event.time;
   ++executed_;
+  events_executed_metric_.add(1);
+  queue_depth_metric_.set(static_cast<double>(queue_.size()));
+  sim_time_metric_.set(now_);
   event.task();
   return true;
 }
@@ -39,6 +43,15 @@ std::size_t Simulator::run_until(SimTime horizon) {
   }
   now_ = std::max(now_, horizon);
   return count;
+}
+
+void Simulator::attach_telemetry(telemetry::Telemetry& telemetry) {
+  auto& metrics = telemetry.metrics();
+  events_executed_metric_ = metrics.counter("sim.events_executed");
+  events_scheduled_metric_ = metrics.counter("sim.events_scheduled");
+  queue_depth_metric_ = metrics.gauge("sim.queue_depth");
+  sim_time_metric_ = metrics.gauge("sim.time_s");
+  telemetry.tracer().set_clock([this] { return now_; });
 }
 
 }  // namespace edr::net

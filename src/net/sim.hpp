@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace edr::net {
 
@@ -46,6 +47,12 @@ class Simulator {
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// Wire the event-loop metrics (events executed, queue depth, clock
+  /// position) and the tracer clock into `telemetry`.  The caller must keep
+  /// the context alive for the simulator's lifetime; the clock should be
+  /// detached (set_clock(nullptr)) before the simulator dies.
+  void attach_telemetry(telemetry::Telemetry& telemetry);
+
  private:
   struct Event {
     SimTime time;
@@ -63,6 +70,11 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  // Sink handles until attach_telemetry (see telemetry/registry.hpp).
+  telemetry::Counter events_executed_metric_;
+  telemetry::Counter events_scheduled_metric_;
+  telemetry::Gauge queue_depth_metric_;
+  telemetry::Gauge sim_time_metric_;
 };
 
 }  // namespace edr::net

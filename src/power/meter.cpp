@@ -1,6 +1,7 @@
 #include "power/meter.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/math_util.hpp"
 #include "power/pricing.hpp"
@@ -38,7 +39,7 @@ Joules PowerTrace::sampled_energy() const {
 
 PowerTrace sample_trace(const PowerModel& model,
                         const ActivityTimeline& timeline, SimTime horizon,
-                        double rate_hz) {
+                        double rate_hz, telemetry::Telemetry* telemetry) {
   PowerTrace trace;
   if (horizon <= 0.0 || rate_hz <= 0.0) return trace;
   const double dt = 1.0 / rate_hz;
@@ -51,17 +52,24 @@ PowerTrace sample_trace(const PowerModel& model,
     trace.samples.push_back(
         {t, model.draw(segment.activity, segment.intensity)});
   }
+  if (telemetry != nullptr) {
+    auto& metrics = telemetry->metrics();
+    metrics.counter("power.meter.traces").add(1);
+    metrics.counter("power.meter.samples").add(trace.samples.size());
+  }
   return trace;
 }
 
 namespace {
 
 Joules integrate(const PowerModel& model, const ActivityTimeline& timeline,
-                 SimTime horizon, bool subtract_idle) {
+                 SimTime horizon, bool subtract_idle,
+                 telemetry::Telemetry* telemetry) {
   if (horizon <= 0.0) return 0.0;
   const double floor = subtract_idle ? model.params().idle : 0.0;
   const auto& segments = timeline.segments();
   KahanSum total;
+  std::uint64_t steps = 0;
 
   // Idle stretch before the first segment.
   SimTime cursor = 0.0;
@@ -69,37 +77,49 @@ Joules integrate(const PowerModel& model, const ActivityTimeline& timeline,
   double intensity = 0.0;
   for (const auto& segment : segments) {
     const SimTime start = std::clamp(segment.start, 0.0, horizon);
-    if (start > cursor)
+    if (start > cursor) {
       total.add((model.draw(activity, intensity) - floor) * (start - cursor));
+      ++steps;
+    }
     cursor = std::max(cursor, start);
     activity = segment.activity;
     intensity = segment.intensity;
     if (cursor >= horizon) break;
   }
-  if (cursor < horizon)
+  if (cursor < horizon) {
     total.add((model.draw(activity, intensity) - floor) * (horizon - cursor));
+    ++steps;
+  }
+  if (telemetry != nullptr) {
+    auto& metrics = telemetry->metrics();
+    metrics.counter("power.meter.integrations").add(1);
+    metrics.counter("power.meter.integration_steps").add(steps);
+  }
   return total.value();
 }
 
 }  // namespace
 
 Joules integrate_energy(const PowerModel& model,
-                        const ActivityTimeline& timeline, SimTime horizon) {
-  return integrate(model, timeline, horizon, false);
+                        const ActivityTimeline& timeline, SimTime horizon,
+                        telemetry::Telemetry* telemetry) {
+  return integrate(model, timeline, horizon, false, telemetry);
 }
 
 Joules integrate_active_energy(const PowerModel& model,
                                const ActivityTimeline& timeline,
-                               SimTime horizon) {
-  return integrate(model, timeline, horizon, true);
+                               SimTime horizon,
+                               telemetry::Telemetry* telemetry) {
+  return integrate(model, timeline, horizon, true, telemetry);
 }
 
 Cents integrate_cost(const PowerModel& model, const ActivityTimeline& timeline,
                      SimTime horizon, const TimeOfDayTariff& tariff,
-                     bool active_only) {
+                     bool active_only, telemetry::Telemetry* telemetry) {
   if (horizon <= 0.0) return 0.0;
   const double floor = active_only ? model.params().idle : 0.0;
   KahanSum total;
+  std::uint64_t steps = 0;
   SimTime cursor = 0.0;
   while (cursor < horizon) {
     // The next point where either factor of price(t)·power(t) changes.
@@ -120,7 +140,13 @@ Cents integrate_cost(const PowerModel& model, const ActivityTimeline& timeline,
     const Watts watts =
         model.draw(segment.activity, segment.intensity) - floor;
     total.add(energy_cost(watts * (next - cursor), tariff.at(cursor)));
+    ++steps;
     cursor = next;
+  }
+  if (telemetry != nullptr) {
+    auto& metrics = telemetry->metrics();
+    metrics.counter("power.meter.integrations").add(1);
+    metrics.counter("power.meter.integration_steps").add(steps);
   }
   return total.value();
 }

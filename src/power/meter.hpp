@@ -12,6 +12,7 @@
 
 #include "common/units.hpp"
 #include "power/model.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace edr::power {
 
@@ -34,22 +35,31 @@ struct PowerTrace {
 };
 
 /// Sample `timeline` through `model` on [0, horizon) at `rate_hz`.
+/// `telemetry` (optional) counts samples taken (power.meter.samples).
 [[nodiscard]] PowerTrace sample_trace(const PowerModel& model,
                                       const ActivityTimeline& timeline,
-                                      SimTime horizon, double rate_hz = 50.0);
+                                      SimTime horizon, double rate_hz = 50.0,
+                                      telemetry::Telemetry* telemetry =
+                                          nullptr);
 
 /// Exact energy of `timeline` under `model` over [0, horizon): the timeline
 /// is a step function, so the integral is a finite sum of rectangle areas.
+/// `telemetry` (optional) counts integrations and segment steps — the
+/// integration cost the runtime pays at finalization.
 [[nodiscard]] Joules integrate_energy(const PowerModel& model,
                                       const ActivityTimeline& timeline,
-                                      SimTime horizon);
+                                      SimTime horizon,
+                                      telemetry::Telemetry* telemetry =
+                                          nullptr);
 
 /// Exact *active* energy: same integral with the idle floor subtracted.
 /// This isolates the workload-dependent part the scheduling model reasons
 /// about (the idle floor burns regardless of the allocation).
 [[nodiscard]] Joules integrate_active_energy(const PowerModel& model,
                                              const ActivityTimeline& timeline,
-                                             SimTime horizon);
+                                             SimTime horizon,
+                                             telemetry::Telemetry* telemetry =
+                                                 nullptr);
 
 class TimeOfDayTariff;
 
@@ -61,6 +71,7 @@ class TimeOfDayTariff;
                                    const ActivityTimeline& timeline,
                                    SimTime horizon,
                                    const TimeOfDayTariff& tariff,
-                                   bool active_only = false);
+                                   bool active_only = false,
+                                   telemetry::Telemetry* telemetry = nullptr);
 
 }  // namespace edr::power

@@ -1,0 +1,32 @@
+// Exporters: metrics as JSONL/CSV, traces as Chrome chrome://tracing JSON.
+//
+// JSONL — one JSON object per line per metric, easy to grep/jq and to diff
+// in CI.  Chrome JSON — the Trace Event Format's "X"/"i" phases, loadable
+// in chrome://tracing or https://ui.perfetto.dev to inspect a solver epoch
+// visually (ts/dur are microseconds of *simulated* time).
+#pragma once
+
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace edr::telemetry {
+
+/// One line per metric: {"metric":...,"type":"counter","value":N}.
+[[nodiscard]] std::string metrics_to_jsonl(const MetricsRegistry& registry);
+
+/// Flat CSV: metric,type,value,count,sum (histograms report count/sum and
+/// one row per bucket).
+[[nodiscard]] std::string metrics_to_csv(const MetricsRegistry& registry);
+
+/// Chrome Trace Event Format JSON ({"traceEvents":[...]}), events sorted by
+/// sim-time ts.  `process_name` labels the single emitted pid.
+[[nodiscard]] std::string trace_to_chrome_json(
+    const EventTracer& tracer, const std::string& process_name = "edr");
+
+/// Write `path` with the Chrome trace and `path` + ".metrics.jsonl" with the
+/// metrics dump.  Returns false (and reports via errno-style stderr) if
+/// either file cannot be written.
+bool export_telemetry(const Telemetry& telemetry, const std::string& path);
+
+}  // namespace edr::telemetry

@@ -1,0 +1,57 @@
+#include <algorithm>
+
+#include "common/json.hpp"
+#include "telemetry/export.hpp"
+
+namespace edr::telemetry {
+
+std::string trace_to_chrome_json(const EventTracer& tracer,
+                                 const std::string& process_name) {
+  auto events = tracer.events();
+  // Span records land in the ring at their *end* time; sort by start so the
+  // file reads in sim-time order (the format does not require it, but
+  // ordered files diff cleanly and stream into the viewer faster).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts < b.ts;
+                   });
+
+  JsonWriter json;
+  json.begin_object().key("traceEvents").begin_array();
+
+  // Process-name metadata record (renders as the row-group title).
+  json.begin_object()
+      .field("name", "process_name")
+      .field("ph", "M")
+      .field("pid", 0)
+      .field("tid", 0)
+      .key("args")
+      .begin_object()
+      .field("name", process_name)
+      .end_object()
+      .end_object();
+
+  for (const auto& event : events) {
+    json.begin_object()
+        .field("name", event.name)
+        .field("cat", event.category.empty() ? "edr" : event.category)
+        .field("ph", event.phase == TraceEvent::Phase::kSpan ? "X" : "i")
+        // Trace Event Format timestamps are microseconds.
+        .field("ts", event.ts * 1e6)
+        .field("pid", 0)
+        .field("tid", event.tid);
+    if (event.phase == TraceEvent::Phase::kSpan)
+      json.field("dur", event.dur * 1e6);
+    else
+      json.field("s", "t");  // instant scope: thread
+    json.end_object();
+  }
+
+  json.end_array()
+      .field("displayTimeUnit", "ms")
+      .field("droppedEvents", tracer.dropped())
+      .end_object();
+  return json.str();
+}
+
+}  // namespace edr::telemetry

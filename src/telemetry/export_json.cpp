@@ -1,0 +1,98 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/fmt.hpp"
+#include "common/json.hpp"
+#include "telemetry/export.hpp"
+
+namespace edr::telemetry {
+
+std::string metrics_to_jsonl(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& view : registry.counters()) {
+    JsonWriter json;
+    json.begin_object()
+        .field("metric", view.name)
+        .field("type", "counter")
+        .field("value", view.value)
+        .end_object();
+    out += json.str();
+    out += '\n';
+  }
+  for (const auto& view : registry.gauges()) {
+    JsonWriter json;
+    json.begin_object()
+        .field("metric", view.name)
+        .field("type", "gauge")
+        .field("value", view.value)
+        .end_object();
+    out += json.str();
+    out += '\n';
+  }
+  for (const auto& view : registry.histograms()) {
+    JsonWriter json;
+    json.begin_object()
+        .field("metric", view.name)
+        .field("type", "histogram")
+        .field("count", view.slot->count)
+        .field("sum", view.slot->sum)
+        .key("buckets")
+        .begin_array();
+    for (std::size_t i = 0; i < view.slot->counts.size(); ++i) {
+      json.begin_object();
+      if (i < view.slot->bounds.size())
+        json.field("le", view.slot->bounds[i]);
+      else
+        json.field("le", "+inf");
+      json.field("count", view.slot->counts[i]).end_object();
+    }
+    json.end_array().end_object();
+    out += json.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string metrics_to_csv(const MetricsRegistry& registry) {
+  std::string out = "metric,type,value,count,sum\n";
+  for (const auto& view : registry.counters())
+    out += strf("%s,counter,%llu,,\n", std::string{view.name}.c_str(),
+                static_cast<unsigned long long>(view.value));
+  for (const auto& view : registry.gauges())
+    out += strf("%s,gauge,%.17g,,\n", std::string{view.name}.c_str(),
+                view.value);
+  for (const auto& view : registry.histograms()) {
+    out += strf("%s,histogram,,%llu,%.17g\n", std::string{view.name}.c_str(),
+                static_cast<unsigned long long>(view.slot->count),
+                view.slot->sum);
+    for (std::size_t i = 0; i < view.slot->counts.size(); ++i) {
+      const std::string edge =
+          i < view.slot->bounds.size()
+              ? strf("%.17g", view.slot->bounds[i])
+              : std::string{"+inf"};
+      out += strf("%s.le.%s,bucket,%llu,,\n", std::string{view.name}.c_str(),
+                  edge.c_str(),
+                  static_cast<unsigned long long>(view.slot->counts[i]));
+    }
+  }
+  return out;
+}
+
+bool export_telemetry(const Telemetry& telemetry, const std::string& path) {
+  const auto write = [](const std::string& file, const std::string& content) {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "telemetry: cannot write %s\n", file.c_str());
+      return false;
+    }
+    out << content;
+    return static_cast<bool>(out);
+  };
+  bool ok = write(path, trace_to_chrome_json(telemetry.tracer()));
+  ok = write(path + ".metrics.jsonl", metrics_to_jsonl(telemetry.metrics())) &&
+       ok;
+  return ok;
+}
+
+}  // namespace edr::telemetry

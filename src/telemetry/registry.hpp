@@ -1,0 +1,195 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Designed to live on hot paths of the simulator: a handle is one pointer
+// to a plain slot owned by the registry, so an update is a single add or
+// store.  The simulator is single-threaded, so slots are unsynchronized by
+// default; a registry created with atomic=true (used by the threaded-LDDM
+// topology) upgrades every update to a relaxed std::atomic_ref operation.
+//
+// Default-constructed handles point at a process-wide sink slot, so code
+// can update metrics unconditionally — a component that was never attached
+// to a Telemetry context pays one wasted add per update and nothing else.
+// That sink is what makes the disabled state no-op cheap without a branch
+// at every call site.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edr::telemetry {
+
+namespace detail {
+
+struct CounterSlot {
+  std::uint64_t value = 0;
+  bool atomic = false;
+};
+
+struct GaugeSlot {
+  double value = 0.0;
+  bool atomic = false;
+};
+
+struct HistogramSlot {
+  /// Ascending upper bucket bounds; an implicit +inf bucket is appended, so
+  /// counts.size() == bounds.size() + 1.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  bool atomic = false;
+};
+
+CounterSlot* counter_sink();
+GaugeSlot* gauge_sink();
+HistogramSlot* histogram_sink();
+
+}  // namespace detail
+
+class Counter {
+ public:
+  Counter() : slot_(detail::counter_sink()) {}
+
+  void add(std::uint64_t delta = 1) {
+    if (slot_->atomic) {
+      std::atomic_ref<std::uint64_t>(slot_->value)
+          .fetch_add(delta, std::memory_order_relaxed);
+    } else {
+      slot_->value += delta;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    return slot_->atomic ? std::atomic_ref<const std::uint64_t>(slot_->value)
+                               .load(std::memory_order_relaxed)
+                         : slot_->value;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterSlot* slot) : slot_(slot) {}
+  detail::CounterSlot* slot_;
+};
+
+class Gauge {
+ public:
+  Gauge() : slot_(detail::gauge_sink()) {}
+
+  void set(double value) {
+    if (slot_->atomic) {
+      std::atomic_ref<double>(slot_->value)
+          .store(value, std::memory_order_relaxed);
+    } else {
+      slot_->value = value;
+    }
+  }
+
+  void add(double delta) {
+    if (slot_->atomic) {
+      std::atomic_ref<double> ref(slot_->value);
+      double expected = ref.load(std::memory_order_relaxed);
+      while (!ref.compare_exchange_weak(expected, expected + delta,
+                                        std::memory_order_relaxed)) {
+      }
+    } else {
+      slot_->value += delta;
+    }
+  }
+
+  [[nodiscard]] double value() const {
+    return slot_->atomic ? std::atomic_ref<const double>(slot_->value)
+                               .load(std::memory_order_relaxed)
+                         : slot_->value;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeSlot* slot) : slot_(slot) {}
+  detail::GaugeSlot* slot_;
+};
+
+class Histogram {
+ public:
+  Histogram() : slot_(detail::histogram_sink()) {}
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  /// Linear-interpolation quantile estimate from the bucket counts
+  /// (q in [0, 1]); the +inf bucket reports the last finite bound.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramSlot* slot) : slot_(slot) {}
+  detail::HistogramSlot* slot_;
+};
+
+/// Read-only view of one registered metric, for exporters.
+struct CounterView {
+  std::string_view name;
+  std::uint64_t value = 0;
+};
+struct GaugeView {
+  std::string_view name;
+  double value = 0.0;
+};
+struct HistogramView {
+  std::string_view name;
+  const detail::HistogramSlot* slot = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  /// atomic=true upgrades every handle update to relaxed atomics (for the
+  /// threaded transport path); registration itself is still not
+  /// thread-safe — register handles before spawning workers.
+  explicit MetricsRegistry(bool atomic = false) : atomic_(atomic) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registration is idempotent: the same name always yields a handle to
+  /// the same slot.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  /// `bounds` are ascending upper bucket edges; re-registering an existing
+  /// histogram ignores the bounds and returns the original slot.
+  Histogram histogram(std::string_view name, std::vector<double> bounds);
+
+  [[nodiscard]] bool atomic() const { return atomic_; }
+  [[nodiscard]] std::size_t size() const {
+    return counter_index_.size() + gauge_index_.size() +
+           histogram_index_.size();
+  }
+
+  /// Views in name order (exporter iteration).
+  [[nodiscard]] std::vector<CounterView> counters() const;
+  [[nodiscard]] std::vector<GaugeView> gauges() const;
+  [[nodiscard]] std::vector<HistogramView> histograms() const;
+
+  /// Default bucket edges for latency-style histograms, in seconds.
+  [[nodiscard]] static std::vector<double> latency_bounds_s();
+  /// Default bucket edges for response-time histograms, in milliseconds.
+  [[nodiscard]] static std::vector<double> response_bounds_ms();
+
+ private:
+  bool atomic_;
+  // Deques give slot pointers stability across registrations.
+  std::deque<detail::CounterSlot> counter_slots_;
+  std::deque<detail::GaugeSlot> gauge_slots_;
+  std::deque<detail::HistogramSlot> histogram_slots_;
+  std::map<std::string, detail::CounterSlot*, std::less<>> counter_index_;
+  std::map<std::string, detail::GaugeSlot*, std::less<>> gauge_index_;
+  std::map<std::string, detail::HistogramSlot*, std::less<>> histogram_index_;
+};
+
+}  // namespace edr::telemetry

@@ -1,0 +1,47 @@
+// Telemetry context: one metrics registry plus one event tracer, handed by
+// reference through the runtime (SystemConfig owns a shared_ptr; a null
+// pointer means telemetry is off and components fall back to sink handles
+// and a disabled tracer — see registry.hpp for why that is no-op cheap).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace edr::telemetry {
+
+struct TelemetryOptions {
+  /// Upgrade metric updates to relaxed atomics (threaded transports).
+  bool atomic_metrics = false;
+  /// Ring-buffer capacity of the event tracer.
+  std::size_t trace_capacity = 1 << 16;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions options = {})
+      : metrics_(options.atomic_metrics), tracer_(options.trace_capacity) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] EventTracer& tracer() { return tracer_; }
+  [[nodiscard]] const EventTracer& tracer() const { return tracer_; }
+
+ private:
+  MetricsRegistry metrics_;
+  EventTracer tracer_;
+};
+
+/// Convenience factory for the common `cfg.telemetry = make_telemetry()`
+/// wiring in benches and the CLI.
+[[nodiscard]] inline std::shared_ptr<Telemetry> make_telemetry(
+    TelemetryOptions options = {}) {
+  return std::make_shared<Telemetry>(options);
+}
+
+}  // namespace edr::telemetry

@@ -1,0 +1,79 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace edr::telemetry {
+
+EventTracer::EventTracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void EventTracer::set_clock(std::function<double()> clock) {
+  if (!clock) last_time_ = now();
+  clock_ = std::move(clock);
+}
+
+double EventTracer::now() const { return clock_ ? clock_() : last_time_; }
+
+void EventTracer::span(std::string_view name, std::string_view category,
+                       double start, double duration, std::uint32_t tid) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.ts = start;
+  event.dur = std::max(duration, 0.0);
+  event.tid = tid;
+  event.phase = TraceEvent::Phase::kSpan;
+  event.name = name;
+  event.category = category;
+  push(std::move(event));
+}
+
+void EventTracer::instant(std::string_view name, std::string_view category,
+                          std::uint32_t tid) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.ts = now();
+  event.tid = tid;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.name = name;
+  event.category = category;
+  push(std::move(event));
+}
+
+void EventTracer::push(TraceEvent event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[recorded_ % capacity_] = std::move(event);
+  }
+  ++recorded_;
+}
+
+std::vector<TraceEvent> EventTracer::events() const {
+  if (recorded_ <= capacity_) return ring_;
+  // The slot recorded_ % capacity_ holds the oldest retained event.
+  std::vector<TraceEvent> ordered;
+  ordered.reserve(ring_.size());
+  const std::size_t head = recorded_ % capacity_;
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    ordered.push_back(ring_[(head + i) % capacity_]);
+  return ordered;
+}
+
+void EventTracer::clear() {
+  ring_.clear();
+  recorded_ = 0;
+}
+
+EventTracer& disabled_tracer() {
+  static EventTracer tracer = [] {
+    EventTracer t{1};
+    t.set_enabled(false);
+    return t;
+  }();
+  return tracer;
+}
+
+}  // namespace edr::telemetry

@@ -1,0 +1,130 @@
+// Sim-time event tracer: a bounded ring buffer of structured events.
+//
+// Events are stamped with the attached clock (the runtime wires it to
+// Simulator::now(), so a trace lines up with the discrete-event timeline
+// the paper's figures are drawn against).  Two event shapes cover the
+// runtime: complete spans (start + duration, Chrome "X" events — robust
+// against ring-buffer wraparound because a span never splits across two
+// records) and instants (point markers such as a replica crash).
+//
+// The buffer is a fixed-capacity ring: recording never allocates after
+// construction and old events are overwritten once capacity is reached,
+// so a tracer can stay attached to an arbitrarily long run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edr::telemetry {
+
+struct TraceEvent {
+  enum class Phase : std::uint8_t {
+    kSpan,     ///< complete span: [ts, ts + dur)
+    kInstant,  ///< point event at ts
+  };
+
+  double ts = 0.0;   ///< sim-time start, seconds
+  double dur = 0.0;  ///< span duration, seconds (0 for instants)
+  /// Logical track for the Chrome viewer's row layout (the runtime uses
+  /// replica/client node ids; kControlTrack for system-wide events).
+  std::uint32_t tid = 0;
+  Phase phase = Phase::kInstant;
+  std::string name;
+  std::string category;
+};
+
+/// Track id for events that belong to the run as a whole rather than to
+/// one node (epochs, solver rounds).
+inline constexpr std::uint32_t kControlTrack = 9999;
+
+class EventTracer {
+ public:
+  explicit EventTracer(std::size_t capacity = 1 << 16);
+
+  /// Events are dropped (not recorded) while disabled; a default
+  /// constructed tracer is enabled.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Wire the time source (the runtime passes the simulator clock).
+  /// A null clock freezes time at the last reading.
+  void set_clock(std::function<double()> clock);
+  [[nodiscard]] double now() const;
+
+  /// Record a complete span with an explicit start and duration (used when
+  /// the duration is known up front, e.g. a scheduled file transfer).
+  void span(std::string_view name, std::string_view category, double start,
+            double duration, std::uint32_t tid = kControlTrack);
+
+  /// Record an instant event at the current clock reading.
+  void instant(std::string_view name, std::string_view category,
+               std::uint32_t tid = kControlTrack);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events recorded since construction (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return recorded_ <= capacity_ ? 0 : recorded_ - capacity_;
+  }
+
+  /// Retained events in recording order (oldest retained first).  Sim time
+  /// is monotone within a run, but span records are emitted at their *end*,
+  /// so exporters sort by ts before writing.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  void clear();
+
+ private:
+  void push(TraceEvent event);
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t recorded_ = 0;
+  bool enabled_ = true;
+  double last_time_ = 0.0;
+  std::function<double()> clock_;
+};
+
+/// A process-wide permanently disabled tracer: components that were never
+/// attached to a Telemetry context point here so spans can be opened
+/// unconditionally (a ScopedSpan against it is a branch and nothing more).
+[[nodiscard]] EventTracer& disabled_tracer();
+
+/// RAII helper: records a complete span from construction to destruction.
+/// Construction against a disabled tracer costs one branch and nothing at
+/// destruction.
+class ScopedSpan {
+ public:
+  ScopedSpan(EventTracer& tracer, std::string_view name,
+             std::string_view category = "span",
+             std::uint32_t tid = kControlTrack)
+      : tracer_(tracer.enabled() ? &tracer : nullptr) {
+    if (tracer_ == nullptr) return;
+    name_ = name;
+    category_ = category;
+    tid_ = tid;
+    start_ = tracer_->now();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    tracer_->span(name_, category_, start_, tracer_->now() - start_, tid_);
+  }
+
+ private:
+  EventTracer* tracer_;
+  std::string_view name_;
+  std::string_view category_;
+  std::uint32_t tid_ = kControlTrack;
+  double start_ = 0.0;
+};
+
+}  // namespace edr::telemetry

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "optim/instance.hpp"
 #include "workload/apps.hpp"
 
@@ -144,6 +147,51 @@ TEST(EdrSystem, ControlTrafficScalesWithAlgorithm) {
   const auto report_cdpsm = cdpsm.run();
   const auto report_rr = rr.run();
   EXPECT_GT(report_cdpsm.control_bytes, 10 * report_rr.control_bytes);
+}
+
+TEST(EdrSystem, ControlTrafficMatchesTelemetryCounters) {
+  // The report's coordination tally is derived from the network's per-type
+  // counters; the telemetry registry mirrors the same counters per type.
+  // One epoch through both paths must land on identical numbers.
+  auto cfg = small_config(Algorithm::kLddm);
+  cfg.telemetry = telemetry::make_telemetry();
+  EdrSystem system(cfg, small_trace(99, 1.0));  // one epoch's worth
+  const auto report = system.run();
+  ASSERT_EQ(report.epochs, 1u);
+
+  std::map<std::string, std::uint64_t, std::less<>> sent;
+  std::uint64_t telemetry_messages = 0;
+  std::uint64_t telemetry_bytes = 0;
+  for (const auto& view : cfg.telemetry->metrics().counters()) {
+    if (view.name.rfind("net.sent.", 0) != 0) continue;
+    sent[std::string(view.name)] = view.value;
+    if (view.name.find("ring_") != std::string_view::npos) continue;
+    if (view.name.ends_with(".messages")) telemetry_messages += view.value;
+    if (view.name.ends_with(".bytes")) telemetry_bytes += view.value;
+  }
+  EXPECT_EQ(report.control_messages, telemetry_messages);
+  EXPECT_EQ(report.control_bytes, telemetry_bytes);
+
+  // The per-type counters must also satisfy the protocol's wire sizes and
+  // barrier structure: 12-byte load reports and mu updates in equal number
+  // (one of each per pair per round), 16-byte assignments (one per pair),
+  // 28-byte request announcements.
+  const auto msgs = [&](const char* type) {
+    return sent["net.sent." + std::string(type) + ".messages"];
+  };
+  const auto bytes = [&](const char* type) {
+    return sent["net.sent." + std::string(type) + ".bytes"];
+  };
+  EXPECT_GT(report.total_rounds, 0u);
+  EXPECT_EQ(msgs("lddm_load_report"), msgs("lddm_mu_update"));
+  EXPECT_EQ(bytes("lddm_load_report"), 12u * msgs("lddm_load_report"));
+  EXPECT_EQ(bytes("lddm_mu_update"), 12u * msgs("lddm_mu_update"));
+  EXPECT_EQ(bytes("assignment"), 16u * msgs("assignment"));
+  EXPECT_EQ(bytes("client_request"), 28u * msgs("client_request"));
+  // One (client, replica) pair sends exactly one load report per round and
+  // one assignment at the end of the single epoch.
+  EXPECT_EQ(msgs("lddm_load_report"),
+            report.total_rounds * msgs("assignment"));
 }
 
 TEST(EdrSystem, FailureDetectedAndTrafficRedistributed) {

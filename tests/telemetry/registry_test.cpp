@@ -1,0 +1,157 @@
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/export.hpp"
+
+namespace edr::telemetry {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  MetricsRegistry registry;
+  auto counter = registry.counter("events");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Counter, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  auto first = registry.counter("shared");
+  auto second = registry.counter("shared");
+  first.add(3);
+  second.add(4);
+  EXPECT_EQ(first.value(), 7u);
+  EXPECT_EQ(second.value(), 7u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Counter, DefaultHandleIsSinkNoOp) {
+  // A default-constructed handle (component never attached to telemetry)
+  // must accept updates without touching any registry.
+  Counter unattached;
+  unattached.add(123);  // must not crash; lands in the process-wide sink
+  MetricsRegistry registry;
+  registry.counter("real").add(1);
+  EXPECT_EQ(registry.counters().size(), 1u);
+  EXPECT_EQ(registry.counters()[0].value, 1u);
+}
+
+TEST(Gauge, SetAddRead) {
+  MetricsRegistry registry;
+  auto gauge = registry.gauge("depth");
+  gauge.set(2.5);
+  gauge.add(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  gauge.set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+}
+
+TEST(Histogram, BucketSemantics) {
+  MetricsRegistry registry;
+  auto histogram = registry.histogram("latency", {1.0, 2.0, 5.0});
+  histogram.observe(0.5);   // bucket le=1
+  histogram.observe(1.0);   // le=1 (upper edge inclusive)
+  histogram.observe(1.5);   // le=2
+  histogram.observe(100.0); // +inf
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 103.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 103.0 / 4.0);
+
+  const auto views = registry.histograms();
+  ASSERT_EQ(views.size(), 1u);
+  const auto& slot = *views[0].slot;
+  ASSERT_EQ(slot.counts.size(), 4u);  // 3 finite buckets + inf
+  EXPECT_EQ(slot.counts[0], 2u);
+  EXPECT_EQ(slot.counts[1], 1u);
+  EXPECT_EQ(slot.counts[2], 0u);
+  EXPECT_EQ(slot.counts[3], 1u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  auto histogram = registry.histogram("q", {10.0, 20.0});
+  for (int i = 0; i < 10; ++i) histogram.observe(5.0);
+  // All mass in [0, 10): the median interpolates to the bucket midpoint.
+  EXPECT_NEAR(histogram.quantile(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(histogram.quantile(1.0), 10.0, 1e-9);
+}
+
+TEST(Histogram, ReRegistrationKeepsOriginalBounds) {
+  MetricsRegistry registry;
+  auto first = registry.histogram("h", {1.0, 2.0});
+  auto second = registry.histogram("h", {100.0});  // bounds ignored
+  first.observe(1.5);
+  EXPECT_EQ(second.count(), 1u);
+  ASSERT_EQ(registry.histograms().size(), 1u);
+  EXPECT_EQ(registry.histograms()[0].slot->bounds.size(), 2u);
+}
+
+TEST(MetricsRegistry, ViewsAreNameOrdered) {
+  MetricsRegistry registry;
+  registry.counter("zeta").add(1);
+  registry.counter("alpha").add(2);
+  registry.gauge("mid").set(3.0);
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].name, "alpha");
+  EXPECT_EQ(counters[1].name, "zeta");
+  ASSERT_EQ(registry.gauges().size(), 1u);
+  EXPECT_EQ(registry.gauges()[0].name, "mid");
+}
+
+TEST(MetricsExport, JsonlOneObjectPerMetric) {
+  MetricsRegistry registry;
+  registry.counter("hits").add(3);
+  registry.gauge("level").set(1.5);
+  registry.histogram("lat", {1.0}).observe(0.5);
+  const auto jsonl = metrics_to_jsonl(registry);
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
+  EXPECT_NE(jsonl.find("{\"metric\":\"hits\",\"type\":\"counter\",\"value\":3}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"metric\":\"level\",\"type\":\"gauge\""),
+            std::string::npos);
+  // Histogram lines carry count, sum and the trailing +inf bucket.
+  EXPECT_NE(jsonl.find("\"type\":\"histogram\",\"count\":1"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"le\":\"+inf\""), std::string::npos);
+}
+
+TEST(MetricsExport, CsvCarriesAllRows) {
+  MetricsRegistry registry;
+  registry.counter("hits").add(7);
+  registry.histogram("lat", {1.0}).observe(2.0);
+  const auto csv = metrics_to_csv(registry);
+  EXPECT_NE(csv.find("metric,type,value,count,sum\n"), std::string::npos);
+  EXPECT_NE(csv.find("hits,counter,7,,\n"), std::string::npos);
+  EXPECT_NE(csv.find("lat,histogram,,1,2\n"), std::string::npos);
+  EXPECT_NE(csv.find("lat.le.+inf,bucket,1,,\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, AtomicModeCountsAcrossThreads) {
+  MetricsRegistry registry(/*atomic=*/true);
+  auto counter = registry.counter("hits");
+  auto gauge = registry.gauge("level");
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.add(1);
+        gauge.add(1.0);
+      }
+    });
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kThreads) * kIncrements);
+}
+
+}  // namespace
+}  // namespace edr::telemetry

@@ -1,0 +1,153 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+
+namespace edr::telemetry {
+namespace {
+
+TEST(EventTracer, ClockWiring) {
+  EventTracer tracer;
+  EXPECT_EQ(tracer.now(), 0.0);
+  double sim_time = 1.5;
+  tracer.set_clock([&] { return sim_time; });
+  EXPECT_EQ(tracer.now(), 1.5);
+  sim_time = 2.0;
+  // Detaching the clock freezes the last reading (the runtime detaches when
+  // the simulator dies before the telemetry context does).
+  tracer.set_clock(nullptr);
+  sim_time = 99.0;
+  EXPECT_EQ(tracer.now(), 2.0);
+}
+
+TEST(EventTracer, RecordsSpansAndInstants) {
+  EventTracer tracer;
+  double sim_time = 0.25;
+  tracer.set_clock([&] { return sim_time; });
+  tracer.span("solve", "solver", 0.1, 0.15, 7);
+  tracer.instant("crash", "fault", 3);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kSpan);
+  EXPECT_EQ(events[0].name, "solve");
+  EXPECT_DOUBLE_EQ(events[0].ts, 0.1);
+  EXPECT_DOUBLE_EQ(events[0].dur, 0.15);
+  EXPECT_EQ(events[0].tid, 7u);
+  EXPECT_EQ(events[1].phase, TraceEvent::Phase::kInstant);
+  EXPECT_DOUBLE_EQ(events[1].ts, 0.25);
+}
+
+TEST(EventTracer, RingWraparoundKeepsNewest) {
+  EventTracer tracer{4};
+  double sim_time = 0.0;
+  tracer.set_clock([&] { return sim_time; });
+  for (int i = 0; i < 10; ++i) {
+    sim_time = static_cast<double>(i);
+    tracer.instant("e" + std::to_string(i), "test");
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained first: events 6, 7, 8, 9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].name, "e" + std::to_string(6 + i));
+    EXPECT_DOUBLE_EQ(events[i].ts, static_cast<double>(6 + i));
+  }
+}
+
+TEST(EventTracer, DisabledDropsEverything) {
+  EventTracer tracer;
+  tracer.set_enabled(false);
+  tracer.span("s", "c", 0.0, 1.0);
+  tracer.instant("i", "c");
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_FALSE(disabled_tracer().enabled());
+}
+
+TEST(ScopedSpan, RecordsCompleteSpan) {
+  EventTracer tracer;
+  double sim_time = 1.0;
+  tracer.set_clock([&] { return sim_time; });
+  {
+    ScopedSpan span(tracer, "round", "solver", 5);
+    sim_time = 3.0;
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].ts, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].dur, 2.0);
+  EXPECT_EQ(events[0].tid, 5u);
+}
+
+TEST(ScopedSpan, NoOpAgainstDisabledTracer) {
+  { ScopedSpan span(disabled_tracer(), "ghost"); }
+  EXPECT_EQ(disabled_tracer().recorded(), 0u);
+}
+
+/// Extract the numeric values of every `"key":<number>` occurrence.
+std::vector<double> extract_numbers(const std::string& json,
+                                    const std::string& key) {
+  std::vector<double> values;
+  const std::string needle = "\"" + key + "\":";
+  for (std::size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + 1))
+    values.push_back(std::stod(json.substr(pos + needle.size())));
+  return values;
+}
+
+TEST(ChromeExport, WellFormedAndSimTimeOrdered) {
+  EventTracer tracer{8};
+  double sim_time = 0.0;
+  tracer.set_clock([&] { return sim_time; });
+  // Spans land in the ring at their *end*; emit them so ring order is not
+  // ts order and the exporter has to sort.
+  tracer.span("late", "t", 2.0, 1.0);
+  tracer.span("early", "t", 0.5, 0.25);
+  sim_time = 1.0;
+  tracer.instant("mid", "t");
+
+  const auto json = trace_to_chrome_json(tracer, "unit");
+  // Well-formed enough for the viewer: balanced brackets, the required
+  // top-level key, and our process-name metadata record.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
+
+  // Events must appear in nondecreasing sim-time order (microseconds).
+  const auto ts = extract_numbers(json, "ts");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+  EXPECT_DOUBLE_EQ(ts.front(), 0.5e6);
+  EXPECT_DOUBLE_EQ(ts.back(), 2.0e6);
+  // Complete spans carry their duration; instants carry a scope.
+  const auto dur = extract_numbers(json, "dur");
+  ASSERT_EQ(dur.size(), 2u);
+  EXPECT_DOUBLE_EQ(dur.front(), 0.25e6);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(ChromeExport, ReportsWraparoundDrops) {
+  EventTracer tracer{2};
+  tracer.span("a", "t", 0.0, 1.0);
+  tracer.span("b", "t", 1.0, 1.0);
+  tracer.span("c", "t", 2.0, 1.0);
+  const auto json = trace_to_chrome_json(tracer);
+  EXPECT_NE(json.find("\"droppedEvents\":1"), std::string::npos);
+  const auto ts = extract_numbers(json, "ts");
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+}
+
+}  // namespace
+}  // namespace edr::telemetry
