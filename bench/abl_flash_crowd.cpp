@@ -20,7 +20,7 @@ workload::Trace spike_trace(SimTime horizon) {
 }
 
 core::RunReport run(bool retry, SimTime horizon) {
-  auto cfg = analysis::paper_config(core::Algorithm::kLddm);
+  auto cfg = analysis::paper_config("lddm");
   cfg.record_traces = false;
   cfg.retry_shed = retry;
   core::EdrSystem system(cfg, spike_trace(horizon));

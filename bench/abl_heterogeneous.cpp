@@ -10,7 +10,7 @@ namespace {
 using namespace edr;
 
 core::RunReport run(bool hardware_aware) {
-  auto cfg = analysis::paper_config(core::Algorithm::kLddm);
+  auto cfg = analysis::paper_config("lddm");
   cfg.record_traces = false;
   cfg.power_per_replica.assign(8, cfg.power);
   // Old generation on the *cheap* replicas (0, 2, 4) — exactly where a

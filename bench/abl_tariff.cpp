@@ -22,7 +22,7 @@ std::vector<power::TimeOfDayTariff> flipping_tariffs(SimTime day_length) {
   return tariffs;
 }
 
-core::RunReport run(core::Algorithm algorithm, bool tariff_aware,
+core::RunReport run(const std::string& algorithm, bool tariff_aware,
                     SimTime horizon) {
   auto cfg = analysis::paper_config(algorithm);
   cfg.record_traces = false;
@@ -44,7 +44,7 @@ void BM_Abl_Tariff(benchmark::State& state) {
   const SimTime horizon = 60.0;
   core::RunReport report;
   for (auto _ : state)
-    report = run(aware ? core::Algorithm::kLddm : core::Algorithm::kRoundRobin,
+    report = run(aware ? "lddm" : "rr",
                  aware, horizon);
   state.counters["tariff_aware"] = aware ? 1.0 : 0.0;
   state.counters["active_cost_mcents"] = report.total_active_cost * 1e3;
@@ -64,8 +64,8 @@ int main(int argc, char** argv) {
                      "tariff-aware EDR vs price-blind Round-Robin under "
                      "day/night-flipping regional prices");
 
-  const auto aware = run(edr::core::Algorithm::kLddm, true, 60.0);
-  const auto blind = run(edr::core::Algorithm::kRoundRobin, false, 60.0);
+  const auto aware = run("lddm", true, 60.0);
+  const auto blind = run("rr", false, 60.0);
   edr::Table table({"scheduler", "active cost (mcents)"});
   table.add_row({"EDR-LDDM (tariff-aware)",
                  edr::Table::num(aware.total_active_cost * 1e3, 3)});

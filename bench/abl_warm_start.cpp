@@ -8,8 +8,8 @@ namespace {
 using namespace edr;
 
 core::RunReport run_system(bool warm) {
-  auto cfg = analysis::paper_config(core::Algorithm::kLddm);
-  cfg.warm_start_lddm = warm;
+  auto cfg = analysis::paper_config("lddm");
+  cfg.warm_start = warm;
   cfg.record_traces = false;
   core::EdrSystem system(
       cfg,

@@ -91,7 +91,7 @@ class Harness {
 
 /// Run a power-profile experiment (Figs 3-4) and print the per-replica
 /// summary that characterizes the paper's traces.
-inline core::RunReport run_power_profile(core::Algorithm algorithm,
+inline core::RunReport run_power_profile(const std::string& algorithm,
                                          SimTime horizon) {
   auto cfg = analysis::paper_config(algorithm);
   cfg.record_traces = true;

@@ -16,7 +16,7 @@ edr::core::RunReport g_report;
 
 void BM_Fig3_CdpsmPowerProfile(benchmark::State& state) {
   for (auto _ : state)
-    g_report = edr::bench::run_power_profile(edr::core::Algorithm::kCdpsm,
+    g_report = edr::bench::run_power_profile("cdpsm",
                                              100.0);
   state.counters["replicas"] =
       static_cast<double>(g_report.replicas.size());

@@ -14,7 +14,7 @@ edr::core::RunReport g_report;
 void BM_Fig4_LddmPowerProfile(benchmark::State& state) {
   for (auto _ : state)
     g_report =
-        edr::bench::run_power_profile(edr::core::Algorithm::kLddm, 100.0);
+        edr::bench::run_power_profile("lddm", 100.0);
   state.counters["replicas"] = static_cast<double>(g_report.replicas.size());
   state.counters["total_energy_J"] = g_report.total_energy;
   state.counters["active_energy_J"] = g_report.total_active_energy;

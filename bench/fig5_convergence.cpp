@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
     // spans (epoch / solver.round / file_transfer), not just the standalone
     // engine rounds benchmarked above.
     const auto profile =
-        edr::bench::run_power_profile(core::Algorithm::kLddm, 10.0);
+        edr::bench::run_power_profile("lddm", 10.0);
     std::printf("\ntelemetry profile run: %zu epochs, %zu rounds, "
                 "%llu control messages\n",
                 profile.epochs, profile.total_rounds,

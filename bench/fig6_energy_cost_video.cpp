@@ -14,8 +14,8 @@ std::vector<analysis::ComparisonRow> g_rows;
 void BM_Fig6_VideoStreaming(benchmark::State& state) {
   for (auto _ : state)
     g_rows = analysis::run_comparison(
-        {core::Algorithm::kLddm, core::Algorithm::kCdpsm,
-         core::Algorithm::kRoundRobin},
+        {"lddm", "cdpsm",
+         "rr"},
         workload::video_streaming(), 7, 42, 100.0);
   for (const auto& row : g_rows)
     state.counters[row.name + "_active_cost"] =

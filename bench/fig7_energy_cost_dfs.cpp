@@ -11,8 +11,8 @@ std::vector<analysis::ComparisonRow> g_rows;
 void BM_Fig7_DistributedFileService(benchmark::State& state) {
   for (auto _ : state)
     g_rows = analysis::run_comparison(
-        {core::Algorithm::kLddm, core::Algorithm::kCdpsm,
-         core::Algorithm::kRoundRobin},
+        {"lddm", "cdpsm",
+         "rr"},
         workload::distributed_file_service(), 7, 42, 100.0);
   for (const auto& row : g_rows)
     state.counters[row.name + "_active_cost"] =

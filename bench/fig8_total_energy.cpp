@@ -19,8 +19,8 @@ analysis::SavingsSummary g_sweep;
 void BM_Fig8a_VideoTotals(benchmark::State& state) {
   for (auto _ : state)
     g_video = analysis::run_comparison(
-        {core::Algorithm::kLddm, core::Algorithm::kCdpsm,
-         core::Algorithm::kRoundRobin},
+        {"lddm", "cdpsm",
+         "rr"},
         workload::video_streaming(), 7, 42, 100.0);
   for (const auto& row : g_video) {
     state.counters[row.name + "_cost"] = row.report.total_active_cost;
@@ -32,8 +32,8 @@ BENCHMARK(BM_Fig8a_VideoTotals)->Unit(benchmark::kMillisecond)->Iterations(1);
 void BM_Fig8a_DfsTotals(benchmark::State& state) {
   for (auto _ : state)
     g_dfs = analysis::run_comparison(
-        {core::Algorithm::kLddm, core::Algorithm::kCdpsm,
-         core::Algorithm::kRoundRobin},
+        {"lddm", "cdpsm",
+         "rr"},
         workload::distributed_file_service(), 7, 42, 100.0);
   for (const auto& row : g_dfs) {
     state.counters[row.name + "_cost"] = row.report.total_active_cost;

@@ -30,7 +30,7 @@ workload::Trace burst_trace(std::size_t count) {
 
 double run_edr(std::size_t count) {
   core::SystemConfig cfg;
-  cfg.algorithm = core::Algorithm::kLddm;
+  cfg.algorithm = "lddm";
   cfg.replicas = three_replicas();
   cfg.num_clients = 8;
   cfg.seed = 3;

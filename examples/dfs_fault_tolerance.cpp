@@ -19,12 +19,12 @@ int main() {
       analysis::paper_trace(workload::distributed_file_service(), 42, 60.0);
 
   std::printf("baseline run (no failures)...\n");
-  core::EdrSystem healthy(analysis::paper_config(core::Algorithm::kLddm),
+  core::EdrSystem healthy(analysis::paper_config("lddm"),
                           trace);
   const auto before = healthy.run();
 
   std::printf("same trace, replica 1 crashes at t=20 s...\n\n");
-  core::EdrSystem wounded(analysis::paper_config(core::Algorithm::kLddm),
+  core::EdrSystem wounded(analysis::paper_config("lddm"),
                           trace);
   wounded.inject_failure(0, 20.0);
   const auto after = wounded.run();

@@ -20,20 +20,7 @@
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 
-namespace {
-
 using namespace edr;
-
-core::Algorithm parse_algorithm(const std::string& name) {
-  if (name == "lddm") return core::Algorithm::kLddm;
-  if (name == "cdpsm") return core::Algorithm::kCdpsm;
-  if (name == "central") return core::Algorithm::kCentralized;
-  if (name == "rr") return core::Algorithm::kRoundRobin;
-  throw std::invalid_argument(
-      "unknown algorithm '" + name + "' (lddm|cdpsm|central|rr)");
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   std::string algorithm = "lddm";
@@ -78,7 +65,9 @@ int main(int argc, char** argv) {
     return parser.help_requested() ? 0 : 2;
 
   try {
-    auto cfg = analysis::paper_config(parse_algorithm(algorithm), seed);
+    // The key goes straight to the algorithm registry (via EdrSystem),
+    // which rejects unknown names with the list of registered ones.
+    auto cfg = analysis::paper_config(algorithm, seed);
     if (replicas != 8) {
       const auto base = optim::paper_replica_set();
       cfg.replicas.clear();

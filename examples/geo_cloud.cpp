@@ -30,7 +30,7 @@ int main() {
 
   for (const double bound : {8.0, 15.0, 25.0, 40.0}) {
     core::SystemConfig cfg;
-    cfg.algorithm = core::Algorithm::kLddm;
+    cfg.algorithm = "lddm";
     cfg.replicas.resize(regions.size());
     for (std::size_t n = 0; n < regions.size(); ++n) {
       cfg.replicas[n].price = regions.price(n);

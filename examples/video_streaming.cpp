@@ -18,8 +18,8 @@ int main() {
   std::printf("running video streaming (100 MB requests, YouTube-like "
               "pattern) through 4 schedulers...\n\n");
   const auto rows = analysis::run_comparison(
-      {core::Algorithm::kLddm, core::Algorithm::kCdpsm,
-       core::Algorithm::kRoundRobin, core::Algorithm::kCentralized},
+      {"lddm", "cdpsm",
+       "rr", "central"},
       workload::video_streaming(), /*config_seed=*/7, /*trace_seed=*/42,
       /*horizon=*/60.0);
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full pre-merge check: regular build + tests, then a second build tree with
-# AddressSanitizer and UBSan (-DEDR_SANITIZE=ON) running the same suite.
+# Full pre-merge check: formatting, then regular build + tests, then a second
+# build tree with AddressSanitizer and UBSan (-DEDR_SANITIZE=ON) running the
+# same suite.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -8,6 +9,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="${1:-$(nproc)}"
 
+echo "== clang-format (--dry-run -Werror, .clang-format) =="
+if command -v clang-format >/dev/null 2>&1; then
+  find src tests bench examples -name '*.cpp' -o -name '*.hpp' \
+    | xargs clang-format --dry-run -Werror
+  echo "clang-format: clean"
+else
+  echo "clang-format: not installed, skipping (style still defined by .clang-format)"
+fi
+
+echo
 echo "== regular build (build/) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"

@@ -1,11 +1,12 @@
 #include "analysis/experiments.hpp"
 
 #include "common/math_util.hpp"
+#include "core/algorithm_registry.hpp"
 #include "optim/instance.hpp"
 
 namespace edr::analysis {
 
-core::SystemConfig paper_config(core::Algorithm algorithm,
+core::SystemConfig paper_config(const std::string& algorithm,
                                 std::uint64_t seed) {
   core::SystemConfig cfg;
   cfg.algorithm = algorithm;
@@ -30,17 +31,17 @@ workload::Trace paper_trace(const workload::AppProfile& app,
 }
 
 std::vector<ComparisonRow> run_comparison(
-    const std::vector<core::Algorithm>& algorithms,
+    const std::vector<std::string>& algorithms,
     const workload::AppProfile& app, std::uint64_t config_seed,
     std::uint64_t trace_seed, SimTime horizon, bool record_traces) {
   std::vector<ComparisonRow> rows;
-  for (const auto algorithm : algorithms) {
+  for (const auto& algorithm : algorithms) {
     auto cfg = paper_config(algorithm, config_seed);
     cfg.record_traces = record_traces;
     core::EdrSystem system(std::move(cfg),
                            paper_trace(app, trace_seed, horizon));
-    rows.push_back(
-        {algorithm, core::algorithm_name(algorithm), system.run()});
+    rows.push_back({algorithm, core::algorithm_display_name(algorithm),
+                    system.run()});
   }
   return rows;
 }
@@ -61,9 +62,7 @@ SavingsSummary run_savings_sweep(const workload::AppProfile& app,
 
     double cost[3] = {0, 0, 0};
     double energy[3] = {0, 0, 0};
-    const core::Algorithm algos[3] = {core::Algorithm::kLddm,
-                                      core::Algorithm::kCdpsm,
-                                      core::Algorithm::kRoundRobin};
+    const char* const algos[3] = {"lddm", "cdpsm", "rr"};
     for (int a = 0; a < 3; ++a) {
       auto cfg = paper_config(algos[a], base_seed + run);
       cfg.replicas = replicas;

@@ -14,7 +14,8 @@ namespace edr::analysis {
 
 /// The paper's system setup: 8 replicas with prices (1,8,1,6,1,5,2,3),
 /// 100 MB/s caps, T = 1.8 ms, SystemG-like power model, 50 Hz metering.
-[[nodiscard]] core::SystemConfig paper_config(core::Algorithm algorithm,
+/// `algorithm` is a registry key ("lddm", "cdpsm", "central", "rr", ...).
+[[nodiscard]] core::SystemConfig paper_config(const std::string& algorithm,
                                               std::uint64_t seed = 7);
 
 /// A YouTube-patterned trace for `app` over `horizon` seconds (one full
@@ -25,15 +26,15 @@ namespace edr::analysis {
 
 /// One algorithm's end-to-end result on one workload.
 struct ComparisonRow {
-  core::Algorithm algorithm;
-  std::string name;
+  std::string algorithm;  ///< registry key
+  std::string name;       ///< display name ("EDR-LDDM")
   core::RunReport report;
 };
 
 /// Run the same trace through each algorithm (identical seeds/config
 /// otherwise).
 [[nodiscard]] std::vector<ComparisonRow> run_comparison(
-    const std::vector<core::Algorithm>& algorithms,
+    const std::vector<std::string>& algorithms,
     const workload::AppProfile& app, std::uint64_t config_seed = 7,
     std::uint64_t trace_seed = 42, SimTime horizon = 100.0,
     bool record_traces = false);

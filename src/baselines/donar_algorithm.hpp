@@ -1,0 +1,66 @@
+// DONAR as a DistributedAlgorithm backend.
+//
+// The related-work baseline (distributed mapping nodes running a
+// consensus-ish balance iteration) hosted on the same EpochPipeline as the
+// EDR schedulers: solvers are the mapping nodes (not the replicas), each
+// client announces only to its owning node, and one assignment per client
+// flows back from that owner.  DonarSystem composes this backend with the
+// DONAR PipelinePolicy (no per-client links, no power model, no
+// transfers).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/donar.hpp"
+#include "core/algorithm.hpp"
+
+namespace edr::baselines {
+
+/// DONAR's message-type ids (below the ring's 100-199 range, disjoint from
+/// the host protocol and the EDR round types).
+enum DonarMessageType : int {
+  kDonarRequest = 50,     ///< client -> owning mapping node: new request
+  kDonarAggregate = 51,   ///< mapping node -> mapping node: load aggregate
+  kDonarAssignment = 52,  ///< owning mapping node -> client: final share
+};
+
+class DonarAlgorithm final : public core::DistributedAlgorithm {
+ public:
+  explicit DonarAlgorithm(DonarOptions options) : options_(options) {}
+
+  [[nodiscard]] const char* name() const override { return "donar"; }
+  [[nodiscard]] const char* display_name() const override { return "DONAR"; }
+  [[nodiscard]] std::span<const core::MessageTypeInfo> message_types()
+      const override;
+
+  [[nodiscard]] int announce_type() const override { return kDonarRequest; }
+  void announce_targets(std::uint32_t client, std::size_t num_solvers,
+                        std::vector<std::size_t>& out) const override;
+
+  [[nodiscard]] int assignment_type() const override {
+    return kDonarAssignment;
+  }
+  void plan_assignments(const core::EpochContext& ctx,
+                        std::vector<core::PlannedMessage>& out) const override;
+
+  [[nodiscard]] double compute_factor(
+      const core::EpochContext& ctx) const override;
+  void begin_epoch(const core::EpochContext& ctx) override;
+  void plan_round(const core::EpochContext& ctx,
+                  std::vector<core::PlannedMessage>& out) const override;
+  bool step_round(const core::EpochContext& ctx) override;
+  Matrix extract_allocation(const core::EpochContext& ctx) override;
+  void abort_epoch() override;
+
+ private:
+  DonarOptions options_;
+  std::unique_ptr<DonarEngine> engine_;
+};
+
+/// Add "donar" (default DonarOptions) to the process-wide algorithm
+/// registry.  Idempotent; DonarSystem calls it on construction, and tests
+/// or tools that want `SystemConfig::algorithm = "donar"` call it directly.
+void register_donar_algorithm();
+
+}  // namespace edr::baselines

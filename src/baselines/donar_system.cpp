@@ -1,274 +1,94 @@
 #include "baselines/donar_system.hpp"
 
-#include <deque>
-#include <map>
 #include <stdexcept>
+#include <utility>
 
+#include "baselines/donar_algorithm.hpp"
 #include "common/math_util.hpp"
+#include "core/epoch_pipeline.hpp"
 #include "core/system.hpp"
-#include "net/network.hpp"
-#include "net/sim.hpp"
-#include "net/wire.hpp"
-#include "optim/flow.hpp"
 
 namespace edr::baselines {
-
-namespace {
-enum DonarMessageType : int {
-  kDonarRequest = 50,
-  kDonarAggregate = 51,
-  kDonarAssignment = 52,
-};
-}  // namespace
 
 double DonarRunReport::mean_response_ms() const {
   return mean(std::span<const double>{response_times_ms});
 }
 
+namespace {
+
+/// DONAR host policy: mapping nodes are the solvers (a fixed count, not one
+/// per replica), every path rides the default interconnect link, and only
+/// decision latency is modelled — no power meters, no transfers, and the
+/// full epoch length is usable capacity.
+core::PipelinePolicy donar_policy(const DonarSystemConfig& cfg) {
+  core::PipelinePolicy policy;
+  policy.num_solvers = cfg.donar.num_mapping_nodes;
+  policy.solvers_are_replicas = false;
+  policy.per_client_links = false;
+  policy.drop_unreachable_clients = false;
+  policy.model_power = false;
+  policy.file_transfers = false;
+  policy.transfer_window_fraction = 1.0;
+  policy.run_to_drain = true;
+  policy.split_service_delay = true;
+  return policy;
+}
+
+core::SystemConfig to_system_config(const DonarSystemConfig& cfg) {
+  core::SystemConfig sys;
+  sys.algorithm = "donar";
+  sys.replicas = cfg.replicas;
+  sys.num_clients = cfg.num_clients;
+  sys.latency = cfg.latency;
+  sys.min_link_latency = cfg.min_link_latency;
+  sys.max_link_latency = cfg.max_link_latency;
+  sys.max_latency = cfg.max_latency;
+  sys.epoch_length = cfg.epoch_length;
+  sys.compute_seconds_per_entry = cfg.compute_seconds_per_entry;
+  sys.request_service_seconds = cfg.request_service_seconds;
+  sys.seed = cfg.seed;
+  sys.derive_energy_model_from_power = false;
+  sys.retry_shed = false;
+  sys.enable_ring = false;
+  sys.record_traces = false;
+  return sys;
+}
+
+}  // namespace
+
 struct DonarSystem::Impl {
   DonarSystemConfig cfg;
-  workload::Trace trace;
-  Rng rng;
-  net::Simulator sim;
-  net::SimNetwork network{sim};
+  core::EpochPipeline pipeline;
 
-  std::size_t num_nodes = 0;    // mapping nodes
-  std::size_t num_clients = 0;
-
-  [[nodiscard]] net::NodeId mapping_node(std::size_t m) const {
-    return static_cast<net::NodeId>(m);
-  }
-  [[nodiscard]] net::NodeId client_node(std::size_t c) const {
-    return static_cast<net::NodeId>(num_nodes + c);
-  }
-
-  struct Pending {
-    std::uint32_t client = 0;
-    SimTime arrival = 0.0;
-    Megabytes size_mb = 0.0;
-  };
-  std::vector<std::vector<Pending>> epoch_buckets;
-  std::deque<std::size_t> solve_queue;
-  bool solve_in_flight = false;
-
-  std::size_t current_epoch = 0;
-  std::optional<optim::Problem> problem;
-  std::vector<std::uint32_t> active_clients;
-  std::vector<Pending> current_requests;
-  std::unique_ptr<DonarEngine> engine;
-  std::size_t round_msgs_pending = 0;
-
-  DonarRunReport report;
-  std::map<std::size_t, std::size_t> expected_assignments;
-  std::map<std::size_t, std::vector<SimTime>> pending_responses;
-
-  Impl(DonarSystemConfig config, workload::Trace workload_trace)
-      : cfg(std::move(config)), trace(std::move(workload_trace)),
-        rng(cfg.seed) {
-    num_nodes = cfg.donar.num_mapping_nodes;
-    num_clients = cfg.num_clients;
-    if (cfg.replicas.empty())
-      throw std::invalid_argument("DonarSystem: no replicas configured");
-    if (num_nodes == 0)
-      throw std::invalid_argument("DonarSystem: no mapping nodes");
-    if (cfg.latency.empty())
-      cfg.latency = core::make_latency_matrix(
-          rng, num_clients, cfg.replicas.size(), cfg.min_link_latency,
-          cfg.max_link_latency, cfg.max_latency);
-  }
-
-  void setup() {
-    net::LinkParams link;
-    link.latency = cfg.min_link_latency;
-    link.bandwidth_mbps = cfg.replicas.front().bandwidth;
-    network.set_default_link(link);
-
-    for (std::size_t m = 0; m < num_nodes; ++m)
-      network.attach(mapping_node(m),
-                     [this](const net::Message& msg) { on_node(msg); });
-    for (std::size_t c = 0; c < num_clients; ++c)
-      network.attach(client_node(c),
-                     [this](const net::Message& msg) { on_client(msg); });
-
-    const SimTime horizon = std::max(trace.horizon(), cfg.epoch_length) + 1e-9;
-    epoch_buckets.assign(
-        static_cast<std::size_t>(horizon / cfg.epoch_length) + 1, {});
-    for (const auto& request : trace.requests()) {
-      const auto epoch =
-          static_cast<std::size_t>(request.arrival / cfg.epoch_length);
-      epoch_buckets[epoch].push_back(
-          {request.client, request.arrival, request.size_mb});
-      sim.schedule_at(request.arrival, [this, c = request.client] {
-        // One request message to the owning mapping node.
-        send(client_node(c), mapping_node(c % num_nodes), kDonarRequest, 28);
-      });
-    }
-    for (std::size_t e = 0; e < epoch_buckets.size(); ++e) {
-      sim.schedule_at(static_cast<double>(e + 1) * cfg.epoch_length,
-                      [this, e] {
-                        if (!epoch_buckets[e].empty()) {
-                          solve_queue.push_back(e);
-                          maybe_start();
-                        }
-                      });
-    }
-  }
-
-  void send(net::NodeId from, net::NodeId to, int type, std::size_t bytes,
-            std::any payload = {}) {
-    net::Message msg;
-    msg.from = from;
-    msg.to = to;
-    msg.type = type;
-    msg.bytes = bytes;
-    msg.payload = std::move(payload);
-    ++report.control_messages;
-    report.control_bytes += bytes;
-    network.send(std::move(msg));
-  }
-
-  void on_node(const net::Message& msg) {
-    if (msg.type == kDonarAggregate) {
-      if (round_msgs_pending > 0 && --round_msgs_pending == 0)
-        complete_round();
-    }
-  }
-
-  void on_client(const net::Message& msg) {
-    if (msg.type != kDonarAssignment) return;
-    const auto* epoch = std::any_cast<std::size_t>(&msg.payload);
-    if (epoch == nullptr) return;
-    auto it = expected_assignments.find(*epoch);
-    if (it == expected_assignments.end() || it->second == 0) return;
-    if (--it->second == 0) {
-      for (const SimTime arrival : pending_responses[*epoch])
-        report.response_times_ms.push_back(
-            milliseconds(sim.now() - arrival));
-      pending_responses.erase(*epoch);
-      expected_assignments.erase(it);
-    }
-  }
-
-  void maybe_start() {
-    if (solve_in_flight || solve_queue.empty()) return;
-    current_epoch = solve_queue.front();
-    solve_queue.pop_front();
-    start_solve();
-  }
-
-  void start_solve() {
-    current_requests = epoch_buckets[current_epoch];
-    std::vector<double> demand(num_clients, 0.0);
-    for (const auto& request : current_requests)
-      demand[request.client] += request.size_mb;
-
-    active_clients.clear();
-    std::vector<Megabytes> demands;
-    for (std::uint32_t c = 0; c < num_clients; ++c) {
-      if (demand[c] <= 0.0) continue;
-      active_clients.push_back(c);
-      demands.push_back(demand[c]);
-    }
-    if (active_clients.empty()) {
-      maybe_start();
-      return;
-    }
-
-    std::vector<optim::ReplicaParams> params = cfg.replicas;
-    for (auto& p : params) p.bandwidth *= cfg.epoch_length;
-    Matrix latency(active_clients.size(), params.size());
-    for (std::size_t row = 0; row < active_clients.size(); ++row)
-      for (std::size_t n = 0; n < params.size(); ++n)
-        latency(row, n) = cfg.latency(active_clients[row], n);
-    problem.emplace(std::move(demands), std::move(params), std::move(latency),
-                    cfg.max_latency);
-
-    // Same admission control as EdrSystem: shed proportionally when a
-    // traffic spike exceeds the pooled epoch capacity.
-    const auto transport = optim::check_transport_feasible(*problem);
-    if (!transport.feasible) {
-      const double scale = transport.routed / problem->total_demand() * 0.999;
-      std::vector<Megabytes> scaled = problem->demands();
-      for (auto& d : scaled) d *= scale;
-      std::vector<optim::ReplicaParams> reps = problem->replicas();
-      Matrix lat(active_clients.size(), reps.size());
-      for (std::size_t row = 0; row < active_clients.size(); ++row)
-        for (std::size_t n = 0; n < reps.size(); ++n)
-          lat(row, n) = problem->latency(row, n);
-      problem.emplace(std::move(scaled), std::move(reps), std::move(lat),
-                      cfg.max_latency);
-    }
-
-    engine = std::make_unique<DonarEngine>(*problem, cfg.donar);
-    solve_in_flight = true;
-    ++report.epochs;
-    const SimTime service_delay =
-        static_cast<double>(current_requests.size()) *
-        cfg.request_service_seconds;
-    sim.schedule_after(service_delay, [this] { schedule_round(); });
-  }
-
-  [[nodiscard]] SimTime compute_delay() const {
-    return cfg.compute_seconds_per_entry *
-           static_cast<double>(problem->num_clients()) *
-           static_cast<double>(problem->num_replicas()) *
-           static_cast<double>(cfg.donar.inner_steps);
-  }
-
-  void schedule_round() {
-    sim.schedule_after(compute_delay(), [this] { launch_round(); });
-  }
-
-  void launch_round() {
-    round_msgs_pending = 0;
-    const std::size_t bytes =
-        net::wire_size_doubles(problem->num_replicas());
-    for (std::size_t i = 0; i < num_nodes; ++i)
-      for (std::size_t j = 0; j < num_nodes; ++j) {
-        if (i == j) continue;
-        ++round_msgs_pending;
-        send(mapping_node(i), mapping_node(j), kDonarAggregate, bytes);
-      }
-    if (round_msgs_pending == 0) complete_round();
-  }
-
-  void complete_round() {
-    ++report.total_rounds;
-    engine->round();
-    if (engine->converged() ||
-        engine->rounds_executed() >= cfg.donar.max_rounds) {
-      finish_solve();
-    } else {
-      schedule_round();
-    }
-  }
-
-  void finish_solve() {
-    solve_in_flight = false;
-    engine.reset();
-    for (const std::uint32_t c : active_clients)
-      send(mapping_node(c % num_nodes), client_node(c), kDonarAssignment, 16,
-           std::make_any<std::size_t>(current_epoch));
-    expected_assignments[current_epoch] = active_clients.size();
-    for (const auto& request : current_requests)
-      pending_responses[current_epoch].push_back(request.arrival);
-    report.requests_served += current_requests.size();
-    maybe_start();
-  }
-
-  DonarRunReport run() {
-    setup();
-    sim.run();
-    report.makespan = sim.now();
-    return std::move(report);
-  }
+  Impl(DonarSystemConfig config, workload::Trace trace)
+      : cfg(std::move(config)),
+        pipeline(to_system_config(cfg), donar_policy(cfg),
+                 std::make_unique<DonarAlgorithm>(cfg.donar),
+                 std::move(trace)) {}
 };
 
-DonarSystem::DonarSystem(DonarSystemConfig config, workload::Trace trace)
-    : impl_(std::make_unique<Impl>(std::move(config), std::move(trace))) {}
+DonarSystem::DonarSystem(DonarSystemConfig config, workload::Trace trace) {
+  if (config.replicas.empty())
+    throw std::invalid_argument("DonarSystem: no replicas configured");
+  if (config.donar.num_mapping_nodes == 0)
+    throw std::invalid_argument("DonarSystem: no mapping nodes");
+  register_donar_algorithm();
+  impl_ = std::make_unique<Impl>(std::move(config), std::move(trace));
+}
 
 DonarSystem::~DonarSystem() = default;
 
-DonarRunReport DonarSystem::run() { return impl_->run(); }
+DonarRunReport DonarSystem::run() {
+  const core::RunReport report = impl_->pipeline.run();
+  DonarRunReport out;
+  out.response_times_ms = report.response_times_ms;
+  out.epochs = report.epochs;
+  out.total_rounds = report.total_rounds;
+  out.requests_served = report.requests_served;
+  out.control_messages = report.control_messages;
+  out.control_bytes = report.control_bytes;
+  out.makespan = report.makespan;
+  return out;
+}
 
 }  // namespace edr::baselines

@@ -1,0 +1,41 @@
+#include "core/algorithm.hpp"
+
+namespace edr::core {
+
+DistributedAlgorithm::~DistributedAlgorithm() = default;
+
+std::span<const MessageTypeInfo> DistributedAlgorithm::message_types() const {
+  return {};
+}
+
+bool DistributedAlgorithm::is_round_type(int type) const {
+  for (const auto& info : message_types())
+    if (info.id == type && info.round) return true;
+  return false;
+}
+
+void DistributedAlgorithm::announce_targets(
+    std::uint32_t client, std::size_t num_solvers,
+    std::vector<std::size_t>& out) const {
+  (void)client;
+  out.clear();
+  for (std::size_t s = 0; s < num_solvers; ++s) out.push_back(s);
+}
+
+void DistributedAlgorithm::plan_assignments(
+    const EpochContext& ctx, std::vector<PlannedMessage>& out) const {
+  out.clear();
+  for (std::size_t row = 0; row < ctx.active_clients->size(); ++row) {
+    for (std::size_t col = 0; col < ctx.active_replicas->size(); ++col) {
+      out.push_back({Endpoint::kSolver, (*ctx.active_replicas)[col],
+                     Endpoint::kClient, (*ctx.active_clients)[row],
+                     assignment_type(), 16});
+    }
+  }
+}
+
+Matrix DistributedAlgorithm::extract_allocation(const EpochContext& ctx) {
+  return Matrix(ctx.problem->num_clients(), ctx.problem->num_replicas(), 0.0);
+}
+
+}  // namespace edr::core

@@ -1,0 +1,76 @@
+#include "core/algorithm_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/builtin_algorithms.hpp"
+#include "core/system.hpp"
+
+namespace edr::core {
+
+AlgorithmRegistry& AlgorithmRegistry::instance() {
+  static AlgorithmRegistry registry = [] {
+    AlgorithmRegistry r;
+    r.add("lddm", [](const SystemConfig& cfg) {
+      return std::make_unique<LddmAlgorithm>(cfg.lddm, cfg.warm_start);
+    });
+    r.add("cdpsm", [](const SystemConfig& cfg) {
+      return std::make_unique<CdpsmAlgorithm>(cfg.cdpsm);
+    });
+    r.add("central", [](const SystemConfig&) {
+      return std::make_unique<CentralizedAlgorithm>();
+    });
+    r.add("rr", [](const SystemConfig&) {
+      return std::make_unique<RoundRobinAlgorithm>();
+    });
+    return r;
+  }();
+  return registry;
+}
+
+void AlgorithmRegistry::add(std::string key, AlgorithmFactory factory) {
+  for (auto& entry : entries_) {
+    if (entry.key == key) {
+      entry.factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.push_back({std::move(key), std::move(factory)});
+}
+
+bool AlgorithmRegistry::contains(const std::string& key) const {
+  for (const auto& entry : entries_)
+    if (entry.key == key) return true;
+  return false;
+}
+
+std::vector<std::string> AlgorithmRegistry::keys() const {
+  std::vector<std::string> keys;
+  for (const auto& entry : entries_) keys.push_back(entry.key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::unique_ptr<DistributedAlgorithm> AlgorithmRegistry::make(
+    const std::string& key, const SystemConfig& cfg) const {
+  for (const auto& entry : entries_)
+    if (entry.key == key) return entry.factory(cfg);
+  std::string known;
+  for (const auto& k : keys()) {
+    if (!known.empty()) known += "|";
+    known += k;
+  }
+  throw std::invalid_argument("unknown algorithm '" + key + "' (" + known +
+                              ")");
+}
+
+std::unique_ptr<DistributedAlgorithm> make_algorithm(const SystemConfig& cfg) {
+  return AlgorithmRegistry::instance().make(cfg.algorithm, cfg);
+}
+
+std::string algorithm_display_name(const std::string& key) {
+  return AlgorithmRegistry::instance().make(key, SystemConfig{})
+      ->display_name();
+}
+
+}  // namespace edr::core

@@ -1,0 +1,256 @@
+#include "core/builtin_algorithms.hpp"
+
+#include <cstdint>
+
+#include "core/scheduler.hpp"
+#include "net/wire.hpp"
+#include "optim/solver.hpp"
+
+namespace edr::core {
+
+// ---------- CDPSM ----------
+
+namespace {
+constexpr MessageTypeInfo kCdpsmTypes[] = {
+    {kCdpsmEstimate, "cdpsm_estimate", /*round=*/true},
+};
+constexpr MessageTypeInfo kLddmTypes[] = {
+    {kLddmLoadReport, "lddm_load_report", /*round=*/true},
+    {kLddmMuUpdate, "lddm_mu_update", /*round=*/true},
+};
+}  // namespace
+
+std::span<const MessageTypeInfo> CdpsmAlgorithm::message_types() const {
+  return kCdpsmTypes;
+}
+
+double CdpsmAlgorithm::compute_factor(const EpochContext& ctx) const {
+  // CDPSM touches the full |C|x|N| estimate of every peer each round
+  // (consensus + projection) — the "higher workload intensity" the paper
+  // observes for CDPSM (§IV-B).
+  return static_cast<double>(ctx.problem->num_replicas());
+}
+
+double CdpsmAlgorithm::coordination_bytes(double clients,
+                                          double replicas) const {
+  // Full matrices to every peer each round.
+  return clients * replicas * 8.0 * (replicas - 1.0);
+}
+
+void CdpsmAlgorithm::begin_epoch(const EpochContext& ctx) {
+  engine_ = std::make_unique<CdpsmEngine>(*ctx.problem, options_);
+  if (ctx.telemetry) engine_->attach_telemetry(*ctx.telemetry);
+}
+
+void CdpsmAlgorithm::plan_round(const EpochContext& ctx,
+                                std::vector<PlannedMessage>& out) const {
+  out.clear();
+  const std::size_t bytes = net::wire_size_matrix(ctx.problem->num_clients(),
+                                                  ctx.problem->num_replicas());
+  const auto& replicas = *ctx.active_replicas;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    for (std::size_t j = 0; j < replicas.size(); ++j) {
+      if (i == j) continue;
+      out.push_back({Endpoint::kSolver, replicas[i], Endpoint::kSolver,
+                     replicas[j], kCdpsmEstimate, bytes});
+    }
+  }
+}
+
+bool CdpsmAlgorithm::step_round(const EpochContext& ctx) {
+  (void)ctx;
+  engine_->round();
+  return engine_->converged() ||
+         engine_->rounds_executed() >= options_.max_rounds;
+}
+
+Matrix CdpsmAlgorithm::extract_allocation(const EpochContext& ctx) {
+  (void)ctx;
+  Matrix allocation = engine_->solution();
+  engine_.reset();
+  return allocation;
+}
+
+void CdpsmAlgorithm::abort_epoch() { engine_.reset(); }
+
+// ---------- LDDM ----------
+
+std::span<const MessageTypeInfo> LddmAlgorithm::message_types() const {
+  return kLddmTypes;
+}
+
+void LddmAlgorithm::begin_epoch(const EpochContext& ctx) {
+  engine_ = std::make_unique<LddmEngine>(*ctx.problem, options_);
+  if (ctx.telemetry) engine_->attach_telemetry(*ctx.telemetry);
+  const auto& active_clients = *ctx.active_clients;
+  const auto& active_replicas = *ctx.active_replicas;
+  if (warm_start_ && !warm_mu_.empty()) {
+    std::vector<double> mu(active_clients.size());
+    for (std::size_t row = 0; row < active_clients.size(); ++row)
+      mu[row] = warm_mu_[active_clients[row]];
+    engine_->set_multipliers(mu);
+    if (!warm_columns_.empty()) {
+      // Scale the remembered loads to this epoch's demand level so the
+      // primal seed is consistent with the new request batch.
+      const double prev_total = warm_demand_total_;
+      const double scale_factor =
+          prev_total > 1e-9 ? ctx.problem->total_demand() / prev_total : 0.0;
+      std::vector<double> column(active_clients.size());
+      for (std::size_t col = 0; col < active_replicas.size(); ++col) {
+        for (std::size_t row = 0; row < active_clients.size(); ++row)
+          column[row] = warm_columns_(active_clients[row],
+                                      active_replicas[col]) *
+                        scale_factor;
+        engine_->set_column_state(col, column);
+      }
+    }
+  }
+}
+
+void LddmAlgorithm::plan_round(const EpochContext& ctx,
+                               std::vector<PlannedMessage>& out) const {
+  out.clear();
+  // Replica -> client load reports, client -> replica mu updates; the
+  // interleaving matches the per-pair exchange of the live protocol.
+  const auto& replicas = *ctx.active_replicas;
+  const auto& clients = *ctx.active_clients;
+  for (std::size_t col = 0; col < replicas.size(); ++col) {
+    for (std::size_t row = 0; row < clients.size(); ++row) {
+      out.push_back({Endpoint::kSolver, replicas[col], Endpoint::kClient,
+                     clients[row], kLddmLoadReport, 12});
+      out.push_back({Endpoint::kClient, clients[row], Endpoint::kSolver,
+                     replicas[col], kLddmMuUpdate, 12});
+    }
+  }
+}
+
+bool LddmAlgorithm::step_round(const EpochContext& ctx) {
+  (void)ctx;
+  engine_->round();
+  return engine_->converged() ||
+         engine_->rounds_executed() >= options_.max_rounds;
+}
+
+Matrix LddmAlgorithm::extract_allocation(const EpochContext& ctx) {
+  Matrix allocation = engine_->solution();
+  if (warm_start_) {
+    const auto& active_clients = *ctx.active_clients;
+    const auto& active_replicas = *ctx.active_replicas;
+    if (warm_mu_.empty()) {
+      // Seed unseen clients with the engine's own neutral start so a
+      // client's first appearance is not biased by another's dual.
+      double mean_mu = 0.0;
+      for (const double m : engine_->multipliers()) mean_mu += m;
+      mean_mu /= static_cast<double>(engine_->multipliers().size());
+      warm_mu_.assign(ctx.num_clients, mean_mu);
+    }
+    for (std::size_t row = 0; row < active_clients.size(); ++row)
+      warm_mu_[active_clients[row]] = engine_->multipliers()[row];
+    if (warm_columns_.empty())
+      warm_columns_ = Matrix(ctx.num_clients, ctx.num_replicas, 0.0);
+    for (std::size_t col = 0; col < active_replicas.size(); ++col)
+      for (std::size_t row = 0; row < active_clients.size(); ++row)
+        warm_columns_(active_clients[row], active_replicas[col]) =
+            engine_->column(col)[row];
+    warm_demand_total_ = ctx.problem->total_demand();
+  }
+  engine_.reset();
+  return allocation;
+}
+
+void LddmAlgorithm::abort_epoch() { engine_.reset(); }
+
+// ---------- Round-Robin ----------
+
+/// The paper's Round-Robin baseline at request granularity: each request
+/// is served whole by the next latency-feasible replica in rotation (no
+/// fractional splitting).  The resulting load imbalance is what the
+/// degree-γ network term punishes in Fig 8(b).
+std::optional<Matrix> RoundRobinAlgorithm::solve_oneshot(
+    const EpochContext& ctx) {
+  const optim::Problem& problem = *ctx.problem;
+  const auto& active_clients = *ctx.active_clients;
+  Matrix allocation(problem.num_clients(), problem.num_replicas(), 0.0);
+  std::vector<double> remaining(problem.num_replicas());
+  for (std::size_t col = 0; col < problem.num_replicas(); ++col)
+    remaining[col] = problem.replica(col).bandwidth;
+  // Row index of each active client.
+  std::vector<std::size_t> row_of(ctx.num_clients, SIZE_MAX);
+  for (std::size_t row = 0; row < active_clients.size(); ++row)
+    row_of[active_clients[row]] = row;
+
+  // Demand may have been shed by admission control; scale request sizes
+  // to the problem's (possibly reduced) demands.
+  std::vector<double> raw_demand(active_clients.size(), 0.0);
+  for (const auto& request : *ctx.requests)
+    if (row_of[request.client] != SIZE_MAX)
+      raw_demand[row_of[request.client]] += request.size_mb;
+
+  for (const auto& request : *ctx.requests) {
+    const std::size_t row = row_of[request.client];
+    if (row == SIZE_MAX) continue;
+    const double scale = raw_demand[row] > 1e-12
+                             ? problem.demand(row) / raw_demand[row]
+                             : 0.0;
+    double size = request.size_mb * scale;
+    // Whole-request placement on the next feasible replica with room;
+    // waterfall-split only if nothing can take it whole.
+    bool placed = false;
+    for (std::size_t probe = 0; probe < problem.num_replicas(); ++probe) {
+      const std::size_t col = (cursor_ + probe) % problem.num_replicas();
+      if (!problem.feasible_pair(row, col)) continue;
+      if (remaining[col] + 1e-9 < size) continue;
+      allocation(row, col) += size;
+      remaining[col] -= size;
+      cursor_ = (col + 1) % problem.num_replicas();
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      for (std::size_t probe = 0;
+           probe < problem.num_replicas() && size > 1e-12; ++probe) {
+        const std::size_t col = (cursor_ + probe) % problem.num_replicas();
+        if (!problem.feasible_pair(row, col)) continue;
+        const double chunk = std::min(size, remaining[col]);
+        allocation(row, col) += chunk;
+        remaining[col] -= chunk;
+        size -= chunk;
+      }
+      cursor_ = (cursor_ + 1) % problem.num_replicas();
+    }
+  }
+  return allocation;
+}
+
+// ---------- Centralized ----------
+
+double CentralizedAlgorithm::compute_factor(const EpochContext& ctx) const {
+  (void)ctx;
+  return 20.0;  // interior iterations, one box
+}
+
+void CentralizedAlgorithm::begin_epoch(const EpochContext& ctx) {
+  // Coordinator = lowest-id alive replica.
+  coordinator_ = ctx.active_replicas->front();
+}
+
+void CentralizedAlgorithm::plan_prologue(
+    const EpochContext& ctx, std::vector<PlannedMessage>& out) const {
+  out.clear();
+  for (const std::uint32_t c : *ctx.active_clients)
+    out.push_back({Endpoint::kClient, c, Endpoint::kSolver, coordinator_,
+                   kClientRequest, 16});
+}
+
+std::optional<Matrix> CentralizedAlgorithm::solve_oneshot(
+    const EpochContext& ctx) {
+  // The single point of failure the paper warns about: if the coordinator
+  // died mid-solve, the epoch stalls until the ring detects the crash and
+  // the restart elects the next survivor.
+  if (!(*ctx.replica_alive)[coordinator_]) return std::nullopt;
+  auto solved = optim::solve_centralized(*ctx.problem);
+  if (solved) return std::move(solved->allocation);
+  return round_robin_allocation(*ctx.problem);
+}
+
+}  // namespace edr::core

@@ -1,29 +1,13 @@
 #include "core/system.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <deque>
-#include <map>
 #include <stdexcept>
 
-#include "common/log.hpp"
 #include "common/math_util.hpp"
-#include "core/scheduler.hpp"
-#include "net/wire.hpp"
-#include "optim/flow.hpp"
-#include "optim/solver.hpp"
+#include "core/algorithm_registry.hpp"
+#include "core/epoch_pipeline.hpp"
 
 namespace edr::core {
-
-const char* algorithm_name(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kLddm: return "EDR-LDDM";
-    case Algorithm::kCdpsm: return "EDR-CDPSM";
-    case Algorithm::kCentralized: return "Centralized";
-    case Algorithm::kRoundRobin: return "RoundRobin";
-  }
-  return "?";
-}
 
 double RunReport::mean_response_ms() const {
   return mean(std::span<const double>{response_times_ms});
@@ -48,1004 +32,26 @@ Matrix make_latency_matrix(Rng& rng, std::size_t num_clients,
   return latency;
 }
 
-namespace {
-
-/// Fraction of each epoch reserved for transfers (the rest is the solve /
-/// listen "valley" visible between the power peaks of Figs 3-4).
-constexpr double kTransferWindowFraction = 0.7;
-
-/// Per-epoch bookkeeping for one request while it awaits its assignment.
-struct PendingRequest {
-  std::uint64_t id = 0;
-  std::uint32_t client = 0;
-  SimTime arrival = 0.0;
-  Megabytes size_mb = 0.0;
-  /// 0 for original requests; >0 for shed remainders re-entering a later
-  /// epoch (these do not contribute response-time samples).
-  std::uint32_t retries = 0;
-};
-
-}  // namespace
-
-struct EdrSystem::Impl {
-  // --- configuration and substrate ---
-  SystemConfig cfg;
-  workload::Trace trace;
-  Rng rng;
-  net::Simulator sim;
-  net::SimNetwork network{sim};
-
-  std::size_t num_replicas = 0;
-  std::size_t num_clients = 0;
-
-  // node id layout: replicas [0, N), clients [N, N+C)
-  [[nodiscard]] net::NodeId replica_node(std::size_t n) const {
-    return static_cast<net::NodeId>(n);
-  }
-  [[nodiscard]] net::NodeId client_node(std::size_t c) const {
-    return static_cast<net::NodeId>(num_replicas + c);
-  }
-
-  // --- per-replica state ---
-  std::vector<power::ActivityTimeline> timelines;
-  std::vector<bool> alive;
-  std::vector<SimTime> death_time;
-  std::vector<std::vector<std::pair<SimTime, SimTime>>> down_intervals;
-  std::vector<SimTime> transfer_until;
-  std::vector<std::unique_ptr<cluster::RingNode>> rings;
-
-  // --- epoch machinery ---
-  std::vector<std::vector<PendingRequest>> epoch_buckets;
-  std::deque<std::size_t> solve_queue;  // epochs awaiting a solve
-  bool solve_in_flight = false;
-  std::uint64_t solve_generation = 0;  // bumped on membership change
-
-  // state of the in-flight solve
-  std::size_t current_epoch = 0;
-  std::optional<optim::Problem> problem;
-  std::vector<std::size_t> active_replicas;  // problem column -> replica
-  std::vector<std::uint32_t> active_clients; // problem row -> client
-  std::vector<PendingRequest> current_requests;
-  std::unique_ptr<CdpsmEngine> cdpsm;
-  std::unique_ptr<LddmEngine> lddm;
-  std::size_t round_msgs_pending = 0;
-  SimTime solve_started = 0.0;
-
-  // --- metrics ---
-  RunReport report;
-  std::size_t requests_dropped = 0;
-  power::PowerModel power_model;            // homogeneous default
-  std::vector<power::PowerModel> models;    // one per replica
-  [[nodiscard]] const power::PowerModel& model_of(std::size_t n) const {
-    return models.empty() ? power_model : models[n];
-  }
-
-  // --- telemetry (sink handles / disabled tracer when cfg.telemetry unset) ---
-  SimTime round_started = 0.0;
-  telemetry::Counter epochs_metric;
-  telemetry::Counter rounds_metric;
-  telemetry::Counter requests_served_metric;
-  telemetry::Counter requests_dropped_metric;
-  telemetry::Histogram response_metric;
-  [[nodiscard]] telemetry::EventTracer& tracer() {
-    return cfg.telemetry ? cfg.telemetry->tracer()
-                         : telemetry::disabled_tracer();
-  }
-
-  Impl(SystemConfig config, workload::Trace workload_trace)
-      : cfg(std::move(config)),
-        trace(std::move(workload_trace)),
-        rng(cfg.seed),
-        power_model(cfg.power) {
-    num_replicas = cfg.replicas.size();
-    num_clients = cfg.num_clients;
-    if (num_replicas == 0)
-      throw std::invalid_argument("EdrSystem: no replicas configured");
-    if (num_clients == 0)
-      throw std::invalid_argument("EdrSystem: no clients configured");
-
-    if (cfg.latency.empty())
-      cfg.latency =
-          make_latency_matrix(rng, num_clients, num_replicas,
-                              cfg.min_link_latency, cfg.max_link_latency,
-                              cfg.max_latency);
-    if (cfg.latency.rows() != num_clients ||
-        cfg.latency.cols() != num_replicas)
-      throw std::invalid_argument("EdrSystem: latency matrix shape mismatch");
-    if (!cfg.tariffs.empty() && cfg.tariffs.size() != num_replicas)
-      throw std::invalid_argument(
-          "EdrSystem: need one tariff per replica (or none)");
-    if (!cfg.power_per_replica.empty()) {
-      if (cfg.power_per_replica.size() != num_replicas)
-        throw std::invalid_argument(
-            "EdrSystem: need one power model per replica (or none)");
-      for (const auto& params : cfg.power_per_replica)
-        models.emplace_back(params);
-    }
-
-    timelines.resize(num_replicas);
-    alive.assign(num_replicas, true);
-    death_time.assign(num_replicas, -1.0);
-    down_intervals.resize(num_replicas);
-    transfer_until.assign(num_replicas, 0.0);
-
-    network.set_type_name(kClientRequest, "client_request");
-    network.set_type_name(kCdpsmEstimate, "cdpsm_estimate");
-    network.set_type_name(kLddmLoadReport, "lddm_load_report");
-    network.set_type_name(kLddmMuUpdate, "lddm_mu_update");
-    network.set_type_name(kAssignment, "assignment");
-    network.set_type_name(kFileData, "file_data");
-    network.set_type_name(cluster::kHeartbeat, "ring_heartbeat");
-    network.set_type_name(cluster::kRemovalNotice, "ring_removal_notice");
-    network.set_type_name(cluster::kJoinNotice, "ring_join_notice");
-    if (cfg.telemetry) {
-      sim.attach_telemetry(*cfg.telemetry);
-      network.attach_telemetry(*cfg.telemetry);
-      auto& metrics = cfg.telemetry->metrics();
-      epochs_metric = metrics.counter("system.epochs");
-      rounds_metric = metrics.counter("system.rounds");
-      requests_served_metric = metrics.counter("system.requests_served");
-      requests_dropped_metric = metrics.counter("system.requests_dropped");
-      response_metric = metrics.histogram(
-          "system.response_ms",
-          telemetry::MetricsRegistry::response_bounds_ms());
-    }
-  }
-
-  ~Impl() {
-    // The tracer clock points into this simulator; freeze it so a telemetry
-    // context that outlives the system (the usual export-at-exit flow)
-    // cannot read through a dangling pointer.
-    if (cfg.telemetry) cfg.telemetry->tracer().set_clock(nullptr);
-  }
-
-  // ---------- setup ----------
-
-  void setup_links() {
-    // Client <-> replica links carry the configured latency; the replica
-    // interconnect (used by CDPSM estimates and ring heartbeats) uses the
-    // minimum link latency (same-fabric assumption).
-    for (std::size_t c = 0; c < num_clients; ++c) {
-      for (std::size_t n = 0; n < num_replicas; ++n) {
-        net::LinkParams params;
-        params.latency = cfg.latency(c, n);
-        params.bandwidth_mbps = cfg.replicas[n].bandwidth;
-        network.set_link(client_node(c), replica_node(n), params);
-        network.set_link(replica_node(n), client_node(c), params);
-      }
-    }
-    net::LinkParams inter;
-    inter.latency = cfg.min_link_latency;
-    inter.bandwidth_mbps = cfg.replicas.front().bandwidth;
-    network.set_default_link(inter);
-  }
-
-  void attach_nodes() {
-    for (std::size_t n = 0; n < num_replicas; ++n) {
-      network.attach(replica_node(n), [this, n](const net::Message& msg) {
-        on_replica_message(n, msg);
-      });
-    }
-    for (std::size_t c = 0; c < num_clients; ++c) {
-      network.attach(client_node(c), [this, c](const net::Message& msg) {
-        on_client_message(c, msg);
-      });
-    }
-  }
-
-  void start_ring() {
-    if (!cfg.enable_ring) return;
-    std::vector<net::NodeId> members;
-    for (std::size_t n = 0; n < num_replicas; ++n)
-      members.push_back(replica_node(n));
-    for (std::size_t n = 0; n < num_replicas; ++n) {
-      rings.push_back(std::make_unique<cluster::RingNode>(
-          network, replica_node(n), cluster::MemberList{members}, cfg.ring));
-      rings.back()->on_membership_change(
-          [this](const cluster::MemberList&, net::NodeId dead) {
-            on_member_dead(dead);
-          });
-    }
-    for (auto& ring : rings) ring->start();
-  }
-
-  void bucket_requests() {
-    const SimTime horizon =
-        std::max(trace.horizon(), cfg.epoch_length) + 1e-9;
-    const auto num_epochs =
-        static_cast<std::size_t>(horizon / cfg.epoch_length) + 1;
-    epoch_buckets.assign(num_epochs, {});
-    for (const auto& request : trace.requests()) {
-      if (request.client >= num_clients)
-        throw std::invalid_argument("EdrSystem: request client out of range");
-      const auto epoch =
-          static_cast<std::size_t>(request.arrival / cfg.epoch_length);
-      epoch_buckets[epoch].push_back(
-          {request.id, request.client, request.arrival, request.size_mb});
-      // The client announces the request to every replica at arrival time
-      // (the paper's ClientListener path); tiny control message.
-      sim.schedule_at(request.arrival, [this, c = request.client] {
-        for (std::size_t n = 0; n < num_replicas; ++n) {
-          if (!alive[n]) continue;
-          send_control(client_node(c), replica_node(n), kClientRequest, 28);
-        }
-      });
-    }
-  }
-
-  /// Shed remainders awaiting the next scheduling opportunity.
-  std::vector<PendingRequest> retry_backlog;
-  bool synthetic_epoch_scheduled = false;
-
-  void schedule_epoch_boundaries() {
-    for (std::size_t e = 0; e < epoch_buckets.size(); ++e) {
-      const SimTime when = static_cast<double>(e + 1) * cfg.epoch_length;
-      sim.schedule_at(when, [this, e] {
-        if (!epoch_buckets[e].empty()) {
-          solve_queue.push_back(e);
-          maybe_start_solve();
-        }
-      });
-    }
-  }
-
-  // ---------- messaging ----------
-
-  void send_control(net::NodeId from, net::NodeId to, int type,
-                    std::size_t bytes, std::any payload = {}) {
-    net::Message msg;
-    msg.from = from;
-    msg.to = to;
-    msg.type = type;
-    msg.bytes = bytes;
-    msg.payload = std::move(payload);
-    network.send(std::move(msg));
-  }
-
-  void on_replica_message(std::size_t n, const net::Message& msg) {
-    if (!alive[n]) return;
-    if (msg.type >= 100 && msg.type < 200) {
-      if (n < rings.size()) rings[n]->handle(msg);
-      return;
-    }
-    switch (msg.type) {
-      case kClientRequest:
-        break;  // demand is bucketed centrally; the message cost is what counts
-      case kCdpsmEstimate:
-      case kLddmMuUpdate:
-        on_round_message(msg);
-        break;
-      default:
-        break;
-    }
-  }
-
-  void on_client_message(std::size_t c, const net::Message& msg) {
-    (void)c;
-    switch (msg.type) {
-      case kLddmLoadReport:
-        on_round_message(msg);
-        break;
-      case kAssignment:
-        on_assignment_delivered(msg);
-        break;
-      default:
-        break;
-    }
-  }
-
-  // ---------- membership / failures ----------
-
-  void inject_failure(std::size_t n, SimTime when) {
-    sim.schedule_at(when, [this, n] {
-      if (!alive[n]) return;
-      logf(LogLevel::kInfo, "edr: replica %zu crashes at t=%.3f", n,
-           sim.now());
-      tracer().instant("replica_crash", "fault", replica_node(n));
-      alive[n] = false;
-      death_time[n] = sim.now();
-      timelines[n].set(sim.now(), power::Activity::kIdle);
-      down_intervals[n].emplace_back(sim.now(), -1.0);
-      network.detach(replica_node(n));
-      if (n < rings.size()) rings[n]->stop();
-      report.failed_replicas.push_back(replica_node(n));
-      if (!cfg.enable_ring) {
-        // Without the ring there is no failure detector; surviving nodes
-        // would stall forever, so propagate the change immediately (used
-        // only by unit setups that disable the ring).
-        on_member_dead(replica_node(n));
-      }
-    });
-  }
-
-  void inject_recovery(std::size_t n, SimTime when) {
-    sim.schedule_at(when, [this, n] {
-      if (alive[n]) return;
-      logf(LogLevel::kInfo, "edr: replica %zu recovers at t=%.3f", n,
-           sim.now());
-      tracer().instant("replica_recover", "fault", replica_node(n));
-      alive[n] = true;
-      death_time[n] = -1.0;
-      if (!down_intervals[n].empty() &&
-          down_intervals[n].back().second < 0.0)
-        down_intervals[n].back().second = sim.now();
-      timelines[n].set(sim.now(), power::Activity::kIdle);
-      network.attach(replica_node(n), [this, n](const net::Message& msg) {
-        on_replica_message(n, msg);
-      });
-      if (n < rings.size()) {
-        // Learn the survivor set from any alive peer (here: our own alive[]
-        // view, which a real node would fetch from a seed member).
-        std::vector<net::NodeId> survivors;
-        for (std::size_t m = 0; m < num_replicas; ++m)
-          if (alive[m]) survivors.push_back(replica_node(m));
-        rings[n]->rejoin(cluster::MemberList{survivors});
-      }
-    });
-  }
-
-  void on_member_dead(net::NodeId dead) {
-    const auto n = static_cast<std::size_t>(dead);
-    if (n < alive.size() && alive[n]) {
-      // Peers detected the crash before the crash event ran (possible only
-      // with aggressive timeouts); honor their verdict.
-      alive[n] = false;
-      death_time[n] = sim.now();
-      timelines[n].set(sim.now(), power::Activity::kIdle);
-      down_intervals[n].emplace_back(sim.now(), -1.0);
-      network.detach(dead);
-      if (n < rings.size()) rings[n]->stop();
-    }
-    // Abort and restart any in-flight solve: the paper's "EDR will perform
-    // the runtime scheduling again based on the new ring of replicas".
-    if (solve_in_flight) {
-      ++solve_generation;
-      solve_in_flight = false;
-      cdpsm.reset();
-      lddm.reset();
-      solve_queue.push_front(current_epoch);
-      set_all_selecting(false);
-      maybe_start_solve();
-    }
-  }
-
-  // ---------- power bookkeeping ----------
-
-  void set_activity(std::size_t n, power::Activity activity,
-                    double intensity) {
-    if (!alive[n]) return;
-    timelines[n].set(sim.now(), activity, intensity);
-  }
-
-  void set_all_selecting(bool selecting) {
-    const double intensity = selection_intensity();
-    for (std::size_t col = 0; col < active_replicas.size(); ++col) {
-      const std::size_t n = active_replicas[col];
-      if (!alive[n]) continue;
-      if (sim.now() < transfer_until[n]) continue;  // still transferring
-      set_activity(n, selecting ? power::Activity::kSelecting
-                                : power::Activity::kIdle,
-                   selecting ? intensity : 0.0);
-    }
-  }
-
-  /// Coordination intensity: CDPSM ships full matrices to every peer each
-  /// round, LDDM a single column split across clients — normalize by the
-  /// per-round traffic so CDPSM's traces sit visibly higher (Fig 3 vs 4).
-  [[nodiscard]] double selection_intensity() const {
-    if (!problem) return 0.5;
-    const double clients = static_cast<double>(problem->num_clients());
-    const double replicas = static_cast<double>(problem->num_replicas());
-    double bytes = 0.0;
-    if (cfg.algorithm == Algorithm::kCdpsm)
-      bytes = clients * replicas * 8.0 * (replicas - 1.0);
-    else
-      bytes = clients * 12.0;
-    // Normalized against the CDPSM 8-replica reference volume.
-    const double reference = clients * replicas * 8.0 * 7.0;
-    return clamp(bytes / reference, 0.1, 1.5);
-  }
-
-  // ---------- solving ----------
-
-  void maybe_start_solve() {
-    if (solve_in_flight || solve_queue.empty()) return;
-    const std::size_t epoch = solve_queue.front();
-    solve_queue.pop_front();
-    start_solve(epoch);
-  }
-
-  void start_solve(std::size_t epoch) {
-    current_epoch = epoch;
-    current_requests = epoch_buckets[epoch];
-    // Shed remainders from earlier epochs join whatever batch runs next.
-    for (auto& request : retry_backlog) current_requests.push_back(request);
-    retry_backlog.clear();
-    solve_started = sim.now();
-
-    // Build the active problem: alive replicas, clients with demand.
-    active_replicas.clear();
-    for (std::size_t n = 0; n < num_replicas; ++n)
-      if (alive[n]) active_replicas.push_back(n);
-    if (active_replicas.empty()) {
-      requests_dropped += current_requests.size();
-      requests_dropped_metric.add(current_requests.size());
-      maybe_start_solve();
-      return;
-    }
-
-    std::vector<double> demand_by_client(num_clients, 0.0);
-    for (const auto& request : current_requests)
-      demand_by_client[request.client] += request.size_mb;
-
-    active_clients.clear();
-    std::vector<Megabytes> demands;
-    std::vector<PendingRequest> kept;
-    for (std::uint32_t c = 0; c < num_clients; ++c) {
-      if (demand_by_client[c] <= 0.0) continue;
-      // Latency feasibility against the *alive* replica set.
-      bool reachable = false;
-      for (const std::size_t n : active_replicas)
-        if (cfg.latency(c, n) <= cfg.max_latency) reachable = true;
-      if (!reachable) {
-        for (const auto& request : current_requests)
-          if (request.client == c) {
-            ++requests_dropped;
-            requests_dropped_metric.add(1);
-          }
-        continue;
-      }
-      active_clients.push_back(c);
-      demands.push_back(demand_by_client[c]);
-    }
-    for (const auto& request : current_requests)
-      for (const std::uint32_t c : active_clients)
-        if (request.client == c) {
-          kept.push_back(request);
-          break;
-        }
-    current_requests = std::move(kept);
-
-    if (active_clients.empty()) {
-      maybe_start_solve();
-      return;
-    }
-
-    // Per-epoch capacity: bandwidth (MB/s) times the transfer window.
-    const double window = cfg.epoch_length * kTransferWindowFraction;
-    std::vector<optim::ReplicaParams> params;
-    Matrix latency(active_clients.size(), active_replicas.size());
-    for (std::size_t col = 0; col < active_replicas.size(); ++col) {
-      auto p = cfg.replicas[active_replicas[col]];
-      if (!cfg.tariffs.empty())
-        p.price = cfg.tariffs[active_replicas[col]].at(sim.now());
-      if (cfg.derive_energy_model_from_power) {
-        // Paced transfer of s MB at intensity s/(B·W) for W seconds burns
-        //   W·[lin·s/(B·W) + poly·(s/(B·W))^γ]
-        //     = (lin/B)·s + poly·W^{1-γ}·B^{-γ}·s^γ joules,
-        // so these coefficients make the scheduling model equal the metered
-        // active energy.
-        const auto& pm = model_of(active_replicas[col]).params();
-        p.gamma = pm.gamma;
-        p.alpha = pm.transfer_linear / p.bandwidth;
-        p.beta = pm.transfer_poly * std::pow(window, 1.0 - p.gamma) *
-                 std::pow(p.bandwidth, -p.gamma);
-      }
-      p.bandwidth *= window;
-      params.push_back(p);
-      for (std::size_t row = 0; row < active_clients.size(); ++row)
-        latency(row, col) = cfg.latency(active_clients[row],
-                                        active_replicas[col]);
-    }
-    problem.emplace(std::move(demands), std::move(params),
-                    std::move(latency), cfg.max_latency);
-
-    // Demand can exceed even the pooled epoch capacity under a traffic
-    // spike; shed proportionally (admission control) so the optimization
-    // stays feasible.  The shed fraction of each request re-enters the next
-    // epoch's batch (the client retry loop of a real deployment) until its
-    // retry budget runs out.
-    const auto transport = optim::check_transport_feasible(*problem);
-    if (!transport.feasible) {
-      const double scale = transport.routed / problem->total_demand() * 0.999;
-      std::vector<Megabytes> scaled = problem->demands();
-      for (auto& d : scaled) d *= scale;
-      std::vector<optim::ReplicaParams> reps = problem->replicas();
-      Matrix lat(active_clients.size(), active_replicas.size());
-      for (std::size_t row = 0; row < active_clients.size(); ++row)
-        for (std::size_t col = 0; col < active_replicas.size(); ++col)
-          lat(row, col) = problem->latency(row, col);
-      problem.emplace(std::move(scaled), std::move(reps), std::move(lat),
-                      cfg.max_latency);
-
-      const double shed_fraction = 1.0 - scale;
-      for (auto& request : current_requests) {
-        const double shed_mb = request.size_mb * shed_fraction;
-        request.size_mb -= shed_mb;
-        if (cfg.retry_shed && request.retries < cfg.max_retries) {
-          PendingRequest remainder = request;
-          remainder.size_mb = shed_mb;
-          remainder.retries += 1;
-          retry_backlog.push_back(remainder);
-        } else {
-          report.megabytes_abandoned += shed_mb;
-        }
-      }
-    }
-
-    solve_in_flight = true;
-    ++report.epochs;
-    epochs_metric.add(1);
-    const std::uint64_t generation = ++solve_generation;
-
-    // Request-handling time before the optimization can begin: the
-    // ClientListener path costs a fixed amount per request, which is what
-    // makes decision latency grow with the batch size (Fig 9).
-    const SimTime service_delay =
-        static_cast<double>(current_requests.size()) *
-        cfg.request_service_seconds;
-
-    switch (cfg.algorithm) {
-      case Algorithm::kCdpsm:
-        cdpsm = std::make_unique<CdpsmEngine>(*problem, cfg.cdpsm);
-        if (cfg.telemetry) cdpsm->attach_telemetry(*cfg.telemetry);
-        set_all_selecting(true);
-        schedule_round(generation, service_delay);
-        break;
-      case Algorithm::kLddm:
-        lddm = std::make_unique<LddmEngine>(*problem, cfg.lddm);
-        if (cfg.telemetry) lddm->attach_telemetry(*cfg.telemetry);
-        if (cfg.warm_start_lddm && !warm_mu.empty()) {
-          std::vector<double> mu(active_clients.size());
-          for (std::size_t row = 0; row < active_clients.size(); ++row)
-            mu[row] = warm_mu[active_clients[row]];
-          lddm->set_multipliers(mu);
-          if (!warm_columns.empty()) {
-            // Scale the remembered loads to this epoch's demand level so the
-            // primal seed is consistent with the new request batch.
-            const double prev_total = warm_demand_total;
-            const double scale_factor =
-                prev_total > 1e-9 ? problem->total_demand() / prev_total : 0.0;
-            std::vector<double> column(active_clients.size());
-            for (std::size_t col = 0; col < active_replicas.size(); ++col) {
-              for (std::size_t row = 0; row < active_clients.size(); ++row)
-                column[row] = warm_columns(active_clients[row],
-                                           active_replicas[col]) *
-                              scale_factor;
-              lddm->set_column_state(col, column);
-            }
-          }
-        }
-        set_all_selecting(true);
-        schedule_round(generation, service_delay);
-        break;
-      case Algorithm::kRoundRobin: {
-        // No coordination: every replica derives the same split locally.
-        const SimTime delay = service_delay + compute_delay();
-        sim.schedule_after(delay, [this, generation] {
-          if (generation != solve_generation) return;
-          finish_solve(request_granular_round_robin());
-        });
-        break;
-      }
-      case Algorithm::kCentralized: {
-        // Coordinator = lowest-id alive replica; clients ship demands in,
-        // coordinator solves, assignments ship out.
-        for (const std::uint32_t c : active_clients)
-          send_control(client_node(c), replica_node(active_replicas.front()),
-                       kClientRequest, 16);
-        const SimTime delay = service_delay +
-            compute_delay() * 20.0;  // interior iterations, one box
-        sim.schedule_after(delay, [this, generation,
-                                   coordinator = active_replicas.front()] {
-          if (generation != solve_generation) return;
-          // The single point of failure the paper warns about: if the
-          // coordinator died mid-solve, the epoch stalls until the ring
-          // detects the crash and the restart elects the next survivor.
-          if (!alive[coordinator]) return;
-          auto solved = optim::solve_centralized(*problem);
-          finish_solve(solved ? std::move(solved->allocation)
-                              : round_robin_allocation(*problem));
-        });
-        break;
-      }
-    }
-  }
-
-  std::size_t rr_cursor = 0;  // rotation state, persists across epochs
-
-  /// The paper's Round-Robin baseline at request granularity: each request
-  /// is served whole by the next latency-feasible replica in rotation (no
-  /// fractional splitting).  The resulting load imbalance is what the
-  /// degree-γ network term punishes in Fig 8(b).
-  [[nodiscard]] Matrix request_granular_round_robin() {
-    Matrix allocation(problem->num_clients(), problem->num_replicas(), 0.0);
-    std::vector<double> remaining(problem->num_replicas());
-    for (std::size_t col = 0; col < problem->num_replicas(); ++col)
-      remaining[col] = problem->replica(col).bandwidth;
-    // Row index of each active client.
-    std::vector<std::size_t> row_of(num_clients, SIZE_MAX);
-    for (std::size_t row = 0; row < active_clients.size(); ++row)
-      row_of[active_clients[row]] = row;
-
-    // Demand may have been shed by admission control; scale request sizes
-    // to the problem's (possibly reduced) demands.
-    std::vector<double> raw_demand(active_clients.size(), 0.0);
-    for (const auto& request : current_requests)
-      if (row_of[request.client] != SIZE_MAX)
-        raw_demand[row_of[request.client]] += request.size_mb;
-
-    for (const auto& request : current_requests) {
-      const std::size_t row = row_of[request.client];
-      if (row == SIZE_MAX) continue;
-      const double scale = raw_demand[row] > 1e-12
-                               ? problem->demand(row) / raw_demand[row]
-                               : 0.0;
-      double size = request.size_mb * scale;
-      // Whole-request placement on the next feasible replica with room;
-      // waterfall-split only if nothing can take it whole.
-      bool placed = false;
-      for (std::size_t probe = 0; probe < problem->num_replicas(); ++probe) {
-        const std::size_t col =
-            (rr_cursor + probe) % problem->num_replicas();
-        if (!problem->feasible_pair(row, col)) continue;
-        if (remaining[col] + 1e-9 < size) continue;
-        allocation(row, col) += size;
-        remaining[col] -= size;
-        rr_cursor = (col + 1) % problem->num_replicas();
-        placed = true;
-        break;
-      }
-      if (!placed) {
-        for (std::size_t probe = 0;
-             probe < problem->num_replicas() && size > 1e-12; ++probe) {
-          const std::size_t col =
-              (rr_cursor + probe) % problem->num_replicas();
-          if (!problem->feasible_pair(row, col)) continue;
-          const double chunk = std::min(size, remaining[col]);
-          allocation(row, col) += chunk;
-          remaining[col] -= chunk;
-          size -= chunk;
-        }
-        rr_cursor = (rr_cursor + 1) % problem->num_replicas();
-      }
-    }
-    return allocation;
-  }
-
-  /// Seconds of local compute per distributed round.  CDPSM touches the
-  /// full |C|x|N| estimate of every peer each round (consensus + projection)
-  /// where LDDM solves one |C|-sized column — the "higher workload
-  /// intensity" the paper observes for CDPSM (§IV-B).
-  [[nodiscard]] SimTime compute_delay() const {
-    const double entries = static_cast<double>(problem->num_clients()) *
-                           static_cast<double>(problem->num_replicas());
-    const double factor = cfg.algorithm == Algorithm::kCdpsm
-                              ? static_cast<double>(problem->num_replicas())
-                              : 1.0;
-    return cfg.compute_seconds_per_entry * entries * factor;
-  }
-
-  void schedule_round(std::uint64_t generation, SimTime extra_delay = 0.0) {
-    round_started = sim.now();
-    sim.schedule_after(extra_delay + compute_delay(), [this, generation] {
-      if (generation != solve_generation) return;
-      launch_round_messages(generation);
-    });
-  }
-
-  void launch_round_messages(std::uint64_t generation) {
-    // Fire this round's coordination traffic; the barrier (all delivered)
-    // triggers the synchronous math and the next round.
-    round_msgs_pending = 0;
-    pending_generation = generation;
-    const std::size_t clients = problem->num_clients();
-    const std::size_t replicas = problem->num_replicas();
-
-    if (cfg.algorithm == Algorithm::kCdpsm) {
-      const std::size_t bytes = net::wire_size_matrix(clients, replicas);
-      for (std::size_t i = 0; i < active_replicas.size(); ++i) {
-        for (std::size_t j = 0; j < active_replicas.size(); ++j) {
-          if (i == j) continue;
-          ++round_msgs_pending;
-          send_control(replica_node(active_replicas[i]),
-                       replica_node(active_replicas[j]), kCdpsmEstimate,
-                       bytes, generation);
-        }
-      }
-    } else {  // LDDM: replica -> client load reports, client -> replica mu
-      for (std::size_t col = 0; col < active_replicas.size(); ++col) {
-        for (std::size_t row = 0; row < active_clients.size(); ++row) {
-          ++round_msgs_pending;
-          send_control(replica_node(active_replicas[col]),
-                       client_node(active_clients[row]), kLddmLoadReport, 12,
-                       generation);
-          ++round_msgs_pending;
-          send_control(client_node(active_clients[row]),
-                       replica_node(active_replicas[col]), kLddmMuUpdate, 12,
-                       generation);
-        }
-      }
-    }
-    if (round_msgs_pending == 0) {
-      // Single-replica degenerate case: no traffic, just run the math.
-      complete_round(generation);
-    }
-  }
-
-  std::uint64_t pending_generation = 0;
-  std::vector<double> warm_mu;  // LDDM duals carried across epochs
-  Matrix warm_columns;          // LDDM primal loads carried across epochs
-  double warm_demand_total = 0.0;
-
-  void on_round_message(const net::Message& msg) {
-    if (!solve_in_flight || round_msgs_pending == 0) return;
-    // Stale deliveries from a solve that was aborted (replica failure) must
-    // not count toward the new round's barrier.
-    const auto* generation = std::any_cast<std::uint64_t>(&msg.payload);
-    if (generation == nullptr || *generation != pending_generation) return;
-    if (--round_msgs_pending == 0) complete_round(pending_generation);
-  }
-
-  void complete_round(std::uint64_t generation) {
-    if (generation != solve_generation) return;
-    ++report.total_rounds;
-    rounds_metric.add(1);
-    bool done = false;
-    if (cfg.algorithm == Algorithm::kCdpsm) {
-      cdpsm->round();
-      done = cdpsm->converged() ||
-             cdpsm->rounds_executed() >= cfg.cdpsm.max_rounds;
-    } else {
-      lddm->round();
-      done = lddm->converged() ||
-             lddm->rounds_executed() >= cfg.lddm.max_rounds;
-    }
-    // The round span covers local compute + the message barrier (the math
-    // above runs in zero sim time at the barrier instant).
-    tracer().span("solver.round", "solver", round_started,
-                  sim.now() - round_started, telemetry::kControlTrack);
-    if (done) {
-      Matrix allocation = cfg.algorithm == Algorithm::kCdpsm
-                              ? cdpsm->solution()
-                              : lddm->solution();
-      if (lddm && cfg.warm_start_lddm) {
-        if (warm_mu.empty()) {
-          // Seed unseen clients with the engine's own neutral start so a
-          // client's first appearance is not biased by another's dual.
-          double mean_mu = 0.0;
-          for (const double m : lddm->multipliers()) mean_mu += m;
-          mean_mu /= static_cast<double>(lddm->multipliers().size());
-          warm_mu.assign(num_clients, mean_mu);
-        }
-        for (std::size_t row = 0; row < active_clients.size(); ++row)
-          warm_mu[active_clients[row]] = lddm->multipliers()[row];
-        if (warm_columns.empty())
-          warm_columns = Matrix(num_clients, num_replicas, 0.0);
-        for (std::size_t col = 0; col < active_replicas.size(); ++col)
-          for (std::size_t row = 0; row < active_clients.size(); ++row)
-            warm_columns(active_clients[row], active_replicas[col]) =
-                lddm->column(col)[row];
-        warm_demand_total = problem->total_demand();
-      }
-      cdpsm.reset();
-      lddm.reset();
-      finish_solve(std::move(allocation));
-    } else {
-      schedule_round(generation);
-    }
-  }
-
-  void finish_solve(Matrix allocation) {
-    solve_in_flight = false;
-    set_all_selecting(false);
-    tracer().span("epoch", "system", solve_started, sim.now() - solve_started,
-                  telemetry::kControlTrack);
-
-    // Assignments out: each replica tells each client its share (the
-    // client's response time clock stops when its *last* share arrives).
-    for (std::size_t row = 0; row < active_clients.size(); ++row) {
-      for (std::size_t col = 0; col < active_replicas.size(); ++col) {
-        send_control(replica_node(active_replicas[col]),
-                     client_node(active_clients[row]), kAssignment, 16,
-                     std::make_pair(current_epoch, active_clients[row]));
-      }
-    }
-    expected_assignments[current_epoch] =
-        active_clients.size() * active_replicas.size();
-
-    // Placement shortfall: a request-granular policy (Round-Robin) can fail
-    // to place a remainder when a client's feasible replicas are full even
-    // though other replicas have room.  Account for it explicitly so the
-    // megabyte ledger always balances.
-    double placed = 0.0;
-    for (std::size_t col = 0; col < active_replicas.size(); ++col)
-      placed += allocation.col_sum(col);
-    const double shortfall = problem->total_demand() - placed;
-    if (shortfall > 1e-9) report.megabytes_abandoned += shortfall;
-
-    // Transfers: replica col pushes its column total, paced over the
-    // transfer window at intensity s_n / capacity.
-    const double window = cfg.epoch_length * kTransferWindowFraction;
-    for (std::size_t col = 0; col < active_replicas.size(); ++col) {
-      const std::size_t n = active_replicas[col];
-      const double load_mb = allocation.col_sum(col);
-      if (load_mb <= 1e-9 || !alive[n]) continue;
-      const double capacity_mb = cfg.replicas[n].bandwidth * window;
-      const double intensity = clamp(load_mb / capacity_mb, 0.0, 1.0);
-      const double duration =
-          load_mb <= capacity_mb ? window
-                                 : load_mb / cfg.replicas[n].bandwidth;
-      set_activity(n, power::Activity::kTransfer, intensity);
-      tracer().span("file_transfer", "transfer", sim.now(), duration,
-                    replica_node(n));
-      transfer_until[n] = sim.now() + duration;
-      report.replicas[n].assigned_mb += load_mb;
-      report.megabytes_served += load_mb;
-      sim.schedule_after(duration, [this, n] {
-        if (!alive[n]) return;
-        if (sim.now() + 1e-12 >= transfer_until[n])
-          set_activity(n, power::Activity::kIdle, 0.0);
-      });
-    }
-    for (const auto& request : current_requests) {
-      if (request.retries == 0) {
-        ++report.requests_served;
-        requests_served_metric.add(1);
-        // Response-time samples: arrival -> now (+ assignment delivery
-        // latency, folded in by on_assignment_delivered).  Retried
-        // remainders are follow-up transfers, not new decisions.
-        pending_responses[current_epoch].push_back(request.arrival);
-      } else {
-        report.megabytes_retried += request.size_mb;
-      }
-    }
-
-    maybe_start_solve();
-    schedule_backlog_epoch();
-  }
-
-  /// A retry backlog with no future organic epoch would strand; give it a
-  /// synthetic epoch one epoch-length out.
-  void schedule_backlog_epoch() {
-    if (retry_backlog.empty() || solve_in_flight || !solve_queue.empty() ||
-        synthetic_epoch_scheduled)
-      return;
-    synthetic_epoch_scheduled = true;
-    sim.schedule_after(cfg.epoch_length, [this] {
-      synthetic_epoch_scheduled = false;
-      if (retry_backlog.empty()) return;
-      epoch_buckets.emplace_back();
-      solve_queue.push_back(epoch_buckets.size() - 1);
-      maybe_start_solve();
-    });
-  }
-
-  std::map<std::size_t, std::size_t> expected_assignments;
-  std::map<std::size_t, std::vector<SimTime>> pending_responses;
-
-  void on_assignment_delivered(const net::Message& msg) {
-    const auto* tag =
-        std::any_cast<std::pair<std::size_t, std::uint32_t>>(&msg.payload);
-    if (tag == nullptr) return;
-    auto it = expected_assignments.find(tag->first);
-    if (it == expected_assignments.end() || it->second == 0) return;
-    if (--it->second == 0) {
-      // Every share of this epoch has reached its client: close out the
-      // epoch's response times.
-      for (const SimTime arrival : pending_responses[tag->first]) {
-        const double response_ms = milliseconds(sim.now() - arrival);
-        report.response_times_ms.push_back(response_ms);
-        response_metric.observe(response_ms);
-      }
-      pending_responses.erase(tag->first);
-      expected_assignments.erase(it);
-    }
-  }
-
-  // ---------- finalization ----------
-
-  RunReport finalize() {
-    report.makespan = sim.now();
-    report.replicas.resize(num_replicas);
-    for (std::size_t n = 0; n < num_replicas; ++n) {
-      auto& rep = report.replicas[n];
-      rep.alive = alive[n];
-      const SimTime horizon =
-          alive[n] ? report.makespan : std::max(death_time[n], 0.0);
-      SimTime downtime = 0.0;
-      for (const auto& [from, to] : down_intervals[n]) {
-        const SimTime end = to < 0.0 ? horizon : std::min(to, horizon);
-        downtime += std::max(0.0, end - std::min(from, horizon));
-      }
-      rep.downtime = downtime;
-      // Crashed intervals sit at the idle level in the timeline (set on
-      // death); a powered-off node draws nothing, so bill them out.
-      const auto& model = model_of(n);
-      auto* const tel = cfg.telemetry.get();
-      rep.energy =
-          power::integrate_energy(model, timelines[n], horizon, tel) -
-          model.params().idle * downtime;
-      rep.active_energy =
-          power::integrate_active_energy(model, timelines[n], horizon, tel);
-      if (cfg.tariffs.empty()) {
-        rep.cost = energy_cost(rep.energy, cfg.replicas[n].price);
-        rep.active_cost =
-            energy_cost(rep.active_energy, cfg.replicas[n].price);
-      } else {
-        rep.cost = power::integrate_cost(model, timelines[n], horizon,
-                                         cfg.tariffs[n],
-                                         /*active_only=*/false, tel);
-        rep.active_cost =
-            power::integrate_cost(model, timelines[n], horizon,
-                                  cfg.tariffs[n], /*active_only=*/true, tel);
-        // Bill out the crashed intervals (idle-level draw under the tariff).
-        const power::ActivityTimeline always_idle;
-        for (const auto& [from, to] : down_intervals[n]) {
-          const SimTime end = to < 0.0 ? horizon : std::min(to, horizon);
-          if (end <= from) continue;
-          rep.cost -= power::integrate_cost(model, always_idle, end,
-                                            cfg.tariffs[n]) -
-                      power::integrate_cost(model, always_idle, from,
-                                            cfg.tariffs[n]);
-        }
-      }
-      if (cfg.record_traces)
-        rep.trace = power::sample_trace(model, timelines[n], horizon,
-                                        cfg.meter_hz, tel);
-      report.total_cost += rep.cost;
-      report.total_active_cost += rep.active_cost;
-      report.total_energy += rep.energy;
-      report.total_active_energy += rep.active_energy;
-    }
-    for (const auto& request : retry_backlog)
-      report.megabytes_abandoned += request.size_mb;
-    // Coordination traffic comes from the network's per-type counters: the
-    // protocol types live below 100 (the ring owns 100-199 and is membership
-    // upkeep, not coordination; kFileData is modeled as paced activity, not
-    // messages, so it never appears here).
-    const auto control = network.traffic_in_range(0, 99);
-    report.control_messages = control.messages;
-    report.control_bytes = control.bytes;
-    report.requests_dropped = requests_dropped;
-    return std::move(report);
-  }
-
-  RunReport run() {
-    report.replicas.resize(num_replicas);
-    setup_links();
-    attach_nodes();
-    start_ring();
-    bucket_requests();
-    schedule_epoch_boundaries();
-
-    // The ring heartbeats forever; run until only periodic ring events are
-    // left (no solve in flight, queue empty, all transfers done).
-    const SimTime hard_stop =
-        (static_cast<double>(epoch_buckets.size()) + 4.0) * cfg.epoch_length +
-        trace.horizon() + 10.0;
-    sim.run_until(hard_stop);
-    for (auto& ring : rings) ring->stop();
-    sim.run_until(hard_stop + cfg.ring.failure_timeout);
-    return finalize();
-  }
-};
-
-EdrSystem::EdrSystem(SystemConfig config, workload::Trace trace)
-    : impl_(std::make_unique<Impl>(std::move(config), std::move(trace))) {
-  config_ = impl_->cfg;
+EdrSystem::EdrSystem(SystemConfig config, workload::Trace trace) {
+  auto algorithm = make_algorithm(config);
+  impl_ = std::make_unique<EpochPipeline>(std::move(config), PipelinePolicy{},
+                                          std::move(algorithm),
+                                          std::move(trace));
+  // The pipeline may fill in generated pieces (e.g. the latency matrix);
+  // expose its view so config() reflects what actually runs.
+  config_ = impl_->config();
 }
 
 EdrSystem::~EdrSystem() = default;
 
 void EdrSystem::inject_failure(std::size_t replica, SimTime when) {
-  if (replica >= impl_->num_replicas)
+  if (replica >= impl_->num_replicas())
     throw std::out_of_range("EdrSystem::inject_failure: bad replica index");
   impl_->inject_failure(replica, when);
 }
 
 void EdrSystem::inject_recovery(std::size_t replica, SimTime when) {
-  if (replica >= impl_->num_replicas)
+  if (replica >= impl_->num_replicas())
     throw std::out_of_range("EdrSystem::inject_recovery: bad replica index");
   impl_->inject_recovery(replica, when);
 }

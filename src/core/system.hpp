@@ -20,11 +20,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cluster/ring.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
+#include "core/algorithm.hpp"
 #include "core/cdpsm.hpp"
 #include "core/lddm.hpp"
 #include "net/network.hpp"
@@ -38,28 +40,11 @@
 
 namespace edr::core {
 
-enum class Algorithm {
-  kLddm,
-  kCdpsm,
-  kCentralized,
-  kRoundRobin,
-};
-
-[[nodiscard]] const char* algorithm_name(Algorithm algorithm);
-
-/// Message-type space of the runtime protocol (the ring owns 100-199, see
-/// cluster/ring.hpp).
-enum SystemMessageType : int {
-  kClientRequest = 1,   ///< client -> every replica: (client, demand MB)
-  kCdpsmEstimate = 2,   ///< replica -> replica: full solution estimate
-  kLddmLoadReport = 3,  ///< replica -> client: my share for you this round
-  kLddmMuUpdate = 4,    ///< client -> replica: updated multiplier
-  kAssignment = 5,      ///< replica -> client: final share after convergence
-  kFileData = 6,        ///< replica -> client: the transfer itself
-};
-
 struct SystemConfig {
-  Algorithm algorithm = Algorithm::kLddm;
+  /// Registry key of the scheduler backend ("lddm", "cdpsm", "central",
+  /// "rr", plus anything registered via core/algorithm_registry.hpp — the
+  /// baselines library adds "donar").
+  std::string algorithm = "lddm";
   /// Energy/capacity parameters per replica (defines |N|).
   std::vector<optim::ReplicaParams> replicas;
   std::size_t num_clients = 8;
@@ -85,9 +70,11 @@ struct SystemConfig {
   /// the *metered* cost (see DESIGN.md §5).  Off = use the coefficients in
   /// `replicas` verbatim (the paper's SystemG calibration).
   bool derive_energy_model_from_power = true;
-  /// Carry LDDM multipliers across epochs (warm start).  The paper does not
-  /// discuss it; it is a pure runtime win and can be ablated.
-  bool warm_start_lddm = true;
+  /// Carry warm-start state across epochs (LDDM multipliers + primal
+  /// columns; any backend may keep such state via its DistributedAlgorithm).
+  /// The paper does not discuss it; it is a pure runtime win and can be
+  /// ablated.
+  bool warm_start = true;
   /// When a traffic spike exceeds the pooled epoch capacity, admission
   /// control sheds demand proportionally; with retry enabled the shed
   /// megabytes re-enter the next epoch's batch (bounded by max_retries per
@@ -179,7 +166,12 @@ struct RunReport {
   std::vector<net::NodeId> failed_replicas;
 };
 
-/// Drives one complete run of the system over a workload trace.
+class EpochPipeline;
+
+/// Drives one complete run of the system over a workload trace: the
+/// algorithm-agnostic EpochPipeline (core/epoch_pipeline.hpp) under the
+/// EDR host policy, with the backend picked from the algorithm registry by
+/// SystemConfig::algorithm.
 class EdrSystem {
  public:
   EdrSystem(SystemConfig config, workload::Trace trace);
@@ -201,8 +193,7 @@ class EdrSystem {
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
  private:
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<EpochPipeline> impl_;
   SystemConfig config_;
 };
 

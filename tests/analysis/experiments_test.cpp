@@ -6,12 +6,12 @@ namespace edr::analysis {
 namespace {
 
 TEST(Experiments, PaperConfigMatchesSectionFour) {
-  const auto cfg = paper_config(core::Algorithm::kLddm);
+  const auto cfg = paper_config("lddm");
   ASSERT_EQ(cfg.replicas.size(), 8u);
   EXPECT_DOUBLE_EQ(cfg.replicas[1].price, 8.0);
   EXPECT_DOUBLE_EQ(cfg.max_latency, 1.8);
   EXPECT_EQ(cfg.num_clients, 8u);
-  EXPECT_EQ(cfg.algorithm, core::Algorithm::kLddm);
+  EXPECT_EQ(cfg.algorithm, "lddm");
 }
 
 TEST(Experiments, PaperTraceUsesEightClients) {
@@ -22,7 +22,7 @@ TEST(Experiments, PaperTraceUsesEightClients) {
 
 TEST(Experiments, ComparisonRunsEveryAlgorithmOnSameTrace) {
   const auto rows = run_comparison(
-      {core::Algorithm::kLddm, core::Algorithm::kRoundRobin},
+      {"lddm", "rr"},
       workload::distributed_file_service(), 7, 42, 15.0);
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0].name, "EDR-LDDM");

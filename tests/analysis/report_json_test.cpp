@@ -8,7 +8,7 @@ namespace edr::analysis {
 namespace {
 
 TEST(ReportJson, ContainsHeadlineFields) {
-  auto cfg = paper_config(core::Algorithm::kRoundRobin);
+  auto cfg = paper_config("rr");
   cfg.record_traces = true;
   core::EdrSystem system(
       cfg, paper_trace(workload::distributed_file_service(), 42, 8.0));
@@ -36,7 +36,7 @@ TEST(ReportJson, OmitsLabelWhenEmpty) {
 }
 
 TEST(ReportJson, RecordsFailures) {
-  auto cfg = paper_config(core::Algorithm::kRoundRobin);
+  auto cfg = paper_config("rr");
   cfg.record_traces = false;
   core::EdrSystem system(
       cfg, paper_trace(workload::distributed_file_service(), 42, 8.0));

@@ -1,0 +1,114 @@
+// Registry behavior plus the message-type claim audit: every registered
+// backend's wire-protocol ids must be disjoint from the host protocol,
+// from the ring's range, and from every other backend.  Lives in the
+// baselines suite so the audit sees "donar" alongside the built-ins.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "baselines/donar_algorithm.hpp"
+#include "cluster/ring.hpp"
+#include "core/algorithm_registry.hpp"
+#include "core/system.hpp"
+
+namespace edr {
+namespace {
+
+core::AlgorithmRegistry& registry_with_donar() {
+  baselines::register_donar_algorithm();
+  return core::AlgorithmRegistry::instance();
+}
+
+TEST(AlgorithmRegistry, BuiltinsAndDonarAreRegistered) {
+  auto& registry = registry_with_donar();
+  for (const char* key : {"lddm", "cdpsm", "central", "rr", "donar"})
+    EXPECT_TRUE(registry.contains(key)) << key;
+}
+
+TEST(AlgorithmRegistry, MakeConfiguresFromSystemConfig) {
+  auto& registry = registry_with_donar();
+  core::SystemConfig cfg;
+  for (const auto& key : registry.keys()) {
+    const auto algorithm = registry.make(key, cfg);
+    ASSERT_NE(algorithm, nullptr) << key;
+    EXPECT_EQ(algorithm->name(), key);
+    EXPECT_STRNE(algorithm->display_name(), "");
+  }
+}
+
+TEST(AlgorithmRegistry, UnknownKeyThrowsListingKnownOnes) {
+  auto& registry = registry_with_donar();
+  core::SystemConfig cfg;
+  try {
+    (void)registry.make("simulated-annealing", cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("simulated-annealing"), std::string::npos);
+    EXPECT_NE(what.find("lddm"), std::string::npos);
+    EXPECT_NE(what.find("donar"), std::string::npos);
+  }
+}
+
+TEST(AlgorithmRegistry, ReplacingAKeyIsIdempotent) {
+  // register_donar_algorithm runs again without duplicating the entry.
+  auto& registry = registry_with_donar();
+  const auto before = registry.keys().size();
+  baselines::register_donar_algorithm();
+  EXPECT_EQ(registry.keys().size(), before);
+}
+
+TEST(AlgorithmRegistry, MessageTypeIdsNeverCollide) {
+  auto& registry = registry_with_donar();
+  core::SystemConfig cfg;
+
+  // The host protocol's claims, then every backend's.
+  std::map<int, std::string> claims = {
+      {core::kClientRequest, "host"},
+      {core::kAssignment, "host"},
+      {core::kFileData, "host"},
+  };
+  for (const auto& key : registry.keys()) {
+    const auto algorithm = registry.make(key, cfg);
+    std::set<int> own;  // a backend may not claim one id twice either
+    for (const auto& info : algorithm->message_types()) {
+      EXPECT_TRUE(own.insert(info.id).second)
+          << key << " claims id " << info.id << " twice";
+      EXPECT_FALSE(info.id >= 100 && info.id < 200)
+          << key << " claims id " << info.id
+          << " inside the ring's reserved range [100, 200)";
+      // Overriding a host type (announce/assignment) is legal only by
+      // declaring the same id; a *different* owner is a collision.
+      const auto [it, inserted] = claims.emplace(info.id, key);
+      EXPECT_TRUE(inserted || it->second == key)
+          << "id " << info.id << " claimed by both " << it->second
+          << " and " << key;
+    }
+  }
+}
+
+TEST(AlgorithmRegistry, AnnounceAndAssignmentTypesAreDeclared) {
+  // The pipeline routes announce/assignment types by value; a backend that
+  // overrides them must also declare them in message_types() so telemetry
+  // names and the collision audit see them.
+  auto& registry = registry_with_donar();
+  core::SystemConfig cfg;
+  for (const auto& key : registry.keys()) {
+    const auto algorithm = registry.make(key, cfg);
+    for (const int type :
+         {algorithm->announce_type(), algorithm->assignment_type()}) {
+      if (type == core::kClientRequest || type == core::kAssignment)
+        continue;  // host defaults, named by the pipeline itself
+      bool declared = false;
+      for (const auto& info : algorithm->message_types())
+        if (info.id == type) declared = true;
+      EXPECT_TRUE(declared)
+          << key << " routes type " << type << " without declaring it";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edr

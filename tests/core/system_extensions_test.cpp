@@ -10,7 +10,7 @@
 namespace edr::core {
 namespace {
 
-SystemConfig base_config(Algorithm algorithm) {
+SystemConfig base_config(const std::string& algorithm) {
   SystemConfig cfg;
   cfg.algorithm = algorithm;
   cfg.replicas = optim::paper_replica_set();
@@ -46,15 +46,15 @@ std::vector<power::TimeOfDayTariff> flipping_tariffs(SimTime day_length) {
 }
 
 TEST(Tariffs, RejectsWrongArity) {
-  auto cfg = base_config(Algorithm::kLddm);
+  auto cfg = base_config("lddm");
   cfg.tariffs = {power::TimeOfDayTariff{1.0, 2.0, 0.0, 12.0}};  // 1 != 8
   EXPECT_THROW(EdrSystem(cfg, base_trace()), std::invalid_argument);
 }
 
 TEST(Tariffs, FlatTariffsMatchStaticPrices) {
   const auto trace = base_trace();
-  auto static_cfg = base_config(Algorithm::kLddm);
-  auto tariff_cfg = base_config(Algorithm::kLddm);
+  auto static_cfg = base_config("lddm");
+  auto tariff_cfg = base_config("lddm");
   for (const auto& rep : tariff_cfg.replicas)
     tariff_cfg.tariffs.emplace_back(rep.price, 1.0, 0.0, 0.0);
   EdrSystem static_sys(static_cfg, trace);
@@ -68,14 +68,14 @@ TEST(Tariffs, FlatTariffsMatchStaticPrices) {
 
 TEST(Tariffs, SchedulerChasesTheCheapSideOfTheDay) {
   const SimTime horizon = 20.0;
-  auto cfg = base_config(Algorithm::kLddm);
+  auto cfg = base_config("lddm");
   cfg.tariffs = flipping_tariffs(horizon);
   EdrSystem system(cfg, base_trace(42, horizon));
   const auto report = system.run();
 
   // Tariff-aware EDR must beat the same system scheduling with static
   // (base) prices under the same time-varying bill.
-  auto blind_cfg = base_config(Algorithm::kRoundRobin);
+  auto blind_cfg = base_config("rr");
   blind_cfg.tariffs = flipping_tariffs(horizon);
   EdrSystem blind(blind_cfg, base_trace(42, horizon));
   const auto blind_report = blind.run();
@@ -83,7 +83,7 @@ TEST(Tariffs, SchedulerChasesTheCheapSideOfTheDay) {
 }
 
 TEST(Recovery, ReplicaRejoinsAndServesAgain) {
-  auto cfg = base_config(Algorithm::kLddm);
+  auto cfg = base_config("lddm");
   const auto trace = base_trace(11, 30.0);
   EdrSystem system(cfg, trace);
   system.inject_failure(0, 5.0);
@@ -100,7 +100,7 @@ TEST(Recovery, ReplicaRejoinsAndServesAgain) {
 }
 
 TEST(Recovery, DowntimeIsNotBilled) {
-  auto cfg = base_config(Algorithm::kRoundRobin);
+  auto cfg = base_config("rr");
   const auto trace = base_trace(13, 30.0);
 
   EdrSystem healthy(cfg, trace);
@@ -119,7 +119,7 @@ TEST(Recovery, DowntimeIsNotBilled) {
 }
 
 TEST(Recovery, SurvivorsReadmitTheJoinerToTheirRings) {
-  auto cfg = base_config(Algorithm::kLddm);
+  auto cfg = base_config("lddm");
   EdrSystem system(cfg, base_trace(17, 30.0));
   system.inject_failure(2, 5.0);
   system.inject_recovery(2, 15.0);
@@ -130,7 +130,7 @@ TEST(Recovery, SurvivorsReadmitTheJoinerToTheirRings) {
 }
 
 TEST(Recovery, RecoveryBeforeFailureIsIgnored) {
-  auto cfg = base_config(Algorithm::kLddm);
+  auto cfg = base_config("lddm");
   EdrSystem system(cfg, base_trace());
   system.inject_recovery(0, 2.0);  // never crashed: no-op
   const auto report = system.run();
@@ -142,7 +142,7 @@ TEST(Recovery, RecoveryBeforeFailureIsIgnored) {
 SystemConfig overload_config(bool retry) {
   // Tiny capacity: 8 replicas x 2 MB/s against ~200 MB/s of demand; most of
   // every epoch's traffic is shed by admission control.
-  auto cfg = base_config(Algorithm::kRoundRobin);
+  auto cfg = base_config("rr");
   for (auto& rep : cfg.replicas) rep.bandwidth = 2.0;
   cfg.retry_shed = retry;
   return cfg;
@@ -175,22 +175,22 @@ TEST(ShedRetry, RetryServesMoreThanDropping) {
 
 TEST(ShedRetry, NoSheddingMeansNoRetriesOrAbandonment) {
   const auto trace = base_trace(32, 10.0);
-  EdrSystem system(base_config(Algorithm::kLddm), trace);
+  EdrSystem system(base_config("lddm"), trace);
   const auto report = system.run();
   EXPECT_DOUBLE_EQ(report.megabytes_abandoned, 0.0);
   EXPECT_DOUBLE_EQ(report.megabytes_retried, 0.0);
 }
 
 TEST(HeterogeneousPower, RejectsWrongArity) {
-  auto cfg = base_config(Algorithm::kLddm);
+  auto cfg = base_config("lddm");
   cfg.power_per_replica.resize(3);  // 3 != 8
   EXPECT_THROW(EdrSystem(cfg, base_trace()), std::invalid_argument);
 }
 
 TEST(HeterogeneousPower, UniformModelsMatchHomogeneousRun) {
   const auto trace = base_trace();
-  auto homogeneous = base_config(Algorithm::kLddm);
-  auto heterogeneous = base_config(Algorithm::kLddm);
+  auto homogeneous = base_config("lddm");
+  auto heterogeneous = base_config("lddm");
   heterogeneous.power_per_replica.assign(8, heterogeneous.power);
   EdrSystem a(homogeneous, trace);
   EdrSystem b(heterogeneous, trace);
@@ -204,7 +204,7 @@ TEST(HeterogeneousPower, EfficientHardwareAttractsLoadDespitePrice) {
   // All replicas get the same electricity price, but replicas 0-3 burn 3x
   // more transfer power than 4-7: the derived energy model must route most
   // traffic to the efficient half.
-  auto cfg = base_config(Algorithm::kLddm);
+  auto cfg = base_config("lddm");
   for (auto& rep : cfg.replicas) rep.price = 5.0;
   cfg.power_per_replica.assign(8, cfg.power);
   for (int n = 0; n < 4; ++n) {
@@ -220,7 +220,7 @@ TEST(HeterogeneousPower, EfficientHardwareAttractsLoadDespitePrice) {
 }
 
 TEST(HeterogeneousPower, TracesReflectPerReplicaIdleFloor) {
-  auto cfg = base_config(Algorithm::kRoundRobin);
+  auto cfg = base_config("rr");
   cfg.record_traces = true;
   cfg.power_per_replica.assign(8, cfg.power);
   cfg.power_per_replica[0].idle = 120.0;  // newer, cooler node
@@ -233,7 +233,7 @@ TEST(HeterogeneousPower, TracesReflectPerReplicaIdleFloor) {
 TEST(RequestGranularRR, ImbalanceExceedsFractionalSplit) {
   // Few large requests: whole-request RR cannot balance as well as the
   // fractional split, so its max replica load is at least as high.
-  auto cfg = base_config(Algorithm::kRoundRobin);
+  auto cfg = base_config("rr");
   cfg.num_clients = 4;
   Rng rng{3};
   workload::TraceOptions options;

@@ -11,7 +11,7 @@
 namespace edr::core {
 namespace {
 
-SystemConfig small_config(Algorithm algorithm) {
+SystemConfig small_config(const std::string& algorithm) {
   SystemConfig cfg;
   cfg.algorithm = algorithm;
   cfg.replicas = optim::paper_replica_set();
@@ -31,7 +31,7 @@ workload::Trace small_trace(std::uint64_t seed = 99, SimTime horizon = 10.0) {
 
 TEST(EdrSystem, ServesAllMegabytesInTheTrace) {
   const auto trace = small_trace();
-  EdrSystem system(small_config(Algorithm::kLddm), trace);
+  EdrSystem system(small_config("lddm"), trace);
   const auto report = system.run();
   EXPECT_EQ(report.requests_served, trace.size());
   EXPECT_EQ(report.requests_dropped, 0u);
@@ -42,13 +42,13 @@ TEST(EdrSystem, ServesAllMegabytesInTheTrace) {
 TEST(EdrSystem, EveryAlgorithmServesTheTrace) {
   const auto trace = small_trace();
   for (const auto algorithm :
-       {Algorithm::kLddm, Algorithm::kCdpsm, Algorithm::kCentralized,
-        Algorithm::kRoundRobin}) {
+       {"lddm", "cdpsm", "central",
+        "rr"}) {
     EdrSystem system(small_config(algorithm), trace);
     const auto report = system.run();
     EXPECT_NEAR(report.megabytes_served, trace.total_megabytes(),
                 trace.total_megabytes() * 1e-6)
-        << algorithm_name(algorithm);
+        << algorithm;
     EXPECT_GT(report.total_energy, 0.0);
     EXPECT_GT(report.total_cost, 0.0);
   }
@@ -56,8 +56,8 @@ TEST(EdrSystem, EveryAlgorithmServesTheTrace) {
 
 TEST(EdrSystem, DeterministicUnderFixedSeeds) {
   const auto trace = small_trace();
-  EdrSystem a(small_config(Algorithm::kLddm), trace);
-  EdrSystem b(small_config(Algorithm::kLddm), trace);
+  EdrSystem a(small_config("lddm"), trace);
+  EdrSystem b(small_config("lddm"), trace);
   const auto ra = a.run();
   const auto rb = b.run();
   EXPECT_DOUBLE_EQ(ra.total_cost, rb.total_cost);
@@ -70,7 +70,7 @@ TEST(EdrSystem, DeterministicUnderFixedSeeds) {
 }
 
 TEST(EdrSystem, PowerTracesStayInSystemGBand) {
-  auto cfg = small_config(Algorithm::kCdpsm);
+  auto cfg = small_config("cdpsm");
   cfg.record_traces = true;
   EdrSystem system(cfg, small_trace());
   const auto report = system.run();
@@ -82,7 +82,7 @@ TEST(EdrSystem, PowerTracesStayInSystemGBand) {
 }
 
 TEST(EdrSystem, TraceRecordingCanBeDisabled) {
-  auto cfg = small_config(Algorithm::kRoundRobin);
+  auto cfg = small_config("rr");
   cfg.record_traces = false;
   EdrSystem system(cfg, small_trace());
   const auto report = system.run();
@@ -91,7 +91,7 @@ TEST(EdrSystem, TraceRecordingCanBeDisabled) {
 }
 
 TEST(EdrSystem, EnergyDecomposition) {
-  EdrSystem system(small_config(Algorithm::kLddm), small_trace());
+  EdrSystem system(small_config("lddm"), small_trace());
   const auto report = system.run();
   // Active energy is a small, positive fraction of the idle-dominated total.
   EXPECT_GT(report.total_active_energy, 0.0);
@@ -108,8 +108,8 @@ TEST(EdrSystem, EnergyDecomposition) {
 
 TEST(EdrSystem, EdrBeatsRoundRobinOnActiveCost) {
   const auto trace = small_trace(123, 20.0);
-  EdrSystem lddm(small_config(Algorithm::kLddm), trace);
-  EdrSystem rr(small_config(Algorithm::kRoundRobin), trace);
+  EdrSystem lddm(small_config("lddm"), trace);
+  EdrSystem rr(small_config("rr"), trace);
   const auto report_lddm = lddm.run();
   const auto report_rr = rr.run();
   EXPECT_LT(report_lddm.total_active_cost, report_rr.total_active_cost);
@@ -118,7 +118,7 @@ TEST(EdrSystem, EdrBeatsRoundRobinOnActiveCost) {
 TEST(EdrSystem, LoadConcentratesOnCheapReplicas) {
   // Prices (1,8,1,6,1,5,2,3): replicas 0, 2, 4 are the cheap ones and
   // should carry more traffic than the expensive 1, 3.
-  EdrSystem system(small_config(Algorithm::kLddm), small_trace(7, 20.0));
+  EdrSystem system(small_config("lddm"), small_trace(7, 20.0));
   const auto report = system.run();
   const double cheap = report.replicas[0].assigned_mb +
                        report.replicas[2].assigned_mb +
@@ -130,7 +130,7 @@ TEST(EdrSystem, LoadConcentratesOnCheapReplicas) {
 
 TEST(EdrSystem, ResponseTimesRecordedPerRequest) {
   const auto trace = small_trace();
-  EdrSystem system(small_config(Algorithm::kLddm), trace);
+  EdrSystem system(small_config("lddm"), trace);
   const auto report = system.run();
   EXPECT_EQ(report.response_times_ms.size(), trace.size());
   for (const double ms : report.response_times_ms) {
@@ -142,8 +142,8 @@ TEST(EdrSystem, ResponseTimesRecordedPerRequest) {
 
 TEST(EdrSystem, ControlTrafficScalesWithAlgorithm) {
   const auto trace = small_trace();
-  EdrSystem cdpsm(small_config(Algorithm::kCdpsm), trace);
-  EdrSystem rr(small_config(Algorithm::kRoundRobin), trace);
+  EdrSystem cdpsm(small_config("cdpsm"), trace);
+  EdrSystem rr(small_config("rr"), trace);
   const auto report_cdpsm = cdpsm.run();
   const auto report_rr = rr.run();
   EXPECT_GT(report_cdpsm.control_bytes, 10 * report_rr.control_bytes);
@@ -153,7 +153,7 @@ TEST(EdrSystem, ControlTrafficMatchesTelemetryCounters) {
   // The report's coordination tally is derived from the network's per-type
   // counters; the telemetry registry mirrors the same counters per type.
   // One epoch through both paths must land on identical numbers.
-  auto cfg = small_config(Algorithm::kLddm);
+  auto cfg = small_config("lddm");
   cfg.telemetry = telemetry::make_telemetry();
   EdrSystem system(cfg, small_trace(99, 1.0));  // one epoch's worth
   const auto report = system.run();
@@ -195,7 +195,7 @@ TEST(EdrSystem, ControlTrafficMatchesTelemetryCounters) {
 }
 
 TEST(EdrSystem, FailureDetectedAndTrafficRedistributed) {
-  auto cfg = small_config(Algorithm::kLddm);
+  auto cfg = small_config("lddm");
   const auto trace = small_trace(11, 20.0);
   EdrSystem system(cfg, trace);
   system.inject_failure(0, 8.0);  // kill the cheapest replica mid-run
@@ -212,7 +212,7 @@ TEST(EdrSystem, FailureDetectedAndTrafficRedistributed) {
 }
 
 TEST(EdrSystem, FailureWithRoundRobinAlsoRecovers) {
-  auto cfg = small_config(Algorithm::kRoundRobin);
+  auto cfg = small_config("rr");
   const auto trace = small_trace(13, 20.0);
   EdrSystem system(cfg, trace);
   system.inject_failure(3, 5.0);
@@ -230,8 +230,8 @@ TEST(EdrSystem, CentralizedCoordinatorFailureStallsUntilRingRecovers) {
   // after the detection timeout, which shows up as a response-time spike
   // relative to the failure-free run.
   const auto trace = small_trace(19, 20.0);
-  EdrSystem healthy(small_config(Algorithm::kCentralized), trace);
-  EdrSystem wounded(small_config(Algorithm::kCentralized), trace);
+  EdrSystem healthy(small_config("central"), trace);
+  EdrSystem wounded(small_config("central"), trace);
   // Crash the coordinator (lowest-id replica) a few milliseconds into the
   // epoch-5 solve, while the computation is in flight: the epoch stalls
   // until the heartbeat ring detects the death and the restart elects the
@@ -251,10 +251,10 @@ TEST(EdrSystem, CentralizedCoordinatorFailureStallsUntilRingRecovers) {
 
 TEST(EdrSystem, WarmStartReducesTotalRounds) {
   const auto trace = small_trace(17, 20.0);
-  auto warm_cfg = small_config(Algorithm::kLddm);
-  warm_cfg.warm_start_lddm = true;
-  auto cold_cfg = small_config(Algorithm::kLddm);
-  cold_cfg.warm_start_lddm = false;
+  auto warm_cfg = small_config("lddm");
+  warm_cfg.warm_start = true;
+  auto cold_cfg = small_config("lddm");
+  cold_cfg.warm_start = false;
   EdrSystem warm(warm_cfg, trace);
   EdrSystem cold(cold_cfg, trace);
   const auto warm_report = warm.run();
@@ -268,11 +268,11 @@ TEST(EdrSystem, RejectsBrokenConfigs) {
   EXPECT_THROW(EdrSystem(no_replicas, small_trace()),
                std::invalid_argument);
 
-  auto bad_shape = small_config(Algorithm::kLddm);
+  auto bad_shape = small_config("lddm");
   bad_shape.latency = Matrix(2, 2, 0.5);  // wrong shape for 6 clients x 8
   EXPECT_THROW(EdrSystem(bad_shape, small_trace()), std::invalid_argument);
 
-  auto cfg = small_config(Algorithm::kLddm);
+  auto cfg = small_config("lddm");
   EdrSystem ok(cfg, small_trace());
   EXPECT_THROW(ok.inject_failure(99, 1.0), std::out_of_range);
 }

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "analysis/experiments.hpp"
+#include "core/algorithm_registry.hpp"
 #include "core/scheduler.hpp"
 #include "core/system.hpp"
 #include "optim/instance.hpp"
@@ -15,14 +16,13 @@
 namespace edr {
 namespace {
 
-using core::Algorithm;
 
 // ---------------------------------------------------------------------------
 // System-level sweep: every algorithm x several workload seeds.
 // ---------------------------------------------------------------------------
 
 class SystemSweep
-    : public ::testing::TestWithParam<std::tuple<Algorithm, std::uint64_t>> {
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
  protected:
   core::RunReport run() const {
     const auto [algorithm, seed] = GetParam();
@@ -78,12 +78,12 @@ TEST_P(SystemSweep, RunsAreDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(
     AlgorithmsAndSeeds, SystemSweep,
-    ::testing::Combine(::testing::Values(Algorithm::kLddm, Algorithm::kCdpsm,
-                                         Algorithm::kRoundRobin,
-                                         Algorithm::kCentralized),
+    ::testing::Combine(::testing::Values("lddm", "cdpsm",
+                                         "rr",
+                                         "central"),
                        ::testing::Values(42u, 1337u)),
     [](const auto& info) {
-      std::string name = core::algorithm_name(std::get<0>(info.param));
+      std::string name = core::algorithm_display_name(std::get<0>(info.param));
       std::erase_if(name, [](char ch) { return !std::isalnum(ch); });
       return name + "_seed" + std::to_string(std::get<1>(info.param));
     });

@@ -10,14 +10,12 @@
 namespace edr {
 namespace {
 
-using core::Algorithm;
-
 TEST(Reproduction, Fig6LoadConcentratesOnCheapReplicas) {
   // Paper: "most of the traffic load is assigned to replica 3, 5, and 7
   // primarily due to the relatively lower electricity prices" (1-indexed:
   // prices 1, 1, 2 -> our indices 2, 4, 6; index 0 also has price 1).
   const auto rows =
-      analysis::run_comparison({Algorithm::kLddm},
+      analysis::run_comparison({"lddm"},
                                workload::video_streaming(), 7, 42, 30.0);
   const auto& replicas = rows[0].report.replicas;
   const double cheap = replicas[0].assigned_mb + replicas[2].assigned_mb +
@@ -32,7 +30,7 @@ TEST(Reproduction, Fig8CostOrderingLddmBelowCdpsmBelowRoundRobin) {
   for (const auto& app :
        {workload::video_streaming(), workload::distributed_file_service()}) {
     const auto rows = analysis::run_comparison(
-        {Algorithm::kLddm, Algorithm::kCdpsm, Algorithm::kRoundRobin}, app, 7,
+        {"lddm", "cdpsm", "rr"}, app, 7,
         42, 30.0);
     const double lddm = rows[0].report.total_active_cost;
     const double cdpsm = rows[1].report.total_active_cost;
@@ -49,7 +47,7 @@ TEST(Reproduction, Fig8EnergyVersusCostDecoupling) {
   // while CDPSM can undercut LDDM on joules for video streaming even
   // though it costs more cents (the objective is cents, not joules).
   const auto rows = analysis::run_comparison(
-      {Algorithm::kLddm, Algorithm::kCdpsm, Algorithm::kRoundRobin},
+      {"lddm", "cdpsm", "rr"},
       workload::video_streaming(), 7, 42, 60.0);
   const auto& lddm = rows[0].report;
   const auto& cdpsm = rows[1].report;
@@ -63,7 +61,7 @@ TEST(Reproduction, Fig8EnergyVersusCostDecoupling) {
 }
 
 TEST(Reproduction, Fig3Fig4PowerTraceShape) {
-  auto cfg = analysis::paper_config(Algorithm::kCdpsm);
+  auto cfg = analysis::paper_config("cdpsm");
   cfg.record_traces = true;
   core::EdrSystem system(
       cfg, analysis::paper_trace(workload::distributed_file_service(), 42,
@@ -88,7 +86,7 @@ TEST(Reproduction, Fig9ResponseTimeGrowsNearLinearly) {
   std::vector<double> response;
   for (const std::size_t count : {24u, 48u, 96u}) {
     core::SystemConfig cfg;
-    cfg.algorithm = Algorithm::kLddm;
+    cfg.algorithm = "lddm";
     const auto full_set = optim::paper_replica_set();
     cfg.replicas.assign(full_set.begin(), full_set.begin() + 3);
     cfg.num_clients = 8;
@@ -124,7 +122,7 @@ TEST(Reproduction, Fig9EdrComparableToDonar) {
       rng, workload::distributed_file_service(), topts);
 
   core::SystemConfig edr_cfg;
-  edr_cfg.algorithm = Algorithm::kLddm;
+  edr_cfg.algorithm = "lddm";
   const auto full_set = optim::paper_replica_set();
   edr_cfg.replicas.assign(full_set.begin(), full_set.begin() + 3);
   edr_cfg.num_clients = 8;
