@@ -30,6 +30,9 @@ void BM_Scaling_Lddm(benchmark::State& state) {
   state.counters["rounds"] = static_cast<double>(result.rounds);
   state.counters["bytes_per_round"] =
       result.rounds ? static_cast<double>(result.bytes) / result.rounds : 0.0;
+  bench::record_metric(
+      "bytes_per_round/" + std::to_string(state.range(0)),
+      state.counters["bytes_per_round"], "bytes", "lddm");
 }
 BENCHMARK(BM_Scaling_Lddm)
     ->Unit(benchmark::kMillisecond)
@@ -44,6 +47,9 @@ void BM_Scaling_Cdpsm(benchmark::State& state) {
   state.counters["rounds"] = static_cast<double>(result.rounds);
   state.counters["bytes_per_round"] =
       result.rounds ? static_cast<double>(result.bytes) / result.rounds : 0.0;
+  bench::record_metric(
+      "bytes_per_round/" + std::to_string(state.range(0)),
+      state.counters["bytes_per_round"], "bytes", "cdpsm");
 }
 BENCHMARK(BM_Scaling_Cdpsm)
     ->Unit(benchmark::kMillisecond)
@@ -61,6 +67,9 @@ void BM_Scaling_Donar(benchmark::State& state) {
   state.counters["rounds"] = static_cast<double>(result.rounds);
   state.counters["bytes_per_round"] =
       result.rounds ? static_cast<double>(result.bytes) / result.rounds : 0.0;
+  bench::record_metric(
+      "bytes_per_round/" + std::to_string(state.range(0)),
+      state.counters["bytes_per_round"], "bytes", "donar");
 }
 BENCHMARK(BM_Scaling_Donar)
     ->Unit(benchmark::kMillisecond)

@@ -3,12 +3,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "analysis/experiments.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
@@ -32,10 +36,45 @@ inline std::shared_ptr<telemetry::Telemetry>& shared_telemetry() {
   return instance;
 }
 
+/// One machine-readable result row for the --json-out emission.
+struct JsonMetric {
+  std::string name;       ///< e.g. "iters_to_1pct" or "bytes_per_round/8"
+  double value = 0.0;
+  std::string unit;       ///< "rounds", "bytes", "KiB", ... ("" = unitless)
+  std::string algorithm;  ///< registry key the row belongs to ("" = n/a)
+};
+
+/// Rows accumulated by record_metric; the Harness destructor writes them
+/// out when --json-out was requested (recording is always cheap, so bench
+/// bodies don't need to branch on the flag).
+inline std::vector<JsonMetric>& json_metrics() {
+  static std::vector<JsonMetric> rows;
+  return rows;
+}
+
+/// Record one row; last write wins per (name, algorithm) so google-
+/// benchmark's warmup/repetition re-runs of a bench body don't duplicate
+/// rows in the emitted file.
+inline void record_metric(std::string name, double value,
+                          std::string unit = {}, std::string algorithm = {}) {
+  for (auto& row : json_metrics()) {
+    if (row.name == name && row.algorithm == algorithm) {
+      row.value = value;
+      row.unit = std::move(unit);
+      return;
+    }
+  }
+  json_metrics().push_back({std::move(name), value, std::move(unit),
+                            std::move(algorithm)});
+}
+
 /// Per-binary boilerplate, hoisted: prints the banner, strips
-/// --telemetry-out=<path> from argv (google-benchmark rejects flags it does
-/// not know), hands the rest to benchmark::Initialize, and on destruction
-/// exports the telemetry (when requested) and shuts benchmark down.
+/// --telemetry-out=<path> and --json-out[=<path>] from argv
+/// (google-benchmark rejects flags it does not know), hands the rest to
+/// benchmark::Initialize, and on destruction exports the telemetry and the
+/// recorded JSON metrics (when requested) and shuts benchmark down.
+/// --json-out without a path writes BENCH_<binary-name>.json in the working
+/// directory, so CI can archive one artifact per bench.
 ///
 /// Usage:
 ///   int main(int argc, char** argv) {
@@ -47,17 +86,31 @@ inline std::shared_ptr<telemetry::Telemetry>& shared_telemetry() {
 class Harness {
  public:
   Harness(int& argc, char** argv, const char* figure,
-          const char* description) {
+          const char* description)
+      : bench_name_(figure), started_(std::chrono::steady_clock::now()) {
     banner(figure, description);
-    constexpr std::string_view kFlag = "--telemetry-out=";
+    constexpr std::string_view kTelemetryFlag = "--telemetry-out=";
+    constexpr std::string_view kJsonFlag = "--json-out";
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg{argv[i]};
-      if (arg.substr(0, kFlag.size()) != kFlag) continue;
-      telemetry_path_ = std::string(arg.substr(kFlag.size()));
+      bool strip = false;
+      if (arg.substr(0, kTelemetryFlag.size()) == kTelemetryFlag) {
+        telemetry_path_ = std::string(arg.substr(kTelemetryFlag.size()));
+        strip = true;
+      } else if (arg == kJsonFlag) {
+        json_path_ = default_json_path(argv[0]);
+        strip = true;
+      } else if (arg.substr(0, kJsonFlag.size() + 1) ==
+                 std::string(kJsonFlag) + "=") {
+        json_path_ = std::string(arg.substr(kJsonFlag.size() + 1));
+        strip = true;
+      }
+      if (!strip) continue;
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
     }
+    json_metrics().clear();
     if (!telemetry_path_.empty())
       shared_telemetry() = telemetry::make_telemetry();
     benchmark::Initialize(&argc, argv);
@@ -73,6 +126,7 @@ class Harness {
                    telemetry_path_.c_str(), telemetry_path_.c_str());
     }
     shared_telemetry().reset();
+    if (!json_path_.empty()) write_json();
     benchmark::Shutdown();
   }
 
@@ -84,9 +138,49 @@ class Harness {
   [[nodiscard]] bool telemetry_enabled() const {
     return !telemetry_path_.empty();
   }
+  [[nodiscard]] bool json_enabled() const { return !json_path_.empty(); }
 
  private:
+  static std::string default_json_path(const char* argv0) {
+    std::string_view name{argv0 != nullptr ? argv0 : "bench"};
+    if (const auto slash = name.find_last_of('/');
+        slash != std::string_view::npos)
+      name.remove_prefix(slash + 1);
+    return "BENCH_" + std::string(name) + ".json";
+  }
+
+  void write_json() const {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    JsonWriter json;
+    json.begin_object()
+        .field("bench", bench_name_)
+        .field("wall_seconds", wall);
+    json.key("metrics").begin_array();
+    for (const auto& metric : json_metrics()) {
+      json.begin_object()
+          .field("name", metric.name)
+          .field("value", metric.value)
+          .field("unit", metric.unit)
+          .field("algorithm", metric.algorithm)
+          .end_object();
+    }
+    json.end_array().end_object();
+    std::ofstream out(json_path_);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", json_path_.c_str());
+      return;
+    }
+    out << json.str() << "\n";
+    std::fprintf(stderr, "bench metrics written to %s\n", json_path_.c_str());
+  }
+
+  std::string bench_name_;
   std::string telemetry_path_;
+  std::string json_path_;
+  std::chrono::steady_clock::time_point started_;
 };
 
 /// Run a power-profile experiment (Figs 3-4) and print the per-replica

@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
 
   std::printf("optimum (centralized): %.4f cents/model-unit\n",
               g_data.optimum);
-  auto report = [&](const char* name,
+  auto report = [&](const char* name, const char* key,
                     const optim::ConvergenceTrace& trace) {
     const auto iters = trace.iterations_to_reach(g_data.optimum, 0.01);
     const double kb =
@@ -128,10 +128,15 @@ int main(int argc, char** argv) {
                   1024.0;
     std::printf("  %-22s iterations to 1%%: %6zd   traffic to 1%%: %8.1f KiB\n",
                 name, static_cast<ssize_t>(iters), kb);
+    edr::bench::record_metric("iters_to_1pct",
+                              static_cast<double>(static_cast<ssize_t>(iters)),
+                              "rounds", key);
+    edr::bench::record_metric("traffic_to_1pct", kb, "KiB", key);
   };
-  report("CDPSM (diminishing)", g_data.cdpsm_diminishing);
-  report("CDPSM (constant)", g_data.cdpsm_constant);
-  report("LDDM", g_data.lddm);
+  report("CDPSM (diminishing)", "cdpsm_diminishing", g_data.cdpsm_diminishing);
+  report("CDPSM (constant)", "cdpsm", g_data.cdpsm_constant);
+  report("LDDM", "lddm", g_data.lddm);
+  edr::bench::record_metric("optimum", g_data.optimum, "cents", "central");
 
   if (harness.telemetry_enabled()) {
     // A short end-to-end run so the exported trace also carries the runtime

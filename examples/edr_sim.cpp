@@ -14,6 +14,7 @@
 
 #include "analysis/experiments.hpp"
 #include "analysis/report_json.hpp"
+#include "baselines/donar_algorithm.hpp"
 #include "common/args.hpp"
 #include "common/table.hpp"
 #include "optim/instance.hpp"
@@ -35,10 +36,12 @@ int main(int argc, char** argv) {
   std::int64_t fail_replica = -1;
   bool json = false;
   bool traces = false;
+  bool watch = false;
+  double slo_ms = 0.0;
   std::string telemetry_out;
 
   ArgParser parser{"edr_sim", "run the EDR system end to end"};
-  parser.add_option("algorithm", "scheduler: lddm|cdpsm|central|rr",
+  parser.add_option("algorithm", "scheduler: lddm|cdpsm|central|rr|donar",
                     &algorithm);
   parser.add_option("app", "workload: dfs|video (ignored with --trace)",
                     &app_name);
@@ -57,6 +60,14 @@ int main(int argc, char** argv) {
                     &recover_at);
   parser.add_flag("json", "emit the run report as JSON", &json);
   parser.add_flag("power-traces", "record 50 Hz power traces", &traces);
+  parser.add_flag("watch",
+                  "live convergence watch: per-epoch summary and anomaly "
+                  "alerts on stderr (enables the flight recorder + monitor)",
+                  &watch);
+  parser.add_option("slo-ms",
+                    "alert when a client response exceeds this many "
+                    "milliseconds (0 = off; implies --watch detectors)",
+                    &slo_ms);
   parser.add_option("telemetry-out",
                     "write a chrome://tracing trace here (metrics land next "
                     "to it as <path>.metrics.jsonl)",
@@ -67,6 +78,7 @@ int main(int argc, char** argv) {
   try {
     // The key goes straight to the algorithm registry (via EdrSystem),
     // which rejects unknown names with the list of registered ones.
+    baselines::register_donar_algorithm();
     auto cfg = analysis::paper_config(algorithm, seed);
     if (replicas != 8) {
       const auto base = optim::paper_replica_set();
@@ -76,7 +88,32 @@ int main(int argc, char** argv) {
     }
     cfg.num_clients = clients;
     cfg.record_traces = traces;
-    if (!telemetry_out.empty()) cfg.telemetry = telemetry::make_telemetry();
+    if (slo_ms > 0.0) watch = true;
+    if (!telemetry_out.empty() || watch)
+      cfg.telemetry = telemetry::make_telemetry();
+    if (watch) {
+      cfg.telemetry->enable_flight_recorder();
+      telemetry::MonitorOptions monitor_options;
+      monitor_options.response_slo_ms = slo_ms;
+      cfg.telemetry->enable_monitor(monitor_options);
+      auto& monitor = *cfg.telemetry->monitor();
+      monitor.set_epoch_callback([](const telemetry::EpochSummary& epoch) {
+        std::fprintf(stderr,
+                     "[watch] epoch %zu: %zu rounds, %zu replicas, "
+                     "objective %.6g -> %.6g, disagreement %.3g, "
+                     "min slack %.3g, %zu alerts\n",
+                     epoch.epoch, epoch.rounds, epoch.replicas,
+                     epoch.first_objective, epoch.final_objective,
+                     epoch.final_disagreement, epoch.min_capacity_slack,
+                     epoch.alerts);
+      });
+      monitor.set_alert_callback([](const telemetry::Alert& alert) {
+        std::fprintf(stderr, "[watch] %s %s: %s\n",
+                     telemetry::to_string(alert.severity),
+                     telemetry::to_string(alert.kind),
+                     alert.message.c_str());
+      });
+    }
 
     workload::Trace trace;
     if (!trace_path.empty()) {
@@ -102,12 +139,26 @@ int main(int argc, char** argv) {
                                recover_at);
     }
     const auto report = system.run();
-    if (cfg.telemetry &&
+    if (cfg.telemetry && !telemetry_out.empty() &&
         telemetry::export_telemetry(*cfg.telemetry, telemetry_out)) {
       std::fprintf(stderr,
                    "edr_sim: telemetry written to %s (load in "
                    "chrome://tracing) and %s.metrics.jsonl\n",
                    telemetry_out.c_str(), telemetry_out.c_str());
+    }
+
+    if (watch && cfg.telemetry && cfg.telemetry->monitor()) {
+      const auto& monitor = *cfg.telemetry->monitor();
+      std::fprintf(
+          stderr,
+          "[watch] run complete: %zu alerts (divergence %zu, oscillation "
+          "%zu, stall %zu, capacity %zu, slo %zu)\n",
+          monitor.total_raised(),
+          monitor.alerts_of(telemetry::AlertKind::kDivergence),
+          monitor.alerts_of(telemetry::AlertKind::kOscillation),
+          monitor.alerts_of(telemetry::AlertKind::kStall),
+          monitor.alerts_of(telemetry::AlertKind::kCapacity),
+          monitor.alerts_of(telemetry::AlertKind::kSlo));
     }
 
     if (json) {

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Full pre-merge check: formatting, then regular build + tests, then a second
 # build tree with AddressSanitizer and UBSan (-DEDR_SANITIZE=ON) running the
-# same suite.
+# same suite, then a ThreadSanitizer tree (-DEDR_SANITIZE=tsan) running the
+# genuinely multi-threaded tests, and finally a telemetry-overhead smoke
+# check: with telemetry disabled the figure pipeline must be bit-identical
+# run to run (the observability layer is strictly opt-in).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -31,4 +34,32 @@ cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
 echo
-echo "check.sh: all suites passed (regular + asan/ubsan)"
+echo "== thread sanitizer build (build-tsan/, -fsanitize=thread) =="
+# Only the tests that actually exercise concurrency: the threaded LDDM
+# harness (real solver threads over the in-process transport), the mailbox
+# transport itself, and the atomic metrics registry. The rest of the suite
+# is single-threaded and already covered by the asan/ubsan tree above.
+cmake -B build-tsan -S . -DEDR_SANITIZE=tsan >/dev/null
+cmake --build build-tsan -j "$jobs" --target test_integration test_telemetry test_net
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+  -R 'ThreadedLddm|AtomicModeCountsAcrossThreads|Mailbox|InprocTransport'
+
+echo
+echo "== telemetry overhead smoke (fig5_convergence, telemetry disabled) =="
+# Without --telemetry-out the bench must not construct any telemetry at all,
+# so two runs are byte-identical modulo the wall-clock timing lines that
+# google-benchmark prints (filtered below). A diff here means the
+# observability layer leaked into the default data path.
+fig5="build/bench/fig5_convergence"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+"$fig5" 2>/dev/null | grep -v '^BM_' > "$smoke_dir/run1.txt"
+"$fig5" 2>/dev/null | grep -v '^BM_' > "$smoke_dir/run2.txt"
+if ! diff -u "$smoke_dir/run1.txt" "$smoke_dir/run2.txt"; then
+  echo "telemetry overhead smoke FAILED: disabled-telemetry output drifted" >&2
+  exit 1
+fi
+echo "telemetry overhead smoke: disabled-telemetry output bit-identical"
+
+echo
+echo "check.sh: all suites passed (regular + asan/ubsan + tsan + smoke)"

@@ -50,6 +50,48 @@ std::string report_to_json(const core::RunReport& report,
   for (const auto id : report.failed_replicas)
     json.value(static_cast<std::uint64_t>(id));
   json.end_array();
+
+  // Observability sections appear only when the run carried the opt-in
+  // flight recorder / monitor, so default-telemetry reports keep their
+  // pinned byte layout (golden_equivalence_test).
+  if (!report.convergence.empty()) {
+    json.key("convergence").begin_array();
+    for (const auto& epoch : report.convergence) {
+      json.begin_object();
+      json.field("epoch", epoch.epoch);
+      json.field("rounds", epoch.rounds);
+      json.field("replicas", epoch.replicas);
+      json.field("samples", epoch.samples);
+      json.field("first_objective", epoch.first_objective);
+      json.field("final_objective", epoch.final_objective);
+      json.field("final_disagreement", epoch.final_disagreement);
+      json.field("max_gradient_norm", epoch.max_gradient_norm);
+      json.field("min_capacity_slack", epoch.min_capacity_slack);
+      json.field("messages", epoch.messages);
+      json.field("bytes", epoch.bytes);
+      json.field("alerts", epoch.alerts);
+      json.end_object();
+    }
+    json.end_array();
+  }
+  if (!report.alerts.empty()) {
+    json.key("alerts").begin_array();
+    for (const auto& alert : report.alerts) {
+      json.begin_object();
+      json.field("kind", telemetry::to_string(alert.kind));
+      json.field("severity", telemetry::to_string(alert.severity));
+      json.field("epoch", alert.epoch);
+      json.field("round", alert.round);
+      if (alert.replica != telemetry::kNoReplica)
+        json.field("replica", alert.replica);
+      json.field("value", alert.value);
+      json.field("threshold", alert.threshold);
+      json.field("time", alert.time);
+      json.field("message", alert.message);
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.end_object();
   return json.str();
 }

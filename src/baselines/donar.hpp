@@ -79,6 +79,12 @@ class DonarEngine {
   /// Current allocation, repaired to exact feasibility.
   [[nodiscard]] Matrix solution() const;
 
+  /// Per-replica aggregate loads s_n as of the last round (exact column
+  /// sums — round() refreshes them); feeds the flight recorder.
+  [[nodiscard]] const std::vector<double>& aggregate() const {
+    return aggregate_;
+  }
+
   [[nodiscard]] std::size_t bytes_per_node_round() const;
   [[nodiscard]] const DonarOptions& options() const { return options_; }
 

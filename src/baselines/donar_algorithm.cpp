@@ -44,6 +44,8 @@ double DonarAlgorithm::compute_factor(const core::EpochContext& ctx) const {
 
 void DonarAlgorithm::begin_epoch(const core::EpochContext& ctx) {
   engine_ = std::make_unique<DonarEngine>(*ctx.problem, options_);
+  last_round_ = {};
+  previous_loads_.assign(ctx.problem->num_replicas(), 0.0);
 }
 
 void DonarAlgorithm::plan_round(const core::EpochContext& ctx,
@@ -63,9 +65,41 @@ void DonarAlgorithm::plan_round(const core::EpochContext& ctx,
 
 bool DonarAlgorithm::step_round(const core::EpochContext& ctx) {
   (void)ctx;
-  engine_->round();
+  last_round_ = engine_->round();
   return engine_->converged() ||
          engine_->rounds_executed() >= options_.max_rounds;
+}
+
+void DonarAlgorithm::observe(const core::EpochContext& ctx,
+                             std::vector<telemetry::RoundSample>& out) {
+  if (!engine_ || engine_->rounds_executed() == 0) return;
+  const auto& loads = engine_->aggregate();
+  const auto& replicas = *ctx.active_replicas;
+  const std::size_t mapping_nodes = options_.num_mapping_nodes;
+  for (std::size_t col = 0; col < replicas.size(); ++col) {
+    const double load = loads[col];
+    telemetry::RoundSample sample;
+    sample.round = engine_->rounds_executed();
+    sample.replica = static_cast<std::uint32_t>(replicas[col]);
+    // DONAR's objective is joint across mapping nodes, not per replica;
+    // every sample carries the global value, with the allocation movement
+    // standing in for the (absent) gradient/disagreement signals.
+    sample.objective = last_round_.objective;
+    sample.round_objective = last_round_.objective;
+    sample.gradient_norm = last_round_.movement;
+    sample.disagreement = last_round_.movement;
+    sample.capacity_slack = ctx.problem->replica(col).bandwidth - load;
+    sample.load = load;
+    sample.load_delta = load - previous_loads_[col];
+    // Round traffic belongs to the mapping nodes, not the replicas;
+    // charge the epoch totals through the first sample.
+    if (col == 0) {
+      sample.messages_sent = mapping_nodes * (mapping_nodes - 1);
+      sample.bytes_sent = mapping_nodes * engine_->bytes_per_node_round();
+    }
+    out.push_back(sample);
+    previous_loads_[col] = load;
+  }
 }
 
 Matrix DonarAlgorithm::extract_allocation(const core::EpochContext& ctx) {

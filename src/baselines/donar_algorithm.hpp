@@ -50,12 +50,16 @@ class DonarAlgorithm final : public core::DistributedAlgorithm {
   void plan_round(const core::EpochContext& ctx,
                   std::vector<core::PlannedMessage>& out) const override;
   bool step_round(const core::EpochContext& ctx) override;
+  void observe(const core::EpochContext& ctx,
+               std::vector<telemetry::RoundSample>& out) override;
   Matrix extract_allocation(const core::EpochContext& ctx) override;
   void abort_epoch() override;
 
  private:
   DonarOptions options_;
   std::unique_ptr<DonarEngine> engine_;
+  DonarRoundStats last_round_;
+  std::vector<double> previous_loads_;  // for per-replica load deltas
 };
 
 /// Add "donar" (default DonarOptions) to the process-wide algorithm

@@ -169,6 +169,19 @@ class DistributedAlgorithm {
     return true;
   }
 
+  /// Optional observability hook: append one RoundSample per active
+  /// replica describing the round that just stepped (or the one-shot
+  /// solve that just produced an allocation).  The pipeline stamps
+  /// epoch/time and feeds the samples to the attached flight recorder and
+  /// monitor; it only calls this when one of those is enabled, so the
+  /// default path never pays for it.  Backends with per-replica stats to
+  /// report override it; the default reports nothing.
+  virtual void observe(const EpochContext& ctx,
+                       std::vector<telemetry::RoundSample>& out) {
+    (void)ctx;
+    (void)out;
+  }
+
   /// Final allocation of a finished iterative epoch.  Saves warm-start
   /// state and releases the engine.
   virtual Matrix extract_allocation(const EpochContext& ctx);

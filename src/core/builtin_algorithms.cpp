@@ -18,6 +18,14 @@ constexpr MessageTypeInfo kLddmTypes[] = {
     {kLddmLoadReport, "lddm_load_report", /*round=*/true},
     {kLddmMuUpdate, "lddm_mu_update", /*round=*/true},
 };
+
+/// True when the run carries a flight recorder or monitor — the only case
+/// where per-replica stats collection is worth its extra copies.
+bool observability_enabled(const EpochContext& ctx) {
+  return ctx.telemetry != nullptr &&
+         (ctx.telemetry->flight_recorder() != nullptr ||
+          ctx.telemetry->monitor() != nullptr);
+}
 }  // namespace
 
 std::span<const MessageTypeInfo> CdpsmAlgorithm::message_types() const {
@@ -40,6 +48,8 @@ double CdpsmAlgorithm::coordination_bytes(double clients,
 void CdpsmAlgorithm::begin_epoch(const EpochContext& ctx) {
   engine_ = std::make_unique<CdpsmEngine>(*ctx.problem, options_);
   if (ctx.telemetry) engine_->attach_telemetry(*ctx.telemetry);
+  engine_->set_collect_replica_stats(observability_enabled(ctx));
+  last_round_ = {};
 }
 
 void CdpsmAlgorithm::plan_round(const EpochContext& ctx,
@@ -59,9 +69,34 @@ void CdpsmAlgorithm::plan_round(const EpochContext& ctx,
 
 bool CdpsmAlgorithm::step_round(const EpochContext& ctx) {
   (void)ctx;
-  engine_->round();
+  last_round_ = engine_->round();
   return engine_->converged() ||
          engine_->rounds_executed() >= options_.max_rounds;
+}
+
+void CdpsmAlgorithm::observe(const EpochContext& ctx,
+                             std::vector<telemetry::RoundSample>& out) {
+  if (!engine_ || engine_->replica_stats().empty()) return;
+  const auto& replicas = *ctx.active_replicas;
+  const std::size_t bytes = engine_->bytes_per_replica_round();
+  for (std::size_t col = 0; col < replicas.size(); ++col) {
+    const CdpsmReplicaStats& stats = engine_->replica_stats()[col];
+    telemetry::RoundSample sample;
+    sample.round = engine_->rounds_executed();
+    sample.replica = static_cast<std::uint32_t>(replicas[col]);
+    sample.objective = stats.local_objective;
+    sample.round_objective = last_round_.objective;
+    sample.gradient_norm = stats.gradient_norm;
+    sample.disagreement = last_round_.disagreement;
+    sample.projection_correction = stats.projection_correction;
+    sample.capacity_slack =
+        ctx.problem->replica(col).bandwidth - stats.load;
+    sample.load = stats.load;
+    sample.load_delta = stats.load_delta;
+    sample.messages_sent = replicas.size() - 1;
+    sample.bytes_sent = bytes;
+    out.push_back(sample);
+  }
 }
 
 Matrix CdpsmAlgorithm::extract_allocation(const EpochContext& ctx) {
@@ -82,6 +117,8 @@ std::span<const MessageTypeInfo> LddmAlgorithm::message_types() const {
 void LddmAlgorithm::begin_epoch(const EpochContext& ctx) {
   engine_ = std::make_unique<LddmEngine>(*ctx.problem, options_);
   if (ctx.telemetry) engine_->attach_telemetry(*ctx.telemetry);
+  engine_->set_collect_replica_stats(observability_enabled(ctx));
+  last_round_ = {};
   const auto& active_clients = *ctx.active_clients;
   const auto& active_replicas = *ctx.active_replicas;
   if (warm_start_ && !warm_mu_.empty()) {
@@ -126,9 +163,37 @@ void LddmAlgorithm::plan_round(const EpochContext& ctx,
 
 bool LddmAlgorithm::step_round(const EpochContext& ctx) {
   (void)ctx;
-  engine_->round();
+  last_round_ = engine_->round();
   return engine_->converged() ||
          engine_->rounds_executed() >= options_.max_rounds;
+}
+
+void LddmAlgorithm::observe(const EpochContext& ctx,
+                            std::vector<telemetry::RoundSample>& out) {
+  if (!engine_ || engine_->replica_stats().empty()) return;
+  const auto& replicas = *ctx.active_replicas;
+  const std::size_t bytes = engine_->bytes_per_replica_round();
+  for (std::size_t col = 0; col < replicas.size(); ++col) {
+    const LddmReplicaStats& stats = engine_->replica_stats()[col];
+    telemetry::RoundSample sample;
+    sample.round = engine_->rounds_executed();
+    sample.replica = static_cast<std::uint32_t>(replicas[col]);
+    sample.objective = stats.local_objective;
+    sample.round_objective = last_round_.objective;
+    // LDDM has no per-replica subgradient; the column movement is the
+    // closest progress signal, and the global demand residual plays the
+    // role disagreement plays for CDPSM.
+    sample.gradient_norm = stats.movement;
+    sample.disagreement = last_round_.demand_residual;
+    sample.projection_correction = 0.0;
+    sample.capacity_slack =
+        ctx.problem->replica(col).bandwidth - stats.load;
+    sample.load = stats.load;
+    sample.load_delta = stats.load_delta;
+    sample.messages_sent = ctx.problem->num_clients();
+    sample.bytes_sent = bytes;
+    out.push_back(sample);
+  }
 }
 
 Matrix LddmAlgorithm::extract_allocation(const EpochContext& ctx) {
@@ -219,7 +284,32 @@ std::optional<Matrix> RoundRobinAlgorithm::solve_oneshot(
       cursor_ = (cursor_ + 1) % problem.num_replicas();
     }
   }
+  if (observability_enabled(ctx)) {
+    pending_samples_.clear();
+    double total = 0.0;
+    for (std::size_t col = 0; col < problem.num_replicas(); ++col) {
+      const double load = allocation.col_sum(col);
+      telemetry::RoundSample sample;
+      sample.round = 1;
+      sample.replica =
+          static_cast<std::uint32_t>((*ctx.active_replicas)[col]);
+      sample.objective = optim::replica_cost(problem.replica(col), load);
+      sample.capacity_slack = remaining[col];
+      sample.load = load;
+      sample.load_delta = load;
+      total += sample.objective;
+      pending_samples_.push_back(sample);
+    }
+    for (auto& sample : pending_samples_) sample.round_objective = total;
+  }
   return allocation;
+}
+
+void RoundRobinAlgorithm::observe(const EpochContext& ctx,
+                                  std::vector<telemetry::RoundSample>& out) {
+  (void)ctx;
+  for (const auto& sample : pending_samples_) out.push_back(sample);
+  pending_samples_.clear();
 }
 
 // ---------- Centralized ----------
@@ -249,8 +339,35 @@ std::optional<Matrix> CentralizedAlgorithm::solve_oneshot(
   // the restart elects the next survivor.
   if (!(*ctx.replica_alive)[coordinator_]) return std::nullopt;
   auto solved = optim::solve_centralized(*ctx.problem);
-  if (solved) return std::move(solved->allocation);
-  return round_robin_allocation(*ctx.problem);
+  Matrix allocation = solved ? std::move(solved->allocation)
+                             : round_robin_allocation(*ctx.problem);
+  if (observability_enabled(ctx)) {
+    pending_samples_.clear();
+    const optim::Problem& problem = *ctx.problem;
+    double total = 0.0;
+    for (std::size_t col = 0; col < problem.num_replicas(); ++col) {
+      const double load = allocation.col_sum(col);
+      telemetry::RoundSample sample;
+      sample.round = 1;
+      sample.replica =
+          static_cast<std::uint32_t>((*ctx.active_replicas)[col]);
+      sample.objective = optim::replica_cost(problem.replica(col), load);
+      sample.capacity_slack = problem.replica(col).bandwidth - load;
+      sample.load = load;
+      sample.load_delta = load;
+      total += sample.objective;
+      pending_samples_.push_back(sample);
+    }
+    for (auto& sample : pending_samples_) sample.round_objective = total;
+  }
+  return allocation;
+}
+
+void CentralizedAlgorithm::observe(const EpochContext& ctx,
+                                   std::vector<telemetry::RoundSample>& out) {
+  (void)ctx;
+  for (const auto& sample : pending_samples_) out.push_back(sample);
+  pending_samples_.clear();
 }
 
 }  // namespace edr::core

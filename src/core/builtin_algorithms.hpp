@@ -32,12 +32,15 @@ class CdpsmAlgorithm final : public DistributedAlgorithm {
   void plan_round(const EpochContext& ctx,
                   std::vector<PlannedMessage>& out) const override;
   bool step_round(const EpochContext& ctx) override;
+  void observe(const EpochContext& ctx,
+               std::vector<telemetry::RoundSample>& out) override;
   Matrix extract_allocation(const EpochContext& ctx) override;
   void abort_epoch() override;
 
  private:
   CdpsmOptions options_;
   std::unique_ptr<CdpsmEngine> engine_;
+  CdpsmRoundStats last_round_;
 };
 
 /// Lagrangian dual decomposition (paper §III-C.2) with cross-epoch warm
@@ -59,11 +62,14 @@ class LddmAlgorithm final : public DistributedAlgorithm {
   void plan_round(const EpochContext& ctx,
                   std::vector<PlannedMessage>& out) const override;
   bool step_round(const EpochContext& ctx) override;
+  void observe(const EpochContext& ctx,
+               std::vector<telemetry::RoundSample>& out) override;
   Matrix extract_allocation(const EpochContext& ctx) override;
   void abort_epoch() override;
 
  private:
   LddmOptions options_;
+  LddmRoundStats last_round_;
   bool warm_start_ = true;
   std::unique_ptr<LddmEngine> engine_;
   std::vector<double> warm_mu_;  // duals carried across epochs
@@ -82,9 +88,12 @@ class RoundRobinAlgorithm final : public DistributedAlgorithm {
   }
   [[nodiscard]] bool iterative() const override { return false; }
   std::optional<Matrix> solve_oneshot(const EpochContext& ctx) override;
+  void observe(const EpochContext& ctx,
+               std::vector<telemetry::RoundSample>& out) override;
 
  private:
   std::size_t cursor_ = 0;
+  std::vector<telemetry::RoundSample> pending_samples_;
 };
 
 /// Single-coordinator reference: clients ship demands to the lowest-id
@@ -102,9 +111,12 @@ class CentralizedAlgorithm final : public DistributedAlgorithm {
   void plan_prologue(const EpochContext& ctx,
                      std::vector<PlannedMessage>& out) const override;
   std::optional<Matrix> solve_oneshot(const EpochContext& ctx) override;
+  void observe(const EpochContext& ctx,
+               std::vector<telemetry::RoundSample>& out) override;
 
  private:
   std::size_t coordinator_ = 0;
+  std::vector<telemetry::RoundSample> pending_samples_;
 };
 
 }  // namespace edr::core

@@ -69,8 +69,9 @@ void CdpsmEngine::project_local(std::size_t n, Matrix& estimate) const {
   optim::project_demand_set(*problem_, estimate);
 }
 
-Matrix CdpsmEngine::step_replica(
-    std::size_t n, std::span<const Matrix> peer_estimates) const {
+Matrix CdpsmEngine::step_replica(std::size_t n,
+                                 std::span<const Matrix> peer_estimates,
+                                 CdpsmReplicaStats* stats) const {
   if (peer_estimates.size() != estimates_.size())
     throw std::invalid_argument(
         "CdpsmEngine::step_replica: need one estimate per replica");
@@ -92,6 +93,17 @@ Matrix CdpsmEngine::step_replica(
   for (std::size_t c = 0; c < problem_->num_clients(); ++c)
     consensus(c, n) -= step * derivative;
 
+  if (stats != nullptr) {
+    stats->local_objective = optim::replica_cost(problem_->replica(n), load);
+    stats->gradient_norm =
+        std::abs(derivative) *
+        std::sqrt(static_cast<double>(problem_->num_clients()));
+    const Matrix pre_projection = consensus;
+    project_local(n, consensus);
+    stats->projection_correction = consensus.distance(pre_projection);
+    stats->load = consensus.col_sum(n);
+    return consensus;
+  }
   project_local(n, consensus);
   return consensus;
 }
@@ -102,11 +114,18 @@ CdpsmRoundStats CdpsmEngine::round() {
   stats.round = ++rounds_;
   rounds_metric_.add(1);
 
+  if (collect_stats_) replica_stats_.assign(estimates_.size(), {});
   {
     telemetry::ScopedSpan span(*tracer_, "cdpsm.consensus_gradient",
                                "solver");
-    for (std::size_t n = 0; n < estimates_.size(); ++n)
-      estimates_[n] = step_replica(n, previous);
+    for (std::size_t n = 0; n < estimates_.size(); ++n) {
+      const double previous_load = previous[n].col_sum(n);
+      estimates_[n] = step_replica(
+          n, previous, collect_stats_ ? &replica_stats_[n] : nullptr);
+      if (collect_stats_)
+        replica_stats_[n].load_delta =
+            replica_stats_[n].load - previous_load;
+    }
   }
 
   for (std::size_t n = 0; n < estimates_.size(); ++n) {

@@ -56,6 +56,16 @@ struct CdpsmRoundStats {
   std::size_t bytes_exchanged = 0;  ///< all-to-all estimate traffic
 };
 
+/// Per-replica view of one round, collected only when enabled (the
+/// pre-projection copy is not free) — feeds the flight recorder.
+struct CdpsmReplicaStats {
+  double local_objective = 0.0;  ///< E_n at the consensus load
+  double gradient_norm = 0.0;    ///< ‖∇E_n‖_F = |e_n'|·√|C| (uniform column)
+  double projection_correction = 0.0;  ///< ‖W^n − Proj_{X_n}[W^n]‖_F
+  double load = 0.0;             ///< own-column load after the step
+  double load_delta = 0.0;       ///< load change vs the previous round
+};
+
 class CdpsmEngine {
  public:
   CdpsmEngine(const optim::Problem& problem, CdpsmOptions options = {});
@@ -72,9 +82,12 @@ class CdpsmEngine {
 
   /// Pure per-replica update: consensus over `peer_estimates` (all replicas'
   /// round-k estimates, uniform weights a_j = 1/|N|), local gradient step,
-  /// projection onto X_n.  Does not mutate engine state.
-  [[nodiscard]] Matrix step_replica(
-      std::size_t n, std::span<const Matrix> peer_estimates) const;
+  /// projection onto X_n.  Does not mutate engine state.  `stats`, when
+  /// non-null, receives the replica's observability view of the step
+  /// (load_delta excluded — only round() knows the previous load).
+  [[nodiscard]] Matrix step_replica(std::size_t n,
+                                    std::span<const Matrix> peer_estimates,
+                                    CdpsmReplicaStats* stats = nullptr) const;
 
   /// One synchronous round over all replicas (the standalone driver).
   CdpsmRoundStats round();
@@ -99,6 +112,15 @@ class CdpsmEngine {
   /// Record per-round consensus/gradient spans and progress gauges
   /// (solver.cdpsm.*) into `telemetry`.
   void attach_telemetry(telemetry::Telemetry& telemetry);
+
+  /// Collect CdpsmReplicaStats during round() (off by default; the flight
+  /// recorder path turns it on).
+  void set_collect_replica_stats(bool collect) { collect_stats_ = collect; }
+  [[nodiscard]] bool collect_replica_stats() const { return collect_stats_; }
+  /// Last round's per-replica stats (empty until a collected round ran).
+  [[nodiscard]] const std::vector<CdpsmReplicaStats>& replica_stats() const {
+    return replica_stats_;
+  }
 
   /// Messages / bytes this engine's rounds would have put on the wire so
   /// far (accumulated round by round — the counters ScheduleResult is fed
@@ -125,6 +147,8 @@ class CdpsmEngine {
   telemetry::Gauge disagreement_metric_;
   telemetry::Gauge movement_metric_;
   double step_ = 0.0;
+  bool collect_stats_ = false;
+  std::vector<CdpsmReplicaStats> replica_stats_;
   std::vector<Matrix> estimates_;
   Matrix last_solution_;
   std::size_t stable_rounds_ = 0;

@@ -91,6 +91,8 @@ EpochPipeline::EpochPipeline(SystemConfig config, PipelinePolicy policy,
     response_metric_ = metrics.histogram(
         "system.response_ms",
         telemetry::MetricsRegistry::response_bounds_ms());
+    recorder_ = cfg_.telemetry->flight_recorder();
+    monitor_ = cfg_.telemetry->monitor();
   }
 }
 
@@ -467,6 +469,11 @@ void EpochPipeline::start_solve(std::size_t epoch) {
   ++report_.epochs;
   epochs_metric_.add(1);
   const std::uint64_t generation = ++solve_generation_;
+  epoch_span_ = tracer().new_id();
+  // A solve aborted by a membership change leaves the recorder's epoch
+  // open; begin_epoch discards it and starts the restart's fresh one.
+  if (recorder_ != nullptr) recorder_->begin_epoch(current_epoch_, sim_.now());
+  if (monitor_ != nullptr) monitor_->begin_epoch(current_epoch_);
 
   // Request-handling time before the optimization can begin: the
   // ClientListener path costs a fixed amount per request, which is what
@@ -498,8 +505,10 @@ void EpochPipeline::start_solve(std::size_t epoch) {
       // A one-shot backend may decline to produce an allocation (e.g. the
       // centralized coordinator died mid-solve); the epoch then stalls
       // until a membership change aborts and restarts it.
-      if (auto allocation = algorithm_->solve_oneshot(context()))
+      if (auto allocation = algorithm_->solve_oneshot(context())) {
+        record_observation();
         finish_solve(std::move(*allocation));
+      }
     });
   }
 }
@@ -516,6 +525,7 @@ SimTime EpochPipeline::compute_delay() const {
 void EpochPipeline::schedule_round(std::uint64_t generation,
                                    SimTime extra_delay) {
   round_started_ = sim_.now();
+  round_span_ = tracer().new_id();
   sim_.schedule_after(extra_delay + compute_delay(), [this, generation] {
     if (generation != solve_generation_) return;
     launch_round_messages(generation);
@@ -523,17 +533,25 @@ void EpochPipeline::schedule_round(std::uint64_t generation,
 }
 
 void EpochPipeline::launch_round_messages(std::uint64_t generation) {
+  // Local compute is done; what follows until the barrier is the exchange.
+  tracer().span("round.compute", "solver", round_started_,
+                sim_.now() - round_started_, telemetry::kControlTrack,
+                tracer().new_id(), round_span_);
+  exchange_started_ = sim_.now();
   // Fire this round's coordination traffic; the barrier (all delivered)
-  // triggers the synchronous math and the next round.
+  // triggers the synchronous math and the next round.  Flow events tie
+  // each message's send/delivery to this round's span.
   round_msgs_pending_ = 0;
   pending_generation_ = generation;
   algorithm_->plan_round(context(), plan_scratch_);
+  network_.set_flow_parent(round_span_);
   for (const auto& planned : plan_scratch_) {
     ++round_msgs_pending_;
     send_control(node_of(planned.from_kind, planned.from),
                  node_of(planned.to_kind, planned.to), planned.type,
                  planned.bytes, generation);
   }
+  network_.set_flow_parent(0);
   if (round_msgs_pending_ == 0) {
     // Single-solver degenerate case: no traffic, just run the math.
     complete_round(generation);
@@ -554,10 +572,16 @@ void EpochPipeline::complete_round(std::uint64_t generation) {
   ++report_.total_rounds;
   rounds_metric_.add(1);
   const bool done = algorithm_->step_round(context());
+  record_observation();
   // The round span covers local compute + the message barrier (the math
-  // above runs in zero sim time at the barrier instant).
+  // above runs in zero sim time at the barrier instant); its exchange
+  // child covers launch -> barrier.
+  tracer().span("round.exchange", "net", exchange_started_,
+                sim_.now() - exchange_started_, telemetry::kControlTrack,
+                tracer().new_id(), round_span_);
   tracer().span("solver.round", "solver", round_started_,
-                sim_.now() - round_started_, telemetry::kControlTrack);
+                sim_.now() - round_started_, telemetry::kControlTrack,
+                round_span_, epoch_span_);
   if (done) {
     finish_solve(algorithm_->extract_allocation(context()));
   } else {
@@ -565,11 +589,37 @@ void EpochPipeline::complete_round(std::uint64_t generation) {
   }
 }
 
+/// Ask the backend for its per-replica view of the round that just
+/// stepped, stamp it, and feed the recorder/monitor.  Gated so runs
+/// without the opt-in attachments never touch the hook.
+void EpochPipeline::record_observation() {
+  if (recorder_ == nullptr && monitor_ == nullptr) return;
+  sample_scratch_.clear();
+  algorithm_->observe(context(), sample_scratch_);
+  for (auto& sample : sample_scratch_) {
+    sample.epoch = current_epoch_;
+    sample.time = sim_.now();
+    if (recorder_ != nullptr) recorder_->record(sample);
+    if (monitor_ != nullptr) monitor_->observe(sample);
+  }
+}
+
 void EpochPipeline::finish_solve(Matrix allocation) {
   solve_in_flight_ = false;
   set_all_selecting(false);
   tracer().span("epoch", "system", solve_started_,
-                sim_.now() - solve_started_, telemetry::kControlTrack);
+                sim_.now() - solve_started_, telemetry::kControlTrack,
+                epoch_span_, 0);
+  if (recorder_ != nullptr) {
+    auto summary = recorder_->end_epoch(sim_.now());
+    if (monitor_ != nullptr) monitor_->end_epoch(summary);
+    report_.convergence.push_back(summary);
+  } else if (monitor_ != nullptr) {
+    telemetry::EpochSummary summary;
+    summary.epoch = current_epoch_;
+    summary.end_time = sim_.now();
+    monitor_->end_epoch(summary);
+  }
 
   // Assignments out: the backend's fan-out tells each client its share
   // (the client's response time clock stops when its *last* share
@@ -663,6 +713,8 @@ void EpochPipeline::on_assignment_delivered(const net::Message& msg) {
       const double response_ms = milliseconds(sim_.now() - arrival);
       report_.response_times_ms.push_back(response_ms);
       response_metric_.observe(response_ms);
+      if (monitor_ != nullptr)
+        monitor_->observe_response(response_ms, sim_.now(), *epoch);
     }
     pending_responses_.erase(*epoch);
     expected_assignments_.erase(it);
@@ -736,6 +788,7 @@ RunReport EpochPipeline::finalize() {
   report_.control_messages = control.messages;
   report_.control_bytes = control.bytes;
   report_.requests_dropped = requests_dropped_;
+  if (monitor_ != nullptr) report_.alerts = monitor_->alerts();
   return std::move(report_);
 }
 

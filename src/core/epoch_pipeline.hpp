@@ -149,12 +149,23 @@ class EpochPipeline {
 
   // --- telemetry (sink handles / disabled tracer when telemetry unset) ---
   SimTime round_started_ = 0.0;
+  SimTime exchange_started_ = 0.0;
   telemetry::Counter epochs_metric_;
   telemetry::Counter rounds_metric_;
   telemetry::Counter requests_served_metric_;
   telemetry::Counter requests_dropped_metric_;
   telemetry::Histogram response_metric_;
   [[nodiscard]] telemetry::EventTracer& tracer();
+
+  // Opt-in observability (null unless enabled on the telemetry context
+  // before construction) plus the causal-span ids of the in-flight epoch
+  // and round.
+  telemetry::FlightRecorder* recorder_ = nullptr;
+  telemetry::ConvergenceMonitor* monitor_ = nullptr;
+  std::vector<telemetry::RoundSample> sample_scratch_;
+  std::uint64_t epoch_span_ = 0;
+  std::uint64_t round_span_ = 0;
+  void record_observation();
 
   [[nodiscard]] EpochContext context() const;
 

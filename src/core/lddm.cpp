@@ -137,6 +137,32 @@ LddmRoundStats LddmEngine::round() {
   objective_metric_.set(stats.objective);
   residual_metric_.set(stats.demand_residual);
   movement_metric_.set(stats.movement);
+  if (collect_stats_) {
+    // Observe the *recovered* solution, not the raw columns: dual iterates
+    // oscillate even at the optimum (see solution()), so raw per-column
+    // loads would read as pathological to any downstream monitor.
+    replica_stats_.assign(replicas, {});
+    for (std::size_t n = 0; n < replicas; ++n) {
+      auto& replica = replica_stats_[n];
+      double load = 0.0;
+      double previous_load = 0.0;
+      double sq = 0.0;
+      for (std::size_t c = 0; c < clients; ++c) {
+        const double value = current(c, n);
+        const double prev =
+            last_solution_.empty() ? 0.0 : last_solution_(c, n);
+        load += value;
+        previous_load += prev;
+        const double d = value - prev;
+        sq += d * d;
+      }
+      replica.local_objective =
+          optim::replica_cost(problem_->replica(n), load);
+      replica.movement = std::sqrt(sq);
+      replica.load = load;
+      replica.load_delta = load - previous_load;
+    }
+  }
   const double scale = std::max(problem_->total_demand(), 1.0);
   if (!last_solution_.empty() &&
       current.distance(last_solution_) <= options_.tolerance * scale) {

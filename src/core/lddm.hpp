@@ -66,6 +66,17 @@ struct LddmRoundStats {
   std::size_t bytes_exchanged = 0;
 };
 
+/// Per-replica view of one round, collected only when enabled — feeds the
+/// flight recorder.  Measured on the *recovered* solution (Cesàro average,
+/// repaired): the raw dual columns oscillate even at the optimum, so they
+/// are the wrong thing to observe.
+struct LddmReplicaStats {
+  double local_objective = 0.0;  ///< E_n at this round's recovered load
+  double movement = 0.0;  ///< ‖Δ recovered column‖₂ this round
+  double load = 0.0;      ///< recovered Σ_c p_{c,n}
+  double load_delta = 0.0;  ///< recovered load change vs the previous round
+};
+
 class LddmEngine {
  public:
   LddmEngine(const optim::Problem& problem, LddmOptions options = {});
@@ -124,6 +135,15 @@ class LddmEngine {
   /// gauge (solver.lddm.*) into `telemetry`.
   void attach_telemetry(telemetry::Telemetry& telemetry);
 
+  /// Collect LddmReplicaStats during round() (off by default; the flight
+  /// recorder path turns it on).
+  void set_collect_replica_stats(bool collect) { collect_stats_ = collect; }
+  [[nodiscard]] bool collect_replica_stats() const { return collect_stats_; }
+  /// Last round's per-replica stats (empty until a collected round ran).
+  [[nodiscard]] const std::vector<LddmReplicaStats>& replica_stats() const {
+    return replica_stats_;
+  }
+
   /// Messages / bytes the rounds so far would have put on the wire
   /// (accumulated round by round — the counters ScheduleResult is fed from,
   /// mirrored into solver.lddm.* when telemetry is attached).
@@ -147,6 +167,8 @@ class LddmEngine {
   telemetry::Gauge residual_metric_;
   telemetry::Gauge movement_metric_;
   double mu_step_ = 0.0;
+  bool collect_stats_ = false;
+  std::vector<LddmReplicaStats> replica_stats_;
   std::vector<double> mu_;                     // per client
   std::vector<std::vector<double>> columns_;   // per replica, per client
   std::vector<std::vector<double>> average_;   // running primal average

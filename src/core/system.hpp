@@ -164,6 +164,12 @@ struct RunReport {
   SimTime makespan = 0.0;
   /// Replicas that died (fault injection) during the run.
   std::vector<net::NodeId> failed_replicas;
+  /// Per-epoch convergence summaries; filled only when a FlightRecorder is
+  /// enabled on the telemetry context (empty otherwise, and the report
+  /// JSON omits the section so pinned goldens are unaffected).
+  std::vector<telemetry::EpochSummary> convergence;
+  /// Alerts raised by the ConvergenceMonitor, when one is enabled.
+  std::vector<telemetry::Alert> alerts;
 };
 
 class EpochPipeline;

@@ -63,6 +63,20 @@ void SimNetwork::send(Message message) {
   busy_until = start + transmission;
   const SimTime delivery = busy_until + seconds(params.latency);
 
+  // Flow arrow tail on the sender's track; the head is recorded at
+  // delivery so the viewer draws send -> receive across the two tracks.
+  std::uint64_t flow_id = 0;
+  if (flow_parent_ != 0 && telemetry_ != nullptr &&
+      telemetry_->tracer().enabled()) {
+    auto& tracer = telemetry_->tracer();
+    flow_id = tracer.new_id();
+    const auto name_it = type_names_.find(message.type);
+    tracer.flow_begin(flow_id,
+                      name_it != type_names_.end() ? name_it->second
+                                                   : "message",
+                      "net", message.from, flow_parent_);
+  }
+
   // Loss happens on the wire: the sender already paid the transmission
   // slot, the receiver just never sees the frame.
   if (params.loss_probability > 0.0 &&
@@ -72,13 +86,20 @@ void SimNetwork::send(Message message) {
     return;
   }
 
-  sim_.schedule_at(delivery, [this, msg = std::move(message)]() {
+  sim_.schedule_at(delivery, [this, flow_id, msg = std::move(message)]() {
     const auto it = handlers_.find(msg.to);
     if (it == handlers_.end()) return;  // crashed host: drop
     auto& receiver = stats_[msg.to];
     receiver.messages_received += 1;
     receiver.bytes_received += msg.bytes;
     messages_delivered_metric_.add(1);
+    if (flow_id != 0 && telemetry_ != nullptr) {
+      const auto name_it = type_names_.find(msg.type);
+      telemetry_->tracer().flow_end(
+          flow_id,
+          name_it != type_names_.end() ? name_it->second : "message", "net",
+          msg.to);
+    }
     it->second(msg);
   });
 }

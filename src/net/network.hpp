@@ -126,6 +126,14 @@ class SimNetwork {
   /// Wire message/byte counters and the link queueing-delay histogram.
   void attach_telemetry(telemetry::Telemetry& telemetry);
 
+  /// Causal flow tracing: while nonzero (and a tracer is attached and
+  /// enabled), every send records a flow-begin on the sender's track and a
+  /// flow-end at delivery on the receiver's, linked to `parent` (the
+  /// enclosing round span).  The pipeline brackets a round's coordination
+  /// fan-out with this; heartbeats and other background traffic keep
+  /// parent 0 and record no flows.
+  void set_flow_parent(std::uint64_t parent) { flow_parent_ = parent; }
+
   [[nodiscard]] Simulator& sim() { return sim_; }
 
  private:
@@ -141,6 +149,7 @@ class SimNetwork {
   std::map<int, TypeTraffic> traffic_by_type_;
   std::map<int, std::string> type_names_;
 
+  std::uint64_t flow_parent_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;  // null = sink handles only
   telemetry::Counter messages_sent_metric_;
   telemetry::Counter bytes_sent_metric_;

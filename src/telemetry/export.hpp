@@ -19,14 +19,27 @@ namespace edr::telemetry {
 /// one row per bucket).
 [[nodiscard]] std::string metrics_to_csv(const MetricsRegistry& registry);
 
+/// Prometheus text exposition (0.0.4): sanitized names, counters with a
+/// `_total` suffix, histograms as cumulative `_bucket{le=}` + `_sum` +
+/// `_count` series.  Suitable for the node-exporter textfile collector.
+[[nodiscard]] std::string metrics_to_prometheus(
+    const MetricsRegistry& registry);
+
+/// Flight-recorder dump as JSONL: one {"sample":...} line per retained
+/// RoundSample (oldest first) followed by one {"epoch":...} line per
+/// EpochSummary.
+[[nodiscard]] std::string flight_to_jsonl(const FlightRecorder& recorder);
+
 /// Chrome Trace Event Format JSON ({"traceEvents":[...]}), events sorted by
 /// sim-time ts.  `process_name` labels the single emitted pid.
 [[nodiscard]] std::string trace_to_chrome_json(
     const EventTracer& tracer, const std::string& process_name = "edr");
 
-/// Write `path` with the Chrome trace and `path` + ".metrics.jsonl" with the
-/// metrics dump.  Returns false (and reports via errno-style stderr) if
-/// either file cannot be written.
+/// Write `path` with the Chrome trace, `path` + ".metrics.jsonl" with the
+/// metrics dump, `path` + ".prom" with the Prometheus exposition, and —
+/// when a flight recorder is attached — `path` + ".flight.jsonl" with the
+/// sample stream.  Returns false (and reports via errno-style stderr) if
+/// any file cannot be written.
 bool export_telemetry(const Telemetry& telemetry, const std::string& path);
 
 }  // namespace edr::telemetry

@@ -32,18 +32,58 @@ std::string trace_to_chrome_json(const EventTracer& tracer,
       .end_object();
 
   for (const auto& event : events) {
+    const char* phase = "i";
+    switch (event.phase) {
+      case TraceEvent::Phase::kSpan:
+        phase = "X";
+        break;
+      case TraceEvent::Phase::kInstant:
+        phase = "i";
+        break;
+      case TraceEvent::Phase::kFlowStart:
+        phase = "s";
+        break;
+      case TraceEvent::Phase::kFlowEnd:
+        phase = "f";
+        break;
+    }
     json.begin_object()
         .field("name", event.name)
         .field("cat", event.category.empty() ? "edr" : event.category)
-        .field("ph", event.phase == TraceEvent::Phase::kSpan ? "X" : "i")
+        .field("ph", phase)
         // Trace Event Format timestamps are microseconds.
         .field("ts", event.ts * 1e6)
         .field("pid", 0)
         .field("tid", event.tid);
-    if (event.phase == TraceEvent::Phase::kSpan)
-      json.field("dur", event.dur * 1e6);
-    else
-      json.field("s", "t");  // instant scope: thread
+    switch (event.phase) {
+      case TraceEvent::Phase::kSpan:
+        json.field("dur", event.dur * 1e6);
+        // Causal links render in the args pane; the viewer has no native
+        // parent field for "X" events.
+        if (event.id != 0) {
+          json.key("args").begin_object().field("span_id", event.id);
+          if (event.parent != 0) json.field("parent_id", event.parent);
+          json.end_object();
+        }
+        break;
+      case TraceEvent::Phase::kInstant:
+        json.field("s", "t");  // instant scope: thread
+        break;
+      case TraceEvent::Phase::kFlowStart:
+        // A flow-start/flow-end pair is bound by cat + id and drawn as an
+        // arrow between their tracks.
+        json.field("id", event.id);
+        if (event.parent != 0) {
+          json.key("args")
+              .begin_object()
+              .field("parent_id", event.parent)
+              .end_object();
+        }
+        break;
+      case TraceEvent::Phase::kFlowEnd:
+        json.field("id", event.id).field("bp", "e");
+        break;
+    }
     json.end_object();
   }
 

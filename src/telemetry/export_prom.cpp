@@ -1,0 +1,69 @@
+// Prometheus text exposition (version 0.0.4) for the metrics registry.
+//
+// The runtime's metric names use dots ("system.epochs"); Prometheus names
+// are [a-zA-Z0-9_:], so every other character maps to '_'.  Counters get
+// the conventional `_total` suffix; histograms expand to cumulative
+// `_bucket{le=...}` series plus `_sum`/`_count`, matching what a scraper
+// expects from a client library.
+#include <string>
+#include <string_view>
+
+#include "common/fmt.hpp"
+#include "telemetry/export.hpp"
+
+namespace edr::telemetry {
+
+namespace {
+
+std::string sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9'))
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& view : registry.counters()) {
+    const auto name = sanitize(view.name) + "_total";
+    out += strf("# TYPE %s counter\n", name.c_str());
+    out += strf("%s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(view.value));
+  }
+  for (const auto& view : registry.gauges()) {
+    const auto name = sanitize(view.name);
+    out += strf("# TYPE %s gauge\n", name.c_str());
+    out += strf("%s %.17g\n", name.c_str(), view.value);
+  }
+  for (const auto& view : registry.histograms()) {
+    const auto name = sanitize(view.name);
+    out += strf("# TYPE %s histogram\n", name.c_str());
+    // Exposition buckets are cumulative, unlike the registry's per-bucket
+    // counts.
+    unsigned long long cumulative = 0;
+    for (std::size_t i = 0; i < view.slot->counts.size(); ++i) {
+      cumulative += static_cast<unsigned long long>(view.slot->counts[i]);
+      if (i < view.slot->bounds.size()) {
+        out += strf("%s_bucket{le=\"%.17g\"} %llu\n", name.c_str(),
+                    view.slot->bounds[i], cumulative);
+      } else {
+        out += strf("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                    cumulative);
+      }
+    }
+    out += strf("%s_sum %.17g\n", name.c_str(), view.slot->sum);
+    out += strf("%s_count %llu\n", name.c_str(),
+                static_cast<unsigned long long>(view.slot->count));
+  }
+  return out;
+}
+
+}  // namespace edr::telemetry

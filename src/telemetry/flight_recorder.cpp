@@ -1,0 +1,94 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace edr::telemetry {
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : capacity_(std::max<std::size_t>(options.capacity, 1)) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void FlightRecorder::begin_epoch(std::size_t epoch, double now) {
+  epoch_open_ = true;
+  current_ = EpochSummary{};
+  current_.epoch = epoch;
+  current_.start_time = now;
+  current_.min_capacity_slack = std::numeric_limits<double>::infinity();
+  seen_replicas_.clear();
+  first_round_ = 0;
+  last_round_ = 0;
+  first_objective_sum_ = 0.0;
+  last_objective_sum_ = 0.0;
+  last_disagreement_ = 0.0;
+  any_sample_ = false;
+}
+
+void FlightRecorder::record(const RoundSample& sample) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(sample);
+  } else {
+    ring_[recorded_ % capacity_] = sample;
+  }
+  ++recorded_;
+
+  if (!epoch_open_) return;
+  any_sample_ = true;
+  ++current_.samples;
+  current_.rounds = std::max(current_.rounds, sample.round);
+  current_.messages += sample.messages_sent;
+  current_.bytes += sample.bytes_sent;
+  current_.max_gradient_norm =
+      std::max(current_.max_gradient_norm, sample.gradient_norm);
+  current_.min_capacity_slack =
+      std::min(current_.min_capacity_slack, sample.capacity_slack);
+  if (std::find(seen_replicas_.begin(), seen_replicas_.end(),
+                sample.replica) == seen_replicas_.end())
+    seen_replicas_.push_back(sample.replica);
+
+  // First/last-round objective totals; a later round resets the "last"
+  // accumulator, the first round ever seen owns the "first" one.
+  if (first_round_ == 0) first_round_ = sample.round;
+  if (sample.round == first_round_) first_objective_sum_ += sample.objective;
+  if (sample.round > last_round_) {
+    last_round_ = sample.round;
+    last_objective_sum_ = 0.0;
+    last_disagreement_ = 0.0;
+  }
+  if (sample.round == last_round_) {
+    last_objective_sum_ += sample.objective;
+    last_disagreement_ = std::max(last_disagreement_, sample.disagreement);
+  }
+}
+
+EpochSummary FlightRecorder::end_epoch(double now) {
+  current_.end_time = now;
+  current_.replicas = seen_replicas_.size();
+  current_.first_objective = first_objective_sum_;
+  current_.final_objective = last_objective_sum_;
+  current_.final_disagreement = last_disagreement_;
+  if (!any_sample_) current_.min_capacity_slack = 0.0;
+  epochs_.push_back(current_);
+  epoch_open_ = false;
+  return current_;
+}
+
+std::vector<RoundSample> FlightRecorder::samples() const {
+  if (recorded_ <= capacity_) return ring_;
+  std::vector<RoundSample> ordered;
+  ordered.reserve(ring_.size());
+  const std::size_t head = recorded_ % capacity_;
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    ordered.push_back(ring_[(head + i) % capacity_]);
+  return ordered;
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  recorded_ = 0;
+  epochs_.clear();
+  epoch_open_ = false;
+}
+
+}  // namespace edr::telemetry

@@ -1,0 +1,126 @@
+// Convergence flight recorder: a bounded ring of per-(round, replica)
+// solver samples plus per-epoch summaries.
+//
+// The paper's evaluation is entirely about convergence trajectories
+// (objective descent, consensus disagreement, rounds-to-convergence), yet
+// the run report only carries end-of-run aggregates.  The recorder keeps
+// the trajectory: `EpochPipeline` asks the active `DistributedAlgorithm`
+// to `observe()` after every round (or after a one-shot solve) and feeds
+// the resulting samples here.  Like the event tracer, the sample buffer is
+// a fixed-capacity ring so a recorder can stay attached to an arbitrarily
+// long run; per-epoch summaries are small and kept in full.
+//
+// The recorder is a strictly opt-in attachment on the Telemetry context
+// (see Telemetry::enable_flight_recorder): a run with plain telemetry
+// never allocates one and stays byte-identical to the pinned goldens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace edr::telemetry {
+
+/// One structured observation of one replica after one solver round.
+/// Iterative algorithms emit one per (round, active replica); one-shot
+/// algorithms emit a single round-1 batch per epoch.
+struct RoundSample {
+  std::size_t epoch = 0;      ///< stamped by the pipeline
+  std::size_t round = 0;      ///< 1-based round within the epoch
+  std::uint32_t replica = 0;  ///< global replica index
+  double time = 0.0;          ///< sim-time, stamped by the pipeline
+  double objective = 0.0;     ///< local energy cost E_n at the current load
+  /// Global objective of the recovered solution after this round (same
+  /// value on every sample of the round).  The divergence detector watches
+  /// this, not the local sums: local objectives legitimately rise while
+  /// load redistributes between replicas.
+  double round_objective = 0.0;
+  double gradient_norm = 0.0;  ///< |∇E_n| (0 for gradient-free backends)
+  /// Consensus disagreement: max pairwise estimate distance (CDPSM),
+  /// demand residual (LDDM), or solution movement (DONAR).
+  double disagreement = 0.0;
+  /// Magnitude of the feasibility-projection correction this round.
+  double projection_correction = 0.0;
+  double capacity_slack = 0.0;  ///< bandwidth − assigned load, problem units
+  double load = 0.0;            ///< load assigned to this replica
+  double load_delta = 0.0;      ///< signed load change vs the previous round
+  std::uint64_t messages_sent = 0;  ///< coordination messages this round
+  std::uint64_t bytes_sent = 0;     ///< coordination bytes this round
+};
+
+/// Aggregate view of one epoch's recorded samples; appended to
+/// RunReport::convergence so reports carry the trajectory shape without
+/// the full sample stream.
+struct EpochSummary {
+  std::size_t epoch = 0;
+  std::size_t rounds = 0;    ///< highest round observed
+  std::size_t replicas = 0;  ///< distinct replicas observed
+  std::size_t samples = 0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  /// Total objective (sum of local E_n) over the first / last round.
+  double first_objective = 0.0;
+  double final_objective = 0.0;
+  double final_disagreement = 0.0;
+  double max_gradient_norm = 0.0;
+  double min_capacity_slack = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  /// Alerts the monitor raised during this epoch (0 without a monitor).
+  std::size_t alerts = 0;
+};
+
+struct FlightRecorderOptions {
+  /// Sample ring capacity; old samples are overwritten past this.
+  std::size_t capacity = 1 << 16;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  /// Open an epoch: resets the running aggregate.  An epoch left open by
+  /// an aborted solve (replica death) is simply discarded by the next
+  /// begin_epoch.
+  void begin_epoch(std::size_t epoch, double now);
+
+  /// Record one sample (the ring accepts samples outside an open epoch,
+  /// they just don't aggregate into a summary).
+  void record(const RoundSample& sample);
+
+  /// Close the open epoch: finalizes, stores and returns its summary.
+  EpochSummary end_epoch(double now);
+
+  /// Retained samples, oldest first.
+  [[nodiscard]] std::vector<RoundSample> samples() const;
+  [[nodiscard]] const std::vector<EpochSummary>& epochs() const {
+    return epochs_;
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Samples recorded since construction (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return recorded_ <= capacity_ ? 0 : recorded_ - capacity_;
+  }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<RoundSample> ring_;
+  std::uint64_t recorded_ = 0;
+  std::vector<EpochSummary> epochs_;
+
+  // Running aggregate of the open epoch.
+  bool epoch_open_ = false;
+  EpochSummary current_;
+  std::vector<std::uint32_t> seen_replicas_;
+  std::size_t first_round_ = 0;
+  std::size_t last_round_ = 0;
+  double first_objective_sum_ = 0.0;
+  double last_objective_sum_ = 0.0;
+  double last_disagreement_ = 0.0;
+  bool any_sample_ = false;
+};
+
+}  // namespace edr::telemetry

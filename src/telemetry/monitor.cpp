@@ -1,0 +1,301 @@
+#include "telemetry/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/fmt.hpp"
+
+namespace edr::telemetry {
+
+const char* to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kDivergence:
+      return "divergence";
+    case AlertKind::kOscillation:
+      return "oscillation";
+    case AlertKind::kStall:
+      return "stall";
+    case AlertKind::kCapacity:
+      return "capacity";
+    case AlertKind::kSlo:
+      return "slo";
+  }
+  return "unknown";
+}
+
+const char* to_string(AlertSeverity severity) {
+  switch (severity) {
+    case AlertSeverity::kWarning:
+      return "warning";
+    case AlertSeverity::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+ConvergenceMonitor::ConvergenceMonitor(MonitorOptions options)
+    : options_(options) {
+  options_.divergence_rounds = std::max<std::size_t>(1, options_.divergence_rounds);
+  options_.oscillation_window =
+      std::max<std::size_t>(2, options_.oscillation_window);
+  options_.oscillation_flips = std::max<std::size_t>(1, options_.oscillation_flips);
+  options_.stall_rounds = std::max<std::size_t>(1, options_.stall_rounds);
+}
+
+void ConvergenceMonitor::attach_metrics(MetricsRegistry& metrics) {
+  alerts_metric_ = metrics.counter("monitor.alerts");
+  for (std::size_t kind = 0; kind < kNumAlertKinds; ++kind)
+    kind_metrics_[kind] = metrics.counter(
+        std::string{"monitor.alerts."} +
+        to_string(static_cast<AlertKind>(kind)));
+}
+
+void ConvergenceMonitor::set_alert_callback(
+    std::function<void(const Alert&)> callback) {
+  on_alert_ = std::move(callback);
+}
+
+void ConvergenceMonitor::set_epoch_callback(
+    std::function<void(const EpochSummary&)> callback) {
+  on_epoch_ = std::move(callback);
+}
+
+void ConvergenceMonitor::begin_epoch(std::size_t epoch) {
+  current_epoch_ = epoch;
+  raised_this_epoch_ = 0;
+  // Detector windows span one epoch: every epoch is a fresh solve from a
+  // fresh (or warm-started) iterate, so trends must not leak across the
+  // boundary.
+  replicas_.clear();
+  has_pending_ = false;
+  pending_total_ = 0.0;
+  pending_disagreement_ = 0.0;
+  pending_load_ = 0.0;
+  has_round_total_ = false;
+  rise_count_ = 0;
+  has_disagreement_ = false;
+  plateau_count_ = 0;
+  std::fill(std::begin(epoch_raised_), std::end(epoch_raised_), false);
+}
+
+ConvergenceMonitor::ReplicaState& ConvergenceMonitor::state_for(
+    std::uint32_t replica) {
+  for (auto& state : replicas_)
+    if (state.replica == replica) return state;
+  replicas_.emplace_back();
+  replicas_.back().replica = replica;
+  return replicas_.back();
+}
+
+void ConvergenceMonitor::raise(ReplicaState* state, Alert alert) {
+  const auto kind = static_cast<std::size_t>(alert.kind);
+  if (state != nullptr) {
+    if (state->raised[kind]) return;  // one per (kind, replica) per epoch
+    state->raised[kind] = true;
+  }
+  ++raised_total_;
+  ++raised_this_epoch_;
+  ++raised_by_kind_[kind];
+  alerts_metric_.add(1);
+  kind_metrics_[kind].add(1);
+  if (alerts_.size() < options_.max_alerts) alerts_.push_back(alert);
+  if (on_alert_) on_alert_(alert);
+}
+
+void ConvergenceMonitor::finalize_round() {
+  // Divergence: the recovered solution's global objective rising K
+  // consecutive rounds.  Per-replica (and even summed) local objectives
+  // rise for long healthy stretches while load redistributes between
+  // replicas; the recovered objective only rises when the iteration is
+  // actually getting worse.
+  if (has_round_total_) {
+    const double floor =
+        options_.divergence_min_rise *
+        std::max(std::abs(last_round_total_), 1.0);
+    if (pending_total_ > last_round_total_ + floor) {
+      if (rise_count_ == 0) streak_start_ = last_round_total_;
+      ++rise_count_;
+    } else {
+      rise_count_ = 0;
+    }
+    // A rising streak is divergence only with corroboration: geometric
+    // growth since the streak started, or consensus broken outright
+    // (disagreement past the whole assigned load) — see MonitorOptions.
+    const bool grew = pending_total_ >=
+                      options_.divergence_growth *
+                          std::max(streak_start_, 1e-12);
+    const bool broken_consensus =
+        pending_disagreement_ >
+        options_.divergence_disagreement * std::max(pending_load_, 1e-9);
+    if (rise_count_ >= options_.divergence_rounds &&
+        (grew || broken_consensus) &&
+        !epoch_raised_[static_cast<std::size_t>(AlertKind::kDivergence)]) {
+      epoch_raised_[static_cast<std::size_t>(AlertKind::kDivergence)] = true;
+      Alert alert;
+      alert.kind = AlertKind::kDivergence;
+      alert.severity = AlertSeverity::kCritical;
+      alert.epoch = pending_epoch_;
+      alert.round = pending_round_;
+      alert.value = pending_total_;
+      alert.threshold = static_cast<double>(options_.divergence_rounds);
+      alert.time = pending_time_;
+      alert.message =
+          grew ? strf("objective rose %zu consecutive rounds (now %.6g, "
+                      "%.2gx since the streak began)",
+                      rise_count_, pending_total_,
+                      pending_total_ / std::max(streak_start_, 1e-12))
+               : strf("objective rose %zu consecutive rounds with consensus "
+                      "broken (disagreement %.6g vs load %.6g)",
+                      rise_count_, pending_disagreement_, pending_load_);
+      raise(nullptr, std::move(alert));
+    }
+  }
+  last_round_total_ = pending_total_;
+  has_round_total_ = true;
+
+  // Stall: disagreement plateaus while still a large fraction of the
+  // assigned load.  A healthy consensus iteration descends to a small
+  // nonzero fixed-point spread (≤ ~8% of load on the paper setups) — only a
+  // plateau where the replicas still substantially disagree is a stall.
+  const double disagreement = pending_disagreement_;
+  const double stall_floor =
+      options_.stall_disagreement * std::max(pending_load_, 1e-9);
+  if (disagreement > stall_floor) {
+    const double reference = std::max(std::abs(last_disagreement_), 1e-12);
+    if (has_disagreement_ &&
+        std::abs(disagreement - last_disagreement_) <=
+            options_.stall_epsilon * reference) {
+      ++plateau_count_;
+    } else {
+      plateau_count_ = 0;
+    }
+    if (plateau_count_ >= options_.stall_rounds &&
+        !epoch_raised_[static_cast<std::size_t>(AlertKind::kStall)]) {
+      epoch_raised_[static_cast<std::size_t>(AlertKind::kStall)] = true;
+      Alert alert;
+      alert.kind = AlertKind::kStall;
+      alert.severity = AlertSeverity::kWarning;
+      alert.epoch = pending_epoch_;
+      alert.round = pending_round_;
+      alert.value = disagreement;
+      alert.threshold = stall_floor;
+      alert.time = pending_time_;
+      alert.message = strf(
+          "disagreement stuck at %.6g (%.0f%% of assigned load) for %zu "
+          "rounds",
+          disagreement, 100.0 * disagreement / std::max(pending_load_, 1e-9),
+          plateau_count_);
+      raise(nullptr, std::move(alert));
+    }
+  } else {
+    plateau_count_ = 0;
+  }
+  last_disagreement_ = disagreement;
+  has_disagreement_ = true;
+
+  pending_total_ = 0.0;
+  pending_disagreement_ = 0.0;
+  pending_load_ = 0.0;
+  has_pending_ = false;
+}
+
+void ConvergenceMonitor::observe(const RoundSample& sample) {
+  if (has_pending_ && sample.round != pending_round_) finalize_round();
+  pending_round_ = sample.round;
+  pending_epoch_ = sample.epoch;
+  pending_time_ = sample.time;
+  pending_total_ = sample.round_objective;
+  pending_disagreement_ =
+      std::max(pending_disagreement_, sample.disagreement);
+  pending_load_ += sample.load;
+  has_pending_ = true;
+
+  auto& state = state_for(sample.replica);
+
+  // Oscillation: load_delta sign flipping within the moving window
+  // (deltas below a fraction of the load are settling noise, not flips).
+  const double delta_floor = options_.oscillation_min_delta *
+                             std::max(std::abs(sample.load), 1.0);
+  if (std::abs(sample.load_delta) > delta_floor) {
+    state.delta_signs.push_back(sample.load_delta > 0.0 ? 1 : -1);
+    if (state.delta_signs.size() > options_.oscillation_window)
+      state.delta_signs.erase(state.delta_signs.begin());
+    std::size_t flips = 0;
+    for (std::size_t i = 1; i < state.delta_signs.size(); ++i)
+      if (state.delta_signs[i] != state.delta_signs[i - 1]) ++flips;
+    if (state.delta_signs.size() >= options_.oscillation_window &&
+        flips >= options_.oscillation_flips) {
+      Alert alert;
+      alert.kind = AlertKind::kOscillation;
+      alert.severity = AlertSeverity::kWarning;
+      alert.epoch = sample.epoch;
+      alert.round = sample.round;
+      alert.replica = sample.replica;
+      alert.value = static_cast<double>(flips);
+      alert.threshold = static_cast<double>(options_.oscillation_flips);
+      alert.time = sample.time;
+      alert.message =
+          strf("allocation delta flipped sign %zu times in %zu rounds on "
+               "replica %u",
+               flips, state.delta_signs.size(), sample.replica);
+      raise(&state, std::move(alert));
+    }
+  }
+
+  // Capacity: assigned load over the bandwidth cap.
+  if (sample.capacity_slack < options_.capacity_slack_min) {
+    Alert alert;
+    alert.kind = AlertKind::kCapacity;
+    alert.severity = AlertSeverity::kCritical;
+    alert.epoch = sample.epoch;
+    alert.round = sample.round;
+    alert.replica = sample.replica;
+    alert.value = sample.capacity_slack;
+    alert.threshold = options_.capacity_slack_min;
+    alert.time = sample.time;
+    alert.message =
+        strf("replica %u over capacity by %.6g (load %.6g)", sample.replica,
+             -sample.capacity_slack, sample.load);
+    raise(&state, std::move(alert));
+  }
+}
+
+void ConvergenceMonitor::observe_response(double response_ms, double time,
+                                          std::size_t epoch) {
+  if (options_.response_slo_ms <= 0.0 ||
+      response_ms <= options_.response_slo_ms)
+    return;
+  if (std::find(slo_alerted_epochs_.begin(), slo_alerted_epochs_.end(),
+                epoch) != slo_alerted_epochs_.end())
+    return;
+  slo_alerted_epochs_.push_back(epoch);
+  Alert alert;
+  alert.kind = AlertKind::kSlo;
+  alert.severity = AlertSeverity::kWarning;
+  alert.epoch = epoch;
+  alert.replica = kNoReplica;
+  alert.value = response_ms;
+  alert.threshold = options_.response_slo_ms;
+  alert.time = time;
+  alert.message = strf("epoch %zu response time %.3f ms exceeds SLO %.3f ms",
+                       epoch, response_ms, options_.response_slo_ms);
+  raise(nullptr, std::move(alert));
+}
+
+void ConvergenceMonitor::end_epoch(EpochSummary& summary) {
+  if (has_pending_) finalize_round();
+  summary.alerts = raised_this_epoch_;
+  if (on_epoch_) on_epoch_(summary);
+}
+
+void ConvergenceMonitor::clear() {
+  replicas_.clear();
+  alerts_.clear();
+  raised_total_ = 0;
+  raised_this_epoch_ = 0;
+  std::fill(std::begin(raised_by_kind_), std::end(raised_by_kind_), 0);
+  slo_alerted_epochs_.clear();
+}
+
+}  // namespace edr::telemetry

@@ -1,0 +1,197 @@
+// Anomaly + SLO monitor: streaming detectors over flight-recorder samples.
+//
+// A diverging or oscillating solver used to look identical to a healthy
+// one until the final report.  The monitor watches the per-(round,
+// replica) sample stream as the pipeline produces it and raises structured
+// alerts the moment a trajectory goes wrong:
+//
+//   divergence   — the round-total objective rises K consecutive rounds
+//   oscillation  — a replica's load flips sign of change back and forth
+//   stall        — disagreement plateaus at a large fraction of the load
+//   capacity     — assigned load exceeds the replica's bandwidth cap
+//   slo          — an epoch's client response time exceeds the SLO bound
+//
+// Divergence and stall are epoch-level trends: a single replica's local
+// objective legitimately rises for long stretches while load redistributes
+// toward cheap replicas, and CDPSM's raw estimate disagreement settles on a
+// nonzero fixed-point spread — only the *total* objective rising, or a
+// plateau at a large fraction of the assigned load, separates sickness
+// from normal convergence.  Oscillation and capacity stay per-replica.  All
+// detectors are deduplicated per (kind, replica, epoch), so a persistently
+// sick run raises one alert per epoch, not one per round.
+// Like the flight recorder this is a strictly opt-in attachment
+// (Telemetry::enable_monitor) — metrics are registered only when enabled,
+// keeping the default telemetry path byte-identical to the goldens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/registry.hpp"
+
+namespace edr::telemetry {
+
+enum class AlertKind : std::uint8_t {
+  kDivergence,
+  kOscillation,
+  kStall,
+  kCapacity,
+  kSlo,
+};
+inline constexpr std::size_t kNumAlertKinds = 5;
+
+enum class AlertSeverity : std::uint8_t {
+  kWarning,
+  kCritical,
+};
+
+[[nodiscard]] const char* to_string(AlertKind kind);
+[[nodiscard]] const char* to_string(AlertSeverity severity);
+
+/// Sentinel replica index for run-wide alerts (SLO violations).
+inline constexpr std::uint32_t kNoReplica = 0xffffffffu;
+
+struct Alert {
+  AlertKind kind = AlertKind::kDivergence;
+  AlertSeverity severity = AlertSeverity::kWarning;
+  std::size_t epoch = 0;
+  std::size_t round = 0;
+  std::uint32_t replica = kNoReplica;
+  double value = 0.0;      ///< the observed quantity that tripped the alarm
+  double threshold = 0.0;  ///< the configured bound it crossed
+  double time = 0.0;       ///< sim-time of the triggering sample
+  std::string message;     ///< human-readable one-liner
+};
+
+struct MonitorOptions {
+  /// Divergence: the round-total objective must rise this many consecutive
+  /// rounds.
+  std::size_t divergence_rounds = 4;
+  /// Minimum per-round rise to count, as a fraction of the previous total
+  /// (filters float noise and asymptotic creep).
+  double divergence_min_rise = 1e-6;
+  /// The streak alone is not enough: healthy runs show long modest rises
+  /// (an epoch's feasible start can cost less on the recovered metric than
+  /// the constrained optimum it converges to — observed up to ~1.7x growth
+  /// over 100+ rounds).  A rising streak is divergence when either
+  ///   (a) the objective has grown by `divergence_growth` since the streak
+  ///       started (geometric growth clears any constant factor), or
+  ///   (b) consensus is broken: disagreement exceeds `divergence_disagreement`
+  ///       × the round's total assigned load.  An over-stepped projected
+  ///       subgradient stays *bounded* (the projection caps the objective)
+  ///       but walks uphill with the replicas in wild disagreement
+  ///       (observed ≥ 1.8× load vs ≤ 0.46× in healthy transients).
+  double divergence_growth = 3.0;
+  double divergence_disagreement = 1.0;
+  /// Oscillation: at least `oscillation_flips` sign flips of load_delta
+  /// within the last `oscillation_window` moving rounds.
+  std::size_t oscillation_window = 12;
+  std::size_t oscillation_flips = 8;
+  /// |load_delta| below this fraction of the replica's load is treated as
+  /// "not moving", not a flip.
+  double oscillation_min_delta = 0.005;
+  /// Stall: disagreement stays within ±stall_epsilon (relative) of itself
+  /// for `stall_rounds` rounds while above `stall_disagreement` × the
+  /// round's total assigned load.  The floor is load-relative because a
+  /// healthy consensus iteration settles on a small nonzero fixed-point
+  /// spread (observed up to ~8% of load); a genuine stall plateaus with
+  /// the replicas still substantially disagreeing about the allocation.
+  std::size_t stall_rounds = 25;
+  double stall_disagreement = 0.25;
+  double stall_epsilon = 0.05;
+  /// Capacity: slack below this raises a critical alert (slightly negative
+  /// to absorb projection round-off).
+  double capacity_slack_min = -1e-6;
+  /// Response-time SLO in milliseconds; 0 disables the detector.
+  double response_slo_ms = 0.0;
+  /// Stored-alert bound; past it alerts are counted but not retained.
+  std::size_t max_alerts = 1024;
+};
+
+class ConvergenceMonitor {
+ public:
+  explicit ConvergenceMonitor(MonitorOptions options = {});
+
+  /// Register alert counters (monitor.alerts + one per kind) on a metrics
+  /// registry.  Called by Telemetry::enable_monitor, so the counters exist
+  /// only when a monitor does.
+  void attach_metrics(MetricsRegistry& metrics);
+
+  /// Fires synchronously for every alert as it is raised.
+  void set_alert_callback(std::function<void(const Alert&)> callback);
+  /// Fires at end_epoch with the finalized summary (used by edr_sim
+  /// --watch for the per-epoch terminal line).
+  void set_epoch_callback(std::function<void(const EpochSummary&)> callback);
+
+  /// Reset per-replica detector state and the per-epoch dedup table.
+  void begin_epoch(std::size_t epoch);
+  /// Feed one flight-recorder sample through every detector.
+  void observe(const RoundSample& sample);
+  /// Feed one client response time (ms) for the SLO detector.
+  void observe_response(double response_ms, double time, std::size_t epoch);
+  /// Stamp the epoch's alert count into `summary` and fire the epoch
+  /// callback.
+  void end_epoch(EpochSummary& summary);
+
+  [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
+  /// Total raised per kind (counts past max_alerts too).
+  [[nodiscard]] std::size_t alerts_of(AlertKind kind) const {
+    return raised_by_kind_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::size_t total_raised() const { return raised_total_; }
+  [[nodiscard]] const MonitorOptions& options() const { return options_; }
+
+  void clear();
+
+ private:
+  struct ReplicaState {
+    std::uint32_t replica = kNoReplica;
+    std::vector<int> delta_signs;  ///< sliding window, oldest first
+    bool raised[kNumAlertKinds] = {};  ///< per-epoch (kind, replica) dedup
+  };
+
+  ReplicaState& state_for(std::uint32_t replica);
+  void raise(ReplicaState* state, Alert alert);
+  /// Close the round being accumulated and run the epoch-level detectors
+  /// (divergence on the round-total objective, stall on disagreement).
+  void finalize_round();
+
+  MonitorOptions options_;
+  std::size_t current_epoch_ = 0;
+  std::vector<ReplicaState> replicas_;
+  /// Round being accumulated (samples for one round arrive together).
+  std::size_t pending_round_ = 0;
+  double pending_total_ = 0.0;  ///< the round's recovered global objective
+  double pending_disagreement_ = 0.0;
+  double pending_load_ = 0.0;  ///< total assigned load this round
+  double pending_time_ = 0.0;
+  std::size_t pending_epoch_ = 0;
+  bool has_pending_ = false;
+  /// Epoch-level divergence state: previous round's recovered objective.
+  double last_round_total_ = 0.0;
+  bool has_round_total_ = false;
+  std::size_t rise_count_ = 0;
+  double streak_start_ = 0.0;  ///< objective where the current streak began
+  /// Epoch-level stall state.
+  double last_disagreement_ = 0.0;
+  bool has_disagreement_ = false;
+  std::size_t plateau_count_ = 0;
+  bool epoch_raised_[kNumAlertKinds] = {};  ///< dedup for run-wide kinds
+  std::vector<Alert> alerts_;
+  std::size_t raised_total_ = 0;
+  std::size_t raised_this_epoch_ = 0;
+  std::size_t raised_by_kind_[kNumAlertKinds] = {};
+  /// Epochs that already raised an SLO alert (responses for epoch E arrive
+  /// after end_epoch(E), so a per-epoch bool would not dedup them).
+  std::vector<std::size_t> slo_alerted_epochs_;
+  Counter alerts_metric_;
+  Counter kind_metrics_[kNumAlertKinds];
+  std::function<void(const Alert&)> on_alert_;
+  std::function<void(const EpochSummary&)> on_epoch_;
+};
+
+}  // namespace edr::telemetry

@@ -23,6 +23,16 @@ HistogramSlot* histogram_sink() {
   return &sink;
 }
 
+void reset_sinks() {
+  *counter_sink() = CounterSlot{0, /*atomic=*/true};
+  *gauge_sink() = GaugeSlot{0.0, /*atomic=*/true};
+  auto* histogram = histogram_sink();
+  histogram->bounds.clear();
+  histogram->counts.assign(1, 0);
+  histogram->sum = 0.0;
+  histogram->count = 0;
+}
+
 }  // namespace detail
 
 void Histogram::observe(double value) {

@@ -50,6 +50,12 @@ CounterSlot* counter_sink();
 GaugeSlot* gauge_sink();
 HistogramSlot* histogram_sink();
 
+/// Zero the process-wide sink slots.  Default-constructed handles funnel
+/// into these, so sink values accumulate across runs in one process; tests
+/// that read them (or want a clean slate between back-to-back runs) call
+/// this instead of inheriting the previous run's counts.
+void reset_sinks();
+
 }  // namespace detail
 
 class Counter {
@@ -123,8 +129,11 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const;
   [[nodiscard]] double sum() const;
   [[nodiscard]] double mean() const;
-  /// Linear-interpolation quantile estimate from the bucket counts
-  /// (q in [0, 1]); the +inf bucket reports the last finite bound.
+  /// Linear-interpolation quantile estimate from the bucket counts.
+  /// Clamping contract: q outside [0, 1] is clamped; an empty histogram
+  /// (no observations, or a default sink handle with no bounds) reports
+  /// 0.0; any mass that landed in the implicit +inf bucket reports the
+  /// last finite bound — the estimate never extrapolates past the edges.
   [[nodiscard]] double quantile(double q) const;
 
  private:

@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <memory>
 
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/monitor.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -32,9 +34,38 @@ class Telemetry {
   [[nodiscard]] EventTracer& tracer() { return tracer_; }
   [[nodiscard]] const EventTracer& tracer() const { return tracer_; }
 
+  /// Opt-in solver observability.  Nothing is allocated or registered
+  /// until enabled, so a plain telemetry context observes byte-identical
+  /// runs (the golden-equivalence digests depend on this).  Enable before
+  /// constructing the system — the pipeline caches the pointers.
+  /// Idempotent: a second enable returns the existing attachment.
+  FlightRecorder& enable_flight_recorder(FlightRecorderOptions options = {}) {
+    if (!recorder_) recorder_ = std::make_unique<FlightRecorder>(options);
+    return *recorder_;
+  }
+  ConvergenceMonitor& enable_monitor(MonitorOptions options = {}) {
+    if (!monitor_) {
+      monitor_ = std::make_unique<ConvergenceMonitor>(options);
+      monitor_->attach_metrics(metrics_);
+    }
+    return *monitor_;
+  }
+
+  /// Null when the corresponding attachment was never enabled.
+  [[nodiscard]] FlightRecorder* flight_recorder() { return recorder_.get(); }
+  [[nodiscard]] const FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+  [[nodiscard]] ConvergenceMonitor* monitor() { return monitor_.get(); }
+  [[nodiscard]] const ConvergenceMonitor* monitor() const {
+    return monitor_.get();
+  }
+
  private:
   MetricsRegistry metrics_;
   EventTracer tracer_;
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<ConvergenceMonitor> monitor_;
 };
 
 /// Convenience factory for the common `cfg.telemetry = make_telemetry()`

@@ -18,13 +18,16 @@ void EventTracer::set_clock(std::function<double()> clock) {
 double EventTracer::now() const { return clock_ ? clock_() : last_time_; }
 
 void EventTracer::span(std::string_view name, std::string_view category,
-                       double start, double duration, std::uint32_t tid) {
+                       double start, double duration, std::uint32_t tid,
+                       std::uint64_t id, std::uint64_t parent) {
   if (!enabled_) return;
   TraceEvent event;
   event.ts = start;
   event.dur = std::max(duration, 0.0);
   event.tid = tid;
   event.phase = TraceEvent::Phase::kSpan;
+  event.id = id;
+  event.parent = parent;
   event.name = name;
   event.category = category;
   push(std::move(event));
@@ -37,6 +40,34 @@ void EventTracer::instant(std::string_view name, std::string_view category,
   event.ts = now();
   event.tid = tid;
   event.phase = TraceEvent::Phase::kInstant;
+  event.name = name;
+  event.category = category;
+  push(std::move(event));
+}
+
+void EventTracer::flow_begin(std::uint64_t id, std::string_view name,
+                             std::string_view category, std::uint32_t tid,
+                             std::uint64_t parent) {
+  if (!enabled_ || id == 0) return;
+  TraceEvent event;
+  event.ts = now();
+  event.tid = tid;
+  event.phase = TraceEvent::Phase::kFlowStart;
+  event.id = id;
+  event.parent = parent;
+  event.name = name;
+  event.category = category;
+  push(std::move(event));
+}
+
+void EventTracer::flow_end(std::uint64_t id, std::string_view name,
+                           std::string_view category, std::uint32_t tid) {
+  if (!enabled_ || id == 0) return;
+  TraceEvent event;
+  event.ts = now();
+  event.tid = tid;
+  event.phase = TraceEvent::Phase::kFlowEnd;
+  event.id = id;
   event.name = name;
   event.category = category;
   push(std::move(event));

@@ -23,8 +23,10 @@ namespace edr::telemetry {
 
 struct TraceEvent {
   enum class Phase : std::uint8_t {
-    kSpan,     ///< complete span: [ts, ts + dur)
-    kInstant,  ///< point event at ts
+    kSpan,       ///< complete span: [ts, ts + dur)
+    kInstant,    ///< point event at ts
+    kFlowStart,  ///< flow arrow tail (Chrome "s"), e.g. a message send
+    kFlowEnd,    ///< flow arrow head (Chrome "f"), e.g. its delivery
   };
 
   double ts = 0.0;   ///< sim-time start, seconds
@@ -33,6 +35,10 @@ struct TraceEvent {
   /// replica/client node ids; kControlTrack for system-wide events).
   std::uint32_t tid = 0;
   Phase phase = Phase::kInstant;
+  /// Causal identity: spans may carry their own id and the id of the
+  /// enclosing span (0 = none); a flow-start/flow-end pair shares one id.
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
   std::string name;
   std::string category;
 };
@@ -57,12 +63,31 @@ class EventTracer {
 
   /// Record a complete span with an explicit start and duration (used when
   /// the duration is known up front, e.g. a scheduled file transfer).
+  /// `id`/`parent` link the span into the causal tree (0 = unlinked); the
+  /// Chrome export surfaces them as span_id/parent_id args.
   void span(std::string_view name, std::string_view category, double start,
-            double duration, std::uint32_t tid = kControlTrack);
+            double duration, std::uint32_t tid = kControlTrack,
+            std::uint64_t id = 0, std::uint64_t parent = 0);
 
   /// Record an instant event at the current clock reading.
   void instant(std::string_view name, std::string_view category,
                std::uint32_t tid = kControlTrack);
+
+  /// Allocate a fresh causal id for a span or flow (0 while disabled, so a
+  /// disabled tracer never links anything).
+  [[nodiscard]] std::uint64_t new_id() {
+    return enabled_ ? ++next_id_ : 0;
+  }
+
+  /// Flow arrow tail/head at the current clock reading: a begin on the
+  /// sender track and an end on the receiver track sharing `id` render as
+  /// one arrow in the Chrome viewer.  `parent` records the span the flow
+  /// belongs to (the round that scheduled the message).
+  void flow_begin(std::uint64_t id, std::string_view name,
+                  std::string_view category, std::uint32_t tid,
+                  std::uint64_t parent = 0);
+  void flow_end(std::uint64_t id, std::string_view name,
+                std::string_view category, std::uint32_t tid);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   /// Events recorded since construction (including overwritten ones).
@@ -85,6 +110,7 @@ class EventTracer {
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
   std::uint64_t recorded_ = 0;
+  std::uint64_t next_id_ = 0;
   bool enabled_ = true;
   double last_time_ = 0.0;
   std::function<double()> clock_;
@@ -102,21 +128,28 @@ class ScopedSpan {
  public:
   ScopedSpan(EventTracer& tracer, std::string_view name,
              std::string_view category = "span",
-             std::uint32_t tid = kControlTrack)
+             std::uint32_t tid = kControlTrack, std::uint64_t parent = 0)
       : tracer_(tracer.enabled() ? &tracer : nullptr) {
     if (tracer_ == nullptr) return;
     name_ = name;
     category_ = category;
     tid_ = tid;
+    parent_ = parent;
+    id_ = tracer_->new_id();
     start_ = tracer_->now();
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  /// The span's causal id, for linking children (0 against a disabled
+  /// tracer).
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
   ~ScopedSpan() {
     if (tracer_ == nullptr) return;
-    tracer_->span(name_, category_, start_, tracer_->now() - start_, tid_);
+    tracer_->span(name_, category_, start_, tracer_->now() - start_, tid_,
+                  id_, parent_);
   }
 
  private:
@@ -124,6 +157,8 @@ class ScopedSpan {
   std::string_view name_;
   std::string_view category_;
   std::uint32_t tid_ = kControlTrack;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
   double start_ = 0.0;
 };
 

@@ -1,0 +1,155 @@
+// End-to-end observability: the flight recorder / monitor attachments
+// running under the full EdrSystem, across every registry backend.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analysis/report_json.hpp"
+#include "baselines/donar_algorithm.hpp"
+#include "core/system.hpp"
+#include "optim/instance.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
+#include "workload/apps.hpp"
+
+namespace edr::core {
+namespace {
+
+SystemConfig observed_config(const std::string& algorithm) {
+  SystemConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.replicas = optim::paper_replica_set();
+  cfg.num_clients = 6;
+  cfg.seed = 5;
+  cfg.telemetry = telemetry::make_telemetry();
+  cfg.telemetry->enable_flight_recorder();
+  cfg.telemetry->enable_monitor();
+  return cfg;
+}
+
+workload::Trace small_trace(SimTime horizon = 10.0) {
+  Rng rng{99};
+  workload::TraceOptions options;
+  options.num_clients = 6;
+  options.horizon = horizon;
+  return workload::Trace::generate(rng, workload::distributed_file_service(),
+                                   options);
+}
+
+TEST(Observability, FlightRecorderCoversEveryBackend) {
+  baselines::register_donar_algorithm();
+  const auto trace = small_trace();
+  for (const auto algorithm : {"lddm", "cdpsm", "rr", "central", "donar"}) {
+    auto cfg = observed_config(algorithm);
+    EdrSystem system(cfg, trace);
+    const auto report = system.run();
+
+    const auto* recorder = cfg.telemetry->flight_recorder();
+    ASSERT_NE(recorder, nullptr) << algorithm;
+    const auto samples = recorder->samples();
+    ASSERT_FALSE(samples.empty()) << algorithm;
+    ASSERT_FALSE(report.convergence.empty()) << algorithm;
+    EXPECT_EQ(report.convergence.size(), report.epochs) << algorithm;
+
+    std::set<std::uint32_t> replicas;
+    bool any_load = false;
+    for (const auto& sample : samples) {
+      replicas.insert(sample.replica);
+      EXPECT_GE(sample.round, 1u) << algorithm;
+      if (sample.load > 0.0) any_load = true;
+    }
+    // Every replica shows up in the stream and real load was observed.
+    EXPECT_EQ(replicas.size(), cfg.replicas.size()) << algorithm;
+    EXPECT_TRUE(any_load) << algorithm;
+    for (const auto& epoch : report.convergence) {
+      EXPECT_GT(epoch.replicas, 0u) << algorithm;
+      EXPECT_GT(epoch.samples, 0u) << algorithm;
+    }
+    // Paper-default configs are healthy: the monitor must stay silent.
+    EXPECT_EQ(cfg.telemetry->monitor()->total_raised(), 0u) << algorithm;
+    EXPECT_TRUE(report.alerts.empty()) << algorithm;
+  }
+}
+
+TEST(Observability, CdpsmDivergenceFiresOnOverstepOnly) {
+  const auto trace = small_trace();
+
+  auto healthy = observed_config("cdpsm");
+  EdrSystem good(healthy, trace);
+  good.run();
+  EXPECT_EQ(healthy.telemetry->monitor()->alerts_of(
+                telemetry::AlertKind::kDivergence),
+            0u);
+
+  // A deliberately over-stepped constant step: the projected subgradient
+  // stays bounded but walks uphill with the replica estimates in wild
+  // disagreement — the divergence detector's broken-consensus trigger.
+  auto overstepped = observed_config("cdpsm");
+  overstepped.cdpsm.step = 50.0;
+  EdrSystem bad(overstepped, trace);
+  const auto report = bad.run();
+  EXPECT_GT(overstepped.telemetry->monitor()->alerts_of(
+                telemetry::AlertKind::kDivergence),
+            0u);
+  // The alerts also land in the run report, critical severity.
+  bool critical_divergence = false;
+  for (const auto& alert : report.alerts)
+    if (alert.kind == telemetry::AlertKind::kDivergence &&
+        alert.severity == telemetry::AlertSeverity::kCritical)
+      critical_divergence = true;
+  EXPECT_TRUE(critical_divergence);
+}
+
+TEST(Observability, ReportJsonCarriesConvergenceOnlyWhenRecorded) {
+  const auto trace = small_trace(5.0);
+
+  SystemConfig plain;
+  plain.algorithm = "lddm";
+  plain.replicas = optim::paper_replica_set();
+  plain.num_clients = 6;
+  plain.seed = 5;
+  EdrSystem bare(plain, trace);
+  const auto bare_json = analysis::report_to_json(bare.run(), "lddm");
+  EXPECT_EQ(bare_json.find("\"convergence\""), std::string::npos);
+  EXPECT_EQ(bare_json.find("\"alerts\""), std::string::npos);
+
+  auto cfg = observed_config("lddm");
+  EdrSystem observed(cfg, trace);
+  const auto json = analysis::report_to_json(observed.run(), "lddm");
+  EXPECT_NE(json.find("\"convergence\""), std::string::npos);
+  EXPECT_NE(json.find("\"first_objective\""), std::string::npos);
+}
+
+TEST(Observability, SinkResetKeepsBackToBackRunsComparable) {
+  // Runs without a telemetry context funnel their metric updates into the
+  // process-wide sink slots; without a reset the second run inherits the
+  // first run's counts.
+  const auto trace = small_trace(5.0);
+  SystemConfig cfg;
+  cfg.algorithm = "lddm";
+  cfg.replicas = optim::paper_replica_set();
+  cfg.num_clients = 6;
+  cfg.seed = 5;
+
+  telemetry::detail::reset_sinks();
+  {
+    EdrSystem system(cfg, trace);
+    system.run();
+  }
+  const auto first = telemetry::detail::counter_sink()->value;
+  EXPECT_GT(first, 0u);
+
+  telemetry::detail::reset_sinks();
+  EXPECT_EQ(telemetry::detail::counter_sink()->value, 0u);
+  EXPECT_DOUBLE_EQ(telemetry::detail::gauge_sink()->value, 0.0);
+  {
+    EdrSystem system(cfg, trace);
+    system.run();
+  }
+  // Identical run from a clean sink: identical accumulation.
+  EXPECT_EQ(telemetry::detail::counter_sink()->value, first);
+}
+
+}  // namespace
+}  // namespace edr::core

@@ -1,0 +1,106 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/export.hpp"
+
+namespace edr::telemetry {
+namespace {
+
+RoundSample sample(std::size_t round, std::uint32_t replica,
+                   double objective = 1.0, double slack = 10.0) {
+  RoundSample s;
+  s.epoch = 1;
+  s.round = round;
+  s.replica = replica;
+  s.objective = objective;
+  s.round_objective = 2.0 * objective;
+  s.gradient_norm = 0.5 * objective;
+  s.disagreement = 0.1 * static_cast<double>(round);
+  s.capacity_slack = slack;
+  s.load = 3.0;
+  s.messages_sent = 2;
+  s.bytes_sent = 64;
+  return s;
+}
+
+TEST(FlightRecorder, SummarizesAnEpoch) {
+  FlightRecorder recorder;
+  recorder.begin_epoch(1, 5.0);
+  // Two rounds over two replicas; the summary must carry first/last round
+  // objective totals, the distinct replica count and the traffic sums.
+  recorder.record(sample(1, 0, 4.0));
+  recorder.record(sample(1, 1, 6.0));
+  recorder.record(sample(2, 0, 3.0, -0.5));
+  recorder.record(sample(2, 1, 2.0));
+  const auto summary = recorder.end_epoch(7.5);
+
+  EXPECT_EQ(summary.epoch, 1u);
+  EXPECT_EQ(summary.rounds, 2u);
+  EXPECT_EQ(summary.replicas, 2u);
+  EXPECT_EQ(summary.samples, 4u);
+  EXPECT_DOUBLE_EQ(summary.start_time, 5.0);
+  EXPECT_DOUBLE_EQ(summary.end_time, 7.5);
+  EXPECT_DOUBLE_EQ(summary.first_objective, 10.0);
+  EXPECT_DOUBLE_EQ(summary.final_objective, 5.0);
+  EXPECT_DOUBLE_EQ(summary.final_disagreement, 0.2);
+  EXPECT_DOUBLE_EQ(summary.max_gradient_norm, 3.0);
+  EXPECT_DOUBLE_EQ(summary.min_capacity_slack, -0.5);
+  EXPECT_EQ(summary.messages, 8u);
+  EXPECT_EQ(summary.bytes, 256u);
+  ASSERT_EQ(recorder.epochs().size(), 1u);
+}
+
+TEST(FlightRecorder, RingOverwritesOldestSamples) {
+  FlightRecorder recorder({.capacity = 4});
+  for (std::size_t round = 1; round <= 6; ++round)
+    recorder.record(sample(round, 0));
+  EXPECT_EQ(recorder.recorded(), 6u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+  const auto retained = recorder.samples();
+  ASSERT_EQ(retained.size(), 4u);
+  // Oldest retained first: rounds 3..6 survive.
+  EXPECT_EQ(retained.front().round, 3u);
+  EXPECT_EQ(retained.back().round, 6u);
+}
+
+TEST(FlightRecorder, AbandonedEpochIsDiscarded) {
+  FlightRecorder recorder;
+  recorder.begin_epoch(1, 0.0);
+  recorder.record(sample(1, 0));
+  // A solve aborted by a replica death never calls end_epoch; the next
+  // begin_epoch must simply drop the half-built summary.
+  recorder.begin_epoch(2, 1.0);
+  recorder.record(sample(1, 0));
+  recorder.end_epoch(2.0);
+  ASSERT_EQ(recorder.epochs().size(), 1u);
+  EXPECT_EQ(recorder.epochs()[0].epoch, 2u);
+  // Samples outside a summary still land in the ring.
+  EXPECT_EQ(recorder.samples().size(), 2u);
+}
+
+TEST(FlightRecorder, EmptyEpochReportsZeroSlack) {
+  FlightRecorder recorder;
+  recorder.begin_epoch(3, 0.0);
+  const auto summary = recorder.end_epoch(1.0);
+  EXPECT_EQ(summary.samples, 0u);
+  // No samples: the slack must read 0, not the +inf sentinel it starts at.
+  EXPECT_DOUBLE_EQ(summary.min_capacity_slack, 0.0);
+}
+
+TEST(FlightRecorderExport, JsonlCarriesSamplesAndEpochs) {
+  FlightRecorder recorder;
+  recorder.begin_epoch(1, 0.0);
+  recorder.record(sample(1, 7, 4.0));
+  recorder.end_epoch(1.0);
+  const auto jsonl = flight_to_jsonl(recorder);
+  EXPECT_NE(jsonl.find("\"sample\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"replica\":7"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"round_objective\":8"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"epoch\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edr::telemetry

@@ -1,0 +1,232 @@
+#include "telemetry/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace edr::telemetry {
+namespace {
+
+// Minimal healthy-looking sample: one replica carrying load 10 with ample
+// slack; tests perturb exactly the field their detector watches.
+RoundSample sample(std::size_t round, std::uint32_t replica = 0) {
+  RoundSample s;
+  s.epoch = 1;
+  s.round = round;
+  s.replica = replica;
+  s.objective = 5.0;
+  s.round_objective = 5.0;
+  s.load = 10.0;
+  s.capacity_slack = 4.0;
+  return s;
+}
+
+EpochSummary end_epoch(ConvergenceMonitor& monitor) {
+  EpochSummary summary;
+  monitor.end_epoch(summary);
+  return summary;
+}
+
+TEST(Monitor, DivergenceFiresOnGeometricRise) {
+  ConvergenceMonitor monitor;
+  monitor.begin_epoch(1);
+  // 1, 2, 4, 8, 16: four consecutive rises and 16x growth from the streak
+  // start — well past the 4-round / 3x gates.
+  double objective = 1.0;
+  for (std::size_t round = 1; round <= 5; ++round, objective *= 2.0) {
+    auto s = sample(round);
+    s.round_objective = objective;
+    monitor.observe(s);
+  }
+  const auto summary = end_epoch(monitor);
+  EXPECT_EQ(monitor.alerts_of(AlertKind::kDivergence), 1u);
+  EXPECT_EQ(summary.alerts, 1u);
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  const auto& alert = monitor.alerts()[0];
+  EXPECT_EQ(alert.kind, AlertKind::kDivergence);
+  EXPECT_EQ(alert.severity, AlertSeverity::kCritical);
+  EXPECT_EQ(alert.replica, kNoReplica);
+}
+
+TEST(Monitor, DivergenceDedupedPerEpoch) {
+  ConvergenceMonitor monitor;
+  monitor.begin_epoch(1);
+  double objective = 1.0;
+  for (std::size_t round = 1; round <= 40; ++round, objective *= 2.0) {
+    auto s = sample(round);
+    s.round_objective = objective;
+    monitor.observe(s);
+  }
+  end_epoch(monitor);
+  EXPECT_EQ(monitor.alerts_of(AlertKind::kDivergence), 1u);
+}
+
+TEST(Monitor, DivergenceSilentOnModestRise) {
+  ConvergenceMonitor monitor;
+  monitor.begin_epoch(1);
+  // Healthy CDPSM epochs show long 1%-per-round rises of the recovered
+  // objective (feasible start cheaper than the constrained optimum); the
+  // growth gate must keep those quiet.
+  double objective = 1.0;
+  for (std::size_t round = 1; round <= 60; ++round, objective *= 1.01) {
+    auto s = sample(round);
+    s.round_objective = objective;
+    monitor.observe(s);
+  }
+  end_epoch(monitor);
+  EXPECT_EQ(monitor.alerts_of(AlertKind::kDivergence), 0u);
+}
+
+TEST(Monitor, DivergenceSilentOnDescent) {
+  ConvergenceMonitor monitor;
+  monitor.begin_epoch(1);
+  double objective = 100.0;
+  for (std::size_t round = 1; round <= 30; ++round, objective *= 0.9) {
+    auto s = sample(round);
+    s.round_objective = objective;
+    monitor.observe(s);
+  }
+  end_epoch(monitor);
+  EXPECT_EQ(monitor.total_raised(), 0u);
+}
+
+TEST(Monitor, StallFiresOnHighPlateau) {
+  ConvergenceMonitor monitor;
+  monitor.begin_epoch(1);
+  // Disagreement stuck at 50% of the assigned load — far above any healthy
+  // consensus fixed point.
+  for (std::size_t round = 1; round <= 30; ++round) {
+    auto s = sample(round);
+    s.disagreement = 5.0;
+    monitor.observe(s);
+  }
+  end_epoch(monitor);
+  EXPECT_EQ(monitor.alerts_of(AlertKind::kStall), 1u);
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].severity, AlertSeverity::kWarning);
+}
+
+TEST(Monitor, StallSilentOnHealthyFixedPointSpread) {
+  ConvergenceMonitor monitor;
+  monitor.begin_epoch(1);
+  // CDPSM's healthy plateau: a small constant spread (~8% of load).
+  for (std::size_t round = 1; round <= 60; ++round) {
+    auto s = sample(round);
+    s.disagreement = 0.8;
+    monitor.observe(s);
+  }
+  end_epoch(monitor);
+  EXPECT_EQ(monitor.alerts_of(AlertKind::kStall), 0u);
+}
+
+TEST(Monitor, OscillationFiresOnSignFlips) {
+  ConvergenceMonitor monitor;
+  monitor.begin_epoch(1);
+  for (std::size_t round = 1; round <= 20; ++round) {
+    auto s = sample(round);
+    s.load_delta = (round % 2 == 0) ? 2.0 : -2.0;
+    monitor.observe(s);
+  }
+  end_epoch(monitor);
+  // Deduped: one alert per (replica, epoch) even though the window keeps
+  // qualifying every round.
+  EXPECT_EQ(monitor.alerts_of(AlertKind::kOscillation), 1u);
+  EXPECT_EQ(monitor.alerts()[0].replica, 0u);
+}
+
+TEST(Monitor, OscillationIgnoresSettlingNoise) {
+  ConvergenceMonitor monitor;
+  monitor.begin_epoch(1);
+  // Alternating deltas of 0.1% of the load: settling noise, not flips.
+  for (std::size_t round = 1; round <= 40; ++round) {
+    auto s = sample(round);
+    s.load_delta = (round % 2 == 0) ? 0.01 : -0.01;
+    monitor.observe(s);
+  }
+  end_epoch(monitor);
+  EXPECT_EQ(monitor.alerts_of(AlertKind::kOscillation), 0u);
+}
+
+TEST(Monitor, CapacityFiresPerReplicaAndResetsPerEpoch) {
+  ConvergenceMonitor monitor;
+  monitor.begin_epoch(1);
+  for (std::size_t round = 1; round <= 5; ++round) {
+    auto over = sample(round, 3);
+    over.capacity_slack = -0.5;
+    monitor.observe(over);
+    monitor.observe(sample(round, 4));  // healthy neighbour stays quiet
+  }
+  end_epoch(monitor);
+  EXPECT_EQ(monitor.alerts_of(AlertKind::kCapacity), 1u);
+  EXPECT_EQ(monitor.alerts()[0].replica, 3u);
+  EXPECT_EQ(monitor.alerts()[0].severity, AlertSeverity::kCritical);
+
+  // The dedup table is per epoch: the same replica over capacity in the
+  // next epoch is a fresh alert.
+  monitor.begin_epoch(2);
+  auto again = sample(1, 3);
+  again.epoch = 2;
+  again.capacity_slack = -0.5;
+  monitor.observe(again);
+  end_epoch(monitor);
+  EXPECT_EQ(monitor.alerts_of(AlertKind::kCapacity), 2u);
+}
+
+TEST(Monitor, SloDedupsAcrossTheEpochBoundary) {
+  MonitorOptions options;
+  options.response_slo_ms = 10.0;
+  ConvergenceMonitor monitor(options);
+  // Responses for an epoch arrive after its end_epoch; the dedup must still
+  // hold one alert per epoch.
+  monitor.observe_response(12.0, 1.0, 1);
+  monitor.observe_response(50.0, 1.1, 1);
+  monitor.observe_response(9.9, 1.2, 1);
+  monitor.observe_response(11.0, 2.0, 2);
+  EXPECT_EQ(monitor.alerts_of(AlertKind::kSlo), 2u);
+}
+
+TEST(Monitor, SloDisabledByDefault) {
+  ConvergenceMonitor monitor;
+  monitor.observe_response(1e9, 1.0, 1);
+  EXPECT_EQ(monitor.total_raised(), 0u);
+}
+
+TEST(Monitor, AlertCallbackAndRetentionBound) {
+  MonitorOptions options;
+  options.max_alerts = 1;
+  ConvergenceMonitor monitor(options);
+  std::vector<Alert> seen;
+  monitor.set_alert_callback([&seen](const Alert& alert) {
+    seen.push_back(alert);
+  });
+  monitor.begin_epoch(1);
+  for (std::uint32_t replica = 0; replica < 3; ++replica) {
+    auto s = sample(1, replica);
+    s.capacity_slack = -1.0;
+    monitor.observe(s);
+  }
+  end_epoch(monitor);
+  // All three raised (callback + counters) but only one retained.
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(monitor.total_raised(), 3u);
+  EXPECT_EQ(monitor.alerts().size(), 1u);
+}
+
+TEST(Monitor, MetricsCountAlertsByKind) {
+  MetricsRegistry metrics;
+  ConvergenceMonitor monitor;
+  monitor.attach_metrics(metrics);
+  monitor.begin_epoch(1);
+  auto s = sample(1);
+  s.capacity_slack = -1.0;
+  monitor.observe(s);
+  end_epoch(monitor);
+  EXPECT_EQ(metrics.counter("monitor.alerts").value(), 1u);
+  EXPECT_EQ(metrics.counter("monitor.alerts.capacity").value(), 1u);
+  EXPECT_EQ(metrics.counter("monitor.alerts.divergence").value(), 0u);
+}
+
+}  // namespace
+}  // namespace edr::telemetry

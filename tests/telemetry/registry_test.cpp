@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -83,6 +84,43 @@ TEST(Histogram, QuantileInterpolatesWithinBucket) {
   EXPECT_NEAR(histogram.quantile(1.0), 10.0, 1e-9);
 }
 
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  auto histogram = registry.histogram("empty", {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+  // Boundless histograms are rejected outright at registration.
+  EXPECT_THROW(registry.histogram("unbounded", {}), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeArguments) {
+  MetricsRegistry registry;
+  auto histogram = registry.histogram("clamp", {10.0});
+  for (int i = 0; i < 4; ++i) histogram.observe(5.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(-0.5), histogram.quantile(0.0));
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.5), histogram.quantile(1.0));
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.5), 10.0);
+}
+
+TEST(Histogram, QuantileInOverflowBucketReportsLastBound) {
+  MetricsRegistry registry;
+  auto histogram = registry.histogram("inf", {1.0, 8.0});
+  histogram.observe(100.0);  // all mass past the finite bounds
+  histogram.observe(200.0);
+  // The +inf bucket has no upper edge; the last finite bound is the only
+  // honest answer.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 8.0);
+}
+
+TEST(Histogram, QuantileSkipsEmptyLeadingBuckets) {
+  MetricsRegistry registry;
+  auto histogram = registry.histogram("skip", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) histogram.observe(3.0);  // all in (2, 4]
+  EXPECT_NEAR(histogram.quantile(0.5), 3.0, 1e-9);
+  EXPECT_NEAR(histogram.quantile(0.1), 2.2, 1e-9);
+  EXPECT_NEAR(histogram.quantile(1.0), 4.0, 1e-9);
+}
+
 TEST(Histogram, ReRegistrationKeepsOriginalBounds) {
   MetricsRegistry registry;
   auto first = registry.histogram("h", {1.0, 2.0});
@@ -132,6 +170,32 @@ TEST(MetricsExport, CsvCarriesAllRows) {
   EXPECT_NE(csv.find("hits,counter,7,,\n"), std::string::npos);
   EXPECT_NE(csv.find("lat,histogram,,1,2\n"), std::string::npos);
   EXPECT_NE(csv.find("lat.le.+inf,bucket,1,,\n"), std::string::npos);
+}
+
+TEST(MetricsExport, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("system.epochs").add(3);
+  registry.gauge("solver.cdpsm.objective").set(1.5);
+  auto histogram = registry.histogram("net.queue_delay", {1.0, 2.0});
+  histogram.observe(0.5);
+  histogram.observe(1.5);
+  histogram.observe(9.0);
+  const auto prom = metrics_to_prometheus(registry);
+  // Dotted runtime names sanitize to underscores; counters take _total.
+  EXPECT_NE(prom.find("# TYPE system_epochs_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("system_epochs_total 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("solver_cdpsm_objective 1.5\n"), std::string::npos);
+  // Histogram buckets are cumulative and end with the +Inf bucket matching
+  // _count.
+  EXPECT_NE(prom.find("net_queue_delay_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("net_queue_delay_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("net_queue_delay_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("net_queue_delay_count 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("net_queue_delay_sum 11\n"), std::string::npos);
 }
 
 TEST(MetricsRegistry, AtomicModeCountsAcrossThreads) {

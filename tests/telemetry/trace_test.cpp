@@ -91,6 +91,51 @@ TEST(ScopedSpan, NoOpAgainstDisabledTracer) {
   EXPECT_EQ(disabled_tracer().recorded(), 0u);
 }
 
+TEST(EventTracer, NewIdIsFreshAndZeroWhileDisabled) {
+  EventTracer tracer;
+  const auto first = tracer.new_id();
+  const auto second = tracer.new_id();
+  EXPECT_NE(first, 0u);
+  EXPECT_NE(first, second);
+  // A disabled tracer hands out 0 so nothing gets causally linked.
+  tracer.set_enabled(false);
+  EXPECT_EQ(tracer.new_id(), 0u);
+}
+
+TEST(EventTracer, SpansCarryCausalIds) {
+  EventTracer tracer;
+  const auto parent = tracer.new_id();
+  const auto child = tracer.new_id();
+  tracer.span("epoch", "system", 0.0, 2.0, kControlTrack, parent, 0);
+  tracer.span("round", "solver", 0.5, 0.5, kControlTrack, child, parent);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].id, parent);
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_EQ(events[1].id, child);
+  EXPECT_EQ(events[1].parent, parent);
+}
+
+TEST(EventTracer, FlowPairSharesOneId) {
+  EventTracer tracer;
+  double sim_time = 1.0;
+  tracer.set_clock([&] { return sim_time; });
+  const auto round = tracer.new_id();
+  const auto flow = tracer.new_id();
+  tracer.flow_begin(flow, "estimate", "net", /*tid=*/2, round);
+  sim_time = 1.5;
+  tracer.flow_end(flow, "estimate", "net", /*tid=*/5);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kFlowStart);
+  EXPECT_EQ(events[0].tid, 2u);
+  EXPECT_EQ(events[0].parent, round);
+  EXPECT_EQ(events[1].phase, TraceEvent::Phase::kFlowEnd);
+  EXPECT_EQ(events[1].tid, 5u);
+  EXPECT_EQ(events[1].id, events[0].id);
+  EXPECT_DOUBLE_EQ(events[1].ts, 1.5);
+}
+
 /// Extract the numeric values of every `"key":<number>` occurrence.
 std::vector<double> extract_numbers(const std::string& json,
                                     const std::string& key) {
@@ -135,6 +180,27 @@ TEST(ChromeExport, WellFormedAndSimTimeOrdered) {
   ASSERT_EQ(dur.size(), 2u);
   EXPECT_DOUBLE_EQ(dur.front(), 0.25e6);
   EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(ChromeExport, EmitsFlowArrowsAndSpanIds) {
+  EventTracer tracer;
+  double sim_time = 0.0;
+  tracer.set_clock([&] { return sim_time; });
+  const auto round = tracer.new_id();
+  const auto flow = tracer.new_id();
+  tracer.span("round", "solver", 0.0, 1.0, kControlTrack, round, 0);
+  tracer.flow_begin(flow, "msg", "net", 1, round);
+  sim_time = 0.5;
+  tracer.flow_end(flow, "msg", "net", 2);
+
+  const auto json = trace_to_chrome_json(tracer);
+  // The span surfaces its causal id; the flow pair becomes "s"/"f" phases
+  // bound by id, the head with enclosing-slice binding.
+  EXPECT_NE(json.find("\"span_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\""), std::string::npos);
 }
 
 TEST(ChromeExport, ReportsWraparoundDrops) {
