@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -34,6 +35,14 @@ inline void banner(const char* figure, const char* description) {
 inline std::shared_ptr<telemetry::Telemetry>& shared_telemetry() {
   static std::shared_ptr<telemetry::Telemetry> instance;
   return instance;
+}
+
+/// Solver thread count for benches that honor --threads=<n> (0 = all
+/// hardware threads).  Defaults to 1 — the serial path — so bench output
+/// stays comparable run to run unless a sweep is requested explicitly.
+inline std::size_t& solver_threads() {
+  static std::size_t threads = 1;
+  return threads;
 }
 
 /// One machine-readable result row for the --json-out emission.
@@ -91,11 +100,16 @@ class Harness {
     banner(figure, description);
     constexpr std::string_view kTelemetryFlag = "--telemetry-out=";
     constexpr std::string_view kJsonFlag = "--json-out";
+    constexpr std::string_view kThreadsFlag = "--threads=";
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg{argv[i]};
       bool strip = false;
       if (arg.substr(0, kTelemetryFlag.size()) == kTelemetryFlag) {
         telemetry_path_ = std::string(arg.substr(kTelemetryFlag.size()));
+        strip = true;
+      } else if (arg.substr(0, kThreadsFlag.size()) == kThreadsFlag) {
+        solver_threads() = static_cast<std::size_t>(
+            std::strtoull(arg.data() + kThreadsFlag.size(), nullptr, 10));
         strip = true;
       } else if (arg == kJsonFlag) {
         json_path_ = default_json_path(argv[0]);

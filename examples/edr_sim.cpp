@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   std::uint64_t clients = 8;
   std::uint64_t seed = 7;
   std::uint64_t trace_seed = 42;
+  std::uint64_t threads = 1;
   double fail_at = -1.0, recover_at = -1.0;
   std::int64_t fail_replica = -1;
   bool json = false;
@@ -53,6 +54,10 @@ int main(int argc, char** argv) {
   parser.add_option("clients", "number of clients", &clients);
   parser.add_option("seed", "system seed (latencies etc.)", &seed);
   parser.add_option("trace-seed", "workload seed", &trace_seed);
+  parser.add_option("threads",
+                    "solver worker threads (0 = all hardware threads); any "
+                    "value gives bit-identical results",
+                    &threads);
   parser.add_option("fail-replica", "replica to crash (-1 = none)",
                     &fail_replica);
   parser.add_option("fail-at", "crash time in seconds", &fail_at);
@@ -88,6 +93,7 @@ int main(int argc, char** argv) {
     }
     cfg.num_clients = clients;
     cfg.record_traces = traces;
+    cfg.solver_threads = threads;
     if (slo_ms > 0.0) watch = true;
     if (!telemetry_out.empty() || watch)
       cfg.telemetry = telemetry::make_telemetry();

@@ -37,12 +37,15 @@ echo
 echo "== thread sanitizer build (build-tsan/, -fsanitize=thread) =="
 # Only the tests that actually exercise concurrency: the threaded LDDM
 # harness (real solver threads over the in-process transport), the mailbox
-# transport itself, and the atomic metrics registry. The rest of the suite
+# transport itself, the atomic metrics registry, the fork-join ThreadPool,
+# the parallel projection sweeps, and the golden-equivalence sweep that runs
+# every backend at solver_threads ∈ {1, 2, hardware}. The rest of the suite
 # is single-threaded and already covered by the asan/ubsan tree above.
 cmake -B build-tsan -S . -DEDR_SANITIZE=tsan >/dev/null
-cmake --build build-tsan -j "$jobs" --target test_integration test_telemetry test_net
+cmake --build build-tsan -j "$jobs" \
+  --target test_integration test_telemetry test_net test_common test_optim
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'ThreadedLddm|AtomicModeCountsAcrossThreads|Mailbox|InprocTransport'
+  -R 'ThreadedLddm|AtomicModeCountsAcrossThreads|Mailbox|InprocTransport|ThreadPool|ParallelProjection|GoldenEquivalence'
 
 echo
 echo "== telemetry overhead smoke (fig5_convergence, telemetry disabled) =="
@@ -60,6 +63,27 @@ if ! diff -u "$smoke_dir/run1.txt" "$smoke_dir/run2.txt"; then
   exit 1
 fi
 echo "telemetry overhead smoke: disabled-telemetry output bit-identical"
+
+echo
+echo "== bench baseline smoke (abl_scaling --json-out, schema vs committed) =="
+# Regenerate the scaling-bench metrics and compare their *schema* (metric
+# names, units, algorithm keys — values blanked, they are machine-speed
+# dependent) against the committed BENCH_abl_scaling.json baseline. A diff
+# means a bench metric was renamed/dropped without refreshing the baseline.
+bench_schema() {
+  grep -o '"name":"[^"]*"\|"unit":"[^"]*"\|"algorithm":"[^"]*"' "$1" \
+    | paste -d' ' - - - | sort
+}
+build/bench/abl_scaling "--json-out=$smoke_dir/BENCH_abl_scaling.json" \
+  >/dev/null 2>&1
+bench_schema "$smoke_dir/BENCH_abl_scaling.json" > "$smoke_dir/schema.new"
+bench_schema BENCH_abl_scaling.json > "$smoke_dir/schema.committed"
+if ! diff -u "$smoke_dir/schema.committed" "$smoke_dir/schema.new"; then
+  echo "bench baseline smoke FAILED: metric schema drifted from" \
+       "BENCH_abl_scaling.json — regenerate the committed baseline" >&2
+  exit 1
+fi
+echo "bench baseline smoke: abl_scaling metric schema matches the baseline"
 
 echo
 echo "check.sh: all suites passed (regular + asan/ubsan + tsan + smoke)"

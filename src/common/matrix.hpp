@@ -80,6 +80,15 @@ class Matrix {
 
   void fill(double value) { std::ranges::fill(data_, value); }
 
+  /// Re-shape in place and set every entry to `fill`, reusing the existing
+  /// buffer when capacity allows — the allocation-free reset the solver
+  /// scratch matrices rely on in their per-round hot loops.
+  void reshape(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   /// this += scale * other (same shape required).
   void axpy(double scale, const Matrix& other) {
     assert(rows_ == other.rows_ && cols_ == other.cols_);

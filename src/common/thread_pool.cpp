@@ -1,0 +1,86 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace edr::common {
+
+std::size_t ThreadPool::hardware() {
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+std::size_t ThreadPool::resolve(std::size_t requested) {
+  return requested == 0 ? hardware() : requested;
+}
+
+ThreadPool::ThreadPool(std::size_t lanes) {
+  lanes = std::max<std::size_t>(resolve(lanes), 1);
+  workers_.reserve(lanes - 1);
+  for (std::size_t lane = 1; lane < lanes; ++lane)
+    workers_.emplace_back(&ThreadPool::worker_loop, this, lane);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || job_epoch_ != seen; });
+    if (stop_) return;
+    seen = job_epoch_;
+    const BlockFn* fn = job_;
+    const std::size_t count = job_count_;
+    lock.unlock();
+    const auto [begin, end] = block(lane, workers_.size() + 1, count);
+    std::exception_ptr error;
+    try {
+      (*fn)(lane, begin, end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error != nullptr && job_error_ == nullptr) job_error_ = error;
+    if (--job_pending_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::for_blocks(std::size_t count, const BlockFn& fn) {
+  if (workers_.empty()) {
+    // Serial fast path: no locking, no fences — the exact historical
+    // single-threaded execution.
+    fn(0, 0, count);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    job_pending_ = workers_.size();
+    job_error_ = nullptr;
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+  const auto [begin, end] = block(0, lanes(), count);
+  std::exception_ptr caller_error;
+  try {
+    fn(0, begin, end);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return job_pending_ == 0; });
+  const std::exception_ptr error =
+      caller_error != nullptr ? caller_error : job_error_;
+  job_error_ = nullptr;
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace edr::common

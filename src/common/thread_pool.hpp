@@ -1,0 +1,91 @@
+// Deterministic fork-join thread pool for the solve engine.
+//
+// Design goals, in order:
+//   1. Bitwise-reproducible results regardless of thread count.  Work is
+//      split by *static contiguous block partitioning* (lane k gets items
+//      [k·n/L, (k+1)·n/L)) — never work stealing — so each item always runs
+//      against the same scratch lane, and any reduction the caller performs
+//      afterwards walks the items serially in index order.  A run with 8
+//      lanes and a run with 1 lane therefore produce identical bytes as
+//      long as the per-item work only writes item-owned state.
+//   2. Zero overhead at lanes == 1: the callable runs inline on the caller
+//      with no allocation, locking, or fences — the exact historical serial
+//      path, which is what the golden-equivalence digests pin.
+//   3. Persistent workers: construction spawns lanes−1 threads once; each
+//      for_blocks() is a condition-variable handshake, not a thread spawn,
+//      so per-round dispatch is cheap enough for solver inner loops.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace edr::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `resolve(lanes) - 1` worker threads; the caller of for_blocks
+  /// always participates as lane 0.  lanes == 1 (the default) creates no
+  /// threads at all.
+  explicit ThreadPool(std::size_t lanes = 1);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes, caller included (≥ 1).
+  [[nodiscard]] std::size_t lanes() const { return workers_.size() + 1; }
+
+  /// fn(lane, begin, end) — process items [begin, end) on the given lane.
+  using BlockFn =
+      std::function<void(std::size_t lane, std::size_t begin, std::size_t end)>;
+
+  /// Run fn over `count` items, statically partitioned into contiguous
+  /// blocks, one per lane; blocks until every lane is done.  The caller
+  /// runs lane 0 inline.  Not reentrant: fn must not call for_blocks on
+  /// the same pool.  fn may only write state owned by its items (disjoint
+  /// across lanes); perform any cross-item reduction serially afterwards.
+  /// The first exception thrown by any lane is rethrown here after all
+  /// lanes finish.
+  void for_blocks(std::size_t count, const BlockFn& fn);
+
+  /// Convenience: per-item callable (fn(i) for each i in [0, count)).
+  template <typename Fn>
+  void for_each(std::size_t count, Fn&& fn) {
+    for_blocks(count, [&fn](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+
+  /// Lane k's static block of `count` items, as [begin, end).
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> block(
+      std::size_t lane, std::size_t lanes, std::size_t count) {
+    return {lane * count / lanes, (lane + 1) * count / lanes};
+  }
+
+  /// Hardware concurrency, never 0.
+  [[nodiscard]] static std::size_t hardware();
+  /// Map a user-facing thread-count knob to a lane count: 0 = hardware,
+  /// anything else taken literally.
+  [[nodiscard]] static std::size_t resolve(std::size_t requested);
+
+ private:
+  void worker_loop(std::size_t lane);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const BlockFn* job_ = nullptr;     // current job (guarded by mutex_)
+  std::size_t job_count_ = 0;        // items in the current job
+  std::uint64_t job_epoch_ = 0;      // bumped per job so workers see "new"
+  std::size_t job_pending_ = 0;      // workers still running the job
+  std::exception_ptr job_error_;     // first failure across all lanes
+  bool stop_ = false;
+};
+
+}  // namespace edr::common

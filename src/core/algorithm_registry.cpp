@@ -12,10 +12,14 @@ AlgorithmRegistry& AlgorithmRegistry::instance() {
   static AlgorithmRegistry registry = [] {
     AlgorithmRegistry r;
     r.add("lddm", [](const SystemConfig& cfg) {
-      return std::make_unique<LddmAlgorithm>(cfg.lddm, cfg.warm_start);
+      auto options = cfg.lddm;
+      options.threads = cfg.solver_threads;
+      return std::make_unique<LddmAlgorithm>(options, cfg.warm_start);
     });
     r.add("cdpsm", [](const SystemConfig& cfg) {
-      return std::make_unique<CdpsmAlgorithm>(cfg.cdpsm);
+      auto options = cfg.cdpsm;
+      options.threads = cfg.solver_threads;
+      return std::make_unique<CdpsmAlgorithm>(options);
     });
     r.add("central", [](const SystemConfig&) {
       return std::make_unique<CentralizedAlgorithm>();

@@ -17,7 +17,7 @@ namespace edr::core {
 /// Consensus-based distributed projected subgradient (paper §III-C.1).
 class CdpsmAlgorithm final : public DistributedAlgorithm {
  public:
-  explicit CdpsmAlgorithm(CdpsmOptions options) : options_(options) {}
+  explicit CdpsmAlgorithm(CdpsmOptions options);
 
   [[nodiscard]] const char* name() const override { return "cdpsm"; }
   [[nodiscard]] const char* display_name() const override {
@@ -39,6 +39,9 @@ class CdpsmAlgorithm final : public DistributedAlgorithm {
 
  private:
   CdpsmOptions options_;
+  // Engines are recreated per epoch; the pool is owned here so worker
+  // threads are spawned once per run, not once per epoch (null = serial).
+  std::unique_ptr<common::ThreadPool> pool_;
   std::unique_ptr<CdpsmEngine> engine_;
   CdpsmRoundStats last_round_;
 };
@@ -49,8 +52,7 @@ class CdpsmAlgorithm final : public DistributedAlgorithm {
 /// scaled to the new demand level.
 class LddmAlgorithm final : public DistributedAlgorithm {
  public:
-  LddmAlgorithm(LddmOptions options, bool warm_start)
-      : options_(options), warm_start_(warm_start) {}
+  LddmAlgorithm(LddmOptions options, bool warm_start);
 
   [[nodiscard]] const char* name() const override { return "lddm"; }
   [[nodiscard]] const char* display_name() const override {
@@ -71,6 +73,9 @@ class LddmAlgorithm final : public DistributedAlgorithm {
   LddmOptions options_;
   LddmRoundStats last_round_;
   bool warm_start_ = true;
+  // Engines are recreated per epoch; the pool is owned here so worker
+  // threads are spawned once per run, not once per epoch (null = serial).
+  std::unique_ptr<common::ThreadPool> pool_;
   std::unique_ptr<LddmEngine> engine_;
   std::vector<double> warm_mu_;  // duals carried across epochs
   Matrix warm_columns_;          // primal loads carried across epochs

@@ -12,9 +12,12 @@ namespace edr::core {
 namespace {
 
 /// Project one column onto {q ≥ 0, Σq ≤ B_n}, leaving other columns alone.
+/// Thread-local scratch: runs inside the per-replica parallel round, up to
+/// 200 times per projection, so it must not allocate.
 void project_column_capacity(const optim::Problem& problem, std::size_t n,
                              Matrix& allocation) {
-  std::vector<double> column(problem.num_clients());
+  thread_local std::vector<double> column;
+  column.resize(problem.num_clients());
   for (std::size_t c = 0; c < problem.num_clients(); ++c)
     column[c] = allocation(c, n);
   optim::project_capped_nonneg(column, problem.replica(n).bandwidth);
@@ -42,15 +45,32 @@ void CdpsmEngine::set_estimate(std::size_t n, Matrix estimate) {
   estimates_.at(n) = std::move(estimate);
 }
 
+common::ThreadPool* CdpsmEngine::pool() const {
+  if (external_pool_ != nullptr)
+    return external_pool_->lanes() > 1 ? external_pool_ : nullptr;
+  const std::size_t lanes = common::ThreadPool::resolve(options_.threads);
+  if (lanes <= 1) return nullptr;
+  if (owned_pool_ == nullptr)
+    owned_pool_ = std::make_unique<common::ThreadPool>(lanes);
+  return owned_pool_.get();
+}
+
 void CdpsmEngine::project_local(std::size_t n, Matrix& estimate) const {
   // Dykstra between the shared demand set and this replica's capacity
-  // column — the projection onto X_n.
-  Matrix corr_demand(estimate.rows(), estimate.cols(), 0.0);
-  Matrix corr_capacity(estimate.rows(), estimate.cols(), 0.0);
-  Matrix previous = estimate;
+  // column — the projection onto X_n.  Thread-local scratch: this runs once
+  // per replica per round, inside a pool lane when the round is parallel,
+  // and must not re-allocate four |C|×|N| matrices each time.  The inner
+  // projections stay serial — the replica loop above already owns the lanes.
+  thread_local Matrix corr_demand;
+  thread_local Matrix corr_capacity;
+  thread_local Matrix previous;
+  thread_local Matrix before;
+  corr_demand.reshape(estimate.rows(), estimate.cols(), 0.0);
+  corr_capacity.reshape(estimate.rows(), estimate.cols(), 0.0);
+  previous = estimate;
   for (std::size_t iter = 0; iter < 200; ++iter) {
     estimate.axpy(1.0, corr_demand);
-    Matrix before = estimate;
+    before = estimate;
     optim::project_demand_set(*problem_, estimate);
     corr_demand = before;
     corr_demand.axpy(-1.0, estimate);
@@ -72,6 +92,15 @@ void CdpsmEngine::project_local(std::size_t n, Matrix& estimate) const {
 Matrix CdpsmEngine::step_replica(std::size_t n,
                                  std::span<const Matrix> peer_estimates,
                                  CdpsmReplicaStats* stats) const {
+  Matrix consensus;
+  step_replica_into(n, peer_estimates, consensus, stats);
+  return consensus;
+}
+
+void CdpsmEngine::step_replica_into(std::size_t n,
+                                    std::span<const Matrix> peer_estimates,
+                                    Matrix& out,
+                                    CdpsmReplicaStats* stats) const {
   if (peer_estimates.size() != estimates_.size())
     throw std::invalid_argument(
         "CdpsmEngine::step_replica: need one estimate per replica");
@@ -79,11 +108,11 @@ Matrix CdpsmEngine::step_replica(std::size_t n,
   // Consensus with uniform weights a_j = 1/|N| (doubly stochastic on the
   // complete exchange graph the paper uses).
   const double weight = 1.0 / static_cast<double>(peer_estimates.size());
-  Matrix consensus(problem_->num_clients(), problem_->num_replicas(), 0.0);
-  for (const Matrix& peer : peer_estimates) consensus.axpy(weight, peer);
+  out.reshape(problem_->num_clients(), problem_->num_replicas(), 0.0);
+  for (const Matrix& peer : peer_estimates) out.axpy(weight, peer);
 
   // Gradient of the *local* objective E_n: only column n is non-zero.
-  const double load = consensus.col_sum(n);
+  const double load = out.col_sum(n);
   const double derivative =
       optim::replica_cost_derivative(problem_->replica(n), load);
   const double step =
@@ -91,25 +120,24 @@ Matrix CdpsmEngine::step_replica(std::size_t n,
           ? step_ / std::sqrt(static_cast<double>(rounds_ + 1))
           : step_;
   for (std::size_t c = 0; c < problem_->num_clients(); ++c)
-    consensus(c, n) -= step * derivative;
+    out(c, n) -= step * derivative;
 
   if (stats != nullptr) {
     stats->local_objective = optim::replica_cost(problem_->replica(n), load);
     stats->gradient_norm =
         std::abs(derivative) *
         std::sqrt(static_cast<double>(problem_->num_clients()));
-    const Matrix pre_projection = consensus;
-    project_local(n, consensus);
-    stats->projection_correction = consensus.distance(pre_projection);
-    stats->load = consensus.col_sum(n);
-    return consensus;
+    const Matrix pre_projection = out;
+    project_local(n, out);
+    stats->projection_correction = out.distance(pre_projection);
+    stats->load = out.col_sum(n);
+    return;
   }
-  project_local(n, consensus);
-  return consensus;
+  project_local(n, out);
 }
 
 CdpsmRoundStats CdpsmEngine::round() {
-  const std::vector<Matrix> previous = estimates_;
+  previous_estimates_ = estimates_;  // copy-assign reuses the round scratch
   CdpsmRoundStats stats;
   stats.round = ++rounds_;
   rounds_metric_.add(1);
@@ -118,19 +146,32 @@ CdpsmRoundStats CdpsmEngine::round() {
   {
     telemetry::ScopedSpan span(*tracer_, "cdpsm.consensus_gradient",
                                "solver");
-    for (std::size_t n = 0; n < estimates_.size(); ++n) {
-      const double previous_load = previous[n].col_sum(n);
-      estimates_[n] = step_replica(
-          n, previous, collect_stats_ ? &replica_stats_[n] : nullptr);
-      if (collect_stats_)
-        replica_stats_[n].load_delta =
-            replica_stats_[n].load - previous_load;
-    }
+    // Per-replica consensus+gradient+projection, one static block of
+    // replicas per lane.  Every lane reads the shared previous_estimates_
+    // snapshot and writes only its own estimates_[n] — disjoint writes, so
+    // the result is bitwise identical for every lane count.
+    const auto step_block = [this](std::size_t /*lane*/, std::size_t begin,
+                                   std::size_t end) {
+      for (std::size_t n = begin; n < end; ++n) {
+        step_replica_into(n, previous_estimates_, estimates_[n],
+                          collect_stats_ ? &replica_stats_[n] : nullptr);
+        if (collect_stats_)
+          replica_stats_[n].load_delta =
+              replica_stats_[n].load - previous_estimates_[n].col_sum(n);
+      }
+    };
+    if (common::ThreadPool* p = pool(); p != nullptr)
+      p->for_blocks(estimates_.size(), step_block);
+    else
+      step_block(0, 0, estimates_.size());
   }
 
+  // Reductions stay serial and in index order (part of the determinism
+  // contract; max() is order-insensitive but keeping one code path is
+  // simpler to reason about than proving each reduction safe).
   for (std::size_t n = 0; n < estimates_.size(); ++n) {
-    stats.movement =
-        std::max(stats.movement, estimates_[n].distance(previous[n]));
+    stats.movement = std::max(stats.movement,
+                              estimates_[n].distance(previous_estimates_[n]));
     for (std::size_t m = n + 1; m < estimates_.size(); ++m)
       stats.disagreement = std::max(stats.disagreement,
                                     estimates_[n].distance(estimates_[m]));
@@ -143,19 +184,22 @@ CdpsmRoundStats CdpsmEngine::round() {
   bytes_metric_.add(stats.bytes_exchanged);
 
   telemetry::ScopedSpan recover_span(*tracer_, "cdpsm.recover", "solver");
-  Matrix current = solution();
-  stats.objective = problem_->total_cost(current);
+  solution_into(scratch_solution_);
+  stats.objective = problem_->total_cost(scratch_solution_);
   objective_metric_.set(stats.objective);
   disagreement_metric_.set(stats.disagreement);
   movement_metric_.set(stats.movement);
   const double scale = std::max(problem_->total_demand(), 1.0);
   if (!last_solution_.empty() &&
-      current.distance(last_solution_) <= options_.tolerance * scale) {
+      scratch_solution_.distance(last_solution_) <=
+          options_.tolerance * scale) {
     if (++stable_rounds_ >= options_.patience) converged_ = true;
   } else {
     stable_rounds_ = 0;
   }
-  last_solution_ = std::move(current);
+  // Double-buffer: the new solution becomes last_solution_, the old buffer
+  // becomes next round's scratch.
+  std::swap(last_solution_, scratch_solution_);
   return stats;
 }
 
@@ -172,11 +216,18 @@ optim::ConvergenceTrace CdpsmEngine::run() {
 }
 
 Matrix CdpsmEngine::solution() const {
-  const double weight = 1.0 / static_cast<double>(estimates_.size());
-  Matrix mean(problem_->num_clients(), problem_->num_replicas(), 0.0);
-  for (const Matrix& estimate : estimates_) mean.axpy(weight, estimate);
-  optim::project_feasible(*problem_, mean);
+  Matrix mean;
+  solution_into(mean);
   return mean;
+}
+
+void CdpsmEngine::solution_into(Matrix& out) const {
+  const double weight = 1.0 / static_cast<double>(estimates_.size());
+  out.reshape(problem_->num_clients(), problem_->num_replicas(), 0.0);
+  for (const Matrix& estimate : estimates_) out.axpy(weight, estimate);
+  optim::DykstraOptions dykstra;
+  dykstra.pool = pool();
+  optim::project_feasible(*problem_, out, dykstra);
 }
 
 void CdpsmEngine::attach_telemetry(telemetry::Telemetry& telemetry) {

@@ -18,10 +18,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
 #include "optim/convergence.hpp"
 #include "optim/problem.hpp"
 #include "telemetry/telemetry.hpp"
@@ -45,6 +47,11 @@ struct CdpsmOptions {
   /// disagreement never reaches zero and is not a usable stop signal.
   double tolerance = 1e-5;
   std::size_t patience = 3;
+  /// Worker lanes for the per-replica round loop and the recovery
+  /// projection (0 = all hardware threads).  1 — the default — is the
+  /// exact historical serial path; every other value produces bitwise
+  /// identical results (static block partitioning, ordered reductions).
+  std::size_t threads = 1;
 };
 
 /// Per-round progress of the synchronous driver.
@@ -113,6 +120,13 @@ class CdpsmEngine {
   /// (solver.cdpsm.*) into `telemetry`.
   void attach_telemetry(telemetry::Telemetry& telemetry);
 
+  /// Use an externally owned pool for the parallel round instead of the
+  /// lazily created one implied by options().threads — the algorithm layer
+  /// shares one pool across the per-epoch engines so threads are spawned
+  /// once per run, not once per epoch.  `pool` must outlive the engine;
+  /// null reverts to the options-driven behavior.
+  void set_thread_pool(common::ThreadPool* pool) { external_pool_ = pool; }
+
   /// Collect CdpsmReplicaStats during round() (off by default; the flight
   /// recorder path turns it on).
   void set_collect_replica_stats(bool collect) { collect_stats_ = collect; }
@@ -134,9 +148,19 @@ class CdpsmEngine {
 
  private:
   void project_local(std::size_t n, Matrix& estimate) const;
+  /// step_replica writing into a caller-owned matrix (round() reuses one
+  /// per replica).  `out` must not alias any entry of `peer_estimates`.
+  void step_replica_into(std::size_t n, std::span<const Matrix> peer_estimates,
+                         Matrix& out, CdpsmReplicaStats* stats) const;
+  void solution_into(Matrix& out) const;
+  /// The pool the parallel regions should use this round: the external one
+  /// when set, else a lazily built pool per options_.threads; null = serial.
+  [[nodiscard]] common::ThreadPool* pool() const;
 
   const optim::Problem* problem_;
   CdpsmOptions options_;
+  common::ThreadPool* external_pool_ = nullptr;
+  mutable std::unique_ptr<common::ThreadPool> owned_pool_;
   std::uint64_t messages_exchanged_ = 0;
   std::uint64_t bytes_exchanged_ = 0;
   telemetry::EventTracer* tracer_ = &telemetry::disabled_tracer();
@@ -150,6 +174,11 @@ class CdpsmEngine {
   bool collect_stats_ = false;
   std::vector<CdpsmReplicaStats> replica_stats_;
   std::vector<Matrix> estimates_;
+  // Round scratch, reused across rounds so the hot loop stays off the heap:
+  // the previous-round snapshot the consensus step reads, and the recovered
+  // solution double-buffered against last_solution_.
+  std::vector<Matrix> previous_estimates_;
+  Matrix scratch_solution_;
   Matrix last_solution_;
   std::size_t stable_rounds_ = 0;
   std::size_t rounds_ = 0;

@@ -365,15 +365,15 @@ void EpochPipeline::start_solve(std::size_t epoch) {
     return;
   }
 
-  std::vector<double> demand_by_client(num_clients_, 0.0);
+  demand_scratch_.assign(num_clients_, 0.0);
   for (const auto& request : current_requests_)
-    demand_by_client[request.client] += request.size_mb;
+    demand_scratch_[request.client] += request.size_mb;
 
   active_clients_.clear();
   std::vector<Megabytes> demands;
-  std::vector<PendingRequest> kept;
+  kept_scratch_.clear();
   for (std::uint32_t c = 0; c < num_clients_; ++c) {
-    if (demand_by_client[c] <= 0.0) continue;
+    if (demand_scratch_[c] <= 0.0) continue;
     // Latency feasibility against the *alive* replica set (hosts that do
     // not bound decision latency admit everyone).
     bool reachable = !policy_.drop_unreachable_clients;
@@ -388,15 +388,17 @@ void EpochPipeline::start_solve(std::size_t epoch) {
       continue;
     }
     active_clients_.push_back(c);
-    demands.push_back(demand_by_client[c]);
+    demands.push_back(demand_scratch_[c]);
   }
   for (const auto& request : current_requests_)
     for (const std::uint32_t c : active_clients_)
       if (request.client == c) {
-        kept.push_back(request);
+        kept_scratch_.push_back(request);
         break;
       }
-  current_requests_ = std::move(kept);
+  // Swap rather than move so the displaced buffer's capacity is reused by
+  // the next epoch's filter pass.
+  std::swap(current_requests_, kept_scratch_);
 
   if (active_clients_.empty()) {
     maybe_start_solve();

@@ -130,6 +130,11 @@ class EpochPipeline {
   SimTime solve_started_ = 0.0;
   std::vector<PlannedMessage> plan_scratch_;
   std::vector<std::size_t> announce_scratch_;
+  // Per-epoch build scratch for start_solve (same reuse pattern as the
+  // plan/announce scratch above): the per-client demand totals and the
+  // kept-requests filter buffer.
+  std::vector<double> demand_scratch_;
+  std::vector<PendingRequest> kept_scratch_;
 
   /// Shed remainders awaiting the next scheduling opportunity.
   std::vector<PendingRequest> retry_backlog_;

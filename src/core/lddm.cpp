@@ -43,22 +43,42 @@ LddmEngine::LddmEngine(const optim::Problem& problem, LddmOptions options)
   columns_.assign(replicas, std::vector<double>(clients, 0.0));
   average_.assign(replicas, std::vector<double>(clients, 0.0));
   masks_.assign(replicas, std::vector<double>(clients, 0.0));
+  solve_scratch_.assign(replicas, std::vector<double>(clients, 0.0));
   for (std::size_t n = 0; n < replicas; ++n)
     for (std::size_t c = 0; c < clients; ++c)
       masks_[n][c] = problem.feasible_pair(c, n) ? 1.0 : 0.0;
 }
 
+common::ThreadPool* LddmEngine::pool() const {
+  if (external_pool_ != nullptr)
+    return external_pool_->lanes() > 1 ? external_pool_ : nullptr;
+  const std::size_t lanes = common::ThreadPool::resolve(options_.threads);
+  if (lanes <= 1) return nullptr;
+  if (owned_pool_ == nullptr)
+    owned_pool_ = std::make_unique<common::ThreadPool>(lanes);
+  return owned_pool_.get();
+}
+
 std::vector<double> LddmEngine::solve_local(
     std::size_t n, std::span<const double> multipliers) {
-  const auto result = optim::solve_replica_subproblem(
-      problem_->replica(n), multipliers, masks_[n], columns_[n],
-      options_.rho);
-  columns_[n] = result.allocation;
+  solve_local_inplace(n, multipliers);
+  return columns_[n];
+}
+
+void LddmEngine::solve_local_inplace(std::size_t n,
+                                     std::span<const double> multipliers) {
+  // Solve into the per-replica scratch, then swap: the current column is
+  // the prox center, which the bisection re-reads throughout, so a true
+  // in-place solve is not possible — but the swap keeps this allocation-
+  // free after the first round.
+  optim::solve_replica_subproblem_into(problem_->replica(n), multipliers,
+                                       masks_[n], columns_[n], options_.rho,
+                                       solve_scratch_[n]);
+  std::swap(columns_[n], solve_scratch_[n]);
   // Running average for primal recovery (Cesàro average of iterates).
   const double k = static_cast<double>(rounds_ + 1);
   for (std::size_t c = 0; c < columns_[n].size(); ++c)
     average_[n][c] += (columns_[n][c] - average_[n][c]) / k;
-  return columns_[n];
 }
 
 void LddmEngine::set_multipliers(std::span<const double> mu) {
@@ -96,27 +116,41 @@ LddmRoundStats LddmEngine::round() {
   const std::size_t replicas = problem_->num_replicas();
 
   LddmRoundStats stats;
-  const auto previous = columns_;
+  previous_columns_ = columns_;  // copy-assign reuses the round scratch
 
   {
     telemetry::ScopedSpan span(*tracer_, "lddm.local_solves", "solver");
-    for (std::size_t n = 0; n < replicas; ++n) solve_local(n, mu_);
+    // Per-replica subproblem solves, one static block of replicas per
+    // lane.  Each solve touches only replica-owned state (columns_[n],
+    // average_[n], solve_scratch_[n]) against the shared read-only μ —
+    // disjoint writes, so the result is bitwise identical for every lane
+    // count.
+    const auto solve_block = [this](std::size_t /*lane*/, std::size_t begin,
+                                    std::size_t end) {
+      for (std::size_t n = begin; n < end; ++n) solve_local_inplace(n, mu_);
+    };
+    if (common::ThreadPool* p = pool(); p != nullptr)
+      p->for_blocks(replicas, solve_block);
+    else
+      solve_block(0, 0, replicas);
   }
 
+  // Dual ascent and the reductions below stay serial and in index order —
+  // the summation order of served[c] is part of the determinism contract.
   telemetry::ScopedSpan dual_span(*tracer_, "lddm.dual_update", "solver");
-  std::vector<double> served(clients, 0.0);
+  served_.assign(clients, 0.0);
   for (std::size_t n = 0; n < replicas; ++n)
-    for (std::size_t c = 0; c < clients; ++c) served[c] += columns_[n][c];
+    for (std::size_t c = 0; c < clients; ++c) served_[c] += columns_[n][c];
   for (std::size_t c = 0; c < clients; ++c) {
-    update_multiplier(c, served[c]);
+    update_multiplier(c, served_[c]);
     stats.demand_residual = std::max(
-        stats.demand_residual, std::abs(served[c] - problem_->demand(c)));
+        stats.demand_residual, std::abs(served_[c] - problem_->demand(c)));
   }
 
   for (std::size_t n = 0; n < replicas; ++n) {
     double sq = 0.0;
     for (std::size_t c = 0; c < clients; ++c) {
-      const double d = columns_[n][c] - previous[n][c];
+      const double d = columns_[n][c] - previous_columns_[n][c];
       sq += d * d;
     }
     stats.movement = std::max(stats.movement, std::sqrt(sq));
@@ -132,7 +166,8 @@ LddmRoundStats LddmEngine::round() {
   bytes_metric_.add(stats.bytes_exchanged);
 
   // Convergence: the recovered solution stops moving for `patience` rounds.
-  Matrix current = solution();
+  solution_into(scratch_solution_);
+  const Matrix& current = scratch_solution_;
   stats.objective = problem_->total_cost(current);
   objective_metric_.set(stats.objective);
   residual_metric_.set(stats.demand_residual);
@@ -170,7 +205,9 @@ LddmRoundStats LddmEngine::round() {
   } else {
     stable_rounds_ = 0;
   }
-  last_solution_ = std::move(current);
+  // Double-buffer: the new solution becomes last_solution_, the old buffer
+  // becomes next round's scratch.
+  std::swap(last_solution_, scratch_solution_);
   return stats;
 }
 
@@ -188,18 +225,24 @@ optim::ConvergenceTrace LddmEngine::run() {
 }
 
 Matrix LddmEngine::solution() const {
+  Matrix current;
+  solution_into(current);
+  return current;
+}
+
+void LddmEngine::solution_into(Matrix& out) const {
   const std::size_t clients = problem_->num_clients();
   const std::size_t replicas = problem_->num_replicas();
   // Cesàro average of the primal iterates: the raw dual-decomposition
   // iterates oscillate around the optimum, but their running average
   // converges (standard primal recovery); feasibility repair makes the
   // demand rows exact.
-  Matrix current(clients, replicas, 0.0);
+  out.reshape(clients, replicas, 0.0);
   for (std::size_t n = 0; n < replicas; ++n)
-    for (std::size_t c = 0; c < clients; ++c)
-      current(c, n) = average_[n][c];
-  optim::project_feasible(*problem_, current);
-  return current;
+    for (std::size_t c = 0; c < clients; ++c) out(c, n) = average_[n][c];
+  optim::DykstraOptions dykstra;
+  dykstra.pool = pool();
+  optim::project_feasible(*problem_, out, dykstra);
 }
 
 void LddmEngine::attach_telemetry(telemetry::Telemetry& telemetry) {

@@ -21,10 +21,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
 #include "optim/convergence.hpp"
 #include "optim/problem.hpp"
 #include "telemetry/telemetry.hpp"
@@ -56,6 +58,11 @@ struct LddmOptions {
   /// usable stopping signal.
   double tolerance = 1e-5;
   std::size_t patience = 5;
+  /// Worker lanes for the per-replica local solves and the recovery
+  /// projection (0 = all hardware threads).  1 — the default — is the
+  /// exact historical serial path; every other value produces bitwise
+  /// identical results (static block partitioning, ordered reductions).
+  std::size_t threads = 1;
 };
 
 struct LddmRoundStats {
@@ -135,6 +142,13 @@ class LddmEngine {
   /// gauge (solver.lddm.*) into `telemetry`.
   void attach_telemetry(telemetry::Telemetry& telemetry);
 
+  /// Use an externally owned pool for the parallel round instead of the
+  /// lazily created one implied by options().threads — the algorithm layer
+  /// shares one pool across the per-epoch engines so threads are spawned
+  /// once per run, not once per epoch.  `pool` must outlive the engine;
+  /// null reverts to the options-driven behavior.
+  void set_thread_pool(common::ThreadPool* pool) { external_pool_ = pool; }
+
   /// Collect LddmReplicaStats during round() (off by default; the flight
   /// recorder path turns it on).
   void set_collect_replica_stats(bool collect) { collect_stats_ = collect; }
@@ -155,8 +169,17 @@ class LddmEngine {
   }
 
  private:
+  /// solve_local without the return-by-value copy (round()'s hot path).
+  void solve_local_inplace(std::size_t n, std::span<const double> multipliers);
+  void solution_into(Matrix& out) const;
+  /// The pool the parallel regions should use this round: the external one
+  /// when set, else a lazily built pool per options_.threads; null = serial.
+  [[nodiscard]] common::ThreadPool* pool() const;
+
   const optim::Problem* problem_;
   LddmOptions options_;
+  common::ThreadPool* external_pool_ = nullptr;
+  mutable std::unique_ptr<common::ThreadPool> owned_pool_;
   std::uint64_t messages_exchanged_ = 0;
   std::uint64_t bytes_exchanged_ = 0;
   telemetry::EventTracer* tracer_ = &telemetry::disabled_tracer();
@@ -173,6 +196,14 @@ class LddmEngine {
   std::vector<std::vector<double>> columns_;   // per replica, per client
   std::vector<std::vector<double>> average_;   // running primal average
   std::vector<std::vector<double>> masks_;     // per replica feasibility
+  // Round scratch, reused across rounds so the hot loop stays off the heap:
+  // per-replica subproblem output buffers (swapped into columns_), the
+  // previous columns for the movement stat, the per-client served totals,
+  // and the recovered solution double-buffered against last_solution_.
+  std::vector<std::vector<double>> solve_scratch_;
+  std::vector<std::vector<double>> previous_columns_;
+  std::vector<double> served_;
+  Matrix scratch_solution_;
   Matrix last_solution_;
   std::size_t stable_rounds_ = 0;
   std::size_t rounds_ = 0;

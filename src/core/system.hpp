@@ -101,6 +101,12 @@ struct SystemConfig {
                      .patience = 3};
   LddmOptions lddm{.rho = 2.0, .mu_step = 0.0, .mu_step_factor = 3.0,
                    .max_rounds = 300, .tolerance = 1e-4, .patience = 3};
+  /// Worker threads for the deterministic parallel solve engine (projection
+  /// row/column sweeps, per-replica CDPSM/LDDM steps).  0 = all hardware
+  /// threads.  The default 1 is the exact historical serial path; results
+  /// are bitwise identical for every value (static block partitioning +
+  /// ordered reductions — pinned by the golden-equivalence digests).
+  std::size_t solver_threads = 1;
   power::PowerModelParams power;
   cluster::RingConfig ring;
   /// Enable the heartbeat ring (off saves events in pure-cost benches).

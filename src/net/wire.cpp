@@ -77,8 +77,10 @@ std::string WireReader::get_string() {
 
 std::vector<double> WireReader::get_doubles() {
   const std::uint32_t count = get_u32();
-  if (offset_ + static_cast<std::size_t>(count) * sizeof(double) >
-      bytes_.size())
+  // Division form: `offset_ + count * 8` can wrap size_t for adversarial
+  // counts (offset_ ≤ bytes_.size() always holds, so the subtraction here
+  // cannot underflow).
+  if (count > (bytes_.size() - offset_) / sizeof(double))
     throw std::out_of_range("WireReader: truncated double vector");
   std::vector<double> values(count);
   raw(values.data(), values.size() * sizeof(double));
@@ -88,8 +90,12 @@ std::vector<double> WireReader::get_doubles() {
 Matrix WireReader::get_matrix() {
   const std::uint32_t rows = get_u32();
   const std::uint32_t cols = get_u32();
+  // rows*cols fits in 64 bits (both are u32), but multiplying by
+  // sizeof(double) can wrap — e.g. rows = cols = 2^31 gives a byte count
+  // ≡ 0 mod 2^64, which sailed past the old additive check straight into a
+  // multi-exabyte allocation.  Compare in division form instead.
   const std::size_t count = static_cast<std::size_t>(rows) * cols;
-  if (offset_ + count * sizeof(double) > bytes_.size())
+  if (count > (bytes_.size() - offset_) / sizeof(double))
     throw std::out_of_range("WireReader: truncated matrix");
   Matrix matrix(rows, cols);
   raw(matrix.flat().data(), count * sizeof(double));

@@ -31,14 +31,27 @@ SubproblemResult solve_replica_subproblem(const ReplicaParams& params,
                                           std::span<const double> mask,
                                           std::span<const double> prox_center,
                                           double rho) {
+  SubproblemResult result;
+  const SubproblemInfo info = solve_replica_subproblem_into(
+      params, multipliers, mask, prox_center, rho, result.allocation);
+  result.load = info.load;
+  result.capacity_multiplier = info.capacity_multiplier;
+  return result;
+}
+
+SubproblemInfo solve_replica_subproblem_into(
+    const ReplicaParams& params, std::span<const double> multipliers,
+    std::span<const double> mask, std::span<const double> prox_center,
+    double rho, std::vector<double>& allocation) {
   assert(multipliers.size() == mask.size());
   assert(multipliers.size() == prox_center.size());
+  assert(allocation.empty() || allocation.data() != prox_center.data());
   if (rho <= 0.0)
     throw std::invalid_argument("solve_replica_subproblem: rho must be > 0");
 
   const std::size_t clients = multipliers.size();
-  SubproblemResult result;
-  result.allocation.assign(clients, 0.0);
+  SubproblemInfo result;
+  allocation.assign(clients, 0.0);
 
   auto phi_prime = [&](double s) {
     return replica_cost_derivative(params, s);
@@ -80,8 +93,8 @@ SubproblemResult solve_replica_subproblem(const ReplicaParams& params,
         return t - phi_prime(s);
       },
       t_lo, t_hi);
-  double s_star = load_at(multipliers, mask, prox_center, rho, t_star,
-                          &result.allocation);
+  double s_star =
+      load_at(multipliers, mask, prox_center, rho, t_star, &allocation);
 
   if (s_star > params.bandwidth + 1e-12) {
     // Capacity binds: solve s(t) = B instead (s is nonincreasing in t, so
@@ -92,8 +105,8 @@ SubproblemResult solve_replica_subproblem(const ReplicaParams& params,
                  load_at(multipliers, mask, prox_center, rho, t);
         },
         t_lo, t_hi);
-    s_star = load_at(multipliers, mask, prox_center, rho, t_cap,
-                     &result.allocation);
+    s_star =
+        load_at(multipliers, mask, prox_center, rho, t_cap, &allocation);
     result.capacity_multiplier = std::max(0.0, t_cap - phi_prime(s_star));
   }
 

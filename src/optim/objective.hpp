@@ -39,4 +39,21 @@ struct SubproblemResult {
     std::span<const double> mask, std::span<const double> prox_center,
     double rho);
 
+/// Scalar outputs of the subproblem when the allocation is written into a
+/// caller-owned buffer (the allocation-free variant below).
+struct SubproblemInfo {
+  double load = 0.0;                 // s = Σq
+  double capacity_multiplier = 0.0;  // λ ≥ 0, nonzero iff Σq == B_n
+};
+
+/// Same solve, but writes q into `allocation` (resized to the client count)
+/// instead of returning a fresh vector — the per-round LDDM hot path reuses
+/// one buffer per replica.  `allocation` must not alias `prox_center`: the
+/// bisection re-evaluates q from q̂ repeatedly, so an in-place overwrite of
+/// the prox center would corrupt later evaluations.
+SubproblemInfo solve_replica_subproblem_into(
+    const ReplicaParams& params, std::span<const double> multipliers,
+    std::span<const double> mask, std::span<const double> prox_center,
+    double rho, std::vector<double>& allocation);
+
 }  // namespace edr::optim

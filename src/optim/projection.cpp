@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "optim/problem.hpp"
 
 namespace edr::optim {
@@ -16,17 +17,44 @@ double simplex_threshold(std::vector<double>& active, double target) {
   std::ranges::sort(active, std::greater<>());
   double running = 0.0;
   double tau = 0.0;
-  std::size_t count = 0;
   for (std::size_t i = 0; i < active.size(); ++i) {
     running += active[i];
-    const double candidate =
-        (running - target) / static_cast<double>(i + 1);
-    if (candidate >= active[i] && i > 0) break;  // i-th coord would go ≤ 0
+    const double candidate = (running - target) / static_cast<double>(i + 1);
+    if (candidate >= active[i]) {
+      // Coordinate i would be clipped to ≤ 0, so the support is the first i
+      // coordinates and the previous candidate is τ — except at i == 0,
+      // which only happens for target == 0, where τ = v_0 zeroes the whole
+      // vector exactly.
+      if (i == 0) tau = candidate;
+      break;
+    }
     tau = candidate;
-    count = i + 1;
   }
-  (void)count;
   return tau;
+}
+
+// Per-thread scratch for the projections below.  These run hundreds of
+// times per Dykstra sweep and per solver round, so they must not touch the
+// heap after warm-up; thread-local because the demand/capacity sweeps run
+// one lane per pool thread.  Each helper owns a distinct buffer, so the
+// call chains here (project_demand_set → project_masked_simplex,
+// project_capacity_set → project_capped_nonneg → project_simplex →
+// project_masked_simplex) never alias a buffer a caller still holds.
+std::vector<double>& active_scratch() {
+  thread_local std::vector<double> active;
+  return active;
+}
+std::vector<double>& ones_scratch() {
+  thread_local std::vector<double> ones;
+  return ones;
+}
+std::vector<double>& row_mask_scratch() {
+  thread_local std::vector<double> mask;
+  return mask;
+}
+std::vector<double>& column_scratch() {
+  thread_local std::vector<double> column;
+  return column;
 }
 
 }  // namespace
@@ -37,7 +65,8 @@ void project_masked_simplex(std::span<double> values,
   if (target < 0.0)
     throw std::invalid_argument("project_masked_simplex: negative target");
 
-  std::vector<double> active;
+  std::vector<double>& active = active_scratch();
+  active.clear();
   active.reserve(values.size());
   for (std::size_t i = 0; i < values.size(); ++i)
     if (mask[i] != 0.0) active.push_back(values[i]);
@@ -57,7 +86,8 @@ void project_masked_simplex(std::span<double> values,
 }
 
 void project_simplex(std::span<double> values, double target) {
-  const std::vector<double> mask(values.size(), 1.0);
+  std::vector<double>& mask = ones_scratch();
+  mask.assign(values.size(), 1.0);
   project_masked_simplex(values, mask, target);
 }
 
@@ -71,46 +101,73 @@ void project_capped_nonneg(std::span<double> values, double cap) {
   project_simplex(values, cap);
 }
 
-void project_demand_set(const Problem& problem, Matrix& allocation) {
-  std::vector<double> mask(problem.num_replicas());
-  for (std::size_t c = 0; c < problem.num_clients(); ++c) {
-    for (std::size_t n = 0; n < problem.num_replicas(); ++n)
-      mask[n] = problem.feasible_pair(c, n) ? 1.0 : 0.0;
-    project_masked_simplex(allocation.row(c), mask, problem.demand(c));
-  }
+void project_demand_set(const Problem& problem, Matrix& allocation,
+                        common::ThreadPool* pool) {
+  const auto rows = [&problem, &allocation](std::size_t /*lane*/,
+                                            std::size_t begin,
+                                            std::size_t end) {
+    std::vector<double>& mask = row_mask_scratch();
+    mask.resize(problem.num_replicas());
+    for (std::size_t c = begin; c < end; ++c) {
+      for (std::size_t n = 0; n < problem.num_replicas(); ++n)
+        mask[n] = problem.feasible_pair(c, n) ? 1.0 : 0.0;
+      project_masked_simplex(allocation.row(c), mask, problem.demand(c));
+    }
+  };
+  if (pool != nullptr && pool->lanes() > 1)
+    pool->for_blocks(problem.num_clients(), rows);
+  else
+    rows(0, 0, problem.num_clients());
 }
 
-void project_capacity_set(const Problem& problem, Matrix& allocation) {
-  std::vector<double> column(problem.num_clients());
-  for (std::size_t n = 0; n < problem.num_replicas(); ++n) {
-    for (std::size_t c = 0; c < problem.num_clients(); ++c)
-      column[c] = allocation(c, n);
-    project_capped_nonneg(column, problem.replica(n).bandwidth);
-    for (std::size_t c = 0; c < problem.num_clients(); ++c)
-      allocation(c, n) = column[c];
-  }
+void project_capacity_set(const Problem& problem, Matrix& allocation,
+                          common::ThreadPool* pool) {
+  const auto cols = [&problem, &allocation](std::size_t /*lane*/,
+                                            std::size_t begin,
+                                            std::size_t end) {
+    std::vector<double>& column = column_scratch();
+    column.resize(problem.num_clients());
+    for (std::size_t n = begin; n < end; ++n) {
+      for (std::size_t c = 0; c < problem.num_clients(); ++c)
+        column[c] = allocation(c, n);
+      project_capped_nonneg(column, problem.replica(n).bandwidth);
+      for (std::size_t c = 0; c < problem.num_clients(); ++c)
+        allocation(c, n) = column[c];
+    }
+  };
+  if (pool != nullptr && pool->lanes() > 1)
+    pool->for_blocks(problem.num_replicas(), cols);
+  else
+    cols(0, 0, problem.num_replicas());
 }
 
 DykstraResult project_feasible(const Problem& problem, Matrix& allocation,
                                const DykstraOptions& options) {
-  // Dykstra correction terms for each of the two set families.
-  Matrix correction_demand(allocation.rows(), allocation.cols(), 0.0);
-  Matrix correction_capacity(allocation.rows(), allocation.cols(), 0.0);
-  Matrix previous = allocation;
+  // Dykstra correction terms for each of the two set families.  Held in
+  // thread-local scratch (never nested on one thread) so the per-round
+  // callers — CDPSM/LDDM primal recovery, once per solver round — stop
+  // re-allocating four |C|×|N| matrices every round.
+  thread_local Matrix correction_demand;
+  thread_local Matrix correction_capacity;
+  thread_local Matrix previous;
+  thread_local Matrix before;
+  correction_demand.reshape(allocation.rows(), allocation.cols(), 0.0);
+  correction_capacity.reshape(allocation.rows(), allocation.cols(), 0.0);
+  previous = allocation;
 
   DykstraResult result;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Demand (simplex) half-step.
     allocation.axpy(1.0, correction_demand);
-    Matrix before = allocation;
-    project_demand_set(problem, allocation);
+    before = allocation;
+    project_demand_set(problem, allocation, options.pool);
     correction_demand = before;
     correction_demand.axpy(-1.0, allocation);
 
     // Capacity half-step.
     allocation.axpy(1.0, correction_capacity);
     before = allocation;
-    project_capacity_set(problem, allocation);
+    project_capacity_set(problem, allocation, options.pool);
     correction_capacity = before;
     correction_capacity.axpy(-1.0, allocation);
 
@@ -127,9 +184,14 @@ DykstraResult project_feasible(const Problem& problem, Matrix& allocation,
       }
     }
   }
-  // Final cleanup: snap to the demand set so row sums are exact (capacity
-  // violations at this point are below tolerance).
-  project_demand_set(problem, allocation);
+  // Final cleanup: snap to the demand set so row sums are exact.  When the
+  // sweep converged, any capacity violation this re-introduces is below
+  // tolerance; when the iteration cap was hit, it can be arbitrary — report
+  // it instead of masking it.
+  project_demand_set(problem, allocation, options.pool);
+  if (!result.converged)
+    result.capacity_residual =
+        check_feasibility(problem, allocation).max_capacity_violation;
   return result;
 }
 

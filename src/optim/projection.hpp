@@ -10,6 +10,13 @@
 // Both factor projections are exact and O(k log k); Dykstra's algorithm
 // combines them into the projection onto A ∩ B, which both CDPSM's
 // projection step and the centralized reference solver rely on.
+//
+// Because A and B are products over disjoint rows / columns, their factor
+// projections are embarrassingly parallel: pass a common::ThreadPool and the
+// client rows (demand set) / replica columns (capacity set) are processed in
+// static contiguous blocks, one block per lane.  Each row/column projection
+// writes only its own slice, so the result is bitwise identical to the
+// serial sweep for every lane count (see DESIGN.md §10).
 #pragma once
 
 #include <cstddef>
@@ -17,6 +24,10 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+
+namespace edr::common {
+class ThreadPool;
+}  // namespace edr::common
 
 namespace edr::optim {
 
@@ -38,12 +49,16 @@ void project_simplex(std::span<double> values, double target);
 void project_capped_nonneg(std::span<double> values, double cap);
 
 /// Project `allocation` in place onto the demand set A (per-client masked
-/// simplices) of `problem`.
-void project_demand_set(const Problem& problem, Matrix& allocation);
+/// simplices) of `problem`.  A non-null `pool` splits the client rows across
+/// its lanes; the result is bitwise independent of the lane count.
+void project_demand_set(const Problem& problem, Matrix& allocation,
+                        common::ThreadPool* pool = nullptr);
 
 /// Project `allocation` in place onto the capacity set B (per-replica capped
-/// columns) of `problem`.
-void project_capacity_set(const Problem& problem, Matrix& allocation);
+/// columns) of `problem`.  A non-null `pool` splits the replica columns
+/// across its lanes; the result is bitwise independent of the lane count.
+void project_capacity_set(const Problem& problem, Matrix& allocation,
+                          common::ThreadPool* pool = nullptr);
 
 /// Options for Dykstra's alternating projections.
 struct DykstraOptions {
@@ -51,6 +66,9 @@ struct DykstraOptions {
   /// Stop when successive full sweeps move the iterate less than this
   /// (Frobenius norm).
   double tolerance = 1e-10;
+  /// Optional pool for the row/column sweeps inside each iteration (null =
+  /// serial).  Deterministic: the same bytes for every lane count.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// Result diagnostics from project_feasible.
@@ -58,6 +76,12 @@ struct DykstraResult {
   std::size_t iterations = 0;
   double final_change = 0.0;
   bool converged = false;
+  /// Worst per-replica capacity overshoot of the *returned* iterate, after
+  /// the final demand snap.  0 when converged (the snap only perturbs an
+  /// already-feasible point below tolerance); when the iteration cap was
+  /// hit, this reports the violation the snap would otherwise silently
+  /// mask — callers deciding whether to trust the point should check it.
+  double capacity_residual = 0.0;
 };
 
 /// Project `allocation` in place onto the full feasible set A ∩ B of

@@ -1,0 +1,153 @@
+// ThreadPool — determinism-bearing invariants of the fork-join pool: the
+// static block partition (coverage, disjointness, ordering), inline serial
+// fast path, exception propagation, and the thread-count knobs.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace edr::common {
+namespace {
+
+TEST(ThreadPoolBlock, PartitionCoversEveryItemExactlyOnce) {
+  for (const std::size_t lanes : {1u, 2u, 3u, 4u, 7u, 16u}) {
+    for (const std::size_t count : {0u, 1u, 2u, 5u, 16u, 17u, 100u}) {
+      std::vector<int> hits(count, 0);
+      std::size_t previous_end = 0;
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        const auto [begin, end] = ThreadPool::block(lane, lanes, count);
+        EXPECT_EQ(begin, previous_end)
+            << "blocks must be contiguous and ordered (lanes=" << lanes
+            << " count=" << count << " lane=" << lane << ")";
+        EXPECT_LE(begin, end);
+        previous_end = end;
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      }
+      EXPECT_EQ(previous_end, count);
+      for (std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(hits[i], 1) << "item " << i << " lanes=" << lanes;
+    }
+  }
+}
+
+TEST(ThreadPoolBlock, BalancedWithinOneItem) {
+  const auto [b0, e0] = ThreadPool::block(0, 3, 10);
+  const auto [b1, e1] = ThreadPool::block(1, 3, 10);
+  const auto [b2, e2] = ThreadPool::block(2, 3, 10);
+  EXPECT_EQ(e0 - b0, 3u);
+  EXPECT_EQ(e1 - b1, 3u);
+  EXPECT_EQ(e2 - b2, 4u);
+}
+
+TEST(ThreadPool, LanesReflectsConstruction) {
+  EXPECT_EQ(ThreadPool{}.lanes(), 1u);
+  EXPECT_EQ(ThreadPool{1}.lanes(), 1u);
+  EXPECT_EQ(ThreadPool{3}.lanes(), 3u);
+  // 0 = all hardware threads.
+  EXPECT_EQ(ThreadPool{0}.lanes(), ThreadPool::hardware());
+}
+
+TEST(ThreadPool, ResolveMapsZeroToHardware) {
+  EXPECT_EQ(ThreadPool::resolve(0), ThreadPool::hardware());
+  EXPECT_EQ(ThreadPool::resolve(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve(5), 5u);
+  EXPECT_GE(ThreadPool::hardware(), 1u);
+}
+
+TEST(ThreadPool, ForBlocksWritesDisjointItemsForAnyLaneCount) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<double> serial(kCount, 0.0);
+  ThreadPool{1}.for_blocks(kCount,
+                           [&](std::size_t, std::size_t begin,
+                               std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i)
+                               serial[i] = 0.1 * static_cast<double>(i * i);
+                           });
+  for (const std::size_t lanes : {2u, 3u, 5u, 8u}) {
+    std::vector<double> parallel(kCount, -1.0);
+    ThreadPool pool{lanes};
+    pool.for_blocks(kCount, [&](std::size_t, std::size_t begin,
+                                std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        parallel[i] = 0.1 * static_cast<double>(i * i);
+    });
+    EXPECT_EQ(parallel, serial) << "lanes=" << lanes;
+  }
+}
+
+TEST(ThreadPool, EveryLaneParticipates) {
+  constexpr std::size_t kLanes = 4;
+  ThreadPool pool{kLanes};
+  std::vector<int> lane_items(kLanes, 0);
+  pool.for_blocks(100, [&](std::size_t lane, std::size_t begin,
+                           std::size_t end) {
+    lane_items[lane] = static_cast<int>(end - begin);  // disjoint per lane
+  });
+  EXPECT_EQ(std::accumulate(lane_items.begin(), lane_items.end(), 0), 100);
+  for (std::size_t lane = 0; lane < kLanes; ++lane)
+    EXPECT_EQ(lane_items[lane], 25) << "lane " << lane;
+}
+
+TEST(ThreadPool, ForEachVisitsEachIndexOnce) {
+  ThreadPool pool{3};
+  std::vector<std::atomic<int>> visits(97);
+  pool.for_each(97, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < visits.size(); ++i)
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  ThreadPool pool{4};
+  long long total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<long long> partial(pool.lanes(), 0);
+    pool.for_blocks(64, [&](std::size_t lane, std::size_t begin,
+                            std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        partial[lane] += static_cast<long long>(i);
+    });
+    // Ordered serial reduction — the pattern the solve engines rely on.
+    for (const long long p : partial) total += p;
+  }
+  EXPECT_EQ(total, 200LL * (63 * 64 / 2));
+}
+
+TEST(ThreadPool, EmptyCountIsANoOp) {
+  ThreadPool pool{3};
+  int calls = 0;
+  pool.for_blocks(0, [&](std::size_t, std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, end);
+    ++calls;
+  });
+  EXPECT_LE(calls, 3);  // lanes may see empty blocks; none may see items
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      pool.for_each(100,
+                    [](std::size_t i) {
+                      if (i == 73) throw std::runtime_error("lane fault");
+                    }),
+      std::runtime_error);
+  // The pool must survive a failed job and accept the next one.
+  std::atomic<int> ok{0};
+  pool.for_each(10, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, SerialPoolExceptionPropagates) {
+  ThreadPool pool{1};
+  EXPECT_THROW(pool.for_each(5,
+                             [](std::size_t i) {
+                               if (i == 2) throw std::logic_error("inline");
+                             }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace edr::common

@@ -93,6 +93,56 @@ TEST(Wire, TruncatedMatrixThrows) {
   EXPECT_THROW((void)reader.get_matrix(), std::out_of_range);
 }
 
+// Adversarial headers whose byte counts wrap std::size_t: rows = cols =
+// 2^31 gives rows·cols·sizeof(double) ≡ 0 mod 2^64, which slipped past the
+// old `offset_ + size > bytes_.size()` check and attempted a multi-exabyte
+// Matrix.  The division-form bound must reject these before allocating.
+TEST(Wire, OverflowingMatrixHeaderThrows) {
+  WireWriter writer;
+  writer.put_u32(0x80000000u);  // rows = 2^31
+  writer.put_u32(0x80000000u);  // cols = 2^31 -> count*8 wraps to 0
+  writer.put_double(1.0);       // a little payload so the buffer is nonempty
+  WireReader reader{writer.bytes()};
+  EXPECT_THROW((void)reader.get_matrix(), std::out_of_range);
+}
+
+TEST(Wire, OverflowingMatrixHeaderVariantsThrow) {
+  // Sweep header pairs whose product × 8 wraps (or nearly wraps) 2^64.
+  const std::uint32_t adversarial[][2] = {
+      {0xffffffffu, 0xffffffffu},  // count*8 = (2^64 - 2^33 + 8) mod 2^64
+      {0x20000000u, 0x00000010u},  // count = 2^33, count*8 = 2^36 (no wrap,
+                                   // still absurd vs. the tiny buffer)
+      {0xffffffffu, 0x00000008u},  // count*8 just above 2^35
+  };
+  for (const auto& [rows, cols] : adversarial) {
+    WireWriter writer;
+    writer.put_u32(rows);
+    writer.put_u32(cols);
+    WireReader reader{writer.bytes()};
+    EXPECT_THROW((void)reader.get_matrix(), std::out_of_range)
+        << "rows=" << rows << " cols=" << cols;
+  }
+}
+
+TEST(Wire, OverflowingDoubleCountThrows) {
+  // count = 2^32 - 1: count*8 doesn't wrap 64 bits but is ~32 GiB — must be
+  // rejected against the 0-byte remainder without allocating.
+  WireWriter writer;
+  writer.put_u32(0xffffffffu);
+  WireReader reader{writer.bytes()};
+  EXPECT_THROW((void)reader.get_doubles(), std::out_of_range);
+}
+
+TEST(Wire, OverflowCheckStillAcceptsExactFit) {
+  // The hardened bound must not over-reject: a vector that consumes the
+  // remainder of the buffer exactly still parses.
+  WireWriter writer;
+  writer.put_doubles(std::vector<double>{1.5, -2.5, 3.5});
+  WireReader reader{writer.bytes()};
+  EXPECT_EQ(reader.get_doubles(), (std::vector<double>{1.5, -2.5, 3.5}));
+  EXPECT_TRUE(reader.done());
+}
+
 TEST(Wire, TakeMovesBuffer) {
   WireWriter writer;
   writer.put_u32(5);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "optim/instance.hpp"
 #include "optim/problem.hpp"
 
@@ -106,6 +107,58 @@ TEST(SimplexProjection, NearestPointProperty) {
   }
 }
 
+// Brute-force check of the sort-and-threshold solve: the projection of v is
+// max(v_i - τ, 0) on active coordinates for the unique τ with
+// Σ_active max(v_i - τ, 0) = target.  Recover τ from the output's positive
+// coordinates and verify both the threshold equation and the KKT condition
+// on zeroed coordinates (v_i ≤ τ), to 1e-9.
+TEST(MaskedSimplexProjection, ThresholdSatisfiesWaterFillingEquation) {
+  Rng rng{4242};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(0.0, 9.0));
+    std::vector<double> v(n), mask(n);
+    bool any_active = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = rng.uniform(-4.0, 4.0);
+      mask[i] = rng.uniform(0.0, 1.0) < 0.3 ? 0.0 : 1.0;
+      any_active = any_active || mask[i] != 0.0;
+    }
+    if (!any_active) mask[0] = 1.0;
+    const double target = trial % 17 == 0 ? 0.0 : rng.uniform(0.0, 6.0);
+
+    std::vector<double> out = v;
+    project_masked_simplex(out, mask, target);
+
+    EXPECT_NEAR(vec_sum(out), target, 1e-9) << "trial " << trial;
+    double tau = 0.0;
+    bool has_positive = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask[i] == 0.0) {
+        EXPECT_DOUBLE_EQ(out[i], 0.0) << "masked coordinate " << i;
+      } else if (out[i] > 0.0) {
+        // τ = v_i - out_i must agree across every positive coordinate.
+        if (!has_positive) {
+          tau = v[i] - out[i];
+          has_positive = true;
+        } else {
+          EXPECT_NEAR(v[i] - out[i], tau, 1e-9)
+              << "threshold inconsistent at " << i << ", trial " << trial;
+        }
+      }
+    }
+    if (!has_positive) continue;  // target == 0: everything clipped
+    double water = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask[i] == 0.0) continue;
+      water += std::max(v[i] - tau, 0.0);
+      if (out[i] == 0.0)
+        EXPECT_LE(v[i], tau + 1e-9)
+            << "zeroed coordinate above threshold, trial " << trial;
+    }
+    EXPECT_NEAR(water, target, 1e-9) << "trial " << trial;
+  }
+}
+
 TEST(CappedNonneg, NoChangeWhenUnderCap) {
   std::vector<double> v{1.0, 2.0};
   project_capped_nonneg(v, 10.0);
@@ -167,6 +220,82 @@ TEST_P(DykstraTest, FeasiblePointIsFixedPoint) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DykstraTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// A starved iteration budget must not silently hide infeasibility: the
+// final demand snap can push columns back over capacity, and the result now
+// reports that overshoot instead of masking it.
+TEST(Dykstra, TightIterationCapSurfacesCapacityResidual) {
+  // Three clients of demand 10 against two replicas of capacity 16: near-
+  // tight transport, so one demand/capacity sweep followed by the demand
+  // snap provably re-overshoots replica 0 when everything starts there.
+  std::vector<ReplicaParams> replicas(2);
+  replicas[0].bandwidth = 16.0;
+  replicas[1].bandwidth = 16.0;
+  const Problem problem{{10.0, 10.0, 10.0}, std::move(replicas),
+                        Matrix(3, 2), /*max_latency=*/100.0};
+
+  Matrix allocation(3, 2);
+  for (std::size_t c = 0; c < 3; ++c) allocation(c, 0) = 30.0;
+  const Matrix start = allocation;
+
+  DykstraOptions tight;
+  tight.max_iterations = 1;
+  const auto result = project_feasible(problem, allocation, tight);
+  ASSERT_FALSE(result.converged);
+  // The residual is exactly the violation of the returned iterate.
+  const auto report = check_feasibility(problem, allocation);
+  EXPECT_DOUBLE_EQ(result.capacity_residual, report.max_capacity_violation);
+  EXPECT_GT(result.capacity_residual, 0.0)
+      << "expected the one-sweep iterate to still overshoot capacity";
+
+  // With the budget restored the projection converges and reports zero.
+  Matrix relaxed = start;
+  const auto full = project_feasible(problem, relaxed);
+  EXPECT_TRUE(full.converged);
+  EXPECT_DOUBLE_EQ(full.capacity_residual, 0.0);
+}
+
+// The parallel sweeps must be bitwise identical to the serial path — same
+// inputs, any lane count, same bytes.
+TEST(ParallelProjection, MatchesSerialBitwise) {
+  Rng rng{2024};
+  InstanceOptions opts;
+  opts.num_clients = 13;  // deliberately not divisible by the lane counts
+  opts.num_replicas = 5;
+  const Problem problem = make_random_instance(rng, opts);
+
+  Matrix start(13, 5);
+  for (auto& v : start.flat()) v = rng.uniform(-10.0, 30.0);
+
+  Matrix serial_demand = start;
+  project_demand_set(problem, serial_demand);
+  Matrix serial_capacity = start;
+  project_capacity_set(problem, serial_capacity);
+  Matrix serial_feasible = start;
+  const auto serial_result = project_feasible(problem, serial_feasible);
+
+  for (const std::size_t lanes : {std::size_t{2}, std::size_t{3}}) {
+    common::ThreadPool pool{lanes};
+
+    Matrix demand = start;
+    project_demand_set(problem, demand, &pool);
+    EXPECT_TRUE(demand == serial_demand) << "demand sweep, lanes=" << lanes;
+
+    Matrix capacity = start;
+    project_capacity_set(problem, capacity, &pool);
+    EXPECT_TRUE(capacity == serial_capacity)
+        << "capacity sweep, lanes=" << lanes;
+
+    Matrix feasible = start;
+    DykstraOptions options;
+    options.pool = &pool;
+    const auto result = project_feasible(problem, feasible, options);
+    EXPECT_TRUE(feasible == serial_feasible) << "Dykstra, lanes=" << lanes;
+    EXPECT_EQ(result.iterations, serial_result.iterations);
+    EXPECT_EQ(result.converged, serial_result.converged);
+    EXPECT_DOUBLE_EQ(result.final_change, serial_result.final_change);
+  }
+}
 
 }  // namespace
 }  // namespace edr::optim
