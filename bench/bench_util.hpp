@@ -101,9 +101,39 @@ class Harness {
     constexpr std::string_view kTelemetryFlag = "--telemetry-out=";
     constexpr std::string_view kJsonFlag = "--json-out";
     constexpr std::string_view kThreadsFlag = "--threads=";
+    constexpr std::string_view kTransportFlag = "--transport=";
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg{argv[i]};
       bool strip = false;
+      if (arg.substr(0, kTransportFlag.size()) == kTransportFlag ||
+          arg == "--transport") {
+        // The figure benches exist to regenerate the paper's numbers on
+        // the deterministic simulator; the live transports run through
+        // edr_sim --transport inproc|tcp, edr_live, or chaos_suite.
+        std::string_view value;
+        int consumed = 1;
+        if (arg == "--transport") {
+          if (i + 1 < argc) {
+            value = argv[i + 1];
+            consumed = 2;
+          }
+        } else {
+          value = arg.substr(kTransportFlag.size());
+        }
+        if (value != "sim") {
+          std::fprintf(stderr,
+                       "%s: the figure benches run on the deterministic "
+                       "simulator only (--transport=sim); for the live "
+                       "runtime use edr_sim --transport inproc|tcp, "
+                       "edr_live, or bench/chaos_suite\n",
+                       argv[0]);
+          std::exit(2);
+        }
+        for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+        argc -= consumed;
+        --i;
+        continue;
+      }
       if (arg.substr(0, kTelemetryFlag.size()) == kTelemetryFlag) {
         telemetry_path_ = std::string(arg.substr(kTelemetryFlag.size()));
         strip = true;

@@ -1,0 +1,156 @@
+// Chaos suite — fault-injection scenarios for the live runtime, scored
+// by the SLO/anomaly monitor (DESIGN.md §11).
+//
+// Each scenario boots a full LocalCluster over real localhost TCP
+// sockets (the same frames and membership protocol as the
+// separate-process deployment), injects a deterministic fault plan at
+// epoch boundaries, and grades the run with score_chaos_run:
+//
+//   reconverged    the schedule completed and the survivors' final
+//                  allocation digests agree
+//   alerts fired   the monitor raised alerts while faults were active
+//                  (disruptive scenarios only — absorbed faults like
+//                  duplicated frames must stay silent)
+//   alerts cleared the post-fault tail raised none
+//
+// Exit status is the number of failed scenarios, so CI can gate on it.
+#include "bench_util.hpp"
+#include "runtime/chaos.hpp"
+#include "runtime/local_cluster.hpp"
+
+namespace {
+
+using namespace edr;
+using runtime::ChaosAction;
+using runtime::ChaosKind;
+using runtime::ChaosPlan;
+
+constexpr std::uint32_t kEpochs = 8;
+constexpr std::size_t kReplicas = 4;
+
+struct Scenario {
+  const char* name;
+  const char* faults;  ///< human-readable plan summary for the table
+  ChaosPlan plan;
+  /// Disruptive scenarios must trip the monitor; absorbed ones must not.
+  bool expect_alerts = true;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> list;
+  list.push_back({"kill", "kill r3 @2",
+                  {{{2, ChaosKind::kKill, 3}}}});
+  list.push_back({"kill-restart", "kill r1 @2, restart @3",
+                  {{{2, ChaosKind::kKill, 1},
+                    {3, ChaosKind::kRestart, 1}}}});
+  list.push_back({"drop-rounds", "drop all kRound from r0 @2",
+                  {{{.epoch = 2, .kind = ChaosKind::kDropFrames,
+                     .replica = 0, .probability = 1.0,
+                     .message_type = runtime::kRound}}}});
+  list.push_back({"delay-rounds", "delay kRound from r0 by 30ms @2..3",
+                  {{{.epoch = 2, .kind = ChaosKind::kDelayFrames,
+                     .replica = 0, .probability = 1.0, .delay_ms = 30.0,
+                     .message_type = runtime::kRound},
+                    {.epoch = 4, .kind = ChaosKind::kClearFaults,
+                     .replica = 0}}}});
+  list.push_back({"conn-reset", "reset r0<->r1 link @2",
+                  {{{.epoch = 2, .kind = ChaosKind::kResetConnection,
+                     .replica = 0, .peer = 1}}},
+                  /*expect_alerts=*/false});
+  list.push_back({"duplicate-rounds", "duplicate kRound from r0 @2..3",
+                  {{{.epoch = 2, .kind = ChaosKind::kDuplicateFrames,
+                     .replica = 0, .probability = 1.0,
+                     .message_type = runtime::kRound},
+                    {.epoch = 4, .kind = ChaosKind::kClearFaults,
+                     .replica = 0}}},
+                  /*expect_alerts=*/false});
+  return list;
+}
+
+struct Graded {
+  runtime::ChaosScore score;
+  bool passed = false;
+};
+
+Graded run_scenario(const Scenario& scenario) {
+  auto config = runtime::make_default_live_config(kReplicas, 8, kEpochs, 7);
+  config.algorithm = "lddm";
+  config.lddm.max_rounds = 120;
+  config.lddm.tolerance = 1e-3;
+
+  runtime::LocalClusterOptions options;
+  options.transport = runtime::LiveTransport::kTcp;
+  options.replica.barrier_timeout_s = 0.5;
+  options.replica.idle_timeout_s = 4.0;
+  options.coordinator.hello_timeout_s = 10.0;
+  options.coordinator.epoch_timeout_s = 8.0;
+  // Healthy TCP epochs land in single-digit milliseconds; anything the
+  // faults push past this is a breach the monitor must catch.
+  options.coordinator.monitor.response_slo_ms = 50.0;
+  options.chaos = scenario.plan;
+
+  runtime::LocalCluster cluster{config, options};
+  const auto result = cluster.run();
+  Graded graded;
+  graded.score = runtime::score_chaos_run(result, scenario.plan, kEpochs);
+  // An absorbed fault passes by staying silent end to end; a disruptive
+  // one passes the full detect-and-recover cycle.
+  graded.passed = scenario.expect_alerts
+                      ? graded.score.passed()
+                      : graded.score.reconverged &&
+                            graded.score.alerts_during_faults == 0 &&
+                            graded.score.alerts_in_tail == 0;
+  return graded;
+}
+
+// Timing reference: the same cluster with no faults at all.  How long a
+// healthy 8-epoch live run takes bounds what the chaos scenarios add.
+void BM_Chaos_CleanBaseline(benchmark::State& state) {
+  Graded graded;
+  for (auto _ : state) graded = run_scenario({"clean", "", {}, false});
+  state.counters["reconverged"] = graded.score.reconverged ? 1.0 : 0.0;
+  state.counters["generations"] =
+      static_cast<double>(graded.score.generations);
+}
+BENCHMARK(BM_Chaos_CleanBaseline)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  edr::bench::Harness harness(argc, argv, "Chaos suite",
+                              "live-runtime fault scenarios over localhost "
+                              "TCP, scored by the SLO monitor");
+
+  Table table({"scenario", "faults", "epochs", "gens", "reconverged",
+               "alerts fault/tail", "verdict"});
+  int failures = 0;
+  for (const auto& scenario : scenarios()) {
+    const auto graded = run_scenario(scenario);
+    const auto& score = graded.score;
+    if (!graded.passed) ++failures;
+    table.add_row(
+        {scenario.name, scenario.faults,
+         std::to_string(score.epochs_completed) + "/" +
+             std::to_string(kEpochs),
+         std::to_string(score.generations),
+         score.reconverged ? "yes" : "NO",
+         std::to_string(score.alerts_during_faults) + "/" +
+             std::to_string(score.alerts_in_tail),
+         graded.passed ? "pass" : "FAIL"});
+    edr::bench::record_metric(std::string{scenario.name} + "_passed",
+                              graded.passed ? 1.0 : 0.0, "", "lddm");
+    edr::bench::record_metric(std::string{scenario.name} + "_generations",
+                              static_cast<double>(score.generations), "",
+                              "lddm");
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n", failures == 0
+                          ? "all chaos scenarios passed: faults detected, "
+                            "survivors re-converged, alerts cleared."
+                          : "CHAOS FAILURES — see the verdict column.");
+
+  harness.run_benchmarks();
+  return failures;
+}

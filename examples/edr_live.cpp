@@ -1,0 +1,228 @@
+// edr_live — coordinator and launcher for the live EDR runtime.
+//
+// Runs the control plane of DESIGN.md §11 as a real process: listens on a
+// TCP port, waits for edr_replicad processes to say hello, drives the
+// epoch schedule, and prints the per-epoch results plus any monitor
+// alerts.  With --spawn it also fork/execs the replica processes itself,
+// which makes a complete live cluster a one-liner:
+//
+//   edr_live --spawn --algorithm lddm --replicas 3 --epochs 4
+//
+// Chaos: --kill-epoch E --kill-replica R delivers a real SIGKILL to the
+// spawned replica R right before epoch E starts — the coordinator then
+// has to detect the death (stalled barrier / dead sockets), regenerate
+// membership, and re-converge with the survivors while the SLO monitor
+// scores the damage.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "baselines/donar_algorithm.hpp"
+#include "common/args.hpp"
+#include "net/tcp_transport.hpp"
+#include "runtime/bus.hpp"
+#include "runtime/coordinator.hpp"
+#include "runtime/live_protocol.hpp"
+#include "runtime/live_report.hpp"
+
+namespace {
+
+using namespace edr;
+
+struct Child {
+  pid_t pid = -1;
+  net::NodeId replica = 0;
+};
+
+pid_t spawn_replica(const std::filesystem::path& binary, net::NodeId id,
+                    net::NodeId coordinator_id, std::uint16_t port,
+                    double barrier_timeout_s, double idle_timeout_s) {
+  const std::vector<std::string> args = {
+      binary.string(),
+      "--id", std::to_string(id),
+      "--coordinator-id", std::to_string(coordinator_id),
+      "--coordinator-port", std::to_string(port),
+      "--barrier-timeout", std::to_string(barrier_timeout_s),
+      "--idle-timeout", std::to_string(idle_timeout_s),
+  };
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error("edr_live: fork failed");
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    std::fprintf(stderr, "edr_live: exec %s failed\n", argv[0]);
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Give each child a grace period to exit on the coordinator's kShutdown,
+/// then SIGKILL the stragglers; always reap.
+void reap_children(std::vector<Child>& children) {
+  for (auto& child : children) {
+    if (child.pid < 0) continue;
+    int status = 0;
+    bool reaped = false;
+    for (int i = 0; i < 50; ++i) {
+      if (waitpid(child.pid, &status, WNOHANG) == child.pid) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (!reaped) {
+      kill(child.pid, SIGKILL);
+      waitpid(child.pid, &status, 0);
+    }
+    child.pid = -1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string algorithm = "lddm";
+  std::uint64_t replicas = 3;
+  std::uint64_t clients = 6;
+  std::uint64_t epochs = 4;
+  std::uint64_t seed = 7;
+  std::uint64_t port = 0;
+  double slo_ms = 0.0;
+  double hello_timeout_s = 15.0;
+  double epoch_timeout_s = 8.0;
+  double barrier_timeout_s = 0.5;
+  double idle_timeout_s = 20.0;
+  bool spawn = false;
+  bool as_json = false;
+  std::int64_t kill_epoch = -1;
+  std::int64_t kill_replica = -1;
+
+  ArgParser parser{"edr_live", "live-cluster coordinator and launcher"};
+  parser.add_option("algorithm", "registry backend to run", &algorithm);
+  parser.add_option("replicas", "number of replicas", &replicas);
+  parser.add_option("clients", "number of clients", &clients);
+  parser.add_option("epochs", "number of epochs", &epochs);
+  parser.add_option("seed", "workload seed", &seed);
+  parser.add_option("port", "coordinator listen port (0 = ephemeral)", &port);
+  parser.add_option("slo-ms", "epoch response SLO in ms (0 = off)", &slo_ms);
+  parser.add_option("hello-timeout", "wait for replica hellos (s)",
+                    &hello_timeout_s);
+  parser.add_option("epoch-timeout", "per-epoch watchdog (s)",
+                    &epoch_timeout_s);
+  parser.add_option("barrier-timeout",
+                    "replica round-barrier timeout (s, spawned)",
+                    &barrier_timeout_s);
+  parser.add_option("idle-timeout", "replica idle timeout (s, spawned)",
+                    &idle_timeout_s);
+  parser.add_flag("spawn", "fork/exec the edr_replicad processes", &spawn);
+  parser.add_option("kill-epoch", "SIGKILL a replica before this epoch",
+                    &kill_epoch);
+  parser.add_option("kill-replica", "which replica --kill-epoch kills",
+                    &kill_replica);
+  parser.add_flag("json", "emit the run result as JSON", &as_json);
+  if (!parser.parse(argc, argv, std::cerr))
+    return parser.help_requested() ? 0 : 2;
+  if (replicas == 0) {
+    std::cerr << "edr_live: --replicas must be positive\n";
+    return 2;
+  }
+  const bool want_kill = kill_epoch >= 0 || kill_replica >= 0;
+  if (want_kill &&
+      (kill_epoch < 0 || kill_replica < 0 ||
+       kill_replica >= static_cast<std::int64_t>(replicas))) {
+    std::cerr << "edr_live: --kill-epoch and --kill-replica must both be "
+                 "set, with a valid replica id\n";
+    return 2;
+  }
+  if (want_kill && !spawn) {
+    std::cerr << "edr_live: --kill-epoch needs --spawn (there is no child "
+                 "process to SIGKILL otherwise)\n";
+    return 2;
+  }
+
+  baselines::register_donar_algorithm();
+
+  auto config = runtime::make_default_live_config(
+      replicas, clients, static_cast<std::uint32_t>(epochs), seed);
+  config.algorithm = algorithm;
+
+  const auto coordinator_id = static_cast<net::NodeId>(replicas);
+  net::TcpTransport transport{coordinator_id};
+  const std::uint16_t actual_port =
+      transport.listen(static_cast<std::uint16_t>(port));
+  if (!as_json)
+    std::fprintf(stderr, "edr_live: coordinator %u listening on %u\n",
+                 coordinator_id, actual_port);
+
+  std::vector<Child> children;
+  if (spawn) {
+    // The replica daemon lives next to this binary.
+    std::error_code ec;
+    auto self = std::filesystem::canonical("/proc/self/exe", ec);
+    const auto replicad = ec ? std::filesystem::path{argv[0]}.parent_path() /
+                                   "edr_replicad"
+                             : self.parent_path() / "edr_replicad";
+    for (std::uint64_t i = 0; i < replicas; ++i)
+      children.push_back(Child{
+          spawn_replica(replicad, static_cast<net::NodeId>(i),
+                        coordinator_id, actual_port, barrier_timeout_s,
+                        idle_timeout_s),
+          static_cast<net::NodeId>(i)});
+  }
+
+  runtime::CoordinatorOptions options;
+  options.hello_timeout_s = hello_timeout_s;
+  options.epoch_timeout_s = epoch_timeout_s;
+  options.monitor.response_slo_ms = slo_ms;
+  if (want_kill)
+    options.on_epoch_start = [&](std::uint32_t epoch) {
+      if (epoch != static_cast<std::uint32_t>(kill_epoch)) return;
+      for (auto& child : children)
+        if (child.replica == static_cast<net::NodeId>(kill_replica) &&
+            child.pid > 0) {
+          std::fprintf(stderr, "edr_live: SIGKILL replica %lld (pid %d)\n",
+                       static_cast<long long>(kill_replica),
+                       static_cast<int>(child.pid));
+          kill(child.pid, SIGKILL);
+        }
+    };
+
+  runtime::TcpBus bus{transport};
+  int exit_code = 1;
+  try {
+    runtime::LiveCoordinator coordinator{bus, config, options};
+    const runtime::LiveRunResult result = coordinator.run();
+    if (as_json)
+      std::printf("%s\n", runtime::live_run_to_json(result).c_str());
+    else
+      std::printf("%s", runtime::live_run_to_table(result).c_str());
+    bool agree = true;
+    for (const auto& epoch : result.epochs) agree &= epoch.digests_agree;
+    exit_code = result.completed && agree ? 0 : 1;
+    if (!as_json)
+      std::fprintf(stderr,
+                   "edr_live: %s, %llu generation(s), %llu total round(s)\n",
+                   result.completed ? "completed" : "INCOMPLETE",
+                   static_cast<unsigned long long>(result.generations),
+                   static_cast<unsigned long long>(result.total_rounds));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "edr_live: %s\n", error.what());
+  }
+
+  reap_children(children);
+  transport.shutdown();
+  return exit_code;
+}

@@ -1,0 +1,89 @@
+// edr_replicad — one live EDR replica as a real OS process.
+//
+// Runs the unchanged DistributedAlgorithm backends as a deterministic
+// replicated state machine over localhost TCP (see DESIGN.md §11).  The
+// process is entirely coordinator-driven: it announces itself, receives
+// the LiveConfig and peer table, then serves lockstep epochs until the
+// coordinator says shutdown.  Start one per replica id:
+//
+//   edr_replicad --id 0 --coordinator-port 41000 --coordinator-id 3
+//
+// or let `edr_live --spawn` fork the whole cluster for you.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "baselines/donar_algorithm.hpp"
+#include "common/args.hpp"
+#include "net/tcp_transport.hpp"
+#include "runtime/bus.hpp"
+#include "runtime/replica.hpp"
+
+int main(int argc, char** argv) {
+  using namespace edr;
+
+  std::uint64_t id = 0;
+  std::uint64_t coordinator_id = 0;
+  std::uint64_t coordinator_port = 0;
+  std::string coordinator_host = "127.0.0.1";
+  std::uint64_t listen_port = 0;
+  double barrier_timeout_s = 2.0;
+  double idle_timeout_s = 60.0;
+
+  ArgParser parser{"edr_replicad", "one live EDR replica process"};
+  parser.add_option("id", "replica id (0-based)", &id);
+  parser.add_option("coordinator-id", "coordinator node id (= #replicas)",
+                    &coordinator_id);
+  parser.add_option("coordinator-port", "coordinator TCP port",
+                    &coordinator_port);
+  parser.add_option("coordinator-host", "coordinator host",
+                    &coordinator_host);
+  parser.add_option("listen-port", "own listen port (0 = ephemeral)",
+                    &listen_port);
+  parser.add_option("barrier-timeout", "round-barrier stall timeout (s)",
+                    &barrier_timeout_s);
+  parser.add_option("idle-timeout", "give up after this much silence (s)",
+                    &idle_timeout_s);
+  if (!parser.parse(argc, argv, std::cerr))
+    return parser.help_requested() ? 0 : 2;
+  if (coordinator_port == 0) {
+    std::cerr << "edr_replicad: --coordinator-port is required\n";
+    return 2;
+  }
+
+  // All registry backends must exist before the config names one.
+  baselines::register_donar_algorithm();
+
+  net::TcpTransport transport{static_cast<net::NodeId>(id)};
+  const std::uint16_t port =
+      transport.listen(static_cast<std::uint16_t>(listen_port));
+  transport.add_peer(static_cast<net::NodeId>(coordinator_id),
+                     coordinator_host,
+                     static_cast<std::uint16_t>(coordinator_port));
+
+  runtime::TcpBus bus{transport};
+  runtime::ReplicaOptions options;
+  options.barrier_timeout_s = barrier_timeout_s;
+  options.idle_timeout_s = idle_timeout_s;
+  options.listen_port = port;
+
+  runtime::LiveReplica replica{bus, static_cast<net::NodeId>(coordinator_id),
+                               options};
+  std::fprintf(stderr, "edr_replicad[%llu]: listening on %u\n",
+               static_cast<unsigned long long>(id), port);
+  const runtime::ReplicaExit exit_reason = replica.run();
+  transport.shutdown();
+
+  const char* reason = "shutdown";
+  if (exit_reason == runtime::ReplicaExit::kIdleTimeout)
+    reason = "idle timeout";
+  else if (exit_reason == runtime::ReplicaExit::kBusClosed)
+    reason = "bus closed";
+  std::fprintf(stderr,
+               "edr_replicad[%llu]: exiting (%s), %zu epoch(s), "
+               "%llu digest mismatch(es)\n",
+               static_cast<unsigned long long>(id), reason,
+               replica.epochs_completed(),
+               static_cast<unsigned long long>(replica.digest_mismatches()));
+  return exit_reason == runtime::ReplicaExit::kShutdown ? 0 : 1;
+}

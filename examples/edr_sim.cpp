@@ -18,6 +18,8 @@
 #include "common/args.hpp"
 #include "common/table.hpp"
 #include "optim/instance.hpp"
+#include "runtime/live_report.hpp"
+#include "runtime/local_cluster.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -40,15 +42,24 @@ int main(int argc, char** argv) {
   bool watch = false;
   double slo_ms = 0.0;
   std::string telemetry_out;
+  std::string transport = "sim";
 
   ArgParser parser{"edr_sim", "run the EDR system end to end"};
   parser.add_option("algorithm", "scheduler: lddm|cdpsm|central|rr|donar",
                     &algorithm);
+  parser.add_option("transport",
+                    "execution substrate: sim (deterministic simulator, "
+                    "default) | inproc (live runtime over the threaded "
+                    "transport) | tcp (live runtime over localhost sockets)",
+                    &transport);
   parser.add_option("app", "workload: dfs|video (ignored with --trace)",
                     &app_name);
   parser.add_option("trace", "replay a CSV trace instead of generating one",
                     &trace_path);
-  parser.add_option("horizon", "generated-trace length in seconds", &horizon);
+  parser.add_option("horizon",
+                    "generated-trace length in seconds (live transports run "
+                    "one 1 s epoch per second of horizon)",
+                    &horizon);
   parser.add_option("replicas", "number of replicas (paper prices repeat)",
                     &replicas);
   parser.add_option("clients", "number of clients", &clients);
@@ -79,6 +90,66 @@ int main(int argc, char** argv) {
                     &telemetry_out);
   if (!parser.parse(argc, argv, std::cerr))
     return parser.help_requested() ? 0 : 2;
+
+  if (transport != "sim" && transport != "inproc" && transport != "tcp") {
+    std::cerr << "edr_sim: unknown --transport '" << transport
+              << "' (choices: sim, inproc, tcp)\n";
+    return 2;
+  }
+  if (transport != "sim") {
+    // The live runtime is a different execution substrate; simulator-only
+    // flags are rejected loudly instead of silently ignored.
+    const char* clash = nullptr;
+    if (threads != 1)
+      clash = "--threads (solver-thread sweeps are sim-only)";
+    else if (fail_replica >= 0 || fail_at >= 0.0 || recover_at >= 0.0)
+      clash = "--fail-replica/--fail-at/--recover-at (live faults are "
+              "injected by edr_live --kill-epoch or bench/chaos_suite)";
+    else if (traces)
+      clash = "--power-traces (power metering is sim-only)";
+    else if (!trace_path.empty())
+      clash = "--trace (the live runtime ships its own deterministic "
+              "workload to every replica)";
+    else if (watch)
+      clash = "--watch (the live monitor reports through the run result; "
+              "--slo-ms still works)";
+    else if (!telemetry_out.empty())
+      clash = "--telemetry-out (telemetry export is sim-only)";
+    if (clash != nullptr) {
+      std::cerr << "edr_sim: --transport " << transport
+                << " does not support " << clash << "\n";
+      return 2;
+    }
+    try {
+      baselines::register_donar_algorithm();
+      const auto epochs =
+          horizon < 1.0 ? 1u : static_cast<std::uint32_t>(horizon);
+      auto config =
+          runtime::make_default_live_config(replicas, clients, epochs, seed);
+      config.algorithm = algorithm;
+      runtime::LocalClusterOptions options;
+      options.transport = transport == "tcp" ? runtime::LiveTransport::kTcp
+                                             : runtime::LiveTransport::kInproc;
+      options.coordinator.monitor.response_slo_ms = slo_ms;
+      runtime::LocalCluster cluster{config, options};
+      const auto result = cluster.run();
+      bool agree = true;
+      for (const auto& epoch : result.epochs) agree &= epoch.digests_agree;
+      if (json) {
+        std::printf("%s\n", runtime::live_run_to_json(result).c_str());
+      } else {
+        std::printf("%s over %s: %zu/%u epochs, %llu generation(s)\n",
+                    algorithm.c_str(), transport.c_str(),
+                    result.epochs.size(), epochs,
+                    static_cast<unsigned long long>(result.generations));
+        std::printf("%s", runtime::live_run_to_table(result).c_str());
+      }
+      return result.completed && agree ? 0 : 1;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "edr_sim: %s\n", error.what());
+      return 1;
+    }
+  }
 
   try {
     // The key goes straight to the algorithm registry (via EdrSystem),

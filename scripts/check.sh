@@ -86,4 +86,55 @@ fi
 echo "bench baseline smoke: abl_scaling metric schema matches the baseline"
 
 echo
-echo "check.sh: all suites passed (regular + asan/ubsan + tsan + smoke)"
+echo "== live smoke (edr_live --spawn vs edr_sim --transport inproc) =="
+# Boot 4 real replica processes + the coordinator over localhost TCP for
+# lddm and cdpsm, then re-run the identical schedule over the in-process
+# threaded transport and compare the per-epoch allocation digests and
+# objectives. The live runtime is deterministic replication of the same
+# algorithm over the same inputs, so the tolerance is exact equality.
+live_fields() {
+  grep -o '"digest":[0-9]*\|"objective":[^,}]*' "$1"
+}
+for alg in lddm cdpsm; do
+  build/examples/edr_live --spawn --algorithm "$alg" --replicas 4 \
+    --clients 8 --epochs 3 --json > "$smoke_dir/live_$alg.json" \
+    2>/dev/null
+  build/examples/edr_sim --transport inproc --algorithm "$alg" \
+    --replicas 4 --clients 8 --horizon 3 --json \
+    > "$smoke_dir/inproc_$alg.json"
+  live_fields "$smoke_dir/live_$alg.json" > "$smoke_dir/live_$alg.fields"
+  live_fields "$smoke_dir/inproc_$alg.json" > "$smoke_dir/inproc_$alg.fields"
+  if ! diff -u "$smoke_dir/inproc_$alg.fields" "$smoke_dir/live_$alg.fields"
+  then
+    echo "live smoke FAILED: $alg allocations diverged between real" \
+         "processes and the in-process transport" >&2
+    exit 1
+  fi
+  echo "live smoke: $alg real-process run matches the in-process run"
+done
+
+echo
+echo "== chaos smoke (kill -9 one replica, SLO alert fires and clears) =="
+# SIGKILL replica 3 right before epoch 2 of a 6-epoch real-process run.
+# The run must still complete with agreeing digests (edr_live exits 0),
+# the monitor must raise an SLO alert for the fault epoch, and the quiet
+# tail (final epoch) must raise none.
+build/examples/edr_live --spawn --algorithm lddm --replicas 4 --clients 8 \
+  --epochs 6 --kill-epoch 2 --kill-replica 3 --slo-ms 50 --json \
+  > "$smoke_dir/chaos.json" 2>/dev/null
+alerts="$(sed 's/.*"alerts"://' "$smoke_dir/chaos.json")"
+if ! grep -q '"kind":"slo"' <<< "$alerts"; then
+  echo "chaos smoke FAILED: no SLO alert after kill -9 of replica 3" >&2
+  exit 1
+fi
+if grep -q '"epoch":5' <<< "$alerts"; then
+  echo "chaos smoke FAILED: alert in the post-fault tail (epoch 5) —" \
+       "the survivors did not settle" >&2
+  exit 1
+fi
+echo "chaos smoke: survivors re-converged, SLO alert fired and cleared"
+echo "chaos scenario suite (bench/chaos_suite, localhost TCP):"
+build/bench/chaos_suite 2>/dev/null | grep -v '^BM_'
+
+echo
+echo "check.sh: all suites passed (regular + asan/ubsan + tsan + smoke + live)"

@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "common/math_util.hpp"
+#include "core/epoch_problem.hpp"
 #include "optim/flow.hpp"
 
 namespace edr::core {
@@ -405,54 +406,26 @@ void EpochPipeline::start_solve(std::size_t epoch) {
     return;
   }
 
-  // Per-epoch capacity: bandwidth (MB/s) times the transfer window.
-  const double window = cfg_.epoch_length * policy_.transfer_window_fraction;
-  std::vector<optim::ReplicaParams> params;
-  Matrix latency(active_clients_.size(), active_replicas_.size());
-  for (std::size_t col = 0; col < active_replicas_.size(); ++col) {
-    auto p = cfg_.replicas[active_replicas_[col]];
-    if (!cfg_.tariffs.empty())
-      p.price = cfg_.tariffs[active_replicas_[col]].at(sim_.now());
-    if (cfg_.derive_energy_model_from_power) {
-      // Paced transfer of s MB at intensity s/(B·W) for W seconds burns
-      //   W·[lin·s/(B·W) + poly·(s/(B·W))^γ]
-      //     = (lin/B)·s + poly·W^{1-γ}·B^{-γ}·s^γ joules,
-      // so these coefficients make the scheduling model equal the metered
-      // active energy.
-      const auto& pm = model_of(active_replicas_[col]).params();
-      p.gamma = pm.gamma;
-      p.alpha = pm.transfer_linear / p.bandwidth;
-      p.beta = pm.transfer_poly * std::pow(window, 1.0 - p.gamma) *
-               std::pow(p.bandwidth, -p.gamma);
-    }
-    p.bandwidth *= window;
-    params.push_back(p);
-    for (std::size_t row = 0; row < active_clients_.size(); ++row)
-      latency(row, col) = cfg_.latency(active_clients_[row],
-                                       active_replicas_[col]);
-  }
-  problem_.emplace(std::move(demands), std::move(params),
-                   std::move(latency), cfg_.max_latency);
+  // Problem construction is shared with the live runtime (replicas must
+  // build bit-identical instances from the same inputs) — see
+  // core/epoch_problem.hpp.
+  const EpochProblemSpec spec{
+      .cfg = &cfg_,
+      .window = cfg_.epoch_length * policy_.transfer_window_fraction,
+      .now = sim_.now(),
+      .active_clients = active_clients_,
+      .active_replicas = active_replicas_,
+      .models = models_,
+      .shared_model = &power_model_};
+  problem_.emplace(make_epoch_problem(spec, std::move(demands)));
 
   // Demand can exceed even the pooled epoch capacity under a traffic
   // spike; shed proportionally (admission control) so the optimization
   // stays feasible.  The shed fraction of each request re-enters the next
   // epoch's batch (the client retry loop of a real deployment) until its
   // retry budget runs out.
-  const auto transport = optim::check_transport_feasible(*problem_);
-  if (!transport.feasible) {
-    const double scale = transport.routed / problem_->total_demand() * 0.999;
-    std::vector<Megabytes> scaled = problem_->demands();
-    for (auto& d : scaled) d *= scale;
-    std::vector<optim::ReplicaParams> reps = problem_->replicas();
-    Matrix lat(active_clients_.size(), active_replicas_.size());
-    for (std::size_t row = 0; row < active_clients_.size(); ++row)
-      for (std::size_t col = 0; col < active_replicas_.size(); ++col)
-        lat(row, col) = problem_->latency(row, col);
-    problem_.emplace(std::move(scaled), std::move(reps), std::move(lat),
-                     cfg_.max_latency);
-
-    const double shed_fraction = 1.0 - scale;
+  const double shed_fraction = shed_to_feasible(problem_, cfg_.max_latency);
+  if (shed_fraction > 0.0) {
     for (auto& request : current_requests_) {
       const double shed_mb = request.size_mb * shed_fraction;
       request.size_mb -= shed_mb;

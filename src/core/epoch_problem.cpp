@@ -1,0 +1,58 @@
+#include "core/epoch_problem.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "optim/flow.hpp"
+
+namespace edr::core {
+
+optim::Problem make_epoch_problem(const EpochProblemSpec& spec,
+                                  std::vector<Megabytes> demands) {
+  const SystemConfig& cfg = *spec.cfg;
+  std::vector<optim::ReplicaParams> params;
+  Matrix latency(spec.active_clients.size(), spec.active_replicas.size());
+  for (std::size_t col = 0; col < spec.active_replicas.size(); ++col) {
+    auto p = cfg.replicas[spec.active_replicas[col]];
+    if (!cfg.tariffs.empty())
+      p.price = cfg.tariffs[spec.active_replicas[col]].at(spec.now);
+    if (cfg.derive_energy_model_from_power) {
+      // Paced transfer of s MB at intensity s/(B·W) for W seconds burns
+      //   W·[lin·s/(B·W) + poly·(s/(B·W))^γ]
+      //     = (lin/B)·s + poly·W^{1-γ}·B^{-γ}·s^γ joules,
+      // so these coefficients make the scheduling model equal the metered
+      // active energy.
+      const auto& pm = spec.model_of(spec.active_replicas[col]).params();
+      p.gamma = pm.gamma;
+      p.alpha = pm.transfer_linear / p.bandwidth;
+      p.beta = pm.transfer_poly * std::pow(spec.window, 1.0 - p.gamma) *
+               std::pow(p.bandwidth, -p.gamma);
+    }
+    p.bandwidth *= spec.window;
+    params.push_back(p);
+    for (std::size_t row = 0; row < spec.active_clients.size(); ++row)
+      latency(row, col) = cfg.latency(spec.active_clients[row],
+                                      spec.active_replicas[col]);
+  }
+  return optim::Problem(std::move(demands), std::move(params),
+                        std::move(latency), cfg.max_latency);
+}
+
+double shed_to_feasible(std::optional<optim::Problem>& problem,
+                        Milliseconds max_latency) {
+  const auto transport = optim::check_transport_feasible(*problem);
+  if (transport.feasible) return 0.0;
+  const double scale = transport.routed / problem->total_demand() * 0.999;
+  std::vector<Megabytes> scaled = problem->demands();
+  for (auto& d : scaled) d *= scale;
+  std::vector<optim::ReplicaParams> reps = problem->replicas();
+  Matrix lat(problem->num_clients(), problem->num_replicas());
+  for (std::size_t row = 0; row < problem->num_clients(); ++row)
+    for (std::size_t col = 0; col < problem->num_replicas(); ++col)
+      lat(row, col) = problem->latency(row, col);
+  problem.emplace(std::move(scaled), std::move(reps), std::move(lat),
+                  max_latency);
+  return 1.0 - scale;
+}
+
+}  // namespace edr::core

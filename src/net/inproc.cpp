@@ -29,10 +29,23 @@ std::optional<Message> InprocTransport::try_receive(NodeId node) {
   return mailboxes_[node]->try_pop();
 }
 
+std::optional<Message> InprocTransport::receive_for(NodeId node,
+                                                    double timeout_s) {
+  if (node >= mailboxes_.size())
+    throw std::out_of_range("InprocTransport::receive_for: unknown node");
+  return mailboxes_[node]->pop_for(timeout_s);
+}
+
 void InprocTransport::close(NodeId node) {
   if (node >= mailboxes_.size())
     throw std::out_of_range("InprocTransport::close: unknown node");
   mailboxes_[node]->close();
+}
+
+void InprocTransport::reopen(NodeId node) {
+  if (node >= mailboxes_.size())
+    throw std::out_of_range("InprocTransport::reopen: unknown node");
+  mailboxes_[node]->reopen();
 }
 
 void InprocTransport::close_all() {

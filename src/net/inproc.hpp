@@ -8,6 +8,8 @@
 // faithful).
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,6 +50,23 @@ class Mailbox {
     return value;
   }
 
+  /// Timed pop: waits up to `timeout_s` seconds for a value.  Empty
+  /// optional means timeout, or closed-and-drained — check closed() to
+  /// distinguish when it matters (the live runtime treats both as "no
+  /// frame this tick").
+  std::optional<T> pop_for(double timeout_s) {
+    std::unique_lock lock{mutex_};
+    not_empty_.wait_for(lock,
+                        std::chrono::duration<double>(
+                            std::max(timeout_s, 0.0)),
+                        [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     std::scoped_lock lock{mutex_};
@@ -63,6 +82,15 @@ class Mailbox {
     std::scoped_lock lock{mutex_};
     closed_ = true;
     not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Undo a close: discard anything still queued and accept pushes again
+  /// (a rebooted process starts with an empty socket buffer).
+  void reopen() {
+    std::scoped_lock lock{mutex_};
+    queue_.clear();
+    closed_ = false;
     not_full_.notify_all();
   }
 
@@ -102,9 +130,18 @@ class InprocTransport {
   /// Non-blocking receive.
   std::optional<Message> try_receive(NodeId node);
 
+  /// Timed receive: waits up to `timeout_s` seconds (live-runtime barrier
+  /// timeouts); nullopt on timeout or shutdown.
+  std::optional<Message> receive_for(NodeId node, double timeout_s);
+
   /// Close one node's mailbox (crash injection) or all (shutdown).
   void close(NodeId node);
   void close_all();
+
+  /// Replace `node`'s mailbox with a fresh open one (restart after a crash
+  /// injected with close()).  Frames queued before the close are gone, as
+  /// they would be for a rebooted process.
+  void reopen(NodeId node);
 
  private:
   // unique_ptr because a Mailbox owns synchronization primitives and is

@@ -146,8 +146,9 @@ std::array<telemetry::Counter, 2>& SimNetwork::type_metrics(int type) {
       .first->second;
 }
 
-const TrafficStats& SimNetwork::stats(NodeId node) const {
-  return stats_[node];  // default-constructs zeros for unknown nodes
+TrafficStats SimNetwork::stats(NodeId node) const {
+  const auto it = stats_.find(node);
+  return it == stats_.end() ? TrafficStats{} : it->second;
 }
 
 TrafficStats SimNetwork::total_stats() const {

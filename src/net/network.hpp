@@ -104,8 +104,16 @@ class SimNetwork {
   [[nodiscard]] SimTime nominal_delay(NodeId from, NodeId to,
                                       std::size_t bytes) const;
 
-  [[nodiscard]] const TrafficStats& stats(NodeId node) const;
+  /// Traffic counters for `node`; a node that never sent or received
+  /// returns the zero struct *without* growing any internal state (read-only
+  /// queries on a const network must stay read-only — the old mutable-map
+  /// lazy insert meant a telemetry sweep over candidate ids permanently
+  /// inflated the stats table).
+  [[nodiscard]] TrafficStats stats(NodeId node) const;
   [[nodiscard]] TrafficStats total_stats() const;
+  /// Number of nodes with a traffic record (regression hook for the
+  /// no-insert-on-read guarantee above).
+  [[nodiscard]] std::size_t tracked_nodes() const { return stats_.size(); }
   /// Messages dropped by lossy links so far.
   [[nodiscard]] std::uint64_t messages_lost() const { return lost_; }
 
@@ -145,7 +153,7 @@ class SimNetwork {
   std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
   std::map<std::pair<NodeId, NodeId>, SimTime> link_busy_until_;
   std::map<NodeId, Handler> handlers_;
-  mutable std::map<NodeId, TrafficStats> stats_;
+  std::map<NodeId, TrafficStats> stats_;
   std::map<int, TypeTraffic> traffic_by_type_;
   std::map<int, std::string> type_names_;
 

@@ -1,0 +1,230 @@
+// TCP socket transport for the live runtime.
+//
+// The paper's EDR prototype is a real multithreaded TCP program; this
+// transport is the repository's socket plumbing for running the same
+// replicas as separate OS processes.  It implements the repo's transport
+// contract (attach/detach handlers, mailbox-style timed receive, per-node
+// and per-type traffic counters, telemetry hooks) over nonblocking sockets
+// driven by one poll()-based io thread per process:
+//
+//   frame    := [u32 len][u32 from][u32 to][u32 type][payload bytes]
+//               (len counts everything after itself; payload is opaque to
+//               the transport — the live protocol encodes it with
+//               net/wire.hpp and decodes with a WireReader capped at
+//               max_frame_bytes)
+//   connect  := nonblocking, retried with exponential backoff
+//               (backoff_initial_ms doubling to backoff_max_ms); frames
+//               sent before the connection is up wait in the per-peer
+//               bounded send queue and flush on connect
+//   receive  := declared lengths above max_frame_bytes (or below the
+//               header size) are protocol errors: the connection is closed
+//               before any payload buffering happens
+//
+// Fault injection for the chaos harness rides the send path: a FaultHook
+// can drop, duplicate, or delay individual frames, and reset_connection()
+// force-closes a peer's socket mid-stream (the io thread reconnects with
+// backoff).  None of this is reachable unless a hook is installed.
+//
+// Live mode is not bit-reproducible (wall-clock interleavings are real);
+// determinism of the *algorithms* across transports is preserved at a
+// higher layer — see DESIGN.md §11.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/inproc.hpp"
+#include "net/network.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace edr::net {
+
+/// Fate of one outgoing frame, decided by the fault-injection hook before
+/// the frame reaches a send queue.
+struct FaultAction {
+  bool drop = false;       ///< discard the frame (simulated loss)
+  bool duplicate = false;  ///< enqueue the frame twice
+  double delay_ms = 0.0;   ///< hold the frame before queueing
+};
+using FaultHook = std::function<FaultAction(const Message&)>;
+
+class TcpTransport {
+ public:
+  struct Options {
+    /// Upper bound on a declared frame length; larger declarations close
+    /// the connection before any buffering (see net/wire.hpp for why the
+    /// check must happen at the declaration, not the allocation).
+    std::size_t max_frame_bytes = 16u << 20;
+    /// Per-peer send-queue bound; a full queue fails the send (the caller
+    /// sees false, queue_overflows() counts it).
+    std::size_t max_queued_frames = 4096;
+    double backoff_initial_ms = 10.0;
+    double backoff_max_ms = 500.0;
+  };
+
+  explicit TcpTransport(NodeId self);
+  TcpTransport(NodeId self, Options options);
+  ~TcpTransport();
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Bind and listen on `port` (0 = ephemeral); returns the bound port.
+  /// Must be called before destinations can reach this node; starts the io
+  /// thread on first call.
+  std::uint16_t listen(std::uint16_t port = 0);
+
+  /// Register `peer`'s address.  The io thread establishes and maintains
+  /// the outgoing connection (connect retries and reconnects after drops
+  /// use the exponential backoff policy).
+  void add_peer(NodeId peer, const std::string& host, std::uint16_t port);
+  void remove_peer(NodeId peer);
+
+  /// Queue `message` for delivery.  `message.payload` must hold a
+  /// std::vector<std::uint8_t> (or be empty); `message.to == self()` loops
+  /// back locally without touching a socket.  Returns false when the
+  /// peer's queue is full or the peer is unknown.  Thread-safe.
+  bool send(Message message);
+
+  /// Mailbox-style receives for frames addressed to an id with no attached
+  /// handler (the live runtime's main loop).  Thread-safe.
+  std::optional<Message> receive();
+  std::optional<Message> try_receive();
+  /// Timed receive; nullopt on timeout or shutdown.
+  std::optional<Message> receive_for(double timeout_s);
+
+  /// Handler-style delivery (the SimNetwork contract): frames addressed to
+  /// `node` invoke `handler` on the io thread instead of the inbox.
+  void attach(NodeId node, Handler handler);
+  void detach(NodeId node);
+  [[nodiscard]] bool attached(NodeId node) const;
+
+  /// Install the chaos hook (nullptr to clear).  Applies to subsequent
+  /// sends; never invoked for loopback frames.
+  void set_fault_hook(FaultHook hook);
+  /// Invoked on the io thread when an *established* connection to/from
+  /// `peer` is lost (outgoing: the registered id; incoming: the last
+  /// sender seen on that socket).
+  void set_on_disconnect(std::function<void(NodeId)> callback);
+  /// Chaos: force-close the socket to `peer` mid-stream.  Queued frames
+  /// survive and flush after the backoff reconnect; a partially-written
+  /// frame is dropped (the receiver discards its partial buffer on close).
+  void reset_connection(NodeId peer);
+
+  /// Traffic counters, same contract as SimNetwork: per-node stats count
+  /// real wire bytes (16-byte header + payload); unknown nodes return the
+  /// zero struct without growing state.  Thread-safe, by value.
+  [[nodiscard]] TrafficStats stats(NodeId node) const;
+  [[nodiscard]] TrafficStats total_stats() const;
+  [[nodiscard]] std::size_t tracked_nodes() const;
+  [[nodiscard]] std::map<int, TypeTraffic> traffic_by_type() const;
+  [[nodiscard]] TypeTraffic traffic_in_range(int first_type,
+                                             int last_type) const;
+  void set_type_name(int type, std::string name);
+
+  /// Wire counters into `telemetry` (construct its registry with
+  /// atomic=true — updates happen on the io thread).
+  void attach_telemetry(telemetry::Telemetry& telemetry);
+
+  /// Frames refused because a peer queue was full.
+  [[nodiscard]] std::uint64_t queue_overflows() const;
+  /// Connections closed for declaring an invalid frame length.
+  [[nodiscard]] std::uint64_t frame_errors() const;
+  /// Outgoing connections successfully established (reconnects included).
+  [[nodiscard]] std::uint64_t connects_completed() const;
+  /// Frames dropped by the fault hook.
+  [[nodiscard]] std::uint64_t frames_dropped_by_fault() const;
+
+  /// Stop the io thread, close every socket, close the inbox (pending
+  /// receives drain then return nullopt).  Idempotent; the destructor
+  /// calls it.
+  void shutdown();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct PeerState {
+    std::string host;
+    std::uint16_t port = 0;
+    int fd = -1;
+    bool connecting = false;      // nonblocking connect in flight
+    double backoff_ms = 0.0;      // next retry delay
+    Clock::time_point retry_at{};  // when to attempt (re)connect
+    std::deque<std::vector<std::uint8_t>> sendq;
+    std::size_t write_offset = 0;  // into sendq.front()
+    std::vector<std::uint8_t> readbuf;
+    bool was_connected = false;   // disconnect callback gating
+  };
+
+  struct InboundConn {
+    int fd = -1;
+    std::vector<std::uint8_t> readbuf;
+    bool has_from = false;
+    NodeId last_from = 0;
+  };
+
+  struct DelayedFrame {
+    Clock::time_point release_at;
+    NodeId peer;
+    std::vector<std::uint8_t> frame;
+  };
+
+  void io_main();
+  void wake();
+  void start_io_thread_locked();
+  void begin_connect_locked(PeerState& peer);
+  void close_peer_locked(PeerState& peer, bool notify);
+  void flush_peer_locked(PeerState& peer);
+  bool parse_frames_locked(std::vector<std::uint8_t>& buf,
+                           std::vector<Message>& out, InboundConn* conn);
+  void deliver(Message message);
+  void count_sent_locked(const Message& message, std::size_t frame_bytes);
+
+  const NodeId self_;
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  std::thread io_thread_;
+  bool io_running_ = false;
+  bool stop_ = false;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::map<NodeId, PeerState> peers_;
+  std::vector<InboundConn> inbound_;
+  std::vector<DelayedFrame> delayed_;
+  std::vector<NodeId> pending_resets_;
+
+  Mailbox<Message> inbox_{4096};
+  std::map<NodeId, Handler> handlers_;
+  FaultHook fault_hook_;
+  std::function<void(NodeId)> on_disconnect_;
+
+  std::map<NodeId, TrafficStats> stats_;
+  std::map<int, TypeTraffic> traffic_by_type_;
+  std::map<int, std::string> type_names_;
+  std::uint64_t queue_overflows_ = 0;
+  std::uint64_t frame_errors_ = 0;
+  std::uint64_t connects_completed_ = 0;
+  std::uint64_t fault_drops_ = 0;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter messages_sent_metric_;
+  telemetry::Counter bytes_sent_metric_;
+  telemetry::Counter messages_delivered_metric_;
+  telemetry::Counter frame_errors_metric_;
+  telemetry::Counter reconnects_metric_;
+};
+
+}  // namespace edr::net

@@ -34,6 +34,12 @@ void WireWriter::put_matrix(const Matrix& matrix) {
   raw(flat.data(), flat.size() * sizeof(double));
 }
 
+void WireReader::check_declared(std::size_t declared_bytes) const {
+  if (declared_bytes > max_frame_bytes_)
+    throw std::length_error("WireReader: declared element size exceeds the "
+                            "frame cap");
+}
+
 void WireReader::raw(void* out, std::size_t size) {
   if (offset_ + size > bytes_.size())
     throw std::out_of_range("WireReader: truncated message");
@@ -67,6 +73,7 @@ double WireReader::get_double() {
 
 std::string WireReader::get_string() {
   const std::uint32_t size = get_u32();
+  check_declared(size);
   if (offset_ + size > bytes_.size())
     throw std::out_of_range("WireReader: truncated string");
   std::string value(reinterpret_cast<const char*>(bytes_.data() + offset_),
@@ -77,6 +84,7 @@ std::string WireReader::get_string() {
 
 std::vector<double> WireReader::get_doubles() {
   const std::uint32_t count = get_u32();
+  check_declared(static_cast<std::size_t>(count) * sizeof(double));
   // Division form: `offset_ + count * 8` can wrap size_t for adversarial
   // counts (offset_ ≤ bytes_.size() always holds, so the subtraction here
   // cannot underflow).
@@ -95,6 +103,11 @@ Matrix WireReader::get_matrix() {
   // ≡ 0 mod 2^64, which sailed past the old additive check straight into a
   // multi-exabyte allocation.  Compare in division form instead.
   const std::size_t count = static_cast<std::size_t>(rows) * cols;
+  // Same division form as the bounds check below: count * 8 can wrap
+  // size_t for adversarial dimensions, sailing past a multiplied cap.
+  if (count > max_frame_bytes_ / sizeof(double))
+    throw std::length_error("WireReader: declared element size exceeds the "
+                            "frame cap");
   if (count > (bytes_.size() - offset_) / sizeof(double))
     throw std::out_of_range("WireReader: truncated matrix");
   Matrix matrix(rows, cols);

@@ -48,9 +48,20 @@ class WireWriter {
 
 /// Reader over a byte span.  Out-of-bounds reads throw std::out_of_range —
 /// a truncated message must fail loudly, not read garbage.
+///
+/// `max_frame_bytes` bounds every length-prefixed element (string, double
+/// vector, matrix) *before* any allocation happens: at the transport
+/// boundary the span under the reader may be one frame of a larger stream
+/// buffer, so "declared length fits the span" is not a sufficient guard —
+/// a peer could declare a near-2^32 element count backed by a large
+/// receive buffer and drive a multi-gigabyte allocation.  Declared sizes
+/// above the cap throw std::length_error.  The default cap is unlimited
+/// (in-memory readers over trusted buffers keep the historical behavior).
 class WireReader {
  public:
-  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  explicit WireReader(std::span<const std::uint8_t> bytes,
+                      std::size_t max_frame_bytes = SIZE_MAX)
+      : bytes_(bytes), max_frame_bytes_(max_frame_bytes) {}
 
   [[nodiscard]] std::uint8_t get_u8();
   [[nodiscard]] std::uint32_t get_u32();
@@ -65,10 +76,17 @@ class WireReader {
   }
   [[nodiscard]] bool done() const { return remaining() == 0; }
 
+  [[nodiscard]] std::size_t max_frame_bytes() const {
+    return max_frame_bytes_;
+  }
+
  private:
   void raw(void* out, std::size_t size);
+  /// Throws std::length_error when a declared element size exceeds the cap.
+  void check_declared(std::size_t declared_bytes) const;
   std::span<const std::uint8_t> bytes_;
   std::size_t offset_ = 0;
+  std::size_t max_frame_bytes_ = SIZE_MAX;
 };
 
 /// Serialized sizes used for message-size accounting without building the

@@ -1,0 +1,63 @@
+#include "runtime/bus.hpp"
+
+#include <utility>
+
+#include "runtime/live_protocol.hpp"
+
+namespace edr::runtime {
+
+TcpBus::TcpBus(net::TcpTransport& transport) : transport_(transport) {
+  // Runs on the io thread: just record the loss, the message loop turns
+  // it into a frame on its own thread.
+  transport_.set_on_disconnect([this](net::NodeId peer) {
+    const std::scoped_lock lock{mutex_};
+    down_.push_back(peer);
+  });
+}
+
+net::NodeId TcpBus::self() const { return transport_.self(); }
+
+bool TcpBus::post(net::Message message) {
+  return transport_.send(std::move(message));
+}
+
+std::optional<net::Message> TcpBus::receive_for(double timeout_s) {
+  {
+    const std::scoped_lock lock{mutex_};
+    if (!down_.empty()) {
+      net::Message msg;
+      msg.from = down_.front();
+      msg.to = transport_.self();
+      msg.type = kPeerDown;
+      msg.payload = std::vector<std::uint8_t>{};
+      down_.erase(down_.begin());
+      return msg;
+    }
+  }
+  return transport_.receive_for(timeout_s);
+}
+
+void TcpBus::connect_peer(net::NodeId peer, const std::string& host,
+                          std::uint16_t port) {
+  transport_.add_peer(peer, host, port);
+}
+
+std::size_t TcpBus::max_frame_bytes() const {
+  return transport_.options().max_frame_bytes;
+}
+
+InprocBus::InprocBus(net::InprocTransport& transport, net::NodeId self,
+                     std::size_t max_frame_bytes)
+    : transport_(transport), self_(self), max_frame_bytes_(max_frame_bytes) {}
+
+net::NodeId InprocBus::self() const { return self_; }
+
+bool InprocBus::post(net::Message message) {
+  return transport_.send(std::move(message));
+}
+
+std::optional<net::Message> InprocBus::receive_for(double timeout_s) {
+  return transport_.receive_for(self_, timeout_s);
+}
+
+}  // namespace edr::runtime

@@ -1,0 +1,87 @@
+// MessageBus — the live runtime's view of a transport.
+//
+// The replica and coordinator logic is transport-agnostic: the same
+// deterministic state machines run over real TCP sockets (separate OS
+// processes, examples/edr_replicad.cpp) and over the threaded in-process
+// transport (LocalCluster, the test/bench path).  This interface is the
+// seam: post a frame, wait for a frame, learn a peer's address.
+//
+// Loss of an established TCP connection surfaces as a synthetic kPeerDown
+// frame on the receive path (from = the lost peer), so callers handle
+// "peer died" and "peer said goodbye" through one message loop.  The
+// inproc transport has no connections to lose; there, death is detected
+// by the round-barrier timeout instead (see LiveReplica).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/inproc.hpp"
+#include "net/network.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace edr::runtime {
+
+class MessageBus {
+ public:
+  virtual ~MessageBus() = default;
+
+  [[nodiscard]] virtual net::NodeId self() const = 0;
+  /// Queue `message` for delivery; false when the destination is unknown,
+  /// its queue is full, or the transport has shut down.
+  virtual bool post(net::Message message) = 0;
+  /// Wait up to `timeout_s` for a frame addressed to self; nullopt on
+  /// timeout or shutdown.
+  virtual std::optional<net::Message> receive_for(double timeout_s) = 0;
+  /// Learn a peer's address (no-op for transports without addresses).
+  virtual void connect_peer(net::NodeId peer, const std::string& host,
+                            std::uint16_t port) = 0;
+  /// Frame-size cap to decode incoming payloads under.
+  [[nodiscard]] virtual std::size_t max_frame_bytes() const = 0;
+};
+
+/// MessageBus over a TcpTransport.  Connection losses become synthetic
+/// kPeerDown frames, queued locally and drained ahead of socket frames.
+class TcpBus final : public MessageBus {
+ public:
+  explicit TcpBus(net::TcpTransport& transport);
+
+  [[nodiscard]] net::NodeId self() const override;
+  bool post(net::Message message) override;
+  std::optional<net::Message> receive_for(double timeout_s) override;
+  void connect_peer(net::NodeId peer, const std::string& host,
+                    std::uint16_t port) override;
+  [[nodiscard]] std::size_t max_frame_bytes() const override;
+
+ private:
+  net::TcpTransport& transport_;
+  std::mutex mutex_;
+  std::vector<net::NodeId> down_;  // peers lost since the last receive
+};
+
+/// MessageBus over a shared InprocTransport (one per thread-node).
+class InprocBus final : public MessageBus {
+ public:
+  InprocBus(net::InprocTransport& transport, net::NodeId self,
+            std::size_t max_frame_bytes = 16u << 20);
+
+  [[nodiscard]] net::NodeId self() const override;
+  bool post(net::Message message) override;
+  std::optional<net::Message> receive_for(double timeout_s) override;
+  void connect_peer(net::NodeId, const std::string&, std::uint16_t) override {
+  }
+  [[nodiscard]] std::size_t max_frame_bytes() const override {
+    return max_frame_bytes_;
+  }
+
+ private:
+  net::InprocTransport& transport_;
+  net::NodeId self_;
+  std::size_t max_frame_bytes_;
+};
+
+}  // namespace edr::runtime

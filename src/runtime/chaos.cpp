@@ -1,0 +1,49 @@
+#include "runtime/chaos.hpp"
+
+#include <algorithm>
+
+namespace edr::runtime {
+
+std::vector<std::uint32_t> ChaosPlan::fault_epochs() const {
+  std::vector<std::uint32_t> epochs;
+  for (const auto& action : actions) epochs.push_back(action.epoch);
+  std::sort(epochs.begin(), epochs.end());
+  epochs.erase(std::unique(epochs.begin(), epochs.end()), epochs.end());
+  return epochs;
+}
+
+ChaosScore score_chaos_run(const LiveRunResult& result, const ChaosPlan& plan,
+                           std::uint32_t total_epochs) {
+  ChaosScore score;
+  score.epochs_completed = result.epochs.size();
+  score.generations = result.generations;
+
+  score.reconverged = result.completed && !result.epochs.empty() &&
+                      result.epochs.back().digests_agree;
+
+  if (plan.empty()) {
+    // No faults: a clean run "passes" when it converged alert-free.
+    score.alerts_fired = result.alerts.empty();
+    score.alerts_cleared = result.alerts.empty();
+    return score;
+  }
+
+  const auto epochs = plan.fault_epochs();
+  const std::uint32_t first_fault = epochs.front();
+  // Epoch-latency SLO breaches are observed when the epoch *finishes*, so
+  // a fault in epoch E can legitimately alert in E or E+1.
+  const std::uint32_t last_fault =
+      std::min(epochs.back() + 1, total_epochs == 0 ? 0 : total_epochs - 1);
+  for (const auto& alert : result.alerts) {
+    if (alert.epoch >= first_fault && alert.epoch <= last_fault)
+      ++score.alerts_during_faults;
+    else if (alert.epoch > last_fault)
+      ++score.alerts_in_tail;
+  }
+  score.alerts_fired = score.alerts_during_faults > 0;
+  score.alerts_cleared =
+      score.alerts_in_tail == 0 && last_fault + 1 < total_epochs;
+  return score;
+}
+
+}  // namespace edr::runtime

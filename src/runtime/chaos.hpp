@@ -1,0 +1,80 @@
+// Chaos plan + scoring for the live runtime.
+//
+// A ChaosPlan is a deterministic schedule of faults keyed to epoch
+// boundaries (epoch-based, not wall-clock-based, so a scenario injects
+// the same fault at the same logical point every run): kill a replica
+// without goodbyes, restart it, reset a live TCP connection mid-stream,
+// or drop/delay/duplicate frames through the transport fault hook.
+//
+// Scoring closes the loop with the SLO/anomaly monitor: a chaos run
+// passes when the survivors kept completing epochs with agreeing digests
+// (re-convergence), the monitor raised alerts while the faults were
+// active (detection), and the quiet tail raised none (recovery).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "runtime/coordinator.hpp"
+
+namespace edr::runtime {
+
+enum class ChaosKind : std::uint8_t {
+  kKill,             ///< close the replica's transport, no goodbyes
+  kRestart,          ///< boot a fresh process image for the replica
+  kResetConnection,  ///< force-close one peer link mid-stream (tcp only)
+  kDropFrames,       ///< fault hook: drop outgoing frames (tcp only)
+  kDelayFrames,      ///< fault hook: hold outgoing frames (tcp only)
+  kDuplicateFrames,  ///< fault hook: send outgoing frames twice (tcp only)
+  kClearFaults,      ///< remove the replica's fault hook (tcp only)
+};
+
+struct ChaosAction {
+  /// Applied right before this epoch's kStart broadcast.
+  std::uint32_t epoch = 0;
+  ChaosKind kind = ChaosKind::kKill;
+  net::NodeId replica = 0;  ///< the faulted node
+  net::NodeId peer = 0;     ///< other end, for kResetConnection
+  /// Fraction of frames affected by a frame fault (1 / period, applied
+  /// deterministically every round(1/probability)-th frame).
+  double probability = 1.0;
+  double delay_ms = 0.0;  ///< for kDelayFrames
+  /// Restrict a frame fault to one message type (-1 = all types).
+  int message_type = -1;
+};
+
+struct ChaosPlan {
+  std::vector<ChaosAction> actions;
+
+  [[nodiscard]] bool empty() const { return actions.empty(); }
+  /// Epochs with at least one action, sorted ascending.
+  [[nodiscard]] std::vector<std::uint32_t> fault_epochs() const;
+};
+
+struct ChaosScore {
+  /// The schedule ran to completion and the last epoch's replica digests
+  /// agree — the survivors re-converged onto one allocation.
+  bool reconverged = false;
+  /// At least one monitor alert in [first fault epoch, last fault epoch + 1]
+  /// (epoch-latency SLO breaches surface one epoch late at the earliest).
+  bool alerts_fired = false;
+  /// No alert in the quiet tail after the faults.
+  bool alerts_cleared = false;
+  std::size_t alerts_during_faults = 0;
+  std::size_t alerts_in_tail = 0;
+  std::size_t epochs_completed = 0;
+  std::uint64_t generations = 1;
+
+  [[nodiscard]] bool passed() const {
+    return reconverged && alerts_fired && alerts_cleared;
+  }
+};
+
+/// Grade `result` against `plan`.  `total_epochs` is the configured
+/// schedule length (the run may have died early — that fails).
+[[nodiscard]] ChaosScore score_chaos_run(const LiveRunResult& result,
+                                         const ChaosPlan& plan,
+                                         std::uint32_t total_epochs);
+
+}  // namespace edr::runtime

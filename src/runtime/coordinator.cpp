@@ -1,0 +1,287 @@
+#include "runtime/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace edr::runtime {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LiveCoordinator::LiveCoordinator(MessageBus& bus, LiveConfig config,
+                                 CoordinatorOptions options)
+    : bus_(bus),
+      config_(std::move(config)),
+      options_(std::move(options)),
+      monitor_(options_.monitor) {
+  if (config_.num_replicas() == 0)
+    throw std::invalid_argument("live: no replicas configured");
+  const auto n = config_.num_replicas();
+  alive_.assign(n, 0);
+  ever_helloed_.assign(n, 0);
+  peer_table_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    peer_table_[i].node = static_cast<net::NodeId>(i);
+}
+
+std::size_t LiveCoordinator::alive_count() const {
+  std::size_t count = 0;
+  for (const auto a : alive_) count += a;
+  return count;
+}
+
+void LiveCoordinator::mark_dead(net::NodeId replica) {
+  if (replica >= alive_.size() || !alive_[replica]) return;
+#ifdef EDR_LIVE_TRACE
+  std::fprintf(stderr, "[coord] mark_dead replica=%u gen=%llu\n", replica,
+               (unsigned long long)generation_);
+#endif
+  alive_[replica] = 0;
+  if (std::find(result_.failed_replicas.begin(), result_.failed_replicas.end(),
+                replica) == result_.failed_replicas.end())
+    result_.failed_replicas.push_back(replica);
+}
+
+void LiveCoordinator::handle_hello(const net::Message& msg) {
+  const LiveHello hello = decode_hello(msg, bus_.max_frame_bytes());
+  if (hello.node >= config_.num_replicas()) return;  // not one of ours
+  peer_table_[hello.node].port = hello.port;
+  if (hello.port != 0)
+    bus_.connect_peer(hello.node, "127.0.0.1", hello.port);
+  ever_helloed_[hello.node] = 1;
+  if (!alive_[hello.node]) {
+    // Mid-run (re)join: configure it now, schedule it from the next epoch
+    // boundary (joining mid-epoch would break the survivors' lockstep).
+    bus_.post(encode_config(bus_.self(), hello.node, config_));
+    LivePeers peers{generation_, peer_table_, alive_};
+    bus_.post(encode_peers(bus_.self(), hello.node, peers));
+    if (std::find(pending_joins_.begin(), pending_joins_.end(), hello.node) ==
+        pending_joins_.end())
+      pending_joins_.push_back(hello.node);
+  }
+}
+
+void LiveCoordinator::broadcast_peers() {
+  LivePeers peers{generation_, peer_table_, alive_};
+  for (std::size_t n = 0; n < ever_helloed_.size(); ++n)
+    if (ever_helloed_[n])
+      bus_.post(
+          encode_peers(bus_.self(), static_cast<net::NodeId>(n), peers));
+}
+
+void LiveCoordinator::broadcast_start(std::uint32_t epoch) {
+  LiveStart start;
+  start.epoch = epoch;
+  start.generation = generation_;
+  start.now = static_cast<double>(epoch) * config_.epoch_length;
+  start.alive = alive_;
+  for (std::size_t n = 0; n < ever_helloed_.size(); ++n)
+    if (ever_helloed_[n])
+      bus_.post(
+          encode_start(bus_.self(), static_cast<net::NodeId>(n), start));
+}
+
+LiveRunResult LiveCoordinator::run() {
+  // ---- assembly: wait for the initial hellos
+  const double hello_deadline = now_seconds() + options_.hello_timeout_s;
+  while (alive_count() < config_.num_replicas() &&
+         now_seconds() < hello_deadline) {
+    const auto msg = bus_.receive_for(0.25);
+    if (!msg) continue;
+    if (msg->type == kHello) {
+      const LiveHello hello = decode_hello(*msg, bus_.max_frame_bytes());
+      if (hello.node >= config_.num_replicas()) continue;
+      peer_table_[hello.node].port = hello.port;
+      if (hello.port != 0)
+        bus_.connect_peer(hello.node, "127.0.0.1", hello.port);
+      ever_helloed_[hello.node] = 1;
+      alive_[hello.node] = 1;
+    }
+  }
+  if (alive_count() == 0)
+    throw std::runtime_error("live: no replica said hello");
+
+  for (std::size_t n = 0; n < ever_helloed_.size(); ++n)
+    if (ever_helloed_[n])
+      bus_.post(
+          encode_config(bus_.self(), static_cast<net::NodeId>(n), config_));
+  broadcast_peers();
+
+  // ---- epoch schedule
+  for (std::uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (options_.on_epoch_start) options_.on_epoch_start(epoch);
+    // Rejoiners enter at epoch boundaries, under a fresh generation.
+    if (!pending_joins_.empty()) {
+      bool changed = false;
+      for (const net::NodeId n : pending_joins_)
+        if (!alive_[n]) {
+          alive_[n] = 1;
+          changed = true;
+        }
+      pending_joins_.clear();
+      if (changed) {
+        ++generation_;
+        broadcast_peers();
+      }
+    }
+    if (alive_count() == 0) break;
+
+    std::size_t attempts = 0;
+    // Wall-clock latency spans every attempt: time lost to a stalled
+    // attempt is real time the epoch's clients waited, and it is what
+    // trips the monitor's response SLO during chaos.
+    const double epoch_started = now_seconds();
+    while (true) {
+      const double logical_now =
+          static_cast<double>(epoch) * config_.epoch_length;
+      recorder_.begin_epoch(epoch, logical_now);
+      monitor_.begin_epoch(epoch);
+      broadcast_start(epoch);
+      auto outcome = await_epoch(epoch, epoch_started);
+      if (outcome) {
+        monitor_.observe_response(outcome->wall_ms,
+                                  logical_now + config_.epoch_length, epoch);
+        auto summary = recorder_.end_epoch(logical_now + config_.epoch_length);
+        monitor_.end_epoch(summary);
+        result_.convergence.push_back(summary);
+        result_.total_rounds += outcome->rounds;
+        result_.epochs.push_back(std::move(*outcome));
+        break;
+      }
+      if (++attempts > options_.max_epoch_retries || alive_count() == 0) {
+        // Aborting the run: still tell every replica to exit, or they sit
+        // out their idle timeout waiting for a start that never comes.
+        for (std::size_t n = 0; n < ever_helloed_.size(); ++n)
+          if (ever_helloed_[n])
+            bus_.post(
+                encode_shutdown(bus_.self(), static_cast<net::NodeId>(n)));
+        result_.alerts = monitor_.alerts();
+        result_.generations = generation_;
+        return result_;  // completed stays false
+      }
+    }
+  }
+
+  for (std::size_t n = 0; n < ever_helloed_.size(); ++n)
+    if (ever_helloed_[n])
+      bus_.post(encode_shutdown(bus_.self(), static_cast<net::NodeId>(n)));
+
+  result_.alerts = monitor_.alerts();
+  result_.generations = generation_;
+  result_.completed = result_.epochs.size() == config_.epochs;
+  return result_;
+}
+
+std::optional<LiveEpochResult> LiveCoordinator::await_epoch(
+    std::uint32_t epoch, double started_at) {
+  std::map<net::NodeId, LiveEpochDone> done;
+  std::vector<net::NodeId> expected;
+  for (std::size_t n = 0; n < alive_.size(); ++n)
+    if (alive_[n]) expected.push_back(static_cast<net::NodeId>(n));
+
+  const std::uint64_t epoch_generation = generation_;
+  // Watchdog clock restarts per attempt; started_at (the first attempt's
+  // start) is only the base for the reported wall latency.
+  double last_progress = now_seconds();
+  auto regenerate = [&] {
+    ++generation_;
+    broadcast_peers();
+    return std::nullopt;
+  };
+
+  while (true) {
+    if (done.size() == expected.size()) {
+      // Assemble: columns in replica order, digests cross-checked.
+      LiveEpochResult result;
+      result.epoch = epoch;
+      result.generation = epoch_generation;
+      result.participants = expected;
+      result.wall_ms = (now_seconds() - started_at) * 1e3;
+      std::size_t rows = 0;
+      for (const auto& [node, frame] : done) {
+        rows = std::max(rows, frame.column.size());
+        result.rounds = std::max(result.rounds, frame.rounds);
+      }
+      result.allocation = Matrix(rows, expected.size(), 0.0);
+      const auto& first = done.begin()->second;
+      result.digest = first.digest;
+      result.objective = first.objective;
+      for (std::size_t col = 0; col < expected.size(); ++col) {
+        const auto& frame = done.at(expected[col]);
+        if (frame.digest != first.digest || frame.digest_mismatches != 0)
+          result.digests_agree = false;
+        for (std::size_t row = 0; row < frame.column.size(); ++row)
+          result.allocation(row, col) = frame.column[row];
+      }
+      return result;
+    }
+
+    const auto msg = bus_.receive_for(0.1);
+    if (!msg) {
+      if (now_seconds() - last_progress > options_.epoch_timeout_s) {
+        // Watchdog: everyone still missing is presumed dead.
+        for (const net::NodeId n : expected)
+          if (!done.count(n)) mark_dead(n);
+        return regenerate();
+      }
+      continue;
+    }
+    last_progress = now_seconds();
+    switch (msg->type) {
+      case kSample: {
+        const auto sample = decode_sample(*msg, bus_.max_frame_bytes());
+        recorder_.record(sample);
+        monitor_.observe(sample);
+        break;
+      }
+      case kEpochDone: {
+        auto frame = decode_epoch_done(*msg, bus_.max_frame_bytes());
+        if (frame.epoch == epoch && frame.generation == epoch_generation)
+          done[msg->from] = std::move(frame);
+        break;
+      }
+      case kStall: {
+        const auto stall = decode_stall(*msg, bus_.max_frame_bytes());
+        if (stall.generation != epoch_generation) break;  // already handled
+        bool changed = false;
+        for (std::size_t n = 0; n < stall.missing.size(); ++n)
+          if (stall.missing[n] && n < alive_.size() && alive_[n]) {
+            mark_dead(static_cast<net::NodeId>(n));
+            changed = true;
+          }
+        if (!changed && alive_.size() > msg->from && alive_[msg->from]) {
+          // A stall naming nobody (one-shot backend declined): restart the
+          // epoch under a new generation with the same membership.
+          return regenerate();
+        }
+        if (changed) return regenerate();
+        break;
+      }
+      case kPeerDown: {
+        if (msg->from < alive_.size() && alive_[msg->from]) {
+          mark_dead(msg->from);
+          return regenerate();
+        }
+        break;
+      }
+      case kHello:
+        handle_hello(*msg);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace edr::runtime

@@ -1,0 +1,117 @@
+// LiveCoordinator — the control plane of the live runtime.
+//
+// Owns the run: collects replica hellos, distributes the LiveConfig and
+// peer table, starts each epoch, and arbitrates membership.  Replicas do
+// all scheduling work; the coordinator never touches the optimization —
+// it assembles the per-replica allocation columns, cross-checks the
+// replicas' full-matrix digests (deterministic replication is a checked
+// invariant), and feeds every RoundSample plus the wall-clock epoch
+// latency into the PR 3 flight recorder + ConvergenceMonitor, which is
+// how chaos runs are scored (SLO alerts fire in fault epochs and stay
+// clear once the survivors re-converge).
+//
+// Membership protocol: one generation counter.  A kStall, a TCP
+// disconnect (synthetic kPeerDown), or the epoch watchdog marks replicas
+// dead -> generation bump -> kPeers + kStart for the *same* epoch; every
+// survivor cold-starts and re-solves with the reduced set.  A rejoining
+// replica (fresh kHello) is re-sent the config and joins at the next
+// epoch boundary under another generation bump.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "runtime/bus.hpp"
+#include "runtime/live_protocol.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/monitor.hpp"
+
+namespace edr::runtime {
+
+struct CoordinatorOptions {
+  /// Wait for the initial replica hellos.
+  double hello_timeout_s = 30.0;
+  /// Per-epoch watchdog: no completion within this -> mark the laggards
+  /// dead and re-generation the epoch.
+  double epoch_timeout_s = 20.0;
+  /// Give up entirely after this many watchdog strikes in one epoch.
+  std::size_t max_epoch_retries = 3;
+  telemetry::MonitorOptions monitor;
+  /// Chaos hook, called right before each epoch's kStart broadcast.
+  std::function<void(std::uint32_t epoch)> on_epoch_start;
+};
+
+struct LiveEpochResult {
+  std::uint32_t epoch = 0;
+  std::uint64_t generation = 0;
+  std::uint32_t rounds = 0;
+  /// Columns assembled from the replicas' kEpochDone frames; rows are the
+  /// epoch's active clients, cols the epoch's active replicas.
+  Matrix allocation;
+  std::uint64_t digest = 0;
+  /// Every participant reported the same full-matrix digest and zero
+  /// round-digest mismatches.
+  bool digests_agree = true;
+  double objective = 0.0;
+  double wall_ms = 0.0;  ///< kStart broadcast -> last kEpochDone
+  std::vector<net::NodeId> participants;
+};
+
+struct LiveRunResult {
+  std::vector<LiveEpochResult> epochs;
+  std::vector<telemetry::EpochSummary> convergence;
+  std::vector<telemetry::Alert> alerts;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t generations = 1;
+  std::vector<net::NodeId> failed_replicas;  ///< marked dead at least once
+  bool completed = false;  ///< every configured epoch produced a result
+};
+
+class LiveCoordinator {
+ public:
+  LiveCoordinator(MessageBus& bus, LiveConfig config,
+                  CoordinatorOptions options = {});
+
+  /// Execute the whole schedule; call once.  Throws std::runtime_error
+  /// when the cluster never assembles (hello timeout).
+  LiveRunResult run();
+
+  /// Membership + monitor state, readable between epochs from the chaos
+  /// hook's thread (the hook runs on the coordinator's own thread).
+  [[nodiscard]] const std::vector<std::uint8_t>& alive() const {
+    return alive_;
+  }
+  [[nodiscard]] const telemetry::ConvergenceMonitor& monitor() const {
+    return monitor_;
+  }
+
+ private:
+  void mark_dead(net::NodeId replica);
+  void broadcast_peers();
+  void broadcast_start(std::uint32_t epoch);
+  /// Returns the epoch result, or nullopt when the epoch was re-generated
+  /// (membership changed) and must be restarted.
+  std::optional<LiveEpochResult> await_epoch(std::uint32_t epoch,
+                                             double started_at);
+  void handle_hello(const net::Message& msg);
+  [[nodiscard]] std::size_t alive_count() const;
+
+  MessageBus& bus_;
+  LiveConfig config_;
+  CoordinatorOptions options_;
+
+  std::vector<std::uint8_t> alive_;
+  std::vector<std::uint8_t> ever_helloed_;
+  std::vector<PeerEntry> peer_table_;
+  std::vector<net::NodeId> pending_joins_;
+  std::uint64_t generation_ = 1;
+
+  telemetry::FlightRecorder recorder_;
+  telemetry::ConvergenceMonitor monitor_;
+  LiveRunResult result_;
+};
+
+}  // namespace edr::runtime

@@ -1,0 +1,195 @@
+// Live-runtime wire protocol: the frames real EDR processes exchange.
+//
+// The live runtime executes the unchanged DistributedAlgorithm backends as
+// deterministic replicated state machines: every replica holds the full
+// algorithm and identical inputs, so each synchronous round produces the
+// same state everywhere; the TCP round frame is the *barrier* that keeps
+// the replicas in lockstep and carries an FNV-1a digest of the sender's
+// state so replication is a checked invariant, not an assumption (see
+// DESIGN.md §11).  The coordinator distributes the run configuration
+// (including the full request schedule, so demand bucketing is identical
+// on every host), starts epochs, collects per-round flight-recorder
+// samples for the SLO/anomaly monitor, and arbitrates membership when a
+// replica dies mid-epoch.
+//
+// All payloads are encoded with net/wire.hpp; receivers decode through a
+// WireReader capped at the transport's max_frame_bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/cdpsm.hpp"
+#include "core/lddm.hpp"
+#include "core/system.hpp"
+#include "net/network.hpp"
+#include "optim/problem.hpp"
+#include "power/model.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "workload/trace.hpp"
+
+namespace edr::runtime {
+
+/// Frame type ids.  The ring owns [100, 200); algorithms own small ids —
+/// the live runtime claims [200, 216).
+enum LiveMessageType : int {
+  kHello = 200,      ///< replica -> coord: I am up, my listen port
+  kConfig = 201,     ///< coord -> replica: the serialized LiveConfig
+  kPeers = 202,      ///< coord -> replica: peer table + membership
+  kStart = 203,      ///< coord -> replica: run epoch e under generation g
+  kRound = 204,      ///< replica <-> replica: round barrier + state digest
+  kSample = 205,     ///< replica -> coord: one RoundSample
+  kEpochDone = 206,  ///< replica -> coord: own allocation column + digest
+  kStall = 207,      ///< replica -> coord: barrier timed out, who is missing
+  kShutdown = 208,   ///< coord -> replica: exit cleanly
+  kPeerDown = 209,   ///< synthetic (local): transport lost a connection
+};
+
+/// Everything a replica needs to run the whole schedule deterministically.
+/// A subset of SystemConfig plus the full request trace; features the live
+/// runtime does not reproduce (power metering, file transfers, tariffs,
+/// the heartbeat ring) are intentionally absent — see DESIGN.md §11 for
+/// the determinism boundary.
+struct LiveConfig {
+  std::string algorithm = "lddm";
+  std::uint32_t epochs = 3;
+  double epoch_length = 1.0;
+  std::uint32_t num_clients = 8;
+  double max_latency = 1.8;
+  double transfer_window_fraction = 0.7;
+  bool derive_energy_model_from_power = true;
+  bool warm_start = true;
+  bool retry_shed = true;
+  std::uint32_t max_retries = 3;
+  std::uint64_t seed = 1;
+  std::vector<optim::ReplicaParams> replicas;
+  Matrix latency;  ///< clients x replicas, ms
+  power::PowerModelParams power;
+  std::vector<power::PowerModelParams> power_per_replica;
+  core::CdpsmOptions cdpsm{.step = 0.0, .max_rounds = 300,
+                           .tolerance = 1e-4, .patience = 3};
+  core::LddmOptions lddm{.rho = 2.0, .mu_step = 0.0, .mu_step_factor = 3.0,
+                         .max_rounds = 300, .tolerance = 1e-4,
+                         .patience = 3};
+  /// The full request schedule, sorted by arrival; every replica buckets
+  /// it into epochs identically (epoch = floor(arrival / epoch_length)).
+  std::vector<workload::Request> requests;
+
+  [[nodiscard]] std::size_t num_replicas() const { return replicas.size(); }
+  /// The SystemConfig the algorithm registry and epoch-problem builder
+  /// consume (telemetry unset, ring disabled).
+  [[nodiscard]] core::SystemConfig to_system_config() const;
+};
+
+/// A sane default workload + cluster for live smoke runs: heterogeneous
+/// prices/bandwidths, a deterministic request schedule from `seed`.
+[[nodiscard]] LiveConfig make_default_live_config(std::size_t num_replicas,
+                                                  std::size_t num_clients,
+                                                  std::uint32_t epochs,
+                                                  std::uint64_t seed);
+
+struct LiveHello {
+  net::NodeId node = 0;
+  std::uint16_t port = 0;  ///< 0 over transports without ports (inproc)
+};
+
+struct PeerEntry {
+  net::NodeId node = 0;
+  std::uint16_t port = 0;
+};
+
+struct LivePeers {
+  std::uint64_t generation = 0;
+  std::vector<PeerEntry> peers;
+  std::vector<std::uint8_t> alive;  ///< per replica id, 1 = scheduled
+};
+
+struct LiveStart {
+  std::uint32_t epoch = 0;
+  std::uint64_t generation = 0;
+  double now = 0.0;  ///< logical epoch-start time (tariff clock)
+  std::vector<std::uint8_t> alive;
+};
+
+struct LiveRound {
+  std::uint32_t epoch = 0;
+  std::uint64_t generation = 0;
+  std::uint32_t round = 0;
+  std::uint64_t digest = 0;  ///< sender's post-step state digest
+  double load = 0.0;         ///< sender's assigned load after this round
+};
+
+struct LiveEpochDone {
+  std::uint32_t epoch = 0;
+  std::uint64_t generation = 0;
+  std::uint32_t rounds = 0;
+  std::uint64_t digest = 0;  ///< digest of the full final allocation
+  double objective = 0.0;
+  std::uint32_t digest_mismatches = 0;  ///< round digests that disagreed
+  /// The sender's own allocation column (length = active clients).
+  std::vector<double> column;
+};
+
+struct LiveStall {
+  std::uint32_t epoch = 0;
+  std::uint64_t generation = 0;
+  std::uint32_t round = 0;
+  std::vector<std::uint8_t> missing;  ///< per replica id, 1 = not heard from
+};
+
+/// FNV-1a over raw double bit patterns — the replication digest.
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t hash, double value);
+[[nodiscard]] std::uint64_t digest_doubles(const double* values,
+                                           std::size_t count);
+[[nodiscard]] std::uint64_t digest_matrix(const Matrix& matrix);
+[[nodiscard]] std::uint64_t digest_samples(
+    const std::vector<telemetry::RoundSample>& samples);
+
+// Encoders build a complete net::Message (payload = encoded bytes, bytes =
+// payload size); decoders throw std::out_of_range / std::length_error on
+// malformed frames (callers treat that as a protocol error).
+[[nodiscard]] net::Message encode_hello(net::NodeId from, net::NodeId to,
+                                        const LiveHello& hello);
+[[nodiscard]] LiveHello decode_hello(const net::Message& msg,
+                                     std::size_t max_frame_bytes);
+
+[[nodiscard]] net::Message encode_config(net::NodeId from, net::NodeId to,
+                                         const LiveConfig& config);
+[[nodiscard]] LiveConfig decode_config(const net::Message& msg,
+                                       std::size_t max_frame_bytes);
+
+[[nodiscard]] net::Message encode_peers(net::NodeId from, net::NodeId to,
+                                        const LivePeers& peers);
+[[nodiscard]] LivePeers decode_peers(const net::Message& msg,
+                                     std::size_t max_frame_bytes);
+
+[[nodiscard]] net::Message encode_start(net::NodeId from, net::NodeId to,
+                                        const LiveStart& start);
+[[nodiscard]] LiveStart decode_start(const net::Message& msg,
+                                     std::size_t max_frame_bytes);
+
+[[nodiscard]] net::Message encode_round(net::NodeId from, net::NodeId to,
+                                        const LiveRound& round);
+[[nodiscard]] LiveRound decode_round(const net::Message& msg,
+                                     std::size_t max_frame_bytes);
+
+[[nodiscard]] net::Message encode_sample(net::NodeId from, net::NodeId to,
+                                         const telemetry::RoundSample& s);
+[[nodiscard]] telemetry::RoundSample decode_sample(
+    const net::Message& msg, std::size_t max_frame_bytes);
+
+[[nodiscard]] net::Message encode_epoch_done(net::NodeId from, net::NodeId to,
+                                             const LiveEpochDone& done);
+[[nodiscard]] LiveEpochDone decode_epoch_done(const net::Message& msg,
+                                              std::size_t max_frame_bytes);
+
+[[nodiscard]] net::Message encode_stall(net::NodeId from, net::NodeId to,
+                                        const LiveStall& stall);
+[[nodiscard]] LiveStall decode_stall(const net::Message& msg,
+                                     std::size_t max_frame_bytes);
+
+[[nodiscard]] net::Message encode_shutdown(net::NodeId from, net::NodeId to);
+
+}  // namespace edr::runtime

@@ -1,0 +1,76 @@
+#include "runtime/live_report.hpp"
+
+#include <cstdio>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+
+namespace edr::runtime {
+
+std::string live_run_to_json(const LiveRunResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("completed", result.completed);
+  json.field("generations", result.generations);
+  json.field("total_rounds", result.total_rounds);
+  json.key("failed_replicas");
+  json.begin_array();
+  for (const auto replica : result.failed_replicas)
+    json.value(static_cast<std::uint64_t>(replica));
+  json.end_array();
+  json.key("epochs");
+  json.begin_array();
+  for (const auto& epoch : result.epochs) {
+    json.begin_object();
+    json.field("epoch", epoch.epoch);
+    json.field("generation", epoch.generation);
+    json.field("rounds", epoch.rounds);
+    json.field("participants",
+               static_cast<std::uint64_t>(epoch.participants.size()));
+    json.field("digests_agree", epoch.digests_agree);
+    json.field("digest", epoch.digest);
+    json.field("objective", epoch.objective);
+    json.field("wall_ms", epoch.wall_ms);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("alerts");
+  json.begin_array();
+  for (const auto& alert : result.alerts) {
+    json.begin_object();
+    json.field("kind", std::string{telemetry::to_string(alert.kind)});
+    json.field("severity",
+               std::string{telemetry::to_string(alert.severity)});
+    json.field("epoch", static_cast<std::uint64_t>(alert.epoch));
+    json.field("message", alert.message);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string live_run_to_table(const LiveRunResult& result) {
+  Table table({"epoch", "gen", "rounds", "participants", "agree",
+               "objective", "wall ms"});
+  for (const auto& epoch : result.epochs)
+    table.add_row({std::to_string(epoch.epoch),
+                   std::to_string(epoch.generation),
+                   std::to_string(epoch.rounds),
+                   std::to_string(epoch.participants.size()),
+                   epoch.digests_agree ? "yes" : "NO",
+                   Table::num(epoch.objective, 6),
+                   Table::num(epoch.wall_ms, 2)});
+  std::string out = table.to_string();
+  for (const auto& alert : result.alerts) {
+    out += "alert [";
+    out += telemetry::to_string(alert.kind);
+    out += "/";
+    out += telemetry::to_string(alert.severity);
+    out += "] epoch " + std::to_string(alert.epoch) + ": " + alert.message +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace edr::runtime

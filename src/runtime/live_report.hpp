@@ -1,0 +1,21 @@
+// Shared rendering of a LiveRunResult — one JSON shape and one table for
+// every front end (edr_live, edr_sim --transport inproc/tcp), so their
+// outputs can be diffed directly (scripts/check.sh live-smoke compares
+// the per-epoch objectives across transports this way).
+#pragma once
+
+#include <string>
+
+#include "runtime/coordinator.hpp"
+
+namespace edr::runtime {
+
+/// Machine-readable run result: completion, generations, per-epoch rows
+/// (epoch, generation, rounds, participants, digests_agree, objective,
+/// wall_ms) and the monitor's alerts.
+[[nodiscard]] std::string live_run_to_json(const LiveRunResult& result);
+
+/// Human-readable per-epoch table plus alert lines, for stdout.
+[[nodiscard]] std::string live_run_to_table(const LiveRunResult& result);
+
+}  // namespace edr::runtime

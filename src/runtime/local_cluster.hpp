@@ -1,0 +1,95 @@
+// LocalCluster — the whole live runtime in one process.
+//
+// Boots N LiveReplica threads plus a LiveCoordinator over either the
+// threaded in-process transport or real localhost TCP sockets (one
+// TcpTransport per node — the same code path as the separate-process
+// deployment in examples/edr_replicad.cpp, minus fork/exec).  This is
+// how tests and the chaos suite drive the runtime: same frames, same
+// barriers, same membership protocol, switchable plumbing.
+//
+// The chaos plan executes on the coordinator's thread at epoch
+// boundaries: kills close a node's transport with no goodbyes (peers
+// only learn from the dead sockets or the stalled barrier, exactly like
+// a SIGKILLed process), restarts boot a fresh replica that rejoins
+// through the hello path, and the frame faults ride the TcpTransport
+// fault hook.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/inproc.hpp"
+#include "net/tcp_transport.hpp"
+#include "runtime/bus.hpp"
+#include "runtime/chaos.hpp"
+#include "runtime/coordinator.hpp"
+#include "runtime/replica.hpp"
+
+namespace edr::runtime {
+
+enum class LiveTransport : std::uint8_t { kInproc, kTcp };
+
+struct LocalClusterOptions {
+  LiveTransport transport = LiveTransport::kInproc;
+  CoordinatorOptions coordinator;
+  /// Tighter defaults than a WAN deployment would use: the cluster is
+  /// localhost, so seconds of silence already mean death.
+  ReplicaOptions replica{.barrier_timeout_s = 0.5, .idle_timeout_s = 10.0};
+  ChaosPlan chaos;
+  std::size_t max_frame_bytes = 16u << 20;
+};
+
+class LocalCluster {
+ public:
+  LocalCluster(LiveConfig config, LocalClusterOptions options = {});
+  ~LocalCluster();
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  /// Boot the replicas, run the coordinator on the calling thread, join
+  /// everything; call once.
+  LiveRunResult run();
+
+  // ---- chaos primitives (coordinator-thread only, i.e. from the epoch
+  // hook or between construction and run())
+  void kill_replica(net::NodeId replica);
+  void restart_replica(net::NodeId replica);
+  void reset_connection(net::NodeId replica, net::NodeId peer);
+  void set_fault_hook(net::NodeId replica, net::FaultHook hook);
+
+  [[nodiscard]] LiveTransport transport() const {
+    return options_.transport;
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<net::TcpTransport> tcp;  // tcp mode only
+    std::unique_ptr<MessageBus> bus;
+    std::shared_ptr<std::atomic<bool>> killed;
+    std::unique_ptr<LiveReplica> replica;
+    std::thread thread;
+  };
+
+  void start_replica(net::NodeId id);
+  void apply_chaos(std::uint32_t epoch);
+
+  LiveConfig config_;
+  LocalClusterOptions options_;
+  net::NodeId coordinator_id_;
+
+  std::unique_ptr<net::InprocTransport> inproc_;  // inproc mode only
+  std::unique_ptr<net::TcpTransport> coordinator_tcp_;
+  std::uint16_t coordinator_port_ = 0;
+  std::unique_ptr<MessageBus> coordinator_bus_;
+
+  std::vector<Node> nodes_;
+  /// Killed-then-replaced nodes' remains: exiting threads and the
+  /// transports that must outlive them.  Joined in the destructor.
+  std::vector<Node> graveyard_;
+  bool ran_ = false;
+};
+
+}  // namespace edr::runtime

@@ -118,12 +118,14 @@ TEST(ThreadPool, ReusableAcrossManyDispatches) {
 
 TEST(ThreadPool, EmptyCountIsANoOp) {
   ThreadPool pool{3};
-  int calls = 0;
+  // Every lane (caller + workers) sees an empty block concurrently — the
+  // counter must be atomic.
+  std::atomic<int> calls{0};
   pool.for_blocks(0, [&](std::size_t, std::size_t begin, std::size_t end) {
     EXPECT_EQ(begin, end);
     ++calls;
   });
-  EXPECT_LE(calls, 3);  // lanes may see empty blocks; none may see items
+  EXPECT_LE(calls.load(), 3);  // lanes may see empty blocks; none see items
 }
 
 TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {

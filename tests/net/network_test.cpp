@@ -170,6 +170,87 @@ TEST(SimNetwork, LostMessagesStillOccupyTheLink) {
   EXPECT_NEAR(f.deliveries[0].second, 2.0, 1e-9);
 }
 
+TEST(SimNetwork, DetachThenReattachBeforeDeliveryReceives) {
+  // Crash/recovery inside one flight: the handler is looked up at delivery
+  // time, so a node that detaches and reattaches while a message is on the
+  // wire still receives it (the paper's recovered-replica semantics).
+  Fixture f;
+  f.attach(2);
+  f.network.set_link(1, 2, {.latency = 10.0, .bandwidth_mbps = 100.0});
+  f.network.send(f.make(1, 2));
+  f.sim.schedule_at(0.002, [&] { f.network.detach(2); });
+  f.sim.schedule_at(0.005, [&] { f.attach(2); });
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.network.stats(2).messages_received, 1u);
+}
+
+TEST(SimNetwork, DetachWithManyInFlightDropsAllAndCountsNone) {
+  Fixture f;
+  f.attach(2);
+  f.network.set_link(1, 2, {.latency = 5.0, .bandwidth_mbps = 100.0});
+  for (int i = 0; i < 10; ++i) f.network.send(f.make(1, 2, 64));
+  f.network.detach(2);
+  f.sim.run();
+  EXPECT_TRUE(f.deliveries.empty());
+  EXPECT_EQ(f.network.stats(1).messages_sent, 10u);
+  EXPECT_EQ(f.network.stats(2).messages_received, 0u);
+}
+
+TEST(SimNetwork, StatsQueryForUnknownNodeDoesNotGrowState) {
+  // stats() is a read-only query: asking about a node that never sent or
+  // received returns zeros and must not insert a record (the old
+  // mutable-map lazy insert grew state under const).
+  Fixture f;
+  f.attach(2);
+  f.network.send(f.make(1, 2, 8));
+  f.sim.run();
+  const std::size_t tracked = f.network.tracked_nodes();
+  const TrafficStats unknown = f.network.stats(999);
+  EXPECT_EQ(unknown.messages_sent, 0u);
+  EXPECT_EQ(unknown.messages_received, 0u);
+  EXPECT_EQ(unknown.bytes_sent, 0u);
+  EXPECT_EQ(unknown.bytes_received, 0u);
+  EXPECT_EQ(f.network.tracked_nodes(), tracked);
+  // Repeated probes stay free too.
+  for (NodeId n = 100; n < 200; ++n) (void)f.network.stats(n);
+  EXPECT_EQ(f.network.tracked_nodes(), tracked);
+}
+
+TEST(SimNetwork, TrafficInRangeEdgeCases) {
+  Fixture f;
+  f.attach(2);
+  Message typed = f.make(1, 2, 100);
+  typed.type = 5;
+  f.network.send(std::move(typed));
+  Message unnamed = f.make(1, 2, 40);
+  unnamed.type = 7;  // no set_type_name call: still counted
+  f.network.send(std::move(unnamed));
+  f.sim.run();
+
+  // Empty range: no registered traffic between the bounds.
+  const auto empty = f.network.traffic_in_range(10, 20);
+  EXPECT_EQ(empty.messages, 0u);
+  EXPECT_EQ(empty.bytes, 0u);
+
+  // Reversed bounds yield the empty aggregate, not a crash or a wrap.
+  const auto reversed = f.network.traffic_in_range(7, 5);
+  EXPECT_EQ(reversed.messages, 0u);
+  EXPECT_EQ(reversed.bytes, 0u);
+
+  // Unnamed types aggregate exactly like named ones.
+  const auto both = f.network.traffic_in_range(5, 7);
+  EXPECT_EQ(both.messages, 2u);
+  EXPECT_EQ(both.bytes, 140u);
+  const auto only_unnamed = f.network.traffic_in_range(7, 7);
+  EXPECT_EQ(only_unnamed.messages, 1u);
+  EXPECT_EQ(only_unnamed.bytes, 40u);
+
+  // Degenerate single-point range at a type with no traffic.
+  const auto none = f.network.traffic_in_range(6, 6);
+  EXPECT_EQ(none.messages, 0u);
+}
+
 TEST(SimNetwork, PayloadSurvivesDelivery) {
   Simulator sim;
   SimNetwork network{sim};

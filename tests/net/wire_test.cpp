@@ -96,31 +96,44 @@ TEST(Wire, TruncatedMatrixThrows) {
 // Adversarial headers whose byte counts wrap std::size_t: rows = cols =
 // 2^31 gives rows·cols·sizeof(double) ≡ 0 mod 2^64, which slipped past the
 // old `offset_ + size > bytes_.size()` check and attempted a multi-exabyte
-// Matrix.  The division-form bound must reject these before allocating.
+// Matrix.  The division-form bounds must reject these before allocating.
+// A byte count that doesn't even fit in size_t exceeds any frame cap by
+// definition, so it surfaces as std::length_error; counts that fit size_t
+// but overrun the buffer stay std::out_of_range (truncation).
 TEST(Wire, OverflowingMatrixHeaderThrows) {
   WireWriter writer;
   writer.put_u32(0x80000000u);  // rows = 2^31
   writer.put_u32(0x80000000u);  // cols = 2^31 -> count*8 wraps to 0
   writer.put_double(1.0);       // a little payload so the buffer is nonempty
   WireReader reader{writer.bytes()};
-  EXPECT_THROW((void)reader.get_matrix(), std::out_of_range);
+  EXPECT_THROW((void)reader.get_matrix(), std::length_error);
 }
 
 TEST(Wire, OverflowingMatrixHeaderVariantsThrow) {
   // Sweep header pairs whose product × 8 wraps (or nearly wraps) 2^64.
-  const std::uint32_t adversarial[][2] = {
-      {0xffffffffu, 0xffffffffu},  // count*8 = (2^64 - 2^33 + 8) mod 2^64
-      {0x20000000u, 0x00000010u},  // count = 2^33, count*8 = 2^36 (no wrap,
-                                   // still absurd vs. the tiny buffer)
-      {0xffffffffu, 0x00000008u},  // count*8 just above 2^35
+  struct Case {
+    std::uint32_t rows, cols;
+    bool wraps;  // count*8 exceeds SIZE_MAX -> length_error path
   };
-  for (const auto& [rows, cols] : adversarial) {
+  const Case adversarial[] = {
+      {0xffffffffu, 0xffffffffu, true},   // count*8 ≈ 2^67, wraps
+      {0x20000000u, 0x00000010u, false},  // count = 2^33, count*8 = 2^36
+                                          // (no wrap, still absurd vs. the
+                                          // tiny buffer)
+      {0xffffffffu, 0x00000008u, false},  // count*8 just above 2^35
+  };
+  for (const auto& [rows, cols, wraps] : adversarial) {
     WireWriter writer;
     writer.put_u32(rows);
     writer.put_u32(cols);
     WireReader reader{writer.bytes()};
-    EXPECT_THROW((void)reader.get_matrix(), std::out_of_range)
-        << "rows=" << rows << " cols=" << cols;
+    if (wraps) {
+      EXPECT_THROW((void)reader.get_matrix(), std::length_error)
+          << "rows=" << rows << " cols=" << cols;
+    } else {
+      EXPECT_THROW((void)reader.get_matrix(), std::out_of_range)
+          << "rows=" << rows << " cols=" << cols;
+    }
   }
 }
 
@@ -141,6 +154,76 @@ TEST(Wire, OverflowCheckStillAcceptsExactFit) {
   WireReader reader{writer.bytes()};
   EXPECT_EQ(reader.get_doubles(), (std::vector<double>{1.5, -2.5, 3.5}));
   EXPECT_TRUE(reader.done());
+}
+
+// max_frame_bytes: at the transport boundary the reader's span can be one
+// frame of a larger stream buffer, so "declared size fits the span" is not
+// enough — a peer with a big receive window behind it could still declare a
+// huge element and drive a giant allocation.  The cap rejects declared
+// sizes before any allocation.
+TEST(Wire, FrameCapRejectsOversizedString) {
+  WireWriter writer;
+  writer.put_u32(1 << 20);  // declares a 1 MiB string...
+  std::vector<std::uint8_t> stream = writer.take();
+  stream.resize(4 + (1 << 20));  // ...and the backing buffer really has it
+  WireReader uncapped{stream};
+  EXPECT_EQ(uncapped.get_string().size(), 1u << 20);  // default: allowed
+  WireReader capped{stream, 64 * 1024};
+  EXPECT_THROW((void)capped.get_string(), std::length_error);
+}
+
+TEST(Wire, FrameCapRejectsOversizedDoubles) {
+  WireWriter writer;
+  writer.put_doubles(std::vector<double>(1024, 1.0));
+  const auto stream = writer.take();
+  WireReader capped{stream, 1024};  // cap below 1024 * 8 declared bytes
+  EXPECT_THROW((void)capped.get_doubles(), std::length_error);
+  WireReader roomy{stream, 8192 + 4};
+  EXPECT_EQ(roomy.get_doubles().size(), 1024u);
+}
+
+TEST(Wire, FrameCapRejectsOversizedMatrix) {
+  WireWriter writer;
+  Matrix matrix(32, 32);
+  writer.put_matrix(matrix);
+  const auto stream = writer.take();
+  WireReader capped{stream, 4096};  // 32*32*8 = 8192 declared bytes
+  EXPECT_THROW((void)capped.get_matrix(), std::length_error);
+}
+
+TEST(Wire, FrameCapRejectsWrappingMatrixHeader) {
+  // rows = cols = 2^31: count*8 wraps std::size_t to 0, so a naive
+  // `declared <= cap` comparison on the wrapped product would pass.  The
+  // division-form cap check must still reject it.
+  WireWriter writer;
+  writer.put_u32(0x80000000u);
+  writer.put_u32(0x80000000u);
+  WireReader capped{writer.bytes(), 1 << 16};
+  EXPECT_THROW((void)capped.get_matrix(), std::length_error);
+}
+
+TEST(Wire, FrameCapAcceptsExactFit) {
+  // A declared size exactly at the cap still parses — the guard is a
+  // strict "greater than", not off-by-one.
+  WireWriter writer;
+  writer.put_string("abcd");
+  WireReader reader{writer.bytes(), 4};
+  EXPECT_EQ(reader.get_string(), "abcd");
+
+  WireWriter vec_writer;
+  vec_writer.put_doubles(std::vector<double>{1.0, 2.0});
+  WireReader vec_reader{vec_writer.bytes(), 16};
+  EXPECT_EQ(vec_reader.get_doubles().size(), 2u);
+}
+
+TEST(Wire, FrameCapDoesNotAffectScalars) {
+  WireWriter writer;
+  writer.put_u64(42);
+  writer.put_double(2.5);
+  WireReader reader{writer.bytes(), 1};  // tiny cap, scalars unaffected
+  EXPECT_EQ(reader.get_u64(), 42u);
+  EXPECT_DOUBLE_EQ(reader.get_double(), 2.5);
+  EXPECT_EQ(reader.max_frame_bytes(), 1u);
 }
 
 TEST(Wire, TakeMovesBuffer) {
