@@ -29,6 +29,7 @@
 
 #include "baselines/donar_algorithm.hpp"
 #include "common/args.hpp"
+#include "core/representation.hpp"
 #include "net/tcp_transport.hpp"
 #include "runtime/bus.hpp"
 #include "runtime/coordinator.hpp"
@@ -110,8 +111,13 @@ int main(int argc, char** argv) {
   std::int64_t kill_epoch = -1;
   std::int64_t kill_replica = -1;
 
+  std::string representation = "dense";
+
   ArgParser parser{"edr_live", "live-cluster coordinator and launcher"};
   parser.add_option("algorithm", "registry backend to run", &algorithm);
+  parser.add_option("representation",
+                    "solver iterate storage: dense|sparse|aggregated",
+                    &representation);
   parser.add_option("replicas", "number of replicas", &replicas);
   parser.add_option("clients", "number of clients", &clients);
   parser.add_option("epochs", "number of epochs", &epochs);
@@ -158,6 +164,13 @@ int main(int argc, char** argv) {
   auto config = runtime::make_default_live_config(
       replicas, clients, static_cast<std::uint32_t>(epochs), seed);
   config.algorithm = algorithm;
+  if (const auto parsed = core::parse_representation(representation)) {
+    config.representation = *parsed;
+  } else {
+    std::cerr << "edr_live: unknown --representation '" << representation
+              << "' (choices: dense, sparse, aggregated)\n";
+    return 2;
+  }
 
   const auto coordinator_id = static_cast<net::NodeId>(replicas);
   net::TcpTransport transport{coordinator_id};

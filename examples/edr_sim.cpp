@@ -8,6 +8,7 @@
 //   ./examples/edr_sim --algorithm lddm --fail-replica 0 --fail-at 20 \
 //                      --recover-at 40
 //   ./examples/edr_sim --trace my_trace.csv --algorithm rr
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -17,6 +18,7 @@
 #include "baselines/donar_algorithm.hpp"
 #include "common/args.hpp"
 #include "common/table.hpp"
+#include "core/representation.hpp"
 #include "optim/instance.hpp"
 #include "runtime/live_report.hpp"
 #include "runtime/local_cluster.hpp"
@@ -43,10 +45,16 @@ int main(int argc, char** argv) {
   double slo_ms = 0.0;
   std::string telemetry_out;
   std::string transport = "sim";
+  std::string representation = "dense";
 
   ArgParser parser{"edr_sim", "run the EDR system end to end"};
   parser.add_option("algorithm", "scheduler: lddm|cdpsm|central|rr|donar",
                     &algorithm);
+  parser.add_option("representation",
+                    "solver iterate storage: dense (golden path) | sparse "
+                    "(latency-feasible pairs only) | aggregated (sparse + "
+                    "client equivalence classes)",
+                    &representation);
   parser.add_option("transport",
                     "execution substrate: sim (deterministic simulator, "
                     "default) | inproc (live runtime over the threaded "
@@ -96,6 +104,22 @@ int main(int argc, char** argv) {
               << "' (choices: sim, inproc, tcp)\n";
     return 2;
   }
+  const auto parsed_storage = core::parse_representation(representation);
+  if (!parsed_storage) {
+    std::cerr << "edr_sim: unknown --representation '" << representation
+              << "' (choices: dense, sparse, aggregated)\n";
+    return 2;
+  }
+  const core::SolverRepresentation storage = *parsed_storage;
+  // A clients x replicas allocation must be addressable before anything
+  // downstream multiplies the two; reject absurd --clients loudly instead
+  // of wrapping std::size_t somewhere deep in the matrix layer.
+  if (replicas != 0 && clients > SIZE_MAX / replicas) {
+    std::cerr << "edr_sim: --clients " << clients << " x --replicas "
+              << replicas << " overflows the allocation size (max "
+              << SIZE_MAX / replicas << " clients for this replica count)\n";
+    return 2;
+  }
   if (transport != "sim") {
     // The live runtime is a different execution substrate; simulator-only
     // flags are rejected loudly instead of silently ignored.
@@ -127,6 +151,7 @@ int main(int argc, char** argv) {
       auto config =
           runtime::make_default_live_config(replicas, clients, epochs, seed);
       config.algorithm = algorithm;
+      config.representation = storage;
       runtime::LocalClusterOptions options;
       options.transport = transport == "tcp" ? runtime::LiveTransport::kTcp
                                              : runtime::LiveTransport::kInproc;
@@ -165,6 +190,7 @@ int main(int argc, char** argv) {
     cfg.num_clients = clients;
     cfg.record_traces = traces;
     cfg.solver_threads = threads;
+    cfg.representation = storage;
     if (slo_ms > 0.0) watch = true;
     if (!telemetry_out.empty() || watch)
       cfg.telemetry = telemetry::make_telemetry();

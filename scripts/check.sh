@@ -45,7 +45,7 @@ cmake -B build-tsan -S . -DEDR_SANITIZE=tsan >/dev/null
 cmake --build build-tsan -j "$jobs" \
   --target test_integration test_telemetry test_net test_common test_optim
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'ThreadedLddm|AtomicModeCountsAcrossThreads|Mailbox|InprocTransport|ThreadPool|ParallelProjection|GoldenEquivalence'
+  -R 'ThreadedLddm|AtomicModeCountsAcrossThreads|Mailbox|InprocTransport|ThreadPool|ParallelProjection|SparseProjection|SparseEquivalence|GoldenEquivalence'
 
 echo
 echo "== telemetry overhead smoke (fig5_convergence, telemetry disabled) =="
@@ -84,6 +84,57 @@ if ! diff -u "$smoke_dir/schema.committed" "$smoke_dir/schema.new"; then
   exit 1
 fi
 echo "bench baseline smoke: abl_scaling metric schema matches the baseline"
+
+echo
+echo "== sparse smoke (dense vs sparse vs aggregated, all five backends) =="
+# The representation knob changes solver storage, never the answer: the
+# non-iterative backends (central, rr, donar) must produce byte-identical
+# JSON under all three representations; the iterative engines (lddm, cdpsm)
+# follow tolerance-level-different trajectories, so their total cost must
+# agree to 2% relative. Then the 10^5-client scale test: the compact paths
+# must solve a geo-local instance the dense path cannot touch, inside the
+# wall budget pinned by the test itself.
+sparse_cost() {
+  grep -o '"total_cost_cents":[0-9.eE+-]*' "$1" | head -1 | cut -d: -f2
+}
+for alg in central rr donar lddm cdpsm; do
+  for rep in dense sparse aggregated; do
+    build/examples/edr_sim --algorithm "$alg" --representation "$rep" \
+      --horizon 5 --json > "$smoke_dir/sparse_${alg}_${rep}.json"
+  done
+  case "$alg" in
+    central|rr|donar)
+      for rep in sparse aggregated; do
+        if ! diff -q "$smoke_dir/sparse_${alg}_dense.json" \
+                     "$smoke_dir/sparse_${alg}_${rep}.json" >/dev/null; then
+          echo "sparse smoke FAILED: $alg output drifted under $rep" \
+               "(must be byte-identical — the knob only touches the" \
+               "iterative engines)" >&2
+          exit 1
+        fi
+      done
+      echo "sparse smoke: $alg byte-identical under all representations"
+      ;;
+    lddm|cdpsm)
+      dense_cost="$(sparse_cost "$smoke_dir/sparse_${alg}_dense.json")"
+      for rep in sparse aggregated; do
+        rep_cost="$(sparse_cost "$smoke_dir/sparse_${alg}_${rep}.json")"
+        if ! awk -v a="$dense_cost" -v b="$rep_cost" \
+            'BEGIN { d = a - b; if (d < 0) d = -d;
+                     exit !(a > 0 && d <= 2e-2 * a) }'; then
+          echo "sparse smoke FAILED: $alg cost $rep_cost under $rep vs" \
+               "$dense_cost dense (beyond 2% solver tolerance)" >&2
+          exit 1
+        fi
+      done
+      echo "sparse smoke: $alg cost agrees to 2% under all representations"
+      ;;
+  esac
+done
+build/tests/test_integration --gtest_filter='SparseScale.*' \
+  --gtest_brief=1 2>/dev/null \
+  || { echo "sparse smoke FAILED: 10^5-client scale test" >&2; exit 1; }
+echo "sparse smoke: 10^5-client geo instance solved inside the wall budget"
 
 echo
 echo "== live smoke (edr_live --spawn vs edr_sim --transport inproc) =="
@@ -137,4 +188,4 @@ echo "chaos scenario suite (bench/chaos_suite, localhost TCP):"
 build/bench/chaos_suite 2>/dev/null | grep -v '^BM_'
 
 echo
-echo "check.sh: all suites passed (regular + asan/ubsan + tsan + smoke + live)"
+echo "check.sh: all suites passed (regular + asan/ubsan + tsan + smoke + sparse + live)"

@@ -11,7 +11,9 @@
 #include <cassert>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace edr {
@@ -21,7 +23,7 @@ class Matrix {
   Matrix() = default;
 
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(checked_size(rows, cols), fill) {}
 
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
@@ -70,12 +72,20 @@ class Matrix {
 
   /// All column sums at once (avoids |N| passes over the data).
   [[nodiscard]] std::vector<double> col_sums() const {
-    std::vector<double> sums(cols_, 0.0);
+    std::vector<double> sums;
+    col_sums(sums);
+    return sums;
+  }
+
+  /// col_sums without the per-call allocation: `sums` is resized to cols()
+  /// and overwritten.  The per-round hot loops (objective, feasibility
+  /// checks) pass a reused scratch vector here.
+  void col_sums(std::vector<double>& sums) const {
+    sums.assign(cols_, 0.0);
     for (std::size_t r = 0; r < rows_; ++r) {
       const double* p = data_.data() + r * cols_;
       for (std::size_t c = 0; c < cols_; ++c) sums[c] += p[c];
     }
-    return sums;
   }
 
   void fill(double value) { std::ranges::fill(data_, value); }
@@ -84,9 +94,10 @@ class Matrix {
   /// buffer when capacity allows — the allocation-free reset the solver
   /// scratch matrices rely on in their per-round hot loops.
   void reshape(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    const std::size_t size = checked_size(rows, cols);
     rows_ = rows;
     cols_ = cols;
-    data_.assign(rows * cols, fill);
+    data_.assign(size, fill);
   }
 
   /// this += scale * other (same shape required).
@@ -126,6 +137,15 @@ class Matrix {
   friend bool operator==(const Matrix&, const Matrix&) = default;
 
  private:
+  /// rows*cols with an overflow guard: a wrapped product would turn an
+  /// absurd dimension request into a small, silently-wrong allocation
+  /// instead of the loud failure callers can act on.
+  static std::size_t checked_size(std::size_t rows, std::size_t cols) {
+    if (cols != 0 && rows > SIZE_MAX / cols)
+      throw std::length_error("Matrix: rows * cols overflows size_t");
+    return rows * cols;
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;

@@ -14,11 +14,13 @@ AlgorithmRegistry& AlgorithmRegistry::instance() {
     r.add("lddm", [](const SystemConfig& cfg) {
       auto options = cfg.lddm;
       options.threads = cfg.solver_threads;
+      options.representation = cfg.representation;
       return std::make_unique<LddmAlgorithm>(options, cfg.warm_start);
     });
     r.add("cdpsm", [](const SystemConfig& cfg) {
       auto options = cfg.cdpsm;
       options.threads = cfg.solver_threads;
+      options.representation = cfg.representation;
       return std::make_unique<CdpsmAlgorithm>(options);
     });
     r.add("central", [](const SystemConfig&) {

@@ -66,8 +66,15 @@ void CdpsmAlgorithm::begin_epoch(const EpochContext& ctx) {
 void CdpsmAlgorithm::plan_round(const EpochContext& ctx,
                                 std::vector<PlannedMessage>& out) const {
   out.clear();
-  const std::size_t bytes = net::wire_size_matrix(ctx.problem->num_clients(),
-                                                  ctx.problem->num_replicas());
+  std::size_t bytes = net::wire_size_matrix(ctx.problem->num_clients(),
+                                            ctx.problem->num_replicas());
+  if (options_.representation != SolverRepresentation::kDense &&
+      engine_ != nullptr) {
+    // Compact frames: (position, value) pairs over the work problem's
+    // feasible pattern instead of a dense |C|x|N| matrix per peer.
+    bytes = net::wire_size_indexed_doubles(
+        engine_->work_problem().sparsity()->nnz());
+  }
   const auto& replicas = *ctx.active_replicas;
   for (std::size_t i = 0; i < replicas.size(); ++i) {
     for (std::size_t j = 0; j < replicas.size(); ++j) {
@@ -138,7 +145,12 @@ void LddmAlgorithm::begin_epoch(const EpochContext& ctx) {
   last_round_ = {};
   const auto& active_clients = *ctx.active_clients;
   const auto& active_replicas = *ctx.active_replicas;
-  if (warm_start_ && !warm_mu_.empty()) {
+  // Warm start carries dense per-client multipliers and columns between
+  // epochs; the compact representations index state differently (and the
+  // aggregated client set changes with the batch), so they cold-start.
+  if (warm_start_ &&
+      options_.representation == SolverRepresentation::kDense &&
+      !warm_mu_.empty()) {
     std::vector<double> mu(active_clients.size());
     for (std::size_t row = 0; row < active_clients.size(); ++row)
       mu[row] = warm_mu_[active_clients[row]];
@@ -168,6 +180,25 @@ void LddmAlgorithm::plan_round(const EpochContext& ctx,
   // interleaving matches the per-pair exchange of the live protocol.
   const auto& replicas = *ctx.active_replicas;
   const auto& clients = *ctx.active_clients;
+  if (options_.representation != SolverRepresentation::kDense &&
+      engine_ != nullptr) {
+    // Compact round: traffic exists only on the work problem's feasible
+    // pairs.  Under aggregation each class exchanges through its
+    // representative client's endpoint.
+    const optim::Problem& work = engine_->work_problem();
+    const ClientAggregation* agg = engine_->aggregation();
+    const common::SparsityPattern& pattern = *work.sparsity();
+    for (std::size_t col = 0; col < replicas.size(); ++col) {
+      for (const std::uint32_t r : pattern.col_rows(col)) {
+        const std::size_t row = agg != nullptr ? agg->representative[r] : r;
+        out.push_back({Endpoint::kSolver, replicas[col], Endpoint::kClient,
+                       clients[row], kLddmLoadReport, 12});
+        out.push_back({Endpoint::kClient, clients[row], Endpoint::kSolver,
+                       replicas[col], kLddmMuUpdate, 12});
+      }
+    }
+    return;
+  }
   for (std::size_t col = 0; col < replicas.size(); ++col) {
     for (std::size_t row = 0; row < clients.size(); ++row) {
       out.push_back({Endpoint::kSolver, replicas[col], Endpoint::kClient,
@@ -215,7 +246,8 @@ void LddmAlgorithm::observe(const EpochContext& ctx,
 
 Matrix LddmAlgorithm::extract_allocation(const EpochContext& ctx) {
   Matrix allocation = engine_->solution();
-  if (warm_start_) {
+  if (warm_start_ &&
+      options_.representation == SolverRepresentation::kDense) {
     const auto& active_clients = *ctx.active_clients;
     const auto& active_replicas = *ctx.active_replicas;
     if (warm_mu_.empty()) {

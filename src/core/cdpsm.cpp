@@ -25,6 +25,34 @@ void project_column_capacity(const optim::Problem& problem, std::size_t n,
     allocation(c, n) = column[c];
 }
 
+/// Compact counterpart: project column n of a sparse allocation through the
+/// pattern's column view.
+void project_column_capacity(const optim::Problem& problem, std::size_t n,
+                             common::SparseAllocation& allocation) {
+  thread_local std::vector<double> column;
+  const auto positions = allocation.pattern().col_positions(n);
+  const std::span<double> values = allocation.values();
+  column.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i)
+    column[i] = values[positions[i]];
+  optim::project_capped_nonneg(column, problem.replica(n).bandwidth);
+  for (std::size_t i = 0; i < positions.size(); ++i)
+    values[positions[i]] = column[i];
+}
+
+void span_axpy(std::span<double> y, double a, std::span<const double> x) {
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+}
+
+double span_distance(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
 }  // namespace
 
 CdpsmEngine::CdpsmEngine(const optim::Problem& problem, CdpsmOptions options)
@@ -32,16 +60,34 @@ CdpsmEngine::CdpsmEngine(const optim::Problem& problem, CdpsmOptions options)
   const std::string issue = problem.validate();
   if (!issue.empty())
     throw std::invalid_argument("CdpsmEngine: invalid problem: " + issue);
-  auto start = optim::initial_feasible_point(problem);
+  sparse_ = options_.representation != SolverRepresentation::kDense;
+  work_ = problem_;
+  if (options_.representation == SolverRepresentation::kAggregated) {
+    aggregation_ = std::make_unique<ClientAggregation>(
+        build_client_aggregation(problem));
+    aggregated_problem_ = std::make_unique<optim::Problem>(
+        aggregate_problem(problem, *aggregation_));
+    work_ = aggregated_problem_.get();
+  }
+  auto start = optim::initial_feasible_point(*work_);
   if (!start)
     throw std::runtime_error("CdpsmEngine: instance is not feasible");
   step_ = options_.step > 0.0
               ? options_.step
-              : 1.0 / std::max(problem.gradient_lipschitz_bound(), 1e-9);
-  estimates_.assign(problem.num_replicas(), *start);
+              : 1.0 / std::max(work_->gradient_lipschitz_bound(), 1e-9);
+  if (sparse_) {
+    common::SparseAllocation seed(work_->sparsity());
+    seed.from_dense(*start);
+    sparse_estimates_.assign(work_->num_replicas(), seed);
+  } else {
+    estimates_.assign(problem.num_replicas(), *start);
+  }
 }
 
 void CdpsmEngine::set_estimate(std::size_t n, Matrix estimate) {
+  if (sparse_)
+    throw std::logic_error(
+        "CdpsmEngine::set_estimate: dense representation only");
   estimates_.at(n) = std::move(estimate);
 }
 
@@ -92,9 +138,89 @@ void CdpsmEngine::project_local(std::size_t n, Matrix& estimate) const {
 Matrix CdpsmEngine::step_replica(std::size_t n,
                                  std::span<const Matrix> peer_estimates,
                                  CdpsmReplicaStats* stats) const {
+  if (sparse_)
+    throw std::logic_error(
+        "CdpsmEngine::step_replica: dense representation only");
   Matrix consensus;
   step_replica_into(n, peer_estimates, consensus, stats);
   return consensus;
+}
+
+void CdpsmEngine::project_local_sparse(
+    std::size_t n, common::SparseAllocation& estimate) const {
+  // Same Dykstra scheme as project_local, with flat per-feasible-pair
+  // correction vectors instead of |C|×|N| matrices.
+  thread_local std::vector<double> corr_demand;
+  thread_local std::vector<double> corr_capacity;
+  thread_local std::vector<double> previous;
+  thread_local std::vector<double> before;
+  const std::span<double> values = estimate.values();
+  corr_demand.assign(values.size(), 0.0);
+  corr_capacity.assign(values.size(), 0.0);
+  previous.assign(values.begin(), values.end());
+  before.resize(values.size());
+  for (std::size_t iter = 0; iter < 200; ++iter) {
+    span_axpy(values, 1.0, corr_demand);
+    std::copy(values.begin(), values.end(), before.begin());
+    optim::project_demand_set(*work_, estimate);
+    corr_demand.assign(before.begin(), before.end());
+    span_axpy(corr_demand, -1.0, values);
+
+    span_axpy(values, 1.0, corr_capacity);
+    std::copy(values.begin(), values.end(), before.begin());
+    project_column_capacity(*work_, n, estimate);
+    corr_capacity.assign(before.begin(), before.end());
+    span_axpy(corr_capacity, -1.0, values);
+
+    const double change = span_distance(values, previous);
+    previous.assign(values.begin(), values.end());
+    if (change <= 1e-11) break;
+  }
+  // End on the demand set so row sums are exact.
+  optim::project_demand_set(*work_, estimate);
+}
+
+void CdpsmEngine::step_replica_into_sparse(
+    std::size_t n, std::span<const common::SparseAllocation> peer_estimates,
+    common::SparseAllocation& out, CdpsmReplicaStats* stats) const {
+  if (peer_estimates.size() != sparse_estimates_.size())
+    throw std::invalid_argument(
+        "CdpsmEngine::step_replica: need one estimate per replica");
+
+  const double weight = 1.0 / static_cast<double>(peer_estimates.size());
+  if (out.empty()) out = common::SparseAllocation(work_->sparsity());
+  out.fill(0.0);
+  for (const common::SparseAllocation& peer : peer_estimates)
+    out.axpy(weight, peer);
+
+  // Gradient of the local objective E_n on the feasible entries of column n
+  // only — the dense path also steps the latency-masked entries (the
+  // projection re-zeroes them), so the iterates agree at tolerance level,
+  // not bitwise.
+  const double load = out.col_sum(n);
+  const double derivative =
+      optim::replica_cost_derivative(work_->replica(n), load);
+  const double step =
+      options_.diminishing_step
+          ? step_ / std::sqrt(static_cast<double>(rounds_ + 1))
+          : step_;
+  const std::span<double> values = out.values();
+  for (const std::uint32_t p : out.pattern().col_positions(n))
+    values[p] -= step * derivative;
+
+  if (stats != nullptr) {
+    stats->local_objective = optim::replica_cost(work_->replica(n), load);
+    stats->gradient_norm =
+        std::abs(derivative) *
+        std::sqrt(static_cast<double>(work_->num_clients()));
+    thread_local std::vector<double> pre_projection;
+    pre_projection.assign(values.begin(), values.end());
+    project_local_sparse(n, out);
+    stats->projection_correction = span_distance(values, pre_projection);
+    stats->load = out.col_sum(n);
+    return;
+  }
+  project_local_sparse(n, out);
 }
 
 void CdpsmEngine::step_replica_into(std::size_t n,
@@ -137,69 +263,109 @@ void CdpsmEngine::step_replica_into(std::size_t n,
 }
 
 CdpsmRoundStats CdpsmEngine::round() {
-  previous_estimates_ = estimates_;  // copy-assign reuses the round scratch
+  const std::size_t replicas = estimate_count();
   CdpsmRoundStats stats;
   stats.round = ++rounds_;
   rounds_metric_.add(1);
 
-  if (collect_stats_) replica_stats_.assign(estimates_.size(), {});
+  if (collect_stats_) replica_stats_.assign(replicas, {});
   {
     telemetry::ScopedSpan span(*tracer_, "cdpsm.consensus_gradient",
                                "solver");
     // Per-replica consensus+gradient+projection, one static block of
-    // replicas per lane.  Every lane reads the shared previous_estimates_
-    // snapshot and writes only its own estimates_[n] — disjoint writes, so
-    // the result is bitwise identical for every lane count.
-    const auto step_block = [this](std::size_t /*lane*/, std::size_t begin,
-                                   std::size_t end) {
-      for (std::size_t n = begin; n < end; ++n) {
-        step_replica_into(n, previous_estimates_, estimates_[n],
-                          collect_stats_ ? &replica_stats_[n] : nullptr);
-        if (collect_stats_)
-          replica_stats_[n].load_delta =
-              replica_stats_[n].load - previous_estimates_[n].col_sum(n);
-      }
-    };
-    if (common::ThreadPool* p = pool(); p != nullptr)
-      p->for_blocks(estimates_.size(), step_block);
-    else
-      step_block(0, 0, estimates_.size());
+    // replicas per lane.  Every lane reads the shared previous snapshot and
+    // writes only its own estimate — disjoint writes, so the result is
+    // bitwise identical for every lane count.
+    if (sparse_) {
+      sparse_previous_ = sparse_estimates_;  // copy-assign reuses scratch
+      const auto step_block = [this](std::size_t /*lane*/, std::size_t begin,
+                                     std::size_t end) {
+        for (std::size_t n = begin; n < end; ++n) {
+          step_replica_into_sparse(n, sparse_previous_, sparse_estimates_[n],
+                                   collect_stats_ ? &replica_stats_[n]
+                                                  : nullptr);
+          if (collect_stats_)
+            replica_stats_[n].load_delta =
+                replica_stats_[n].load - sparse_previous_[n].col_sum(n);
+        }
+      };
+      if (common::ThreadPool* p = pool(); p != nullptr)
+        p->for_blocks(replicas, step_block);
+      else
+        step_block(0, 0, replicas);
+    } else {
+      previous_estimates_ = estimates_;
+      const auto step_block = [this](std::size_t /*lane*/, std::size_t begin,
+                                     std::size_t end) {
+        for (std::size_t n = begin; n < end; ++n) {
+          step_replica_into(n, previous_estimates_, estimates_[n],
+                            collect_stats_ ? &replica_stats_[n] : nullptr);
+          if (collect_stats_)
+            replica_stats_[n].load_delta =
+                replica_stats_[n].load - previous_estimates_[n].col_sum(n);
+        }
+      };
+      if (common::ThreadPool* p = pool(); p != nullptr)
+        p->for_blocks(replicas, step_block);
+      else
+        step_block(0, 0, replicas);
+    }
   }
 
   // Reductions stay serial and in index order (part of the determinism
   // contract; max() is order-insensitive but keeping one code path is
   // simpler to reason about than proving each reduction safe).
-  for (std::size_t n = 0; n < estimates_.size(); ++n) {
-    stats.movement = std::max(stats.movement,
-                              estimates_[n].distance(previous_estimates_[n]));
-    for (std::size_t m = n + 1; m < estimates_.size(); ++m)
-      stats.disagreement = std::max(stats.disagreement,
-                                    estimates_[n].distance(estimates_[m]));
+  for (std::size_t n = 0; n < replicas; ++n) {
+    stats.movement = std::max(
+        stats.movement,
+        sparse_ ? sparse_estimates_[n].distance(sparse_previous_[n])
+                : estimates_[n].distance(previous_estimates_[n]));
+    for (std::size_t m = n + 1; m < replicas; ++m)
+      stats.disagreement = std::max(
+          stats.disagreement,
+          sparse_ ? sparse_estimates_[n].distance(sparse_estimates_[m])
+                  : estimates_[n].distance(estimates_[m]));
   }
-  stats.bytes_exchanged =
-      bytes_per_replica_round() * estimates_.size();
-  messages_exchanged_ += estimates_.size() * (estimates_.size() - 1);
+  stats.bytes_exchanged = bytes_per_replica_round() * replicas;
+  messages_exchanged_ += replicas * (replicas - 1);
   bytes_exchanged_ += stats.bytes_exchanged;
-  messages_metric_.add(estimates_.size() * (estimates_.size() - 1));
+  messages_metric_.add(replicas * (replicas - 1));
   bytes_metric_.add(stats.bytes_exchanged);
 
   telemetry::ScopedSpan recover_span(*tracer_, "cdpsm.recover", "solver");
-  solution_into(scratch_solution_);
-  stats.objective = problem_->total_cost(scratch_solution_);
+  const double scale = std::max(problem_->total_demand(), 1.0);
+  if (sparse_) {
+    solution_into_sparse(sparse_scratch_solution_);
+    // The aggregated objective equals the disaggregated one (the fan-out
+    // preserves column sums), so this is the true E_g either way.
+    stats.objective = work_->total_cost(sparse_scratch_solution_);
+  } else {
+    solution_into(scratch_solution_);
+    stats.objective = problem_->total_cost(scratch_solution_);
+  }
   objective_metric_.set(stats.objective);
   disagreement_metric_.set(stats.disagreement);
   movement_metric_.set(stats.movement);
-  const double scale = std::max(problem_->total_demand(), 1.0);
-  if (!last_solution_.empty() &&
-      scratch_solution_.distance(last_solution_) <=
-          options_.tolerance * scale) {
+  const bool stable =
+      sparse_ ? (sparse_has_last_ &&
+                 sparse_scratch_solution_.distance(sparse_last_solution_) <=
+                     options_.tolerance * scale)
+              : (!last_solution_.empty() &&
+                 scratch_solution_.distance(last_solution_) <=
+                     options_.tolerance * scale);
+  if (stable) {
     if (++stable_rounds_ >= options_.patience) converged_ = true;
   } else {
     stable_rounds_ = 0;
   }
   // Double-buffer: the new solution becomes last_solution_, the old buffer
   // becomes next round's scratch.
-  std::swap(last_solution_, scratch_solution_);
+  if (sparse_) {
+    std::swap(sparse_last_solution_, sparse_scratch_solution_);
+    sparse_has_last_ = true;
+  } else {
+    std::swap(last_solution_, scratch_solution_);
+  }
   return stats;
 }
 
@@ -217,6 +383,17 @@ optim::ConvergenceTrace CdpsmEngine::run() {
 
 Matrix CdpsmEngine::solution() const {
   Matrix mean;
+  if (sparse_) {
+    solution_into_sparse(sparse_solution_tmp_);
+    if (aggregation_ != nullptr) {
+      thread_local Matrix aggregated_dense;
+      sparse_solution_tmp_.to_dense(aggregated_dense);
+      expand_allocation(*aggregation_, aggregated_dense, mean);
+    } else {
+      sparse_solution_tmp_.to_dense(mean);
+    }
+    return mean;
+  }
   solution_into(mean);
   return mean;
 }
@@ -228,6 +405,17 @@ void CdpsmEngine::solution_into(Matrix& out) const {
   optim::DykstraOptions dykstra;
   dykstra.pool = pool();
   optim::project_feasible(*problem_, out, dykstra);
+}
+
+void CdpsmEngine::solution_into_sparse(common::SparseAllocation& out) const {
+  if (out.empty()) out = common::SparseAllocation(work_->sparsity());
+  const double weight = 1.0 / static_cast<double>(sparse_estimates_.size());
+  out.fill(0.0);
+  for (const common::SparseAllocation& estimate : sparse_estimates_)
+    out.axpy(weight, estimate);
+  optim::DykstraOptions dykstra;
+  dykstra.pool = pool();
+  optim::project_feasible(*work_, out, dykstra);
 }
 
 void CdpsmEngine::attach_telemetry(telemetry::Telemetry& telemetry) {
@@ -242,6 +430,13 @@ void CdpsmEngine::attach_telemetry(telemetry::Telemetry& telemetry) {
 }
 
 std::size_t CdpsmEngine::bytes_per_replica_round() const {
+  if (sparse_) {
+    // Compact frames: one (position, value) pair per feasible pair of the
+    // work problem, to every peer.  Aggregation shrinks this further — the
+    // aggregated pattern has one row per equivalence class.
+    return net::wire_size_indexed_doubles(work_->sparsity()->nnz()) *
+           (sparse_estimates_.size() - 1);
+  }
   // Each replica ships its full |C|x|N| estimate to every other replica —
   // the O(|C|·|N|³) total the paper charges CDPSM with.
   return net::wire_size_matrix(problem_->num_clients(),

@@ -23,7 +23,10 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/sparse.hpp"
 #include "common/thread_pool.hpp"
+#include "core/aggregation.hpp"
+#include "core/representation.hpp"
 #include "optim/convergence.hpp"
 #include "optim/problem.hpp"
 #include "telemetry/telemetry.hpp"
@@ -52,6 +55,13 @@ struct CdpsmOptions {
   /// exact historical serial path; every other value produces bitwise
   /// identical results (static block partitioning, ordered reductions).
   std::size_t threads = 1;
+  /// Iterate storage (see core/representation.hpp).  kDense is the golden
+  /// path, byte-identical to the historical behavior.  kSparse/kAggregated
+  /// keep the estimates on the feasible pairs only; the recovered solution
+  /// agrees with the dense one at solver-tolerance level (the dense
+  /// gradient also steps latency-masked entries before the projection
+  /// re-zeroes them; the compact path never materializes them).
+  SolverRepresentation representation = SolverRepresentation::kDense;
 };
 
 /// Per-round progress of the synchronous driver.
@@ -81,11 +91,21 @@ class CdpsmEngine {
     return problem_->num_replicas();
   }
 
-  /// Replica n's current estimate.
+  /// Replica n's current estimate.  Dense representation only — the sparse
+  /// paths keep compact estimates (use solution() for the recovered point).
   [[nodiscard]] const Matrix& estimate(std::size_t n) const {
     return estimates_[n];
   }
   void set_estimate(std::size_t n, Matrix estimate);
+
+  /// The problem the rounds actually iterate on: the original instance for
+  /// kDense/kSparse, the aggregated instance for kAggregated.
+  [[nodiscard]] const optim::Problem& work_problem() const { return *work_; }
+  /// The client equivalence-class transform when representation ==
+  /// kAggregated, null otherwise.
+  [[nodiscard]] const ClientAggregation* aggregation() const {
+    return aggregation_.get();
+  }
 
   /// Pure per-replica update: consensus over `peer_estimates` (all replicas'
   /// round-k estimates, uniform weights a_j = 1/|N|), local gradient step,
@@ -153,12 +173,31 @@ class CdpsmEngine {
   void step_replica_into(std::size_t n, std::span<const Matrix> peer_estimates,
                          Matrix& out, CdpsmReplicaStats* stats) const;
   void solution_into(Matrix& out) const;
+  /// Compact-path counterparts (representation != kDense): identical round
+  /// structure on the feasible-pair storage of the work problem.
+  void project_local_sparse(std::size_t n,
+                            common::SparseAllocation& estimate) const;
+  void step_replica_into_sparse(
+      std::size_t n, std::span<const common::SparseAllocation> peer_estimates,
+      common::SparseAllocation& out, CdpsmReplicaStats* stats) const;
+  void solution_into_sparse(common::SparseAllocation& out) const;
+  [[nodiscard]] std::size_t estimate_count() const {
+    return sparse_ ? sparse_estimates_.size() : estimates_.size();
+  }
   /// The pool the parallel regions should use this round: the external one
   /// when set, else a lazily built pool per options_.threads; null = serial.
   [[nodiscard]] common::ThreadPool* pool() const;
 
   const optim::Problem* problem_;
   CdpsmOptions options_;
+  /// True iff representation != kDense — selects the compact round path.
+  bool sparse_ = false;
+  /// kAggregated state: the class transform and the aggregated instance the
+  /// rounds run on.  work_ points at aggregated_problem_ when aggregating,
+  /// else at problem_.
+  std::unique_ptr<ClientAggregation> aggregation_;
+  std::unique_ptr<optim::Problem> aggregated_problem_;
+  const optim::Problem* work_ = nullptr;
   common::ThreadPool* external_pool_ = nullptr;
   mutable std::unique_ptr<common::ThreadPool> owned_pool_;
   std::uint64_t messages_exchanged_ = 0;
@@ -180,6 +219,13 @@ class CdpsmEngine {
   std::vector<Matrix> previous_estimates_;
   Matrix scratch_solution_;
   Matrix last_solution_;
+  // Compact-path counterparts of the estimate/round-scratch state above.
+  std::vector<common::SparseAllocation> sparse_estimates_;
+  std::vector<common::SparseAllocation> sparse_previous_;
+  common::SparseAllocation sparse_scratch_solution_;
+  common::SparseAllocation sparse_last_solution_;
+  bool sparse_has_last_ = false;
+  mutable common::SparseAllocation sparse_solution_tmp_;
   std::size_t stable_rounds_ = 0;
   std::size_t rounds_ = 0;
   bool converged_ = false;

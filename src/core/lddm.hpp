@@ -26,7 +26,10 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/sparse.hpp"
 #include "common/thread_pool.hpp"
+#include "core/aggregation.hpp"
+#include "core/representation.hpp"
 #include "optim/convergence.hpp"
 #include "optim/problem.hpp"
 #include "telemetry/telemetry.hpp"
@@ -63,6 +66,12 @@ struct LddmOptions {
   /// exact historical serial path; every other value produces bitwise
   /// identical results (static block partitioning, ordered reductions).
   std::size_t threads = 1;
+  /// Iterate storage (see core/representation.hpp).  kDense is the golden
+  /// path, byte-identical to the historical behavior.  kSparse/kAggregated
+  /// keep the per-replica columns compact (one entry per feasible client)
+  /// and solve the maskless subproblem on them; the recovered solution
+  /// agrees with the dense one at solver-tolerance level.
+  SolverRepresentation representation = SolverRepresentation::kDense;
 };
 
 struct LddmRoundStats {
@@ -108,9 +117,22 @@ class LddmEngine {
   /// Warm-start replica n's primal column (prox center + recovery average).
   /// Dual-only warm starts barely help because the Cesàro average restarts
   /// from zero; carrying the primal as well is what shortens epochs.
+  /// Dense representation only (throws std::logic_error otherwise).
   void set_column_state(std::size_t n, std::span<const double> column);
+  /// Replica n's current primal column: one entry per client in the dense
+  /// representation, one entry per *feasible* client (the pattern's column
+  /// order) in the sparse/aggregated ones.
   [[nodiscard]] const std::vector<double>& column(std::size_t n) const {
     return columns_[n];
+  }
+
+  /// The problem the rounds actually iterate on: the original instance for
+  /// kDense/kSparse, the aggregated instance for kAggregated.
+  [[nodiscard]] const optim::Problem& work_problem() const { return *work_; }
+  /// The client equivalence-class transform when representation ==
+  /// kAggregated, null otherwise.
+  [[nodiscard]] const ClientAggregation* aggregation() const {
+    return aggregation_.get();
   }
 
   /// --- synchronous driver ---
@@ -172,12 +194,23 @@ class LddmEngine {
   /// solve_local without the return-by-value copy (round()'s hot path).
   void solve_local_inplace(std::size_t n, std::span<const double> multipliers);
   void solution_into(Matrix& out) const;
+  /// Compact-path primal recovery: Cesàro average scattered into a sparse
+  /// allocation over the work problem's pattern, then repaired.
+  void solution_into_sparse(common::SparseAllocation& out) const;
   /// The pool the parallel regions should use this round: the external one
   /// when set, else a lazily built pool per options_.threads; null = serial.
   [[nodiscard]] common::ThreadPool* pool() const;
 
   const optim::Problem* problem_;
   LddmOptions options_;
+  /// True iff representation != kDense — selects the compact round path.
+  bool sparse_ = false;
+  /// kAggregated state: the class transform and the aggregated instance the
+  /// rounds run on.  work_ points at aggregated_problem_ when aggregating,
+  /// else at problem_.
+  std::unique_ptr<ClientAggregation> aggregation_;
+  std::unique_ptr<optim::Problem> aggregated_problem_;
+  const optim::Problem* work_ = nullptr;
   common::ThreadPool* external_pool_ = nullptr;
   mutable std::unique_ptr<common::ThreadPool> owned_pool_;
   std::uint64_t messages_exchanged_ = 0;
@@ -192,10 +225,16 @@ class LddmEngine {
   double mu_step_ = 0.0;
   bool collect_stats_ = false;
   std::vector<LddmReplicaStats> replica_stats_;
-  std::vector<double> mu_;                     // per client
-  std::vector<std::vector<double>> columns_;   // per replica, per client
+  std::vector<double> mu_;  // per client of the work problem
+  // Per-replica primal state.  Dense: one entry per client.  Sparse /
+  // aggregated: one entry per feasible client, in the pattern's column
+  // order (masks_ is then unused — infeasible entries don't exist).
+  std::vector<std::vector<double>> columns_;
   std::vector<std::vector<double>> average_;   // running primal average
   std::vector<std::vector<double>> masks_;     // per replica feasibility
+  // Sparse-path scratch: per-replica compact gather of μ (the subproblem
+  // reads the multipliers of its feasible clients only).
+  std::vector<std::vector<double>> mu_gather_;
   // Round scratch, reused across rounds so the hot loop stays off the heap:
   // per-replica subproblem output buffers (swapped into columns_), the
   // previous columns for the movement stat, the per-client served totals,
@@ -205,6 +244,11 @@ class LddmEngine {
   std::vector<double> served_;
   Matrix scratch_solution_;
   Matrix last_solution_;
+  // Compact-path counterparts of the recovered-solution double buffer.
+  common::SparseAllocation sparse_scratch_solution_;
+  common::SparseAllocation sparse_last_solution_;
+  bool sparse_has_last_ = false;
+  mutable common::SparseAllocation sparse_solution_tmp_;
   std::size_t stable_rounds_ = 0;
   std::size_t rounds_ = 0;
   bool converged_ = false;

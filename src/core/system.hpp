@@ -29,6 +29,7 @@
 #include "core/algorithm.hpp"
 #include "core/cdpsm.hpp"
 #include "core/lddm.hpp"
+#include "core/representation.hpp"
 #include "net/network.hpp"
 #include "net/sim.hpp"
 #include "optim/problem.hpp"
@@ -107,6 +108,14 @@ struct SystemConfig {
   /// are bitwise identical for every value (static block partitioning +
   /// ordered reductions — pinned by the golden-equivalence digests).
   std::size_t solver_threads = 1;
+  /// Iterate storage for the iterative backends (lddm/cdpsm); central, rr
+  /// and donar ignore it.  kDense is the byte-identical golden path;
+  /// kSparse keeps the solver state on the latency-feasible pairs only;
+  /// kAggregated additionally collapses clients with identical feasible
+  /// sets into equivalence classes (exact — see DESIGN.md §12).  Warm
+  /// start is a dense-layout feature and is skipped for the compact
+  /// representations.
+  SolverRepresentation representation = SolverRepresentation::kDense;
   power::PowerModelParams power;
   cluster::RingConfig ring;
   /// Enable the heartbeat ring (off saves events in pure-cost benches).

@@ -27,6 +27,18 @@ void WireWriter::put_doubles(std::span<const double> values) {
   raw(values.data(), values.size() * sizeof(double));
 }
 
+void WireWriter::put_indexed_doubles(std::span<const std::uint32_t> indices,
+                                     std::span<const double> values) {
+  if (indices.size() != values.size())
+    throw std::invalid_argument(
+        "WireWriter::put_indexed_doubles: parallel spans differ in length");
+  put_u32(static_cast<std::uint32_t>(values.size()));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    put_u32(indices[i]);
+    put_double(values[i]);
+  }
+}
+
 void WireWriter::put_matrix(const Matrix& matrix) {
   put_u32(static_cast<std::uint32_t>(matrix.rows()));
   put_u32(static_cast<std::uint32_t>(matrix.cols()));
@@ -93,6 +105,21 @@ std::vector<double> WireReader::get_doubles() {
   std::vector<double> values(count);
   raw(values.data(), values.size() * sizeof(double));
   return values;
+}
+
+void WireReader::get_indexed_doubles(std::vector<std::uint32_t>& indices,
+                                     std::vector<double>& values) {
+  const std::uint32_t count = get_u32();
+  check_declared(static_cast<std::size_t>(count) * 12);
+  // Division form, like get_doubles: count * 12 can wrap size_t.
+  if (count > (bytes_.size() - offset_) / 12)
+    throw std::out_of_range("WireReader: truncated indexed double vector");
+  indices.resize(count);
+  values.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    indices[i] = get_u32();
+    values[i] = get_double();
+  }
 }
 
 Matrix WireReader::get_matrix() {

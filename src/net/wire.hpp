@@ -31,6 +31,11 @@ class WireWriter {
   void put_double(double value);
   void put_string(std::string_view value);
   void put_doubles(std::span<const double> values);
+  /// Sparse vector: u32 count, then count (u32 index, f64 value) pairs —
+  /// the frame the sparse solve paths ship instead of a dense column or
+  /// matrix.  `indices` and `values` must be the same length.
+  void put_indexed_doubles(std::span<const std::uint32_t> indices,
+                           std::span<const double> values);
   void put_matrix(const Matrix& matrix);
 
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
@@ -69,6 +74,10 @@ class WireReader {
   [[nodiscard]] double get_double();
   [[nodiscard]] std::string get_string();
   [[nodiscard]] std::vector<double> get_doubles();
+  /// Counterpart of put_indexed_doubles; fills the parallel vectors
+  /// (replacing their contents).
+  void get_indexed_doubles(std::vector<std::uint32_t>& indices,
+                           std::vector<double>& values);
   [[nodiscard]] Matrix get_matrix();
 
   [[nodiscard]] std::size_t remaining() const {
@@ -97,6 +106,10 @@ class WireReader {
 [[nodiscard]] constexpr std::size_t wire_size_matrix(std::size_t rows,
                                                      std::size_t cols) {
   return 8 + 8 * rows * cols;
+}
+[[nodiscard]] constexpr std::size_t wire_size_indexed_doubles(
+    std::size_t count) {
+  return 4 + 12 * count;
 }
 
 }  // namespace edr::net

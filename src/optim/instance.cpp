@@ -57,6 +57,49 @@ Problem make_random_instance(Rng& rng, const InstanceOptions& options) {
   throw std::runtime_error("make_random_instance: could not reach feasibility");
 }
 
+Problem make_geo_instance(Rng& rng, const GeoInstanceOptions& options) {
+  if (options.num_clients == 0 || options.num_replicas == 0)
+    throw std::invalid_argument("make_geo_instance: empty instance");
+  if (options.window == 0 || options.window > options.num_replicas)
+    throw std::invalid_argument(
+        "make_geo_instance: window must be in [1, num_replicas]");
+
+  std::vector<Megabytes> demands(options.num_clients);
+  double total_demand = 0.0;
+  for (auto& demand : demands) {
+    demand = rng.uniform(options.min_demand, options.max_demand);
+    total_demand += demand;
+  }
+
+  std::vector<ReplicaParams> replicas(options.num_replicas);
+  for (auto& rep : replicas) {
+    rep.price =
+        static_cast<double>(rng.uniform_int(options.min_price,
+                                            options.max_price));
+    rep.alpha = options.alpha;
+    rep.beta = options.beta;
+    rep.gamma = options.gamma;
+    // Any single replica can absorb the whole instance: feasible by
+    // construction, no max-flow certification needed.
+    rep.bandwidth = total_demand;
+  }
+
+  // In-window links uniform in (0, 0.9·T]; everything else pinned just
+  // above the bound so the mask has exactly window entries per client.
+  const double infeasible = options.max_latency * 1.5;
+  Matrix latency(options.num_clients, options.num_replicas, infeasible);
+  for (std::size_t c = 0; c < options.num_clients; ++c) {
+    const std::size_t start = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<int>(options.num_replicas) - 1));
+    for (std::size_t k = 0; k < options.window; ++k) {
+      const std::size_t n = (start + k) % options.num_replicas;
+      latency(c, n) = rng.uniform(0.01, options.max_latency * 0.9);
+    }
+  }
+  return Problem(std::move(demands), std::move(replicas), std::move(latency),
+                 options.max_latency);
+}
+
 std::vector<ReplicaParams> paper_replica_set() {
   const double prices[] = {1, 8, 1, 6, 1, 5, 2, 3};
   std::vector<ReplicaParams> replicas(8);

@@ -56,4 +56,13 @@ SubproblemInfo solve_replica_subproblem_into(
     std::span<const double> mask, std::span<const double> prox_center,
     double rho, std::vector<double>& allocation);
 
+/// Maskless compact form for the sparse solve paths: the inputs are already
+/// restricted to the replica's feasible clients, so every coordinate is
+/// active.  Same bisection, same bits as the masked form evaluated on the
+/// feasible subsequence.
+SubproblemInfo solve_replica_subproblem_into(
+    const ReplicaParams& params, std::span<const double> multipliers,
+    std::span<const double> prox_center, double rho,
+    std::vector<double>& allocation);
+
 }  // namespace edr::optim

@@ -44,6 +44,7 @@ Problem::Problem(std::vector<Megabytes> demands,
   for (std::size_t c = 0; c < latency_.rows(); ++c)
     for (std::size_t n = 0; n < latency_.cols(); ++n)
       feasible_(c, n) = latency_(c, n) <= max_latency_ ? 1.0 : 0.0;
+  sparsity_ = std::make_shared<common::SparsityPattern>(feasible_);
 }
 
 Megabytes Problem::total_demand() const {
@@ -57,8 +58,30 @@ std::size_t Problem::feasible_count(std::size_t c) const {
   return count;
 }
 
+namespace {
+
+/// Per-thread column-sum scratch for the objective/feasibility hot paths —
+/// these run once per solver round (and once per Dykstra iteration inside
+/// project_feasible), so they must not allocate.
+std::vector<double>& loads_scratch() {
+  thread_local std::vector<double> loads;
+  return loads;
+}
+
+}  // namespace
+
 Cents Problem::total_cost(const Matrix& allocation) const {
-  const auto loads = allocation.col_sums();
+  std::vector<double>& loads = loads_scratch();
+  allocation.col_sums(loads);
+  KahanSum total;
+  for (std::size_t n = 0; n < num_replicas(); ++n)
+    total.add(replica_cost(replicas_[n], loads[n]));
+  return total.value();
+}
+
+Cents Problem::total_cost(const common::SparseAllocation& allocation) const {
+  std::vector<double>& loads = loads_scratch();
+  allocation.col_sums(loads);
   KahanSum total;
   for (std::size_t n = 0; n < num_replicas(); ++n)
     total.add(replica_cost(replicas_[n], loads[n]));
@@ -66,7 +89,18 @@ Cents Problem::total_cost(const Matrix& allocation) const {
 }
 
 double Problem::total_energy(const Matrix& allocation) const {
-  const auto loads = allocation.col_sums();
+  std::vector<double>& loads = loads_scratch();
+  allocation.col_sums(loads);
+  KahanSum total;
+  for (std::size_t n = 0; n < num_replicas(); ++n)
+    total.add(replica_energy(replicas_[n], loads[n]));
+  return total.value();
+}
+
+double Problem::total_energy(
+    const common::SparseAllocation& allocation) const {
+  std::vector<double>& loads = loads_scratch();
+  allocation.col_sums(loads);
   KahanSum total;
   for (std::size_t n = 0; n < num_replicas(); ++n)
     total.add(replica_energy(replicas_[n], loads[n]));
@@ -125,7 +159,8 @@ FeasibilityReport check_feasibility(const Problem& problem,
   FeasibilityReport report;
   for (const double v : allocation.flat())
     if (!std::isfinite(v)) report.has_non_finite = true;
-  const auto loads = allocation.col_sums();
+  std::vector<double>& loads = loads_scratch();
+  allocation.col_sums(loads);
   for (std::size_t n = 0; n < problem.num_replicas(); ++n) {
     const double excess = loads[n] - problem.replica(n).bandwidth;
     report.max_capacity_violation =
@@ -142,6 +177,30 @@ FeasibilityReport check_feasibility(const Problem& problem,
             std::max(report.max_mask_violation, std::abs(allocation(c, n)));
     }
   }
+  report.max_capacity_violation = std::max(report.max_capacity_violation, 0.0);
+  return report;
+}
+
+FeasibilityReport check_feasibility(
+    const Problem& problem, const common::SparseAllocation& allocation) {
+  FeasibilityReport report;
+  for (const double v : allocation.values()) {
+    if (!std::isfinite(v)) report.has_non_finite = true;
+    report.max_negative = std::max(report.max_negative, -v);
+  }
+  std::vector<double>& loads = loads_scratch();
+  allocation.col_sums(loads);
+  for (std::size_t n = 0; n < problem.num_replicas(); ++n) {
+    const double excess = loads[n] - problem.replica(n).bandwidth;
+    report.max_capacity_violation =
+        std::max(report.max_capacity_violation, excess);
+  }
+  for (std::size_t c = 0; c < problem.num_clients(); ++c) {
+    const double gap = std::abs(allocation.row_sum(c) - problem.demand(c));
+    report.max_demand_violation = std::max(report.max_demand_violation, gap);
+  }
+  // Mask violations are structurally impossible: values only exist on
+  // feasible pairs.
   report.max_capacity_violation = std::max(report.max_capacity_violation, 0.0);
   return report;
 }

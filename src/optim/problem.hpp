@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/sparse.hpp"
 #include "common/units.hpp"
 
 namespace edr::optim {
@@ -91,12 +93,24 @@ class Problem {
   /// Number of replicas client c may use.
   [[nodiscard]] std::size_t feasible_count(std::size_t c) const;
 
+  /// Index structure of the feasible pairs (CSR by client + column view),
+  /// shared by every SparseAllocation over this problem.  Built once in the
+  /// constructor; null only for a default-constructed Problem.
+  [[nodiscard]] const std::shared_ptr<const common::SparsityPattern>&
+  sparsity() const {
+    return sparsity_;
+  }
+
   /// Total cost E_g(P) in cents (the paper's objective).
   [[nodiscard]] Cents total_cost(const Matrix& allocation) const;
+  [[nodiscard]] Cents total_cost(
+      const common::SparseAllocation& allocation) const;
 
   /// Total *energy* (unweighted by price) of an allocation — the paper's
   /// Fig 8(b) metric.
   [[nodiscard]] double total_energy(const Matrix& allocation) const;
+  [[nodiscard]] double total_energy(
+      const common::SparseAllocation& allocation) const;
 
   /// Gradient of the cost objective: grad(c, n) = u_n·(α_n + β_n·γ_n·s_n^{γ_n-1}).
   void cost_gradient(const Matrix& allocation, Matrix& grad) const;
@@ -116,6 +130,7 @@ class Problem {
   std::vector<ReplicaParams> replicas_;
   Matrix latency_;
   Matrix feasible_;  // 1.0 where usable, 0.0 where latency-masked
+  std::shared_ptr<const common::SparsityPattern> sparsity_;
   Milliseconds max_latency_ = 0.0;
 };
 
@@ -136,5 +151,11 @@ struct FeasibilityReport {
 /// Measure constraint violations of `allocation` against `problem`.
 [[nodiscard]] FeasibilityReport check_feasibility(const Problem& problem,
                                                   const Matrix& allocation);
+
+/// Sparse variant: mask violations are structurally impossible (the values
+/// only exist on feasible pairs), the remaining checks run on the compact
+/// storage.
+[[nodiscard]] FeasibilityReport check_feasibility(
+    const Problem& problem, const common::SparseAllocation& allocation);
 
 }  // namespace edr::optim

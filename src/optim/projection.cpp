@@ -37,16 +37,13 @@ double simplex_threshold(std::vector<double>& active, double target) {
 // times per Dykstra sweep and per solver round, so they must not touch the
 // heap after warm-up; thread-local because the demand/capacity sweeps run
 // one lane per pool thread.  Each helper owns a distinct buffer, so the
-// call chains here (project_demand_set → project_masked_simplex,
-// project_capacity_set → project_capped_nonneg → project_simplex →
-// project_masked_simplex) never alias a buffer a caller still holds.
+// call chains here (project_demand_set → project_masked_simplex or
+// project_simplex_active, project_capacity_set → project_capped_nonneg →
+// project_simplex → project_simplex_active) never alias a buffer a caller
+// still holds.
 std::vector<double>& active_scratch() {
   thread_local std::vector<double> active;
   return active;
-}
-std::vector<double>& ones_scratch() {
-  thread_local std::vector<double> ones;
-  return ones;
 }
 std::vector<double>& row_mask_scratch() {
   thread_local std::vector<double> mask;
@@ -86,9 +83,26 @@ void project_masked_simplex(std::span<double> values,
 }
 
 void project_simplex(std::span<double> values, double target) {
-  std::vector<double>& mask = ones_scratch();
-  mask.assign(values.size(), 1.0);
-  project_masked_simplex(values, mask, target);
+  project_simplex_active(values, target);
+}
+
+void project_simplex_active(std::span<double> values, double target) {
+  if (target < 0.0)
+    throw std::invalid_argument("project_simplex_active: negative target");
+
+  if (values.empty()) {
+    if (target > 0.0)
+      throw std::invalid_argument(
+          "project_simplex_active: positive target with no coordinates");
+    return;
+  }
+
+  // Same gather order and threshold as the masked form with an all-active
+  // mask, so the result is bitwise identical to it.
+  std::vector<double>& active = active_scratch();
+  active.assign(values.begin(), values.end());
+  const double tau = simplex_threshold(active, target);
+  for (double& v : values) v = std::max(v - tau, 0.0);
 }
 
 void project_capped_nonneg(std::span<double> values, double cap) {
@@ -188,6 +202,114 @@ DykstraResult project_feasible(const Problem& problem, Matrix& allocation,
   // sweep converged, any capacity violation this re-introduces is below
   // tolerance; when the iteration cap was hit, it can be arbitrary — report
   // it instead of masking it.
+  project_demand_set(problem, allocation, options.pool);
+  if (!result.converged)
+    result.capacity_residual =
+        check_feasibility(problem, allocation).max_capacity_violation;
+  return result;
+}
+
+void project_demand_set(const Problem& problem,
+                        common::SparseAllocation& allocation,
+                        common::ThreadPool* pool) {
+  assert(allocation.pattern_ptr().get() == problem.sparsity().get());
+  const auto rows = [&problem, &allocation](std::size_t /*lane*/,
+                                            std::size_t begin,
+                                            std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c)
+      project_simplex_active(allocation.row(c), problem.demand(c));
+  };
+  if (pool != nullptr && pool->lanes() > 1)
+    pool->for_blocks(problem.num_clients(), rows);
+  else
+    rows(0, 0, problem.num_clients());
+}
+
+void project_capacity_set(const Problem& problem,
+                          common::SparseAllocation& allocation,
+                          common::ThreadPool* pool) {
+  assert(allocation.pattern_ptr().get() == problem.sparsity().get());
+  const common::SparsityPattern& pattern = allocation.pattern();
+  const auto cols = [&problem, &allocation, &pattern](std::size_t /*lane*/,
+                                                      std::size_t begin,
+                                                      std::size_t end) {
+    std::vector<double>& column = column_scratch();
+    const std::span<double> values = allocation.values();
+    for (std::size_t n = begin; n < end; ++n) {
+      const auto positions = pattern.col_positions(n);
+      column.resize(positions.size());
+      for (std::size_t i = 0; i < positions.size(); ++i)
+        column[i] = values[positions[i]];
+      project_capped_nonneg(column, problem.replica(n).bandwidth);
+      for (std::size_t i = 0; i < positions.size(); ++i)
+        values[positions[i]] = column[i];
+    }
+  };
+  if (pool != nullptr && pool->lanes() > 1)
+    pool->for_blocks(problem.num_replicas(), cols);
+  else
+    cols(0, 0, problem.num_replicas());
+}
+
+namespace {
+
+void span_axpy(std::span<double> y, double a, std::span<const double> x) {
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+}
+
+double span_distance(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+DykstraResult project_feasible(const Problem& problem,
+                               common::SparseAllocation& allocation,
+                               const DykstraOptions& options) {
+  assert(allocation.pattern_ptr().get() == problem.sparsity().get());
+  // Same scheme as the dense overload, with one double per feasible pair in
+  // the correction/snapshot buffers instead of full |C|×|N| matrices.
+  thread_local std::vector<double> correction_demand;
+  thread_local std::vector<double> correction_capacity;
+  thread_local std::vector<double> previous;
+  thread_local std::vector<double> before;
+  const std::span<double> values = allocation.values();
+  correction_demand.assign(values.size(), 0.0);
+  correction_capacity.assign(values.size(), 0.0);
+  previous.assign(values.begin(), values.end());
+  before.resize(values.size());
+
+  DykstraResult result;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Demand (simplex) half-step.
+    span_axpy(values, 1.0, correction_demand);
+    std::copy(values.begin(), values.end(), before.begin());
+    project_demand_set(problem, allocation, options.pool);
+    correction_demand.assign(before.begin(), before.end());
+    span_axpy(correction_demand, -1.0, values);
+
+    // Capacity half-step.
+    span_axpy(values, 1.0, correction_capacity);
+    std::copy(values.begin(), values.end(), before.begin());
+    project_capacity_set(problem, allocation, options.pool);
+    correction_capacity.assign(before.begin(), before.end());
+    span_axpy(correction_capacity, -1.0, values);
+
+    result.iterations = iter + 1;
+    result.final_change = span_distance(values, previous);
+    previous.assign(values.begin(), values.end());
+    if (result.final_change <= options.tolerance) {
+      if (check_feasibility(problem, allocation).ok(1e-7)) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
   project_demand_set(problem, allocation, options.pool);
   if (!result.converged)
     result.capacity_residual =

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/sparse.hpp"
 
 namespace edr::common {
 class ThreadPool;
@@ -44,6 +45,14 @@ void project_masked_simplex(std::span<double> values,
 /// Project `values` in place onto the simplex {x ≥ 0, Σx = target}.
 void project_simplex(std::span<double> values, double target);
 
+/// Maskless compact form: every coordinate of `values` is active.  This is
+/// the projection the sparse paths use on a row's feasible slice; it is
+/// bitwise identical to project_masked_simplex on the dense row (the mask
+/// gather visits the feasible coordinates in the same order, so the sorted
+/// active vector — and therefore τ — is the same).  Throws like the masked
+/// form when target > 0 with no coordinates.
+void project_simplex_active(std::span<double> values, double target);
+
 /// Project `values` in place onto {x ≥ 0, Σx ≤ cap}: clip to the nonnegative
 /// orthant, then fall back to a simplex projection only if the cap binds.
 void project_capped_nonneg(std::span<double> values, double cap);
@@ -58,6 +67,19 @@ void project_demand_set(const Problem& problem, Matrix& allocation,
 /// columns) of `problem`.  A non-null `pool` splits the replica columns
 /// across its lanes; the result is bitwise independent of the lane count.
 void project_capacity_set(const Problem& problem, Matrix& allocation,
+                          common::ThreadPool* pool = nullptr);
+
+/// Sparse variants: the compact value slices already enumerate exactly the
+/// feasible coordinates, so the demand projection runs the maskless compact
+/// simplex per client row and the capacity projection gathers each replica
+/// column through the pattern's column view.  Both match the dense masked
+/// projections bitwise when the dense allocation carries exact zeros on
+/// infeasible pairs.  The allocation's pattern must be `problem.sparsity()`.
+void project_demand_set(const Problem& problem,
+                        common::SparseAllocation& allocation,
+                        common::ThreadPool* pool = nullptr);
+void project_capacity_set(const Problem& problem,
+                          common::SparseAllocation& allocation,
                           common::ThreadPool* pool = nullptr);
 
 /// Options for Dykstra's alternating projections.
@@ -88,6 +110,12 @@ struct DykstraResult {
 /// `problem` using Dykstra's algorithm (which, unlike plain alternating
 /// projections, converges to the *nearest* feasible point).
 DykstraResult project_feasible(const Problem& problem, Matrix& allocation,
+                               const DykstraOptions& options = {});
+
+/// Sparse Dykstra: identical scheme on the compact storage, with flat
+/// per-entry correction vectors instead of |C|×|N| matrices.
+DykstraResult project_feasible(const Problem& problem,
+                               common::SparseAllocation& allocation,
                                const DykstraOptions& options = {});
 
 }  // namespace edr::optim

@@ -210,7 +210,9 @@ std::optional<LiveEpochResult> LiveCoordinator::await_epoch(
       result.wall_ms = (now_seconds() - started_at) * 1e3;
       std::size_t rows = 0;
       for (const auto& [node, frame] : done) {
-        rows = std::max(rows, frame.column.size());
+        rows = std::max(rows, frame.kind == LiveEpochDone::kSparseColumn
+                                  ? std::size_t{frame.num_rows}
+                                  : frame.column.size());
         result.rounds = std::max(result.rounds, frame.rounds);
       }
       result.allocation = Matrix(rows, expected.size(), 0.0);
@@ -221,8 +223,13 @@ std::optional<LiveEpochResult> LiveCoordinator::await_epoch(
         const auto& frame = done.at(expected[col]);
         if (frame.digest != first.digest || frame.digest_mismatches != 0)
           result.digests_agree = false;
-        for (std::size_t row = 0; row < frame.column.size(); ++row)
-          result.allocation(row, col) = frame.column[row];
+        if (frame.kind == LiveEpochDone::kSparseColumn) {
+          for (std::size_t i = 0; i < frame.indices.size(); ++i)
+            result.allocation(frame.indices[i], col) = frame.column[i];
+        } else {
+          for (std::size_t row = 0; row < frame.column.size(); ++row)
+            result.allocation(row, col) = frame.column[row];
+        }
       }
       return result;
     }

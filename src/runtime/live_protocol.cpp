@@ -82,6 +82,7 @@ core::SystemConfig LiveConfig::to_system_config() const {
   cfg.warm_start = warm_start;
   cfg.retry_shed = retry_shed;
   cfg.max_retries = max_retries;
+  cfg.representation = representation;
   cfg.power = power;
   cfg.power_per_replica = power_per_replica;
   cfg.cdpsm = cdpsm;
@@ -184,6 +185,7 @@ net::Message encode_config(net::NodeId from, net::NodeId to,
   w.put_u8(config.warm_start ? 1 : 0);
   w.put_u8(config.retry_shed ? 1 : 0);
   w.put_u32(config.max_retries);
+  w.put_u8(static_cast<std::uint8_t>(config.representation));
   w.put_u64(config.seed);
   w.put_u32(static_cast<std::uint32_t>(config.replicas.size()));
   for (const auto& p : config.replicas) {
@@ -234,6 +236,12 @@ LiveConfig decode_config(const net::Message& msg,
   config.warm_start = r.get_u8() != 0;
   config.retry_shed = r.get_u8() != 0;
   config.max_retries = r.get_u32();
+  const std::uint8_t representation = r.get_u8();
+  if (representation >
+      static_cast<std::uint8_t>(core::SolverRepresentation::kAggregated))
+    throw std::out_of_range{"live: unknown solver representation"};
+  config.representation =
+      static_cast<core::SolverRepresentation>(representation);
   config.seed = r.get_u64();
   const std::uint32_t num_replicas = r.get_u32();
   if (std::size_t{num_replicas} * 40 > max_frame_bytes)
@@ -407,7 +415,13 @@ net::Message encode_epoch_done(net::NodeId from, net::NodeId to,
   w.put_u64(done.digest);
   w.put_double(done.objective);
   w.put_u32(done.digest_mismatches);
-  w.put_doubles(done.column);
+  w.put_u8(done.kind);
+  if (done.kind == LiveEpochDone::kSparseColumn) {
+    w.put_u32(done.num_rows);
+    w.put_indexed_doubles(done.indices, done.column);
+  } else {
+    w.put_doubles(done.column);
+  }
   return finish(from, to, kEpochDone, std::move(w));
 }
 
@@ -421,7 +435,19 @@ LiveEpochDone decode_epoch_done(const net::Message& msg,
   done.digest = r.get_u64();
   done.objective = r.get_double();
   done.digest_mismatches = r.get_u32();
-  done.column = r.get_doubles();
+  done.kind = r.get_u8();
+  if (done.kind == LiveEpochDone::kSparseColumn) {
+    done.num_rows = r.get_u32();
+    r.get_indexed_doubles(done.indices, done.column);
+    for (const std::uint32_t row : done.indices)
+      if (row >= done.num_rows)
+        throw std::out_of_range{"live: sparse column index out of range"};
+  } else if (done.kind == LiveEpochDone::kDenseColumn) {
+    done.column = r.get_doubles();
+    done.num_rows = static_cast<std::uint32_t>(done.column.size());
+  } else {
+    throw std::out_of_range{"live: unknown epoch-done column encoding"};
+  }
   return done;
 }
 

@@ -63,6 +63,10 @@ struct LiveConfig {
   bool warm_start = true;
   bool retry_shed = true;
   std::uint32_t max_retries = 3;
+  /// Iterate storage for the iterative backends (see SystemConfig); every
+  /// replica must use the same representation or round digests diverge.
+  core::SolverRepresentation representation =
+      core::SolverRepresentation::kDense;
   std::uint64_t seed = 1;
   std::vector<optim::ReplicaParams> replicas;
   Matrix latency;  ///< clients x replicas, ms
@@ -128,7 +132,17 @@ struct LiveEpochDone {
   std::uint64_t digest = 0;  ///< digest of the full final allocation
   double objective = 0.0;
   std::uint32_t digest_mismatches = 0;  ///< round digests that disagreed
-  /// The sender's own allocation column (length = active clients).
+  /// Column encoding.  kDenseColumn ships every row; kSparseColumn ships
+  /// only the nonzero rows as (index, value) pairs over num_rows rows —
+  /// what the compact representations use, since a replica's column has at
+  /// most nnz-of-its-feasible-set entries.  The coordinator zero-fills, so
+  /// the two encodings assemble identical allocations.
+  static constexpr std::uint8_t kDenseColumn = 0;
+  static constexpr std::uint8_t kSparseColumn = 1;
+  std::uint8_t kind = kDenseColumn;
+  std::uint32_t num_rows = 0;            ///< active clients (kSparseColumn)
+  std::vector<std::uint32_t> indices;    ///< row ids (kSparseColumn)
+  /// Dense: one value per active client.  Sparse: one value per index.
   std::vector<double> column;
 };
 

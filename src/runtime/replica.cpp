@@ -313,9 +313,24 @@ LiveReplica::EpochOutcome LiveReplica::run_epoch(const LiveStart& start) {
   for (std::size_t col = 0; col < active_replicas_.size(); ++col)
     if (active_replicas_[col] == bus_.self()) own_col = col;
   if (own_col < active_replicas_.size()) {
-    done_frame.column.resize(active_clients_.size());
-    for (std::size_t row = 0; row < active_clients_.size(); ++row)
-      done_frame.column[row] = allocation(row, own_col);
+    if (system_config_.representation !=
+        core::SolverRepresentation::kDense) {
+      // Compact column: ship only the nonzero rows as (index, value)
+      // pairs; the coordinator zero-fills, so assembly is exact.
+      done_frame.kind = LiveEpochDone::kSparseColumn;
+      done_frame.num_rows =
+          static_cast<std::uint32_t>(active_clients_.size());
+      for (std::size_t row = 0; row < active_clients_.size(); ++row) {
+        const double value = allocation(row, own_col);
+        if (value == 0.0) continue;
+        done_frame.indices.push_back(static_cast<std::uint32_t>(row));
+        done_frame.column.push_back(value);
+      }
+    } else {
+      done_frame.column.resize(active_clients_.size());
+      for (std::size_t row = 0; row < active_clients_.size(); ++row)
+        done_frame.column[row] = allocation(row, own_col);
+    }
   }
   bus_.post(encode_epoch_done(bus_.self(), coordinator_, done_frame));
   ++epochs_completed_;

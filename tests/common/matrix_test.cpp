@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 namespace edr {
 namespace {
 
@@ -84,6 +87,25 @@ TEST(Matrix, FlatSpanCoversAllEntries) {
   ASSERT_EQ(flat.size(), 4u);
   EXPECT_DOUBLE_EQ(flat[0], 1.0);
   EXPECT_DOUBLE_EQ(flat[3], 4.0);
+}
+
+TEST(Matrix, ColSumsOutParamMatchesAllocatingOverload) {
+  Matrix m(3, 2);
+  double v = 1.0;
+  for (auto& x : m.flat()) x = v++;
+  std::vector<double> sums(7, -1.0);  // wrong size on purpose
+  m.col_sums(sums);
+  ASSERT_EQ(sums.size(), 2u);
+  const auto expected = m.col_sums();
+  EXPECT_DOUBLE_EQ(sums[0], expected[0]);
+  EXPECT_DOUBLE_EQ(sums[1], expected[1]);
+}
+
+TEST(Matrix, ConstructionRejectsOverflowingShape) {
+  constexpr std::size_t kHalf = std::size_t{1} << (sizeof(std::size_t) * 4);
+  EXPECT_THROW((Matrix{kHalf, kHalf}), std::length_error);
+  Matrix m(1, 1);
+  EXPECT_THROW(m.reshape(kHalf, kHalf, 0.0), std::length_error);
 }
 
 }  // namespace

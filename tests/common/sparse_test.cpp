@@ -1,0 +1,123 @@
+#include "common/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace edr::common {
+namespace {
+
+// mask = [1 0 1; 0 1 1]  (2 clients x 3 replicas, nnz = 4)
+std::shared_ptr<const SparsityPattern> small_pattern() {
+  Matrix mask(2, 3, 0.0);
+  mask(0, 0) = 1.0;
+  mask(0, 2) = 1.0;
+  mask(1, 1) = 1.0;
+  mask(1, 2) = 1.0;
+  return std::make_shared<SparsityPattern>(mask);
+}
+
+TEST(SparsityPattern, RowAndColumnViewsAgree) {
+  const auto pattern = small_pattern();
+  EXPECT_EQ(pattern->rows(), 2u);
+  EXPECT_EQ(pattern->cols(), 3u);
+  EXPECT_EQ(pattern->nnz(), 4u);
+
+  ASSERT_EQ(pattern->row_nnz(0), 2u);
+  EXPECT_EQ(pattern->row_cols(0)[0], 0u);
+  EXPECT_EQ(pattern->row_cols(0)[1], 2u);
+  ASSERT_EQ(pattern->row_nnz(1), 2u);
+  EXPECT_EQ(pattern->row_cols(1)[0], 1u);
+  EXPECT_EQ(pattern->row_cols(1)[1], 2u);
+
+  EXPECT_EQ(pattern->col_nnz(0), 1u);
+  EXPECT_EQ(pattern->col_nnz(1), 1u);
+  ASSERT_EQ(pattern->col_nnz(2), 2u);
+  // Column entries ascend by row.
+  EXPECT_EQ(pattern->col_rows(2)[0], 0u);
+  EXPECT_EQ(pattern->col_rows(2)[1], 1u);
+  // Positions index the row-major value array: row 0 holds positions 0-1,
+  // row 1 positions 2-3.
+  EXPECT_EQ(pattern->col_positions(2)[0], 1u);
+  EXPECT_EQ(pattern->col_positions(2)[1], 3u);
+}
+
+TEST(SparsityPattern, EmptyRowsAndColumns) {
+  Matrix mask(3, 2, 0.0);
+  mask(1, 0) = 1.0;
+  const SparsityPattern pattern{mask};
+  EXPECT_EQ(pattern.nnz(), 1u);
+  EXPECT_EQ(pattern.row_nnz(0), 0u);
+  EXPECT_EQ(pattern.row_nnz(2), 0u);
+  EXPECT_EQ(pattern.col_nnz(1), 0u);
+  EXPECT_TRUE(pattern.row_cols(0).empty());
+  EXPECT_TRUE(pattern.col_rows(1).empty());
+}
+
+TEST(SparseAllocation, RowColSumsMatchDense) {
+  const auto pattern = small_pattern();
+  SparseAllocation alloc{pattern};
+  auto values = alloc.values();
+  values[0] = 1.0;  // (0,0)
+  values[1] = 2.0;  // (0,2)
+  values[2] = 3.0;  // (1,1)
+  values[3] = 4.0;  // (1,2)
+
+  EXPECT_DOUBLE_EQ(alloc.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(alloc.row_sum(1), 7.0);
+  EXPECT_DOUBLE_EQ(alloc.col_sum(0), 1.0);
+  EXPECT_DOUBLE_EQ(alloc.col_sum(1), 3.0);
+  EXPECT_DOUBLE_EQ(alloc.col_sum(2), 6.0);
+
+  std::vector<double> sums;
+  alloc.col_sums(sums);
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_DOUBLE_EQ(sums[0], 1.0);
+  EXPECT_DOUBLE_EQ(sums[1], 3.0);
+  EXPECT_DOUBLE_EQ(sums[2], 6.0);
+
+  Matrix dense;
+  alloc.to_dense(dense);
+  ASSERT_EQ(dense.rows(), 2u);
+  ASSERT_EQ(dense.cols(), 3u);
+  for (std::size_t n = 0; n < 3; ++n)
+    EXPECT_DOUBLE_EQ(dense.col_sum(n), alloc.col_sum(n));
+  EXPECT_DOUBLE_EQ(dense(0, 1), 0.0);  // structural zero
+  EXPECT_DOUBLE_EQ(dense(1, 0), 0.0);
+}
+
+TEST(SparseAllocation, DenseRoundTripPreservesFeasibleEntries) {
+  Rng rng{7};
+  Matrix mask(5, 4, 0.0);
+  Matrix dense(5, 4, 0.0);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        mask(r, c) = 1.0;
+        dense(r, c) = rng.uniform(0.0, 10.0);
+      }
+  SparseAllocation alloc{std::make_shared<SparsityPattern>(mask)};
+  alloc.from_dense(dense);
+  Matrix back;
+  alloc.to_dense(back);
+  EXPECT_DOUBLE_EQ(back.distance(dense), 0.0);
+}
+
+TEST(SparseAllocation, AxpyScaleFillDistance) {
+  const auto pattern = small_pattern();
+  SparseAllocation a{pattern};
+  SparseAllocation b{pattern};
+  a.fill(1.0);
+  b.fill(2.0);
+  a.axpy(3.0, b);
+  for (const double v : a.values()) EXPECT_DOUBLE_EQ(v, 7.0);
+  a.scale(0.5);
+  for (const double v : a.values()) EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_DOUBLE_EQ(a.distance(b), 3.0);  // sqrt(4 * 1.5^2)
+}
+
+}  // namespace
+}  // namespace edr::common

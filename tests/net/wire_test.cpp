@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "common/rng.hpp"
 
 namespace edr::net {
@@ -231,6 +234,55 @@ TEST(Wire, TakeMovesBuffer) {
   writer.put_u32(5);
   auto bytes = writer.take();
   EXPECT_EQ(bytes.size(), 4u);
+}
+
+TEST(Wire, IndexedDoublesRoundTrip) {
+  const std::vector<std::uint32_t> indices{3, 0, 41, 7};
+  const std::vector<double> values{1.5, -2.25, 0.0, 1e300};
+  WireWriter writer;
+  writer.put_indexed_doubles(indices, values);
+  EXPECT_EQ(writer.size(), wire_size_indexed_doubles(indices.size()));
+
+  WireReader reader{writer.bytes(), 1 << 20};
+  std::vector<std::uint32_t> got_indices;
+  std::vector<double> got_values;
+  reader.get_indexed_doubles(got_indices, got_values);
+  EXPECT_EQ(got_indices, indices);
+  ASSERT_EQ(got_values.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_DOUBLE_EQ(got_values[i], values[i]);
+}
+
+TEST(Wire, IndexedDoublesEmptyRoundTrip) {
+  WireWriter writer;
+  writer.put_indexed_doubles({}, {});
+  EXPECT_EQ(writer.size(), wire_size_indexed_doubles(0));
+  WireReader reader{writer.bytes(), 64};
+  std::vector<std::uint32_t> indices{9};
+  std::vector<double> values{9.0};
+  reader.get_indexed_doubles(indices, values);
+  EXPECT_TRUE(indices.empty());
+  EXPECT_TRUE(values.empty());
+}
+
+TEST(Wire, IndexedDoublesRejectsLengthMismatch) {
+  const std::vector<std::uint32_t> indices{1, 2};
+  const std::vector<double> values{1.0};
+  WireWriter writer;
+  EXPECT_THROW(writer.put_indexed_doubles(indices, values),
+               std::invalid_argument);
+}
+
+TEST(Wire, FrameCapRejectsOversizedIndexedDoubles) {
+  WireWriter writer;
+  const std::vector<std::uint32_t> indices{0, 1, 2, 3};
+  const std::vector<double> values{0.0, 1.0, 2.0, 3.0};
+  writer.put_indexed_doubles(indices, values);
+  WireReader reader{writer.bytes(), 16};  // cap below 4 + 4*12 bytes
+  std::vector<std::uint32_t> got_indices;
+  std::vector<double> got_values;
+  EXPECT_THROW(reader.get_indexed_doubles(got_indices, got_values),
+               std::length_error);
 }
 
 }  // namespace

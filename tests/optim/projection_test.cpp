@@ -297,5 +297,139 @@ TEST(ParallelProjection, MatchesSerialBitwise) {
   }
 }
 
+TEST(MaskedSimplexProjection, AllMaskedRowWithZeroTarget) {
+  // A fully masked row is legal when it carries no demand: everything is
+  // forced to the unique feasible point, the zero vector.
+  std::vector<double> v{3.0, -1.0, 0.5};
+  const std::vector<double> mask{0.0, 0.0, 0.0};
+  project_masked_simplex(v, mask, 0.0);
+  for (const double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(MaskedSimplexProjection, SingleActiveCoordinateTakesWholeTarget) {
+  std::vector<double> v{-7.0, 123.0, 2.0};
+  const std::vector<double> mask{0.0, 1.0, 0.0};
+  project_masked_simplex(v, mask, 9.5);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 9.5);
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+}
+
+TEST(ActiveSimplexProjection, MatchesMaskedProjectionBitwise) {
+  // The compact form must agree with the masked form restricted to the
+  // active coordinates — exactly, not just to tolerance: the sparse solve
+  // paths rely on this identity.
+  Rng rng{2024};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 9));
+    std::vector<double> dense(n), mask(n);
+    std::vector<double> compact;
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dense[i] = rng.uniform(-20.0, 40.0);
+      mask[i] = rng.uniform(0.0, 1.0) < 0.6 ? 1.0 : 0.0;
+      if (mask[i] != 0.0) {
+        compact.push_back(dense[i]);
+        ++active;
+      }
+    }
+    const double target = active == 0 ? 0.0 : rng.uniform(0.0, 25.0);
+    project_masked_simplex(dense, mask, target);
+    project_simplex_active(compact, target);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask[i] == 0.0) {
+        EXPECT_DOUBLE_EQ(dense[i], 0.0);
+      } else {
+        // Bitwise: the gathered active vectors and thresholds coincide.
+        EXPECT_EQ(dense[i], compact[k++]) << "trial " << trial << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(ActiveSimplexProjection, ThrowsLikeMaskedForm) {
+  std::vector<double> empty;
+  EXPECT_THROW(project_simplex_active(empty, 1.0), std::invalid_argument);
+  std::vector<double> v{1.0};
+  EXPECT_THROW(project_simplex_active(v, -0.5), std::invalid_argument);
+}
+
+// The sparse factor projections and sparse Dykstra must reproduce the dense
+// path bit for bit when the dense allocation carries exact zeros on the
+// infeasible pairs (which the dense projections maintain).
+TEST(SparseProjection, MatchesDenseMaskedProjectionBitwise) {
+  Rng rng{77};
+  for (int trial = 0; trial < 10; ++trial) {
+    InstanceOptions opts;
+    opts.num_clients = 11;
+    opts.num_replicas = 4;
+    const Problem problem = make_random_instance(rng, opts);
+
+    // Random nonnegative start supported on the feasible pairs only.
+    Matrix start(11, 4, 0.0);
+    for (std::size_t c = 0; c < 11; ++c)
+      for (std::size_t n = 0; n < 4; ++n)
+        if (problem.feasible_pair(c, n)) start(c, n) = rng.uniform(0.0, 30.0);
+
+    common::SparseAllocation sparse{problem.sparsity()};
+
+    Matrix dense_demand = start;
+    project_demand_set(problem, dense_demand);
+    sparse.from_dense(start);
+    project_demand_set(problem, sparse);
+    Matrix scattered;
+    sparse.to_dense(scattered);
+    EXPECT_TRUE(scattered == dense_demand) << "demand sweep, trial " << trial;
+
+    Matrix dense_capacity = start;
+    project_capacity_set(problem, dense_capacity);
+    sparse.from_dense(start);
+    project_capacity_set(problem, sparse);
+    sparse.to_dense(scattered);
+    EXPECT_TRUE(scattered == dense_capacity)
+        << "capacity sweep, trial " << trial;
+
+    Matrix dense_feasible = start;
+    const auto dense_result = project_feasible(problem, dense_feasible);
+    sparse.from_dense(start);
+    const auto sparse_result = project_feasible(problem, sparse);
+    sparse.to_dense(scattered);
+    EXPECT_TRUE(scattered == dense_feasible) << "Dykstra, trial " << trial;
+    EXPECT_EQ(sparse_result.iterations, dense_result.iterations);
+    EXPECT_EQ(sparse_result.converged, dense_result.converged);
+    EXPECT_DOUBLE_EQ(sparse_result.final_change, dense_result.final_change);
+    EXPECT_DOUBLE_EQ(sparse_result.capacity_residual,
+                     dense_result.capacity_residual);
+  }
+}
+
+TEST(SparseProjection, ParallelSweepsMatchSerialBitwise) {
+  Rng rng{78};
+  InstanceOptions opts;
+  opts.num_clients = 13;
+  opts.num_replicas = 5;
+  const Problem problem = make_random_instance(rng, opts);
+  common::SparseAllocation start{problem.sparsity()};
+  for (double& v : start.values()) v = rng.uniform(0.0, 30.0);
+
+  auto serial_demand = start;
+  project_demand_set(problem, serial_demand);
+  auto serial_capacity = start;
+  project_capacity_set(problem, serial_capacity);
+
+  for (const std::size_t lanes : {std::size_t{2}, std::size_t{3}}) {
+    common::ThreadPool pool{lanes};
+    auto demand = start;
+    project_demand_set(problem, demand, &pool);
+    EXPECT_DOUBLE_EQ(demand.distance(serial_demand), 0.0)
+        << "demand sweep, lanes=" << lanes;
+    auto capacity = start;
+    project_capacity_set(problem, capacity, &pool);
+    EXPECT_DOUBLE_EQ(capacity.distance(serial_capacity), 0.0)
+        << "capacity sweep, lanes=" << lanes;
+  }
+}
+
 }  // namespace
 }  // namespace edr::optim
