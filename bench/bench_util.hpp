@@ -8,12 +8,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "analysis/experiments.hpp"
 #include "common/json.hpp"
+#include "common/simd.hpp"
 #include "common/table.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
@@ -43,6 +45,14 @@ inline std::shared_ptr<telemetry::Telemetry>& shared_telemetry() {
 inline std::size_t& solver_threads() {
   static std::size_t threads = 1;
   return threads;
+}
+
+/// Kernel dispatch for benches that honor --simd=scalar|auto.  Defaults to
+/// kScalar — the byte-pinned golden path — so bench numbers stay
+/// bit-comparable run to run unless vectorization is requested explicitly.
+inline common::simd::Mode& simd_mode() {
+  static common::simd::Mode mode = common::simd::Mode::kScalar;
+  return mode;
 }
 
 /// One machine-readable result row for the --json-out emission.
@@ -101,6 +111,7 @@ class Harness {
     constexpr std::string_view kTelemetryFlag = "--telemetry-out=";
     constexpr std::string_view kJsonFlag = "--json-out";
     constexpr std::string_view kThreadsFlag = "--threads=";
+    constexpr std::string_view kSimdFlag = "--simd=";
     constexpr std::string_view kTransportFlag = "--transport=";
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg{argv[i]};
@@ -140,6 +151,16 @@ class Harness {
       } else if (arg.substr(0, kThreadsFlag.size()) == kThreadsFlag) {
         solver_threads() = static_cast<std::size_t>(
             std::strtoull(arg.data() + kThreadsFlag.size(), nullptr, 10));
+        strip = true;
+      } else if (arg.substr(0, kSimdFlag.size()) == kSimdFlag) {
+        try {
+          simd_mode() = common::simd::parse_mode(
+              std::string_view{arg}.substr(kSimdFlag.size()));
+        } catch (const std::invalid_argument&) {
+          std::fprintf(stderr, "%s: unknown --simd value in '%s' (choices: "
+                       "scalar, auto)\n", argv[0], argv[i]);
+          std::exit(2);
+        }
         strip = true;
       } else if (arg == kJsonFlag) {
         json_path_ = default_json_path(argv[0]);

@@ -29,6 +29,8 @@
 
 #include "baselines/donar_algorithm.hpp"
 #include "common/args.hpp"
+#include "common/simd.hpp"
+#include "core/algorithm_registry.hpp"
 #include "core/representation.hpp"
 #include "net/tcp_transport.hpp"
 #include "runtime/bus.hpp"
@@ -112,12 +114,23 @@ int main(int argc, char** argv) {
   std::int64_t kill_replica = -1;
 
   std::string representation = "dense";
+  std::string simd = "scalar";
+  bool list_algorithms = false;
 
   ArgParser parser{"edr_live", "live-cluster coordinator and launcher"};
-  parser.add_option("algorithm", "registry backend to run", &algorithm);
+  parser.add_option("algorithm",
+                    "registry backend to run (see --list-algorithms)",
+                    &algorithm);
+  parser.add_flag("list-algorithms",
+                  "print the registered schedulers and exit", &list_algorithms);
   parser.add_option("representation",
                     "solver iterate storage: dense|sparse|aggregated",
                     &representation);
+  parser.add_option("simd",
+                    "solver kernel dispatch shipped to every replica: "
+                    "scalar (byte-pinned, default) | auto (per-host widest "
+                    "ISA; digests diverge on mixed-ISA clusters)",
+                    &simd);
   parser.add_option("replicas", "number of replicas", &replicas);
   parser.add_option("clients", "number of clients", &clients);
   parser.add_option("epochs", "number of epochs", &epochs);
@@ -141,6 +154,21 @@ int main(int argc, char** argv) {
   parser.add_flag("json", "emit the run result as JSON", &as_json);
   if (!parser.parse(argc, argv, std::cerr))
     return parser.help_requested() ? 0 : 2;
+  baselines::register_donar_algorithm();
+  auto& registry = core::AlgorithmRegistry::instance();
+  if (list_algorithms) {
+    for (const auto& key : registry.keys())
+      std::printf("%-8s %s\n", key.c_str(),
+                  registry.description(key).c_str());
+    return 0;
+  }
+  if (!registry.contains(algorithm)) {
+    std::cerr << "edr_live: unknown --algorithm '" << algorithm
+              << "' (choices:";
+    for (const auto& key : registry.keys()) std::cerr << " " << key;
+    std::cerr << "; run --list-algorithms for descriptions)\n";
+    return 2;
+  }
   if (replicas == 0) {
     std::cerr << "edr_live: --replicas must be positive\n";
     return 2;
@@ -159,8 +187,6 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  baselines::register_donar_algorithm();
-
   auto config = runtime::make_default_live_config(
       replicas, clients, static_cast<std::uint32_t>(epochs), seed);
   config.algorithm = algorithm;
@@ -169,6 +195,13 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "edr_live: unknown --representation '" << representation
               << "' (choices: dense, sparse, aggregated)\n";
+    return 2;
+  }
+  try {
+    config.simd = common::simd::parse_mode(simd);
+  } catch (const std::invalid_argument&) {
+    std::cerr << "edr_live: unknown --simd '" << simd
+              << "' (choices: scalar, auto)\n";
     return 2;
   }
 

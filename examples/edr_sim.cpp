@@ -12,12 +12,15 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "analysis/experiments.hpp"
 #include "analysis/report_json.hpp"
 #include "baselines/donar_algorithm.hpp"
 #include "common/args.hpp"
+#include "common/simd.hpp"
 #include "common/table.hpp"
+#include "core/algorithm_registry.hpp"
 #include "core/representation.hpp"
 #include "optim/instance.hpp"
 #include "runtime/live_report.hpp"
@@ -46,15 +49,24 @@ int main(int argc, char** argv) {
   std::string telemetry_out;
   std::string transport = "sim";
   std::string representation = "dense";
+  std::string simd = "scalar";
+  bool list_algorithms = false;
 
   ArgParser parser{"edr_sim", "run the EDR system end to end"};
-  parser.add_option("algorithm", "scheduler: lddm|cdpsm|central|rr|donar",
+  parser.add_option("algorithm",
+                    "scheduler registry key (see --list-algorithms)",
                     &algorithm);
+  parser.add_flag("list-algorithms",
+                  "print the registered schedulers and exit", &list_algorithms);
   parser.add_option("representation",
                     "solver iterate storage: dense (golden path) | sparse "
                     "(latency-feasible pairs only) | aggregated (sparse + "
                     "client equivalence classes)",
                     &representation);
+  parser.add_option("simd",
+                    "solver kernel dispatch: scalar (byte-pinned golden "
+                    "path, default) | auto (widest ISA this CPU supports)",
+                    &simd);
   parser.add_option("transport",
                     "execution substrate: sim (deterministic simulator, "
                     "default) | inproc (live runtime over the threaded "
@@ -99,6 +111,29 @@ int main(int argc, char** argv) {
   if (!parser.parse(argc, argv, std::cerr))
     return parser.help_requested() ? 0 : 2;
 
+  baselines::register_donar_algorithm();
+  auto& registry = core::AlgorithmRegistry::instance();
+  if (list_algorithms) {
+    for (const auto& key : registry.keys())
+      std::printf("%-8s %s\n", key.c_str(),
+                  registry.description(key).c_str());
+    return 0;
+  }
+  if (!registry.contains(algorithm)) {
+    std::cerr << "edr_sim: unknown --algorithm '" << algorithm
+              << "' (choices:";
+    for (const auto& key : registry.keys()) std::cerr << " " << key;
+    std::cerr << "; run --list-algorithms for descriptions)\n";
+    return 2;
+  }
+  common::simd::Mode simd_mode = common::simd::Mode::kScalar;
+  try {
+    simd_mode = common::simd::parse_mode(simd);
+  } catch (const std::invalid_argument&) {
+    std::cerr << "edr_sim: unknown --simd '" << simd
+              << "' (choices: scalar, auto)\n";
+    return 2;
+  }
   if (transport != "sim" && transport != "inproc" && transport != "tcp") {
     std::cerr << "edr_sim: unknown --transport '" << transport
               << "' (choices: sim, inproc, tcp)\n";
@@ -145,13 +180,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     try {
-      baselines::register_donar_algorithm();
       const auto epochs =
           horizon < 1.0 ? 1u : static_cast<std::uint32_t>(horizon);
       auto config =
           runtime::make_default_live_config(replicas, clients, epochs, seed);
       config.algorithm = algorithm;
       config.representation = storage;
+      config.simd = simd_mode;
       runtime::LocalClusterOptions options;
       options.transport = transport == "tcp" ? runtime::LiveTransport::kTcp
                                              : runtime::LiveTransport::kInproc;
@@ -177,9 +212,6 @@ int main(int argc, char** argv) {
   }
 
   try {
-    // The key goes straight to the algorithm registry (via EdrSystem),
-    // which rejects unknown names with the list of registered ones.
-    baselines::register_donar_algorithm();
     auto cfg = analysis::paper_config(algorithm, seed);
     if (replicas != 8) {
       const auto base = optim::paper_replica_set();
@@ -191,6 +223,7 @@ int main(int argc, char** argv) {
     cfg.record_traces = traces;
     cfg.solver_threads = threads;
     cfg.representation = storage;
+    cfg.simd = simd_mode;
     if (slo_ms > 0.0) watch = true;
     if (!telemetry_out.empty() || watch)
       cfg.telemetry = telemetry::make_telemetry();

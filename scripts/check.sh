@@ -41,11 +41,14 @@ echo "== thread sanitizer build (build-tsan/, -fsanitize=thread) =="
 # the parallel projection sweeps, and the golden-equivalence sweep that runs
 # every backend at solver_threads ∈ {1, 2, hardware}. The rest of the suite
 # is single-threaded and already covered by the asan/ubsan tree above.
+# Simd covers the runtime-dispatched kernels (scalar + widest-ISA bodies);
+# Admm covers the ADMM engine including its parallel x-update sweep.
 cmake -B build-tsan -S . -DEDR_SANITIZE=tsan >/dev/null
 cmake --build build-tsan -j "$jobs" \
-  --target test_integration test_telemetry test_net test_common test_optim
+  --target test_integration test_telemetry test_net test_common test_optim \
+           test_core
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'ThreadedLddm|AtomicModeCountsAcrossThreads|Mailbox|InprocTransport|ThreadPool|ParallelProjection|SparseProjection|SparseEquivalence|GoldenEquivalence'
+  -R 'ThreadedLddm|AtomicModeCountsAcrossThreads|Mailbox|InprocTransport|ThreadPool|ParallelProjection|SparseProjection|SparseEquivalence|GoldenEquivalence|Simd|Admm'
 
 echo
 echo "== telemetry overhead smoke (fig5_convergence, telemetry disabled) =="
@@ -84,20 +87,40 @@ if ! diff -u "$smoke_dir/schema.committed" "$smoke_dir/schema.new"; then
   exit 1
 fi
 echo "bench baseline smoke: abl_scaling metric schema matches the baseline"
+# Same schema check for the SIMD kernel microbenchmark, plus its built-in
+# cross-mode agreement verdict: a vectorized kernel that computes something
+# different from the scalar golden path must fail the pre-merge check even
+# on a machine where it happens to be fast.
+build/bench/abl_kernels "--json-out=$smoke_dir/BENCH_abl_kernels.json" \
+  >/dev/null 2>&1
+bench_schema "$smoke_dir/BENCH_abl_kernels.json" > "$smoke_dir/kernels.new"
+bench_schema BENCH_abl_kernels.json > "$smoke_dir/kernels.committed"
+if ! diff -u "$smoke_dir/kernels.committed" "$smoke_dir/kernels.new"; then
+  echo "bench baseline smoke FAILED: metric schema drifted from" \
+       "BENCH_abl_kernels.json — regenerate the committed baseline" >&2
+  exit 1
+fi
+if ! grep -q '"name":"agreement","value":1' \
+    "$smoke_dir/BENCH_abl_kernels.json"; then
+  echo "bench baseline smoke FAILED: abl_kernels cross-mode agreement" \
+       "check reported divergence between scalar and auto kernels" >&2
+  exit 1
+fi
+echo "bench baseline smoke: abl_kernels schema matches, scalar/auto agree"
 
 echo
-echo "== sparse smoke (dense vs sparse vs aggregated, all five backends) =="
+echo "== sparse smoke (dense vs sparse vs aggregated, all six backends) =="
 # The representation knob changes solver storage, never the answer: the
 # non-iterative backends (central, rr, donar) must produce byte-identical
-# JSON under all three representations; the iterative engines (lddm, cdpsm)
-# follow tolerance-level-different trajectories, so their total cost must
-# agree to 2% relative. Then the 10^5-client scale test: the compact paths
+# JSON under all three representations; the iterative engines (lddm, cdpsm,
+# admm) follow tolerance-level-different trajectories, so their total cost
+# must agree to 2% relative. Then the 10^5-client scale test: the compact paths
 # must solve a geo-local instance the dense path cannot touch, inside the
 # wall budget pinned by the test itself.
 sparse_cost() {
   grep -o '"total_cost_cents":[0-9.eE+-]*' "$1" | head -1 | cut -d: -f2
 }
-for alg in central rr donar lddm cdpsm; do
+for alg in central rr donar lddm cdpsm admm; do
   for rep in dense sparse aggregated; do
     build/examples/edr_sim --algorithm "$alg" --representation "$rep" \
       --horizon 5 --json > "$smoke_dir/sparse_${alg}_${rep}.json"
@@ -115,7 +138,7 @@ for alg in central rr donar lddm cdpsm; do
       done
       echo "sparse smoke: $alg byte-identical under all representations"
       ;;
-    lddm|cdpsm)
+    lddm|cdpsm|admm)
       dense_cost="$(sparse_cost "$smoke_dir/sparse_${alg}_dense.json")"
       for rep in sparse aggregated; do
         rep_cost="$(sparse_cost "$smoke_dir/sparse_${alg}_${rep}.json")"

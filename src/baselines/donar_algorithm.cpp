@@ -113,7 +113,9 @@ void DonarAlgorithm::abort_epoch() { engine_.reset(); }
 
 void register_donar_algorithm() {
   core::AlgorithmRegistry::instance().add(
-      "donar", [](const core::SystemConfig&) {
+      "donar",
+      "Latency-first mapping-node baseline (no energy model)",
+      [](const core::SystemConfig&) {
         return std::make_unique<DonarAlgorithm>(DonarOptions{});
       });
 }

@@ -16,6 +16,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/simd.hpp"
+
 namespace edr {
 
 class Matrix {
@@ -79,13 +81,13 @@ class Matrix {
 
   /// col_sums without the per-call allocation: `sums` is resized to cols()
   /// and overwritten.  The per-round hot loops (objective, feasibility
-  /// checks) pass a reused scratch vector here.
-  void col_sums(std::vector<double>& sums) const {
+  /// checks) pass a reused scratch vector here.  The row accumulation is
+  /// element-wise across columns, so every mode produces identical bits.
+  void col_sums(std::vector<double>& sums,
+                common::simd::Mode mode = common::simd::Mode::kScalar) const {
     sums.assign(cols_, 0.0);
-    for (std::size_t r = 0; r < rows_; ++r) {
-      const double* p = data_.data() + r * cols_;
-      for (std::size_t c = 0; c < cols_; ++c) sums[c] += p[c];
-    }
+    for (std::size_t r = 0; r < rows_; ++r)
+      common::simd::accumulate(mode, sums, row(r));
   }
 
   void fill(double value) { std::ranges::fill(data_, value); }
@@ -100,26 +102,26 @@ class Matrix {
     data_.assign(size, fill);
   }
 
-  /// this += scale * other (same shape required).
-  void axpy(double scale, const Matrix& other) {
+  /// this += scale * other (same shape required).  kScalar (default) is the
+  /// byte-pinned path; kAuto may fuse multiply-add (each entry within the
+  /// product's rounding error of the scalar result).
+  void axpy(double scale, const Matrix& other,
+            common::simd::Mode mode = common::simd::Mode::kScalar) {
     assert(rows_ == other.rows_ && cols_ == other.cols_);
-    for (std::size_t i = 0; i < data_.size(); ++i)
-      data_[i] += scale * other.data_[i];
+    common::simd::axpy(mode, flat(), scale, other.flat());
   }
 
   void scale(double factor) {
     for (double& v : data_) v *= factor;
   }
 
-  /// Frobenius distance to another matrix of the same shape.
-  [[nodiscard]] double distance(const Matrix& other) const {
+  /// Frobenius distance to another matrix of the same shape.  The kAuto
+  /// reduction reorders the sum (tolerance-level, see common/simd.hpp).
+  [[nodiscard]] double distance(
+      const Matrix& other,
+      common::simd::Mode mode = common::simd::Mode::kScalar) const {
     assert(rows_ == other.rows_ && cols_ == other.cols_);
-    double sum = 0.0;
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-      const double d = data_[i] - other.data_[i];
-      sum += d * d;
-    }
-    return std::sqrt(sum);
+    return common::simd::distance(mode, flat(), other.flat());
   }
 
   [[nodiscard]] double frobenius_norm() const {

@@ -54,14 +54,10 @@ void SparseAllocation::col_sums(std::vector<double>& sums) const {
   }
 }
 
-double SparseAllocation::distance(const SparseAllocation& other) const {
+double SparseAllocation::distance(const SparseAllocation& other,
+                                  simd::Mode mode) const {
   assert(pattern_.get() == other.pattern_.get());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < values_.size(); ++i) {
-    const double d = values_[i] - other.values_[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
+  return simd::distance(mode, values(), other.values());
 }
 
 void SparseAllocation::to_dense(Matrix& out) const {

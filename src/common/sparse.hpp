@@ -151,14 +151,17 @@ class SparseAllocation {
     for (double& v : values_) v *= factor;
   }
 
-  /// this += scale * other (same pattern required).
-  void axpy(double scale, const SparseAllocation& other) {
+  /// this += scale * other (same pattern required).  kScalar (default) is
+  /// the byte-pinned path; kAuto may fuse multiply-add (each entry within
+  /// the product's rounding error of the scalar result).
+  void axpy(double scale, const SparseAllocation& other,
+            simd::Mode mode = simd::Mode::kScalar) {
     assert(pattern_.get() == other.pattern_.get());
-    for (std::size_t i = 0; i < values_.size(); ++i)
-      values_[i] += scale * other.values_[i];
+    simd::axpy(mode, values(), scale, other.values());
   }
 
-  [[nodiscard]] double distance(const SparseAllocation& other) const;
+  [[nodiscard]] double distance(const SparseAllocation& other,
+                                simd::Mode mode = simd::Mode::kScalar) const;
 
   /// Scatter into a dense rows() x cols() matrix (structural zeros
   /// elsewhere).  `out` is reshaped in place.

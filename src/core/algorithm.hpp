@@ -34,6 +34,8 @@ enum SystemMessageType : int {
   kLddmMuUpdate = 4,    ///< client -> replica: updated multiplier
   kAssignment = 5,      ///< replica -> client: final share after convergence
   kFileData = 6,        ///< replica -> client: the transfer itself
+  kAdmmShare = 7,       ///< replica -> client: x-update share this round
+  kAdmmFeedback = 8,    ///< client -> replica: consensus (z, u) feedback
 };
 
 /// One message-type id an algorithm (or the host protocol) claims, with the

@@ -11,37 +11,73 @@ namespace edr::core {
 AlgorithmRegistry& AlgorithmRegistry::instance() {
   static AlgorithmRegistry registry = [] {
     AlgorithmRegistry r;
-    r.add("lddm", [](const SystemConfig& cfg) {
-      auto options = cfg.lddm;
-      options.threads = cfg.solver_threads;
-      options.representation = cfg.representation;
-      return std::make_unique<LddmAlgorithm>(options, cfg.warm_start);
-    });
-    r.add("cdpsm", [](const SystemConfig& cfg) {
-      auto options = cfg.cdpsm;
-      options.threads = cfg.solver_threads;
-      options.representation = cfg.representation;
-      return std::make_unique<CdpsmAlgorithm>(options);
-    });
-    r.add("central", [](const SystemConfig&) {
-      return std::make_unique<CentralizedAlgorithm>();
-    });
-    r.add("rr", [](const SystemConfig&) {
-      return std::make_unique<RoundRobinAlgorithm>();
-    });
+    r.add("lddm",
+          "Lagrangian dual decomposition (paper default; client-replica "
+          "traffic only)",
+          [](const SystemConfig& cfg) {
+            auto options = cfg.lddm;
+            options.threads = cfg.solver_threads;
+            options.representation = cfg.representation;
+            options.simd = cfg.simd;
+            return std::make_unique<LddmAlgorithm>(options, cfg.warm_start);
+          });
+    r.add("cdpsm",
+          "Consensus projected subgradient (full estimate exchange between "
+          "replicas)",
+          [](const SystemConfig& cfg) {
+            auto options = cfg.cdpsm;
+            options.threads = cfg.solver_threads;
+            options.representation = cfg.representation;
+            options.simd = cfg.simd;
+            return std::make_unique<CdpsmAlgorithm>(options);
+          });
+    r.add("admm",
+          "Consensus ADMM (scaled form; fewest rounds at LDDM-class "
+          "traffic)",
+          [](const SystemConfig& cfg) {
+            auto options = cfg.admm;
+            options.threads = cfg.solver_threads;
+            options.representation = cfg.representation;
+            options.simd = cfg.simd;
+            return std::make_unique<AdmmAlgorithm>(options, cfg.warm_start);
+          });
+    r.add("central",
+          "Single-coordinator exact solve (the paper's centralized "
+          "reference)",
+          [](const SystemConfig&) {
+            return std::make_unique<CentralizedAlgorithm>();
+          });
+    r.add("rr",
+          "Energy-oblivious round-robin rotation (the paper's baseline)",
+          [](const SystemConfig&) {
+            return std::make_unique<RoundRobinAlgorithm>();
+          });
     return r;
   }();
   return registry;
 }
 
 void AlgorithmRegistry::add(std::string key, AlgorithmFactory factory) {
+  add(std::move(key), std::string(), std::move(factory));
+}
+
+void AlgorithmRegistry::add(std::string key, std::string description,
+                            AlgorithmFactory factory) {
   for (auto& entry : entries_) {
     if (entry.key == key) {
+      entry.description = std::move(description);
       entry.factory = std::move(factory);
       return;
     }
   }
-  entries_.push_back({std::move(key), std::move(factory)});
+  entries_.push_back(
+      {std::move(key), std::move(description), std::move(factory)});
+}
+
+std::string AlgorithmRegistry::description(const std::string& key) const {
+  for (const auto& entry : entries_)
+    if (entry.key == key) return entry.description;
+  return {};
 }
 
 bool AlgorithmRegistry::contains(const std::string& key) const {

@@ -26,13 +26,19 @@ class AlgorithmRegistry {
   /// The process-wide registry, with the built-in backends pre-registered.
   [[nodiscard]] static AlgorithmRegistry& instance();
 
-  /// Register (or replace) a backend under `key`.
+  /// Register (or replace) a backend under `key`, with an optional one-line
+  /// description for the CLI's --list-algorithms output.
   void add(std::string key, AlgorithmFactory factory);
+  void add(std::string key, std::string description, AlgorithmFactory factory);
 
   [[nodiscard]] bool contains(const std::string& key) const;
 
   /// Registered keys, sorted (for error messages and --help listings).
   [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// One-line description registered for `key` (empty when none was given
+  /// or the key is unknown).
+  [[nodiscard]] std::string description(const std::string& key) const;
 
   /// Instantiate the backend for `key`, configured from `cfg`.  Throws
   /// std::invalid_argument on an unknown key, listing the known ones.
@@ -42,6 +48,7 @@ class AlgorithmRegistry {
  private:
   struct Entry {
     std::string key;
+    std::string description;
     AlgorithmFactory factory;
   };
   std::vector<Entry> entries_;

@@ -18,6 +18,10 @@ constexpr MessageTypeInfo kLddmTypes[] = {
     {kLddmLoadReport, "lddm_load_report", /*round=*/true},
     {kLddmMuUpdate, "lddm_mu_update", /*round=*/true},
 };
+constexpr MessageTypeInfo kAdmmTypes[] = {
+    {kAdmmShare, "admm_share", /*round=*/true},
+    {kAdmmFeedback, "admm_feedback", /*round=*/true},
+};
 
 /// True when the run carries a flight recorder or monitor — the only case
 /// where per-replica stats collection is worth its extra copies.
@@ -273,6 +277,149 @@ Matrix LddmAlgorithm::extract_allocation(const EpochContext& ctx) {
 }
 
 void LddmAlgorithm::abort_epoch() { engine_.reset(); }
+
+// ---------- ADMM ----------
+
+AdmmAlgorithm::AdmmAlgorithm(AdmmOptions options, bool warm_start)
+    : options_(options),
+      warm_start_(warm_start),
+      pool_(make_solver_pool(options.threads)) {}
+
+std::span<const MessageTypeInfo> AdmmAlgorithm::message_types() const {
+  return kAdmmTypes;
+}
+
+void AdmmAlgorithm::begin_epoch(const EpochContext& ctx) {
+  AdmmOptions options = options_;
+  // The adapted penalty is part of the warm state: re-balancing ρ from
+  // scratch costs the first few rounds of every epoch.
+  const bool warm = warm_start_ &&
+                    options_.representation == SolverRepresentation::kDense &&
+                    !warm_z_.empty();
+  if (warm && warm_rho_ > 0.0) options.rho = warm_rho_;
+  engine_ = std::make_unique<AdmmEngine>(*ctx.problem, options);
+  if (pool_) engine_->set_thread_pool(pool_.get());
+  if (ctx.telemetry) engine_->attach_telemetry(*ctx.telemetry);
+  engine_->set_collect_replica_stats(observability_enabled(ctx));
+  last_round_ = {};
+  if (!warm) return;
+  // Gather the carried consensus/dual state for this epoch's active sets,
+  // scaling the primal to the new demand level (the scaled duals U live in
+  // primal units, so they scale the same way).
+  const auto& active_clients = *ctx.active_clients;
+  const auto& active_replicas = *ctx.active_replicas;
+  const double prev_total = warm_demand_total_;
+  const double scale_factor =
+      prev_total > 1e-9 ? ctx.problem->total_demand() / prev_total : 0.0;
+  Matrix z(active_clients.size(), active_replicas.size(), 0.0);
+  Matrix u(active_clients.size(), active_replicas.size(), 0.0);
+  for (std::size_t row = 0; row < active_clients.size(); ++row)
+    for (std::size_t col = 0; col < active_replicas.size(); ++col) {
+      z(row, col) = warm_z_(active_clients[row], active_replicas[col]) *
+                    scale_factor;
+      u(row, col) = warm_u_(active_clients[row], active_replicas[col]) *
+                    scale_factor;
+    }
+  engine_->set_state(z, u);
+}
+
+void AdmmAlgorithm::plan_round(const EpochContext& ctx,
+                               std::vector<PlannedMessage>& out) const {
+  out.clear();
+  // Replica -> client share reports, client -> replica consensus feedback —
+  // the same client↔replica-only round shape as LDDM (no replica↔replica
+  // traffic).
+  const auto& replicas = *ctx.active_replicas;
+  const auto& clients = *ctx.active_clients;
+  if (options_.representation != SolverRepresentation::kDense &&
+      engine_ != nullptr) {
+    // Compact round: traffic exists only on the work problem's feasible
+    // pairs.  Under aggregation each class exchanges through its
+    // representative client's endpoint.
+    const optim::Problem& work = engine_->work_problem();
+    const ClientAggregation* agg = engine_->aggregation();
+    const common::SparsityPattern& pattern = *work.sparsity();
+    for (std::size_t col = 0; col < replicas.size(); ++col) {
+      for (const std::uint32_t r : pattern.col_rows(col)) {
+        const std::size_t row = agg != nullptr ? agg->representative[r] : r;
+        out.push_back({Endpoint::kSolver, replicas[col], Endpoint::kClient,
+                       clients[row], kAdmmShare, 12});
+        out.push_back({Endpoint::kClient, clients[row], Endpoint::kSolver,
+                       replicas[col], kAdmmFeedback, 12});
+      }
+    }
+    return;
+  }
+  for (std::size_t col = 0; col < replicas.size(); ++col) {
+    for (std::size_t row = 0; row < clients.size(); ++row) {
+      out.push_back({Endpoint::kSolver, replicas[col], Endpoint::kClient,
+                     clients[row], kAdmmShare, 12});
+      out.push_back({Endpoint::kClient, clients[row], Endpoint::kSolver,
+                     replicas[col], kAdmmFeedback, 12});
+    }
+  }
+}
+
+bool AdmmAlgorithm::step_round(const EpochContext& ctx) {
+  (void)ctx;
+  last_round_ = engine_->round();
+  return engine_->converged() ||
+         engine_->rounds_executed() >= options_.max_rounds;
+}
+
+void AdmmAlgorithm::observe(const EpochContext& ctx,
+                            std::vector<telemetry::RoundSample>& out) {
+  if (!engine_ || engine_->replica_stats().empty()) return;
+  const auto& replicas = *ctx.active_replicas;
+  const std::size_t bytes = engine_->bytes_per_replica_round();
+  for (std::size_t col = 0; col < replicas.size(); ++col) {
+    const AdmmReplicaStats& stats = engine_->replica_stats()[col];
+    telemetry::RoundSample sample;
+    sample.round = engine_->rounds_executed();
+    sample.replica = static_cast<std::uint32_t>(replicas[col]);
+    sample.objective = stats.local_objective;
+    sample.round_objective = last_round_.objective;
+    // The dual residual is ADMM's progress signal; the primal residual
+    // plays the role disagreement plays for CDPSM (distance between the
+    // replica-owned X and the consensus Z).
+    sample.gradient_norm = last_round_.dual_residual;
+    sample.disagreement = last_round_.primal_residual;
+    sample.projection_correction = 0.0;
+    sample.capacity_slack =
+        ctx.problem->replica(col).bandwidth - stats.load;
+    sample.load = stats.load;
+    sample.load_delta = stats.load_delta;
+    sample.messages_sent = ctx.problem->num_clients();
+    sample.bytes_sent = bytes;
+    out.push_back(sample);
+  }
+}
+
+Matrix AdmmAlgorithm::extract_allocation(const EpochContext& ctx) {
+  Matrix allocation = engine_->solution();
+  if (warm_start_ &&
+      options_.representation == SolverRepresentation::kDense) {
+    const auto& active_clients = *ctx.active_clients;
+    const auto& active_replicas = *ctx.active_replicas;
+    if (warm_z_.empty()) {
+      warm_z_ = Matrix(ctx.num_clients, ctx.num_replicas, 0.0);
+      warm_u_ = Matrix(ctx.num_clients, ctx.num_replicas, 0.0);
+    }
+    const Matrix& z = engine_->consensus();
+    const Matrix& u = engine_->duals();
+    for (std::size_t row = 0; row < active_clients.size(); ++row)
+      for (std::size_t col = 0; col < active_replicas.size(); ++col) {
+        warm_z_(active_clients[row], active_replicas[col]) = z(row, col);
+        warm_u_(active_clients[row], active_replicas[col]) = u(row, col);
+      }
+    warm_rho_ = engine_->rho();
+    warm_demand_total_ = ctx.problem->total_demand();
+  }
+  engine_.reset();
+  return allocation;
+}
+
+void AdmmAlgorithm::abort_epoch() { engine_.reset(); }
 
 // ---------- Round-Robin ----------
 

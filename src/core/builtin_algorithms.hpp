@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/admm.hpp"
 #include "core/algorithm.hpp"
 #include "core/cdpsm.hpp"
 #include "core/lddm.hpp"
@@ -79,6 +80,44 @@ class LddmAlgorithm final : public DistributedAlgorithm {
   std::unique_ptr<LddmEngine> engine_;
   std::vector<double> warm_mu_;  // duals carried across epochs
   Matrix warm_columns_;          // primal loads carried across epochs
+  double warm_demand_total_ = 0.0;
+};
+
+/// Consensus ADMM (scaled form) with cross-epoch warm starts: the consensus
+/// iterate Z, the scaled duals U and the adapted penalty ρ survive between
+/// epochs and are re-injected, scaled to the new demand level.  Converges
+/// in far fewer rounds than the subgradient schemes at LDDM-class traffic
+/// (client↔replica only).
+class AdmmAlgorithm final : public DistributedAlgorithm {
+ public:
+  AdmmAlgorithm(AdmmOptions options, bool warm_start);
+
+  [[nodiscard]] const char* name() const override { return "admm"; }
+  [[nodiscard]] const char* display_name() const override {
+    return "EDR-ADMM";
+  }
+  [[nodiscard]] std::span<const MessageTypeInfo> message_types()
+      const override;
+  void begin_epoch(const EpochContext& ctx) override;
+  void plan_round(const EpochContext& ctx,
+                  std::vector<PlannedMessage>& out) const override;
+  bool step_round(const EpochContext& ctx) override;
+  void observe(const EpochContext& ctx,
+               std::vector<telemetry::RoundSample>& out) override;
+  Matrix extract_allocation(const EpochContext& ctx) override;
+  void abort_epoch() override;
+
+ private:
+  AdmmOptions options_;
+  AdmmRoundStats last_round_;
+  bool warm_start_ = true;
+  // Engines are recreated per epoch; the pool is owned here so worker
+  // threads are spawned once per run, not once per epoch (null = serial).
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::unique_ptr<AdmmEngine> engine_;
+  Matrix warm_z_;  // consensus iterate carried across epochs
+  Matrix warm_u_;  // scaled duals carried across epochs
+  double warm_rho_ = 0.0;  // adapted penalty carried across epochs
   double warm_demand_total_ = 0.0;
 };
 

@@ -15,12 +15,12 @@ namespace {
 /// Thread-local scratch: runs inside the per-replica parallel round, up to
 /// 200 times per projection, so it must not allocate.
 void project_column_capacity(const optim::Problem& problem, std::size_t n,
-                             Matrix& allocation) {
+                             Matrix& allocation, common::simd::Mode simd) {
   thread_local std::vector<double> column;
   column.resize(problem.num_clients());
   for (std::size_t c = 0; c < problem.num_clients(); ++c)
     column[c] = allocation(c, n);
-  optim::project_capped_nonneg(column, problem.replica(n).bandwidth);
+  optim::project_capped_nonneg(column, problem.replica(n).bandwidth, simd);
   for (std::size_t c = 0; c < problem.num_clients(); ++c)
     allocation(c, n) = column[c];
 }
@@ -28,29 +28,17 @@ void project_column_capacity(const optim::Problem& problem, std::size_t n,
 /// Compact counterpart: project column n of a sparse allocation through the
 /// pattern's column view.
 void project_column_capacity(const optim::Problem& problem, std::size_t n,
-                             common::SparseAllocation& allocation) {
+                             common::SparseAllocation& allocation,
+                             common::simd::Mode simd) {
   thread_local std::vector<double> column;
   const auto positions = allocation.pattern().col_positions(n);
   const std::span<double> values = allocation.values();
   column.resize(positions.size());
   for (std::size_t i = 0; i < positions.size(); ++i)
     column[i] = values[positions[i]];
-  optim::project_capped_nonneg(column, problem.replica(n).bandwidth);
+  optim::project_capped_nonneg(column, problem.replica(n).bandwidth, simd);
   for (std::size_t i = 0; i < positions.size(); ++i)
     values[positions[i]] = column[i];
-}
-
-void span_axpy(std::span<double> y, double a, std::span<const double> x) {
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
-}
-
-double span_distance(std::span<const double> a, std::span<const double> b) {
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
 }
 
 }  // namespace
@@ -115,24 +103,24 @@ void CdpsmEngine::project_local(std::size_t n, Matrix& estimate) const {
   corr_capacity.reshape(estimate.rows(), estimate.cols(), 0.0);
   previous = estimate;
   for (std::size_t iter = 0; iter < 200; ++iter) {
-    estimate.axpy(1.0, corr_demand);
+    estimate.axpy(1.0, corr_demand, options_.simd);
     before = estimate;
-    optim::project_demand_set(*problem_, estimate);
+    optim::project_demand_set(*problem_, estimate, nullptr, options_.simd);
     corr_demand = before;
-    corr_demand.axpy(-1.0, estimate);
+    corr_demand.axpy(-1.0, estimate, options_.simd);
 
-    estimate.axpy(1.0, corr_capacity);
+    estimate.axpy(1.0, corr_capacity, options_.simd);
     before = estimate;
-    project_column_capacity(*problem_, n, estimate);
+    project_column_capacity(*problem_, n, estimate, options_.simd);
     corr_capacity = before;
-    corr_capacity.axpy(-1.0, estimate);
+    corr_capacity.axpy(-1.0, estimate, options_.simd);
 
-    const double change = estimate.distance(previous);
+    const double change = estimate.distance(previous, options_.simd);
     previous = estimate;
     if (change <= 1e-11) break;
   }
   // End on the demand set so row sums are exact.
-  optim::project_demand_set(*problem_, estimate);
+  optim::project_demand_set(*problem_, estimate, nullptr, options_.simd);
 }
 
 Matrix CdpsmEngine::step_replica(std::size_t n,
@@ -160,24 +148,25 @@ void CdpsmEngine::project_local_sparse(
   previous.assign(values.begin(), values.end());
   before.resize(values.size());
   for (std::size_t iter = 0; iter < 200; ++iter) {
-    span_axpy(values, 1.0, corr_demand);
+    common::simd::axpy(options_.simd, values, 1.0, corr_demand);
     std::copy(values.begin(), values.end(), before.begin());
-    optim::project_demand_set(*work_, estimate);
+    optim::project_demand_set(*work_, estimate, nullptr, options_.simd);
     corr_demand.assign(before.begin(), before.end());
-    span_axpy(corr_demand, -1.0, values);
+    common::simd::axpy(options_.simd, corr_demand, -1.0, values);
 
-    span_axpy(values, 1.0, corr_capacity);
+    common::simd::axpy(options_.simd, values, 1.0, corr_capacity);
     std::copy(values.begin(), values.end(), before.begin());
-    project_column_capacity(*work_, n, estimate);
+    project_column_capacity(*work_, n, estimate, options_.simd);
     corr_capacity.assign(before.begin(), before.end());
-    span_axpy(corr_capacity, -1.0, values);
+    common::simd::axpy(options_.simd, corr_capacity, -1.0, values);
 
-    const double change = span_distance(values, previous);
+    const double change = common::simd::distance(options_.simd, values,
+                                                 previous);
     previous.assign(values.begin(), values.end());
     if (change <= 1e-11) break;
   }
   // End on the demand set so row sums are exact.
-  optim::project_demand_set(*work_, estimate);
+  optim::project_demand_set(*work_, estimate, nullptr, options_.simd);
 }
 
 void CdpsmEngine::step_replica_into_sparse(
@@ -191,7 +180,7 @@ void CdpsmEngine::step_replica_into_sparse(
   if (out.empty()) out = common::SparseAllocation(work_->sparsity());
   out.fill(0.0);
   for (const common::SparseAllocation& peer : peer_estimates)
-    out.axpy(weight, peer);
+    out.axpy(weight, peer, options_.simd);
 
   // Gradient of the local objective E_n on the feasible entries of column n
   // only — the dense path also steps the latency-masked entries (the
@@ -216,7 +205,8 @@ void CdpsmEngine::step_replica_into_sparse(
     thread_local std::vector<double> pre_projection;
     pre_projection.assign(values.begin(), values.end());
     project_local_sparse(n, out);
-    stats->projection_correction = span_distance(values, pre_projection);
+    stats->projection_correction =
+        common::simd::distance(options_.simd, values, pre_projection);
     stats->load = out.col_sum(n);
     return;
   }
@@ -235,7 +225,8 @@ void CdpsmEngine::step_replica_into(std::size_t n,
   // complete exchange graph the paper uses).
   const double weight = 1.0 / static_cast<double>(peer_estimates.size());
   out.reshape(problem_->num_clients(), problem_->num_replicas(), 0.0);
-  for (const Matrix& peer : peer_estimates) out.axpy(weight, peer);
+  for (const Matrix& peer : peer_estimates)
+    out.axpy(weight, peer, options_.simd);
 
   // Gradient of the *local* objective E_n: only column n is non-zero.
   const double load = out.col_sum(n);
@@ -255,7 +246,7 @@ void CdpsmEngine::step_replica_into(std::size_t n,
         std::sqrt(static_cast<double>(problem_->num_clients()));
     const Matrix pre_projection = out;
     project_local(n, out);
-    stats->projection_correction = out.distance(pre_projection);
+    stats->projection_correction = out.distance(pre_projection, options_.simd);
     stats->load = out.col_sum(n);
     return;
   }
@@ -318,13 +309,15 @@ CdpsmRoundStats CdpsmEngine::round() {
   for (std::size_t n = 0; n < replicas; ++n) {
     stats.movement = std::max(
         stats.movement,
-        sparse_ ? sparse_estimates_[n].distance(sparse_previous_[n])
-                : estimates_[n].distance(previous_estimates_[n]));
+        sparse_
+            ? sparse_estimates_[n].distance(sparse_previous_[n], options_.simd)
+            : estimates_[n].distance(previous_estimates_[n], options_.simd));
     for (std::size_t m = n + 1; m < replicas; ++m)
       stats.disagreement = std::max(
           stats.disagreement,
-          sparse_ ? sparse_estimates_[n].distance(sparse_estimates_[m])
-                  : estimates_[n].distance(estimates_[m]));
+          sparse_ ? sparse_estimates_[n].distance(sparse_estimates_[m],
+                                                  options_.simd)
+                  : estimates_[n].distance(estimates_[m], options_.simd));
   }
   stats.bytes_exchanged = bytes_per_replica_round() * replicas;
   messages_exchanged_ += replicas * (replicas - 1);
@@ -348,10 +341,11 @@ CdpsmRoundStats CdpsmEngine::round() {
   movement_metric_.set(stats.movement);
   const bool stable =
       sparse_ ? (sparse_has_last_ &&
-                 sparse_scratch_solution_.distance(sparse_last_solution_) <=
+                 sparse_scratch_solution_.distance(
+                     sparse_last_solution_, options_.simd) <=
                      options_.tolerance * scale)
               : (!last_solution_.empty() &&
-                 scratch_solution_.distance(last_solution_) <=
+                 scratch_solution_.distance(last_solution_, options_.simd) <=
                      options_.tolerance * scale);
   if (stable) {
     if (++stable_rounds_ >= options_.patience) converged_ = true;
@@ -401,9 +395,11 @@ Matrix CdpsmEngine::solution() const {
 void CdpsmEngine::solution_into(Matrix& out) const {
   const double weight = 1.0 / static_cast<double>(estimates_.size());
   out.reshape(problem_->num_clients(), problem_->num_replicas(), 0.0);
-  for (const Matrix& estimate : estimates_) out.axpy(weight, estimate);
+  for (const Matrix& estimate : estimates_)
+    out.axpy(weight, estimate, options_.simd);
   optim::DykstraOptions dykstra;
   dykstra.pool = pool();
+  dykstra.simd = options_.simd;
   optim::project_feasible(*problem_, out, dykstra);
 }
 
@@ -412,9 +408,10 @@ void CdpsmEngine::solution_into_sparse(common::SparseAllocation& out) const {
   const double weight = 1.0 / static_cast<double>(sparse_estimates_.size());
   out.fill(0.0);
   for (const common::SparseAllocation& estimate : sparse_estimates_)
-    out.axpy(weight, estimate);
+    out.axpy(weight, estimate, options_.simd);
   optim::DykstraOptions dykstra;
   dykstra.pool = pool();
+  dykstra.simd = options_.simd;
   optim::project_feasible(*work_, out, dykstra);
 }
 

@@ -117,8 +117,7 @@ void LddmEngine::solve_local_inplace(std::size_t n,
   std::swap(columns_[n], solve_scratch_[n]);
   // Running average for primal recovery (Cesàro average of iterates).
   const double k = static_cast<double>(rounds_ + 1);
-  for (std::size_t c = 0; c < columns_[n].size(); ++c)
-    average_[n][c] += (columns_[n][c] - average_[n][c]) / k;
+  common::simd::cesaro_step(options_.simd, average_[n], columns_[n], k);
 }
 
 void LddmEngine::set_multipliers(std::span<const double> mu) {
@@ -192,7 +191,7 @@ LddmRoundStats LddmEngine::round() {
     }
   } else {
     for (std::size_t n = 0; n < replicas; ++n)
-      for (std::size_t c = 0; c < clients; ++c) served_[c] += columns_[n][c];
+      common::simd::accumulate(options_.simd, served_, columns_[n]);
   }
   for (std::size_t c = 0; c < clients; ++c) {
     update_multiplier(c, served_[c]);
@@ -201,16 +200,12 @@ LddmRoundStats LddmEngine::round() {
   }
 
   for (std::size_t n = 0; n < replicas; ++n) {
-    double sq = 0.0;
     // Compact columns hold col_nnz(n) entries, dense ones `clients`; the
     // skipped infeasible entries are exact zeros in dense storage, so the
     // movement norm is identical either way.
-    const std::size_t len = columns_[n].size();
-    for (std::size_t i = 0; i < len; ++i) {
-      const double d = columns_[n][i] - previous_columns_[n][i];
-      sq += d * d;
-    }
-    stats.movement = std::max(stats.movement, std::sqrt(sq));
+    stats.movement = std::max(
+        stats.movement, common::simd::distance(options_.simd, columns_[n],
+                                               previous_columns_[n]));
   }
 
   stats.round = ++rounds_;
@@ -287,10 +282,11 @@ LddmRoundStats LddmEngine::round() {
   const double scale = std::max(problem_->total_demand(), 1.0);
   const bool stable =
       sparse_ ? (sparse_has_last_ &&
-                 sparse_scratch_solution_.distance(sparse_last_solution_) <=
+                 sparse_scratch_solution_.distance(
+                     sparse_last_solution_, options_.simd) <=
                      options_.tolerance * scale)
               : (!last_solution_.empty() &&
-                 scratch_solution_.distance(last_solution_) <=
+                 scratch_solution_.distance(last_solution_, options_.simd) <=
                      options_.tolerance * scale);
   if (stable) {
     if (++stable_rounds_ >= options_.patience) converged_ = true;
@@ -349,6 +345,7 @@ void LddmEngine::solution_into_sparse(common::SparseAllocation& out) const {
   }
   optim::DykstraOptions dykstra;
   dykstra.pool = pool();
+  dykstra.simd = options_.simd;
   optim::project_feasible(*work_, out, dykstra);
 }
 
@@ -364,6 +361,7 @@ void LddmEngine::solution_into(Matrix& out) const {
     for (std::size_t c = 0; c < clients; ++c) out(c, n) = average_[n][c];
   optim::DykstraOptions dykstra;
   dykstra.pool = pool();
+  dykstra.simd = options_.simd;
   optim::project_feasible(*problem_, out, dykstra);
 }
 

@@ -26,6 +26,8 @@
 #include "cluster/ring.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "core/admm.hpp"
 #include "core/algorithm.hpp"
 #include "core/cdpsm.hpp"
 #include "core/lddm.hpp"
@@ -102,6 +104,8 @@ struct SystemConfig {
                      .patience = 3};
   LddmOptions lddm{.rho = 2.0, .mu_step = 0.0, .mu_step_factor = 3.0,
                    .max_rounds = 300, .tolerance = 1e-4, .patience = 3};
+  AdmmOptions admm{.rho = 1.0, .max_rounds = 300, .tolerance = 1e-4,
+                   .patience = 3};
   /// Worker threads for the deterministic parallel solve engine (projection
   /// row/column sweeps, per-replica CDPSM/LDDM steps).  0 = all hardware
   /// threads.  The default 1 is the exact historical serial path; results
@@ -116,6 +120,11 @@ struct SystemConfig {
   /// start is a dense-layout feature and is skipped for the compact
   /// representations.
   SolverRepresentation representation = SolverRepresentation::kDense;
+  /// Kernel dispatch for the solver hot loops (common/simd.hpp): kScalar —
+  /// the default — is the byte-pinned golden path (digests identical to the
+  /// historical serial code); kAuto vectorizes with the running CPU's
+  /// widest ISA (SSE2/AVX2+FMA) at tolerance-level numerical agreement.
+  common::simd::Mode simd = common::simd::Mode::kScalar;
   power::PowerModelParams power;
   cluster::RingConfig ring;
   /// Enable the heartbeat ring (off saves events in pure-cost benches).

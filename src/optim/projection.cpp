@@ -57,7 +57,8 @@ std::vector<double>& column_scratch() {
 }  // namespace
 
 void project_masked_simplex(std::span<double> values,
-                            std::span<const double> mask, double target) {
+                            std::span<const double> mask, double target,
+                            common::simd::Mode simd) {
   assert(values.size() == mask.size());
   if (target < 0.0)
     throw std::invalid_argument("project_masked_simplex: negative target");
@@ -77,16 +78,16 @@ void project_masked_simplex(std::span<double> values,
   }
 
   const double tau = simplex_threshold(active, target);
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    values[i] = mask[i] != 0.0 ? std::max(values[i] - tau, 0.0) : 0.0;
-  }
+  common::simd::masked_sub_clamp(simd, values, mask, tau);
 }
 
-void project_simplex(std::span<double> values, double target) {
-  project_simplex_active(values, target);
+void project_simplex(std::span<double> values, double target,
+                     common::simd::Mode simd) {
+  project_simplex_active(values, target, simd);
 }
 
-void project_simplex_active(std::span<double> values, double target) {
+void project_simplex_active(std::span<double> values, double target,
+                            common::simd::Mode simd) {
   if (target < 0.0)
     throw std::invalid_argument("project_simplex_active: negative target");
 
@@ -102,30 +103,28 @@ void project_simplex_active(std::span<double> values, double target) {
   std::vector<double>& active = active_scratch();
   active.assign(values.begin(), values.end());
   const double tau = simplex_threshold(active, target);
-  for (double& v : values) v = std::max(v - tau, 0.0);
+  common::simd::sub_clamp(simd, values, tau);
 }
 
-void project_capped_nonneg(std::span<double> values, double cap) {
-  double total = 0.0;
-  for (double& v : values) {
-    v = std::max(v, 0.0);
-    total += v;
-  }
+void project_capped_nonneg(std::span<double> values, double cap,
+                           common::simd::Mode simd) {
+  const double total = common::simd::clip_nonneg_sum(simd, values);
   if (total <= cap) return;
-  project_simplex(values, cap);
+  project_simplex(values, cap, simd);
 }
 
 void project_demand_set(const Problem& problem, Matrix& allocation,
-                        common::ThreadPool* pool) {
-  const auto rows = [&problem, &allocation](std::size_t /*lane*/,
-                                            std::size_t begin,
-                                            std::size_t end) {
+                        common::ThreadPool* pool, common::simd::Mode simd) {
+  const auto rows = [&problem, &allocation, simd](std::size_t /*lane*/,
+                                                  std::size_t begin,
+                                                  std::size_t end) {
     std::vector<double>& mask = row_mask_scratch();
     mask.resize(problem.num_replicas());
     for (std::size_t c = begin; c < end; ++c) {
       for (std::size_t n = 0; n < problem.num_replicas(); ++n)
         mask[n] = problem.feasible_pair(c, n) ? 1.0 : 0.0;
-      project_masked_simplex(allocation.row(c), mask, problem.demand(c));
+      project_masked_simplex(allocation.row(c), mask, problem.demand(c),
+                             simd);
     }
   };
   if (pool != nullptr && pool->lanes() > 1)
@@ -135,16 +134,16 @@ void project_demand_set(const Problem& problem, Matrix& allocation,
 }
 
 void project_capacity_set(const Problem& problem, Matrix& allocation,
-                          common::ThreadPool* pool) {
-  const auto cols = [&problem, &allocation](std::size_t /*lane*/,
-                                            std::size_t begin,
-                                            std::size_t end) {
+                          common::ThreadPool* pool, common::simd::Mode simd) {
+  const auto cols = [&problem, &allocation, simd](std::size_t /*lane*/,
+                                                  std::size_t begin,
+                                                  std::size_t end) {
     std::vector<double>& column = column_scratch();
     column.resize(problem.num_clients());
     for (std::size_t n = begin; n < end; ++n) {
       for (std::size_t c = 0; c < problem.num_clients(); ++c)
         column[c] = allocation(c, n);
-      project_capped_nonneg(column, problem.replica(n).bandwidth);
+      project_capped_nonneg(column, problem.replica(n).bandwidth, simd);
       for (std::size_t c = 0; c < problem.num_clients(); ++c)
         allocation(c, n) = column[c];
     }
@@ -172,21 +171,21 @@ DykstraResult project_feasible(const Problem& problem, Matrix& allocation,
   DykstraResult result;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Demand (simplex) half-step.
-    allocation.axpy(1.0, correction_demand);
+    allocation.axpy(1.0, correction_demand, options.simd);
     before = allocation;
-    project_demand_set(problem, allocation, options.pool);
+    project_demand_set(problem, allocation, options.pool, options.simd);
     correction_demand = before;
-    correction_demand.axpy(-1.0, allocation);
+    correction_demand.axpy(-1.0, allocation, options.simd);
 
     // Capacity half-step.
-    allocation.axpy(1.0, correction_capacity);
+    allocation.axpy(1.0, correction_capacity, options.simd);
     before = allocation;
-    project_capacity_set(problem, allocation, options.pool);
+    project_capacity_set(problem, allocation, options.pool, options.simd);
     correction_capacity = before;
-    correction_capacity.axpy(-1.0, allocation);
+    correction_capacity.axpy(-1.0, allocation, options.simd);
 
     result.iterations = iter + 1;
-    result.final_change = allocation.distance(previous);
+    result.final_change = allocation.distance(previous, options.simd);
     previous = allocation;
     if (result.final_change <= options.tolerance) {
       // One extra criterion: the iterate must actually satisfy the demand
@@ -202,7 +201,7 @@ DykstraResult project_feasible(const Problem& problem, Matrix& allocation,
   // sweep converged, any capacity violation this re-introduces is below
   // tolerance; when the iteration cap was hit, it can be arbitrary — report
   // it instead of masking it.
-  project_demand_set(problem, allocation, options.pool);
+  project_demand_set(problem, allocation, options.pool, options.simd);
   if (!result.converged)
     result.capacity_residual =
         check_feasibility(problem, allocation).max_capacity_violation;
@@ -211,13 +210,13 @@ DykstraResult project_feasible(const Problem& problem, Matrix& allocation,
 
 void project_demand_set(const Problem& problem,
                         common::SparseAllocation& allocation,
-                        common::ThreadPool* pool) {
+                        common::ThreadPool* pool, common::simd::Mode simd) {
   assert(allocation.pattern_ptr().get() == problem.sparsity().get());
-  const auto rows = [&problem, &allocation](std::size_t /*lane*/,
-                                            std::size_t begin,
-                                            std::size_t end) {
+  const auto rows = [&problem, &allocation, simd](std::size_t /*lane*/,
+                                                  std::size_t begin,
+                                                  std::size_t end) {
     for (std::size_t c = begin; c < end; ++c)
-      project_simplex_active(allocation.row(c), problem.demand(c));
+      project_simplex_active(allocation.row(c), problem.demand(c), simd);
   };
   if (pool != nullptr && pool->lanes() > 1)
     pool->for_blocks(problem.num_clients(), rows);
@@ -227,12 +226,12 @@ void project_demand_set(const Problem& problem,
 
 void project_capacity_set(const Problem& problem,
                           common::SparseAllocation& allocation,
-                          common::ThreadPool* pool) {
+                          common::ThreadPool* pool, common::simd::Mode simd) {
   assert(allocation.pattern_ptr().get() == problem.sparsity().get());
   const common::SparsityPattern& pattern = allocation.pattern();
-  const auto cols = [&problem, &allocation, &pattern](std::size_t /*lane*/,
-                                                      std::size_t begin,
-                                                      std::size_t end) {
+  const auto cols = [&problem, &allocation, &pattern,
+                     simd](std::size_t /*lane*/, std::size_t begin,
+                           std::size_t end) {
     std::vector<double>& column = column_scratch();
     const std::span<double> values = allocation.values();
     for (std::size_t n = begin; n < end; ++n) {
@@ -240,7 +239,7 @@ void project_capacity_set(const Problem& problem,
       column.resize(positions.size());
       for (std::size_t i = 0; i < positions.size(); ++i)
         column[i] = values[positions[i]];
-      project_capped_nonneg(column, problem.replica(n).bandwidth);
+      project_capped_nonneg(column, problem.replica(n).bandwidth, simd);
       for (std::size_t i = 0; i < positions.size(); ++i)
         values[positions[i]] = column[i];
     }
@@ -250,23 +249,6 @@ void project_capacity_set(const Problem& problem,
   else
     cols(0, 0, problem.num_replicas());
 }
-
-namespace {
-
-void span_axpy(std::span<double> y, double a, std::span<const double> x) {
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
-}
-
-double span_distance(std::span<const double> a, std::span<const double> b) {
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
-}
-
-}  // namespace
 
 DykstraResult project_feasible(const Problem& problem,
                                common::SparseAllocation& allocation,
@@ -287,21 +269,22 @@ DykstraResult project_feasible(const Problem& problem,
   DykstraResult result;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Demand (simplex) half-step.
-    span_axpy(values, 1.0, correction_demand);
+    common::simd::axpy(options.simd, values, 1.0, correction_demand);
     std::copy(values.begin(), values.end(), before.begin());
-    project_demand_set(problem, allocation, options.pool);
+    project_demand_set(problem, allocation, options.pool, options.simd);
     correction_demand.assign(before.begin(), before.end());
-    span_axpy(correction_demand, -1.0, values);
+    common::simd::axpy(options.simd, correction_demand, -1.0, values);
 
     // Capacity half-step.
-    span_axpy(values, 1.0, correction_capacity);
+    common::simd::axpy(options.simd, values, 1.0, correction_capacity);
     std::copy(values.begin(), values.end(), before.begin());
-    project_capacity_set(problem, allocation, options.pool);
+    project_capacity_set(problem, allocation, options.pool, options.simd);
     correction_capacity.assign(before.begin(), before.end());
-    span_axpy(correction_capacity, -1.0, values);
+    common::simd::axpy(options.simd, correction_capacity, -1.0, values);
 
     result.iterations = iter + 1;
-    result.final_change = span_distance(values, previous);
+    result.final_change = common::simd::distance(options.simd, values,
+                                                 previous);
     previous.assign(values.begin(), values.end());
     if (result.final_change <= options.tolerance) {
       if (check_feasibility(problem, allocation).ok(1e-7)) {
@@ -310,7 +293,7 @@ DykstraResult project_feasible(const Problem& problem,
       }
     }
   }
-  project_demand_set(problem, allocation, options.pool);
+  project_demand_set(problem, allocation, options.pool, options.simd);
   if (!result.converged)
     result.capacity_residual =
         check_feasibility(problem, allocation).max_capacity_violation;

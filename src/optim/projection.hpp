@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/simd.hpp"
 #include "common/sparse.hpp"
 
 namespace edr::common {
@@ -39,11 +40,18 @@ class Problem;
 /// to zero).  `target` must be ≥ 0 and the mask must have at least one active
 /// coordinate when target > 0.  O(k log k) via the sort-and-threshold method
 /// of Held/Wolfe/Crowder.
-void project_masked_simplex(std::span<double> values,
-                            std::span<const double> mask, double target);
+/// All projections take a SIMD dispatch mode for their apply/clip loops;
+/// kScalar (the default everywhere) is the byte-pinned golden path and
+/// kAuto vectorizes the element-wise steps (see common/simd.hpp for the
+/// exactness contract — the apply loops are bitwise mode-independent, the
+/// capped projection's cap test uses a reduction and is tolerance-level).
+void project_masked_simplex(
+    std::span<double> values, std::span<const double> mask, double target,
+    common::simd::Mode simd = common::simd::Mode::kScalar);
 
 /// Project `values` in place onto the simplex {x ≥ 0, Σx = target}.
-void project_simplex(std::span<double> values, double target);
+void project_simplex(std::span<double> values, double target,
+                     common::simd::Mode simd = common::simd::Mode::kScalar);
 
 /// Maskless compact form: every coordinate of `values` is active.  This is
 /// the projection the sparse paths use on a row's feasible slice; it is
@@ -51,23 +59,31 @@ void project_simplex(std::span<double> values, double target);
 /// gather visits the feasible coordinates in the same order, so the sorted
 /// active vector — and therefore τ — is the same).  Throws like the masked
 /// form when target > 0 with no coordinates.
-void project_simplex_active(std::span<double> values, double target);
+void project_simplex_active(
+    std::span<double> values, double target,
+    common::simd::Mode simd = common::simd::Mode::kScalar);
 
 /// Project `values` in place onto {x ≥ 0, Σx ≤ cap}: clip to the nonnegative
 /// orthant, then fall back to a simplex projection only if the cap binds.
-void project_capped_nonneg(std::span<double> values, double cap);
+void project_capped_nonneg(std::span<double> values, double cap,
+                           common::simd::Mode simd =
+                               common::simd::Mode::kScalar);
 
 /// Project `allocation` in place onto the demand set A (per-client masked
 /// simplices) of `problem`.  A non-null `pool` splits the client rows across
 /// its lanes; the result is bitwise independent of the lane count.
 void project_demand_set(const Problem& problem, Matrix& allocation,
-                        common::ThreadPool* pool = nullptr);
+                        common::ThreadPool* pool = nullptr,
+                        common::simd::Mode simd =
+                            common::simd::Mode::kScalar);
 
 /// Project `allocation` in place onto the capacity set B (per-replica capped
 /// columns) of `problem`.  A non-null `pool` splits the replica columns
 /// across its lanes; the result is bitwise independent of the lane count.
 void project_capacity_set(const Problem& problem, Matrix& allocation,
-                          common::ThreadPool* pool = nullptr);
+                          common::ThreadPool* pool = nullptr,
+                          common::simd::Mode simd =
+                              common::simd::Mode::kScalar);
 
 /// Sparse variants: the compact value slices already enumerate exactly the
 /// feasible coordinates, so the demand projection runs the maskless compact
@@ -77,10 +93,14 @@ void project_capacity_set(const Problem& problem, Matrix& allocation,
 /// infeasible pairs.  The allocation's pattern must be `problem.sparsity()`.
 void project_demand_set(const Problem& problem,
                         common::SparseAllocation& allocation,
-                        common::ThreadPool* pool = nullptr);
+                        common::ThreadPool* pool = nullptr,
+                        common::simd::Mode simd =
+                            common::simd::Mode::kScalar);
 void project_capacity_set(const Problem& problem,
                           common::SparseAllocation& allocation,
-                          common::ThreadPool* pool = nullptr);
+                          common::ThreadPool* pool = nullptr,
+                          common::simd::Mode simd =
+                              common::simd::Mode::kScalar);
 
 /// Options for Dykstra's alternating projections.
 struct DykstraOptions {
@@ -91,6 +111,9 @@ struct DykstraOptions {
   /// Optional pool for the row/column sweeps inside each iteration (null =
   /// serial).  Deterministic: the same bytes for every lane count.
   common::ThreadPool* pool = nullptr;
+  /// Kernel dispatch for the correction axpy / projection apply loops.
+  /// kScalar is the byte-pinned golden path.
+  common::simd::Mode simd = common::simd::Mode::kScalar;
 };
 
 /// Result diagnostics from project_feasible.

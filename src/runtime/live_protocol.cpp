@@ -83,10 +83,12 @@ core::SystemConfig LiveConfig::to_system_config() const {
   cfg.retry_shed = retry_shed;
   cfg.max_retries = max_retries;
   cfg.representation = representation;
+  cfg.simd = simd;
   cfg.power = power;
   cfg.power_per_replica = power_per_replica;
   cfg.cdpsm = cdpsm;
   cfg.lddm = lddm;
+  cfg.admm = admm;
   cfg.solver_threads = 1;  // replicas are the parallelism in live mode
   cfg.enable_ring = false;  // TCP disconnects are the failure detector
   cfg.record_traces = false;
@@ -186,6 +188,7 @@ net::Message encode_config(net::NodeId from, net::NodeId to,
   w.put_u8(config.retry_shed ? 1 : 0);
   w.put_u32(config.max_retries);
   w.put_u8(static_cast<std::uint8_t>(config.representation));
+  w.put_u8(static_cast<std::uint8_t>(config.simd));
   w.put_u64(config.seed);
   w.put_u32(static_cast<std::uint32_t>(config.replicas.size()));
   for (const auto& p : config.replicas) {
@@ -211,6 +214,13 @@ net::Message encode_config(net::NodeId from, net::NodeId to,
   w.put_double(config.lddm.initial_mu);
   w.put_double(config.lddm.tolerance);
   w.put_u64(config.lddm.patience);
+  w.put_double(config.admm.rho);
+  w.put_u8(config.admm.adapt_rho ? 1 : 0);
+  w.put_double(config.admm.adapt_factor);
+  w.put_double(config.admm.adapt_threshold);
+  w.put_u64(config.admm.max_rounds);
+  w.put_double(config.admm.tolerance);
+  w.put_u64(config.admm.patience);
   w.put_u32(static_cast<std::uint32_t>(config.requests.size()));
   for (const auto& request : config.requests) {
     w.put_u64(request.id);
@@ -242,6 +252,10 @@ LiveConfig decode_config(const net::Message& msg,
     throw std::out_of_range{"live: unknown solver representation"};
   config.representation =
       static_cast<core::SolverRepresentation>(representation);
+  const std::uint8_t simd = r.get_u8();
+  if (simd > static_cast<std::uint8_t>(common::simd::Mode::kAuto))
+    throw std::out_of_range{"live: unknown simd mode"};
+  config.simd = static_cast<common::simd::Mode>(simd);
   config.seed = r.get_u64();
   const std::uint32_t num_replicas = r.get_u32();
   if (std::size_t{num_replicas} * 40 > max_frame_bytes)
@@ -276,6 +290,13 @@ LiveConfig decode_config(const net::Message& msg,
   config.lddm.initial_mu = r.get_double();
   config.lddm.tolerance = r.get_double();
   config.lddm.patience = r.get_u64();
+  config.admm.rho = r.get_double();
+  config.admm.adapt_rho = r.get_u8() != 0;
+  config.admm.adapt_factor = r.get_double();
+  config.admm.adapt_threshold = r.get_double();
+  config.admm.max_rounds = r.get_u64();
+  config.admm.tolerance = r.get_double();
+  config.admm.patience = r.get_u64();
   const std::uint32_t num_requests = r.get_u32();
   if (std::size_t{num_requests} * 36 > max_frame_bytes)
     throw std::length_error{"live: request schedule exceeds frame cap"};

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/simd.hpp"
+#include "core/admm.hpp"
 #include "core/cdpsm.hpp"
 #include "core/lddm.hpp"
 #include "core/system.hpp"
@@ -67,6 +69,11 @@ struct LiveConfig {
   /// replica must use the same representation or round digests diverge.
   core::SolverRepresentation representation =
       core::SolverRepresentation::kDense;
+  /// Kernel dispatch (see SystemConfig::simd).  Shipped on the wire for the
+  /// same reason as the representation: kAuto results depend on the host's
+  /// widest ISA, so a mixed-ISA cluster must pin kScalar (or accept the
+  /// coordinator's digest checks flagging the divergence).
+  common::simd::Mode simd = common::simd::Mode::kScalar;
   std::uint64_t seed = 1;
   std::vector<optim::ReplicaParams> replicas;
   Matrix latency;  ///< clients x replicas, ms
@@ -76,6 +83,8 @@ struct LiveConfig {
                            .tolerance = 1e-4, .patience = 3};
   core::LddmOptions lddm{.rho = 2.0, .mu_step = 0.0, .mu_step_factor = 3.0,
                          .max_rounds = 300, .tolerance = 1e-4,
+                         .patience = 3};
+  core::AdmmOptions admm{.rho = 1.0, .max_rounds = 300, .tolerance = 1e-4,
                          .patience = 3};
   /// The full request schedule, sorted by arrival; every replica buckets
   /// it into epochs identically (epoch = floor(arrival / epoch_length)).

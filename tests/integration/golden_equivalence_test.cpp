@@ -21,6 +21,7 @@
 #include "analysis/experiments.hpp"
 #include "analysis/report_json.hpp"
 #include "baselines/donar_system.hpp"
+#include "common/simd.hpp"
 #include "optim/instance.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
@@ -97,6 +98,11 @@ TEST_P(GoldenEquivalence, RunReportAndTelemetryAreByteIdentical) {
     auto cfg = analysis::paper_config(golden.algorithm, 7);
     cfg.record_traces = golden.record_traces;
     cfg.solver_threads = threads;
+    // The digests predate the SIMD kernel layer; simd=scalar is pinned
+    // explicitly (not left to the SystemConfig default) because its whole
+    // contract is that routing the hot loops through common/simd.hpp with
+    // Mode::kScalar changes ZERO observable bits.
+    cfg.simd = common::simd::Mode::kScalar;
     cfg.telemetry = telemetry::make_telemetry();
     core::EdrSystem system(
         cfg, analysis::paper_trace(workload::distributed_file_service(), 42,
