@@ -14,8 +14,18 @@
 //   alerts cleared the post-fault tail raised none
 //
 // Exit status is the number of failed scenarios, so CI can gate on it.
+//
+// --postmortem-dir=DIR additionally writes one <scenario>.postmortem.json
+// per scenario: the run's event timeline (fault injections, membership
+// transitions, monitor alerts, epoch re-convergence) as emitted by
+// live_postmortem_json — the same document edr_live --postmortem-out
+// produces for a real separate-process cluster.
+#include <filesystem>
+#include <fstream>
+
 #include "bench_util.hpp"
 #include "runtime/chaos.hpp"
+#include "runtime/live_report.hpp"
 #include "runtime/local_cluster.hpp"
 
 namespace {
@@ -70,6 +80,7 @@ std::vector<Scenario> scenarios() {
 struct Graded {
   runtime::ChaosScore score;
   bool passed = false;
+  runtime::LiveRunResult result;  ///< full run, for the post-mortem dump
 };
 
 Graded run_scenario(const Scenario& scenario) {
@@ -90,8 +101,9 @@ Graded run_scenario(const Scenario& scenario) {
   options.chaos = scenario.plan;
 
   runtime::LocalCluster cluster{config, options};
-  const auto result = cluster.run();
   Graded graded;
+  graded.result = cluster.run();
+  const auto& result = graded.result;
   graded.score = runtime::score_chaos_run(result, scenario.plan, kEpochs);
   // An absorbed fault passes by staying silent end to end; a disruptive
   // one passes the full detect-and-recover cycle.
@@ -119,6 +131,27 @@ BENCHMARK(BM_Chaos_CleanBaseline)
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --postmortem-dir before the Harness/benchmark arg parsing sees it.
+  std::string postmortem_dir;
+  constexpr std::string_view kPostmortemFlag = "--postmortem-dir=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (arg.substr(0, kPostmortemFlag.size()) != kPostmortemFlag) continue;
+    postmortem_dir = std::string(arg.substr(kPostmortemFlag.size()));
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
+    --i;
+  }
+  if (!postmortem_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(postmortem_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "chaos_suite: cannot create %s: %s\n",
+                   postmortem_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+
   edr::bench::Harness harness(argc, argv, "Chaos suite",
                               "live-runtime fault scenarios over localhost "
                               "TCP, scored by the SLO monitor");
@@ -130,6 +163,15 @@ int main(int argc, char** argv) {
     const auto graded = run_scenario(scenario);
     const auto& score = graded.score;
     if (!graded.passed) ++failures;
+    if (!postmortem_dir.empty()) {
+      const auto path = std::filesystem::path{postmortem_dir} /
+                        (std::string{scenario.name} + ".postmortem.json");
+      std::ofstream out{path, std::ios::binary};
+      out << runtime::live_postmortem_json(graded.result);
+      if (!out.flush())
+        std::fprintf(stderr, "chaos_suite: cannot write %s\n",
+                     path.string().c_str());
+    }
     table.add_row(
         {scenario.name, scenario.faults,
          std::to_string(score.epochs_completed) + "/" +

@@ -19,7 +19,9 @@
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -37,6 +39,8 @@
 #include "runtime/coordinator.hpp"
 #include "runtime/live_protocol.hpp"
 #include "runtime/live_report.hpp"
+#include "runtime/observer.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
 
@@ -49,8 +53,10 @@ struct Child {
 
 pid_t spawn_replica(const std::filesystem::path& binary, net::NodeId id,
                     net::NodeId coordinator_id, std::uint16_t port,
-                    double barrier_timeout_s, double idle_timeout_s) {
-  const std::vector<std::string> args = {
+                    double barrier_timeout_s, double idle_timeout_s,
+                    bool trace, bool metrics,
+                    const std::string& telemetry_out) {
+  std::vector<std::string> args = {
       binary.string(),
       "--id", std::to_string(id),
       "--coordinator-id", std::to_string(coordinator_id),
@@ -58,6 +64,12 @@ pid_t spawn_replica(const std::filesystem::path& binary, net::NodeId id,
       "--barrier-timeout", std::to_string(barrier_timeout_s),
       "--idle-timeout", std::to_string(idle_timeout_s),
   };
+  if (trace) args.emplace_back("--trace");
+  if (metrics) args.emplace_back("--metrics");  // ephemeral scrape port
+  if (!telemetry_out.empty()) {
+    args.emplace_back("--telemetry-out");
+    args.push_back(telemetry_out + ".replica" + std::to_string(id));
+  }
   const pid_t pid = fork();
   if (pid < 0) throw std::runtime_error("edr_live: fork failed");
   if (pid == 0) {
@@ -94,6 +106,17 @@ void reap_children(std::vector<Child>& children) {
   }
 }
 
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "edr_live: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -112,6 +135,10 @@ int main(int argc, char** argv) {
   bool as_json = false;
   std::int64_t kill_epoch = -1;
   std::int64_t kill_replica = -1;
+  bool trace = false;
+  std::uint64_t metrics_port = 0;
+  std::string telemetry_out;
+  std::string postmortem_out;
 
   std::string representation = "dense";
   std::string simd = "scalar";
@@ -152,6 +179,22 @@ int main(int argc, char** argv) {
   parser.add_option("kill-replica", "which replica --kill-epoch kills",
                     &kill_replica);
   parser.add_flag("json", "emit the run result as JSON", &as_json);
+  parser.add_flag("trace",
+                  "causal tracing: record spans everywhere (spawned "
+                  "replicas included) and merge them into one Chrome trace",
+                  &trace);
+  parser.add_option("metrics-port",
+                    "serve Prometheus text on 127.0.0.1:PORT during the "
+                    "run (0 = off; spawned replicas get ephemeral ports)",
+                    &metrics_port);
+  parser.add_option("telemetry-out",
+                    "write the merged Chrome trace here plus "
+                    "<path>.metrics.jsonl/.prom (spawned replicas export "
+                    "to <path>.replicaN)",
+                    &telemetry_out);
+  parser.add_option("postmortem-out",
+                    "write the chaos post-mortem timeline JSON here",
+                    &postmortem_out);
   if (!parser.parse(argc, argv, std::cerr))
     return parser.help_requested() ? 0 : 2;
   baselines::register_donar_algorithm();
@@ -205,13 +248,34 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --telemetry-out without --trace would merge an empty trace; treat the
+  // export request as opting into tracing.
+  trace = trace || !telemetry_out.empty();
+
   const auto coordinator_id = static_cast<net::NodeId>(replicas);
   net::TcpTransport transport{coordinator_id};
+  for (int type = runtime::kHello; type <= runtime::kTimeReply; ++type)
+    if (const char* name = runtime::live_frame_type_name(type))
+      transport.set_type_name(type, name);
   const std::uint16_t actual_port =
       transport.listen(static_cast<std::uint16_t>(port));
   if (!as_json)
     std::fprintf(stderr, "edr_live: coordinator %u listening on %u\n",
                  coordinator_id, actual_port);
+
+  std::unique_ptr<runtime::RuntimeObserver> observer;
+  if (trace || metrics_port != 0) {
+    runtime::ObserverOptions observer_options;
+    observer_options.tracing = trace;
+    observer_options.metrics_server = metrics_port != 0;
+    observer_options.metrics_port = static_cast<std::uint16_t>(metrics_port);
+    observer = std::make_unique<runtime::RuntimeObserver>(
+        coordinator_id, "coordinator", observer_options);
+    transport.attach_telemetry(observer->telemetry());
+    if (observer->metrics_port() != 0)
+      std::fprintf(stderr, "edr_live: metrics on 127.0.0.1:%u\n",
+                   observer->metrics_port());
+  }
 
   std::vector<Child> children;
   if (spawn) {
@@ -225,7 +289,8 @@ int main(int argc, char** argv) {
       children.push_back(Child{
           spawn_replica(replicad, static_cast<net::NodeId>(i),
                         coordinator_id, actual_port, barrier_timeout_s,
-                        idle_timeout_s),
+                        idle_timeout_s, trace, metrics_port != 0,
+                        telemetry_out),
           static_cast<net::NodeId>(i)});
   }
 
@@ -233,6 +298,7 @@ int main(int argc, char** argv) {
   options.hello_timeout_s = hello_timeout_s;
   options.epoch_timeout_s = epoch_timeout_s;
   options.monitor.response_slo_ms = slo_ms;
+  runtime::LiveCoordinator* running = nullptr;  // for fault timeline entries
   if (want_kill)
     options.on_epoch_start = [&](std::uint32_t epoch) {
       if (epoch != static_cast<std::uint32_t>(kill_epoch)) return;
@@ -242,6 +308,8 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "edr_live: SIGKILL replica %lld (pid %d)\n",
                        static_cast<long long>(kill_replica),
                        static_cast<int>(child.pid));
+          if (running != nullptr)
+            running->log_event("fault", "kill", kill_replica);
           kill(child.pid, SIGKILL);
         }
     };
@@ -250,11 +318,46 @@ int main(int argc, char** argv) {
   int exit_code = 1;
   try {
     runtime::LiveCoordinator coordinator{bus, config, options};
+    if (observer != nullptr) coordinator.set_observer(observer.get());
+    running = &coordinator;
     const runtime::LiveRunResult result = coordinator.run();
+    running = nullptr;
+
+    runtime::TransportReport transport_report;
+    transport_report.totals = transport.total_stats();
+    transport_report.by_type = transport.traffic_by_type();
+    for (const auto& [type, traffic] : transport_report.by_type)
+      if (const char* name = runtime::live_frame_type_name(type))
+        transport_report.type_names[type] = name;
+    transport_report.queue_overflows = transport.queue_overflows();
+    transport_report.frame_errors = transport.frame_errors();
+    transport_report.connects_completed = transport.connects_completed();
+    transport_report.frames_dropped_by_fault =
+        transport.frames_dropped_by_fault();
+
     if (as_json)
-      std::printf("%s\n", runtime::live_run_to_json(result).c_str());
+      std::printf("%s\n",
+                  runtime::live_run_to_json(result, &transport_report)
+                      .c_str());
     else
       std::printf("%s", runtime::live_run_to_table(result).c_str());
+
+    if (!telemetry_out.empty() && observer != nullptr) {
+      observer->refresh_resource_gauges();
+      bool wrote = write_text_file(telemetry_out,
+                                   coordinator.merged_trace_json());
+      wrote &= write_text_file(
+          telemetry_out + ".metrics.jsonl",
+          telemetry::metrics_to_jsonl(observer->telemetry().metrics()));
+      wrote &= write_text_file(
+          telemetry_out + ".prom",
+          telemetry::metrics_to_prometheus(observer->telemetry().metrics()));
+      if (wrote && !as_json)
+        std::fprintf(stderr, "edr_live: merged trace -> %s\n",
+                     telemetry_out.c_str());
+    }
+    if (!postmortem_out.empty())
+      write_text_file(postmortem_out, runtime::live_postmortem_json(result));
     bool agree = true;
     for (const auto& epoch : result.epochs) agree &= epoch.digests_agree;
     exit_code = result.completed && agree ? 0 : 1;

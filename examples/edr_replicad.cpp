@@ -11,13 +11,16 @@
 // or let `edr_live --spawn` fork the whole cluster for you.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "baselines/donar_algorithm.hpp"
 #include "common/args.hpp"
 #include "net/tcp_transport.hpp"
 #include "runtime/bus.hpp"
+#include "runtime/observer.hpp"
 #include "runtime/replica.hpp"
+#include "telemetry/export.hpp"
 
 int main(int argc, char** argv) {
   using namespace edr;
@@ -29,6 +32,10 @@ int main(int argc, char** argv) {
   std::uint64_t listen_port = 0;
   double barrier_timeout_s = 2.0;
   double idle_timeout_s = 60.0;
+  bool trace = false;
+  std::uint64_t metrics_port = 0;
+  bool metrics_server = false;
+  std::string telemetry_out;
 
   ArgParser parser{"edr_replicad", "one live EDR replica process"};
   parser.add_option("id", "replica id (0-based)", &id);
@@ -44,6 +51,16 @@ int main(int argc, char** argv) {
                     &barrier_timeout_s);
   parser.add_option("idle-timeout", "give up after this much silence (s)",
                     &idle_timeout_s);
+  parser.add_flag("trace", "record spans and ship kTelemetry flushes",
+                  &trace);
+  parser.add_flag("metrics", "serve /metrics on an ephemeral port",
+                  &metrics_server);
+  parser.add_option("metrics-port",
+                    "serve Prometheus text on 127.0.0.1:PORT (0 = off)",
+                    &metrics_port);
+  parser.add_option("telemetry-out",
+                    "write own trace/metrics exports to this path prefix",
+                    &telemetry_out);
   if (!parser.parse(argc, argv, std::cerr))
     return parser.help_requested() ? 0 : 2;
   if (coordinator_port == 0) {
@@ -69,10 +86,37 @@ int main(int argc, char** argv) {
 
   runtime::LiveReplica replica{bus, static_cast<net::NodeId>(coordinator_id),
                                options};
+
+  std::unique_ptr<runtime::RuntimeObserver> observer;
+  if (trace || metrics_server || metrics_port != 0 ||
+      !telemetry_out.empty()) {
+    runtime::ObserverOptions observer_options;
+    observer_options.tracing = trace;
+    observer_options.metrics_server = metrics_server || metrics_port != 0;
+    observer_options.metrics_port =
+        static_cast<std::uint16_t>(metrics_port);
+    observer = std::make_unique<runtime::RuntimeObserver>(
+        static_cast<net::NodeId>(id), "replica " + std::to_string(id),
+        observer_options);
+    transport.attach_telemetry(observer->telemetry());
+    replica.set_observer(observer.get());
+    if (observer->metrics_port() != 0)
+      std::fprintf(stderr, "edr_replicad[%llu]: metrics on 127.0.0.1:%u\n",
+                   static_cast<unsigned long long>(id),
+                   observer->metrics_port());
+  }
+
   std::fprintf(stderr, "edr_replicad[%llu]: listening on %u\n",
                static_cast<unsigned long long>(id), port);
   const runtime::ReplicaExit exit_reason = replica.run();
   transport.shutdown();
+
+  if (observer != nullptr && !telemetry_out.empty()) {
+    observer->refresh_resource_gauges();
+    if (!telemetry::export_telemetry(observer->telemetry(), telemetry_out))
+      std::fprintf(stderr, "edr_replicad[%llu]: telemetry export failed\n",
+                   static_cast<unsigned long long>(id));
+  }
 
   const char* reason = "shutdown";
   if (exit_reason == runtime::ReplicaExit::kIdleTimeout)

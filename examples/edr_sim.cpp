@@ -172,8 +172,6 @@ int main(int argc, char** argv) {
     else if (watch)
       clash = "--watch (the live monitor reports through the run result; "
               "--slo-ms still works)";
-    else if (!telemetry_out.empty())
-      clash = "--telemetry-out (telemetry export is sim-only)";
     if (clash != nullptr) {
       std::cerr << "edr_sim: --transport " << transport
                 << " does not support " << clash << "\n";
@@ -191,8 +189,36 @@ int main(int argc, char** argv) {
       options.transport = transport == "tcp" ? runtime::LiveTransport::kTcp
                                              : runtime::LiveTransport::kInproc;
       options.coordinator.monitor.response_slo_ms = slo_ms;
+      // Live telemetry export: trace every node and write the merged
+      // cross-process Chrome trace (plus the coordinator's metrics dumps)
+      // where sim mode would write its single-process export.
+      options.observer.tracing = !telemetry_out.empty();
       runtime::LocalCluster cluster{config, options};
       const auto result = cluster.run();
+      if (!telemetry_out.empty()) {
+        bool wrote = true;
+        const auto write_file = [&](const std::string& path,
+                                    const std::string& content) {
+          std::ofstream out{path, std::ios::binary};
+          out << content;
+          out.flush();
+          if (!out) {
+            std::fprintf(stderr, "edr_sim: cannot write %s\n", path.c_str());
+            wrote = false;
+          }
+        };
+        write_file(telemetry_out, cluster.merged_trace_json());
+        if (auto* observer = cluster.coordinator_observer()) {
+          const auto& metrics = observer->telemetry().metrics();
+          write_file(telemetry_out + ".metrics.jsonl",
+                     telemetry::metrics_to_jsonl(metrics));
+          write_file(telemetry_out + ".prom",
+                     telemetry::metrics_to_prometheus(metrics));
+        }
+        if (wrote && !json)
+          std::fprintf(stderr, "edr_sim: merged live trace -> %s\n",
+                       telemetry_out.c_str());
+      }
       bool agree = true;
       for (const auto& epoch : result.epochs) agree &= epoch.digests_agree;
       if (json) {

@@ -196,7 +196,12 @@ echo "== chaos smoke (kill -9 one replica, SLO alert fires and clears) =="
 build/examples/edr_live --spawn --algorithm lddm --replicas 4 --clients 8 \
   --epochs 6 --kill-epoch 2 --kill-replica 3 --slo-ms 50 --json \
   > "$smoke_dir/chaos.json" 2>/dev/null
-alerts="$(sed 's/.*"alerts"://' "$smoke_dir/chaos.json")"
+# Pull the alerts array itself — the report carries more sections
+# (timeline, transport) after it that also mention epoch numbers.
+alerts="$(python3 -c 'import json, sys
+print(json.dumps(json.load(open(sys.argv[1])).get("alerts", []),
+    separators=(",", ":")))' \
+  "$smoke_dir/chaos.json")"
 if ! grep -q '"kind":"slo"' <<< "$alerts"; then
   echo "chaos smoke FAILED: no SLO alert after kill -9 of replica 3" >&2
   exit 1
@@ -208,7 +213,47 @@ if grep -q '"epoch":5' <<< "$alerts"; then
 fi
 echo "chaos smoke: survivors re-converged, SLO alert fired and cleared"
 echo "chaos scenario suite (bench/chaos_suite, localhost TCP):"
-build/bench/chaos_suite 2>/dev/null | grep -v '^BM_'
+build/bench/chaos_suite "--postmortem-dir=$smoke_dir/pm" 2>/dev/null \
+  | grep -v '^BM_'
+python3 scripts/check_obs.py postmortem "$smoke_dir/pm/kill.postmortem.json"
 
 echo
-echo "check.sh: all suites passed (regular + asan/ubsan + tsan + smoke + sparse + live)"
+echo "== observability smoke (merged trace, live scrape, digest parity) =="
+# One traced chaos run: kill -9 a replica mid-schedule while (a) the
+# coordinator serves /metrics, scraped mid-run by the Python checker, and
+# (b) every process records spans that must merge into one Chrome trace
+# with >= 3 process tracks and cross-process flow arrows, and (c) the
+# post-mortem timeline must show fault -> mark_dead -> generation ->
+# re-convergence in causal order.
+obs_port="$(python3 -c 'import socket; s = socket.socket()
+s.bind(("127.0.0.1", 0)); print(s.getsockname()[1]); s.close()')"
+build/examples/edr_live --spawn --algorithm lddm --replicas 3 --clients 6 \
+  --epochs 5 --kill-epoch 2 --kill-replica 1 --slo-ms 50 \
+  --trace --telemetry-out "$smoke_dir/obs_trace.json" \
+  --postmortem-out "$smoke_dir/obs_pm.json" --metrics-port "$obs_port" \
+  --json > "$smoke_dir/obs_run.json" 2>/dev/null &
+obs_pid=$!
+python3 scripts/check_obs.py scrape "$obs_port" \
+  || { kill "$obs_pid" 2>/dev/null; \
+       echo "observability smoke FAILED: mid-run scrape" >&2; exit 1; }
+wait "$obs_pid" \
+  || { echo "observability smoke FAILED: traced chaos run" >&2; exit 1; }
+python3 scripts/check_obs.py trace "$smoke_dir/obs_trace.json" --min-tracks 3
+python3 scripts/check_obs.py postmortem "$smoke_dir/obs_pm.json"
+# Digest parity: observability must not perturb the replicated computation.
+# The same schedule dark vs fully traced must agree digest for digest.
+build/examples/edr_live --spawn --algorithm lddm --replicas 3 --clients 6 \
+  --epochs 3 --json > "$smoke_dir/obs_off.json" 2>/dev/null
+build/examples/edr_live --spawn --algorithm lddm --replicas 3 --clients 6 \
+  --epochs 3 --trace --json > "$smoke_dir/obs_on.json" 2>/dev/null
+live_fields "$smoke_dir/obs_off.json" > "$smoke_dir/obs_off.fields"
+live_fields "$smoke_dir/obs_on.json" > "$smoke_dir/obs_on.fields"
+if ! diff -u "$smoke_dir/obs_off.fields" "$smoke_dir/obs_on.fields"; then
+  echo "observability smoke FAILED: tracing changed the per-epoch" \
+       "digests/objectives — the observer leaked into the computation" >&2
+  exit 1
+fi
+echo "observability smoke: digests identical with tracing on and off"
+
+echo
+echo "check.sh: all suites passed (regular + asan/ubsan + tsan + smoke + sparse + live + observability)"

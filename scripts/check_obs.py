@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Observability smoke checks for scripts/check.sh (stdlib only).
+
+Three subcommands, each exiting nonzero with a reason on stderr:
+
+  trace FILE       validate a merged Chrome trace: well-formed JSON, at
+                   least --min-tracks process tracks, and at least one
+                   flow arrow whose tail ("s") and head ("f") landed on
+                   different pids — i.e. a real cross-process edge.
+  scrape PORT      GET http://127.0.0.1:PORT/metrics (retrying while the
+                   server comes up), then parse every line of the
+                   Prometheus text exposition and require the expected
+                   live-runtime series to be present.
+  postmortem FILE  validate a chaos post-mortem: timeline sorted by t_s,
+                   and the fault -> membership -> re-convergence chain
+                   present in causal order.
+"""
+
+import argparse
+import json
+import re
+import socket
+import sys
+import time
+
+
+def fail(message: str) -> "int":
+    print(f"check_obs: {message}", file=sys.stderr)
+    return 1
+
+
+def check_trace(path: str, min_tracks: int) -> int:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"{path}: not readable JSON: {error}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(f"{path}: no traceEvents array")
+
+    tracks = {
+        event["pid"]: event.get("args", {}).get("name", "")
+        for event in events
+        if event.get("ph") == "M" and event.get("name") == "process_name"
+    }
+    if len(tracks) < min_tracks:
+        return fail(
+            f"{path}: {len(tracks)} process track(s) {sorted(tracks)}, "
+            f"need >= {min_tracks}"
+        )
+
+    flow_tails = {}  # id -> set of pids that emitted "s"
+    flow_heads = {}  # id -> set of pids that emitted "f"
+    for event in events:
+        if event.get("ph") == "s":
+            flow_tails.setdefault(event["id"], set()).add(event["pid"])
+        elif event.get("ph") == "f":
+            flow_heads.setdefault(event["id"], set()).add(event["pid"])
+    cross = [
+        flow_id
+        for flow_id, tails in flow_tails.items()
+        if any(pid not in tails for pid in flow_heads.get(flow_id, ()))
+    ]
+    if not cross:
+        return fail(
+            f"{path}: no cross-process flow arrow "
+            f"({len(flow_tails)} tails, {len(flow_heads)} heads)"
+        )
+
+    spans = {e["name"] for e in events if e.get("ph") == "X"}
+    for required in ("epoch", "round", "solve", "exchange"):
+        if required not in spans:
+            return fail(f"{path}: no '{required}' span (saw {sorted(spans)})")
+    print(
+        f"check_obs: trace ok — {len(tracks)} process tracks, "
+        f"{len(cross)} cross-process flow arrow(s), "
+        f"{len(events)} events"
+    )
+    return 0
+
+
+# One exposition series line: name{labels} value  (labels optional; the
+# value may be any float literal Prometheus accepts).
+SERIES_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9eE+.\-]+$"
+)
+
+
+def check_scrape(port: int, timeout_s: float, expect: "list[str]") -> int:
+    deadline = time.monotonic() + timeout_s
+    body = None
+    last_error = "no attempt made"
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection(("127.0.0.1", port), 1.0) as conn:
+                conn.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+                chunks = []
+                while chunk := conn.recv(65536):
+                    chunks.append(chunk)
+            response = b"".join(chunks).decode("utf-8", "replace")
+            if "\r\n\r\n" not in response:
+                last_error = "no header/body separator in response"
+            else:
+                head, body = response.split("\r\n\r\n", 1)
+                if "200 OK" not in head.split("\r\n", 1)[0]:
+                    return fail(f"scrape: bad status line: {head.splitlines()[0]}")
+                break
+        except OSError as error:
+            last_error = str(error)
+            time.sleep(0.05)
+    if body is None:
+        return fail(f"scrape: no response from 127.0.0.1:{port}: {last_error}")
+
+    series = set()
+    for line in body.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        if not SERIES_RE.match(line):
+            return fail(f"scrape: unparseable exposition line: {line!r}")
+        series.add(line.split("{", 1)[0].split(" ", 1)[0])
+    if not series:
+        return fail("scrape: exposition body carried no series")
+    for name in expect:
+        if name not in series:
+            return fail(
+                f"scrape: expected series '{name}' missing "
+                f"(saw {len(series)}: {sorted(series)[:10]}...)"
+            )
+    print(f"check_obs: scrape ok — {len(series)} series, all expected present")
+    return 0
+
+
+def check_postmortem(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"{path}: not readable JSON: {error}")
+    timeline = doc.get("timeline")
+    if not isinstance(timeline, list) or not timeline:
+        return fail(f"{path}: no timeline")
+
+    times = [event["t_s"] for event in timeline]
+    if times != sorted(times):
+        return fail(f"{path}: timeline not sorted by t_s")
+
+    def first(kind: str) -> int:
+        for i, event in enumerate(timeline):
+            if event["kind"] == kind:
+                return i
+        return -1
+
+    fault = first("fault")
+    mark_dead = first("mark_dead")
+    generation = first("generation")
+    if fault < 0:
+        return fail(f"{path}: no injected-fault event in the timeline")
+    if mark_dead < fault:
+        return fail(f"{path}: membership noticed the death before the fault")
+    if generation < mark_dead:
+        return fail(f"{path}: generation bump precedes mark_dead")
+    recovered = any(
+        event["kind"] == "epoch_done" and i > generation
+        for i, event in enumerate(timeline)
+    )
+    if not recovered:
+        return fail(f"{path}: no epoch completed after the generation bump")
+    if not doc.get("completed", False):
+        return fail(f"{path}: run did not complete")
+    epochs = doc.get("epochs", [])
+    if not epochs or not all(e.get("digests_agree") for e in epochs):
+        return fail(f"{path}: surviving digests disagree")
+    print(
+        f"check_obs: postmortem ok — fault@{timeline[fault]['t_s']:.3f}s, "
+        f"mark_dead@{timeline[mark_dead]['t_s']:.3f}s, "
+        f"generation@{timeline[generation]['t_s']:.3f}s, "
+        f"{len(epochs)} epochs re-converged"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    trace = commands.add_parser("trace")
+    trace.add_argument("file")
+    trace.add_argument("--min-tracks", type=int, default=2)
+
+    scrape = commands.add_parser("scrape")
+    scrape.add_argument("port", type=int)
+    scrape.add_argument("--timeout", type=float, default=10.0)
+    scrape.add_argument(
+        "--expect",
+        nargs="*",
+        default=["net_messages_sent_total", "net_bytes_sent_total",
+                 "process_cpu_utilization", "process_rss_bytes",
+                 "process_power_watts"],
+    )
+
+    postmortem = commands.add_parser("postmortem")
+    postmortem.add_argument("file")
+
+    args = parser.parse_args()
+    if args.command == "trace":
+        return check_trace(args.file, args.min_tracks)
+    if args.command == "scrape":
+        return check_scrape(args.port, args.timeout, args.expect)
+    return check_postmortem(args.file)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

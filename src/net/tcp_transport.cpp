@@ -124,6 +124,7 @@ void TcpTransport::add_peer(NodeId peer, const std::string& host,
   state.port = port;
   state.retry_at = Clock::now();
   state.backoff_ms = 0.0;
+  register_peer_metrics_locked(peer, state);
   start_io_thread_locked();
   wake();
 }
@@ -147,6 +148,28 @@ void TcpTransport::count_sent_locked(const Message& message,
   by_type.bytes += frame_bytes;
   messages_sent_metric_.add(1);
   bytes_sent_metric_.add(frame_bytes);
+  if (telemetry_ != nullptr) {
+    auto it = bytes_by_type_metrics_.find(message.type);
+    if (it == bytes_by_type_metrics_.end()) {
+      const auto name = type_names_.find(message.type);
+      const std::string label = name != type_names_.end()
+                                    ? name->second
+                                    : std::to_string(message.type);
+      it = bytes_by_type_metrics_
+               .emplace(message.type,
+                        telemetry_->metrics().counter(
+                            "net.bytes_by_type{type=\"" + label + "\"}"))
+               .first;
+    }
+    it->second.add(static_cast<double>(frame_bytes));
+  }
+}
+
+void TcpTransport::register_peer_metrics_locked(NodeId id, PeerState& peer) {
+  if (telemetry_ == nullptr) return;
+  const std::string label = "{peer=\"" + std::to_string(id) + "\"}";
+  peer.sendq_gauge = telemetry_->metrics().gauge("net.sendq_depth" + label);
+  peer.backoff_gauge = telemetry_->metrics().gauge("net.backoff_ms" + label);
 }
 
 bool TcpTransport::send(Message message) {
@@ -201,6 +224,7 @@ bool TcpTransport::send(Message message) {
         }
         peer.sendq.push_back(frame);
       }
+      peer.sendq_gauge.set(static_cast<double>(peer.sendq.size()));
     }
   }
   wake();
@@ -302,6 +326,7 @@ void TcpTransport::attach_telemetry(telemetry::Telemetry& telemetry) {
   messages_delivered_metric_ = metrics.counter("net.messages_delivered");
   frame_errors_metric_ = metrics.counter("net.frame_errors");
   reconnects_metric_ = metrics.counter("net.reconnects");
+  for (auto& [id, peer] : peers_) register_peer_metrics_locked(id, peer);
 }
 
 std::uint64_t TcpTransport::queue_overflows() const {
@@ -360,6 +385,7 @@ void TcpTransport::begin_connect_locked(PeerState& peer) {
                           ? options_.backoff_initial_ms
                           : std::min(peer.backoff_ms * 2.0,
                                      options_.backoff_max_ms);
+    peer.backoff_gauge.set(peer.backoff_ms);
     peer.retry_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                        std::chrono::duration<double,
                                                              std::milli>(
@@ -380,6 +406,7 @@ void TcpTransport::begin_connect_locked(PeerState& peer) {
     peer.connecting = false;
     peer.was_connected = true;
     peer.backoff_ms = 0.0;
+    peer.backoff_gauge.set(0.0);
     ++connects_completed_;
     reconnects_metric_.add(1);
     return;
@@ -394,6 +421,7 @@ void TcpTransport::begin_connect_locked(PeerState& peer) {
                         ? options_.backoff_initial_ms
                         : std::min(peer.backoff_ms * 2.0,
                                    options_.backoff_max_ms);
+  peer.backoff_gauge.set(peer.backoff_ms);
   peer.retry_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                      std::chrono::duration<double, std::milli>(
                                          peer.backoff_ms));
@@ -414,6 +442,8 @@ void TcpTransport::close_peer_locked(PeerState& peer, bool notify) {
                         ? options_.backoff_initial_ms
                         : std::min(peer.backoff_ms * 2.0,
                                    options_.backoff_max_ms);
+  peer.sendq_gauge.set(static_cast<double>(peer.sendq.size()));
+  peer.backoff_gauge.set(peer.backoff_ms);
   peer.retry_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                      std::chrono::duration<double, std::milli>(
                                          peer.backoff_ms));
@@ -436,6 +466,7 @@ void TcpTransport::flush_peer_locked(PeerState& peer) {
       peer.write_offset = 0;
     }
   }
+  peer.sendq_gauge.set(static_cast<double>(peer.sendq.size()));
 }
 
 bool TcpTransport::parse_frames_locked(std::vector<std::uint8_t>& buf,
@@ -515,6 +546,7 @@ void TcpTransport::io_main() {
         if (it != peers_.end() && it->second.fd >= 0) {
           close_peer_locked(it->second, false);
           it->second.backoff_ms = options_.backoff_initial_ms;
+          it->second.backoff_gauge.set(it->second.backoff_ms);
           it->second.retry_at = Clock::now();
         }
       }
@@ -526,8 +558,11 @@ void TcpTransport::io_main() {
         if (it->release_at <= now) {
           const auto peer_it = peers_.find(it->peer);
           if (peer_it != peers_.end() &&
-              peer_it->second.sendq.size() < options_.max_queued_frames)
+              peer_it->second.sendq.size() < options_.max_queued_frames) {
             peer_it->second.sendq.push_back(std::move(it->frame));
+            peer_it->second.sendq_gauge.set(
+                static_cast<double>(peer_it->second.sendq.size()));
+          }
           it = delayed_.erase(it);
         } else {
           next_deadline = std::min(next_deadline, it->release_at);
@@ -615,6 +650,7 @@ void TcpTransport::io_main() {
             peer->connecting = false;
             peer->was_connected = true;
             peer->backoff_ms = 0.0;
+            peer->backoff_gauge.set(0.0);
             ++connects_completed_;
             reconnects_metric_.add(1);
           }

@@ -164,6 +164,11 @@ class TcpTransport {
     std::size_t write_offset = 0;  // into sendq.front()
     std::vector<std::uint8_t> readbuf;
     bool was_connected = false;   // disconnect callback gating
+    /// Live transport gauges (sink handles until telemetry is attached):
+    /// net.sendq_depth{peer="N"} and net.backoff_ms{peer="N"} — a stalled
+    /// peer shows as a rising queue behind a nonzero backoff.
+    telemetry::Gauge sendq_gauge;
+    telemetry::Gauge backoff_gauge;
   };
 
   struct InboundConn {
@@ -189,6 +194,7 @@ class TcpTransport {
                            std::vector<Message>& out, InboundConn* conn);
   void deliver(Message message);
   void count_sent_locked(const Message& message, std::size_t frame_bytes);
+  void register_peer_metrics_locked(NodeId id, PeerState& peer);
 
   const NodeId self_;
   const Options options_;
@@ -225,6 +231,9 @@ class TcpTransport {
   telemetry::Counter messages_delivered_metric_;
   telemetry::Counter frame_errors_metric_;
   telemetry::Counter reconnects_metric_;
+  /// net.bytes_by_type{type="..."} counters, registered lazily per frame
+  /// type (labelled with set_type_name names when present).
+  std::map<int, telemetry::Counter> bytes_by_type_metrics_;
 };
 
 }  // namespace edr::net

@@ -4,6 +4,19 @@
 
 namespace edr::runtime {
 
+const char* to_string(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kKill: return "kill";
+    case ChaosKind::kRestart: return "restart";
+    case ChaosKind::kResetConnection: return "reset_connection";
+    case ChaosKind::kDropFrames: return "drop_frames";
+    case ChaosKind::kDelayFrames: return "delay_frames";
+    case ChaosKind::kDuplicateFrames: return "duplicate_frames";
+    case ChaosKind::kClearFaults: return "clear_faults";
+  }
+  return "unknown";
+}
+
 std::vector<std::uint32_t> ChaosPlan::fault_epochs() const {
   std::vector<std::uint32_t> epochs;
   for (const auto& action : actions) epochs.push_back(action.epoch);

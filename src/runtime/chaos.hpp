@@ -30,6 +30,9 @@ enum class ChaosKind : std::uint8_t {
   kClearFaults,      ///< remove the replica's fault hook (tcp only)
 };
 
+/// Short fault name for timelines and post-mortems ("kill", "restart"...).
+[[nodiscard]] const char* to_string(ChaosKind kind);
+
 struct ChaosAction {
   /// Applied right before this epoch's kStart broadcast.
   std::uint32_t epoch = 0;

@@ -21,11 +21,15 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/matrix.hpp"
 #include "runtime/bus.hpp"
 #include "runtime/live_protocol.hpp"
+#include "runtime/observer.hpp"
+#include "telemetry/distributed_trace.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/monitor.hpp"
 
@@ -60,6 +64,19 @@ struct LiveEpochResult {
   std::vector<net::NodeId> participants;
 };
 
+/// One entry of the run's control-plane timeline: faults injected by a
+/// chaos plan, membership transitions, monitor alerts, and epoch
+/// milestones, in wall-clock order.  The post-mortem export correlates
+/// these (fault -> alert fired -> generation bump -> re-convergence).
+struct RuntimeEvent {
+  double t_s = 0.0;  ///< seconds since run() started
+  std::string kind;  ///< "fault", "alert", "mark_dead", "generation", ...
+  std::uint32_t epoch = 0;
+  std::int64_t replica = -1;  ///< -1 when the event is not replica-scoped
+  std::uint64_t generation = 0;
+  std::string detail;
+};
+
 struct LiveRunResult {
   std::vector<LiveEpochResult> epochs;
   std::vector<telemetry::EpochSummary> convergence;
@@ -68,6 +85,9 @@ struct LiveRunResult {
   std::uint64_t generations = 1;
   std::vector<net::NodeId> failed_replicas;  ///< marked dead at least once
   bool completed = false;  ///< every configured epoch produced a result
+  /// Control-plane event timeline (always recorded; the post-mortem and
+  /// chaos reports are built from it).
+  std::vector<RuntimeEvent> timeline;
 };
 
 class LiveCoordinator {
@@ -75,9 +95,32 @@ class LiveCoordinator {
   LiveCoordinator(MessageBus& bus, LiveConfig config,
                   CoordinatorOptions options = {});
 
+  /// Attach the coordinator process's observability plane.  Optional;
+  /// call before run().  With tracing on, the coordinator probes replica
+  /// clocks, collects their kTelemetry flushes, and can export the merged
+  /// cross-process trace afterwards.
+  void set_observer(RuntimeObserver* observer) { observer_ = observer; }
+
   /// Execute the whole schedule; call once.  Throws std::runtime_error
   /// when the cluster never assembles (hello timeout).
   LiveRunResult run();
+
+  /// Append an event to the run timeline.  Public so chaos drivers can
+  /// record the faults they inject next to the membership transitions
+  /// the coordinator records itself.
+  void log_event(std::string_view kind, std::string detail = {},
+                 std::int64_t replica = -1);
+
+  /// Merged multi-process Chrome trace (coordinator's own spans plus every
+  /// kTelemetry flush, replica clocks aligned via the probe estimates).
+  /// Call after run().
+  [[nodiscard]] std::string merged_trace_json();
+  [[nodiscard]] const telemetry::TraceMerger& trace_merger() const {
+    return merger_;
+  }
+  [[nodiscard]] const telemetry::ClockOffsetEstimator& clock_offsets() const {
+    return estimator_;
+  }
 
   /// Membership + monitor state, readable between epochs from the chaos
   /// hook's thread (the hook runs on the coordinator's own thread).
@@ -98,10 +141,17 @@ class LiveCoordinator {
                                              double started_at);
   void handle_hello(const net::Message& msg);
   [[nodiscard]] std::size_t alive_count() const;
+  /// Clock-probe burst to every alive replica (no-op unless tracing).
+  void send_time_probes();
+  void handle_telemetry(const net::Message& msg);
+  void handle_time_reply(const net::Message& msg);
+  /// Soak up the post-shutdown kTelemetry flushes for `window_s` seconds.
+  void drain_telemetry(double window_s);
 
   MessageBus& bus_;
   LiveConfig config_;
   CoordinatorOptions options_;
+  RuntimeObserver* observer_ = nullptr;
 
   std::vector<std::uint8_t> alive_;
   std::vector<std::uint8_t> ever_helloed_;
@@ -112,6 +162,12 @@ class LiveCoordinator {
   telemetry::FlightRecorder recorder_;
   telemetry::ConvergenceMonitor monitor_;
   LiveRunResult result_;
+
+  telemetry::TraceMerger merger_;
+  telemetry::ClockOffsetEstimator estimator_;
+  double run_started_s_ = 0.0;
+  std::uint32_t current_epoch_ = 0;
+  std::uint32_t next_probe_ = 0;
 };
 
 }  // namespace edr::runtime

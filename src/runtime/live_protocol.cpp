@@ -68,6 +68,25 @@ std::vector<std::uint8_t> get_bytes(net::WireReader& reader) {
   return v;
 }
 
+/// Optional observability tail: 16 bytes appended after the frame body
+/// only when a trace context exists, so tracing-off byte streams are
+/// unchanged and pre-tail decoders (which never read past the body) stay
+/// compatible.
+void put_trace_tail(net::WireWriter& writer,
+                    const telemetry::TraceContext& trace) {
+  if (!trace.valid()) return;
+  writer.put_u64(trace.trace_id);
+  writer.put_u64(trace.span_id);
+}
+
+telemetry::TraceContext get_trace_tail(net::WireReader& reader) {
+  telemetry::TraceContext trace;
+  if (reader.remaining() < 16) return trace;
+  trace.trace_id = reader.get_u64();
+  trace.span_id = reader.get_u64();
+  return trace;
+}
+
 }  // namespace
 
 core::SystemConfig LiveConfig::to_system_config() const {
@@ -163,6 +182,7 @@ net::Message encode_hello(net::NodeId from, net::NodeId to,
   net::WireWriter w;
   w.put_u32(hello.node);
   w.put_u32(hello.port);
+  put_trace_tail(w, hello.trace);
   return finish(from, to, kHello, std::move(w));
 }
 
@@ -171,11 +191,13 @@ LiveHello decode_hello(const net::Message& msg, std::size_t max_frame_bytes) {
   LiveHello hello;
   hello.node = r.get_u32();
   hello.port = static_cast<std::uint16_t>(r.get_u32());
+  hello.trace = get_trace_tail(r);
   return hello;
 }
 
 net::Message encode_config(net::NodeId from, net::NodeId to,
-                           const LiveConfig& config) {
+                           const LiveConfig& config,
+                           const telemetry::TraceContext& trace) {
   net::WireWriter w;
   w.put_string(config.algorithm);
   w.put_u32(config.epochs);
@@ -229,6 +251,7 @@ net::Message encode_config(net::NodeId from, net::NodeId to,
     w.put_double(request.size_mb);
     w.put_u64(request.object_id);
   }
+  put_trace_tail(w, trace);
   return finish(from, to, kConfig, std::move(w));
 }
 
@@ -323,6 +346,7 @@ net::Message encode_peers(net::NodeId from, net::NodeId to,
     w.put_u32(entry.port);
   }
   put_bytes(w, peers.alive);
+  put_trace_tail(w, peers.trace);
   return finish(from, to, kPeers, std::move(w));
 }
 
@@ -341,6 +365,7 @@ LivePeers decode_peers(const net::Message& msg, std::size_t max_frame_bytes) {
     peers.peers.push_back(entry);
   }
   peers.alive = get_bytes(r);
+  peers.trace = get_trace_tail(r);
   return peers;
 }
 
@@ -351,6 +376,7 @@ net::Message encode_start(net::NodeId from, net::NodeId to,
   w.put_u64(start.generation);
   w.put_double(start.now);
   put_bytes(w, start.alive);
+  put_trace_tail(w, start.trace);
   return finish(from, to, kStart, std::move(w));
 }
 
@@ -361,6 +387,7 @@ LiveStart decode_start(const net::Message& msg, std::size_t max_frame_bytes) {
   start.generation = r.get_u64();
   start.now = r.get_double();
   start.alive = get_bytes(r);
+  start.trace = get_trace_tail(r);
   return start;
 }
 
@@ -372,6 +399,7 @@ net::Message encode_round(net::NodeId from, net::NodeId to,
   w.put_u32(round.round);
   w.put_u64(round.digest);
   w.put_double(round.load);
+  put_trace_tail(w, round.trace);
   return finish(from, to, kRound, std::move(w));
 }
 
@@ -383,11 +411,13 @@ LiveRound decode_round(const net::Message& msg, std::size_t max_frame_bytes) {
   round.round = r.get_u32();
   round.digest = r.get_u64();
   round.load = r.get_double();
+  round.trace = get_trace_tail(r);
   return round;
 }
 
 net::Message encode_sample(net::NodeId from, net::NodeId to,
-                           const telemetry::RoundSample& s) {
+                           const telemetry::RoundSample& s,
+                           const telemetry::TraceContext& trace) {
   net::WireWriter w;
   w.put_u64(s.epoch);
   w.put_u64(s.round);
@@ -403,11 +433,13 @@ net::Message encode_sample(net::NodeId from, net::NodeId to,
   w.put_double(s.load_delta);
   w.put_u64(s.messages_sent);
   w.put_u64(s.bytes_sent);
+  put_trace_tail(w, trace);
   return finish(from, to, kSample, std::move(w));
 }
 
 telemetry::RoundSample decode_sample(const net::Message& msg,
-                                     std::size_t max_frame_bytes) {
+                                     std::size_t max_frame_bytes,
+                                     telemetry::TraceContext* trace) {
   auto r = reader_for(msg, max_frame_bytes);
   telemetry::RoundSample s;
   s.epoch = r.get_u64();
@@ -424,6 +456,7 @@ telemetry::RoundSample decode_sample(const net::Message& msg,
   s.load_delta = r.get_double();
   s.messages_sent = r.get_u64();
   s.bytes_sent = r.get_u64();
+  if (trace != nullptr) *trace = get_trace_tail(r);
   return s;
 }
 
@@ -443,6 +476,7 @@ net::Message encode_epoch_done(net::NodeId from, net::NodeId to,
   } else {
     w.put_doubles(done.column);
   }
+  put_trace_tail(w, done.trace);
   return finish(from, to, kEpochDone, std::move(w));
 }
 
@@ -469,6 +503,7 @@ LiveEpochDone decode_epoch_done(const net::Message& msg,
   } else {
     throw std::out_of_range{"live: unknown epoch-done column encoding"};
   }
+  done.trace = get_trace_tail(r);
   return done;
 }
 
@@ -479,6 +514,7 @@ net::Message encode_stall(net::NodeId from, net::NodeId to,
   w.put_u64(stall.generation);
   w.put_u32(stall.round);
   put_bytes(w, stall.missing);
+  put_trace_tail(w, stall.trace);
   return finish(from, to, kStall, std::move(w));
 }
 
@@ -489,6 +525,7 @@ LiveStall decode_stall(const net::Message& msg, std::size_t max_frame_bytes) {
   stall.generation = r.get_u64();
   stall.round = r.get_u32();
   stall.missing = get_bytes(r);
+  stall.trace = get_trace_tail(r);
   return stall;
 }
 
@@ -500,6 +537,113 @@ net::Message encode_shutdown(net::NodeId from, net::NodeId to) {
   msg.bytes = 0;
   msg.payload = std::vector<std::uint8_t>{};
   return msg;
+}
+
+net::Message encode_telemetry(net::NodeId from, net::NodeId to,
+                              const LiveTelemetry& batch) {
+  net::WireWriter w;
+  w.put_u32(batch.node);
+  w.put_u64(batch.dropped);
+  w.put_u32(static_cast<std::uint32_t>(batch.events.size()));
+  for (const auto& event : batch.events) {
+    w.put_double(event.ts);
+    w.put_double(event.dur);
+    w.put_u32(event.tid);
+    w.put_u8(static_cast<std::uint8_t>(event.phase));
+    w.put_u64(event.id);
+    w.put_u64(event.parent);
+    w.put_string(event.name);
+    w.put_string(event.category);
+  }
+  put_trace_tail(w, batch.trace);
+  return finish(from, to, kTelemetry, std::move(w));
+}
+
+LiveTelemetry decode_telemetry(const net::Message& msg,
+                               std::size_t max_frame_bytes) {
+  auto r = reader_for(msg, max_frame_bytes);
+  LiveTelemetry batch;
+  batch.node = r.get_u32();
+  batch.dropped = r.get_u64();
+  const std::uint32_t count = r.get_u32();
+  // 45 bytes is the floor per event (fixed fields + two empty strings), so
+  // a declared count past this bound cannot fit in any legal frame.
+  if (std::size_t{count} * 45 > max_frame_bytes)
+    throw std::length_error{"live: telemetry batch exceeds frame cap"};
+  batch.events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    telemetry::TraceEvent event;
+    event.ts = r.get_double();
+    event.dur = r.get_double();
+    event.tid = r.get_u32();
+    const std::uint8_t phase = r.get_u8();
+    if (phase > static_cast<std::uint8_t>(
+                    telemetry::TraceEvent::Phase::kFlowEnd))
+      throw std::out_of_range{"live: unknown trace event phase"};
+    event.phase = static_cast<telemetry::TraceEvent::Phase>(phase);
+    event.id = r.get_u64();
+    event.parent = r.get_u64();
+    event.name = r.get_string();
+    event.category = r.get_string();
+    batch.events.push_back(std::move(event));
+  }
+  batch.trace = get_trace_tail(r);
+  return batch;
+}
+
+net::Message encode_time_probe(net::NodeId from, net::NodeId to,
+                               const LiveTimeProbe& probe) {
+  net::WireWriter w;
+  w.put_u32(probe.probe);
+  w.put_u64(static_cast<std::uint64_t>(probe.sent_ns));
+  return finish(from, to, kTimeProbe, std::move(w));
+}
+
+LiveTimeProbe decode_time_probe(const net::Message& msg,
+                                std::size_t max_frame_bytes) {
+  auto r = reader_for(msg, max_frame_bytes);
+  LiveTimeProbe probe;
+  probe.probe = r.get_u32();
+  probe.sent_ns = static_cast<std::int64_t>(r.get_u64());
+  return probe;
+}
+
+net::Message encode_time_reply(net::NodeId from, net::NodeId to,
+                               const LiveTimeReply& reply) {
+  net::WireWriter w;
+  w.put_u32(reply.probe);
+  w.put_u64(static_cast<std::uint64_t>(reply.probe_ns));
+  w.put_u64(static_cast<std::uint64_t>(reply.replica_ns));
+  return finish(from, to, kTimeReply, std::move(w));
+}
+
+LiveTimeReply decode_time_reply(const net::Message& msg,
+                                std::size_t max_frame_bytes) {
+  auto r = reader_for(msg, max_frame_bytes);
+  LiveTimeReply reply;
+  reply.probe = r.get_u32();
+  reply.probe_ns = static_cast<std::int64_t>(r.get_u64());
+  reply.replica_ns = static_cast<std::int64_t>(r.get_u64());
+  return reply;
+}
+
+const char* live_frame_type_name(int type) {
+  switch (type) {
+    case kHello: return "hello";
+    case kConfig: return "config";
+    case kPeers: return "peers";
+    case kStart: return "start";
+    case kRound: return "round";
+    case kSample: return "sample";
+    case kEpochDone: return "epoch_done";
+    case kStall: return "stall";
+    case kShutdown: return "shutdown";
+    case kPeerDown: return "peer_down";
+    case kTelemetry: return "telemetry";
+    case kTimeProbe: return "time_probe";
+    case kTimeReply: return "time_reply";
+    default: return nullptr;
+  }
 }
 
 }  // namespace edr::runtime

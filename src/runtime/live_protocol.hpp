@@ -29,7 +29,9 @@
 #include "net/network.hpp"
 #include "optim/problem.hpp"
 #include "power/model.hpp"
+#include "telemetry/distributed_trace.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/trace.hpp"
 #include "workload/trace.hpp"
 
 namespace edr::runtime {
@@ -47,7 +49,24 @@ enum LiveMessageType : int {
   kStall = 207,      ///< replica -> coord: barrier timed out, who is missing
   kShutdown = 208,   ///< coord -> replica: exit cleanly
   kPeerDown = 209,   ///< synthetic (local): transport lost a connection
+  kTelemetry = 210,  ///< replica -> coord: flushed span-buffer batch
+  kTimeProbe = 211,  ///< coord -> replica: clock probe (coord steady ns)
+  kTimeReply = 212,  ///< replica -> coord: probe echo + replica steady ns
 };
+
+/// Human label for a LiveMessageType ("hello", "round", ...); nullptr for
+/// ids outside the live range.  Front ends feed these to
+/// Transport::set_type_name so per-type traffic reports and the
+/// net.bytes_by_type metric read "round" instead of "204".
+[[nodiscard]] const char* live_frame_type_name(int type);
+
+// Observability tail: every encoder below accepts a telemetry::TraceContext
+// (either as a struct member or a trailing default argument) and appends a
+// 16-byte (trace_id, span_id) tail to the payload *only when the context
+// is valid* — with tracing off the wire bytes are unchanged.  Decoders read
+// the tail iff at least 16 payload bytes remain after the body; decoders
+// that predate the tail simply never look past the body, so old and new
+// processes interoperate in both directions (see DESIGN.md §14).
 
 /// Everything a replica needs to run the whole schedule deterministically.
 /// A subset of SystemConfig plus the full request trace; features the live
@@ -106,6 +125,7 @@ struct LiveConfig {
 struct LiveHello {
   net::NodeId node = 0;
   std::uint16_t port = 0;  ///< 0 over transports without ports (inproc)
+  telemetry::TraceContext trace;
 };
 
 struct PeerEntry {
@@ -117,6 +137,7 @@ struct LivePeers {
   std::uint64_t generation = 0;
   std::vector<PeerEntry> peers;
   std::vector<std::uint8_t> alive;  ///< per replica id, 1 = scheduled
+  telemetry::TraceContext trace;
 };
 
 struct LiveStart {
@@ -124,6 +145,7 @@ struct LiveStart {
   std::uint64_t generation = 0;
   double now = 0.0;  ///< logical epoch-start time (tariff clock)
   std::vector<std::uint8_t> alive;
+  telemetry::TraceContext trace;
 };
 
 struct LiveRound {
@@ -132,6 +154,7 @@ struct LiveRound {
   std::uint32_t round = 0;
   std::uint64_t digest = 0;  ///< sender's post-step state digest
   double load = 0.0;         ///< sender's assigned load after this round
+  telemetry::TraceContext trace;
 };
 
 struct LiveEpochDone {
@@ -153,6 +176,7 @@ struct LiveEpochDone {
   std::vector<std::uint32_t> indices;    ///< row ids (kSparseColumn)
   /// Dense: one value per active client.  Sparse: one value per index.
   std::vector<double> column;
+  telemetry::TraceContext trace;
 };
 
 struct LiveStall {
@@ -160,6 +184,34 @@ struct LiveStall {
   std::uint64_t generation = 0;
   std::uint32_t round = 0;
   std::vector<std::uint8_t> missing;  ///< per replica id, 1 = not heard from
+  telemetry::TraceContext trace;
+};
+
+/// Flushed span-buffer batch (kTelemetry): a replica ships the events its
+/// local steady-clock tracer recorded since the previous flush.  Timestamps
+/// are the *sender's* clock; the coordinator aligns them with its
+/// ClockOffsetEstimator offsets before merging.  An empty batch is legal
+/// (a flush with nothing new still reports `dropped`).
+struct LiveTelemetry {
+  net::NodeId node = 0;
+  std::uint64_t dropped = 0;  ///< sender-side ring-buffer drops so far
+  std::vector<telemetry::TraceEvent> events;
+  telemetry::TraceContext trace;
+};
+
+/// Clock probe (kTimeProbe): the coordinator stamps its own steady clock;
+/// the replica echoes it back with its own reading (kTimeReply).  The
+/// coordinator computes the NTP-style midpoint offset from the echo and
+/// its receive time — see telemetry::ClockOffsetEstimator.
+struct LiveTimeProbe {
+  std::uint32_t probe = 0;     ///< sequence number, echoed verbatim
+  std::int64_t sent_ns = 0;    ///< sender steady-clock at send
+};
+
+struct LiveTimeReply {
+  std::uint32_t probe = 0;
+  std::int64_t probe_ns = 0;    ///< echoed LiveTimeProbe::sent_ns
+  std::int64_t replica_ns = 0;  ///< replica steady-clock at reply
 };
 
 /// FNV-1a over raw double bit patterns — the replication digest.
@@ -178,8 +230,12 @@ struct LiveStall {
 [[nodiscard]] LiveHello decode_hello(const net::Message& msg,
                                      std::size_t max_frame_bytes);
 
-[[nodiscard]] net::Message encode_config(net::NodeId from, net::NodeId to,
-                                         const LiveConfig& config);
+/// LiveConfig itself stays inside the determinism boundary, so the trace
+/// context rides as a trailing argument instead of a struct member;
+/// decode_config ignores the tail (config delivery needs no causal link).
+[[nodiscard]] net::Message encode_config(
+    net::NodeId from, net::NodeId to, const LiveConfig& config,
+    const telemetry::TraceContext& trace = {});
 [[nodiscard]] LiveConfig decode_config(const net::Message& msg,
                                        std::size_t max_frame_bytes);
 
@@ -198,10 +254,14 @@ struct LiveStall {
 [[nodiscard]] LiveRound decode_round(const net::Message& msg,
                                      std::size_t max_frame_bytes);
 
-[[nodiscard]] net::Message encode_sample(net::NodeId from, net::NodeId to,
-                                         const telemetry::RoundSample& s);
+/// RoundSample is a telemetry type, so (like kConfig) the trace context
+/// rides beside it; decode fills `trace` when non-null and a tail exists.
+[[nodiscard]] net::Message encode_sample(
+    net::NodeId from, net::NodeId to, const telemetry::RoundSample& s,
+    const telemetry::TraceContext& trace = {});
 [[nodiscard]] telemetry::RoundSample decode_sample(
-    const net::Message& msg, std::size_t max_frame_bytes);
+    const net::Message& msg, std::size_t max_frame_bytes,
+    telemetry::TraceContext* trace = nullptr);
 
 [[nodiscard]] net::Message encode_epoch_done(net::NodeId from, net::NodeId to,
                                              const LiveEpochDone& done);
@@ -214,5 +274,20 @@ struct LiveStall {
                                      std::size_t max_frame_bytes);
 
 [[nodiscard]] net::Message encode_shutdown(net::NodeId from, net::NodeId to);
+
+[[nodiscard]] net::Message encode_telemetry(net::NodeId from, net::NodeId to,
+                                            const LiveTelemetry& batch);
+[[nodiscard]] LiveTelemetry decode_telemetry(const net::Message& msg,
+                                             std::size_t max_frame_bytes);
+
+[[nodiscard]] net::Message encode_time_probe(net::NodeId from, net::NodeId to,
+                                             const LiveTimeProbe& probe);
+[[nodiscard]] LiveTimeProbe decode_time_probe(const net::Message& msg,
+                                              std::size_t max_frame_bytes);
+
+[[nodiscard]] net::Message encode_time_reply(net::NodeId from, net::NodeId to,
+                                             const LiveTimeReply& reply);
+[[nodiscard]] LiveTimeReply decode_time_reply(const net::Message& msg,
+                                              std::size_t max_frame_bytes);
 
 }  // namespace edr::runtime

@@ -7,7 +7,55 @@
 
 namespace edr::runtime {
 
-std::string live_run_to_json(const LiveRunResult& result) {
+namespace {
+
+void write_timeline(JsonWriter& json, const LiveRunResult& result) {
+  json.key("timeline");
+  json.begin_array();
+  for (const auto& event : result.timeline) {
+    json.begin_object();
+    json.field("t_s", event.t_s);
+    json.field("kind", event.kind);
+    json.field("epoch", event.epoch);
+    json.field("replica", event.replica);
+    json.field("generation", event.generation);
+    if (!event.detail.empty()) json.field("detail", event.detail);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+void write_transport(JsonWriter& json, const TransportReport& transport) {
+  json.key("transport");
+  json.begin_object();
+  json.field("messages_sent", transport.totals.messages_sent);
+  json.field("messages_received", transport.totals.messages_received);
+  json.field("bytes_sent", transport.totals.bytes_sent);
+  json.field("bytes_received", transport.totals.bytes_received);
+  json.field("queue_overflows", transport.queue_overflows);
+  json.field("frame_errors", transport.frame_errors);
+  json.field("connects_completed", transport.connects_completed);
+  json.field("frames_dropped_by_fault", transport.frames_dropped_by_fault);
+  json.key("by_type");
+  json.begin_array();
+  for (const auto& [type, traffic] : transport.by_type) {
+    json.begin_object();
+    const auto name = transport.type_names.find(type);
+    json.field("type", name != transport.type_names.end()
+                           ? name->second
+                           : std::to_string(type));
+    json.field("messages", traffic.messages);
+    json.field("bytes", traffic.bytes);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string live_run_to_json(const LiveRunResult& result,
+                             const TransportReport* transport) {
   JsonWriter json;
   json.begin_object();
   json.field("completed", result.completed);
@@ -43,6 +91,40 @@ std::string live_run_to_json(const LiveRunResult& result) {
                std::string{telemetry::to_string(alert.severity)});
     json.field("epoch", static_cast<std::uint64_t>(alert.epoch));
     json.field("message", alert.message);
+    json.end_object();
+  }
+  json.end_array();
+  write_timeline(json, result);
+  if (transport != nullptr) write_transport(json, *transport);
+  json.end_object();
+  return json.str();
+}
+
+std::string live_postmortem_json(const LiveRunResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("completed", result.completed);
+  json.field("generations", result.generations);
+  json.key("failed_replicas");
+  json.begin_array();
+  for (const auto replica : result.failed_replicas)
+    json.value(static_cast<std::uint64_t>(replica));
+  json.end_array();
+  write_timeline(json, result);
+  // Re-convergence summary: the epochs as the membership saw them, so a
+  // reader can line the timeline's generation bumps up against rounds
+  // and digest agreement without the full run report.
+  json.key("epochs");
+  json.begin_array();
+  for (const auto& epoch : result.epochs) {
+    json.begin_object();
+    json.field("epoch", epoch.epoch);
+    json.field("generation", epoch.generation);
+    json.field("rounds", epoch.rounds);
+    json.field("participants",
+               static_cast<std::uint64_t>(epoch.participants.size()));
+    json.field("digests_agree", epoch.digests_agree);
+    json.field("wall_ms", epoch.wall_ms);
     json.end_object();
   }
   json.end_array();

@@ -4,18 +4,44 @@
 // the per-epoch objectives across transports this way).
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 
+#include "net/network.hpp"
 #include "runtime/coordinator.hpp"
 
 namespace edr::runtime {
 
+/// Socket-level totals for the optional `transport` section of the JSON
+/// report — filled by the front end from its TcpTransport (totals,
+/// per-frame-type traffic, overflow/error/reconnect counters).
+struct TransportReport {
+  net::TrafficStats totals;
+  std::map<int, net::TypeTraffic> by_type;
+  /// Labels for `by_type` keys (missing ids render as the number).
+  std::map<int, std::string> type_names;
+  std::uint64_t queue_overflows = 0;
+  std::uint64_t frame_errors = 0;
+  std::uint64_t connects_completed = 0;
+  std::uint64_t frames_dropped_by_fault = 0;
+};
+
 /// Machine-readable run result: completion, generations, per-epoch rows
 /// (epoch, generation, rounds, participants, digests_agree, objective,
-/// wall_ms) and the monitor's alerts.
-[[nodiscard]] std::string live_run_to_json(const LiveRunResult& result);
+/// wall_ms), the monitor's alerts, and the runtime event timeline.  When
+/// `transport` is non-null a `transport` section with socket-level stats
+/// is appended (edr_live --json).
+[[nodiscard]] std::string live_run_to_json(
+    const LiveRunResult& result, const TransportReport* transport = nullptr);
 
 /// Human-readable per-epoch table plus alert lines, for stdout.
 [[nodiscard]] std::string live_run_to_table(const LiveRunResult& result);
+
+/// Chaos post-mortem: one JSON document whose `timeline` correlates the
+/// injected faults, membership transitions (mark_dead / generation
+/// bumps), monitor alerts (fired and cleared), and each epoch's
+/// re-convergence (rounds, digests) in wall-clock order.
+[[nodiscard]] std::string live_postmortem_json(const LiveRunResult& result);
 
 }  // namespace edr::runtime

@@ -114,6 +114,13 @@ void LocalCluster::start_replica(net::NodeId id) {
   node.bus = std::make_unique<KillableBus>(std::move(inner), node.killed);
   node.replica = std::make_unique<LiveReplica>(*node.bus, coordinator_id_,
                                                replica_options);
+  if (observing()) {
+    ObserverOptions observer_options = options_.observer;
+    observer_options.metrics_port = 0;  // ephemeral: N endpoints, one host
+    node.observer = std::make_unique<RuntimeObserver>(
+        id, "replica " + std::to_string(id), observer_options);
+    node.replica->set_observer(node.observer.get());
+  }
   node.thread = std::thread{[replica = node.replica.get()] {
     try {
       replica->run();
@@ -141,7 +148,16 @@ LiveRunResult LocalCluster::run() {
 
   LiveCoordinator coordinator{*coordinator_bus_, config_,
                               coordinator_options};
+  if (observing()) {
+    coordinator_observer_ = std::make_unique<RuntimeObserver>(
+        coordinator_id_, "coordinator", options_.observer);
+    coordinator.set_observer(coordinator_observer_.get());
+  }
+  coordinator_ = &coordinator;
   LiveRunResult result = coordinator.run();
+  if (options_.observer.tracing)
+    merged_trace_json_ = coordinator.merged_trace_json();
+  coordinator_ = nullptr;
 
   // Orderly teardown: the coordinator already said kShutdown; closing the
   // transports unblocks anything still waiting.
@@ -196,6 +212,11 @@ void LocalCluster::set_fault_hook(net::NodeId replica, net::FaultHook hook) {
 void LocalCluster::apply_chaos(std::uint32_t epoch) {
   for (const auto& action : options_.chaos.actions) {
     if (action.epoch != epoch) continue;
+    // The fault lands in the same timeline the coordinator writes its
+    // membership transitions into — the post-mortem's causal spine.
+    if (coordinator_ != nullptr)
+      coordinator_->log_event("fault", to_string(action.kind),
+                              action.replica);
     switch (action.kind) {
       case ChaosKind::kKill:
         kill_replica(action.replica);

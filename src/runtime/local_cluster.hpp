@@ -40,6 +40,11 @@ struct LocalClusterOptions {
   ReplicaOptions replica{.barrier_timeout_s = 0.5, .idle_timeout_s = 10.0};
   ChaosPlan chaos;
   std::size_t max_frame_bytes = 16u << 20;
+  /// Per-node observability (off by default; digests are unaffected
+  /// either way).  `metrics_port` applies to the coordinator's endpoint;
+  /// replica endpoints always bind ephemeral ports — read them back via
+  /// replica_observer()->metrics_port().
+  ObserverOptions observer;
 };
 
 class LocalCluster {
@@ -64,14 +69,33 @@ class LocalCluster {
     return options_.transport;
   }
 
+  /// Merged multi-process Chrome trace; empty unless observer.tracing
+  /// was on.  Valid after run().
+  [[nodiscard]] const std::string& merged_trace_json() const {
+    return merged_trace_json_;
+  }
+  /// The coordinator's observer (null when observability is off).
+  [[nodiscard]] RuntimeObserver* coordinator_observer() {
+    return coordinator_observer_.get();
+  }
+  /// A live replica's observer (null when off or the node is down).
+  [[nodiscard]] RuntimeObserver* replica_observer(net::NodeId replica) {
+    return replica < nodes_.size() ? nodes_[replica].observer.get() : nullptr;
+  }
+
  private:
   struct Node {
     std::unique_ptr<net::TcpTransport> tcp;  // tcp mode only
     std::unique_ptr<MessageBus> bus;
     std::shared_ptr<std::atomic<bool>> killed;
+    std::unique_ptr<RuntimeObserver> observer;  // observability on only
     std::unique_ptr<LiveReplica> replica;
     std::thread thread;
   };
+
+  [[nodiscard]] bool observing() const {
+    return options_.observer.tracing || options_.observer.metrics_server;
+  }
 
   void start_replica(net::NodeId id);
   void apply_chaos(std::uint32_t epoch);
@@ -89,6 +113,9 @@ class LocalCluster {
   /// Killed-then-replaced nodes' remains: exiting threads and the
   /// transports that must outlive them.  Joined in the destructor.
   std::vector<Node> graveyard_;
+  std::unique_ptr<RuntimeObserver> coordinator_observer_;
+  LiveCoordinator* coordinator_ = nullptr;  // run()-scoped, for chaos logs
+  std::string merged_trace_json_;
   bool ran_ = false;
 };
 

@@ -1,0 +1,97 @@
+#include "runtime/observer.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace edr::runtime {
+
+namespace {
+
+/// High-bit prefix making every process's causal ids globally unique in
+/// the merged trace: 2^40 ids per process before any overlap.
+std::uint64_t id_base_for(net::NodeId node) {
+  return (std::uint64_t{node} + 1) << 40;
+}
+
+}  // namespace
+
+RuntimeObserver::RuntimeObserver(net::NodeId node, std::string role,
+                                 ObserverOptions options)
+    : node_(node),
+      role_(std::move(role)),
+      options_(options),
+      telemetry_(telemetry::TelemetryOptions{
+          .atomic_metrics = true, .trace_capacity = options.trace_capacity}) {
+  auto& tracer = telemetry_.tracer();
+  tracer.set_enabled(options_.tracing);
+  tracer.set_id_base(id_base_for(node_));
+  tracer.set_clock(
+      [] { return static_cast<double>(now_ns()) * 1e-9; });
+  if (options_.tracing) trace_id_ = 1;  // one live run = one trace
+
+  cpu_gauge_ = metrics().gauge("process.cpu_utilization");
+  rss_gauge_ = metrics().gauge("process.rss_bytes");
+  watts_gauge_ = metrics().gauge("process.power_watts");
+  refresh_resource_gauges();  // prime the CPU sampler's baseline
+
+  if (options_.metrics_server)
+    scrape_ = std::make_unique<telemetry::ScrapeServer>(
+        metrics(), options_.metrics_port,
+        [this] { refresh_resource_gauges(); });
+}
+
+std::int64_t RuntimeObserver::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+telemetry::TraceContext RuntimeObserver::flow_out(std::string_view name,
+                                                  std::string_view category,
+                                                  std::uint64_t parent) {
+  if (!options_.tracing) return {};
+  auto& tracer = telemetry_.tracer();
+  const std::uint64_t id = tracer.new_id();
+  tracer.flow_begin(id, name, category, node_, parent);
+  return {trace_id_, id};
+}
+
+void RuntimeObserver::flow_in(const telemetry::TraceContext& trace,
+                              std::string_view name,
+                              std::string_view category) {
+  if (!options_.tracing || !trace.valid()) return;
+  telemetry_.tracer().flow_end(trace.span_id, name, category, node_);
+}
+
+LiveTelemetry RuntimeObserver::drain() {
+  LiveTelemetry batch;
+  batch.node = node_;
+  auto& tracer = telemetry_.tracer();
+  batch.events = tracer.events();
+  batch.dropped = tracer.dropped();  // drops since the previous drain
+  drained_drops_ += batch.dropped;
+  tracer.clear();  // keeps the id counter: later spans get fresh ids
+  return batch;
+}
+
+void RuntimeObserver::set_power_params(
+    const power::PowerModelParams& params) {
+  const std::scoped_lock lock{resource_mutex_};
+  power_model_ = power::PowerModel{params};
+}
+
+void RuntimeObserver::refresh_resource_gauges() {
+  const std::scoped_lock lock{resource_mutex_};
+  telemetry::ProcessStats stats;
+  const double utilization = cpu_sampler_.sample(&stats);
+  if (!stats.ok) return;  // not on Linux/procfs: leave the gauges at zero
+  cpu_gauge_.set(utilization);
+  rss_gauge_.set(static_cast<double>(stats.rss_bytes));
+  // Measured utilization stands in for the sim's modeled coordination
+  // intensity: a busy replica is "selecting", an idle one idles.
+  const auto activity = utilization > 0.01 ? power::Activity::kSelecting
+                                           : power::Activity::kIdle;
+  watts_gauge_.set(power_model_.draw(activity, utilization));
+}
+
+}  // namespace edr::runtime

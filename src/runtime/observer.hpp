@@ -1,0 +1,128 @@
+// RuntimeObserver — the per-process observability plane of the live
+// runtime (DESIGN.md §14).
+//
+// One observer lives in each live process (every replica daemon plus the
+// coordinator) and bundles what the single-process sim gets from its
+// Telemetry context, re-based onto *wall clock*:
+//
+//  * a steady-clock EventTracer whose causal ids carry a node-unique
+//    high-bit prefix, so spans/flows from different OS processes never
+//    collide after merging;
+//  * trace-context helpers that pair a local flow-begin with the 16-byte
+//    tail a live_protocol frame carries, and the matching flow-end on the
+//    receiving process — the cross-process arrows of the merged trace;
+//  * drain() — the span-buffer flush a replica ships to the coordinator
+//    as a kTelemetry frame at each epoch boundary;
+//  * an atomic MetricsRegistry shared by the transport io thread, and an
+//    optional HTTP scrape endpoint serving it live;
+//  * /proc/self/stat resource gauges (CPU fraction, RSS) plus an
+//    estimated power draw through power::PowerModel — live-mode power
+//    metering, with measured utilization standing in for the sim's
+//    modeled activity intensity.
+//
+// Everything here is opt-in and stays off the algorithm path: round
+// digests hash solver state, never frames or clocks, so a run with an
+// observer attached is byte-identical to one without.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "net/network.hpp"
+#include "power/model.hpp"
+#include "runtime/live_protocol.hpp"
+#include "telemetry/process_stats.hpp"
+#include "telemetry/scrape_server.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace edr::runtime {
+
+struct ObserverOptions {
+  /// Record spans/flows and stamp frames with trace contexts.
+  bool tracing = false;
+  /// Serve the registry over HTTP (Prometheus text format).
+  bool metrics_server = false;
+  /// Port for the scrape endpoint (0 = ephemeral; see metrics_port()).
+  std::uint16_t metrics_port = 0;
+  /// Tracer ring capacity per flush interval.
+  std::size_t trace_capacity = 1 << 15;
+};
+
+class RuntimeObserver {
+ public:
+  /// `role` labels the process track in the merged trace ("replica 2",
+  /// "coordinator").  Throws std::runtime_error if the scrape port
+  /// cannot be bound.
+  RuntimeObserver(net::NodeId node, std::string role, ObserverOptions options);
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] const std::string& role() const { return role_; }
+  [[nodiscard]] bool tracing() const { return options_.tracing; }
+
+  [[nodiscard]] telemetry::Telemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] const telemetry::Telemetry& telemetry() const {
+    return telemetry_;
+  }
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() {
+    return telemetry_.metrics();
+  }
+  [[nodiscard]] telemetry::EventTracer& tracer() {
+    return telemetry_.tracer();
+  }
+
+  /// Steady-clock reading, the tracer's time base.
+  [[nodiscard]] static std::int64_t now_ns();
+
+  /// Bound scrape port (0 when no server was requested).
+  [[nodiscard]] std::uint16_t metrics_port() const {
+    return scrape_ ? scrape_->port() : 0;
+  }
+  [[nodiscard]] std::uint64_t scrapes() const {
+    return scrape_ ? scrape_->scrapes() : 0;
+  }
+
+  /// Record a flow-begin on this process's track and return the context
+  /// to stamp on the outgoing frame (invalid context when tracing is off
+  /// — the frame then carries no tail).
+  [[nodiscard]] telemetry::TraceContext flow_out(std::string_view name,
+                                                 std::string_view category,
+                                                 std::uint64_t parent = 0);
+  /// Record the matching flow-end for a context received on a frame.
+  void flow_in(const telemetry::TraceContext& trace, std::string_view name,
+               std::string_view category);
+
+  /// Flush the span buffer: everything recorded since the previous drain,
+  /// ready to ship as a kTelemetry frame.  Ring drops since the previous
+  /// drain ride along so the merger can report loss.
+  [[nodiscard]] LiveTelemetry drain();
+
+  /// Parameters for the estimated-watts gauge (defaults to the paper's
+  /// SystemG model until the LiveConfig arrives).
+  void set_power_params(const power::PowerModelParams& params);
+
+  /// Re-sample /proc/self/stat into the process.* gauges.  Called at
+  /// epoch boundaries and before every scrape render.
+  void refresh_resource_gauges();
+
+ private:
+  net::NodeId node_;
+  std::string role_;
+  ObserverOptions options_;
+  telemetry::Telemetry telemetry_;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t drained_drops_ = 0;
+
+  std::mutex resource_mutex_;  // scrape thread vs. epoch-boundary refresh
+  telemetry::CpuSampler cpu_sampler_;
+  power::PowerModel power_model_;
+  telemetry::Gauge cpu_gauge_;
+  telemetry::Gauge rss_gauge_;
+  telemetry::Gauge watts_gauge_;
+
+  std::unique_ptr<telemetry::ScrapeServer> scrape_;  // last: uses the rest
+};
+
+}  // namespace edr::runtime

@@ -30,6 +30,8 @@ ReplicaExit LiveReplica::run() {
   LiveHello hello;
   hello.node = bus_.self();
   hello.port = options_.listen_port;
+  if (observer_ != nullptr)
+    hello.trace = observer_->flow_out("hello", "live_ctl");
   bus_.post(encode_hello(bus_.self(), coordinator_, hello));
 
   std::optional<LiveStart> queued_start;
@@ -43,8 +45,9 @@ ReplicaExit LiveReplica::run() {
           start.alive[bus_.self()]) {
         rebuild_for_generation(start.generation);
         EpochOutcome outcome = run_epoch(start);
-        if (outcome.shutdown) return ReplicaExit::kShutdown;
         if (outcome.bus_closed) return ReplicaExit::kBusClosed;
+        flush_telemetry();
+        if (outcome.shutdown) return ReplicaExit::kShutdown;
         if (outcome.next_start) queued_start = outcome.next_start;
       }
       idle_since = now_seconds();
@@ -69,6 +72,7 @@ ReplicaExit LiveReplica::run() {
         models_.clear();
         for (const auto& params : config_->power_per_replica)
           models_.emplace_back(params);
+        if (observer_ != nullptr) observer_->set_power_params(config_->power);
         algorithm_.reset();
         retry_backlog_.clear();
         // pending_rounds_ survives deliberately: over TCP a fast peer's
@@ -82,6 +86,11 @@ ReplicaExit LiveReplica::run() {
         break;
       case kStart:
         queued_start = decode_start(*received, bus_.max_frame_bytes());
+        if (observer_ != nullptr)
+          observer_->flow_in(queued_start->trace, "start", "live_start");
+        break;
+      case kTimeProbe:
+        reply_time_probe(*received);
         break;
       case kRound: {
         // A fast peer's first round frame can overtake our own kStart (the
@@ -89,11 +98,14 @@ ReplicaExit LiveReplica::run() {
         // the barrier instead of dropping it, or the peer gets blamed for
         // a stall it did not cause.
         const LiveRound peer = decode_round(*received, bus_.max_frame_bytes());
+        if (observer_ != nullptr)
+          observer_->flow_in(peer.trace, "round", "live_round");
         pending_rounds_[{peer.generation, peer.epoch, peer.round}]
                        [received->from] = peer.digest;
         break;
       }
       case kShutdown:
+        flush_telemetry();
         return ReplicaExit::kShutdown;
       default:
         break;  // peer-down notices and strays: not ours to act on
@@ -102,6 +114,8 @@ ReplicaExit LiveReplica::run() {
 }
 
 void LiveReplica::apply_peers(const LivePeers& peers) {
+  if (observer_ != nullptr)
+    observer_->flow_in(peers.trace, "peers", "live_ctl");
   generation_ = std::max(generation_, peers.generation);
   scheduled_ = peers.alive;
   for (const auto& entry : peers.peers) {
@@ -135,6 +149,8 @@ void LiveReplica::bucket_requests() {
 
 LiveReplica::EpochOutcome LiveReplica::run_epoch(const LiveStart& start) {
   EpochOutcome outcome;
+  const auto tid = static_cast<std::uint32_t>(bus_.self());
+  const telemetry::ScopedSpan epoch_span(tracer(), "epoch", "live_epoch", tid);
   const auto num_replicas = config_->num_replicas();
   const auto num_clients = std::size_t{config_->num_clients};
   const std::uint64_t mismatches_before = digest_mismatches_;
@@ -183,6 +199,9 @@ LiveReplica::EpochOutcome LiveReplica::run_epoch(const LiveStart& start) {
   if (active_clients_.empty()) {
     // Nothing to schedule this epoch; agree on the empty allocation.
     done_frame.digest = digest_doubles(nullptr, 0);
+    if (observer_ != nullptr)
+      done_frame.trace =
+          observer_->flow_out("epoch_done", "live_ctl", epoch_span.id());
     bus_.post(encode_epoch_done(bus_.self(), coordinator_, done_frame));
     ++epochs_completed_;
     outcome.completed = true;
@@ -231,30 +250,53 @@ LiveReplica::EpochOutcome LiveReplica::run_epoch(const LiveStart& start) {
   std::vector<telemetry::RoundSample> samples;
   if (algorithm_->iterative()) {
     while (true) {
-      const bool done = algorithm_->step_round(ctx);
-      ++round;
-      samples.clear();
-      algorithm_->observe(ctx, samples);
+      const telemetry::ScopedSpan round_span(tracer(), "round", "live_round",
+                                             tid, epoch_span.id());
+      bool done = false;
+      {
+        const telemetry::ScopedSpan solve_span(tracer(), "solve",
+                                               "live_round", tid,
+                                               round_span.id());
+        done = algorithm_->step_round(ctx);
+        ++round;
+        samples.clear();
+        algorithm_->observe(ctx, samples);
+      }
       for (auto& sample : samples) {
         sample.epoch = start.epoch;
         sample.time = start.now;
       }
       const std::uint64_t digest = digest_samples(samples);
-      LiveRound frame{.epoch = start.epoch,
-                      .generation = start.generation,
-                      .round = round,
-                      .digest = digest};
+      LiveRound frame;
+      frame.epoch = start.epoch;
+      frame.generation = start.generation;
+      frame.round = round;
+      frame.digest = digest;
       for (const auto& sample : samples) {
         if (sample.replica != bus_.self()) continue;
         frame.load = sample.load;
-        bus_.post(encode_sample(bus_.self(), coordinator_, sample));
+        const auto sample_trace =
+            observer_ != nullptr
+                ? observer_->flow_out("sample", "live_sample", round_span.id())
+                : telemetry::TraceContext{};
+        bus_.post(
+            encode_sample(bus_.self(), coordinator_, sample, sample_trace));
       }
       for (const std::size_t n : active_replicas_) {
         if (n == bus_.self()) continue;
+        if (observer_ != nullptr)
+          frame.trace =
+              observer_->flow_out("round", "live_round", round_span.id());
         bus_.post(
             encode_round(bus_.self(), static_cast<net::NodeId>(n), frame));
       }
-      if (!await_round_barrier(start, round, digest, outcome)) {
+      bool barrier_ok = false;
+      {
+        const telemetry::ScopedSpan exchange_span(
+            tracer(), "exchange", "live_round", tid, round_span.id());
+        barrier_ok = await_round_barrier(start, round, digest, outcome);
+      }
+      if (!barrier_ok) {
         algorithm_->abort_epoch();
         return outcome;
       }
@@ -281,10 +323,15 @@ LiveReplica::EpochOutcome LiveReplica::run_epoch(const LiveStart& start) {
         if (received->type == kStart) {
           outcome.next_start =
               decode_start(*received, bus_.max_frame_bytes());
+          if (observer_ != nullptr)
+            observer_->flow_in(outcome.next_start->trace, "start",
+                               "live_start");
           return outcome;
         }
         if (received->type == kPeers) {
           apply_peers(decode_peers(*received, bus_.max_frame_bytes()));
+        } else if (received->type == kTimeProbe) {
+          reply_time_probe(*received);
         } else if (received->type == kShutdown) {
           outcome.shutdown = true;
           return outcome;
@@ -298,8 +345,13 @@ LiveReplica::EpochOutcome LiveReplica::run_epoch(const LiveStart& start) {
     for (auto& sample : samples) {
       sample.epoch = start.epoch;
       sample.time = start.now;
-      if (sample.replica == bus_.self())
-        bus_.post(encode_sample(bus_.self(), coordinator_, sample));
+      if (sample.replica != bus_.self()) continue;
+      const auto sample_trace =
+          observer_ != nullptr
+              ? observer_->flow_out("sample", "live_sample", epoch_span.id())
+              : telemetry::TraceContext{};
+      bus_.post(
+          encode_sample(bus_.self(), coordinator_, sample, sample_trace));
     }
   }
 
@@ -312,6 +364,9 @@ LiveReplica::EpochOutcome LiveReplica::run_epoch(const LiveStart& start) {
   std::size_t own_col = active_replicas_.size();
   for (std::size_t col = 0; col < active_replicas_.size(); ++col)
     if (active_replicas_[col] == bus_.self()) own_col = col;
+  if (observer_ != nullptr)
+    done_frame.trace =
+        observer_->flow_out("epoch_done", "live_ctl", epoch_span.id());
   if (own_col < active_replicas_.size()) {
     if (system_config_.representation !=
         core::SolverRepresentation::kDense) {
@@ -392,6 +447,8 @@ bool LiveReplica::await_round_barrier(const LiveStart& start,
       case kRound: {
         const LiveRound peer =
             decode_round(*received, bus_.max_frame_bytes());
+        if (observer_ != nullptr)
+          observer_->flow_in(peer.trace, "round", "live_round");
         if (peer.generation < start.generation) break;  // stale
         if (peer.generation == start.generation &&
             peer.epoch == start.epoch && peer.round == round) {
@@ -405,6 +462,8 @@ bool LiveReplica::await_round_barrier(const LiveStart& start,
       case kStart: {
         const LiveStart next =
             decode_start(*received, bus_.max_frame_bytes());
+        if (observer_ != nullptr)
+          observer_->flow_in(next.trace, "start", "live_start");
         if (next.generation > start.generation || next.epoch != start.epoch) {
           outcome.next_start = next;
           return false;
@@ -413,6 +472,9 @@ bool LiveReplica::await_round_barrier(const LiveStart& start,
       }
       case kPeers:
         apply_peers(decode_peers(*received, bus_.max_frame_bytes()));
+        break;
+      case kTimeProbe:
+        reply_time_probe(*received);
         break;
       case kShutdown:
         outcome.shutdown = true;
@@ -434,12 +496,33 @@ void LiveReplica::send_stall(const LiveStart& start, std::uint32_t round,
   for (const net::NodeId n : waiting)
     if (n < stall.missing.size()) stall.missing[n] = 1;
   ++stalls_reported_;
+  if (observer_ != nullptr) {
+    observer_->tracer().instant("stall", "live_alert",
+                                static_cast<std::uint32_t>(bus_.self()));
+    stall.trace = observer_->flow_out("stall", "live_ctl");
+  }
 #ifdef EDR_LIVE_TRACE
   std::fprintf(stderr, "[replica %u] stall epoch=%u gen=%llu round=%u\n",
                bus_.self(), start.epoch,
                (unsigned long long)start.generation, round);
 #endif
   bus_.post(encode_stall(bus_.self(), coordinator_, stall));
+}
+
+void LiveReplica::reply_time_probe(const net::Message& msg) {
+  const LiveTimeProbe probe = decode_time_probe(msg, bus_.max_frame_bytes());
+  LiveTimeReply reply;
+  reply.probe = probe.probe;
+  reply.probe_ns = probe.sent_ns;
+  reply.replica_ns = RuntimeObserver::now_ns();
+  bus_.post(encode_time_reply(bus_.self(), coordinator_, reply));
+}
+
+void LiveReplica::flush_telemetry() {
+  if (observer_ == nullptr) return;
+  observer_->refresh_resource_gauges();
+  if (!observer_->tracing()) return;
+  bus_.post(encode_telemetry(bus_.self(), coordinator_, observer_->drain()));
 }
 
 }  // namespace edr::runtime

@@ -29,6 +29,7 @@
 #include "core/algorithm.hpp"
 #include "runtime/bus.hpp"
 #include "runtime/live_protocol.hpp"
+#include "runtime/observer.hpp"
 
 namespace edr::runtime {
 
@@ -51,6 +52,11 @@ enum class ReplicaExit {
 class LiveReplica {
  public:
   LiveReplica(MessageBus& bus, net::NodeId coordinator, ReplicaOptions options);
+
+  /// Attach the process's observability plane (spans, flows, resource
+  /// gauges, kTelemetry flushes at epoch boundaries).  Optional; call
+  /// before run().  The observer must outlive the replica.
+  void set_observer(RuntimeObserver* observer) { observer_ = observer; }
 
   /// Announce, configure, serve epochs until shutdown.  Safe to call once.
   ReplicaExit run();
@@ -86,10 +92,20 @@ class LiveReplica {
                            std::uint64_t own_digest, EpochOutcome& outcome);
   void send_stall(const LiveStart& start, std::uint32_t round,
                   const std::vector<net::NodeId>& waiting);
+  /// Answer a coordinator clock probe with our steady-clock reading.
+  void reply_time_probe(const net::Message& msg);
+  /// Ship the drained span buffer to the coordinator (no-op when the
+  /// observer is absent or tracing is off).
+  void flush_telemetry();
+  [[nodiscard]] telemetry::EventTracer& tracer() {
+    return observer_ != nullptr ? observer_->tracer()
+                                : telemetry::disabled_tracer();
+  }
 
   MessageBus& bus_;
   const net::NodeId coordinator_;
   const ReplicaOptions options_;
+  RuntimeObserver* observer_ = nullptr;
 
   std::optional<LiveConfig> config_;
   core::SystemConfig system_config_;  // cached config_.to_system_config()

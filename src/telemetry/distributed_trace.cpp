@@ -1,0 +1,159 @@
+#include "telemetry/distributed_trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace edr::telemetry {
+
+void ClockOffsetEstimator::observe(std::uint32_t node,
+                                   std::int64_t local_send_ns,
+                                   std::int64_t remote_ns,
+                                   std::int64_t local_recv_ns) {
+  auto& estimate = estimates_[node];
+  ++estimate.probes;
+  const std::int64_t rtt = local_recv_ns - local_send_ns;
+  if (rtt < 0) return;  // clock went backwards / crossed probes: discard
+  if (estimate.rtt_ns >= 0 && rtt >= estimate.rtt_ns) return;
+  estimate.rtt_ns = rtt;
+  estimate.offset_ns = remote_ns - (local_send_ns + rtt / 2);
+}
+
+std::int64_t ClockOffsetEstimator::offset_ns(std::uint32_t node) const {
+  const auto it = estimates_.find(node);
+  return it == estimates_.end() ? 0 : it->second.offset_ns;
+}
+
+std::int64_t ClockOffsetEstimator::rtt_ns(std::uint32_t node) const {
+  const auto it = estimates_.find(node);
+  return it == estimates_.end() ? -1 : it->second.rtt_ns;
+}
+
+std::size_t ClockOffsetEstimator::probes(std::uint32_t node) const {
+  const auto it = estimates_.find(node);
+  return it == estimates_.end() ? 0 : it->second.probes;
+}
+
+void TraceMerger::set_process(std::uint32_t node, std::string name) {
+  tracks_[node].name = std::move(name);
+}
+
+void TraceMerger::set_offset_ns(std::uint32_t node, std::int64_t offset_ns) {
+  tracks_[node].offset_ns = offset_ns;
+}
+
+void TraceMerger::add_events(std::uint32_t node,
+                             std::vector<TraceEvent> events) {
+  auto& track = tracks_[node];
+  track.events.insert(track.events.end(),
+                      std::make_move_iterator(events.begin()),
+                      std::make_move_iterator(events.end()));
+}
+
+void TraceMerger::add_dropped(std::uint32_t node, std::uint64_t dropped) {
+  tracks_[node].dropped += dropped;
+}
+
+std::size_t TraceMerger::event_count() const {
+  std::size_t count = 0;
+  for (const auto& [node, track] : tracks_) count += track.events.size();
+  return count;
+}
+
+std::string TraceMerger::to_chrome_json() const {
+  struct Aligned {
+    double ts = 0.0;  ///< local-timeline seconds, before rebasing
+    std::uint32_t pid = 0;
+    const TraceEvent* event = nullptr;
+  };
+  std::vector<Aligned> aligned;
+  aligned.reserve(event_count());
+  std::uint64_t dropped = 0;
+  for (const auto& [node, track] : tracks_) {
+    dropped += track.dropped;
+    const double shift_s = static_cast<double>(track.offset_ns) * 1e-9;
+    for (const auto& event : track.events)
+      aligned.push_back({event.ts - shift_s, node, &event});
+  }
+  std::stable_sort(aligned.begin(), aligned.end(),
+                   [](const Aligned& a, const Aligned& b) {
+                     return a.ts < b.ts;
+                   });
+  // Rebase to the earliest event — steady-clock readings count from boot.
+  const double origin = aligned.empty() ? 0.0 : aligned.front().ts;
+
+  JsonWriter json;
+  json.begin_object().key("traceEvents").begin_array();
+  for (const auto& [node, track] : tracks_) {
+    json.begin_object()
+        .field("name", "process_name")
+        .field("ph", "M")
+        .field("pid", node)
+        .field("tid", 0)
+        .key("args")
+        .begin_object()
+        .field("name", track.name.empty() ? "node " + std::to_string(node)
+                                          : track.name)
+        .end_object()
+        .end_object();
+  }
+  for (const auto& record : aligned) {
+    const auto& event = *record.event;
+    const char* phase = "i";
+    switch (event.phase) {
+      case TraceEvent::Phase::kSpan:
+        phase = "X";
+        break;
+      case TraceEvent::Phase::kInstant:
+        phase = "i";
+        break;
+      case TraceEvent::Phase::kFlowStart:
+        phase = "s";
+        break;
+      case TraceEvent::Phase::kFlowEnd:
+        phase = "f";
+        break;
+    }
+    json.begin_object()
+        .field("name", event.name)
+        .field("cat", event.category.empty() ? "edr" : event.category)
+        .field("ph", phase)
+        .field("ts", (record.ts - origin) * 1e6)
+        .field("pid", record.pid)
+        .field("tid", event.tid);
+    switch (event.phase) {
+      case TraceEvent::Phase::kSpan:
+        json.field("dur", event.dur * 1e6);
+        if (event.id != 0) {
+          json.key("args").begin_object().field("span_id", event.id);
+          if (event.parent != 0) json.field("parent_id", event.parent);
+          json.end_object();
+        }
+        break;
+      case TraceEvent::Phase::kInstant:
+        json.field("s", "t");
+        break;
+      case TraceEvent::Phase::kFlowStart:
+        json.field("id", event.id);
+        if (event.parent != 0) {
+          json.key("args")
+              .begin_object()
+              .field("parent_id", event.parent)
+              .end_object();
+        }
+        break;
+      case TraceEvent::Phase::kFlowEnd:
+        json.field("id", event.id).field("bp", "e");
+        break;
+    }
+    json.end_object();
+  }
+  json.end_array()
+      .field("displayTimeUnit", "ms")
+      .field("droppedEvents", dropped)
+      .end_object();
+  return json.str();
+}
+
+}  // namespace edr::telemetry

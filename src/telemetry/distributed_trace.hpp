@@ -1,0 +1,104 @@
+// Cross-process tracing support for the live runtime (DESIGN.md §14).
+//
+// Three small pieces, all transport-agnostic (this layer must not depend
+// on edr_net — the net layer depends on us):
+//
+//  * TraceContext — the compact causal identity (trace id + parent span
+//    id) that live_protocol frames carry as an optional tail, so a round
+//    received over TCP can be linked back to the sender's span.
+//  * ClockOffsetEstimator — per-node clock alignment from probe/reply
+//    round trips, NTP style: the remote clock is assumed to read
+//    `remote_ns` at the midpoint of the local send/receive interval, and
+//    the estimate from the smallest round trip wins (less queueing noise
+//    on both legs means a tighter midpoint bound).
+//  * TraceMerger — collects per-process span buffers (each stamped by
+//    that process's own steady clock), applies the per-node offsets, and
+//    emits one Chrome Trace Event Format JSON with a real `pid` per OS
+//    process — flow arrows whose begin/end landed in different processes
+//    render as arrows crossing process tracks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace edr::telemetry {
+
+/// Causal identity carried across process boundaries on protocol frames.
+/// trace_id 0 means "no context" — the frame was sent with tracing off,
+/// and decoders treat a missing tail the same way.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< one id per live run
+  std::uint64_t span_id = 0;   ///< sender-side span the frame belongs to
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// Clock-offset estimation from probe round trips, one estimate per node.
+///
+/// A probe leaves the local clock at `local_send_ns`, the remote stamps it
+/// `remote_ns`, and the reply lands at `local_recv_ns`.  Assuming the
+/// remote stamped at the interval midpoint, the remote clock leads by
+/// `remote_ns - (local_send_ns + local_recv_ns) / 2`.  The estimate taken
+/// from the minimum-RTT probe is kept (classic NTP filtering); `offset_ns`
+/// for an unprobed node is 0, which merges its events unshifted.
+class ClockOffsetEstimator {
+ public:
+  void observe(std::uint32_t node, std::int64_t local_send_ns,
+               std::int64_t remote_ns, std::int64_t local_recv_ns);
+
+  /// Best offset estimate: how far `node`'s clock leads the local clock.
+  [[nodiscard]] std::int64_t offset_ns(std::uint32_t node) const;
+  /// Round trip of the probe the estimate came from (-1 if unprobed).
+  [[nodiscard]] std::int64_t rtt_ns(std::uint32_t node) const;
+  [[nodiscard]] std::size_t probes(std::uint32_t node) const;
+
+ private:
+  struct Estimate {
+    std::int64_t offset_ns = 0;
+    std::int64_t rtt_ns = -1;
+    std::size_t probes = 0;
+  };
+  std::map<std::uint32_t, Estimate> estimates_;
+};
+
+/// Merges per-process event buffers into one multi-pid Chrome trace.
+///
+/// Each node contributes events stamped by its own steady clock (seconds);
+/// `set_offset_ns` registers how far that clock leads the merging
+/// process's clock (from ClockOffsetEstimator), and the export shifts the
+/// node's timestamps onto the local timeline.  The whole trace is then
+/// rebased so the earliest event sits at t=0 — steady-clock readings count
+/// from boot, which the viewer would happily render 10^11 µs deep.
+class TraceMerger {
+ public:
+  /// Row-group title for the node's process track (e.g. "replica 2").
+  void set_process(std::uint32_t node, std::string name);
+  void set_offset_ns(std::uint32_t node, std::int64_t offset_ns);
+  /// Append a batch of events to the node's track (flush order preserved).
+  void add_events(std::uint32_t node, std::vector<TraceEvent> events);
+  /// Account ring-buffer drops reported by the node's tracer.
+  void add_dropped(std::uint32_t node, std::uint64_t dropped);
+
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::size_t process_count() const { return tracks_.size(); }
+
+  /// Chrome Trace Event Format JSON, one pid per node, globally sorted by
+  /// aligned timestamp.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  struct Track {
+    std::string name;
+    std::int64_t offset_ns = 0;
+    std::uint64_t dropped = 0;
+    std::vector<TraceEvent> events;
+  };
+  std::map<std::uint32_t, Track> tracks_;
+};
+
+}  // namespace edr::telemetry

@@ -5,8 +5,20 @@
 // the conventional `_total` suffix; histograms expand to cumulative
 // `_bucket{le=...}` series plus `_sum`/`_count`, matching what a scraper
 // expects from a client library.
+//
+// Labeled series: a registered name may carry a label block in the
+// client-library convention, e.g. `net.bytes_by_type{type="kRound"}`.
+// The block is split off before name sanitization, label *names* are
+// sanitized like metric names, and label *values* (stored raw in the
+// registry key) are escaped per the exposition-format spec: backslash,
+// double quote and newline become \\ , \" and \n.  Emitting them raw —
+// the pre-fix behavior — produced unparseable exposition output the
+// moment a peer address or frame-type string contained any of the three.
+#include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/fmt.hpp"
 #include "telemetry/export.hpp"
@@ -28,39 +40,144 @@ std::string sanitize(std::string_view name) {
   return out;
 }
 
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+struct SeriesName {
+  std::string metric;  ///< sanitized metric name, no label block
+  /// (sanitized label name, escaped label value) pairs, registration order.
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+/// Split `name.with.dots{key="raw value",...}` into a sanitized metric
+/// name plus escaped labels.  Values are stored raw in the registry key;
+/// a value may itself contain `\`, `"` or newlines — the closing quote is
+/// recognized only when followed by `,` or by `}` at the end of the name,
+/// so only a value containing those exact sequences needs pre-escaping by
+/// the registrant.  A name with no block (or a malformed one) sanitizes
+/// whole, which is the old behavior.
+SeriesName split_series(std::string_view name) {
+  SeriesName out;
+  const auto brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    out.metric = sanitize(name);
+    return out;
+  }
+  auto block = name.substr(brace + 1, name.size() - brace - 2);
+  std::vector<std::pair<std::string, std::string>> labels;
+  while (!block.empty()) {
+    const auto eq = block.find("=\"");
+    if (eq == std::string_view::npos) {
+      out.metric = sanitize(name);  // malformed: fall back, mangle whole
+      return out;
+    }
+    const auto key = block.substr(0, eq);
+    auto rest = block.substr(eq + 2);
+    // Closing quote: a `"` followed by `,` (more pairs) or ending the block.
+    std::size_t close = std::string_view::npos;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      if (rest[i] != '"') continue;
+      if (i + 1 == rest.size() || rest[i + 1] == ',') {
+        close = i;
+        break;
+      }
+    }
+    if (close == std::string_view::npos) {
+      out.metric = sanitize(name);
+      return out;
+    }
+    labels.emplace_back(sanitize(key), escape_label_value(rest.substr(0, close)));
+    block = rest.substr(close + 1 == rest.size() ? close + 1 : close + 2);
+  }
+  out.metric = sanitize(name.substr(0, brace));
+  out.labels = std::move(labels);
+  return out;
+}
+
+/// Render `{a="b",c="d"}` (with `extra` appended last, for histogram `le`),
+/// or an empty string when there are no labels at all.
+std::string label_block(const SeriesName& series, std::string_view extra = {}) {
+  if (series.labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  for (const auto& [key, value] : series.labels) {
+    if (out.size() > 1) out += ',';
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (out.size() > 1) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 std::string metrics_to_prometheus(const MetricsRegistry& registry) {
   std::string out;
+  std::string last_type_line;
+  // A labeled family shows up as several registry entries (one per label
+  // set) that share a metric name; emit each family's # TYPE header once.
+  const auto type_header = [&](const std::string& metric,
+                               const char* kind) {
+    auto line = strf("# TYPE %s %s\n", metric.c_str(), kind);
+    if (line == last_type_line) return;
+    last_type_line = line;
+    out += line;
+  };
   for (const auto& view : registry.counters()) {
-    const auto name = sanitize(view.name) + "_total";
-    out += strf("# TYPE %s counter\n", name.c_str());
-    out += strf("%s %llu\n", name.c_str(),
+    const auto series = split_series(view.name);
+    const auto name = series.metric + "_total";
+    type_header(name, "counter");
+    out += strf("%s%s %llu\n", name.c_str(), label_block(series).c_str(),
                 static_cast<unsigned long long>(view.value));
   }
   for (const auto& view : registry.gauges()) {
-    const auto name = sanitize(view.name);
-    out += strf("# TYPE %s gauge\n", name.c_str());
-    out += strf("%s %.17g\n", name.c_str(), view.value);
+    const auto series = split_series(view.name);
+    type_header(series.metric, "gauge");
+    out += strf("%s%s %.17g\n", series.metric.c_str(),
+                label_block(series).c_str(), view.value);
   }
   for (const auto& view : registry.histograms()) {
-    const auto name = sanitize(view.name);
-    out += strf("# TYPE %s histogram\n", name.c_str());
+    const auto series = split_series(view.name);
+    const auto& name = series.metric;
+    type_header(name, "histogram");
     // Exposition buckets are cumulative, unlike the registry's per-bucket
     // counts.
     unsigned long long cumulative = 0;
     for (std::size_t i = 0; i < view.slot->counts.size(); ++i) {
       cumulative += static_cast<unsigned long long>(view.slot->counts[i]);
-      if (i < view.slot->bounds.size()) {
-        out += strf("%s_bucket{le=\"%.17g\"} %llu\n", name.c_str(),
-                    view.slot->bounds[i], cumulative);
-      } else {
-        out += strf("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
-                    cumulative);
-      }
+      const auto le = i < view.slot->bounds.size()
+                          ? strf("le=\"%.17g\"", view.slot->bounds[i])
+                          : std::string{"le=\"+Inf\""};
+      out += strf("%s_bucket%s %llu\n", name.c_str(),
+                  label_block(series, le).c_str(), cumulative);
     }
-    out += strf("%s_sum %.17g\n", name.c_str(), view.slot->sum);
-    out += strf("%s_count %llu\n", name.c_str(),
+    out += strf("%s_sum%s %.17g\n", name.c_str(), label_block(series).c_str(),
+                view.slot->sum);
+    out += strf("%s_count%s %llu\n", name.c_str(),
+                label_block(series).c_str(),
                 static_cast<unsigned long long>(view.slot->count));
   }
   return out;

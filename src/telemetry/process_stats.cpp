@@ -1,0 +1,65 @@
+#include "telemetry/process_stats.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace edr::telemetry {
+
+ProcessStats read_process_stats() {
+  ProcessStats stats;
+  std::FILE* file = std::fopen("/proc/self/stat", "r");
+  if (file == nullptr) return stats;
+  char buffer[1024];
+  const std::size_t got = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  buffer[got] = '\0';
+  // Field 2 (comm) is a parenthesized, possibly space-containing string;
+  // everything we want sits after the *last* ')'.
+  const char* after = std::strrchr(buffer, ')');
+  if (after == nullptr) return stats;
+  ++after;
+  // Fields after comm, 1-indexed from "state" = field 3: utime is field
+  // 14, stime 15, rss 24 (pages).
+  unsigned long long utime = 0;
+  unsigned long long stime = 0;
+  long long rss_pages = 0;
+  if (std::sscanf(after,
+                  " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %llu %llu"
+                  " %*d %*d %*d %*d %*d %*d %*u %*u %lld",
+                  &utime, &stime, &rss_pages) != 3)
+    return stats;
+  const double ticks_per_s =
+      static_cast<double>(sysconf(_SC_CLK_TCK) > 0 ? sysconf(_SC_CLK_TCK)
+                                                   : 100);
+  const long page = sysconf(_SC_PAGESIZE);
+  stats.ok = true;
+  stats.cpu_seconds = static_cast<double>(utime + stime) / ticks_per_s;
+  stats.rss_bytes = rss_pages > 0 ? static_cast<std::uint64_t>(rss_pages) *
+                                        static_cast<std::uint64_t>(
+                                            page > 0 ? page : 4096)
+                                  : 0;
+  stats.sampled_at_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count();
+  return stats;
+}
+
+double CpuSampler::sample(ProcessStats* stats) {
+  const ProcessStats now = read_process_stats();
+  if (stats != nullptr) *stats = now;
+  double utilization = 0.0;
+  if (now.ok && last_.ok) {
+    const double wall_s =
+        static_cast<double>(now.sampled_at_ns - last_.sampled_at_ns) * 1e-9;
+    if (wall_s > 1e-6)
+      utilization = (now.cpu_seconds - last_.cpu_seconds) / wall_s;
+    if (utilization < 0.0) utilization = 0.0;
+  }
+  last_ = now;
+  return utilization;
+}
+
+}  // namespace edr::telemetry

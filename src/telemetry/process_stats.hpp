@@ -1,0 +1,39 @@
+// Per-process resource sampling from /proc/self/stat (Linux).
+//
+// The live runtime's power story needs a *utilization* input per OS
+// process: the sim derives it from the modeled activity, a real replica
+// has to measure it.  One read of /proc/self/stat yields cumulative
+// user+system CPU ticks and the resident set; two reads a known interval
+// apart yield a CPU fraction that feeds power::PowerModel exactly like a
+// sim-side intensity does.
+#pragma once
+
+#include <cstdint>
+
+namespace edr::telemetry {
+
+/// One cumulative sample.  `ok` is false off-Linux or if the file is
+/// unreadable, in which case the other fields are zero.
+struct ProcessStats {
+  bool ok = false;
+  double cpu_seconds = 0.0;  ///< utime + stime, seconds since process start
+  std::uint64_t rss_bytes = 0;
+  std::int64_t sampled_at_ns = 0;  ///< steady-clock stamp of the read
+};
+
+[[nodiscard]] ProcessStats read_process_stats();
+
+/// Stateful CPU-fraction sampler: each call reads /proc/self/stat and
+/// reports the CPU fraction (0..n_cores) over the interval since the
+/// previous call (0.0 on the first call or when sampling fails).
+class CpuSampler {
+ public:
+  /// Returns the utilization over the last interval and updates `stats`
+  /// (when non-null) with the raw cumulative sample.
+  double sample(ProcessStats* stats = nullptr);
+
+ private:
+  ProcessStats last_;
+};
+
+}  // namespace edr::telemetry

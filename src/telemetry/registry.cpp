@@ -100,6 +100,7 @@ double Histogram::quantile(double q) const {
 }
 
 Counter MetricsRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock{mutex_};
   if (const auto it = counter_index_.find(name); it != counter_index_.end())
     return Counter{it->second};
   counter_slots_.push_back({0, atomic_});
@@ -109,6 +110,7 @@ Counter MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge MetricsRegistry::gauge(std::string_view name) {
+  const std::scoped_lock lock{mutex_};
   if (const auto it = gauge_index_.find(name); it != gauge_index_.end())
     return Gauge{it->second};
   gauge_slots_.push_back({0.0, atomic_});
@@ -119,6 +121,7 @@ Gauge MetricsRegistry::gauge(std::string_view name) {
 
 Histogram MetricsRegistry::histogram(std::string_view name,
                                      std::vector<double> bounds) {
+  const std::scoped_lock lock{mutex_};
   if (const auto it = histogram_index_.find(name);
       it != histogram_index_.end())
     return Histogram{it->second};
@@ -138,6 +141,7 @@ Histogram MetricsRegistry::histogram(std::string_view name,
 }
 
 std::vector<CounterView> MetricsRegistry::counters() const {
+  const std::scoped_lock lock{mutex_};
   std::vector<CounterView> views;
   views.reserve(counter_index_.size());
   for (const auto& [name, slot] : counter_index_)
@@ -146,6 +150,7 @@ std::vector<CounterView> MetricsRegistry::counters() const {
 }
 
 std::vector<GaugeView> MetricsRegistry::gauges() const {
+  const std::scoped_lock lock{mutex_};
   std::vector<GaugeView> views;
   views.reserve(gauge_index_.size());
   for (const auto& [name, slot] : gauge_index_)
@@ -154,6 +159,7 @@ std::vector<GaugeView> MetricsRegistry::gauges() const {
 }
 
 std::vector<HistogramView> MetricsRegistry::histograms() const {
+  const std::scoped_lock lock{mutex_};
   std::vector<HistogramView> views;
   views.reserve(histogram_index_.size());
   for (const auto& [name, slot] : histogram_index_)

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -159,8 +160,10 @@ struct HistogramView {
 class MetricsRegistry {
  public:
   /// atomic=true upgrades every handle update to relaxed atomics (for the
-  /// threaded transport path); registration itself is still not
-  /// thread-safe — register handles before spawning workers.
+  /// threaded transport path).  Registration and the view accessors are
+  /// serialized by an internal mutex, so the transport's io thread can
+  /// lazily register per-peer metrics while a scrape-server thread renders
+  /// the registry; handle *updates* stay lock-free either way.
   explicit MetricsRegistry(bool atomic = false) : atomic_(atomic) {}
 
   MetricsRegistry(const MetricsRegistry&) = delete;
@@ -176,6 +179,7 @@ class MetricsRegistry {
 
   [[nodiscard]] bool atomic() const { return atomic_; }
   [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock{mutex_};
     return counter_index_.size() + gauge_index_.size() +
            histogram_index_.size();
   }
@@ -192,6 +196,7 @@ class MetricsRegistry {
 
  private:
   bool atomic_;
+  mutable std::mutex mutex_;
   // Deques give slot pointers stability across registrations.
   std::deque<detail::CounterSlot> counter_slots_;
   std::deque<detail::GaugeSlot> gauge_slots_;

@@ -1,0 +1,190 @@
+#include "telemetry/scrape_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/fmt.hpp"
+#include "telemetry/export.hpp"
+
+namespace edr::telemetry {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+ScrapeServer::ScrapeServer(const MetricsRegistry& registry, std::uint16_t port,
+                           std::function<void()> on_scrape)
+    : registry_(registry), on_scrape_(std::move(on_scrape)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("ScrapeServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(
+        strf("ScrapeServer: cannot listen on 127.0.0.1:%u: %s",
+             static_cast<unsigned>(port), std::strerror(err)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("ScrapeServer: pipe() failed");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve(); });
+}
+
+ScrapeServer::~ScrapeServer() { stop(); }
+
+void ScrapeServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  const char byte = 'q';
+  [[maybe_unused]] const auto ignored = ::write(wake_write_fd_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+void ScrapeServer::respond(Connection& connection) {
+  if (on_scrape_) on_scrape_();
+  const std::string body = metrics_to_prometheus(registry_);
+  connection.out =
+      strf("HTTP/1.0 200 OK\r\n"
+           "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+           "Content-Length: %zu\r\n"
+           "Connection: close\r\n"
+           "\r\n",
+           body.size()) +
+      body;
+  connection.responding = true;
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ScrapeServer::serve() {
+  std::vector<Connection> connections;
+  std::vector<pollfd> fds;
+  while (running_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& connection : connections)
+      fds.push_back({connection.fd,
+                     static_cast<short>(connection.responding ? POLLOUT
+                                                              : POLLIN),
+                     0});
+    if (::poll(fds.data(), fds.size(), 200) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[16];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    // fds[2..] track the connections that existed when poll() ran; sockets
+    // accepted below have no pollfd yet and wait for the next iteration.
+    std::size_t polled = fds.size() - 2;
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        connections.push_back(Connection{fd, {}, {}, 0, false});
+      }
+    }
+    for (std::size_t i = 0; i < polled;) {
+      auto& connection = connections[i];
+      const short revents = fds[2 + i].revents;
+      bool close_now = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+                       !connection.responding;
+      if (!close_now && !connection.responding && (revents & POLLIN) != 0) {
+        char buffer[2048];
+        for (;;) {
+          const ssize_t got = ::read(connection.fd, buffer, sizeof(buffer));
+          if (got > 0) {
+            connection.in.append(buffer, static_cast<std::size_t>(got));
+            if (connection.in.size() > 16 * 1024) {  // header flood: drop
+              close_now = true;
+              break;
+            }
+            continue;
+          }
+          if (got == 0) close_now = connection.in.empty();
+          break;
+        }
+        // Serve on a complete request head; HTTP/1.0 clients that shut
+        // down their write side early still get an answer.
+        if (!close_now && (connection.in.find("\r\n\r\n") !=
+                               std::string::npos ||
+                           connection.in.find("\n\n") != std::string::npos))
+          respond(connection);
+      }
+      if (!close_now && connection.responding &&
+          (revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+        while (connection.written < connection.out.size()) {
+          const ssize_t sent =
+              ::send(connection.fd, connection.out.data() + connection.written,
+                     connection.out.size() - connection.written, MSG_NOSIGNAL);
+          if (sent > 0) {
+            connection.written += static_cast<std::size_t>(sent);
+            continue;
+          }
+          if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          close_now = true;
+          break;
+        }
+        if (connection.written == connection.out.size()) close_now = true;
+      }
+      if (close_now) {
+        ::close(connection.fd);
+        connections.erase(connections.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(2 + i));
+        --polled;
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (auto& connection : connections) ::close(connection.fd);
+}
+
+}  // namespace edr::telemetry

@@ -1,0 +1,74 @@
+// Minimal HTTP/1.0 Prometheus scrape endpoint (DESIGN.md §14).
+//
+// One background thread owns a nonblocking listen socket plus the accepted
+// connections, the same poll()-loop idiom as net::TcpTransport (it lives
+// here rather than reusing TcpTransport because edr_net depends on
+// edr_telemetry, not the other way around, and a scrape endpoint needs
+// none of the framing/backoff machinery).  Any request on the socket gets
+// a `200 OK` with the registry rendered in Prometheus text exposition
+// format and the connection closed — enough for `curl`, a Prometheus
+// scraper, or the bundled Python checker, with no HTTP library in sight.
+//
+// Rendering happens per request under the registry's internal mutex, so
+// the transport io thread may keep lazily registering per-peer series
+// while a scrape is in flight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace edr::telemetry {
+
+class ScrapeServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts the
+  /// serving thread.  Throws std::runtime_error if the bind fails.
+  /// `on_scrape` (optional) runs before each render — the runtime uses it
+  /// to refresh /proc-derived resource gauges so every scrape sees fresh
+  /// CPU/RSS/power numbers.
+  ScrapeServer(const MetricsRegistry& registry, std::uint16_t port,
+               std::function<void()> on_scrape = {});
+  ~ScrapeServer();
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Requests answered so far.
+  [[nodiscard]] std::uint64_t scrapes() const {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+  /// Stop serving and join the thread (idempotent; the destructor calls it).
+  void stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    std::size_t written = 0;
+    bool responding = false;
+  };
+
+  void serve();
+  void respond(Connection& connection);
+
+  const MetricsRegistry& registry_;
+  std::function<void()> on_scrape_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+  std::thread thread_;
+};
+
+}  // namespace edr::telemetry

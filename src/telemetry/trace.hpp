@@ -76,8 +76,14 @@ class EventTracer {
   /// Allocate a fresh causal id for a span or flow (0 while disabled, so a
   /// disabled tracer never links anything).
   [[nodiscard]] std::uint64_t new_id() {
-    return enabled_ ? ++next_id_ : 0;
+    return enabled_ ? id_base_ | ++next_id_ : 0;
   }
+
+  /// OR'd into every allocated id.  Per-process tracers in the live runtime
+  /// seed this with a node-unique high-bit prefix so span/flow ids from
+  /// different OS processes never collide once their buffers are merged
+  /// into one trace.
+  void set_id_base(std::uint64_t base) { id_base_ = base; }
 
   /// Flow arrow tail/head at the current clock reading: a begin on the
   /// sender track and an end on the receiver track sharing `id` render as
@@ -111,6 +117,7 @@ class EventTracer {
   std::vector<TraceEvent> ring_;
   std::uint64_t recorded_ = 0;
   std::uint64_t next_id_ = 0;
+  std::uint64_t id_base_ = 0;
   bool enabled_ = true;
   double last_time_ = 0.0;
   std::function<double()> clock_;

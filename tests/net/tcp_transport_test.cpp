@@ -307,5 +307,50 @@ TEST(TcpTransport, ShutdownUnblocksReceivers) {
   receiver.join();
 }
 
+TEST(TcpTransport, SendQueueGaugeRisesWhileStalledAndDrainsOnConnect) {
+  const std::uint16_t port = reserve_port();
+  telemetry::Telemetry telemetry{{.atomic_metrics = true}};
+  TcpTransport a{0};
+  a.attach_telemetry(telemetry);
+  a.add_peer(1, "127.0.0.1", port);
+  auto depth = telemetry.metrics().gauge("net.sendq_depth{peer=\"1\"}");
+  auto backoff = telemetry.metrics().gauge("net.backoff_ms{peer=\"1\"}");
+
+  // No listener yet: every frame parks in the send queue behind the
+  // reconnect backoff.
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(a.send(make_message(0, 1, i, "stalled" + std::to_string(i))));
+  EXPECT_TRUE(wait_until([&] { return depth.value() >= 8.0; }));
+  EXPECT_TRUE(wait_until([&] { return backoff.value() > 0.0; }));
+
+  // Listener appears: the backoff retry connects, the queue flushes, and
+  // both gauges return to zero.
+  TcpTransport b{1};
+  ASSERT_EQ(b.listen(port), port);
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(b.receive_for(5.0).has_value()) << "frame " << i;
+  EXPECT_TRUE(wait_until([&] { return depth.value() == 0.0; }));
+  EXPECT_TRUE(wait_until([&] { return backoff.value() == 0.0; }));
+}
+
+TEST(TcpTransport, TelemetryCountsBytesByFrameType) {
+  telemetry::Telemetry telemetry{{.atomic_metrics = true}};
+  TcpTransport a{0};
+  TcpTransport b{1};
+  a.attach_telemetry(telemetry);
+  a.set_type_name(7, "round");
+  a.add_peer(1, "127.0.0.1", b.listen());
+  ASSERT_TRUE(a.send(make_message(0, 1, 7, "payload")));
+  ASSERT_TRUE(a.send(make_message(0, 1, 9, "unnamed")));
+  ASSERT_TRUE(b.receive_for(5.0).has_value());
+  ASSERT_TRUE(b.receive_for(5.0).has_value());
+  // Named types label the series with the name, unnamed with the number;
+  // both count real wire bytes (16-byte header + payload).
+  auto named = telemetry.metrics().counter("net.bytes_by_type{type=\"round\"}");
+  auto numbered = telemetry.metrics().counter("net.bytes_by_type{type=\"9\"}");
+  EXPECT_TRUE(wait_until([&] { return named.value() == 16u + 7u; }));
+  EXPECT_TRUE(wait_until([&] { return numbered.value() == 16u + 7u; }));
+}
+
 }  // namespace
 }  // namespace edr::net

@@ -1,0 +1,312 @@
+// Live-runtime observability (DESIGN.md §14): kTelemetry/kTimeProbe wire
+// round-trips, the optional trace-context tail's compatibility story, the
+// merged cross-process Chrome trace, the chaos post-mortem timeline, and
+// the digest-parity guarantee (observability must not perturb the
+// replicated computation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <any>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/donar_algorithm.hpp"
+#include "runtime/chaos.hpp"
+#include "runtime/live_protocol.hpp"
+#include "runtime/live_report.hpp"
+#include "runtime/local_cluster.hpp"
+
+namespace edr::runtime {
+namespace {
+
+// ------------------------------------------------------- kTelemetry frames
+
+telemetry::TraceEvent make_event(telemetry::TraceEvent::Phase phase,
+                                 double ts, std::string name) {
+  telemetry::TraceEvent event;
+  event.phase = phase;
+  event.ts = ts;
+  event.name = std::move(name);
+  return event;
+}
+
+TEST(LiveTelemetryFrame, RoundTripPreservesEventBatch) {
+  LiveTelemetry batch;
+  batch.node = 2;
+  batch.dropped = 5;
+  auto span = make_event(telemetry::TraceEvent::Phase::kSpan, 1.5, "solve");
+  span.dur = 0.25;
+  span.tid = 2;
+  span.id = 77;
+  span.parent = 33;
+  span.category = "live_round";
+  batch.events.push_back(span);
+  batch.events.push_back(
+      make_event(telemetry::TraceEvent::Phase::kInstant, 1.75, "stall"));
+  auto flow = make_event(telemetry::TraceEvent::Phase::kFlowStart, 1.8,
+                         "round");
+  flow.id = 99;
+  batch.events.push_back(flow);
+  auto head = make_event(telemetry::TraceEvent::Phase::kFlowEnd, 1.9,
+                         "round");
+  head.id = 99;
+  batch.events.push_back(head);
+
+  const auto back = decode_telemetry(encode_telemetry(2, 9, batch), 1 << 20);
+  EXPECT_EQ(back.node, 2u);
+  EXPECT_EQ(back.dropped, 5u);
+  ASSERT_EQ(back.events.size(), 4u);
+  EXPECT_EQ(back.events[0].phase, telemetry::TraceEvent::Phase::kSpan);
+  EXPECT_DOUBLE_EQ(back.events[0].ts, 1.5);
+  EXPECT_DOUBLE_EQ(back.events[0].dur, 0.25);
+  EXPECT_EQ(back.events[0].tid, 2u);
+  EXPECT_EQ(back.events[0].id, 77u);
+  EXPECT_EQ(back.events[0].parent, 33u);
+  EXPECT_EQ(back.events[0].name, "solve");
+  EXPECT_EQ(back.events[0].category, "live_round");
+  EXPECT_EQ(back.events[1].phase, telemetry::TraceEvent::Phase::kInstant);
+  EXPECT_EQ(back.events[2].phase, telemetry::TraceEvent::Phase::kFlowStart);
+  EXPECT_EQ(back.events[2].id, 99u);
+  EXPECT_EQ(back.events[3].phase, telemetry::TraceEvent::Phase::kFlowEnd);
+  EXPECT_EQ(back.events[3].id, 99u);
+}
+
+TEST(LiveTelemetryFrame, EmptyFlushStillCarriesDropCount) {
+  LiveTelemetry batch;
+  batch.node = 1;
+  batch.dropped = 12;
+  const auto back = decode_telemetry(encode_telemetry(1, 9, batch), 1 << 20);
+  EXPECT_EQ(back.node, 1u);
+  EXPECT_EQ(back.dropped, 12u);
+  EXPECT_TRUE(back.events.empty());
+}
+
+TEST(LiveTelemetryFrame, DecodeRejectsTruncatedPayload) {
+  LiveTelemetry batch;
+  batch.node = 0;
+  batch.events.push_back(
+      make_event(telemetry::TraceEvent::Phase::kSpan, 2.0, "epoch"));
+  auto msg = encode_telemetry(0, 9, batch);
+  auto bytes = std::any_cast<std::vector<std::uint8_t>>(msg.payload);
+  bytes.resize(bytes.size() / 2);
+  msg.payload = bytes;
+  msg.bytes = bytes.size();
+  EXPECT_THROW((void)decode_telemetry(msg, 1 << 20), std::out_of_range);
+}
+
+TEST(LiveTelemetryFrame, DecodeRejectsFramesOverTheCap) {
+  LiveTelemetry batch;
+  batch.node = 0;
+  for (int i = 0; i < 64; ++i)
+    batch.events.push_back(make_event(telemetry::TraceEvent::Phase::kSpan,
+                                      static_cast<double>(i), "span"));
+  const auto msg = encode_telemetry(0, 9, batch);
+  EXPECT_THROW((void)decode_telemetry(msg, 64), std::length_error);
+}
+
+TEST(LiveTimeFrames, ProbeAndReplyRoundTrip) {
+  const LiveTimeProbe probe{.probe = 41, .sent_ns = 123'456'789'012ll};
+  const auto p = decode_time_probe(encode_time_probe(9, 0, probe), 1 << 20);
+  EXPECT_EQ(p.probe, 41u);
+  EXPECT_EQ(p.sent_ns, probe.sent_ns);
+
+  const LiveTimeReply reply{.probe = 41, .probe_ns = probe.sent_ns,
+                            .replica_ns = -987'654'321ll};
+  const auto r = decode_time_reply(encode_time_reply(0, 9, reply), 1 << 20);
+  EXPECT_EQ(r.probe, 41u);
+  EXPECT_EQ(r.probe_ns, probe.sent_ns);
+  EXPECT_EQ(r.replica_ns, reply.replica_ns);
+}
+
+// ----------------------------------------------------- trace-context tails
+
+TEST(TraceTail, RoundCarriesContextWhenValid) {
+  LiveRound round{.epoch = 1, .generation = 1, .round = 3, .digest = 42};
+  round.trace = {1, 0xabcdefull};
+  const auto back = decode_round(encode_round(0, 1, round), 1 << 20);
+  EXPECT_EQ(back.trace, round.trace);
+  EXPECT_EQ(back.digest, 42u);
+}
+
+TEST(TraceTail, AbsentContextAddsNoBytesAndDecodesInvalid) {
+  LiveRound with{.epoch = 1, .generation = 1, .round = 3, .digest = 42};
+  LiveRound without = with;
+  with.trace = {1, 7};
+  const auto traced = encode_round(0, 1, with);
+  const auto plain = encode_round(0, 1, without);
+  const auto traced_bytes =
+      std::any_cast<std::vector<std::uint8_t>>(traced.payload);
+  const auto plain_bytes =
+      std::any_cast<std::vector<std::uint8_t>>(plain.payload);
+  // The tail is exactly 16 bytes and only present when the context is
+  // valid — tracing off leaves the wire bytes untouched.
+  EXPECT_EQ(traced_bytes.size(), plain_bytes.size() + 16);
+  EXPECT_TRUE(std::equal(plain_bytes.begin(), plain_bytes.end(),
+                         traced_bytes.begin()));
+  EXPECT_FALSE(decode_round(plain, 1 << 20).trace.valid());
+}
+
+TEST(TraceTail, OldFramesWithoutTailStillDecode) {
+  // A frame from a pre-observability sender is byte-identical to a new
+  // frame sent with tracing off: strip the tail from a traced frame and
+  // the body must decode unchanged with no context.
+  LiveRound round{.epoch = 2, .generation = 1, .round = 9, .digest = 7};
+  round.trace = {1, 55};
+  auto msg = encode_round(0, 1, round);
+  auto bytes = std::any_cast<std::vector<std::uint8_t>>(msg.payload);
+  bytes.resize(bytes.size() - 16);
+  msg.payload = bytes;
+  msg.bytes = bytes.size();
+  const auto back = decode_round(msg, 1 << 20);
+  EXPECT_EQ(back.epoch, 2u);
+  EXPECT_EQ(back.round, 9u);
+  EXPECT_EQ(back.digest, 7u);
+  EXPECT_FALSE(back.trace.valid());
+}
+
+TEST(TraceTail, HelloAndSampleCarryContexts) {
+  LiveHello hello{.node = 1, .port = 4000};
+  hello.trace = {1, 11};
+  EXPECT_EQ(decode_hello(encode_hello(1, 9, hello), 1 << 20).trace,
+            hello.trace);
+
+  telemetry::RoundSample sample;
+  sample.epoch = 1;
+  sample.round = 2;
+  sample.replica = 0;
+  telemetry::TraceContext out{1, 22};
+  telemetry::TraceContext in;
+  const auto back =
+      decode_sample(encode_sample(0, 9, sample, out), 1 << 20, &in);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(back.round, 2u);
+}
+
+// -------------------------------------------------- cluster-level behavior
+
+/// Small fast config matching live_runtime_test's integration idiom.
+LiveConfig obs_config(std::uint32_t epochs) {
+  LiveConfig config = make_default_live_config(3, 6, epochs, 7);
+  config.algorithm = "lddm";
+  config.lddm.max_rounds = 120;
+  config.lddm.tolerance = 1e-3;
+  return config;
+}
+
+LocalClusterOptions obs_options() {
+  LocalClusterOptions options;
+  options.transport = LiveTransport::kInproc;
+  options.replica.barrier_timeout_s = 0.5;
+  options.replica.idle_timeout_s = 2.0;
+  options.coordinator.hello_timeout_s = 10.0;
+  options.coordinator.epoch_timeout_s = 8.0;
+  return options;
+}
+
+TEST(MergedTrace, SpansMultipleProcessTracksWithFlowArrows) {
+  auto options = obs_options();
+  options.observer.tracing = true;
+  LocalCluster cluster{obs_config(2), options};
+  const auto result = cluster.run();
+  ASSERT_TRUE(result.completed);
+
+  const std::string& json = cluster.merged_trace_json();
+  // All three replica tracks plus the coordinator's.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"replica 0\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"replica 2\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"coordinator\"}"),
+            std::string::npos);
+  // The causal skeleton: epoch > round > solve/exchange spans, and at
+  // least one cross-process flow arrow (tail + binding head).
+  for (const char* name : {"epoch", "round", "solve", "exchange"})
+    EXPECT_NE(json.find("\"name\":\"" + std::string{name} + "\""),
+              std::string::npos)
+        << name;
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST(MergedTrace, EmptyWithoutTracing) {
+  LocalCluster cluster{obs_config(1), obs_options()};
+  const auto result = cluster.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(cluster.merged_trace_json().empty());
+  EXPECT_EQ(cluster.coordinator_observer(), nullptr);
+}
+
+TEST(DigestParity, ObservabilityDoesNotPerturbTheComputation) {
+  // The determinism boundary (DESIGN.md §11) must survive observability:
+  // digests are computed over solver state, never frame bytes, so a fully
+  // traced run and a dark run must agree bit for bit.
+  LocalCluster dark{obs_config(3), obs_options()};
+  const auto base = dark.run();
+
+  auto options = obs_options();
+  options.observer.tracing = true;
+  LocalCluster traced{obs_config(3), options};
+  const auto observed = traced.run();
+
+  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(observed.completed);
+  ASSERT_EQ(base.epochs.size(), observed.epochs.size());
+  for (std::size_t e = 0; e < base.epochs.size(); ++e) {
+    SCOPED_TRACE(e);
+    EXPECT_EQ(base.epochs[e].digest, observed.epochs[e].digest);
+    EXPECT_EQ(base.epochs[e].rounds, observed.epochs[e].rounds);
+    EXPECT_DOUBLE_EQ(base.epochs[e].objective, observed.epochs[e].objective);
+    EXPECT_EQ(digest_matrix(base.epochs[e].allocation),
+              digest_matrix(observed.epochs[e].allocation));
+  }
+}
+
+TEST(Postmortem, TimelineCorrelatesFaultMembershipAndRecovery) {
+  LiveConfig config = make_default_live_config(4, 8, 5, 7);
+  config.algorithm = "lddm";
+  config.lddm.max_rounds = 120;
+  config.lddm.tolerance = 1e-3;
+  auto options = obs_options();
+  options.chaos.actions = {{.epoch = 2, .kind = ChaosKind::kKill,
+                            .replica = 3}};
+  LocalCluster cluster{config, options};
+  const auto result = cluster.run();
+  ASSERT_TRUE(result.completed);
+
+  // The timeline is recorded unconditionally — no observer was attached.
+  const auto index_of = [&](const std::string& kind) {
+    for (std::size_t i = 0; i < result.timeline.size(); ++i)
+      if (result.timeline[i].kind == kind)
+        return static_cast<std::ptrdiff_t>(i);
+    return std::ptrdiff_t{-1};
+  };
+  const auto fault = index_of("fault");
+  const auto mark_dead = index_of("mark_dead");
+  const auto generation = index_of("generation");
+  const auto run_end = index_of("run_end");
+  ASSERT_GE(fault, 0);
+  ASSERT_GE(mark_dead, 0);
+  ASSERT_GE(generation, 0);
+  ASSERT_GE(run_end, 0);
+  EXPECT_EQ(index_of("run_start"), 0);
+  // Causality in recording order: injection, then the membership layer
+  // notices, then the generation bump, then the run completes.
+  EXPECT_LT(fault, mark_dead);
+  EXPECT_LT(mark_dead, generation);
+  EXPECT_LT(generation, run_end);
+  EXPECT_EQ(result.timeline[static_cast<std::size_t>(fault)].detail, "kill");
+  EXPECT_EQ(result.timeline[static_cast<std::size_t>(fault)].replica, 3);
+  for (std::size_t i = 1; i < result.timeline.size(); ++i)
+    EXPECT_GE(result.timeline[i].t_s, result.timeline[i - 1].t_s) << i;
+
+  const auto json = live_postmortem_json(result);
+  EXPECT_NE(json.find("\"timeline\":["), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"kill\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"generation\""), std::string::npos);
+  EXPECT_NE(json.find("\"epochs\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edr::runtime

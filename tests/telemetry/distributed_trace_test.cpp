@@ -1,0 +1,151 @@
+#include "telemetry/distributed_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace edr::telemetry {
+namespace {
+
+TEST(TraceContext, ZeroTraceIdMeansAbsent) {
+  TraceContext none;
+  EXPECT_FALSE(none.valid());
+  TraceContext some{1, 42};
+  EXPECT_TRUE(some.valid());
+  EXPECT_EQ(some, (TraceContext{1, 42}));
+  EXPECT_NE(some, none);
+}
+
+TEST(ClockOffsetEstimator, MidpointOffsetFromOneProbe) {
+  ClockOffsetEstimator estimator;
+  EXPECT_EQ(estimator.offset_ns(3), 0);
+  EXPECT_EQ(estimator.rtt_ns(3), -1);
+  // Sent at 100, remote stamped 5000, reply landed at 300: the remote is
+  // assumed to have stamped at the midpoint 200, so it leads by 4800.
+  estimator.observe(3, 100, 5000, 300);
+  EXPECT_EQ(estimator.offset_ns(3), 4800);
+  EXPECT_EQ(estimator.rtt_ns(3), 200);
+  EXPECT_EQ(estimator.probes(3), 1u);
+}
+
+TEST(ClockOffsetEstimator, MinimumRttProbeWins) {
+  ClockOffsetEstimator estimator;
+  estimator.observe(1, 0, 10'000, 1000);  // rtt 1000 -> offset 9500
+  EXPECT_EQ(estimator.offset_ns(1), 9'500);
+  // A noisier (larger-RTT) probe must not displace the estimate.
+  estimator.observe(1, 2000, 99'000, 4000);
+  EXPECT_EQ(estimator.offset_ns(1), 9'500);
+  EXPECT_EQ(estimator.rtt_ns(1), 1000);
+  // A tighter probe does.
+  estimator.observe(1, 5000, 15'100, 5200);
+  EXPECT_EQ(estimator.offset_ns(1), 10'000);
+  EXPECT_EQ(estimator.rtt_ns(1), 200);
+  EXPECT_EQ(estimator.probes(1), 3u);
+}
+
+TEST(ClockOffsetEstimator, NegativeRttProbesAreDiscarded) {
+  ClockOffsetEstimator estimator;
+  estimator.observe(1, 500, 1000, 400);  // recv before send: bogus
+  EXPECT_EQ(estimator.rtt_ns(1), -1);
+  EXPECT_EQ(estimator.offset_ns(1), 0);
+  EXPECT_EQ(estimator.probes(1), 1u);  // still counted as seen
+}
+
+TEST(ClockOffsetEstimator, TracksNodesIndependently) {
+  ClockOffsetEstimator estimator;
+  estimator.observe(1, 0, 100, 10);
+  estimator.observe(2, 0, -300, 10);
+  EXPECT_EQ(estimator.offset_ns(1), 95);
+  EXPECT_EQ(estimator.offset_ns(2), -305);
+}
+
+TraceEvent make_span(double ts, double dur, std::string name) {
+  TraceEvent event;
+  event.ts = ts;
+  event.dur = dur;
+  event.phase = TraceEvent::Phase::kSpan;
+  event.name = std::move(name);
+  return event;
+}
+
+TEST(TraceMerger, EmitsOneProcessTrackPerNode) {
+  TraceMerger merger;
+  merger.set_process(0, "replica 0");
+  merger.set_process(7, "coordinator");
+  merger.add_events(0, {make_span(10.0, 0.5, "solve")});
+  merger.add_events(7, {make_span(10.2, 0.1, "await")});
+  EXPECT_EQ(merger.process_count(), 2u);
+  EXPECT_EQ(merger.event_count(), 2u);
+
+  const auto json = merger.to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"replica 0\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"coordinator\"}"),
+            std::string::npos);
+  // Events carry their node as the Chrome pid.
+  EXPECT_NE(json.find("\"name\":\"solve\",\"cat\":\"edr\",\"ph\":\"X\",\"ts\":0,"
+                      "\"pid\":0"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
+}
+
+TEST(TraceMerger, AppliesClockOffsetsAndRebasesToEarliestEvent) {
+  TraceMerger merger;
+  // Node 1's clock leads the merger's by exactly 2s: an event it stamped
+  // at ts=12 happened at local time 10.
+  merger.set_offset_ns(1, 2'000'000'000);
+  merger.add_events(1, {make_span(12.0, 0.0, "remote")});
+  merger.add_events(0, {make_span(10.5, 0.0, "local")});
+  const auto json = merger.to_chrome_json();
+  // After alignment the remote event is the origin (t=0) and the local
+  // event sits 0.5s = 5e5 us later.
+  const auto remote_pos = json.find("\"name\":\"remote\"");
+  const auto local_pos = json.find("\"name\":\"local\"");
+  ASSERT_NE(remote_pos, std::string::npos);
+  ASSERT_NE(local_pos, std::string::npos);
+  EXPECT_LT(remote_pos, local_pos);  // sorted by aligned timestamp
+  EXPECT_NE(json.find("\"name\":\"remote\",\"cat\":\"edr\",\"ph\":\"X\","
+                      "\"ts\":0,"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"local\",\"cat\":\"edr\",\"ph\":\"X\","
+                      "\"ts\":500000,"),
+            std::string::npos);
+}
+
+TEST(TraceMerger, FlowArrowsKeepIdsAcrossProcesses) {
+  TraceMerger merger;
+  TraceEvent out;
+  out.ts = 1.0;
+  out.phase = TraceEvent::Phase::kFlowStart;
+  out.id = 99;
+  out.name = "round";
+  TraceEvent in;
+  in.ts = 1.5;  // exactly representable: rebased ts is exactly 5e5 us
+  in.phase = TraceEvent::Phase::kFlowEnd;
+  in.id = 99;
+  in.name = "round";
+  merger.add_events(0, {out});
+  merger.add_events(1, {in});
+  const auto json = merger.to_chrome_json();
+  // One "s" on pid 0 and one binding-point "f" on pid 1, sharing id 99 —
+  // chrome://tracing renders this as an arrow across process tracks.
+  EXPECT_NE(json.find("\"ph\":\"s\",\"ts\":0,\"pid\":0,\"tid\":0,\"id\":99"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"ts\":500000,\"pid\":1,\"tid\":0,"
+                      "\"id\":99,\"bp\":\"e\""),
+            std::string::npos);
+}
+
+TEST(TraceMerger, AccumulatesDroppedCounts) {
+  TraceMerger merger;
+  merger.add_dropped(0, 3);
+  merger.add_dropped(0, 4);
+  merger.add_dropped(2, 1);
+  const auto json = merger.to_chrome_json();
+  EXPECT_NE(json.find("\"droppedEvents\":8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edr::telemetry

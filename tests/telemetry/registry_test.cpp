@@ -198,6 +198,49 @@ TEST(MetricsExport, PrometheusExposition) {
   EXPECT_NE(prom.find("net_queue_delay_sum 11\n"), std::string::npos);
 }
 
+TEST(MetricsExport, PrometheusLabeledSeries) {
+  MetricsRegistry registry;
+  registry.counter("net.bytes_by_type{type=\"round\"}").add(64);
+  registry.gauge("net.sendq_depth{peer=\"2\"}").set(5.0);
+  const auto prom = metrics_to_prometheus(registry);
+  // The label block survives name sanitization and renders as real
+  // exposition-format labels.
+  EXPECT_NE(prom.find("# TYPE net_bytes_by_type_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("net_bytes_by_type_total{type=\"round\"} 64\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("net_sendq_depth{peer=\"2\"} 5\n"), std::string::npos);
+}
+
+TEST(MetricsExport, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  // Backslash, double quote and newline are the three characters the
+  // exposition format requires escaped inside a label value.  Emitting
+  // them raw (the pre-fix behavior) splits the series line in half.
+  registry.counter("files.served{path=\"a\\b\"}").add(1);
+  registry.counter("errors.seen{msg=\"said \"hi\"\"}").add(2);
+  registry.counter("errors.seen{msg=\"line1\nline2\"}").add(3);
+  const auto prom = metrics_to_prometheus(registry);
+  EXPECT_NE(prom.find("files_served_total{path=\"a\\\\b\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("errors_seen_total{msg=\"said \\\"hi\\\"\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("errors_seen_total{msg=\"line1\\nline2\"} 3\n"),
+            std::string::npos);
+  // No raw newline may survive inside any series line: every line must
+  // be a comment, blank, or `name[{labels}] value`.
+  std::size_t start = 0;
+  while (start < prom.size()) {
+    auto end = prom.find('\n', start);
+    if (end == std::string::npos) end = prom.size();
+    const auto line = prom.substr(start, end - start);
+    if (!line.empty() && line[0] != '#')
+      EXPECT_TRUE(line.find(' ') != std::string::npos)
+          << "unparseable exposition line: " << line;
+    start = end + 1;
+  }
+}
+
 TEST(MetricsRegistry, AtomicModeCountsAcrossThreads) {
   MetricsRegistry registry(/*atomic=*/true);
   auto counter = registry.counter("hits");

@@ -1,0 +1,102 @@
+#include "telemetry/scrape_server.hpp"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace edr::telemetry {
+namespace {
+
+/// One blocking HTTP/1.0 exchange against the scrape endpoint: connect,
+/// send `request`, read to EOF (the server closes after responding).
+std::string scrape(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ScrapeServer, ServesPrometheusTextOnEphemeralPort) {
+  MetricsRegistry registry(/*atomic=*/true);
+  registry.counter("system.epochs").add(5);
+  registry.gauge("process.power_watts").set(212.5);
+  ScrapeServer server{registry, 0};
+  ASSERT_NE(server.port(), 0);
+
+  const auto response =
+      scrape(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("system_epochs_total 5"), std::string::npos);
+  EXPECT_NE(response.find("process_power_watts 212.5"), std::string::npos);
+  EXPECT_EQ(server.scrapes(), 1u);
+}
+
+TEST(ScrapeServer, EachScrapeSeesCurrentValues) {
+  MetricsRegistry registry(/*atomic=*/true);
+  auto counter = registry.counter("hits");
+  ScrapeServer server{registry, 0};
+  counter.add(1);
+  EXPECT_NE(scrape(server.port(), "GET / HTTP/1.0\r\n\r\n")
+                .find("hits_total 1"),
+            std::string::npos);
+  counter.add(41);
+  EXPECT_NE(scrape(server.port(), "GET / HTTP/1.0\r\n\r\n")
+                .find("hits_total 42"),
+            std::string::npos);
+  EXPECT_EQ(server.scrapes(), 2u);
+}
+
+TEST(ScrapeServer, OnScrapeHookRefreshesBeforeRender) {
+  MetricsRegistry registry(/*atomic=*/true);
+  auto gauge = registry.gauge("process.rss_bytes");
+  std::atomic<int> refreshes{0};
+  ScrapeServer server{registry, 0, [&] {
+                        gauge.set(1000.0 + 1000.0 * refreshes.fetch_add(1));
+                      }};
+  EXPECT_NE(scrape(server.port(), "GET /metrics HTTP/1.0\r\n\r\n")
+                .find("process_rss_bytes 1000"),
+            std::string::npos);
+  EXPECT_NE(scrape(server.port(), "GET /metrics HTTP/1.0\r\n\r\n")
+                .find("process_rss_bytes 2000"),
+            std::string::npos);
+  EXPECT_EQ(refreshes.load(), 2);
+}
+
+TEST(ScrapeServer, StopIsIdempotentAndJoinsTheThread) {
+  MetricsRegistry registry(/*atomic=*/true);
+  ScrapeServer server{registry, 0};
+  const auto port = server.port();
+  server.stop();
+  server.stop();
+  // The socket is gone: a fresh server may rebind the same port range
+  // without the old thread interfering.
+  ScrapeServer second{registry, 0};
+  EXPECT_NE(second.port(), 0);
+  (void)port;
+}
+
+}  // namespace
+}  // namespace edr::telemetry
