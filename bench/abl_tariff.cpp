@@ -1,9 +1,11 @@
 // Ablation — time-of-day tariffs (the paper's §V future work: scheduling
 // under "more restrictions").  Regions flip between cheap and expensive
-// halves of the day; the tariff-aware runtime re-reads prices every epoch
-// and chases the cheap side, while a static-price scheduler (and the
-// price-blind Round-Robin) pay the peak rate on whatever they happen to
-// load.
+// halves of the day.  Both arms run the SAME algorithm over the SAME
+// billing: the aware arm re-reads u_n(t) at every epoch boundary, the
+// blinded arm schedules against each tariff's mean price
+// (SystemConfig::tariff_aware_scheduler = false) — so the measured gap is
+// the value of tariff awareness alone, not an algorithm change.  The
+// price-blind Round-Robin row is kept as an external reference point.
 #include "bench_util.hpp"
 
 namespace {
@@ -27,11 +29,7 @@ core::RunReport run(const std::string& algorithm, bool tariff_aware,
   auto cfg = analysis::paper_config(algorithm);
   cfg.record_traces = false;
   cfg.tariffs = flipping_tariffs(horizon);  // billing always time-varying
-  if (!tariff_aware) {
-    // Blind the *scheduler* to the time variation by flattening every
-    // tariff to its mean — the meter still bills the real one.  We model
-    // this by scheduling with RoundRobin (price-blind) vs LDDM (aware).
-  }
+  cfg.tariff_aware_scheduler = tariff_aware;
   core::EdrSystem system(
       cfg,
       analysis::paper_trace(workload::distributed_file_service(), 42,
@@ -43,9 +41,7 @@ void BM_Abl_Tariff(benchmark::State& state) {
   const bool aware = state.range(0) != 0;
   const SimTime horizon = 60.0;
   core::RunReport report;
-  for (auto _ : state)
-    report = run(aware ? "lddm" : "rr",
-                 aware, horizon);
+  for (auto _ : state) report = run("lddm", aware, horizon);
   state.counters["tariff_aware"] = aware ? 1.0 : 0.0;
   state.counters["active_cost_mcents"] = report.total_active_cost * 1e3;
   state.counters["active_energy_J"] = report.total_active_energy;
@@ -61,20 +57,26 @@ BENCHMARK(BM_Abl_Tariff)
 int main(int argc, char** argv) {
   edr::bench::Harness harness(argc, argv,
                              "Ablation: time-of-day tariffs",
-                     "tariff-aware EDR vs price-blind Round-Robin under "
+                     "the same LDDM scheduler with live u_n(t) vs blinded "
+                     "to the mean price, billed identically under "
                      "day/night-flipping regional prices");
 
   const auto aware = run("lddm", true, 60.0);
-  const auto blind = run("rr", false, 60.0);
+  const auto blind = run("lddm", false, 60.0);
+  const auto rr = run("rr", false, 60.0);
   edr::Table table({"scheduler", "active cost (mcents)"});
   table.add_row({"EDR-LDDM (tariff-aware)",
                  edr::Table::num(aware.total_active_cost * 1e3, 3)});
-  table.add_row({"RoundRobin (price-blind)",
+  table.add_row({"EDR-LDDM (mean-blinded)",
                  edr::Table::num(blind.total_active_cost * 1e3, 3)});
+  table.add_row({"RoundRobin (price-blind)",
+                 edr::Table::num(rr.total_active_cost * 1e3, 3)});
   std::printf("%s\n", table.to_string().c_str());
-  std::printf("saving under flipping tariffs: %.1f%%\n",
+  std::printf("tariff awareness saves %.1f%% on the same algorithm "
+              "(vs RoundRobin: %.1f%%)\n",
               (1.0 - aware.total_active_cost / blind.total_active_cost) *
-                  100.0);
+                  100.0,
+              (1.0 - aware.total_active_cost / rr.total_active_cost) * 100.0);
 
   harness.run_benchmarks();
   return 0;

@@ -1,0 +1,110 @@
+// Scenario sweep — every iterative backend over every builtin
+// dynamic-world scenario (DESIGN.md §15), scored by the scenario runner
+// and compared against the clairvoyant `central` oracle re-solving each
+// epoch with the live tariffs.  Per (scenario, backend) the sweep records
+//
+//   cost_vs_oracle    — total active cost / the central oracle's
+//   reconverge_epochs — worst-case epochs-to-reconverge over the
+//                       scenario's event marks (0 = some event never
+//                       re-converged within its bound)
+//   alerts            — monitor alerts raised over the whole run
+//   alerts_cleared    — 1 iff no alert fired inside the quiet tail
+//   passed            — the scenario runner's overall verdict
+//
+// The committed BENCH_scenario_sweep.json baseline pins the metric schema
+// (checked by scripts/check.sh); values are machine-independent here —
+// the sweep runs entirely on the deterministic simulator.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace edr;
+
+const std::vector<std::string> kBackends = {"lddm", "cdpsm", "admm"};
+
+scenario::ScenarioResult run_backend(const std::string& name,
+                                     const std::string& algorithm) {
+  const auto scen = scenario::builtin(name);
+  scenario::RunOptions options;
+  options.algorithm = algorithm;
+  return scenario::run(scen, options);
+}
+
+/// Worst epochs-to-reconverge over the run's event marks; 0 when any
+/// event missed its re-convergence bound entirely.
+std::size_t worst_reconverge(const scenario::ScenarioResult& result) {
+  std::size_t worst = 0;
+  for (const auto& v : result.events) {
+    if (!v.reconverged) return 0;
+    worst = std::max(worst, v.epochs_waited);
+  }
+  return worst;
+}
+
+void sweep() {
+  for (const auto& name : scenario::builtin_names()) {
+    const auto oracle = run_backend(name, "central");
+    Table table({"backend", "active cost (mcents)", "vs oracle",
+                 "reconverge (epochs)", "alerts", "cleared", "verdict"});
+    table.add_row({"central (oracle)",
+                   Table::num(oracle.report.total_active_cost * 1e3, 3),
+                   "1.00", "-", std::to_string(oracle.alerts_total), "-",
+                   "-"});
+    for (const auto& backend : kBackends) {
+      const auto result = run_backend(name, backend);
+      const double ratio =
+          oracle.report.total_active_cost > 0.0
+              ? result.report.total_active_cost /
+                    oracle.report.total_active_cost
+              : 0.0;
+      const std::size_t reconverge = worst_reconverge(result);
+      table.add_row({backend,
+                     Table::num(result.report.total_active_cost * 1e3, 3),
+                     Table::num(ratio, 2),
+                     reconverge > 0 ? std::to_string(reconverge) : "MISSED",
+                     std::to_string(result.alerts_total),
+                     result.alerts_cleared ? "yes" : "NO",
+                     result.passed() ? "PASS" : "fail"});
+      bench::record_metric(name + "/cost_vs_oracle", ratio, "ratio", backend);
+      bench::record_metric(name + "/reconverge_epochs",
+                           static_cast<double>(reconverge), "epochs", backend);
+      bench::record_metric(name + "/alerts",
+                           static_cast<double>(result.alerts_total), "alerts",
+                           backend);
+      bench::record_metric(name + "/alerts_cleared",
+                           result.alerts_cleared ? 1.0 : 0.0, "", backend);
+      bench::record_metric(name + "/passed", result.passed() ? 1.0 : 0.0, "",
+                           backend);
+    }
+    std::printf("%s:\n%s\n", name.c_str(), table.to_string().c_str());
+  }
+}
+
+void BM_Scenario(benchmark::State& state,
+                 const std::string& name) {
+  for (auto _ : state) {
+    const auto result = run_backend(name, "lddm");
+    state.counters["alerts"] = static_cast<double>(result.alerts_total);
+    state.counters["passed"] = result.passed() ? 1.0 : 0.0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  edr::bench::Harness harness(argc, argv, "Scenario sweep",
+                              "iterative backends vs the central oracle "
+                              "over the builtin dynamic-world scenarios");
+  for (const auto& name : edr::scenario::builtin_names())
+    benchmark::RegisterBenchmark(("BM_Scenario/" + name).c_str(), BM_Scenario,
+                                 name)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  sweep();
+  harness.run_benchmarks();
+  return 0;
+}

@@ -8,6 +8,8 @@
 //   ./examples/edr_sim --algorithm lddm --fail-replica 0 --fail-at 20 \
 //                      --recover-at 40
 //   ./examples/edr_sim --trace my_trace.csv --algorithm rr
+//   ./examples/edr_sim --scenario replica-churn --watch
+//   ./examples/edr_sim --scenario my_world.json --algorithm cdpsm
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +20,7 @@
 #include "analysis/report_json.hpp"
 #include "baselines/donar_algorithm.hpp"
 #include "common/args.hpp"
+#include "common/json.hpp"
 #include "common/simd.hpp"
 #include "common/table.hpp"
 #include "core/algorithm_registry.hpp"
@@ -25,13 +28,83 @@
 #include "optim/instance.hpp"
 #include "runtime/live_report.hpp"
 #include "runtime/local_cluster.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 
 using namespace edr;
 
+namespace {
+
+// --scenario mode: load, run, score, and report one dynamic-world
+// scenario.  Returns the process exit code (0 = scenario PASSed).
+int run_scenario(const std::string& name_or_path,
+                 const std::string& algorithm_override, bool watch,
+                 double slo_ms, bool traces, bool json) {
+  auto scenario = scenario::load(name_or_path);
+  if (slo_ms > 0.0) scenario.scoring.response_slo_ms = slo_ms;
+
+  scenario::RunOptions options;
+  options.algorithm = algorithm_override;
+  options.record_traces = traces;
+  if (watch) {
+    options.on_epoch = [](const telemetry::EpochSummary& epoch) {
+      std::fprintf(stderr,
+                   "[watch] epoch %zu: %zu rounds, %zu replicas, "
+                   "objective %.6g -> %.6g, %zu alerts\n",
+                   epoch.epoch, epoch.rounds, epoch.replicas,
+                   epoch.first_objective, epoch.final_objective,
+                   epoch.alerts);
+    };
+    options.on_alert = [](const telemetry::Alert& alert) {
+      std::fprintf(stderr, "[watch] %s %s: %s\n",
+                   telemetry::to_string(alert.severity),
+                   telemetry::to_string(alert.kind), alert.message.c_str());
+    };
+  }
+  const auto result = scenario::run(scenario, options);
+
+  if (json) {
+    JsonWriter out;
+    out.begin_object();
+    out.field("scenario", result.name);
+    out.field("algorithm", result.algorithm);
+    out.field("passed", result.passed());
+    out.field("alerts_total", result.alerts_total);
+    out.field("alerts_cleared", result.alerts_cleared);
+    out.field("end_converged", result.end_converged);
+    out.field("total_cost_cents", result.report.total_cost);
+    out.field("megabytes_served", result.report.megabytes_served);
+    out.field("epochs", result.report.epochs);
+    out.field("total_rounds", result.report.total_rounds);
+    out.field("mean_response_ms", result.report.mean_response_ms());
+    out.key("events").begin_array();
+    for (const auto& v : result.events) {
+      out.begin_object();
+      out.field("label", v.mark.label);
+      out.field("at", v.mark.at);
+      out.field("reconverged", v.reconverged);
+      out.field("epochs_waited", v.epochs_waited);
+      out.field("rounds", v.rounds);
+      out.field("expect_alert", v.mark.expect_alert);
+      out.field("alert_fired", v.alert_fired);
+      out.field("ok", v.ok());
+      out.end_object();
+    }
+    out.end_array();
+    out.end_object();
+    std::printf("%s\n", out.str().c_str());
+  } else {
+    std::printf("%s", result.verdict_text().c_str());
+  }
+  return result.passed() ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  std::string algorithm = "lddm";
+  std::string algorithm;
   std::string app_name = "dfs";
   std::string trace_path;
   double horizon = 60.0;
@@ -50,14 +123,27 @@ int main(int argc, char** argv) {
   std::string transport = "sim";
   std::string representation = "dense";
   std::string simd = "scalar";
+  std::string scenario_name;
   bool list_algorithms = false;
+  bool list_scenarios = false;
 
   ArgParser parser{"edr_sim", "run the EDR system end to end"};
   parser.add_option("algorithm",
-                    "scheduler registry key (see --list-algorithms)",
+                    "scheduler registry key, default lddm (see "
+                    "--list-algorithms; with --scenario, overrides the "
+                    "scenario's own algorithm)",
                     &algorithm);
   parser.add_flag("list-algorithms",
                   "print the registered schedulers and exit", &list_algorithms);
+  parser.add_option("scenario",
+                    "run a dynamic-world scenario: a builtin name (see "
+                    "--list-scenarios) or a JSON file; the scenario owns the "
+                    "world (horizon, demand, events) and only --algorithm, "
+                    "--watch, --slo-ms, --power-traces and --json compose "
+                    "with it; exits 0 iff the scenario PASSes",
+                    &scenario_name);
+  parser.add_flag("list-scenarios",
+                  "print the builtin scenarios and exit", &list_scenarios);
   parser.add_option("representation",
                     "solver iterate storage: dense (golden path) | sparse "
                     "(latency-feasible pairs only) | aggregated (sparse + "
@@ -111,12 +197,23 @@ int main(int argc, char** argv) {
   if (!parser.parse(argc, argv, std::cerr))
     return parser.help_requested() ? 0 : 2;
 
+  // With --scenario an empty --algorithm means "keep the scenario's
+  // algorithm"; everywhere else it means the default scheduler.
+  const std::string algorithm_override = algorithm;
+  if (algorithm.empty()) algorithm = "lddm";
+
   baselines::register_donar_algorithm();
   auto& registry = core::AlgorithmRegistry::instance();
   if (list_algorithms) {
     for (const auto& key : registry.keys())
       std::printf("%-8s %s\n", key.c_str(),
                   registry.description(key).c_str());
+    return 0;
+  }
+  if (list_scenarios) {
+    for (const auto& name : scenario::builtin_names())
+      std::printf("%-14s %s\n", name.c_str(),
+                  scenario::builtin(name).description.c_str());
     return 0;
   }
   if (!registry.contains(algorithm)) {
@@ -154,6 +251,25 @@ int main(int argc, char** argv) {
               << replicas << " overflows the allocation size (max "
               << SIZE_MAX / replicas << " clients for this replica count)\n";
     return 2;
+  }
+  if (!scenario_name.empty()) {
+    if (transport != "sim") {
+      std::cerr << "edr_sim: --scenario runs on the deterministic "
+                   "simulator only (--transport sim)\n";
+      return 2;
+    }
+    if (!trace_path.empty()) {
+      std::cerr << "edr_sim: --scenario synthesizes its own demand trace; "
+                   "--trace does not compose with it\n";
+      return 2;
+    }
+    try {
+      return run_scenario(scenario_name, algorithm_override, watch, slo_ms,
+                          traces, json);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "edr_sim: %s\n", error.what());
+      return 2;
+    }
   }
   if (transport != "sim") {
     // The live runtime is a different execution substrate; simulator-only

@@ -43,12 +43,14 @@ echo "== thread sanitizer build (build-tsan/, -fsanitize=thread) =="
 # is single-threaded and already covered by the asan/ubsan tree above.
 # Simd covers the runtime-dispatched kernels (scalar + widest-ISA bodies);
 # Admm covers the ADMM engine including its parallel x-update sweep.
+# Scenario covers the dynamic-world suite end to end (timed events through
+# the full pipeline, including the solver-thread pool).
 cmake -B build-tsan -S . -DEDR_SANITIZE=tsan >/dev/null
 cmake --build build-tsan -j "$jobs" \
   --target test_integration test_telemetry test_net test_common test_optim \
            test_core
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'ThreadedLddm|AtomicModeCountsAcrossThreads|Mailbox|InprocTransport|ThreadPool|ParallelProjection|SparseProjection|SparseEquivalence|GoldenEquivalence|Simd|Admm'
+  -R 'ThreadedLddm|AtomicModeCountsAcrossThreads|Mailbox|InprocTransport|ThreadPool|ParallelProjection|SparseProjection|SparseEquivalence|GoldenEquivalence|Simd|Admm|Scenario'
 
 echo
 echo "== telemetry overhead smoke (fig5_convergence, telemetry disabled) =="
@@ -107,6 +109,33 @@ if ! grep -q '"name":"agreement","value":1' \
   exit 1
 fi
 echo "bench baseline smoke: abl_kernels schema matches, scalar/auto agree"
+
+echo
+echo "== scenario smoke (named dynamic-world scenarios + sweep schema) =="
+# Two named scenarios end to end through the CLI front end: each must
+# print a PASS verdict (edr_sim --scenario exits non-zero otherwise).
+# Then regenerate the scenario-sweep metrics and schema-diff them against
+# the committed BENCH_scenario_sweep.json baseline, exactly like the
+# abl_scaling/abl_kernels baselines above.
+for scen in price-flip replica-churn; do
+  build/examples/edr_sim --scenario "$scen" > "$smoke_dir/scen_$scen.txt"
+  if ! grep -q '^verdict: PASS$' "$smoke_dir/scen_$scen.txt"; then
+    echo "scenario smoke FAILED: $scen did not PASS:" >&2
+    cat "$smoke_dir/scen_$scen.txt" >&2
+    exit 1
+  fi
+  echo "scenario smoke: $scen PASS"
+done
+build/bench/scenario_sweep \
+  "--json-out=$smoke_dir/BENCH_scenario_sweep.json" >/dev/null 2>&1
+bench_schema "$smoke_dir/BENCH_scenario_sweep.json" > "$smoke_dir/scen.new"
+bench_schema BENCH_scenario_sweep.json > "$smoke_dir/scen.committed"
+if ! diff -u "$smoke_dir/scen.committed" "$smoke_dir/scen.new"; then
+  echo "scenario smoke FAILED: metric schema drifted from" \
+       "BENCH_scenario_sweep.json — regenerate the committed baseline" >&2
+  exit 1
+fi
+echo "scenario smoke: sweep metric schema matches the baseline"
 
 echo
 echo "== sparse smoke (dense vs sparse vs aggregated, all six backends) =="
@@ -256,4 +285,4 @@ fi
 echo "observability smoke: digests identical with tracing on and off"
 
 echo
-echo "check.sh: all suites passed (regular + asan/ubsan + tsan + smoke + sparse + live + observability)"
+echo "check.sh: all suites passed (regular + asan/ubsan + tsan + smoke + scenario + sparse + live + observability)"

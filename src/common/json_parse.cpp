@@ -1,0 +1,322 @@
+#include "common/json_parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/fmt.hpp"
+
+namespace edr::json {
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) throw JsonError("json: value is not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) throw JsonError("json: value is not a number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) throw JsonError("json: value is not a string");
+  return string_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  if (kind_ != Kind::kArray) throw JsonError("json: value is not an array");
+  return array_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  if (kind_ != Kind::kObject) throw JsonError("json: value is not an object");
+  return members_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* found = find(key);
+  if (found == nullptr)
+    throw JsonError(strf("json: missing key \"%.*s\"",
+                         static_cast<int>(key.size()), key.data()));
+  return *found;
+}
+
+double Value::number_or(std::string_view key, double fallback) const {
+  const Value* found = find(key);
+  return found != nullptr ? found->as_number() : fallback;
+}
+
+bool Value::bool_or(std::string_view key, bool fallback) const {
+  const Value* found = find(key);
+  return found != nullptr ? found->as_bool() : fallback;
+}
+
+std::string Value::string_or(std::string_view key,
+                             std::string fallback) const {
+  const Value* found = find(key);
+  return found != nullptr ? found->as_string() : std::move(fallback);
+}
+
+Value Value::make_bool(bool v) {
+  Value out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+Value Value::make_number(double v) {
+  Value out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+Value Value::make_string(std::string v) {
+  Value out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+Value Value::make_array(std::vector<Value> v) {
+  Value out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::move(v);
+  return out;
+}
+
+Value Value::make_object(std::vector<std::pair<std::string, Value>> v) {
+  Value out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(v);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value root = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw JsonError(
+        strf("json: %s at line %zu, column %zu", what.c_str(), line, column));
+  }
+
+  [[nodiscard]] bool done() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!done() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                       peek() == '\r'))
+      ++pos_;
+  }
+
+  void expect(char ch) {
+    if (done() || peek() != ch) fail(strf("expected '%c'", ch));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_whitespace();
+    if (done()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value::make_string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value::make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value::make_null();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    std::vector<std::pair<std::string, Value>> members;
+    skip_whitespace();
+    if (!done() && peek() == '}') {
+      ++pos_;
+      return Value::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_whitespace();
+      if (done() || peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (done()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value::make_object(std::move(members));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    std::vector<Value> items;
+    skip_whitespace();
+    if (!done() && peek() == ']') {
+      ++pos_;
+      return Value::make_array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value());
+      skip_whitespace();
+      if (done()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value::make_array(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (done()) fail("unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (static_cast<unsigned char>(ch) < 0x20)
+        fail("unescaped control character in string");
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      if (done()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  void append_unicode_escape(std::string& out) {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned int code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char ch = text_[pos_++];
+      code <<= 4;
+      if (ch >= '0' && ch <= '9')
+        code += ch - '0';
+      else if (ch >= 'a' && ch <= 'f')
+        code += 10 + (ch - 'a');
+      else if (ch >= 'A' && ch <= 'F')
+        code += 10 + (ch - 'A');
+      else
+        fail("bad \\u escape digit");
+    }
+    // UTF-8 encode (BMP only; surrogate pairs are rejected as out of
+    // scope for config files).
+    if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escape");
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (!done() && peek() == '-') ++pos_;
+    while (!done() && std::isdigit(static_cast<unsigned char>(peek())))
+      ++pos_;
+    if (!done() && peek() == '.') {
+      ++pos_;
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    double number = 0.0;
+    const auto [end, errc] = std::from_chars(
+        text_.data() + start, text_.data() + pos_, number);
+    if (errc != std::errc{} || end != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return Value::make_number(number);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser{text}.run(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError(strf("json: cannot open %s", path.c_str()));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace edr::json

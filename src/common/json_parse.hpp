@@ -1,0 +1,83 @@
+// Minimal recursive-descent JSON parser (the read-side twin of
+// common/json.hpp's writer).
+//
+// The scenario layer loads world descriptions from JSON files; nothing in
+// the container provides a parser, so this is a small strict one: full
+// value grammar, \uXXXX escapes (BMP only), no comments, no trailing
+// commas.  Errors throw JsonError with a line/column position.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edr::json {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed JSON document node.  Objects keep their members in insertion
+/// order (scenario files read naturally top to bottom in error messages).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw JsonError on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& as_array() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const;
+
+  /// Object lookup: null if absent (or not an object) / throwing variant.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] const Value& at(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Lenient typed lookups with defaults, for optional config fields.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string fallback) const;
+
+  static Value make_null() { return Value{}; }
+  static Value make_bool(bool v);
+  static Value make_number(double v);
+  static Value make_string(std::string v);
+  static Value make_array(std::vector<Value> v);
+  static Value make_object(std::vector<std::pair<std::string, Value>> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parse a complete JSON document (one value plus trailing whitespace).
+/// Throws JsonError with "line L, column C" context on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Parse the contents of a file; wraps read errors in JsonError.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace edr::json

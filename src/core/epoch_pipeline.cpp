@@ -281,6 +281,42 @@ void EpochPipeline::inject_recovery(std::size_t n, SimTime when) {
   });
 }
 
+void EpochPipeline::inject_link_change(const LinkDegradation& change,
+                                       SimTime when) {
+  sim_.schedule_at(when, [this, change] {
+    logf(LogLevel::kInfo,
+         "edr: link change at t=%.3f (client=%d replica=%d lat x%.2f "
+         "bw x%.2f)",
+         sim_.now(), change.client, change.replica, change.latency_factor,
+         change.bandwidth_factor);
+    tracer().instant("link_change", "fault", 0);
+    const std::size_t c_lo = change.client < 0 ? 0 : change.client;
+    const std::size_t c_hi =
+        change.client < 0 ? num_clients_ : change.client + 1;
+    const std::size_t n_lo = change.replica < 0 ? 0 : change.replica;
+    const std::size_t n_hi =
+        change.replica < 0 ? num_replicas_ : change.replica + 1;
+    for (std::size_t c = c_lo; c < c_hi; ++c) {
+      for (std::size_t n = n_lo; n < n_hi; ++n) {
+        // The scheduler's feasibility view and the delivery path must
+        // agree, so mutate both the config matrix and the live links.
+        cfg_.latency(c, n) *= change.latency_factor;
+        if (!policy_.per_client_links) continue;
+        auto params = network_.link(client_node(c), solver_node(n));
+        params.latency *= change.latency_factor;
+        params.bandwidth_mbps *= change.bandwidth_factor;
+        network_.set_link(client_node(c), solver_node(n), params);
+        network_.set_link(solver_node(n), client_node(c), params);
+      }
+    }
+    // A replica-wide cut also shrinks the capacity the optimizer plans
+    // against (and the transfer pacing rate).
+    if (change.client < 0 && change.bandwidth_factor != 1.0)
+      for (std::size_t n = n_lo; n < n_hi; ++n)
+        cfg_.replicas[n].bandwidth *= change.bandwidth_factor;
+  });
+}
+
 void EpochPipeline::on_member_dead(net::NodeId dead) {
   const auto n = static_cast<std::size_t>(dead);
   if (n < alive_.size() && alive_[n]) {

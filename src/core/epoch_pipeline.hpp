@@ -72,6 +72,7 @@ class EpochPipeline {
 
   void inject_failure(std::size_t replica, SimTime when);
   void inject_recovery(std::size_t replica, SimTime when);
+  void inject_link_change(const LinkDegradation& change, SimTime when);
 
   /// Execute the whole trace; may be called once.
   RunReport run();

@@ -14,8 +14,14 @@ optim::Problem make_epoch_problem(const EpochProblemSpec& spec,
   Matrix latency(spec.active_clients.size(), spec.active_replicas.size());
   for (std::size_t col = 0; col < spec.active_replicas.size(); ++col) {
     auto p = cfg.replicas[spec.active_replicas[col]];
-    if (!cfg.tariffs.empty())
-      p.price = cfg.tariffs[spec.active_replicas[col]].at(spec.now);
+    if (!cfg.tariffs.empty()) {
+      // Tariff-blind mode (the ablation's control arm): the optimization
+      // sees each region's mean price while the meter bills the true
+      // time-varying one.
+      const auto& tariff = cfg.tariffs[spec.active_replicas[col]];
+      p.price = cfg.tariff_aware_scheduler ? tariff.at(spec.now)
+                                           : tariff.mean_price();
+    }
     if (cfg.derive_energy_model_from_power) {
       // Paced transfer of s MB at intensity s/(B·W) for W seconds burns
       //   W·[lin·s/(B·W) + poly·(s/(B·W))^γ]

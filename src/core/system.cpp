@@ -56,6 +56,20 @@ void EdrSystem::inject_recovery(std::size_t replica, SimTime when) {
   impl_->inject_recovery(replica, when);
 }
 
+void EdrSystem::inject_link_change(const LinkDegradation& change,
+                                   SimTime when) {
+  if (change.replica >= static_cast<int>(impl_->num_replicas()))
+    throw std::out_of_range(
+        "EdrSystem::inject_link_change: bad replica index");
+  if (change.client >= static_cast<int>(impl_->config().num_clients))
+    throw std::out_of_range(
+        "EdrSystem::inject_link_change: bad client index");
+  if (change.latency_factor <= 0.0 || change.bandwidth_factor <= 0.0)
+    throw std::invalid_argument(
+        "EdrSystem::inject_link_change: factors must be positive");
+  impl_->inject_link_change(change, when);
+}
+
 RunReport EdrSystem::run() { return impl_->run(); }
 
 }  // namespace edr::core

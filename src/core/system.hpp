@@ -91,6 +91,12 @@ struct SystemConfig {
   /// integral — the "more restrictions" extension the paper leaves as
   /// future work (§V).
   std::vector<power::TimeOfDayTariff> tariffs;
+  /// Whether the scheduler sees the true time-varying tariff (the default)
+  /// or each tariff flattened to its mean — the blinded arm of the
+  /// tariff-awareness ablation.  The meters always bill the true
+  /// time-varying price either way; only the price the optimization
+  /// minimizes changes.  Ignored when `tariffs` is empty.
+  bool tariff_aware_scheduler = true;
 
   /// Optional per-replica power models (empty = `power` for all).  Lets a
   /// deployment mix hardware generations: an efficient node with a lower
@@ -196,6 +202,23 @@ struct RunReport {
   std::vector<telemetry::Alert> alerts;
 };
 
+/// A multiplicative change to client<->replica link quality, applied at a
+/// scheduled instant (see EdrSystem::inject_link_change).  Factors
+/// compose: inject the inverse factors later to restore the link.
+struct LinkDegradation {
+  /// Client index, or -1 for every client.
+  int client = -1;
+  /// Replica index, or -1 for every replica.
+  int replica = -1;
+  /// Multiplier on the link latency (> 1 inflates; scheduler feasibility
+  /// and message delivery both see the new value).
+  double latency_factor = 1.0;
+  /// Multiplier on the link bandwidth (< 1 cuts capacity).  When the
+  /// change is replica-wide (client == -1) the replica's schedulable
+  /// capacity is scaled too, so the optimizer routes around the brownout.
+  double bandwidth_factor = 1.0;
+};
+
 class EpochPipeline;
 
 /// Drives one complete run of the system over a workload trace: the
@@ -216,6 +239,13 @@ class EdrSystem {
   /// (announcing itself to the survivors) and is eligible for scheduling
   /// from the next epoch on.
   void inject_recovery(std::size_t replica, SimTime when);
+
+  /// Schedule a link-quality change at `when`: latency inflation and/or
+  /// bandwidth cuts on the matched client<->replica links.  The scheduler
+  /// re-reads the degraded latency matrix (and capacity) at the next
+  /// epoch, so it routes around the brownout; schedule the inverse
+  /// factors to lift it.
+  void inject_link_change(const LinkDegradation& change, SimTime when);
 
   /// Execute the whole trace; may be called once.
   RunReport run();

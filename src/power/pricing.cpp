@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/fmt.hpp"
+#include "common/math_util.hpp"
 
 namespace edr::power {
 
@@ -50,6 +52,8 @@ double PriceBook::dispersion() const {
   return lo > 0.0 ? hi / lo : 0.0;
 }
 
+SimTime no_next_switch() { return std::numeric_limits<SimTime>::infinity(); }
+
 TimeOfDayTariff::TimeOfDayTariff(CentsPerKwh base, double peak_multiplier,
                                  double peak_start, double peak_end)
     : base_(base),
@@ -57,9 +61,40 @@ TimeOfDayTariff::TimeOfDayTariff(CentsPerKwh base, double peak_multiplier,
       peak_start_hours_(peak_start),
       peak_end_hours_(peak_end) {}
 
+TimeOfDayTariff TimeOfDayTariff::step_schedule(CentsPerKwh base,
+                                               std::vector<PriceStep> steps) {
+  TimeOfDayTariff tariff;
+  tariff.base_ = base;
+  std::ranges::stable_sort(steps, [](const PriceStep& a, const PriceStep& b) {
+    return a.time < b.time;
+  });
+  tariff.steps_ = std::move(steps);
+  return tariff;
+}
+
+bool TimeOfDayTariff::constant() const {
+  if (!steps_.empty()) {
+    for (const auto& step : steps_)
+      if (step.price != base_) return false;
+    return true;
+  }
+  return multiplier_ == 1.0 || peak_start_hours_ == peak_end_hours_;
+}
+
 CentsPerKwh TimeOfDayTariff::at(SimTime time) const {
-  const double hours =
-      std::fmod(time / day_length_, 1.0) * 24.0;
+  if (!steps_.empty()) {
+    CentsPerKwh price = base_;
+    for (const auto& step : steps_) {
+      if (step.time > time) break;
+      price = step.price;
+    }
+    return price;
+  }
+  // Floor-mod: negative times land in the previous day's window instead of
+  // producing a negative hour that no window (wrapped or not) matches.
+  double day_fraction = std::fmod(time / day_length_, 1.0);
+  if (day_fraction < 0.0) day_fraction += 1.0;
+  const double hours = day_fraction * 24.0;
   const bool in_peak =
       peak_start_hours_ <= peak_end_hours_
           ? (hours >= peak_start_hours_ && hours < peak_end_hours_)
@@ -68,11 +103,21 @@ CentsPerKwh TimeOfDayTariff::at(SimTime time) const {
 }
 
 SimTime TimeOfDayTariff::next_switch(SimTime time) const {
+  if (!steps_.empty()) {
+    const CentsPerKwh current = at(time);
+    for (const auto& step : steps_)
+      if (step.time > time + 1e-12 && step.price != current) return step.time;
+    return no_next_switch();
+  }
+  // A degenerate window or unit multiplier never changes the price; the
+  // old candidate scan returned those phantom boundaries anyway.
+  if (constant()) return no_next_switch();
   const double day_start = std::floor(time / day_length_) * day_length_;
   const double start_s = peak_start_hours_ / 24.0 * day_length_;
   const double end_s = peak_end_hours_ / 24.0 * day_length_;
-  // Candidate boundaries over this day and the next.
-  SimTime best = day_start + 2.0 * day_length_;
+  // Candidate boundaries over this day and the next (floor handles
+  // negative times, so this also works before t = 0).
+  SimTime best = no_next_switch();
   for (const double offset : {start_s, end_s}) {
     for (int day = 0; day < 2; ++day) {
       const SimTime candidate = day_start + day * day_length_ + offset;
@@ -80,6 +125,20 @@ SimTime TimeOfDayTariff::next_switch(SimTime time) const {
     }
   }
   return best;
+}
+
+CentsPerKwh TimeOfDayTariff::mean_price(SimTime horizon) const {
+  if (horizon <= 0.0) horizon = day_length_;
+  // Walk the piecewise-constant price exactly: both modes expose their
+  // breakpoints through next_switch, so the mean is a finite sum.
+  KahanSum weighted;
+  SimTime cursor = 0.0;
+  while (cursor < horizon) {
+    const SimTime next = std::min(next_switch(cursor), horizon);
+    weighted.add(at(cursor) * (next - cursor));
+    cursor = next;
+  }
+  return weighted.value() / horizon;
 }
 
 }  // namespace edr::power

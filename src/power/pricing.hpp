@@ -53,35 +53,74 @@ class PriceBook {
   std::vector<Region> regions_;
 };
 
-/// Time-of-day tariff: a flat base price modulated by peak/off-peak windows.
+/// One absolute-time price change in a step schedule.
+struct PriceStep {
+  SimTime time = 0.0;  ///< seconds into the run, not into the day
+  CentsPerKwh price = 1.0;
+};
+
+/// Sentinel for "the price never changes again" (constant tariffs, or a
+/// step schedule past its last step).  Callers integrating piecewise cost
+/// clamp against their horizon, so infinity composes with std::min.
+[[nodiscard]] SimTime no_next_switch();
+
+/// Time-varying electricity price, in one of two modes:
+///   - time-of-day: a flat base price modulated by a daily peak window
+///     (repeats every day_length seconds; wrapping windows allowed), or
+///   - step schedule: an absolute-time piecewise-constant price (the last
+///     step's price holds forever; not periodic) — the shape the scenario
+///     layer uses for price-flip events.
 class TimeOfDayTariff {
  public:
   /// `peak_multiplier` applies between peak_start and peak_end (hours in
-  /// [0, 24), wrapping allowed).
+  /// [0, 24), wrapping allowed).  A degenerate window (peak_start ==
+  /// peak_end) or a unit multiplier yields a constant tariff.
   TimeOfDayTariff(CentsPerKwh base, double peak_multiplier, double peak_start,
                   double peak_end);
 
-  /// Price in effect at `time` seconds into the (simulated) day.
+  /// Step-schedule mode: `base` applies before the first step, then each
+  /// step's price from its time on.  Steps are sorted by time.
+  static TimeOfDayTariff step_schedule(CentsPerKwh base,
+                                       std::vector<PriceStep> steps);
+
+  /// Price in effect at `time` seconds into the run.  Negative times read
+  /// the previous day's window (floor-mod), not garbage.
   [[nodiscard]] CentsPerKwh at(SimTime time) const;
 
   /// The next instant strictly after `time` at which the price changes
-  /// (peak-window boundary).  Used for exact piecewise cost integration.
+  /// (peak-window boundary or step).  Used for exact piecewise cost
+  /// integration.  Returns no_next_switch() when the price is constant
+  /// from `time` on.
   [[nodiscard]] SimTime next_switch(SimTime time) const;
+
+  /// True when at() returns the same price for every time.
+  [[nodiscard]] bool constant() const;
+
+  /// Time-weighted mean price over [0, horizon); horizon <= 0 defaults to
+  /// one day_length (exact for the periodic time-of-day mode).  This is
+  /// the price a tariff-blind scheduler sees when
+  /// SystemConfig::tariff_aware_scheduler is off.
+  [[nodiscard]] CentsPerKwh mean_price(SimTime horizon = 0.0) const;
 
   [[nodiscard]] CentsPerKwh base() const { return base_; }
   [[nodiscard]] double peak_multiplier() const { return multiplier_; }
+  [[nodiscard]] const std::vector<PriceStep>& steps() const { return steps_; }
 
-  /// Seconds per simulated day (tariffs repeat daily; configurable so
-  /// benches can compress a day).
+  /// Seconds per simulated day (time-of-day tariffs repeat daily;
+  /// configurable so benches can compress a day).
   void set_day_length(double seconds) { day_length_ = seconds; }
   [[nodiscard]] double day_length() const { return day_length_; }
 
  private:
-  CentsPerKwh base_;
-  double multiplier_;
-  double peak_start_hours_;
-  double peak_end_hours_;
+  TimeOfDayTariff() = default;
+
+  CentsPerKwh base_ = 1.0;
+  double multiplier_ = 1.0;
+  double peak_start_hours_ = 0.0;
+  double peak_end_hours_ = 0.0;
   double day_length_ = 86400.0;
+  /// Non-empty = step-schedule mode (the window fields are unused).
+  std::vector<PriceStep> steps_;
 };
 
 }  // namespace edr::power

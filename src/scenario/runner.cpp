@@ -1,0 +1,123 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "analysis/experiments.hpp"
+#include "common/fmt.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace edr::scenario {
+
+bool ScenarioResult::passed() const {
+  if (!alerts_cleared || !end_converged) return false;
+  if (report.megabytes_served <= 0.0) return false;
+  return std::ranges::all_of(
+      events, [](const EventVerdict& v) { return v.ok(); });
+}
+
+std::string ScenarioResult::verdict_text() const {
+  std::ostringstream out;
+  out << strf("scenario %s (%s): %zu events, %zu alerts\n", name.c_str(),
+              algorithm.c_str(), events.size(), alerts_total);
+  for (const auto& v : events) {
+    out << strf("  event %-18s %s", v.mark.label.c_str(),
+                v.reconverged
+                    ? strf("reconverged in %zu epoch(s) (%zu rounds)",
+                           v.epochs_waited, v.rounds)
+                          .c_str()
+                    : "DID NOT reconverge");
+    if (v.mark.expect_alert)
+      out << (v.alert_fired ? ", alert fired" : ", alert MISSING");
+    out << (v.ok() ? "  [ok]\n" : "  [FAIL]\n");
+  }
+  out << strf("  alerts cleared by quiet tail: %s\n",
+              alerts_cleared ? "yes" : "NO");
+  out << strf("  final epoch converged: %s\n", end_converged ? "yes" : "NO");
+  out << strf("verdict: %s\n", passed() ? "PASS" : "FAIL");
+  return out.str();
+}
+
+ScenarioResult run(const Scenario& scenario, const RunOptions& options) {
+  ScenarioResult result;
+  result.name = scenario.name;
+  result.algorithm =
+      options.algorithm.empty() ? scenario.algorithm : options.algorithm;
+
+  auto cfg = analysis::paper_config(result.algorithm, scenario.config_seed);
+  cfg.num_clients = scenario.num_clients;
+  cfg.record_traces = options.record_traces;
+  cfg.tariffs = scenario.build_tariffs(cfg.replicas);
+
+  auto telemetry = std::make_shared<telemetry::Telemetry>();
+  telemetry->enable_flight_recorder();
+  telemetry::MonitorOptions monitor_options;
+  monitor_options.response_slo_ms = scenario.scoring.response_slo_ms;
+  auto& monitor = telemetry->enable_monitor(monitor_options);
+  if (options.on_alert) monitor.set_alert_callback(options.on_alert);
+  if (options.on_epoch) monitor.set_epoch_callback(options.on_epoch);
+  cfg.telemetry = telemetry;
+
+  const SimTime epoch_length = cfg.epoch_length;
+  core::EdrSystem system(std::move(cfg), scenario.build_trace());
+  for (const auto& event : scenario.replica_events) {
+    system.inject_failure(event.replica, event.crash_at);
+    if (event.recover_at >= 0.0)
+      system.inject_recovery(event.replica, event.recover_at);
+  }
+  for (const auto& event : scenario.link_events) {
+    system.inject_link_change(event.change, event.at);
+    if (event.until >= 0.0) {
+      core::LinkDegradation inverse = event.change;
+      inverse.latency_factor = 1.0 / event.change.latency_factor;
+      inverse.bandwidth_factor = 1.0 / event.change.bandwidth_factor;
+      system.inject_link_change(inverse, event.until);
+    }
+  }
+  result.report = system.run();
+
+  // ---------- scoring ----------
+  const auto& scoring = scenario.scoring;
+  const auto& summaries = result.report.convergence;  // completion order
+  const auto& alerts = result.report.alerts;
+  result.alerts_total = alerts.size();
+  const SimTime alert_window =
+      scoring.alert_window > 0.0
+          ? scoring.alert_window
+          : static_cast<double>(scoring.reconverge_epochs) * epoch_length +
+                epoch_length;
+
+  for (const auto& mark : scenario.marks()) {
+    EventVerdict verdict;
+    verdict.mark = mark;
+    std::size_t inspected = 0;
+    for (const auto& summary : summaries) {
+      if (summary.end_time <= mark.at) continue;
+      ++inspected;
+      if (summary.rounds <= scoring.round_bound) {
+        verdict.reconverged = true;
+        verdict.epochs_waited = inspected;
+        verdict.rounds = summary.rounds;
+        break;
+      }
+      if (inspected >= scoring.reconverge_epochs) break;
+    }
+    verdict.alert_fired = std::ranges::any_of(
+        alerts, [&](const telemetry::Alert& alert) {
+          return alert.time >= mark.at && alert.time < mark.at + alert_window;
+        });
+    result.events.push_back(verdict);
+  }
+
+  const SimTime quiet_start = result.report.makespan - scoring.quiet_tail;
+  result.alerts_cleared = std::ranges::none_of(
+      alerts, [&](const telemetry::Alert& alert) {
+        return alert.time >= quiet_start;
+      });
+  if (!summaries.empty())
+    result.end_converged = summaries.back().rounds <= scoring.round_bound;
+  return result;
+}
+
+}  // namespace edr::scenario

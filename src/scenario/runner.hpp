@@ -1,0 +1,76 @@
+// Scenario runner: execute a Scenario end to end and score the result.
+//
+// The runner instantiates the paper's cluster (analysis::paper_config)
+// with the scenario's tariffs, synthesizes the dynamic demand trace,
+// attaches the flight recorder + convergence monitor, injects every
+// timed event, runs the system, and grades the outcome against the
+// scenario's ScoringSpec:
+//
+//   - after every event mark, some epoch among the next N completed ones
+//     must finish within the round bound (EDR re-converged);
+//   - events marked expect_alert must raise a monitor alert inside their
+//     window (the detector fired);
+//   - no alert may be raised inside the quiet tail at the end of the run
+//     (the detectors cleared);
+//   - the final completed epoch must itself be within the round bound.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "telemetry/monitor.hpp"
+
+namespace edr::scenario {
+
+/// Grade of one event mark.
+struct EventVerdict {
+  EventMark mark;
+  bool reconverged = false;
+  /// Completed epochs after the mark until the first converged one
+  /// (1 = the very next epoch), when reconverged.
+  std::size_t epochs_waited = 0;
+  /// Solver rounds of that converging epoch.
+  std::size_t rounds = 0;
+  /// Did any alert fire inside [mark.at, mark.at + alert window)?
+  bool alert_fired = false;
+
+  [[nodiscard]] bool ok() const {
+    return reconverged && (!mark.expect_alert || alert_fired);
+  }
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::string algorithm;
+  core::RunReport report;
+  std::vector<EventVerdict> events;
+  /// No alert raised within the quiet tail before the end of the run.
+  bool alerts_cleared = true;
+  /// The last completed epoch converged within the round bound.
+  bool end_converged = true;
+  std::size_t alerts_total = 0;
+
+  [[nodiscard]] bool passed() const;
+  /// Human-readable verdict block, one line per event plus a PASS/FAIL
+  /// summary line (grepped by the scenario-smoke CI stage).
+  [[nodiscard]] std::string verdict_text() const;
+};
+
+struct RunOptions {
+  /// Override the scenario's algorithm (empty = keep it).  The sweep
+  /// bench runs every backend over the same scenario this way.
+  std::string algorithm;
+  /// Record 50 Hz power traces (off: scenarios only need cost totals).
+  bool record_traces = false;
+  /// Live hooks, fired as the run progresses (edr_sim --watch).
+  std::function<void(const telemetry::Alert&)> on_alert;
+  std::function<void(const telemetry::EpochSummary&)> on_epoch;
+};
+
+/// Execute and score one scenario run.
+[[nodiscard]] ScenarioResult run(const Scenario& scenario,
+                                 const RunOptions& options = {});
+
+}  // namespace edr::scenario

@@ -1,0 +1,417 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/fmt.hpp"
+#include "common/json_parse.hpp"
+#include "workload/apps.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/zipf.hpp"
+
+namespace edr::scenario {
+
+namespace {
+
+workload::AppProfile app_by_name(const std::string& name) {
+  if (name == "distributed_file_service")
+    return workload::distributed_file_service();
+  if (name == "video_streaming") return workload::video_streaming();
+  throw std::invalid_argument("scenario: unknown app profile: " + name);
+}
+
+/// Materialize one plan as a tariff over a given static base price.
+power::TimeOfDayTariff plan_tariff(const PricePlan& plan,
+                                   CentsPerKwh static_price,
+                                   SimTime horizon) {
+  const CentsPerKwh base = plan.base > 0.0 ? plan.base : static_price;
+  const double day = plan.day_length > 0.0 ? plan.day_length : horizon;
+  if (!plan.steps.empty())
+    return power::TimeOfDayTariff::step_schedule(base, plan.steps);
+  power::TimeOfDayTariff tariff{base, plan.peak_multiplier,
+                                plan.peak_start_hours, plan.peak_end_hours};
+  tariff.set_day_length(day);
+  return tariff;
+}
+
+}  // namespace
+
+std::vector<EventMark> Scenario::marks() const {
+  std::vector<EventMark> out;
+  // Events hitting the same instant (a multi-link brownout, price plans
+  // switching together) merge into one mark; expect_alert ORs across them.
+  auto add = [&out](std::string label, SimTime at, bool expect_alert) {
+    auto existing = std::ranges::find_if(
+        out, [&](const EventMark& m) { return m.label == label; });
+    if (existing != out.end())
+      existing->expect_alert = existing->expect_alert || expect_alert;
+    else
+      out.push_back({std::move(label), at, expect_alert});
+  };
+  for (const auto& spec : demand.flashes)
+    add(strf("flash@%g", spec.flash.start), spec.flash.start,
+        spec.expect_alert);
+  for (const auto& event : replica_events) {
+    add(strf("crash:r%zu@%g", event.replica, event.crash_at), event.crash_at,
+        event.expect_alert);
+    if (event.recover_at >= 0.0)
+      add(strf("recover:r%zu@%g", event.replica, event.recover_at),
+          event.recover_at, false);
+  }
+  for (const auto& event : link_events) {
+    add(strf("link@%g", event.at), event.at, event.expect_alert);
+    if (event.until >= 0.0)
+      add(strf("link-lift@%g", event.until), event.until, false);
+  }
+  // Price switches: walk each plan's representative tariff over the
+  // horizon.
+  for (const auto& plan : prices) {
+    const auto tariff = plan_tariff(plan, 1.0, horizon);
+    SimTime cursor = 0.0;
+    while (true) {
+      const SimTime next = tariff.next_switch(cursor);
+      if (next >= horizon) break;
+      add(strf("price@%g", next), next, plan.expect_alert);
+      cursor = next;
+    }
+  }
+  std::ranges::stable_sort(
+      out, [](const EventMark& a, const EventMark& b) { return a.at < b.at; });
+  return out;
+}
+
+std::vector<power::TimeOfDayTariff> Scenario::build_tariffs(
+    const std::vector<optim::ReplicaParams>& replicas) const {
+  if (prices.empty()) return {};
+  // Start every replica on a constant tariff at its static price, then
+  // overlay each plan onto its group.
+  std::vector<power::TimeOfDayTariff> tariffs;
+  tariffs.reserve(replicas.size());
+  for (const auto& rep : replicas)
+    tariffs.emplace_back(rep.price, 1.0, 0.0, 0.0);
+  for (const auto& plan : prices) {
+    std::vector<std::size_t> group = plan.replicas;
+    if (group.empty())
+      for (std::size_t n = 0; n < replicas.size(); ++n) group.push_back(n);
+    for (const std::size_t n : group) {
+      if (n >= replicas.size())
+        throw std::invalid_argument(
+            strf("scenario %s: price plan replica %zu out of range",
+                 name.c_str(), n));
+      tariffs[n] = plan_tariff(plan, replicas[n].price, horizon);
+    }
+  }
+  return tariffs;
+}
+
+workload::Trace Scenario::build_trace() const {
+  Rng rng{trace_seed};
+  const auto app = app_by_name(demand.app);
+  const double base_rate =
+      demand.base_rate_hz > 0.0 ? demand.base_rate_hz : app.base_rate_hz;
+
+  workload::DiurnalParams diurnal = demand.diurnal;
+  if (demand.compress_day_into_horizon) diurnal.day_length = horizon;
+  const workload::DiurnalCurve curve{diurnal};
+  const workload::ZipfSampler zipf{app.num_objects, app.zipf_exponent};
+
+  // Which flash is active at t (scenarios keep flashes disjoint; with
+  // overlap the multipliers compose).
+  auto flash_multiplier = [&](SimTime t) {
+    double m = 1.0;
+    for (const auto& spec : demand.flashes) {
+      const auto& f = spec.flash;
+      if (f.duration > 0.0 && t >= f.start && t < f.start + f.duration)
+        m *= f.multiplier;
+    }
+    return m;
+  };
+  auto hot_object_at = [&](SimTime t) -> const workload::FlashCrowd* {
+    for (const auto& spec : demand.flashes) {
+      const auto& f = spec.flash;
+      if (f.duration > 0.0 && t >= f.start && t < f.start + f.duration)
+        return &f;
+    }
+    return nullptr;
+  };
+  // Dominating bound: the diurnal max times the product of every flash
+  // multiplier (exact when flashes overlap, conservative otherwise).
+  double flash_bound = 1.0;
+  for (const auto& spec : demand.flashes)
+    if (spec.flash.duration > 0.0) flash_bound *= spec.flash.multiplier;
+  const double bound = base_rate * curve.max_multiplier() * flash_bound;
+
+  const auto times = workload::nonhomogeneous_arrivals(
+      rng,
+      [&](SimTime t) {
+        return base_rate * curve.multiplier(t) * flash_multiplier(t);
+      },
+      bound, horizon);
+
+  std::vector<workload::Request> requests;
+  requests.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    workload::Request request;
+    request.id = i;
+    request.client =
+        static_cast<std::uint32_t>(rng.bounded(num_clients));
+    request.arrival = times[i];
+    request.size_mb = app.sample_size(rng);
+    const auto* flash = hot_object_at(times[i]);
+    request.object_id = flash != nullptr && rng.uniform() < 0.8
+                            ? flash->hot_object
+                            : zipf.sample(rng);
+    requests.push_back(request);
+  }
+  return workload::Trace{std::move(requests)};
+}
+
+// ---------- JSON loading ----------
+
+namespace {
+
+std::size_t index_field(const json::Value& doc, std::string_view key,
+                        std::size_t fallback) {
+  const double raw = doc.number_or(key, static_cast<double>(fallback));
+  if (raw < 0.0)
+    throw std::invalid_argument(strf("scenario: negative \"%.*s\"",
+                                     static_cast<int>(key.size()),
+                                     key.data()));
+  return static_cast<std::size_t>(raw);
+}
+
+workload::DiurnalParams parse_diurnal(const json::Value& doc) {
+  workload::DiurnalParams params;
+  params.peak_multiplier =
+      doc.number_or("peak_multiplier", params.peak_multiplier);
+  params.trough_multiplier =
+      doc.number_or("trough_multiplier", params.trough_multiplier);
+  params.peak_hour = doc.number_or("peak_hour", params.peak_hour);
+  if (doc.has("day_length"))
+    params.day_length = doc.at("day_length").as_number();
+  params.normalize_to_unit_mean =
+      doc.bool_or("normalize_to_unit_mean", params.normalize_to_unit_mean);
+  return params;
+}
+
+DemandSpec parse_demand(const json::Value& doc) {
+  DemandSpec demand;
+  demand.app = doc.string_or("app", demand.app);
+  demand.base_rate_hz = doc.number_or("base_rate_hz", 0.0);
+  demand.compress_day_into_horizon =
+      doc.bool_or("compress_day_into_horizon", true);
+  if (doc.has("diurnal")) demand.diurnal = parse_diurnal(doc.at("diurnal"));
+  if (const auto* flashes = doc.find("flashes")) {
+    for (const auto& entry : flashes->as_array()) {
+      FlashSpec spec;
+      spec.flash.start = entry.at("start").as_number();
+      spec.flash.duration = entry.at("duration").as_number();
+      spec.flash.multiplier = entry.number_or("multiplier", 5.0);
+      spec.flash.hot_object = static_cast<std::uint64_t>(
+          entry.number_or("hot_object", 0.0));
+      spec.expect_alert = entry.bool_or("expect_alert", false);
+      demand.flashes.push_back(spec);
+    }
+  }
+  return demand;
+}
+
+PricePlan parse_price_plan(const json::Value& doc) {
+  PricePlan plan;
+  if (const auto* replicas = doc.find("replicas"))
+    for (const auto& entry : replicas->as_array())
+      plan.replicas.push_back(static_cast<std::size_t>(entry.as_number()));
+  plan.base = doc.number_or("base", 0.0);
+  plan.peak_multiplier = doc.number_or("peak_multiplier", 1.0);
+  plan.peak_start_hours = doc.number_or("peak_start", 0.0);
+  plan.peak_end_hours = doc.number_or("peak_end", 0.0);
+  plan.day_length = doc.number_or("day_length", 0.0);
+  if (const auto* steps = doc.find("steps")) {
+    for (const auto& entry : steps->as_array())
+      plan.steps.push_back({entry.at("time").as_number(),
+                            entry.at("price").as_number()});
+  }
+  plan.expect_alert = doc.bool_or("expect_alert", false);
+  return plan;
+}
+
+ScoringSpec parse_scoring(const json::Value& doc) {
+  ScoringSpec scoring;
+  scoring.reconverge_epochs =
+      index_field(doc, "reconverge_epochs", scoring.reconverge_epochs);
+  scoring.round_bound = index_field(doc, "round_bound", scoring.round_bound);
+  scoring.response_slo_ms =
+      doc.number_or("response_slo_ms", scoring.response_slo_ms);
+  scoring.quiet_tail = doc.number_or("quiet_tail", scoring.quiet_tail);
+  scoring.alert_window = doc.number_or("alert_window", scoring.alert_window);
+  return scoring;
+}
+
+}  // namespace
+
+Scenario from_json(const json::Value& doc) {
+  Scenario s;
+  s.name = doc.string_or("name", "unnamed");
+  s.description = doc.string_or("description", "");
+  s.algorithm = doc.string_or("algorithm", s.algorithm);
+  s.horizon = doc.number_or("horizon", s.horizon);
+  if (s.horizon <= 0.0)
+    throw std::invalid_argument("scenario: non-positive horizon");
+  s.num_clients = index_field(doc, "clients", s.num_clients);
+  s.config_seed =
+      static_cast<std::uint64_t>(doc.number_or("config_seed", 7.0));
+  s.trace_seed =
+      static_cast<std::uint64_t>(doc.number_or("trace_seed", 42.0));
+  if (doc.has("demand")) s.demand = parse_demand(doc.at("demand"));
+  if (const auto* prices = doc.find("prices"))
+    for (const auto& entry : prices->as_array())
+      s.prices.push_back(parse_price_plan(entry));
+  if (const auto* events = doc.find("replica_events")) {
+    for (const auto& entry : events->as_array()) {
+      ReplicaEvent event;
+      event.replica = static_cast<std::size_t>(
+          entry.at("replica").as_number());
+      event.crash_at = entry.at("crash_at").as_number();
+      event.recover_at = entry.number_or("recover_at", -1.0);
+      event.expect_alert = entry.bool_or("expect_alert", false);
+      s.replica_events.push_back(event);
+    }
+  }
+  if (const auto* events = doc.find("link_events")) {
+    for (const auto& entry : events->as_array()) {
+      LinkEvent event;
+      event.change.client =
+          static_cast<int>(entry.number_or("client", -1.0));
+      event.change.replica =
+          static_cast<int>(entry.number_or("replica", -1.0));
+      event.change.latency_factor = entry.number_or("latency_factor", 1.0);
+      event.change.bandwidth_factor =
+          entry.number_or("bandwidth_factor", 1.0);
+      event.at = entry.at("at").as_number();
+      event.until = entry.number_or("until", -1.0);
+      event.expect_alert = entry.bool_or("expect_alert", false);
+      s.link_events.push_back(event);
+    }
+  }
+  if (doc.has("scoring")) s.scoring = parse_scoring(doc.at("scoring"));
+  return s;
+}
+
+// ---------- builtins ----------
+//
+// Each builtin is a JSON document run through the same loader as files, so
+// the named path exercises (and cannot drift from) the schema.
+
+namespace {
+
+struct Builtin {
+  const char* name;
+  const char* text;
+};
+
+constexpr const char* kPriceFlip = R"({
+  "name": "price-flip",
+  "description": "Step tariffs invert mid-run; the scheduler must abandon the formerly cheap half of the cluster within a few epochs.",
+  "algorithm": "lddm",
+  "horizon": 20,
+  "prices": [
+    {"replicas": [0, 1, 2, 3],
+     "steps": [{"time": 0, "price": 1}, {"time": 10, "price": 12}]},
+    {"replicas": [4, 5, 6, 7],
+     "steps": [{"time": 0, "price": 12}, {"time": 10, "price": 1}]}
+  ],
+  "scoring": {"reconverge_epochs": 3, "round_bound": 200, "quiet_tail": 4}
+})";
+
+constexpr const char* kFlashCrowd = R"({
+  "name": "flash-crowd",
+  "description": "A viral object multiplies arrivals 10x for four seconds; the SLO detector must fire during the spike and clear once it passes.",
+  "algorithm": "lddm",
+  "horizon": 20,
+  "demand": {
+    "flashes": [{"start": 8, "duration": 4, "multiplier": 10,
+                 "hot_object": 7, "expect_alert": true}]
+  },
+  "scoring": {"reconverge_epochs": 4, "round_bound": 200,
+              "response_slo_ms": 1120, "quiet_tail": 3}
+})";
+
+constexpr const char* kReplicaChurn = R"({
+  "name": "replica-churn",
+  "description": "Two replicas die within one heartbeat timeout (a multi-death cascade) and later rejoin; solves abort, restart on the shrunken ring, and re-converge.",
+  "algorithm": "lddm",
+  "horizon": 24,
+  "replica_events": [
+    {"replica": 1, "crash_at": 6.0, "recover_at": 16.0,
+     "expect_alert": false},
+    {"replica": 2, "crash_at": 6.2, "recover_at": 18.0,
+     "expect_alert": false}
+  ],
+  "scoring": {"reconverge_epochs": 4, "round_bound": 200, "quiet_tail": 4}
+})";
+
+constexpr const char* kBrownoutLink = R"({
+  "name": "brownout-link",
+  "description": "A brownout cuts half the cluster's links to 5% capacity for eight seconds; the surviving half absorbs the load, batches stretch past the response SLO, and the detector clears after the lift.",
+  "algorithm": "lddm",
+  "horizon": 20,
+  "link_events": [
+    {"replica": 0, "latency_factor": 3, "bandwidth_factor": 0.05,
+     "at": 6, "until": 14, "expect_alert": true},
+    {"replica": 1, "latency_factor": 3, "bandwidth_factor": 0.05,
+     "at": 6, "until": 14},
+    {"replica": 2, "latency_factor": 3, "bandwidth_factor": 0.05,
+     "at": 6, "until": 14},
+    {"replica": 3, "latency_factor": 3, "bandwidth_factor": 0.05,
+     "at": 6, "until": 14}
+  ],
+  "scoring": {"reconverge_epochs": 5, "round_bound": 200,
+              "response_slo_ms": 1150, "quiet_tail": 3}
+})";
+
+constexpr const char* kCheapNight = R"({
+  "name": "cheap-night",
+  "description": "Opposed time-of-day tariff windows over one compressed day: half the cluster is cheap by night, half by day, under diurnal demand.",
+  "algorithm": "lddm",
+  "horizon": 24,
+  "demand": {
+    "diurnal": {"peak_multiplier": 1.8, "trough_multiplier": 0.3,
+                "peak_hour": 20}
+  },
+  "prices": [
+    {"replicas": [0, 1, 2, 3], "base": 2, "peak_multiplier": 8,
+     "peak_start": 8, "peak_end": 20},
+    {"replicas": [4, 5, 6, 7], "base": 2, "peak_multiplier": 8,
+     "peak_start": 20, "peak_end": 8}
+  ],
+  "scoring": {"reconverge_epochs": 3, "round_bound": 200, "quiet_tail": 3}
+})";
+
+constexpr Builtin kBuiltins[] = {
+    {"price-flip", kPriceFlip},     {"flash-crowd", kFlashCrowd},
+    {"replica-churn", kReplicaChurn}, {"brownout-link", kBrownoutLink},
+    {"cheap-night", kCheapNight},
+};
+
+}  // namespace
+
+std::vector<std::string> builtin_names() {
+  std::vector<std::string> names;
+  for (const auto& entry : kBuiltins) names.emplace_back(entry.name);
+  return names;
+}
+
+Scenario builtin(const std::string& name) {
+  for (const auto& entry : kBuiltins)
+    if (name == entry.name) return from_json(json::parse(entry.text));
+  throw std::invalid_argument("scenario: unknown builtin: " + name);
+}
+
+Scenario load(const std::string& name_or_path) {
+  for (const auto& entry : kBuiltins)
+    if (name_or_path == entry.name)
+      return from_json(json::parse(entry.text));
+  return from_json(json::parse_file(name_or_path));
+}
+
+}  // namespace edr::scenario

@@ -1,0 +1,154 @@
+// Dynamic-world scenarios: config-driven timed event plans.
+//
+// A Scenario describes everything that changes while EDR runs — diurnal +
+// flash-crowd demand, time-varying per-replica electricity prices u_n(t),
+// replica deaths/joins, and link degradation — plus the scoring contract
+// the run must satisfy (bounded re-convergence after every event, monitor
+// alerts firing where expected and clearing by the quiet tail).  ROADMAP
+// item 2.
+//
+// Scenarios load from JSON files (see DESIGN.md §15 for the schema) or
+// from the named builtin set (price-flip, flash-crowd, replica-churn,
+// brownout-link, cheap-night); the builtins are themselves JSON documents
+// parsed through the same loader, so the file path and the named path
+// cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/system.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/trace.hpp"
+
+namespace edr::json {
+class Value;
+}
+
+namespace edr::scenario {
+
+/// One flash crowd plus its scoring expectation.
+struct FlashSpec {
+  workload::FlashCrowd flash;
+  /// Must the monitor raise an alert in this flash's event window?
+  bool expect_alert = false;
+};
+
+/// The offered load: a diurnal base curve with optional flash crowds.
+struct DemandSpec {
+  /// Workload profile name: "distributed_file_service" or
+  /// "video_streaming".
+  std::string app = "distributed_file_service";
+  /// Total arrival rate at multiplier 1 (0 = the app profile's default).
+  double base_rate_hz = 0.0;
+  workload::DiurnalParams diurnal;
+  /// Compress one diurnal day into the scenario horizon (the usual bench
+  /// convention).
+  bool compress_day_into_horizon = true;
+  std::vector<FlashSpec> flashes;
+};
+
+/// Time-varying price for a group of replicas, in one of three modes:
+/// static (no change), a daily peak window, or an absolute-time step
+/// schedule.
+struct PricePlan {
+  /// Replica indices this plan applies to (empty = all replicas).
+  std::vector<std::size_t> replicas;
+  /// Base price (0 = keep each replica's static configured price).
+  CentsPerKwh base = 0.0;
+  /// Time-of-day window mode (active when peak_multiplier != 1).
+  double peak_multiplier = 1.0;
+  double peak_start_hours = 0.0;
+  double peak_end_hours = 0.0;
+  /// Seconds per tariff day (0 = the scenario horizon — one compressed
+  /// day, matching the demand curve).
+  double day_length = 0.0;
+  /// Step-schedule mode (overrides the window mode when non-empty).
+  std::vector<power::PriceStep> steps;
+  /// Must price changes under this plan raise a monitor alert?
+  bool expect_alert = false;
+};
+
+/// One replica crash, with an optional later rejoin.
+struct ReplicaEvent {
+  std::size_t replica = 0;
+  SimTime crash_at = 0.0;
+  SimTime recover_at = -1.0;  ///< < 0: stays dead
+  bool expect_alert = false;
+};
+
+/// One link degradation window, lifted by injecting the inverse factors.
+struct LinkEvent {
+  core::LinkDegradation change;
+  SimTime at = 0.0;
+  SimTime until = -1.0;  ///< < 0: permanent
+  bool expect_alert = false;
+};
+
+/// The pass/fail contract a scenario run is scored against.
+struct ScoringSpec {
+  /// After each event, some epoch among the next `reconverge_epochs`
+  /// completed ones must finish within `round_bound` solver rounds.
+  std::size_t reconverge_epochs = 3;
+  std::size_t round_bound = 120;
+  /// Response-time SLO fed to the ConvergenceMonitor (0 = detector off).
+  double response_slo_ms = 0.0;
+  /// Seconds before the end of the run in which no alert may be raised
+  /// (the "alerts clear" half of the contract).
+  SimTime quiet_tail = 4.0;
+  /// Window after each event in which an expected alert must fire
+  /// (0 = reconverge_epochs epoch-lengths).
+  SimTime alert_window = 0.0;
+};
+
+/// One scored instant on the timeline (derived from the event lists).
+struct EventMark {
+  std::string label;
+  SimTime at = 0.0;
+  bool expect_alert = false;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::string algorithm = "lddm";
+  SimTime horizon = 20.0;
+  std::size_t num_clients = 8;
+  std::uint64_t config_seed = 7;
+  std::uint64_t trace_seed = 42;
+  DemandSpec demand;
+  std::vector<PricePlan> prices;
+  std::vector<ReplicaEvent> replica_events;
+  std::vector<LinkEvent> link_events;
+  ScoringSpec scoring;
+
+  /// Every scored instant, sorted by time: flash starts, crashes,
+  /// recoveries, link hits/lifts, and price switches inside the horizon.
+  [[nodiscard]] std::vector<EventMark> marks() const;
+
+  /// The per-replica tariffs this scenario's price plans induce over a
+  /// run against `replicas` (arity = replicas.size(); empty when no plan
+  /// applies, i.e. the static-price path).
+  [[nodiscard]] std::vector<power::TimeOfDayTariff> build_tariffs(
+      const std::vector<optim::ReplicaParams>& replicas) const;
+
+  /// Synthesize the demand trace (diurnal curve + all flash crowds).
+  [[nodiscard]] workload::Trace build_trace() const;
+};
+
+/// Parse a scenario document (see DESIGN.md §15).  Throws json::JsonError
+/// or std::invalid_argument on schema violations.
+[[nodiscard]] Scenario from_json(const json::Value& doc);
+
+/// Names of the builtin scenarios, in canonical order.
+[[nodiscard]] std::vector<std::string> builtin_names();
+
+/// Load a builtin by name; throws std::invalid_argument for unknown names.
+[[nodiscard]] Scenario builtin(const std::string& name);
+
+/// Load from a builtin name or, failing that, a JSON file path.
+[[nodiscard]] Scenario load(const std::string& name_or_path);
+
+}  // namespace edr::scenario

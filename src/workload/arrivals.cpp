@@ -36,7 +36,7 @@ std::vector<SimTime> nonhomogeneous_arrivals(
 
 std::vector<SimTime> diurnal_arrivals(Rng& rng, const DiurnalCurve& curve,
                                       double base_rate, SimTime horizon) {
-  const double bound = base_rate * curve.params().peak_multiplier;
+  const double bound = base_rate * curve.max_multiplier();
   return nonhomogeneous_arrivals(
       rng, [&](SimTime t) { return base_rate * curve.multiplier(t); }, bound,
       horizon);

@@ -13,6 +13,11 @@ DiurnalCurve::DiurnalCurve(DiurnalParams params) : params_(params) {
     throw std::invalid_argument("DiurnalCurve: peak below trough");
   if (params_.day_length <= 0.0)
     throw std::invalid_argument("DiurnalCurve: non-positive day length");
+  if (params_.normalize_to_unit_mean) {
+    const double raw_mean =
+        0.5 * (params_.peak_multiplier + params_.trough_multiplier);
+    scale_ = 1.0 / raw_mean;
+  }
 }
 
 double DiurnalCurve::multiplier(SimTime time) const {
@@ -23,8 +28,20 @@ double DiurnalCurve::multiplier(SimTime time) const {
   const double phase =
       2.0 * std::numbers::pi * (day_fraction - peak_fraction);
   const double normalized = 0.5 * (1.0 + std::cos(phase));  // 1 at peak
-  return params_.trough_multiplier +
-         (params_.peak_multiplier - params_.trough_multiplier) * normalized;
+  const double raw =
+      params_.trough_multiplier +
+      (params_.peak_multiplier - params_.trough_multiplier) * normalized;
+  return raw * scale_;
+}
+
+double DiurnalCurve::mean_multiplier() const {
+  // The cosine bump averages to 1/2 over a period, so the raw mean is
+  // the midpoint of trough and peak.
+  return 0.5 * (params_.peak_multiplier + params_.trough_multiplier) * scale_;
+}
+
+double DiurnalCurve::max_multiplier() const {
+  return params_.peak_multiplier * scale_;
 }
 
 }  // namespace edr::workload

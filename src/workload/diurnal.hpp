@@ -10,29 +10,49 @@
 namespace edr::workload {
 
 struct DiurnalParams {
-  /// Peak-hour multiplier relative to the daily mean.
+  /// Raw multiplier at the peak hour.  NOTE: peak/trough bound the raw
+  /// cosine, whose daily mean is (peak + trough) / 2 — NOT 1.  Set
+  /// `normalize_to_unit_mean` when the multipliers should be read
+  /// relative to the daily mean (so a base rate stays the daily mean
+  /// regardless of curve shape).
   double peak_multiplier = 1.8;
-  /// Trough multiplier (> 0).
+  /// Raw multiplier at the trough (> 0).
   double trough_multiplier = 0.3;
   /// Hour of day of the peak (0-24; YouTube edge peaks in the evening).
   double peak_hour = 20.0;
   /// Seconds per simulated day (kept configurable so benches can compress
   /// a day into seconds).
   double day_length = 86400.0;
+  /// When set, the curve is rescaled by its raw daily mean so that
+  /// multiplier() integrates to exactly 1 over a day and total offered
+  /// load no longer drifts with curve shape.  Off by default: the
+  /// committed traces (and their golden digests) use the raw curve.
+  bool normalize_to_unit_mean = false;
 };
 
 class DiurnalCurve {
  public:
   explicit DiurnalCurve(DiurnalParams params = {});
 
-  /// Rate multiplier at `time`; smooth, periodic, bounded by
-  /// [trough_multiplier, peak_multiplier].
+  /// Rate multiplier at `time`; smooth and periodic.  Raw curve: bounded
+  /// by [trough_multiplier, peak_multiplier] with daily mean
+  /// (peak + trough) / 2.  Normalized: the same shape divided by that
+  /// mean, so the daily mean is exactly 1.
   [[nodiscard]] double multiplier(SimTime time) const;
+
+  /// Exact daily mean of multiplier(): (peak + trough) / 2 raw, 1 when
+  /// normalized (the cosine bump integrates to its midpoint).
+  [[nodiscard]] double mean_multiplier() const;
+
+  /// Exact maximum of multiplier() — the tight thinning bound for
+  /// Lewis-Shedler sampling.
+  [[nodiscard]] double max_multiplier() const;
 
   [[nodiscard]] const DiurnalParams& params() const { return params_; }
 
  private:
   DiurnalParams params_;
+  double scale_ = 1.0;  ///< 1 / raw mean when normalizing, else 1
 };
 
 }  // namespace edr::workload

@@ -1,0 +1,200 @@
+// Ring re-scheduling under churn: multi-death cascades inside one
+// failure timeout, join-during-removal races, and the MemberList version
+// counter the owning agents key their "did the ring change under me?"
+// checks off.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/ring.hpp"
+
+namespace edr::cluster {
+namespace {
+
+struct ChurnFixture {
+  net::Simulator sim;
+  net::SimNetwork network{sim};
+  std::vector<std::unique_ptr<RingNode>> nodes;
+  std::map<net::NodeId, std::vector<net::NodeId>> removals_seen;
+  std::map<net::NodeId, std::vector<net::NodeId>> joins_seen;
+
+  explicit ChurnFixture(std::size_t count, RingConfig config = {}) {
+    std::vector<net::NodeId> ids;
+    for (std::size_t i = 0; i < count; ++i)
+      ids.push_back(static_cast<net::NodeId>(i));
+    for (std::size_t i = 0; i < count; ++i) {
+      nodes.push_back(std::make_unique<RingNode>(network, ids[i],
+                                                 MemberList{ids}, config));
+      RingNode* node = nodes.back().get();
+      node->on_membership_change(
+          [this, id = ids[i]](const MemberList&, net::NodeId dead) {
+            removals_seen[id].push_back(dead);
+          });
+      node->on_member_joined(
+          [this, id = ids[i]](const MemberList&, net::NodeId joiner) {
+            joins_seen[id].push_back(joiner);
+          });
+      network.attach(ids[i],
+                     [node](const net::Message& msg) { node->handle(msg); });
+    }
+  }
+
+  void start_all() {
+    for (auto& node : nodes) node->start();
+  }
+
+  void crash(std::size_t index) {
+    nodes[index]->stop();
+    network.detach(static_cast<net::NodeId>(index));
+  }
+
+  void revive(std::size_t index, std::size_t seed) {
+    network.attach(static_cast<net::NodeId>(index),
+                   [node = nodes[index].get()](const net::Message& msg) {
+                     node->handle(msg);
+                   });
+    nodes[index]->rejoin(nodes[seed]->members());
+  }
+};
+
+TEST(RingChurn, MultiDeathCascadeWithinOneTimeout) {
+  // Two non-adjacent replicas die 0.2 s apart — both inside one failure
+  // timeout, so their detections overlap.  Every survivor must prune both
+  // and see exactly one membership-change callback per death.
+  ChurnFixture f{6};
+  f.start_all();
+  f.sim.run_until(3.0);
+  f.crash(1);
+  f.crash(4);
+  f.sim.run_until(15.0);
+  for (std::size_t i : {0u, 2u, 3u, 5u}) {
+    const auto& members = f.nodes[i]->members();
+    EXPECT_EQ(members.size(), 4u) << "node " << i;
+    EXPECT_FALSE(members.contains(1)) << "node " << i;
+    EXPECT_FALSE(members.contains(4)) << "node " << i;
+    const auto& seen = f.removals_seen[static_cast<net::NodeId>(i)];
+    EXPECT_EQ(seen.size(), 2u)
+        << "node " << i << " saw " << seen.size()
+        << " membership changes for 2 deaths (duplicate notices leaked)";
+  }
+  // The repaired ring: 0 -> 2 -> 3 -> 5 -> 0.
+  EXPECT_EQ(f.nodes[0]->members().successor(0), 2u);
+  EXPECT_EQ(f.nodes[0]->members().successor(5), 0u);
+}
+
+TEST(RingChurn, AdjacentCascadeDetectedThroughSilentWatcher) {
+  // Replicas 1 and 2 are ring-adjacent (2 watches 1).  When both die, the
+  // death of 1 can only be detected *after* 2's removal re-points node 3's
+  // predecessor at 1 and its silence times out in turn — a cascade of two
+  // sequential timeouts.
+  ChurnFixture f{5};
+  f.start_all();
+  f.sim.run_until(3.0);
+  f.crash(1);
+  f.crash(2);
+  // One timeout in: at most one of the two is gone.
+  f.sim.run_until(4.2);
+  const auto early = f.nodes[3]->members().size();
+  EXPECT_GE(early, 4u);
+  f.sim.run_until(20.0);
+  for (std::size_t i : {0u, 3u, 4u}) {
+    EXPECT_EQ(f.nodes[i]->members().size(), 3u) << "node " << i;
+    EXPECT_FALSE(f.nodes[i]->members().contains(1)) << "node " << i;
+    EXPECT_FALSE(f.nodes[i]->members().contains(2)) << "node " << i;
+  }
+}
+
+TEST(RingChurn, JoinDuringRemovalRaceConverges) {
+  // A node rejoins at the same instant another dies: the join notice and
+  // the removal broadcast race through the network.  All live nodes must
+  // converge on the same member set — the joiner admitted, the dead node
+  // pruned — and the joiner must learn of the concurrent death too.
+  ChurnFixture f{5};
+  f.start_all();
+  f.sim.run_until(3.0);
+  f.crash(1);
+  f.sim.run_until(12.0);
+  for (std::size_t i : {0u, 2u, 3u, 4u})
+    ASSERT_FALSE(f.nodes[i]->members().contains(1));
+
+  f.crash(3);
+  f.revive(1, /*seed=*/0);  // same sim instant as the crash of 3
+  f.sim.run_until(25.0);
+  for (std::size_t i : {0u, 1u, 2u, 4u}) {
+    const auto& members = f.nodes[i]->members();
+    EXPECT_EQ(members.size(), 4u) << "node " << i;
+    EXPECT_TRUE(members.contains(1)) << "node " << i;
+    EXPECT_FALSE(members.contains(3)) << "node " << i;
+    EXPECT_EQ(members, f.nodes[0]->members())
+        << "node " << i << " disagrees with node 0 about the ring";
+  }
+}
+
+TEST(RingChurn, DuplicateRemovalNoticeIsIdempotent) {
+  // Two survivors can independently time out on the same dead predecessor
+  // and both broadcast its removal.  A second notice for an
+  // already-pruned node must not bump the version or re-fire the
+  // membership callback.
+  ChurnFixture f{4};
+  f.start_all();
+  f.sim.run_until(3.0);
+  f.crash(2);
+  f.sim.run_until(10.0);
+  RingNode& survivor = *f.nodes[0];
+  ASSERT_FALSE(survivor.members().contains(2));
+  const auto version = survivor.members().version();
+  const auto callbacks = f.removals_seen[0].size();
+
+  net::Message duplicate;
+  duplicate.from = 3;
+  duplicate.to = 0;
+  duplicate.type = kRemovalNotice;
+  duplicate.payload = RemovalNotice{/*dead=*/2, /*reporter=*/3};
+  survivor.handle(duplicate);
+
+  EXPECT_EQ(survivor.members().version(), version);
+  EXPECT_EQ(f.removals_seen[0].size(), callbacks);
+}
+
+TEST(RingChurn, VersionBumpsExactlyOncePerChange) {
+  MemberList list{{0, 1, 2}};
+  const auto v0 = list.version();
+
+  EXPECT_FALSE(list.add(1));  // already present
+  EXPECT_EQ(list.version(), v0);
+
+  EXPECT_TRUE(list.add(7));
+  EXPECT_EQ(list.version(), v0 + 1);
+
+  EXPECT_FALSE(list.remove(9));  // never a member
+  EXPECT_EQ(list.version(), v0 + 1);
+
+  EXPECT_TRUE(list.remove(1));
+  EXPECT_EQ(list.version(), v0 + 2);
+
+  EXPECT_FALSE(list.remove(1));  // second removal is a no-op
+  EXPECT_EQ(list.version(), v0 + 2);
+}
+
+TEST(RingChurn, VersionAdvancesAcrossChurnRounds) {
+  // Through a full crash + rejoin cycle the surviving agents' version
+  // counters move exactly once per membership change: one removal, one
+  // join.
+  ChurnFixture f{4};
+  f.start_all();
+  f.sim.run_until(2.0);
+  const auto v0 = f.nodes[0]->members().version();
+  f.crash(2);
+  f.sim.run_until(10.0);
+  const auto v1 = f.nodes[0]->members().version();
+  EXPECT_EQ(v1, v0 + 1);
+  f.revive(2, /*seed=*/0);
+  f.sim.run_until(20.0);
+  EXPECT_EQ(f.nodes[0]->members().version(), v1 + 1);
+  EXPECT_EQ(f.nodes[0]->members().size(), 4u);
+}
+
+}  // namespace
+}  // namespace edr::cluster

@@ -1,0 +1,113 @@
+#include "common/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/json.hpp"
+
+namespace edr::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_THROW(parse(R"("\ud800")"), JsonError);  // surrogate: unsupported
+  EXPECT_THROW(parse("\"unterminated"), JsonError);
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  const Value doc = parse(R"({
+    "name": "price-flip",
+    "horizon": 20.0,
+    "replicas": [1, 2, 3],
+    "nested": {"deep": true}
+  })");
+  EXPECT_EQ(doc.at("name").as_string(), "price-flip");
+  EXPECT_DOUBLE_EQ(doc.at("horizon").as_number(), 20.0);
+  ASSERT_EQ(doc.at("replicas").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("replicas").as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(doc.at("nested").at("deep").as_bool());
+  EXPECT_EQ(doc.members().size(), 4u);  // insertion order preserved
+  EXPECT_EQ(doc.members().front().first, "name");
+}
+
+TEST(JsonParse, LookupHelpers) {
+  const Value doc = parse(R"({"a": 1, "b": "x", "c": false})");
+  EXPECT_DOUBLE_EQ(doc.number_or("a", 9.0), 1.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", 9.0), 9.0);
+  EXPECT_EQ(doc.string_or("b", "y"), "x");
+  EXPECT_EQ(doc.string_or("missing", "y"), "y");
+  EXPECT_FALSE(doc.bool_or("c", true));
+  EXPECT_TRUE(doc.bool_or("missing", true));
+  EXPECT_TRUE(doc.has("a"));
+  EXPECT_FALSE(doc.has("z"));
+  EXPECT_EQ(doc.find("z"), nullptr);
+  EXPECT_THROW(doc.at("z"), JsonError);
+}
+
+TEST(JsonParse, TypeMismatchesThrow) {
+  const Value doc = parse(R"({"a": 1})");
+  EXPECT_THROW(doc.at("a").as_string(), JsonError);
+  EXPECT_THROW(doc.at("a").as_array(), JsonError);
+  EXPECT_THROW(doc.as_number(), JsonError);
+  EXPECT_THROW(parse("[1]").members(), JsonError);
+}
+
+TEST(JsonParse, MalformedDocumentsThrowWithPosition) {
+  EXPECT_THROW(parse(""), JsonError);
+  EXPECT_THROW(parse("{"), JsonError);
+  EXPECT_THROW(parse("[1, 2,]"), JsonError);
+  EXPECT_THROW(parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(parse("12 34"), JsonError);
+  EXPECT_THROW(parse("truthy"), JsonError);
+  try {
+    parse("{\n  \"a\": nope\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    EXPECT_NE(std::string{error.what()}.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter writer;
+  writer.begin_object()
+      .field("name", "sweep")
+      .field("count", 3)
+      .field("enabled", true)
+      .key("values")
+      .begin_array()
+      .value(1.5)
+      .value(-2.25)
+      .end_array()
+      .end_object();
+  const Value doc = parse(writer.str());
+  EXPECT_EQ(doc.at("name").as_string(), "sweep");
+  EXPECT_DOUBLE_EQ(doc.at("count").as_number(), 3.0);
+  EXPECT_TRUE(doc.at("enabled").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("values").as_array()[1].as_number(), -2.25);
+}
+
+TEST(JsonParse, ParseFile) {
+  const std::string path = "json_parse_test_tmp.json";
+  {
+    std::ofstream out(path);
+    out << R"({"ok": true})";
+  }
+  EXPECT_TRUE(parse_file(path).at("ok").as_bool());
+  std::remove(path.c_str());
+  EXPECT_THROW(parse_file("does_not_exist.json"), JsonError);
+}
+
+}  // namespace
+}  // namespace edr::json

@@ -82,6 +82,94 @@ TEST(Tariffs, SchedulerChasesTheCheapSideOfTheDay) {
   EXPECT_LT(report.total_active_cost, blind_report.total_active_cost);
 }
 
+TEST(Tariffs, AwareSchedulerBeatsMeanBlindedOnSameAlgorithm) {
+  // The real ablation: identical algorithm, identical true bill; the only
+  // difference is whether the optimization sees u_n(t) or its mean.
+  const SimTime horizon = 20.0;
+  auto aware_cfg = base_config("lddm");
+  aware_cfg.tariffs = flipping_tariffs(horizon);
+  auto blind_cfg = aware_cfg;
+  blind_cfg.tariff_aware_scheduler = false;
+  EdrSystem aware(aware_cfg, base_trace(42, horizon));
+  EdrSystem blind(blind_cfg, base_trace(42, horizon));
+  const auto aware_report = aware.run();
+  const auto blind_report = blind.run();
+  EXPECT_LT(aware_report.total_active_cost, blind_report.total_active_cost);
+}
+
+TEST(Tariffs, BlindFlagIsNoOpWithoutTariffs) {
+  const auto trace = base_trace();
+  auto cfg = base_config("lddm");
+  auto flagged = cfg;
+  flagged.tariff_aware_scheduler = false;  // ignored: no tariffs set
+  EdrSystem a(cfg, trace);
+  EdrSystem b(flagged, trace);
+  EXPECT_DOUBLE_EQ(a.run().total_cost, b.run().total_cost);
+}
+
+TEST(LinkChange, LatencyInflationRoutesAroundReplica) {
+  const auto trace = base_trace(7, 10.0);
+  auto cfg = base_config("lddm");
+  EdrSystem healthy(cfg, trace);
+  const auto before = healthy.run();
+  ASSERT_GT(before.replicas[0].assigned_mb, 0.0);  // cheap: attracts load
+
+  EdrSystem degraded(cfg, trace);
+  LinkDegradation change;
+  change.replica = 0;
+  change.latency_factor = 100.0;  // far past max_latency: infeasible
+  degraded.inject_link_change(change, 0.5);
+  const auto after = degraded.run();
+  EXPECT_LT(after.replicas[0].assigned_mb,
+            before.replicas[0].assigned_mb * 0.1);
+}
+
+TEST(LinkChange, InverseFactorsRestoreTheLink) {
+  const auto trace = base_trace(7, 10.0);
+  auto cfg = base_config("lddm");
+  EdrSystem system(cfg, trace);
+  LinkDegradation out;
+  out.replica = 0;
+  out.latency_factor = 100.0;
+  EdrSystem degraded(cfg, trace);
+  degraded.inject_link_change(out, 0.5);
+  LinkDegradation back = out;
+  back.latency_factor = 1.0 / out.latency_factor;
+  degraded.inject_link_change(back, 5.0);
+  const auto report = degraded.run();
+  // Replica 0 carries traffic again once the brownout lifts.
+  EXPECT_GT(report.replicas[0].assigned_mb, 0.0);
+}
+
+TEST(LinkChange, ClusterWideBandwidthCutForcesShedding) {
+  const auto trace = base_trace(31, 10.0);
+  auto cfg = base_config("lddm");
+  EdrSystem healthy(cfg, trace);
+  EXPECT_DOUBLE_EQ(healthy.run().megabytes_abandoned, 0.0);
+
+  EdrSystem brownout(cfg, trace);
+  LinkDegradation cut;
+  cut.bandwidth_factor = 0.02;  // every replica down to ~2 MB/s
+  brownout.inject_link_change(cut, 0.5);
+  const auto report = brownout.run();
+  EXPECT_GT(report.megabytes_abandoned, 0.0);
+}
+
+TEST(LinkChange, RejectsBadArguments) {
+  EdrSystem system(base_config("lddm"), base_trace());
+  LinkDegradation bad_replica;
+  bad_replica.replica = 8;
+  EXPECT_THROW(system.inject_link_change(bad_replica, 1.0),
+               std::out_of_range);
+  LinkDegradation bad_client;
+  bad_client.client = 99;
+  EXPECT_THROW(system.inject_link_change(bad_client, 1.0), std::out_of_range);
+  LinkDegradation bad_factor;
+  bad_factor.latency_factor = 0.0;
+  EXPECT_THROW(system.inject_link_change(bad_factor, 1.0),
+               std::invalid_argument);
+}
+
 TEST(Recovery, ReplicaRejoinsAndServesAgain) {
   auto cfg = base_config("lddm");
   const auto trace = base_trace(11, 30.0);

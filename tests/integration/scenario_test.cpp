@@ -1,0 +1,109 @@
+// Dynamic-world scenario suite (DESIGN.md §15): every builtin scenario
+// must PASS its own scoring contract — EDR re-converges within the bound
+// after every timed event, expected monitor alerts fire inside their
+// windows, and every detector clears by the quiet tail.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace edr::scenario {
+namespace {
+
+ScenarioResult run_builtin(const std::string& name) {
+  return run(builtin(name));
+}
+
+void expect_contract(const ScenarioResult& result) {
+  EXPECT_TRUE(result.alerts_cleared)
+      << result.name << ": an alert fired inside the quiet tail";
+  EXPECT_TRUE(result.end_converged)
+      << result.name << ": the final epoch missed the round bound";
+  for (const auto& v : result.events) {
+    EXPECT_TRUE(v.reconverged)
+        << result.name << ": no re-convergence after " << v.mark.label;
+    if (v.mark.expect_alert)
+      EXPECT_TRUE(v.alert_fired)
+          << result.name << ": expected alert missing after " << v.mark.label;
+  }
+  EXPECT_TRUE(result.passed()) << result.verdict_text();
+}
+
+TEST(Scenario, PriceFlipPasses) {
+  const auto result = run_builtin("price-flip");
+  expect_contract(result);
+  // The flip is the only scored event.
+  ASSERT_EQ(result.events.size(), 1u);
+  EXPECT_EQ(result.events[0].mark.label, "price@10");
+}
+
+TEST(Scenario, FlashCrowdRaisesAndClearsSloAlert) {
+  const auto result = run_builtin("flash-crowd");
+  expect_contract(result);
+  ASSERT_EQ(result.events.size(), 1u);
+  EXPECT_TRUE(result.events[0].mark.expect_alert);
+  EXPECT_TRUE(result.events[0].alert_fired);
+  // The SLO threshold sits above the healthy response band, so every
+  // alert this scenario raises is attributable to the spike.
+  EXPECT_GT(result.alerts_total, 0u);
+  for (const auto& alert : result.report.alerts)
+    EXPECT_EQ(alert.kind, telemetry::AlertKind::kSlo);
+}
+
+TEST(Scenario, ReplicaChurnReconvergesThroughCascadeAndRejoin) {
+  const auto result = run_builtin("replica-churn");
+  expect_contract(result);
+  // Two crashes 0.2 s apart plus two staggered recoveries = 4 marks.
+  ASSERT_EQ(result.events.size(), 4u);
+
+  // End-to-end ring re-scheduling: during the outage the flight recorder
+  // must observe epochs solved by the shrunken ring (6 replicas), and the
+  // tail epochs must be solved by the fully healed ring (8) again.
+  const auto& summaries = result.report.convergence;
+  EXPECT_TRUE(std::ranges::any_of(summaries, [](const auto& epoch) {
+    return epoch.replicas == 6u;
+  })) << "no epoch ran on the 6-replica ring during the double outage";
+  ASSERT_FALSE(summaries.empty());
+  EXPECT_EQ(summaries.back().replicas, 8u)
+      << "the final epoch did not run on the healed 8-replica ring";
+}
+
+TEST(Scenario, BrownoutLinkRaisesAndClearsSloAlert) {
+  const auto result = run_builtin("brownout-link");
+  expect_contract(result);
+  // Both the hit and the lift are scored; only the hit expects an alert.
+  ASSERT_EQ(result.events.size(), 2u);
+  EXPECT_TRUE(result.events[0].mark.expect_alert);
+  EXPECT_FALSE(result.events[1].mark.expect_alert);
+  EXPECT_GT(result.alerts_total, 0u);
+}
+
+TEST(Scenario, CheapNightPasses) {
+  const auto result = run_builtin("cheap-night");
+  expect_contract(result);
+  // Opposed windows switch twice inside the compressed day.
+  EXPECT_EQ(result.events.size(), 2u);
+}
+
+TEST(Scenario, EveryBuiltinParsesAndScoresItsOwnMarks) {
+  for (const auto& name : builtin_names()) {
+    const auto scen = builtin(name);
+    EXPECT_EQ(scen.name, name);
+    EXPECT_FALSE(scen.description.empty());
+    EXPECT_FALSE(scen.marks().empty())
+        << name << " scores no events — it cannot assert re-convergence";
+  }
+}
+
+TEST(Scenario, AlgorithmOverrideIsHonored) {
+  RunOptions options;
+  options.algorithm = "central";
+  const auto result = run(builtin("price-flip"), options);
+  EXPECT_EQ(result.algorithm, "central");
+  EXPECT_GT(result.report.megabytes_served, 0.0);
+}
+
+}  // namespace
+}  // namespace edr::scenario

@@ -66,5 +66,112 @@ TEST(TimeOfDayTariff, WrapsAcrossDays) {
   EXPECT_DOUBLE_EQ(tariff.at(two_days_noon), 20.0);
 }
 
+TEST(TimeOfDayTariff, NextSwitchFindsWindowBoundaries) {
+  const TimeOfDayTariff tariff{10.0, 2.0, 8.0, 20.0};
+  EXPECT_DOUBLE_EQ(tariff.next_switch(0.0), 8.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(tariff.next_switch(12.0 * 3600.0), 20.0 * 3600.0);
+  // Past the last boundary of the day: wraps to tomorrow's peak start.
+  EXPECT_DOUBLE_EQ(tariff.next_switch(21.0 * 3600.0), (24.0 + 8.0) * 3600.0);
+}
+
+TEST(TimeOfDayTariff, DegenerateWindowHasNoNextSwitch) {
+  // peak_start == peak_end: the window is empty, the price never changes.
+  const TimeOfDayTariff tariff{10.0, 2.0, 8.0, 8.0};
+  EXPECT_TRUE(tariff.constant());
+  EXPECT_DOUBLE_EQ(tariff.next_switch(0.0), no_next_switch());
+  EXPECT_DOUBLE_EQ(tariff.at(9.0 * 3600.0), 10.0);
+}
+
+TEST(TimeOfDayTariff, UnitMultiplierHasNoNextSwitch) {
+  const TimeOfDayTariff tariff{10.0, 1.0, 8.0, 20.0};
+  EXPECT_TRUE(tariff.constant());
+  EXPECT_DOUBLE_EQ(tariff.next_switch(5.0 * 3600.0), no_next_switch());
+}
+
+TEST(TimeOfDayTariff, NegativeTimeReadsPreviousDay) {
+  const TimeOfDayTariff tariff{10.0, 2.0, 8.0, 20.0};
+  // t = -12h is noon of the previous day: in the peak window.
+  EXPECT_DOUBLE_EQ(tariff.at(-12.0 * 3600.0), 20.0);
+  // t = -2h is 22:00 of the previous day: off-peak.
+  EXPECT_DOUBLE_EQ(tariff.at(-2.0 * 3600.0), 10.0);
+}
+
+TEST(TimeOfDayTariff, NegativeTimeWrappedWindowMatches) {
+  // Overnight peak 22:00-06:00; t = -1h is 23:00 of the previous day.
+  const TimeOfDayTariff tariff{10.0, 1.5, 22.0, 6.0};
+  EXPECT_DOUBLE_EQ(tariff.at(-1.0 * 3600.0), 15.0);
+  EXPECT_DOUBLE_EQ(tariff.at(-20.0 * 3600.0), 15.0);  // 04:00 previous day
+  EXPECT_DOUBLE_EQ(tariff.at(-12.0 * 3600.0), 10.0);  // noon previous day
+}
+
+TEST(TimeOfDayTariff, NegativeTimeNextSwitch) {
+  const TimeOfDayTariff tariff{10.0, 2.0, 8.0, 20.0};
+  // From 22:00 of the previous day (its window already closed) the next
+  // boundary is today's peak start at t = 8h.
+  EXPECT_DOUBLE_EQ(tariff.next_switch(-2.0 * 3600.0), 8.0 * 3600.0);
+  // From the previous day's noon the next change is its peak end (-4h).
+  EXPECT_DOUBLE_EQ(tariff.next_switch(-12.0 * 3600.0), -4.0 * 3600.0);
+}
+
+TEST(TimeOfDayTariff, MidnightWrappingNextSwitch) {
+  const TimeOfDayTariff tariff{10.0, 1.5, 22.0, 6.0};
+  EXPECT_DOUBLE_EQ(tariff.next_switch(0.0), 6.0 * 3600.0);   // in-peak
+  EXPECT_DOUBLE_EQ(tariff.next_switch(12.0 * 3600.0), 22.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(tariff.next_switch(23.0 * 3600.0), 30.0 * 3600.0);
+}
+
+TEST(TimeOfDayTariff, StepSchedule) {
+  auto tariff = TimeOfDayTariff::step_schedule(
+      5.0, {{200.0, 12.0}, {100.0, 8.0}});  // unsorted on purpose
+  EXPECT_FALSE(tariff.constant());
+  EXPECT_DOUBLE_EQ(tariff.at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(tariff.at(99.0), 5.0);
+  EXPECT_DOUBLE_EQ(tariff.at(100.0), 8.0);
+  EXPECT_DOUBLE_EQ(tariff.at(150.0), 8.0);
+  EXPECT_DOUBLE_EQ(tariff.at(200.0), 12.0);
+  EXPECT_DOUBLE_EQ(tariff.at(1e9), 12.0);  // last step holds forever
+  EXPECT_DOUBLE_EQ(tariff.next_switch(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(tariff.next_switch(100.0), 200.0);
+  EXPECT_DOUBLE_EQ(tariff.next_switch(200.0), no_next_switch());
+}
+
+TEST(TimeOfDayTariff, StepScheduleSkipsNoOpSteps) {
+  // A step that repeats the current price is not a switch.
+  auto tariff =
+      TimeOfDayTariff::step_schedule(5.0, {{100.0, 5.0}, {200.0, 9.0}});
+  EXPECT_DOUBLE_EQ(tariff.next_switch(0.0), 200.0);
+}
+
+TEST(TimeOfDayTariff, ConstantStepSchedule) {
+  auto tariff = TimeOfDayTariff::step_schedule(5.0, {{100.0, 5.0}});
+  EXPECT_TRUE(tariff.constant());
+  EXPECT_DOUBLE_EQ(tariff.next_switch(0.0), no_next_switch());
+}
+
+TEST(TimeOfDayTariff, MeanPriceOfPeakWindow) {
+  // 2x for 12 of 24 hours: mean = 10 * (12 + 24) / 24 = 15.
+  const TimeOfDayTariff tariff{10.0, 2.0, 8.0, 20.0};
+  EXPECT_NEAR(tariff.mean_price(), 15.0, 1e-9);
+}
+
+TEST(TimeOfDayTariff, MeanPriceOfWrappedWindow) {
+  // 1.5x for 8 of 24 hours (22:00-06:00): mean = 10 * (8*1.5 + 16) / 24.
+  const TimeOfDayTariff tariff{10.0, 1.5, 22.0, 6.0};
+  EXPECT_NEAR(tariff.mean_price(), 10.0 * (8.0 * 1.5 + 16.0) / 24.0, 1e-9);
+}
+
+TEST(TimeOfDayTariff, MeanPriceOfStepScheduleOverHorizon) {
+  auto tariff = TimeOfDayTariff::step_schedule(4.0, {{50.0, 8.0}});
+  // Over [0, 100): 50s at 4 + 50s at 8 = mean 6.
+  EXPECT_NEAR(tariff.mean_price(100.0), 6.0, 1e-9);
+  // Over [0, 50): never reaches the step.
+  EXPECT_NEAR(tariff.mean_price(50.0), 4.0, 1e-9);
+}
+
+TEST(TimeOfDayTariff, MeanPriceOfConstantTariff) {
+  const TimeOfDayTariff tariff{7.0, 1.0, 0.0, 24.0};
+  EXPECT_NEAR(tariff.mean_price(), 7.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace edr::power

@@ -45,6 +45,45 @@ TEST(Diurnal, CompressedDayLength) {
   EXPECT_NEAR(curve.multiplier(0.0), params.trough_multiplier, 1e-9);
 }
 
+// Numerically integrate the curve over a day and pin its mean: the raw
+// curve averages to (peak + trough) / 2, not 1 — the documented contract.
+TEST(Diurnal, RawMeanIsMidpointOfPeakAndTrough) {
+  DiurnalCurve curve;  // defaults: peak 1.8, trough 0.3
+  const int kSteps = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSteps; ++i)
+    sum += curve.multiplier((i + 0.5) / kSteps * 86400.0);
+  const double integrated_mean = sum / kSteps;
+  EXPECT_NEAR(integrated_mean, 0.5 * (1.8 + 0.3), 1e-6);
+  EXPECT_NEAR(curve.mean_multiplier(), integrated_mean, 1e-6);
+  EXPECT_DOUBLE_EQ(curve.max_multiplier(), 1.8);
+}
+
+TEST(Diurnal, NormalizedCurveHasUnitMean) {
+  DiurnalParams params;
+  params.normalize_to_unit_mean = true;
+  DiurnalCurve curve{params};
+  const int kSteps = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSteps; ++i)
+    sum += curve.multiplier((i + 0.5) / kSteps * 86400.0);
+  EXPECT_NEAR(sum / kSteps, 1.0, 1e-6);
+  EXPECT_NEAR(curve.mean_multiplier(), 1.0, 1e-12);
+  // Shape is preserved: peak / trough ratio is unchanged.
+  const double peak = curve.multiplier(20.0 / 24.0 * 86400.0);
+  const double trough = curve.multiplier(8.0 / 24.0 * 86400.0);
+  EXPECT_NEAR(peak / trough, 1.8 / 0.3, 1e-9);
+  EXPECT_NEAR(curve.max_multiplier(), peak, 1e-12);
+}
+
+TEST(Diurnal, NormalizationDoesNotChangeDefaultCurve) {
+  DiurnalCurve raw;  // normalize_to_unit_mean defaults to off
+  DiurnalParams params;
+  DiurnalCurve same{params};
+  for (double t : {0.0, 3600.0, 43200.0})
+    EXPECT_DOUBLE_EQ(raw.multiplier(t), same.multiplier(t));
+}
+
 TEST(Diurnal, RejectsBadParameters) {
   DiurnalParams bad;
   bad.trough_multiplier = 0.0;
